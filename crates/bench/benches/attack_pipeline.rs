@@ -1,0 +1,67 @@
+//! Cost of each MPass pipeline stage: modification (recovery + shuffle),
+//! one optimization round, and a full attack against a trained target.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Duration;
+use mpass_bench::bench_fixture;
+use mpass_core::modify::{modify, ModificationConfig};
+use mpass_core::optimize::{EnsembleOptimizer, OptimizerConfig};
+use mpass_core::{Attack, HardLabelTarget, MPassAttack, MPassConfig};
+use mpass_detectors::train::training_pairs;
+use mpass_detectors::{ByteConvConfig, MalConv, MalGcg, MalGcgConfig, WhiteBoxModel};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (ds, pool) = bench_fixture();
+    let samples: Vec<_> = ds.samples.iter().collect();
+    let pairs = training_pairs(&samples);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut malconv = MalConv::new(ByteConvConfig::tiny(), &mut rng);
+    malconv.train(&pairs, 4, 5e-3, &mut rng);
+    let mut malgcg = MalGcg::new(MalGcgConfig::tiny(), &mut rng);
+    malgcg.train(&pairs, 4, 5e-3, &mut rng);
+    let sample = ds.malware()[0];
+
+    let mut group = c.benchmark_group("attack_pipeline");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("modify", |b| {
+        b.iter_batched(
+            || ChaCha8Rng::seed_from_u64(2),
+            |mut rng| modify(sample, &pool, &ModificationConfig::default(), &mut rng).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("optimize_round", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = ChaCha8Rng::seed_from_u64(2);
+                modify(sample, &pool, &ModificationConfig::default(), &mut rng).unwrap()
+            },
+            |mut ms| {
+                let models: Vec<&dyn WhiteBoxModel> = vec![&malgcg];
+                let mut opt = EnsembleOptimizer::new(
+                    models,
+                    &ms,
+                    OptimizerConfig { lr: 0.05, iterations: 2 },
+                );
+                opt.run(&mut ms)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("full_attack_vs_malconv", |b| {
+        b.iter(|| {
+            let mut attack =
+                MPassAttack::new(vec![&malgcg], &pool, MPassConfig::default());
+            let mut target = HardLabelTarget::new(&malconv, 100);
+            attack.attack(sample, &mut target)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Inference and training cost of each detector family.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use mpass_bench::bench_fixture;
+use mpass_detectors::train::training_pairs;
+use mpass_detectors::{
+    commercial::default_profiles, ByteConvConfig, CommercialAv, Detector, LightGbm, MalConv,
+    MalGcg, MalGcgConfig, NonNeg,
+};
+use mpass_ml::GbdtParams;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_inference(c: &mut Criterion) {
+    let (ds, _) = bench_fixture();
+    let samples: Vec<_> = ds.samples.iter().collect();
+    let pairs = training_pairs(&samples);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut malconv = MalConv::new(ByteConvConfig::default(), &mut rng);
+    malconv.train(&pairs, 2, 5e-3, &mut rng);
+    let mut malgcg = MalGcg::new(MalGcgConfig::default(), &mut rng);
+    malgcg.train(&pairs, 2, 5e-3, &mut rng);
+    let lightgbm = LightGbm::train(&samples, GbdtParams::default(), &mut rng);
+    let av = CommercialAv::train(default_profiles().remove(0), &samples);
+    let bytes = &ds.samples[0].bytes;
+
+    let mut group = c.benchmark_group("inference");
+    group.bench_function("malconv_score", |b| {
+        b.iter(|| malconv.score(std::hint::black_box(bytes)))
+    });
+    group.bench_function("malgcg_score", |b| b.iter(|| malgcg.score(std::hint::black_box(bytes))));
+    group.bench_function("lightgbm_score", |b| {
+        b.iter(|| lightgbm.score(std::hint::black_box(bytes)))
+    });
+    group.bench_function("commercial_av_score", |b| {
+        b.iter(|| av.score(std::hint::black_box(bytes)))
+    });
+    group.bench_function("malconv_gradient", |b| {
+        b.iter(|| {
+            use mpass_detectors::WhiteBoxModel;
+            malconv.benign_loss_and_grad(std::hint::black_box(bytes))
+        })
+    });
+    group.finish();
+}
+
+fn bench_training(c: &mut Criterion) {
+    let (ds, _) = bench_fixture();
+    let samples: Vec<_> = ds.samples.iter().collect();
+    let pairs = training_pairs(&samples);
+    let mut group = c.benchmark_group("training");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(8));
+    group.bench_function("malconv_epoch", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let mut m = MalConv::new(ByteConvConfig::tiny(), &mut rng);
+            m.train(&pairs, 1, 5e-3, &mut rng)
+        })
+    });
+    group.bench_function("nonneg_epoch", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let mut m = NonNeg::new(ByteConvConfig::tiny(), &mut rng);
+            m.train(&pairs, 1, 5e-3, &mut rng)
+        })
+    });
+    group.bench_function("gbdt_train", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            LightGbm::train(&samples, GbdtParams { trees: 20, ..GbdtParams::default() }, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! One benchmark per paper table/figure: each runs the corresponding
+//! experiment at reduced scale, timing the regeneration and printing the
+//! regenerated numbers to stderr for eyeballing against the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mpass_experiments::offline::Metric;
+use mpass_experiments::{
+    ablation, advtrain, commercial, functionality, learning, offline, packers, pem, World,
+    WorldConfig,
+};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn bench_world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let mut cfg = WorldConfig::quick();
+        cfg.attack_samples = 2;
+        World::build(cfg)
+    })
+}
+
+fn bench_pem_ranking(c: &mut Criterion) {
+    let world = bench_world();
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(10));
+    group.bench_function("pem_ranking", |b| {
+        b.iter(|| pem::run(world, 4));
+    });
+    group.finish();
+    eprintln!("{}", pem::run(world, 4).summary());
+}
+
+fn bench_tables_1_2_3(c: &mut Criterion) {
+    let world = bench_world();
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(10));
+    group.bench_function("tables1_2_3_offline", |b| {
+        b.iter(|| offline::run(world));
+    });
+    group.finish();
+    let r = offline::run(world);
+    eprintln!("{}", r.table(Metric::Asr));
+    eprintln!("{}", r.table(Metric::Avq));
+    eprintln!("{}", r.table(Metric::Apr));
+    eprintln!("{}", functionality::run(&r).summary());
+}
+
+fn bench_fig3_commercial(c: &mut Criterion) {
+    let world = bench_world();
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(10));
+    group.bench_function("fig3_commercial_asr", |b| {
+        b.iter(|| commercial::run(world));
+    });
+    group.finish();
+    eprintln!("{}", commercial::run(world).figure3());
+}
+
+fn bench_fig4_learning(c: &mut Criterion) {
+    let world = bench_world();
+    let fig3 = commercial::run(world);
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(10));
+    group.bench_function("fig4_learning", |b| {
+        b.iter(|| learning::run(world, &fig3, 4));
+    });
+    group.finish();
+}
+
+fn bench_table4_packers(c: &mut Criterion) {
+    let world = bench_world();
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(10));
+    group.bench_function("table4_packers", |b| {
+        b.iter(|| packers::run(world, None));
+    });
+    group.finish();
+    eprintln!("{}", packers::run(world, None).table4());
+}
+
+fn bench_tables_5_6_ablation(c: &mut Criterion) {
+    let world = bench_world();
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(10));
+    group.bench_function("tables5_6_ablation", |b| {
+        b.iter(|| ablation::run(world, None));
+    });
+    group.finish();
+    let r = ablation::run(world, None);
+    eprintln!("{}", r.table5());
+    eprintln!("{}", r.table6());
+}
+
+fn bench_advtrain(c: &mut Criterion) {
+    let world = bench_world();
+    let mut group = c.benchmark_group("paper");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(10));
+    group.bench_function("advtrain", |b| {
+        b.iter(|| advtrain::run(world));
+    });
+    group.finish();
+    eprintln!("{}", advtrain::run(world).summary());
+}
+
+criterion_group!(
+    benches,
+    bench_pem_ranking,
+    bench_tables_1_2_3,
+    bench_fig3_commercial,
+    bench_fig4_learning,
+    bench_table4_packers,
+    bench_tables_5_6_ablation,
+    bench_advtrain
+);
+criterion_main!(benches);

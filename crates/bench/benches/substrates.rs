@@ -1,0 +1,70 @@
+//! Microbenchmarks of the PE and MVM substrates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mpass_bench::bench_fixture;
+use mpass_core::recovery::{generate_recovery_stub, EncodedRegion};
+use mpass_core::shuffle::{layout_sequential, layout_shuffled};
+use mpass_pe::PeFile;
+use mpass_vm::Vm;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_pe(c: &mut Criterion) {
+    let (ds, _) = bench_fixture();
+    let bytes = ds.samples[0].bytes.clone();
+    let pe = ds.samples[0].pe.clone();
+    let mut group = c.benchmark_group("pe");
+    group.bench_function("parse", |b| {
+        b.iter(|| PeFile::parse(std::hint::black_box(&bytes)).unwrap())
+    });
+    group.bench_function("serialize", |b| b.iter(|| std::hint::black_box(&pe).to_bytes()));
+    group.bench_function("map_image", |b| b.iter(|| std::hint::black_box(&pe).map_image()));
+    group.bench_function("add_section", |b| {
+        b.iter_batched(
+            || pe.clone(),
+            |mut pe| {
+                pe.add_section(".bx", vec![0xAB; 1024], mpass_pe::SectionFlags::DATA).unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("checksum", |b| b.iter(|| std::hint::black_box(&pe).compute_checksum()));
+    group.finish();
+}
+
+fn bench_vm(c: &mut Criterion) {
+    let (ds, _) = bench_fixture();
+    let mut group = c.benchmark_group("vm");
+    let pe = ds.malware()[0].pe.clone();
+    group.bench_function("execute_malware", |b| b.iter(|| Vm::load(&pe).run()));
+    group.finish();
+}
+
+fn bench_stub(c: &mut Criterion) {
+    let regions = [
+        EncodedRegion { rva: 0x1000, len: 3000, key_rva: 0x8000 },
+        EncodedRegion { rva: 0x3000, len: 2000, key_rva: 0x8C00 },
+    ];
+    let stub = generate_recovery_stub(&regions, 0x1000);
+    let mut group = c.benchmark_group("stub");
+    group.bench_function("generate", |b| {
+        b.iter(|| generate_recovery_stub(std::hint::black_box(&regions), 0x1000))
+    });
+    group.bench_function("layout_sequential", |b| {
+        b.iter(|| layout_sequential(std::hint::black_box(&stub), 0x9000))
+    });
+    group.bench_function("layout_shuffled", |b| {
+        b.iter_batched(
+            || ChaCha8Rng::seed_from_u64(7),
+            |mut rng| {
+                let mut filler = |len: usize| vec![0u8; len];
+                layout_shuffled(&stub, 0x9000, 3, &mut filler, &mut rng)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pe, bench_vm, bench_stub);
+criterion_main!(benches);

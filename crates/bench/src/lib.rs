@@ -1,0 +1,27 @@
+//! # mpass-bench — benchmark support
+//!
+//! The benches live in `benches/`:
+//!
+//! * `substrates` — PE parse/serialize, MVM execution, stub layouting.
+//! * `detectors` — per-detector inference latency and training epochs.
+//! * `attack_pipeline` — modification, optimization and full MPass attack
+//!   cost per sample.
+//! * `paper_tables` — one benchmark group per paper table/figure, running
+//!   the corresponding experiment at reduced scale and reporting the
+//!   regenerated numbers via `eprintln!` alongside the timing.
+//!
+//! This library crate only hosts shared fixtures.
+
+use mpass_corpus::{BenignPool, CorpusConfig, Dataset};
+
+/// A small deterministic corpus + pool fixture shared by the benches.
+pub fn bench_fixture() -> (Dataset, BenignPool) {
+    let ds = Dataset::generate(&CorpusConfig {
+        n_malware: 12,
+        n_benign: 12,
+        seed: 0xBE7C4,
+        no_slack_fraction: 0.1,
+    });
+    let pool = BenignPool::generate(4, 0xBE7C4);
+    (ds, pool)
+}

@@ -1,0 +1,12 @@
+//! The `mpass` command-line entry point; all logic lives in `mpass_cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match mpass_cli::dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(err) => {
+            eprintln!("error: {err}");
+            std::process::exit(1);
+        }
+    }
+}

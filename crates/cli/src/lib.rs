@@ -1,0 +1,403 @@
+//! # mpass-cli — command-line tooling
+//!
+//! The `mpass` binary exposes the reproduction's substrates as inspection
+//! and experimentation tools:
+//!
+//! ```text
+//! mpass gen      --out DIR [--malware N] [--benign N] [--seed S]
+//! mpass inspect  FILE                      # headers, sections, imports, entropy
+//! mpass disasm   FILE [--section NAME]     # MVM disassembly of a code section
+//! mpass run      FILE                      # execute in the sandbox, print API trace
+//! mpass verify   ORIGINAL MODIFIED         # functionality comparison
+//! mpass pack     FILE --packer upx|pespin|aspack --out FILE
+//! mpass attack   FILE --out FILE [--seed S]   # MPass one sample vs MalConv
+//! ```
+//!
+//! Subcommand implementations live here so they can be unit-tested; the
+//! binary in `src/bin/mpass.rs` only parses arguments.
+
+use mpass_corpus::{BenignPool, CorpusConfig, Dataset};
+use mpass_detectors::train::training_pairs;
+use mpass_detectors::{ByteConvConfig, Detector, MalConv, MalGcg, MalGcgConfig};
+use mpass_pe::{PeFile, SectionKind};
+use mpass_sandbox::Sandbox;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Error string type used by all subcommands (messages go straight to the
+/// user).
+pub type CliResult = Result<String, String>;
+
+fn read(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn parse_pe(bytes: &[u8], path: &str) -> Result<PeFile, String> {
+    PeFile::parse(bytes).map_err(|e| format!("{path}: not a valid PE: {e}"))
+}
+
+/// `mpass gen`: write a synthetic corpus to disk.
+pub fn cmd_gen(out_dir: &str, n_malware: usize, n_benign: usize, seed: u64) -> CliResult {
+    let dir = Path::new(out_dir);
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let ds = Dataset::generate(&CorpusConfig {
+        n_malware,
+        n_benign,
+        seed,
+        no_slack_fraction: 0.1,
+    });
+    for s in &ds.samples {
+        let path = dir.join(format!("{}.exe", s.name));
+        std::fs::write(&path, &s.bytes).map_err(|e| format!("write {path:?}: {e}"))?;
+    }
+    Ok(format!(
+        "wrote {} samples ({} malware, {} benign) to {out_dir}",
+        ds.samples.len(),
+        n_malware,
+        n_benign
+    ))
+}
+
+/// `mpass inspect`: structural summary of a PE.
+pub fn cmd_inspect(path: &str) -> CliResult {
+    let bytes = read(path)?;
+    let pe = parse_pe(&bytes, path)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: {} bytes", bytes.len());
+    let _ = writeln!(
+        out,
+        "entry {:#x}  sections {}  image {:#x}  headers {:#x}  timestamp {:#x}",
+        pe.entry_point(),
+        pe.sections().len(),
+        pe.optional().size_of_image,
+        pe.optional().size_of_headers,
+        pe.coff().time_date_stamp,
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:>8} {:>10} {:>10} {:>9} {:>8}  kind",
+        "name", "rva", "vsize", "rawsize", "entropy", "flags"
+    );
+    for s in pe.sections() {
+        let h = s.header();
+        let _ = writeln!(
+            out,
+            "{:<10} {:>8x} {:>10} {:>10} {:>9.3} {:>8x}  {}",
+            s.name(),
+            h.virtual_address,
+            h.virtual_size,
+            h.size_of_raw_data,
+            s.entropy(),
+            h.characteristics.0,
+            s.kind(),
+        );
+    }
+    if !pe.overlay().is_empty() {
+        let _ = writeln!(
+            out,
+            "overlay: {} bytes, entropy {:.3}",
+            pe.overlay().len(),
+            mpass_pe::entropy(pe.overlay())
+        );
+    }
+    match pe.imports() {
+        Ok(Some(table)) => {
+            for dll in &table.dlls {
+                let names: Vec<&str> =
+                    dll.entries.iter().filter_map(|e| e.name()).collect();
+                let _ = writeln!(
+                    out,
+                    "imports {} ({} symbols): {}",
+                    dll.dll,
+                    dll.entries.len(),
+                    names.join(", ")
+                );
+            }
+        }
+        Ok(None) => {
+            let _ = writeln!(out, "imports: none");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "imports: malformed ({e})");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "statically visible suspicious API invocations: {}",
+        mpass_detectors::features::suspicious_api_count(&bytes)
+    );
+    Ok(out)
+}
+
+/// `mpass disasm`: MVM disassembly of a code section.
+pub fn cmd_disasm(path: &str, section: Option<&str>) -> CliResult {
+    let bytes = read(path)?;
+    let pe = parse_pe(&bytes, path)?;
+    let sec = match section {
+        Some(name) => pe
+            .section(name)
+            .ok_or_else(|| format!("no section named {name:?}"))?,
+        None => pe
+            .sections()
+            .iter()
+            .find(|s| s.kind() == SectionKind::Code && !s.data().is_empty())
+            .ok_or_else(|| "no code section".to_owned())?,
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "disassembly of {} ({} bytes):", sec.name(), sec.data().len());
+    let base = sec.header().virtual_address;
+    for (i, chunk) in sec.data().chunks(mpass_vm::INSTR_SIZE).enumerate().take(512) {
+        let addr = base + (i * mpass_vm::INSTR_SIZE) as u32;
+        match mpass_vm::Instr::decode(chunk) {
+            Ok(instr) => {
+                let _ = writeln!(out, "  {addr:#08x}  {instr}");
+            }
+            Err(_) => {
+                let _ = writeln!(out, "  {addr:#08x}  (data) {chunk:02x?}");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `mpass run`: execute a PE in the sandbox.
+pub fn cmd_run(path: &str) -> CliResult {
+    let bytes = read(path)?;
+    let pe = parse_pe(&bytes, path)?;
+    let exec = Sandbox::new().run_pe(&pe);
+    let mut out = String::new();
+    let _ = writeln!(out, "outcome: {:?} after {} instructions", exec.outcome, exec.steps);
+    for ev in &exec.trace {
+        let marker = if ev.api.is_suspicious() { "!" } else { " " };
+        let _ = writeln!(out, " {marker} {} (arg {:#x})", ev.api, ev.arg);
+    }
+    let _ = writeln!(out, "suspicious calls: {}", exec.suspicious_calls().len());
+    Ok(out)
+}
+
+/// `mpass verify`: behaviour comparison of two files.
+pub fn cmd_verify(original: &str, modified: &str) -> CliResult {
+    let a = read(original)?;
+    let b = read(modified)?;
+    let verdict = Sandbox::new().verify_functionality(&a, &b);
+    Ok(format!("functionality: {verdict}"))
+}
+
+/// `mpass pack`: apply one of the simulated packers.
+pub fn cmd_pack(path: &str, packer_name: &str, out_path: &str) -> CliResult {
+    let bytes = read(path)?;
+    let pe = parse_pe(&bytes, path)?;
+    let profile = mpass_baselines::packer_profiles()
+        .into_iter()
+        .find(|p| p.name.eq_ignore_ascii_case(packer_name))
+        .ok_or_else(|| format!("unknown packer {packer_name:?} (upx|pespin|aspack)"))?;
+    let packed = mpass_baselines::Packer::new(profile)
+        .pack(&pe)
+        .map_err(|e| format!("packing failed: {e}"))?;
+    std::fs::write(out_path, &packed).map_err(|e| format!("write {out_path}: {e}"))?;
+    Ok(format!("packed with {} -> {out_path} ({} bytes)", profile.name, packed.len()))
+}
+
+/// `mpass attack`: run the full MPass pipeline on one file against a
+/// freshly trained MalConv (demonstration scale).
+pub fn cmd_attack(path: &str, out_path: &str, seed: u64) -> CliResult {
+    use mpass_core::{Attack, HardLabelTarget, MPassAttack, MPassConfig};
+    let bytes = read(path)?;
+    let pe = parse_pe(&bytes, path)?;
+    let sample = mpass_corpus::Sample::new(
+        Path::new(path).file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default(),
+        mpass_corpus::Label::Malware,
+        pe,
+    );
+    // Demonstration world: small corpus, tiny models.
+    let ds = Dataset::generate(&CorpusConfig {
+        n_malware: 24,
+        n_benign: 24,
+        seed,
+        no_slack_fraction: 0.0,
+    });
+    let samples: Vec<_> = ds.samples.iter().collect();
+    let pairs = training_pairs(&samples);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut target = MalConv::new(ByteConvConfig::tiny(), &mut rng);
+    target.train(&pairs, 5, 5e-3, &mut rng);
+    let mut surrogate = MalGcg::new(MalGcgConfig::tiny(), &mut rng);
+    surrogate.train(&pairs, 5, 5e-3, &mut rng);
+    let pool = BenignPool::generate(8, seed ^ 0xB00);
+
+    let initial = target.classify(&sample.bytes);
+    let mut attack = MPassAttack::new(vec![&surrogate], &pool, MPassConfig::default());
+    let mut oracle = HardLabelTarget::new(&target, 100);
+    let outcome = attack.attack(&sample, &mut oracle);
+    let mut out = String::new();
+    let _ = writeln!(out, "target MalConv verdict on input: {initial}");
+    let _ = writeln!(
+        out,
+        "attack: evaded={} queries={} size {} -> {}",
+        outcome.evaded, outcome.queries, outcome.original_size, outcome.final_size
+    );
+    if let Some(ae) = outcome.adversarial {
+        let verdict = Sandbox::new().verify_functionality(&sample.bytes, &ae);
+        let _ = writeln!(out, "functionality: {verdict}");
+        std::fs::write(out_path, &ae).map_err(|e| format!("write {out_path}: {e}"))?;
+        let _ = writeln!(out, "adversarial example written to {out_path}");
+    }
+    Ok(out)
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+mpass — MPass (DAC 2023) reproduction toolkit
+
+USAGE:
+  mpass gen --out DIR [--malware N] [--benign N] [--seed S]
+  mpass inspect FILE
+  mpass disasm FILE [--section NAME]
+  mpass run FILE
+  mpass verify ORIGINAL MODIFIED
+  mpass pack FILE --packer upx|pespin|aspack --out FILE
+  mpass attack FILE --out FILE [--seed S]
+";
+
+/// Tiny flag parser: `--name value` pairs after positional arguments.
+pub fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+/// Dispatch a parsed command line (everything after the program name).
+pub fn dispatch(args: &[String]) -> CliResult {
+    let cmd = args.first().map(|s| s.as_str()).unwrap_or("");
+    let positional: Vec<&String> =
+        args.iter().skip(1).take_while(|a| !a.starts_with("--")).collect();
+    let seed = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(0xDAC2023);
+    match cmd {
+        "gen" => {
+            let out = flag(args, "--out").ok_or("gen requires --out DIR")?;
+            let m = flag(args, "--malware").and_then(|s| s.parse().ok()).unwrap_or(10);
+            let b = flag(args, "--benign").and_then(|s| s.parse().ok()).unwrap_or(10);
+            cmd_gen(out, m, b, seed)
+        }
+        "inspect" => cmd_inspect(positional.first().ok_or("inspect requires FILE")?),
+        "disasm" => cmd_disasm(
+            positional.first().ok_or("disasm requires FILE")?,
+            flag(args, "--section"),
+        ),
+        "run" => cmd_run(positional.first().ok_or("run requires FILE")?),
+        "verify" => {
+            let orig = positional.first().ok_or("verify requires ORIGINAL MODIFIED")?;
+            let modified = positional.get(1).ok_or("verify requires ORIGINAL MODIFIED")?;
+            cmd_verify(orig, modified)
+        }
+        "pack" => cmd_pack(
+            positional.first().ok_or("pack requires FILE")?,
+            flag(args, "--packer").ok_or("pack requires --packer")?,
+            flag(args, "--out").ok_or("pack requires --out FILE")?,
+        ),
+        "attack" => cmd_attack(
+            positional.first().ok_or("attack requires FILE")?,
+            flag(args, "--out").ok_or("attack requires --out FILE")?,
+            seed,
+        ),
+        "" | "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mpass-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn gen_inspect_run_verify_round_trip() {
+        let dir = tempdir();
+        let out = dir.join("corpus");
+        let msg = dispatch(&strings(&[
+            "gen",
+            "--out",
+            out.to_str().unwrap(),
+            "--malware",
+            "2",
+            "--benign",
+            "1",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        assert!(msg.contains("wrote 3 samples"));
+        let mal = out.join("mal_0.exe");
+        let mal_str = mal.to_str().unwrap();
+
+        let info = dispatch(&strings(&["inspect", mal_str])).unwrap();
+        assert!(info.contains(".data"));
+        assert!(info.contains("suspicious API invocations"));
+
+        let dis = dispatch(&strings(&["disasm", mal_str])).unwrap();
+        assert!(dis.contains("callapi"));
+
+        let run = dispatch(&strings(&["run", mal_str])).unwrap();
+        assert!(run.contains("Halted"));
+        assert!(run.contains("suspicious calls"));
+
+        let verify = dispatch(&strings(&["verify", mal_str, mal_str])).unwrap();
+        assert!(verify.contains("preserved"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pack_produces_functional_output() {
+        let dir = tempdir();
+        let out = dir.join("c2");
+        dispatch(&strings(&["gen", "--out", out.to_str().unwrap(), "--malware", "1", "--benign", "0"]))
+            .unwrap();
+        let mal = out.join("mal_0.exe");
+        let packed = out.join("packed.exe");
+        let msg = dispatch(&strings(&[
+            "pack",
+            mal.to_str().unwrap(),
+            "--packer",
+            "upx",
+            "--out",
+            packed.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("packed with UPX"));
+        let verify = dispatch(&strings(&[
+            "verify",
+            mal.to_str().unwrap(),
+            packed.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(verify.contains("preserved"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_command_and_help() {
+        assert!(dispatch(&strings(&["bogus"])).is_err());
+        assert!(dispatch(&strings(&["help"])).unwrap().contains("USAGE"));
+        assert!(dispatch(&[]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn flag_parser() {
+        let args = strings(&["cmd", "pos", "--out", "x", "--seed", "7"]);
+        assert_eq!(flag(&args, "--out"), Some("x"));
+        assert_eq!(flag(&args, "--seed"), Some("7"));
+        assert_eq!(flag(&args, "--nope"), None);
+    }
+}

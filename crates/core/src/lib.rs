@@ -1,0 +1,40 @@
+//! # mpass-core — the MPass attack
+//!
+//! Implementation of *MPass: Bypassing Learning-based Static Malware
+//! Detectors* (DAC 2023). The attack is a hard-label black-box evasion
+//! pipeline with three components, mapped to modules:
+//!
+//! 1. **[`pem`]** — the Problem-space Explainability Method (Algorithm 1):
+//!    Shapley values over PE sections on an ensemble of known models,
+//!    identifying code and data sections as the common critical positions.
+//! 2. **[`recovery`] + [`shuffle`] + [`modify`]** — malware modification
+//!    (§III-C): encode the critical sections with additive keys, inject a
+//!    runtime-recovery stub into a new section (or fall back to overlay
+//!    appending when the section table is full), retarget the entry point,
+//!    and shuffle the stub's instructions with jump chains and benign
+//!    filler so the stub carries no fixed byte pattern.
+//! 3. **[`optimize`]** — perturbation optimization (§III-D, Eq. 2–3):
+//!    perturbable bytes are lifted into each known model's embedding
+//!    space, driven toward the benign label by Adam under the key-coupling
+//!    matrix `M`, and mapped back to discrete bytes.
+//!
+//! [`attack::MPassAttack`] glues the pipeline into the paper's query loop
+//! (Fig. 1): modify → query → optimize → query … until the hard-label
+//! target accepts the sample or the query budget is exhausted.
+//!
+//! The [`attack::Attack`] trait and [`attack::metrics`] (ASR/AVQ/APR) are
+//! shared with the baselines in `mpass-baselines`.
+
+pub mod attack;
+pub mod modify;
+pub mod optimize;
+pub mod pem;
+pub mod recovery;
+pub mod shuffle;
+
+pub use attack::{Attack, AttackOutcome, HardLabelTarget, MPassAttack, MPassConfig};
+pub use modify::{ModificationConfig, ModificationMode, ModifiedSample, ModifyError};
+pub use optimize::OptimizerConfig;
+pub use pem::{PemConfig, PemReport};
+pub use recovery::{generate_recovery_stub, EncodedRegion, StubInstr};
+pub use shuffle::{layout_sequential, layout_shuffled, StubLayout};

@@ -1,0 +1,29 @@
+//! # mpass-corpus — synthetic sample generation
+//!
+//! The paper evaluates on 2000 PE malware samples from VirusTotal /
+//! VirusShare plus 50 000 benign programs. Neither is available offline, so
+//! this crate generates a *synthetic* corpus with the properties the
+//! experiments actually depend on:
+//!
+//! 1. Samples are real [`mpass_pe::PeFile`] images with realistic section
+//!    layouts (`.text`/`.data`/`.rdata`/`.rsrc`/…).
+//! 2. Every sample contains an executable MVM program; *malware* performs
+//!    suspicious API calls whose **arguments are read from the data
+//!    section**, so corrupting code or data without runtime recovery
+//!    visibly breaks behaviour — the property that makes
+//!    functionality-preservation a real constraint rather than a no-op.
+//! 3. Malware and benign files differ in the statistical features real
+//!    detectors learn: suspicious API-call opcodes in code, high-entropy
+//!    encrypted payloads in data, suspicious strings, odd section names and
+//!    timestamps. Labels are ground truth by construction.
+//!
+//! [`BenignPool`] additionally supplies "contents from a randomly selected
+//! benign program" — the initial perturbations of MPass §III-C.
+
+mod behavior;
+mod generator;
+mod pool;
+
+pub use behavior::{synthesize_program, BehaviorSpec};
+pub use generator::{CorpusConfig, Dataset, Label, Sample};
+pub use pool::BenignPool;

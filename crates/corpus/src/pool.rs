@@ -1,0 +1,229 @@
+//! The benign-content pool.
+//!
+//! MPass initializes perturbations with "contexts from a randomly selected
+//! benign program" (§III-C); the paper collects **50 000** benign
+//! programs, so two adversarial examples essentially never share benign
+//! cover content. A pool that stored only a handful of generated programs
+//! would silently break that property — repeated cover chunks become
+//! byte-level patterns that the commercial AVs' n-gram learning (Fig. 4)
+//! mines like any fixed stub. [`BenignPool::generate`] therefore acts as a
+//! *synthesizer*: every [`BenignPool::random_chunk`] call composes fresh
+//! benign-program content (neutral string tables, structured data records,
+//! arithmetic code) so cross-sample overlap matches the 50 000-program
+//! reality.
+//!
+//! [`BenignPool::from_chunks`] retains verbatim-window semantics for
+//! callers that *want* a fixed library (tests and the Table VI random-data
+//! control).
+
+use crate::generator::{string_table, structured_data, NEUTRAL_STRINGS};
+use mpass_vm::{Instr, Reg};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// A pool of benign program content for perturbation initialization.
+#[derive(Debug, Clone)]
+pub struct BenignPool {
+    /// Verbatim chunks (only used by [`BenignPool::from_chunks`] pools).
+    chunks: Vec<Vec<u8>>,
+    /// Whether `random_chunk` synthesizes fresh content (generated pools)
+    /// or windows the stored chunks (fixed-library pools).
+    synthesize: bool,
+    /// Entropy-stream seed folded into synthesis (so distinct pools
+    /// produce distinct content even under identical caller RNGs).
+    seed: u64,
+}
+
+impl BenignPool {
+    /// Build a synthesizing pool. `n_programs` scales nothing directly —
+    /// it is kept for API symmetry with the paper's "collect N benign
+    /// programs" step and folded into the seed.
+    pub fn generate(n_programs: usize, seed: u64) -> BenignPool {
+        BenignPool {
+            chunks: Vec::new(),
+            synthesize: true,
+            seed: seed ^ (n_programs as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Build a fixed-library pool from byte chunks; `random_chunk` returns
+    /// verbatim windows (tiled when short).
+    pub fn from_chunks(chunks: Vec<Vec<u8>>) -> BenignPool {
+        BenignPool { chunks, synthesize: false, seed: 0 }
+    }
+
+    /// Number of stored verbatim chunks (0 for synthesizing pools).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Sample `len` bytes of benign content.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a fixed-library pool is empty.
+    pub fn random_chunk<R: Rng + ?Sized>(&self, len: usize, rng: &mut R) -> Vec<u8> {
+        if self.synthesize {
+            let mut srng = ChaCha8Rng::seed_from_u64(self.seed ^ rng.gen::<u64>());
+            return synthesize_benign(len, &mut srng);
+        }
+        assert!(!self.chunks.is_empty(), "benign pool is empty");
+        let chunk = &self.chunks[rng.gen_range(0..self.chunks.len())];
+        let mut out = Vec::with_capacity(len);
+        if chunk.len() >= len {
+            let start = rng.gen_range(0..=chunk.len() - len);
+            out.extend_from_slice(&chunk[start..start + len]);
+        } else {
+            while out.len() < len {
+                let take = (len - out.len()).min(chunk.len());
+                out.extend_from_slice(&chunk[..take]);
+            }
+        }
+        out
+    }
+}
+
+/// Benign-looking code: arithmetic/immediate instructions whose encodings
+/// carry fresh random immediates, ending segments unpredictably.
+fn benign_code<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len + 8);
+    while out.len() < len {
+        // Registers drawn from the same range corpus programs use, so the
+        // register-register encodings here are the idioms every benign
+        // file exhibits; random immediates dominate the byte stream.
+        let a = Reg::ALL[rng.gen_range(0..4)];
+        let b = Reg::ALL[rng.gen_range(0..4)];
+        let instr = match rng.gen_range(0..5) {
+            0 | 3 => Instr::Movi(a, rng.gen()),
+            1 => Instr::Addi(a, rng.gen()),
+            2 => Instr::Xor(a, b),
+            _ => Instr::Ld8(a, b, rng.gen_range(0..4096)),
+        };
+        // Same emission convention as the corpus generator: don't-care
+        // encoding bytes carry arbitrary values (byte-dense code).
+        let mut bytes = instr.encode();
+        for (j, free) in instr.dont_care_mask().iter().enumerate() {
+            if *free {
+                bytes[j] = rng.gen();
+            }
+        }
+        out.extend_from_slice(&bytes);
+    }
+    out.truncate(len);
+    out
+}
+
+/// Compose one fresh benign content block from the same generators the
+/// benign corpus uses.
+fn synthesize_benign<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    while out.len() < len {
+        let seg = (len - out.len()).min(rng.gen_range(128..=1024));
+        match rng.gen_range(0..4) {
+            0 => out.extend_from_slice(&string_table(NEUTRAL_STRINGS, seg, rng)),
+            1 => out.extend_from_slice(&structured_data(seg, rng)),
+            2 => out.extend_from_slice(&benign_code(seg, rng)),
+            _ => {
+                // Padding-like runs of one byte value. The value is drawn
+                // per segment: a deterministic fill (e.g. zero) would make
+                // the recovery keys over it mirror the covered original
+                // (`key = fill − x`), and the mirrored form of cross-sample
+                // idioms would be minable.
+                let fill: u8 = rng.gen();
+                out.extend(std::iter::repeat(fill).take(seg));
+            }
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chunks_have_requested_length() {
+        let pool = BenignPool::generate(2, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for len in [1usize, 64, 1000, 20_000] {
+            assert_eq!(pool.random_chunk(len, &mut rng).len(), len);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let p1 = BenignPool::generate(2, 9);
+        let p2 = BenignPool::generate(2, 9);
+        let mut r1 = ChaCha8Rng::seed_from_u64(3);
+        let mut r2 = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(p1.random_chunk(256, &mut r1), p2.random_chunk(256, &mut r2));
+    }
+
+    #[test]
+    fn synthesized_content_is_benign_statistics() {
+        let pool = BenignPool::generate(4, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let chunk = pool.random_chunk(16 * 1024, &mut rng);
+        let h = mpass_pe::entropy(&chunk);
+        assert!(h < 7.0, "synthesized content too random: {h}");
+        assert!(h > 0.5, "synthesized content degenerate: {h}");
+    }
+
+    /// The property that keeps Figure 4 honest: independent draws share
+    /// almost no 12-byte n-grams beyond the globally shared string-table
+    /// content.
+    #[test]
+    fn independent_draws_share_few_grams() {
+        let pool = BenignPool::generate(4, 1);
+        let mut r1 = ChaCha8Rng::seed_from_u64(100);
+        let mut r2 = ChaCha8Rng::seed_from_u64(200);
+        let a = pool.random_chunk(8192, &mut r1);
+        let b = pool.random_chunk(8192, &mut r2);
+        // Exclude grams that come from the shared neutral string pool and
+        // zero padding (those appear in every benign file and are excluded
+        // from AV mining by the clean reference anyway).
+        let neutral: std::collections::HashSet<&[u8]> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            let strings = string_table(NEUTRAL_STRINGS, 8192, &mut rng);
+            Box::leak(strings.into_boxed_slice()).windows(12).collect()
+        };
+        let grams_a: std::collections::HashSet<&[u8]> = a
+            .windows(12)
+            .filter(|w| !neutral.contains(*w) && w.iter().any(|&x| x != 0))
+            .collect();
+        let shared = b
+            .windows(12)
+            .filter(|w| grams_a.contains(w))
+            .count();
+        assert!(shared < 30, "{shared} shared non-neutral grams between draws");
+    }
+
+    #[test]
+    fn short_chunk_tiles() {
+        let pool = BenignPool::from_chunks(vec![vec![1, 2, 3]]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let c = pool.random_chunk(8, &mut rng);
+        assert_eq!(c, vec![1, 2, 3, 1, 2, 3, 1, 2]);
+    }
+
+    #[test]
+    fn fixed_library_pool_windows_chunks() {
+        let pool = BenignPool::from_chunks(vec![(0..=255u8).collect()]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let c = pool.random_chunk(16, &mut rng);
+        // A verbatim window: consecutive byte values.
+        assert!(c.windows(2).all(|w| w[1] == w[0].wrapping_add(1)));
+        assert_eq!(pool.chunk_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "benign pool is empty")]
+    fn empty_fixed_pool_panics() {
+        let pool = BenignPool::from_chunks(vec![]);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = pool.random_chunk(4, &mut rng);
+    }
+}

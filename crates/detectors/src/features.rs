@@ -1,0 +1,310 @@
+//! EMBER-style static feature extraction for the tree/dense detectors.
+//!
+//! Features cover exactly the signal families real PE detectors use:
+//! byte-distribution statistics, per-section-kind structure and entropy,
+//! header metadata, statically visible API invocations (the "invocations to
+//! sensitive APIs" the paper names as carried by code sections), and string
+//! indicators. Unparseable files fall back to whole-file byte statistics.
+
+use mpass_pe::{entropy, window_entropy, PeFile, SectionKind};
+use mpass_vm::{api, INSTR_SIZE};
+use serde::{Deserialize, Serialize};
+
+/// Number of coarse byte-histogram buckets.
+const HIST_BUCKETS: usize = 32;
+/// Section kinds receiving dedicated feature slots.
+const KINDS: [SectionKind; 6] = [
+    SectionKind::Code,
+    SectionKind::Data,
+    SectionKind::ReadOnlyData,
+    SectionKind::Resource,
+    SectionKind::Relocation,
+    SectionKind::Other,
+];
+/// Substrings whose presence is a string-indicator feature.
+const SUSPICIOUS_STRINGS: &[&str] =
+    &["http://", "ENCRYPT", "vssadmin", "stratum+", "\\Run\\", "botnet_"];
+
+/// Dual-use import names that receive an indicator feature.
+const DUAL_USE_IMPORTS: &[&str] =
+    &["VirtualAllocEx", "WriteProcessMemory", "CreateRemoteThread", "AdjustTokenPrivileges"];
+
+/// Total feature dimensionality.
+pub const FEATURE_DIM: usize = HIST_BUCKETS     // byte histogram
+    + 4                                          // global: entropy, log-size, max/mean window entropy
+    + 6                                          // header features
+    + KINDS.len() * 3                            // per-kind: present, size ratio, entropy
+    + 32                                         // static API call counts (ids 1..=32)
+    + SUSPICIOUS_STRINGS.len()                   // string indicators
+    + 3                                          // overlay: present, size ratio, entropy
+    + 4; // imports: present, dll count, symbol count, dual-use fraction
+
+/// Stateless extractor producing fixed-size feature vectors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureExtractor;
+
+impl FeatureExtractor {
+    /// Create an extractor.
+    pub fn new() -> Self {
+        FeatureExtractor
+    }
+
+    /// The dimensionality of extracted vectors.
+    pub fn dim(&self) -> usize {
+        FEATURE_DIM
+    }
+
+    /// Extract features from raw file bytes.
+    pub fn extract(&self, bytes: &[u8]) -> Vec<f32> {
+        let mut f = Vec::with_capacity(FEATURE_DIM);
+        // --- byte histogram (coarse, normalized) ---
+        let hist = mpass_pe::byte_histogram(bytes);
+        let total = bytes.len().max(1) as f32;
+        for bucket in 0..HIST_BUCKETS {
+            let lo = bucket * (256 / HIST_BUCKETS);
+            let hi = lo + 256 / HIST_BUCKETS;
+            let count: u64 = hist[lo..hi].iter().sum();
+            f.push(count as f32 / total);
+        }
+        // --- global statistics ---
+        f.push(entropy(bytes) as f32 / 8.0);
+        f.push((bytes.len() as f32).ln() / 16.0);
+        let windows = window_entropy(bytes, 256);
+        let max_we = windows.iter().cloned().fold(0.0f64, f64::max);
+        let mean_we = windows.iter().sum::<f64>() / windows.len().max(1) as f64;
+        f.push(max_we as f32 / 8.0);
+        f.push(mean_we as f32 / 8.0);
+
+        let pe = PeFile::parse(bytes).ok();
+        // --- header features ---
+        match &pe {
+            Some(pe) => {
+                f.push(pe.sections().len() as f32 / 16.0);
+                let ts = pe.coff().time_date_stamp;
+                f.push(if ts == 0 || ts > 0x7000_0000 { 1.0 } else { 0.0 });
+                f.push((ts as f32) / (u32::MAX as f32));
+                let entry = pe.entry_point();
+                let entry_idx = pe.section_index_containing_rva(entry).unwrap_or(0);
+                f.push(entry_idx as f32 / 16.0);
+                let last = pe.sections().len().saturating_sub(1);
+                f.push(if entry_idx == last && last > 0 { 1.0 } else { 0.0 });
+                let std_names = pe
+                    .sections()
+                    .iter()
+                    .filter(|s| {
+                        matches!(
+                            s.name().as_str(),
+                            ".text" | ".data" | ".rdata" | ".rsrc" | ".reloc" | ".bss" | ".idata" | ".tls"
+                        )
+                    })
+                    .count();
+                f.push(1.0 - std_names as f32 / pe.sections().len().max(1) as f32);
+            }
+            None => f.extend_from_slice(&[0.0; 6]),
+        }
+        // --- per-kind section features ---
+        match &pe {
+            Some(pe) => {
+                for kind in KINDS {
+                    let secs: Vec<_> =
+                        pe.sections().iter().filter(|s| s.kind() == kind).collect();
+                    if secs.is_empty() {
+                        f.extend_from_slice(&[0.0, 0.0, 0.0]);
+                    } else {
+                        let size: usize = secs.iter().map(|s| s.data().len()).sum();
+                        let mut all = Vec::with_capacity(size);
+                        for s in &secs {
+                            all.extend_from_slice(s.data());
+                        }
+                        f.push(1.0);
+                        f.push(size as f32 / total);
+                        f.push(entropy(&all) as f32 / 8.0);
+                    }
+                }
+            }
+            None => f.extend_from_slice(&[0.0; 18]),
+        }
+        // --- static API invocation counts ---
+        let api_counts = count_api_opcodes(bytes);
+        let code_units = (bytes.len() / INSTR_SIZE).max(1) as f32;
+        for id in 1..=32u16 {
+            f.push(*api_counts.get(&id).unwrap_or(&0) as f32 * 64.0 / code_units);
+        }
+        // --- string indicators ---
+        for s in SUSPICIOUS_STRINGS {
+            f.push(if contains_subslice(bytes, s.as_bytes()) { 1.0 } else { 0.0 });
+        }
+        // --- overlay features ---
+        match &pe {
+            Some(pe) if !pe.overlay().is_empty() => {
+                f.push(1.0);
+                f.push(pe.overlay().len() as f32 / total);
+                f.push(entropy(pe.overlay()) as f32 / 8.0);
+            }
+            _ => f.extend_from_slice(&[0.0, 0.0, 0.0]),
+        }
+        // --- import-table features ---
+        match pe.as_ref().and_then(|pe| pe.imports().ok().flatten()) {
+            Some(table) => {
+                let names = table.names();
+                let dual = names
+                    .iter()
+                    .filter(|n| DUAL_USE_IMPORTS.contains(&n.as_ref()))
+                    .count();
+                f.push(1.0);
+                f.push(table.dlls.len() as f32 / 16.0);
+                f.push(table.symbol_count() as f32 / 128.0);
+                f.push(dual as f32 / names.len().max(1) as f32);
+            }
+            None => f.extend_from_slice(&[0.0; 4]),
+        }
+        debug_assert_eq!(f.len(), FEATURE_DIM);
+        f
+    }
+}
+
+/// Count statically visible `CallApi` encodings anywhere in the file (any
+/// byte offset — detectors cannot assume instruction alignment).
+fn count_api_opcodes(bytes: &[u8]) -> std::collections::HashMap<u16, usize> {
+    let mut counts = std::collections::HashMap::new();
+    if bytes.len() < INSTR_SIZE {
+        return counts;
+    }
+    for i in 0..=bytes.len() - INSTR_SIZE {
+        // CallApi encodes as [0x30, 0, 0, 0, id_lo, id_hi, 0, 0].
+        if bytes[i] == 0x30
+            && bytes[i + 1] == 0
+            && bytes[i + 2] == 0
+            && bytes[i + 3] == 0
+            && bytes[i + 6] == 0
+            && bytes[i + 7] == 0
+        {
+            let id = u16::from_le_bytes([bytes[i + 4], bytes[i + 5]]);
+            if (1..=32).contains(&id) {
+                *counts.entry(id).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Count of statically visible *suspicious* API invocations — a convenience
+/// used by tests and the ablation analysis.
+pub fn suspicious_api_count(bytes: &[u8]) -> usize {
+    count_api_opcodes(bytes)
+        .iter()
+        .filter(|(id, _)| api::ApiId(**id).is_suspicious())
+        .map(|(_, c)| *c)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpass_corpus::{CorpusConfig, Dataset};
+
+    fn tiny() -> Dataset {
+        Dataset::generate(&CorpusConfig {
+            n_malware: 8,
+            n_benign: 8,
+            seed: 11,
+            no_slack_fraction: 0.0,
+        })
+    }
+
+    #[test]
+    fn dimension_is_stable() {
+        let fx = FeatureExtractor::new();
+        let ds = tiny();
+        for s in &ds.samples {
+            assert_eq!(fx.extract(&s.bytes).len(), FEATURE_DIM);
+        }
+        // Non-PE garbage still extracts.
+        assert_eq!(fx.extract(&[0u8; 100]).len(), FEATURE_DIM);
+        assert_eq!(fx.extract(&[]).len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn features_are_finite_and_bounded() {
+        let fx = FeatureExtractor::new();
+        for s in &tiny().samples {
+            for (i, v) in fx.extract(&s.bytes).iter().enumerate() {
+                assert!(v.is_finite(), "feature {i} not finite");
+                assert!(*v >= 0.0, "feature {i} negative: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn malware_has_suspicious_api_features() {
+        let ds = tiny();
+        for s in ds.malware() {
+            assert!(suspicious_api_count(&s.bytes) >= 3, "{}", s.name);
+        }
+        for s in ds.benign() {
+            assert!(suspicious_api_count(&s.bytes) <= 1, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn classes_are_separable_in_feature_space() {
+        // A trivial centroid classifier over our features must beat chance
+        // comfortably, otherwise detectors have nothing to learn.
+        let fx = FeatureExtractor::new();
+        let ds = tiny();
+        let mean = |samples: &[&mpass_corpus::Sample]| -> Vec<f32> {
+            let mut m = vec![0.0f32; FEATURE_DIM];
+            for s in samples {
+                for (mi, v) in m.iter_mut().zip(fx.extract(&s.bytes)) {
+                    *mi += v;
+                }
+            }
+            m.iter().map(|v| v / samples.len() as f32).collect()
+        };
+        let mal_c = mean(&ds.malware());
+        let ben_c = mean(&ds.benign());
+        let dist = |a: &[f32], b: &[f32]| -> f32 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        };
+        let mut correct = 0;
+        for s in &ds.samples {
+            let f = fx.extract(&s.bytes);
+            let pred_mal = dist(&f, &mal_c) < dist(&f, &ben_c);
+            if pred_mal == (s.label == mpass_corpus::Label::Malware) {
+                correct += 1;
+            }
+        }
+        // The corpus deliberately avoids linear shortcuts (packed benign,
+        // dropper malware, neutral strings); a naive centroid only needs to
+        // beat chance clearly.
+        assert!(correct >= 12, "centroid classifier got {correct}/16");
+    }
+
+    #[test]
+    fn overlay_features_respond() {
+        let fx = FeatureExtractor::new();
+        let ds = tiny();
+        let s = &ds.samples[0];
+        let base = fx.extract(&s.bytes);
+        let mut pe = s.pe.clone();
+        pe.append_overlay(&[0xAB; 2048]);
+        let with = fx.extract(&pe.to_bytes());
+        let off = FEATURE_DIM - 7; // overlay features precede the 4 import features
+        assert_eq!(base[off], 0.0);
+        assert_eq!(with[off], 1.0);
+        assert!(with[off + 1] > 0.0);
+    }
+
+    #[test]
+    fn api_counter_detects_unaligned_patterns() {
+        let mut bytes = vec![0u8; 64];
+        // Place a CallApi(20) pattern at an odd offset.
+        let enc = mpass_vm::Instr::CallApi(mpass_vm::api::ENCRYPT_USER_FILES).encode();
+        bytes[13..21].copy_from_slice(&enc);
+        assert_eq!(suspicious_api_count(&bytes), 1);
+    }
+}

@@ -1,0 +1,297 @@
+//! MalGCG — the paper's fourth offline model, standing in for "Classifying
+//! sequences of extreme length with constant memory" (Raff et al., 2021).
+//!
+//! Architecturally distinct from MalConv: two *stacked* byte convolutions
+//! (a local feature layer feeding a coarse aggregation layer) with
+//! concatenated mean- and max-pooling, so its critical byte regions and
+//! gradients differ from the MalConv family — which is what makes it a
+//! meaningful fourth transfer target.
+
+use crate::traits::{Detector, WhiteBoxModel};
+use mpass_ml::{
+    bce_with_logits, bce_with_logits_backward, global_max_pool, global_max_pool_backward,
+    relu, relu_backward, sigmoid, Adam, Conv1d, Embedding, Linear,
+};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::malconv::{PAD, VOCAB};
+
+/// Hyper-parameters for [`MalGcg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MalGcgConfig {
+    /// Leading file bytes consumed.
+    pub window: usize,
+    /// Embedding dimensionality.
+    pub embed_dim: usize,
+    /// First-layer channels.
+    pub ch1: usize,
+    /// First-layer kernel/stride (byte positions).
+    pub kernel1: usize,
+    /// First-layer stride.
+    pub stride1: usize,
+    /// Second-layer channels.
+    pub ch2: usize,
+    /// Second-layer kernel (over layer-1 windows).
+    pub kernel2: usize,
+    /// Second-layer stride.
+    pub stride2: usize,
+    /// Dense head width.
+    pub hidden: usize,
+}
+
+impl Default for MalGcgConfig {
+    fn default() -> Self {
+        MalGcgConfig {
+            window: 16 * 1024,
+            embed_dim: 4,
+            ch1: 12,
+            kernel1: 128,
+            stride1: 64,
+            ch2: 16,
+            kernel2: 4,
+            stride2: 2,
+            hidden: 16,
+        }
+    }
+}
+
+impl MalGcgConfig {
+    /// Tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        MalGcgConfig {
+            window: 4096,
+            embed_dim: 4,
+            ch1: 6,
+            kernel1: 32,
+            stride1: 32,
+            ch2: 8,
+            kernel2: 4,
+            stride2: 2,
+            hidden: 8,
+        }
+    }
+}
+
+/// The MalGCG detector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MalGcg {
+    config: MalGcgConfig,
+    embedding: Embedding,
+    conv1: Conv1d,
+    conv2: Conv1d,
+    head1: Linear,
+    head2: Linear,
+    threshold: f32,
+}
+
+struct Activations {
+    tokens: Vec<usize>,
+    x: Vec<f32>,
+    c1: Vec<f32>,
+    r1: Vec<f32>,
+    c2: Vec<f32>,
+    r2: Vec<f32>,
+    argmax: Vec<usize>,
+    pooled: Vec<f32>, // max ++ mean, length 2*ch2
+    a1: Vec<f32>,
+    h1: Vec<f32>,
+    logit: f32,
+}
+
+impl MalGcg {
+    /// Fresh untrained model.
+    pub fn new<R: Rng + ?Sized>(config: MalGcgConfig, rng: &mut R) -> Self {
+        MalGcg {
+            config,
+            embedding: Embedding::new(VOCAB, config.embed_dim, rng),
+            conv1: Conv1d::new(config.embed_dim, config.ch1, config.kernel1, config.stride1, rng),
+            conv2: Conv1d::new(config.ch1, config.ch2, config.kernel2, config.stride2, rng),
+            head1: Linear::new(config.ch2 * 2, config.hidden, rng),
+            head2: Linear::new(config.hidden, 1, rng),
+            threshold: 0.5,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &MalGcgConfig {
+        &self.config
+    }
+
+    fn tokenize(&self, bytes: &[u8]) -> Vec<usize> {
+        (0..self.config.window)
+            .map(|i| bytes.get(i).map(|&b| b as usize).unwrap_or(PAD))
+            .collect()
+    }
+
+    fn forward(&self, bytes: &[u8]) -> Activations {
+        let ch2 = self.config.ch2;
+        let tokens = self.tokenize(bytes);
+        let x = self.embedding.forward(&tokens);
+        let c1 = self.conv1.forward(&x);
+        let r1 = relu(&c1);
+        let c2 = self.conv2.forward(&r1);
+        let r2 = relu(&c2);
+        let (maxed, argmax) = global_max_pool(&r2, ch2);
+        let windows2 = r2.len() / ch2;
+        let mut mean = vec![0.0f32; ch2];
+        for w in 0..windows2 {
+            for c in 0..ch2 {
+                mean[c] += r2[w * ch2 + c];
+            }
+        }
+        for m in &mut mean {
+            *m /= windows2 as f32;
+        }
+        let mut pooled = maxed;
+        pooled.extend_from_slice(&mean);
+        let a1 = self.head1.forward(&pooled);
+        let h1 = relu(&a1);
+        let logit = self.head2.forward(&h1)[0];
+        Activations { tokens, x, c1, r1, c2, r2, argmax, pooled, a1, h1, logit }
+    }
+
+    fn backward(&mut self, act: &Activations, dlogit: f32) -> Vec<f32> {
+        let ch2 = self.config.ch2;
+        let dh1 = self.head2.backward(&act.h1, &[dlogit]);
+        let da1 = relu_backward(&act.a1, &dh1);
+        let dpooled = self.head1.backward(&act.pooled, &da1);
+        let windows2 = act.r2.len() / ch2;
+        let mut dr2 =
+            global_max_pool_backward(&dpooled[..ch2], &act.argmax, windows2, ch2);
+        // Mean-pool branch gradient.
+        for w in 0..windows2 {
+            for c in 0..ch2 {
+                dr2[w * ch2 + c] += dpooled[ch2 + c] / windows2 as f32;
+            }
+        }
+        let dc2 = relu_backward(&act.c2, &dr2);
+        let dr1 = self.conv2.backward(&act.r1, &dc2);
+        let dc1 = relu_backward(&act.c1, &dr1);
+        self.conv1.backward(&act.x, &dc1)
+    }
+
+    /// Train on `(bytes, target)` pairs; returns the mean loss of the last
+    /// epoch.
+    pub fn train<R: Rng + ?Sized>(
+        &mut self,
+        data: &[(&[u8], f32)],
+        epochs: usize,
+        lr: f32,
+        rng: &mut R,
+    ) -> f32 {
+        let adam = Adam::with_lr(lr);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let mut last = 0.0;
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            let mut total = 0.0;
+            for &i in &order {
+                let (bytes, target) = data[i];
+                let act = self.forward(bytes);
+                total += bce_with_logits(act.logit, target);
+                let dlogit = bce_with_logits_backward(act.logit, target);
+                let dx = self.backward(&act, dlogit);
+                self.embedding.backward(&act.tokens, &dx);
+                adam.step(&mut self.embedding.table);
+                adam.step(&mut self.conv1.weight);
+                adam.step(&mut self.conv1.bias);
+                adam.step(&mut self.conv2.weight);
+                adam.step(&mut self.conv2.bias);
+                adam.step(&mut self.head1.weight);
+                adam.step(&mut self.head1.bias);
+                adam.step(&mut self.head2.weight);
+                adam.step(&mut self.head2.bias);
+            }
+            last = total / data.len().max(1) as f32;
+        }
+        last
+    }
+}
+
+impl Detector for MalGcg {
+    fn name(&self) -> &str {
+        "MalGCG"
+    }
+
+    fn score(&self, bytes: &[u8]) -> f32 {
+        sigmoid(self.forward(bytes).logit)
+    }
+
+    fn raw_score(&self, bytes: &[u8]) -> f32 {
+        self.forward(bytes).logit
+    }
+
+    fn threshold(&self) -> f32 {
+        self.threshold
+    }
+}
+
+impl WhiteBoxModel for MalGcg {
+    fn embedding(&self) -> &Embedding {
+        &self.embedding
+    }
+
+    fn window(&self) -> usize {
+        self.config.window
+    }
+
+    fn benign_loss_and_grad(&self, bytes: &[u8]) -> (f32, Vec<f32>) {
+        let act = self.forward(bytes);
+        let loss = bce_with_logits(act.logit, 0.0);
+        let dlogit = bce_with_logits_backward(act.logit, 0.0);
+        let mut scratch = self.clone();
+        let dx = scratch.backward(&act, dlogit);
+        (loss, dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::training_pairs;
+    use mpass_corpus::{CorpusConfig, Dataset};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn malgcg_learns_the_corpus() {
+        let ds = Dataset::generate(&CorpusConfig {
+            n_malware: 16,
+            n_benign: 16,
+            seed: 6,
+            no_slack_fraction: 0.0,
+        });
+        let samples: Vec<_> = ds.samples.iter().collect();
+        let pairs = training_pairs(&samples);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut m = MalGcg::new(MalGcgConfig::tiny(), &mut rng);
+        m.train(&pairs, 8, 5e-3, &mut rng);
+        let correct = ds
+            .samples
+            .iter()
+            .filter(|s| {
+                (m.score(&s.bytes) > 0.5) == (s.label == mpass_corpus::Label::Malware)
+            })
+            .count();
+        assert!(correct >= 27, "train accuracy {correct}/32");
+    }
+
+    #[test]
+    fn gradient_has_window_shape() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let m = MalGcg::new(MalGcgConfig::tiny(), &mut rng);
+        let (loss, grad) = m.benign_loss_and_grad(&[0x55u8; 700]);
+        assert!(loss.is_finite());
+        assert_eq!(grad.len(), m.window() * m.embedding().dim());
+    }
+
+    #[test]
+    fn score_in_unit_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = MalGcg::new(MalGcgConfig::tiny(), &mut rng);
+        let s = m.score(&[1, 2, 3, 4]);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared training helpers.
+
+use mpass_corpus::Sample;
+
+/// Borrowed `(bytes, target)` pairs from samples, in sample order.
+pub fn training_pairs<'a>(samples: &[&'a Sample]) -> Vec<(&'a [u8], f32)> {
+    samples.iter().map(|s| (s.bytes.as_slice(), s.label.target())).collect()
+}
+
+/// Score/label pairs for metric computation over a detector.
+pub fn score_pairs<D: crate::Detector + ?Sized>(
+    detector: &D,
+    samples: &[&Sample],
+) -> Vec<(f32, f32)> {
+    samples.iter().map(|s| (detector.score(&s.bytes), s.label.target())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpass_corpus::{CorpusConfig, Dataset};
+
+    #[test]
+    fn pairs_align_with_labels() {
+        let ds = Dataset::generate(&CorpusConfig {
+            n_malware: 3,
+            n_benign: 3,
+            seed: 1,
+            no_slack_fraction: 0.0,
+        });
+        let samples: Vec<_> = ds.samples.iter().collect();
+        let pairs = training_pairs(&samples);
+        assert_eq!(pairs.len(), 6);
+        assert!(pairs[..3].iter().all(|(_, t)| *t == 1.0));
+        assert!(pairs[3..].iter().all(|(_, t)| *t == 0.0));
+    }
+}

@@ -1,0 +1,115 @@
+//! Detector capability traits: the hard-label black-box interface and the
+//! white-box interface of MPass's known-model ensemble.
+
+use mpass_ml::Embedding;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A hard-label classification result — the only signal the black-box
+/// attacks receive from a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The detector flags the file.
+    Malicious,
+    /// The detector passes the file.
+    Benign,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Malicious => "malicious",
+            Verdict::Benign => "benign",
+        })
+    }
+}
+
+/// A static malware detector over raw file bytes.
+///
+/// [`Detector::score`] exists for training/evaluation; the attack code
+/// paths only consume [`Detector::classify`], preserving the paper's
+/// hard-label threat model.
+pub trait Detector: Send + Sync {
+    /// Short stable name (used in tables).
+    fn name(&self) -> &str;
+
+    /// Malicious probability in `[0, 1]`.
+    fn score(&self, bytes: &[u8]) -> f32;
+
+    /// An uncalibrated continuous decision value (e.g. the pre-sigmoid
+    /// logit). Explainability methods (PEM) difference this instead of
+    /// [`Detector::score`]: a well-trained model saturates its probability
+    /// near 0/1, flattening the marginal contributions Shapley values
+    /// measure, while the margin keeps them visible. Defaults to the
+    /// probability for detectors without a natural margin.
+    fn raw_score(&self, bytes: &[u8]) -> f32 {
+        self.score(bytes)
+    }
+
+    /// Decision threshold on [`Detector::score`].
+    fn threshold(&self) -> f32 {
+        0.5
+    }
+
+    /// Hard-label classification.
+    fn classify(&self, bytes: &[u8]) -> Verdict {
+        if self.score(bytes) > self.threshold() {
+            Verdict::Malicious
+        } else {
+            Verdict::Benign
+        }
+    }
+}
+
+/// A *known model* in MPass's ensemble transfer attack: a detector whose
+/// byte-embedding table and input gradients are available (§III-D).
+pub trait WhiteBoxModel: Detector {
+    /// The byte-embedding table through which perturbations are lifted to
+    /// continuous space and mapped back to bytes.
+    fn embedding(&self) -> &Embedding;
+
+    /// Number of leading file bytes the model consumes (its input window).
+    fn window(&self) -> usize;
+
+    /// Compute `ℒ(F(bytes), benign)` and its gradient with respect to the
+    /// embedding vector of every input position.
+    ///
+    /// The returned gradient has length `window() * embedding().dim()`
+    /// (positions past the end of file correspond to the padding token and
+    /// carry gradients too, though the attack never selects them).
+    fn benign_loss_and_grad(&self, bytes: &[u8]) -> (f32, Vec<f32>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f32);
+    impl Detector for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn score(&self, _: &[u8]) -> f32 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn classify_uses_threshold() {
+        assert_eq!(Fixed(0.9).classify(b"x"), Verdict::Malicious);
+        assert_eq!(Fixed(0.1).classify(b"x"), Verdict::Benign);
+        assert_eq!(Fixed(0.5).classify(b"x"), Verdict::Benign); // strict >
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Verdict::Malicious.to_string(), "malicious");
+        assert_eq!(Verdict::Benign.to_string(), "benign");
+    }
+
+    #[test]
+    fn detector_is_object_safe() {
+        let d: Box<dyn Detector> = Box::new(Fixed(0.7));
+        assert_eq!(d.classify(b"y"), Verdict::Malicious);
+    }
+}

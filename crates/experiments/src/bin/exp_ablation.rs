@@ -1,0 +1,15 @@
+//! EXP-T5/T6: regenerate Tables V (Other-sec) and VI (random data).
+
+use mpass_experiments::{ablation, report, World};
+
+fn main() {
+    let args = report::CliArgs::parse();
+    let world = World::build(args.world_config());
+    let results = ablation::run(&world, None);
+    println!("{}", results.table5());
+    println!("{}", results.table6());
+    match report::save_json("exp_ablation", &results) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

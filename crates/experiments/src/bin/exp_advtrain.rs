@@ -1,0 +1,14 @@
+//! EXP-ADV: §VI adversarial-training evaluation.
+
+use mpass_experiments::{advtrain, report, World};
+
+fn main() {
+    let args = report::CliArgs::parse();
+    let world = World::build(args.world_config());
+    let results = advtrain::run(&world);
+    println!("{}", results.summary());
+    match report::save_json("exp_advtrain", &results) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

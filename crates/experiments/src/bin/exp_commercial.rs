@@ -1,0 +1,20 @@
+//! EXP-F3: regenerate Figure 3 (ASR on the five commercial ML AVs).
+
+use mpass_experiments::{commercial, report, World};
+
+fn main() {
+    let args = report::CliArgs::parse();
+    let world = World::build(args.world_config());
+    let results = commercial::run(&world);
+    println!("{}", results.figure3());
+    // AEs are large; persist only the stats.
+    let slim: Vec<_> = results
+        .cells
+        .iter()
+        .map(|c| (c.attack.clone(), c.av.clone(), c.stats))
+        .collect();
+    match report::save_json("exp_commercial", &slim) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,15 @@
+//! EXP-DESIGN: ablations of MPass's own design choices (shuffle,
+//! ensemble size, init source, optimization budget).
+
+use mpass_experiments::{design, report, World};
+
+fn main() {
+    let args = report::CliArgs::parse();
+    let world = World::build(args.world_config());
+    let results = design::run(&world);
+    println!("{}", results.summary());
+    match report::save_json("exp_design", &results) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,31 @@
+//! EXP-F4: regenerate Figure 4 (bypass rate under weekly AV learning).
+
+use mpass_experiments::{commercial, learning, report, World};
+
+fn main() {
+    let args = report::CliArgs::parse();
+    let world = World::build(args.world_config());
+    let fig3 = commercial::run(&world);
+    let results = learning::run(&world, &fig3, 4);
+    for av in world.avs.iter() {
+        use mpass_detectors::Detector;
+        println!("{}", results.figure4(av.name()));
+    }
+    println!(
+        "final-week mean bypass: MPass {:.1}%  RLA {:.1}%  MAB {:.1}%  GAMMA {:.1}%  MalRNN {:.1}%",
+        results.final_bypass("MPass"),
+        results.final_bypass("RLA"),
+        results.final_bypass("MAB"),
+        results.final_bypass("GAMMA"),
+        results.final_bypass("MalRNN"),
+    );
+    let slim: Vec<_> = results
+        .series
+        .iter()
+        .map(|s| (s.attack.clone(), s.av.clone(), s.bypass_rate.clone(), s.signatures_learned))
+        .collect();
+    match report::save_json("exp_learning", &(results.weeks, slim)) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,21 @@
+//! EXP-T1/T2/T3: regenerate Tables I (ASR), II (AVQ) and III (APR).
+
+use mpass_experiments::offline::Metric;
+use mpass_experiments::{offline, report, World};
+
+fn main() {
+    let args = report::CliArgs::parse();
+    let world = World::build(args.world_config());
+    println!("== detector health ==");
+    for (name, acc) in world.detector_health() {
+        println!("  {name:<10} accuracy {acc:.3}");
+    }
+    let results = offline::run(&world);
+    println!("{}", results.table(Metric::Asr));
+    println!("{}", results.table(Metric::Avq));
+    println!("{}", results.table(Metric::Apr));
+    match report::save_json("exp_offline", &results) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,14 @@
+//! EXP-T4: regenerate Table IV (obfuscators vs MPass on commercial AVs).
+
+use mpass_experiments::{packers, report, World};
+
+fn main() {
+    let args = report::CliArgs::parse();
+    let world = World::build(args.world_config());
+    let results = packers::run(&world, None);
+    println!("{}", results.table4());
+    match report::save_json("exp_packers", &results) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,19 @@
+//! EXP-PEM: regenerate the §III-B critical-section finding.
+
+use mpass_experiments::{pem, report, World};
+
+fn main() {
+    let args = report::CliArgs::parse();
+    let world = World::build(args.world_config());
+    println!("== detector health ==");
+    for (name, acc) in world.detector_health() {
+        println!("  {name:<10} accuracy {acc:.3}");
+    }
+    let n = world.config.attack_samples.min(20);
+    let results = pem::run(&world, n);
+    println!("{}", results.summary());
+    match report::save_json("exp_pem", &results) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

@@ -1,0 +1,126 @@
+//! EXP-F3 — Figure 3: ASR of the five attacks against the five simulated
+//! commercial ML AVs, keeping successful AEs for the Figure 4 learning
+//! experiment.
+
+use crate::offline::attack_roster;
+use crate::world::World;
+use mpass_core::attack::metrics::{summarize, AttackStats};
+use mpass_core::{Attack, HardLabelTarget};
+use mpass_detectors::Detector;
+use serde::{Deserialize, Serialize};
+
+/// One (attack, AV) cell with its surviving AEs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommercialCell {
+    /// Attack name.
+    pub attack: String,
+    /// AV name.
+    pub av: String,
+    /// ASR/AVQ/APR statistics.
+    pub stats: AttackStats,
+    /// The successful adversarial examples (consumed by Fig. 4).
+    pub successful_aes: Vec<Vec<u8>>,
+}
+
+/// Figure 3 results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CommercialResults {
+    /// All (attack, AV) cells.
+    pub cells: Vec<CommercialCell>,
+}
+
+impl CommercialResults {
+    /// Look up one cell.
+    pub fn cell(&self, attack: &str, av: &str) -> Option<&CommercialCell> {
+        self.cells.iter().find(|c| c.attack == attack && c.av == av)
+    }
+
+    /// Format the Figure 3 ASR grid.
+    pub fn figure3(&self) -> String {
+        let avs: Vec<String> = (1..=5).map(|i| format!("AV{i}")).collect();
+        let rows: Vec<(String, Vec<f64>)> = crate::offline::ATTACK_NAMES
+            .iter()
+            .map(|a| {
+                let vals = avs
+                    .iter()
+                    .map(|av| self.cell(a, av).map(|c| c.stats.asr).unwrap_or(f64::NAN))
+                    .collect();
+                ((*a).to_owned(), vals)
+            })
+            .collect();
+        crate::table::format_table(
+            "Fig. 3: ASR (%) of attack methods on commercial ML AVs.",
+            "Attack",
+            &avs,
+            &rows,
+            1,
+        )
+    }
+}
+
+/// Run one attack against one AV, collecting successful AE bytes.
+pub fn attack_av(world: &World, attack: &mut dyn Attack, av: &dyn Detector) -> CommercialCell {
+    let samples = world.attack_set(av);
+    let mut outcomes = Vec::with_capacity(samples.len());
+    let mut successful_aes = Vec::new();
+    for sample in samples {
+        let mut oracle = HardLabelTarget::new(av, world.config.max_queries);
+        let mut outcome = attack.attack(sample, &mut oracle);
+        if let Some(ae) = outcome.adversarial.take() {
+            successful_aes.push(ae);
+        }
+        outcomes.push(outcome);
+    }
+    CommercialCell {
+        attack: attack.name().to_owned(),
+        av: av.name().to_owned(),
+        stats: summarize(&outcomes),
+        successful_aes,
+    }
+}
+
+/// Run the full Figure 3 experiment. Against AVs the MPass ensemble is all
+/// three differentiable offline models (the AVs themselves are black
+/// boxes), which `attack_roster` provides by excluding a non-AV name.
+pub fn run(world: &World) -> CommercialResults {
+    let cells = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = world
+            .avs
+            .iter()
+            .map(|av| {
+                scope.spawn(move |_| {
+                    let mut cells = Vec::new();
+                    for mut attack in attack_roster(world, "LightGBM") {
+                        cells.push(attack_av(world, attack.as_mut(), av));
+                    }
+                    cells
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("attack thread")).collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope");
+    CommercialResults { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn commercial_quick_run_shapes() {
+        let mut cfg = WorldConfig::quick();
+        cfg.attack_samples = 2;
+        let world = World::build(cfg);
+        let results = run(&world);
+        assert_eq!(results.cells.len(), 5 * 5);
+        let fig = results.figure3();
+        assert!(fig.contains("AV3") && fig.contains("GAMMA"));
+        // Successful AE count never exceeds evaded count implied by stats.
+        for c in &results.cells {
+            let max_evaded = (c.stats.asr / 100.0 * c.stats.samples as f64).round() as usize;
+            assert!(c.successful_aes.len() <= max_evaded + 1, "{}/{}", c.attack, c.av);
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! EXP-FUNC — §IV-A "Verifying functionality-preserving": every AE from
+//! the offline campaigns is executed in the sandbox and its API trace
+//! compared with the original's. The paper finds 23 % of RLA's AEs broken
+//! and every other attack's AEs intact.
+
+use crate::offline::{OfflineResults, ATTACK_NAMES};
+use serde::{Deserialize, Serialize};
+
+/// Per-attack functionality verification summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FunctionalityResults {
+    /// `(attack, broken %, AEs checked)` rows.
+    pub rows: Vec<(String, f64, usize)>,
+}
+
+impl FunctionalityResults {
+    /// Render the summary.
+    pub fn summary(&self) -> String {
+        let mut out =
+            String::from("Functionality verification of successful AEs (Cuckoo-style sandbox):\n");
+        for (attack, broken, checked) in &self.rows {
+            out.push_str(&format!(
+                "  {attack:<8} broken {broken:5.1}%  ({checked} AEs checked)\n"
+            ));
+        }
+        out
+    }
+}
+
+/// Aggregate the offline campaign's per-cell verification counters.
+pub fn run(offline: &OfflineResults) -> FunctionalityResults {
+    let rows = ATTACK_NAMES
+        .iter()
+        .map(|a| {
+            let checked: usize = offline
+                .cells
+                .iter()
+                .filter(|c| c.attack == *a)
+                .map(|c| c.checked)
+                .sum();
+            ((*a).to_owned(), offline.broken_percent(a), checked)
+        })
+        .collect();
+    FunctionalityResults { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::offline::OfflineCell;
+    use mpass_core::attack::metrics::AttackStats;
+
+    #[test]
+    fn aggregates_broken_percentages() {
+        let offline = OfflineResults {
+            cells: vec![
+                OfflineCell {
+                    attack: "RLA".into(),
+                    target: "MalConv".into(),
+                    stats: AttackStats { asr: 50.0, avq: 5.0, apr: 10.0, samples: 4 },
+                    broken: 1,
+                    checked: 4,
+                },
+                OfflineCell {
+                    attack: "RLA".into(),
+                    target: "NonNeg".into(),
+                    stats: AttackStats { asr: 50.0, avq: 5.0, apr: 10.0, samples: 4 },
+                    broken: 1,
+                    checked: 4,
+                },
+                OfflineCell {
+                    attack: "MPass".into(),
+                    target: "MalConv".into(),
+                    stats: AttackStats { asr: 100.0, avq: 2.0, apr: 10.0, samples: 4 },
+                    broken: 0,
+                    checked: 4,
+                },
+            ],
+        };
+        let f = run(&offline);
+        let rla = f.rows.iter().find(|(a, _, _)| a == "RLA").unwrap();
+        assert!((rla.1 - 25.0).abs() < 1e-9);
+        assert_eq!(rla.2, 8);
+        let mpass = f.rows.iter().find(|(a, _, _)| a == "MPass").unwrap();
+        assert_eq!(mpass.1, 0.0);
+        assert!(f.summary().contains("RLA"));
+    }
+}

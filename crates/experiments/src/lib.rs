@@ -1,0 +1,34 @@
+//! # mpass-experiments — regenerating the paper's evaluation
+//!
+//! One runner per table/figure of *MPass* (DAC 2023), all operating on a
+//! shared [`World`]: the synthetic corpus, the benign-content pool, four
+//! trained offline detectors and five simulated commercial AVs.
+//!
+//! | Paper artifact | Runner | Binary |
+//! |---|---|---|
+//! | §III-B PEM claim | [`pem::run`] | `exp_pem` |
+//! | Table I (ASR) + II (AVQ) + III (APR) | [`offline::run`] | `exp_offline` |
+//! | §IV-A functionality check | [`functionality::run`] | `exp_functionality` |
+//! | Figure 3 (commercial ASR) | [`commercial::run`] | `exp_commercial` |
+//! | Table IV (packers) | [`packers::run`] | `exp_packers` |
+//! | Figure 4 (AV learning) | [`learning::run`] | `exp_learning` |
+//! | Table V (Other-sec) + VI (random data) | [`ablation::run`] | `exp_ablation` |
+//! | §VI adversarial training | [`advtrain::run`] | `exp_advtrain` |
+//!
+//! Every binary accepts `--quick` for a down-scaled run and writes JSON
+//! results under `results/`.
+
+pub mod ablation;
+pub mod advtrain;
+pub mod commercial;
+pub mod design;
+pub mod functionality;
+pub mod learning;
+pub mod offline;
+pub mod packers;
+pub mod pem;
+pub mod report;
+pub mod table;
+pub mod world;
+
+pub use world::{World, WorldConfig};

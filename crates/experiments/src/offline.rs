@@ -1,0 +1,207 @@
+//! EXP-T1/T2/T3 — Tables I (ASR), II (AVQ) and III (APR): five attacks
+//! against the four offline detectors, plus the §IV-A functionality
+//! verification of every generated AE.
+
+use crate::world::World;
+use mpass_baselines::{Gamma, GammaConfig, Mab, MabConfig, MalRnn, MalRnnConfig, Rla, RlaConfig};
+use mpass_core::attack::metrics::{summarize, AttackStats};
+use mpass_core::{Attack, HardLabelTarget, MPassAttack, MPassConfig};
+use mpass_detectors::Detector;
+use mpass_sandbox::Sandbox;
+use serde::{Deserialize, Serialize};
+
+/// The attack roster of the offline comparison, in paper column order.
+pub const ATTACK_NAMES: [&str; 5] = ["MPass", "RLA", "MAB", "GAMMA", "MalRNN"];
+
+/// One (attack, target) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OfflineCell {
+    /// Attack name.
+    pub attack: String,
+    /// Target model name.
+    pub target: String,
+    /// ASR/AVQ/APR statistics.
+    pub stats: AttackStats,
+    /// Successful AEs whose sandbox behaviour diverged from the original
+    /// (the paper's functionality check; 23 % for RLA, 0 elsewhere).
+    pub broken: usize,
+    /// Number of successful AEs checked.
+    pub checked: usize,
+}
+
+/// Results for all cells of Tables I–III.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OfflineResults {
+    /// All (attack, target) cells.
+    pub cells: Vec<OfflineCell>,
+}
+
+/// Which metric of a cell to tabulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Attack success rate (Table I).
+    Asr,
+    /// Average queries (Table II).
+    Avq,
+    /// Average appending rate (Table III).
+    Apr,
+}
+
+impl OfflineResults {
+    fn cell(&self, attack: &str, target: &str) -> Option<&OfflineCell> {
+        self.cells.iter().find(|c| c.attack == attack && c.target == target)
+    }
+
+    /// Format one of the three paper tables.
+    pub fn table(&self, metric: Metric) -> String {
+        let (title, decimals) = match metric {
+            Metric::Asr => ("TABLE I: ASR (%) of attacking offline models.", 1),
+            Metric::Avq => ("TABLE II: AVQ of attack methods on offline models.", 1),
+            Metric::Apr => ("TABLE III: APR (%) of attack methods on offline models.", 1),
+        };
+        let targets = ["MalConv", "NonNeg", "LightGBM", "MalGCG"];
+        let rows: Vec<(String, Vec<f64>)> = targets
+            .iter()
+            .map(|t| {
+                let values = ATTACK_NAMES
+                    .iter()
+                    .map(|a| {
+                        self.cell(a, t)
+                            .map(|c| match metric {
+                                Metric::Asr => c.stats.asr,
+                                Metric::Avq => c.stats.avq,
+                                Metric::Apr => c.stats.apr,
+                            })
+                            .unwrap_or(f64::NAN)
+                    })
+                    .collect();
+                ((*t).to_owned(), values)
+            })
+            .collect();
+        crate::table::format_table(
+            title,
+            "Models",
+            &ATTACK_NAMES.iter().map(|s| (*s).to_string()).collect::<Vec<_>>(),
+            &rows,
+            decimals,
+        )
+    }
+
+    /// Per-attack broken-AE percentage across all targets (§IV-A).
+    pub fn broken_percent(&self, attack: &str) -> f64 {
+        let (broken, checked) = self
+            .cells
+            .iter()
+            .filter(|c| c.attack == attack)
+            .fold((0usize, 0usize), |(b, n), c| (b + c.broken, n + c.checked));
+        if checked == 0 {
+            0.0
+        } else {
+            100.0 * broken as f64 / checked as f64
+        }
+    }
+}
+
+/// Run one attack against one target over the world's attack set,
+/// verifying every successful AE in the sandbox.
+pub fn attack_target(
+    world: &World,
+    attack: &mut dyn Attack,
+    target: &dyn Detector,
+) -> OfflineCell {
+    let sandbox = Sandbox::new();
+    let samples = world.attack_set(target);
+    let mut outcomes = Vec::with_capacity(samples.len());
+    let mut broken = 0;
+    let mut checked = 0;
+    for sample in samples {
+        let mut oracle = HardLabelTarget::new(target, world.config.max_queries);
+        let mut outcome = attack.attack(sample, &mut oracle);
+        if let Some(ae) = outcome.adversarial.take() {
+            checked += 1;
+            if !sandbox.verify_functionality(&sample.bytes, &ae).is_preserved() {
+                broken += 1;
+            }
+        }
+        outcomes.push(outcome);
+    }
+    OfflineCell {
+        attack: attack.name().to_owned(),
+        target: target.name().to_owned(),
+        stats: summarize(&outcomes),
+        broken,
+        checked,
+    }
+}
+
+/// Build the fresh attack roster for a campaign against `target_name`.
+/// MPass's known ensemble excludes the target (it is black-box); the
+/// baselines are target-agnostic.
+pub fn attack_roster<'a>(world: &'a World, target_name: &str) -> Vec<Box<dyn Attack + 'a>> {
+    vec![
+        Box::new(MPassAttack::new(
+            world.known_models_excluding(target_name),
+            &world.pool,
+            MPassConfig { seed: world.config.seed, ..MPassConfig::default() },
+        )),
+        Box::new(Rla::new(&world.pool, RlaConfig { seed: world.config.seed, ..RlaConfig::default() })),
+        Box::new(Mab::new(&world.pool, MabConfig { seed: world.config.seed, ..MabConfig::default() })),
+        Box::new(Gamma::new(&world.pool, GammaConfig { seed: world.config.seed, ..GammaConfig::default() })),
+        Box::new(MalRnn::new(
+            &world.pool,
+            MalRnnConfig { seed: world.config.seed, ..MalRnnConfig::default() },
+        )),
+    ]
+}
+
+/// Run the full offline comparison (Tables I–III), parallelized across
+/// targets.
+pub fn run(world: &World) -> OfflineResults {
+    let targets = world.offline_targets();
+    let cells = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = targets
+            .iter()
+            .map(|(name, det)| {
+                let det = *det;
+                let name = *name;
+                scope.spawn(move |_| {
+                    let mut cells = Vec::new();
+                    for mut attack in attack_roster(world, name) {
+                        cells.push(attack_target(world, attack.as_mut(), det));
+                    }
+                    cells
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("attack thread")).collect::<Vec<_>>()
+    })
+    .expect("crossbeam scope");
+    OfflineResults { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn offline_quick_run_shapes() {
+        let mut cfg = WorldConfig::quick();
+        cfg.attack_samples = 3;
+        let world = World::build(cfg);
+        let results = run(&world);
+        assert_eq!(results.cells.len(), 5 * 4);
+        // Every cell attacked the same number of samples or fewer (if the
+        // target misclassified some malware up front).
+        for c in &results.cells {
+            assert!(c.stats.samples <= 3, "{}/{}", c.attack, c.target);
+        }
+        // Tables render.
+        let t1 = results.table(Metric::Asr);
+        assert!(t1.contains("MalConv") && t1.contains("MPass"));
+        let t2 = results.table(Metric::Avq);
+        assert!(t2.contains("TABLE II"));
+        let t3 = results.table(Metric::Apr);
+        assert!(t3.contains("TABLE III"));
+    }
+}

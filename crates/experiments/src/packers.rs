@@ -1,0 +1,85 @@
+//! EXP-T4 — Table IV: generic obfuscators (UPX, PESpin, ASPack) versus
+//! MPass on the commercial AVs.
+
+use crate::commercial::attack_av;
+use crate::world::World;
+use mpass_baselines::{packer_profiles, Packer};
+use mpass_core::{MPassAttack, MPassConfig};
+use serde::{Deserialize, Serialize};
+
+/// Table IV contents.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PackerResults {
+    /// Rows: obfuscator/attack name → ASR (%) per AV₁..AV₅.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl PackerResults {
+    /// Format Table IV.
+    pub fn table4(&self) -> String {
+        let avs: Vec<String> = (1..=5).map(|i| format!("AV{i}")).collect();
+        crate::table::format_table(
+            "TABLE IV: Comparison with obfuscation techniques on ASR (%) of attacking commercial AVs.",
+            "Method",
+            &avs,
+            &self.rows,
+            1,
+        )
+    }
+}
+
+/// Run Table IV: each packer applied once per sample against each AV.
+/// `mpass_row` supplies the MPass reference ASRs (one per AV) when the
+/// caller has already run the Figure-3 campaign; otherwise the row is
+/// recomputed here.
+pub fn run(world: &World, mpass_row: Option<Vec<f64>>) -> PackerResults {
+    let mut rows = Vec::new();
+    for profile in packer_profiles() {
+        let mut asrs = Vec::new();
+        for av in &world.avs {
+            let mut packer = Packer::new(profile);
+            let cell = attack_av(world, &mut packer, av);
+            asrs.push(cell.stats.asr);
+        }
+        rows.push((profile.name.to_owned(), asrs));
+    }
+    let mpass_asrs = mpass_row.unwrap_or_else(|| mpass_reference_row(world));
+    rows.push(("MPass".to_owned(), mpass_asrs));
+    PackerResults { rows }
+}
+
+/// Compute MPass's ASR against every AV (the shared reference row of
+/// Tables IV, V and VI).
+pub fn mpass_reference_row(world: &World) -> Vec<f64> {
+    world
+        .avs
+        .iter()
+        .map(|av| {
+            let mut mpass = MPassAttack::new(
+                world.all_known_models(),
+                &world.pool,
+                MPassConfig { seed: world.config.seed, ..MPassConfig::default() },
+            );
+            attack_av(world, &mut mpass, av).stats.asr
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn table4_has_four_rows_and_five_columns() {
+        let mut cfg = WorldConfig::quick();
+        cfg.attack_samples = 2;
+        let world = World::build(cfg);
+        let results = run(&world, None);
+        assert_eq!(results.rows.len(), 4);
+        assert!(results.rows.iter().all(|(_, v)| v.len() == 5));
+        let names: Vec<&str> = results.rows.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["UPX", "PESpin", "ASPack", "MPass"]);
+        assert!(results.table4().contains("TABLE IV"));
+    }
+}

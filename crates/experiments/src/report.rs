@@ -1,0 +1,74 @@
+//! JSON result persistence for EXPERIMENTS.md bookkeeping.
+
+use serde::Serialize;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory results are written to (workspace-relative).
+pub const RESULTS_DIR: &str = "results";
+
+/// Serialize `value` as pretty JSON into `results/<name>.json`, creating
+/// the directory if needed. Returns the written path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> io::Result<PathBuf> {
+    let dir = Path::new(RESULTS_DIR);
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// Parse `--quick` / `--samples N` style CLI flags shared by the binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CliArgs {
+    /// Use the down-scaled world.
+    pub quick: bool,
+    /// Override for the number of attacked samples.
+    pub samples: Option<usize>,
+}
+
+impl CliArgs {
+    /// Parse from `std::env::args`.
+    pub fn parse() -> CliArgs {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let samples = args
+            .iter()
+            .position(|a| a == "--samples")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok());
+        CliArgs { quick, samples }
+    }
+
+    /// Materialize the world configuration this invocation asked for.
+    pub fn world_config(&self) -> crate::WorldConfig {
+        let mut cfg =
+            if self.quick { crate::WorldConfig::quick() } else { crate::WorldConfig::full() };
+        if let Some(n) = self.samples {
+            cfg.attack_samples = n;
+        }
+        cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn save_json_round_trips() {
+        #[derive(Serialize)]
+        struct Demo {
+            x: u32,
+        }
+        let path = save_json("test_save_json", &Demo { x: 7 }).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"x\": 7"));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,96 @@
+//! Paper-style plain-text table formatting.
+
+/// Render a labelled grid as a text table:
+///
+/// ```text
+/// TABLE I: ASR of attacking offline models.
+/// Models    | MPass  RLA    MAB    GAMMA  MalRNN
+/// ----------+-----------------------------------
+/// MalConv   | 98.6   33.7   94.2   81.8   94.3
+/// ```
+pub fn format_table(
+    title: &str,
+    corner: &str,
+    columns: &[String],
+    rows: &[(String, Vec<f64>)],
+    decimals: usize,
+) -> String {
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain(std::iter::once(corner.len()))
+        .max()
+        .unwrap_or(6)
+        .max(6);
+    let col_w = columns
+        .iter()
+        .map(|c| c.len())
+        .max()
+        .unwrap_or(6)
+        .max(6)
+        + 1;
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str(&format!("{corner:<label_w$} |"));
+    for c in columns {
+        out.push_str(&format!(" {c:>col_w$}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(label_w + 1));
+    out.push('+');
+    out.push_str(&"-".repeat((col_w + 1) * columns.len()));
+    out.push('\n');
+    for (label, values) in rows {
+        out.push_str(&format!("{label:<label_w$} |"));
+        for v in values {
+            out.push_str(&format!(" {:>col_w$.decimals$}", v));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a series plot as text (one line per series), for the figures.
+pub fn format_series(
+    title: &str,
+    x_label: &str,
+    x_values: &[String],
+    series: &[(String, Vec<f64>)],
+) -> String {
+    let rows: Vec<(String, Vec<f64>)> = series.to_vec();
+    format_table(title, x_label, x_values, &rows, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_cells() {
+        let t = format_table(
+            "TABLE X: demo.",
+            "Models",
+            &["A".into(), "B".into()],
+            &[("row1".into(), vec![1.25, 2.5]), ("row2".into(), vec![3.0, 4.75])],
+            1,
+        );
+        assert!(t.contains("TABLE X"));
+        assert!(t.contains("row1"));
+        assert!(t.contains("1.2") || t.contains("1.3"));
+        assert!(t.contains("4.8") || t.contains("4.7"));
+        assert_eq!(t.lines().count(), 5);
+    }
+
+    #[test]
+    fn series_is_a_table() {
+        let s = format_series(
+            "Fig: demo",
+            "Week",
+            &["0".into(), "1".into()],
+            &[("MPass".into(), vec![100.0, 100.0])],
+        );
+        assert!(s.contains("MPass"));
+        assert!(s.contains("100.0"));
+    }
+}

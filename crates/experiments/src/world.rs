@@ -1,0 +1,237 @@
+//! The shared experimental world: corpus, benign pool, trained detectors.
+
+use mpass_corpus::{BenignPool, CorpusConfig, Dataset, Sample};
+use mpass_detectors::train::training_pairs;
+use mpass_detectors::{
+    commercial::default_profiles, ByteConvConfig, CommercialAv, Detector, LightGbm, MalConv,
+    MalGcg, MalGcgConfig, NonNeg, Verdict, WhiteBoxModel,
+};
+use mpass_ml::GbdtParams;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a [`World`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Corpus generation parameters.
+    pub corpus: CorpusConfig,
+    /// Benign programs harvested into the perturbation pool (stands in for
+    /// the paper's 50 000 programs).
+    pub benign_pool_programs: usize,
+    /// MalConv / NonNeg architecture.
+    pub conv: ByteConvConfig,
+    /// MalGCG architecture.
+    pub malgcg: MalGcgConfig,
+    /// Epochs for the convolutional detectors.
+    pub conv_epochs: usize,
+    /// Learning rate for the convolutional detectors.
+    pub conv_lr: f32,
+    /// GBDT parameters for the LightGBM detector.
+    pub gbdt: GbdtParams,
+    /// Malware samples attacked per experiment.
+    pub attack_samples: usize,
+    /// Hard-label query budget per sample (the paper uses 100).
+    pub max_queries: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl WorldConfig {
+    /// The full configuration used by the experiment binaries (paper-shaped,
+    /// laptop-scaled).
+    pub fn full() -> WorldConfig {
+        WorldConfig {
+            corpus: CorpusConfig {
+                n_malware: 120,
+                n_benign: 120,
+                seed: 0xDAC2023,
+                no_slack_fraction: 0.1,
+            },
+            benign_pool_programs: 40,
+            conv: ByteConvConfig::default(),
+            malgcg: MalGcgConfig::default(),
+            conv_epochs: 5,
+            conv_lr: 5e-3,
+            gbdt: GbdtParams::default(),
+            attack_samples: 20,
+            max_queries: 100,
+            seed: 0x4D50_4153,
+        }
+    }
+
+    /// A down-scaled configuration for tests and smoke runs.
+    pub fn quick() -> WorldConfig {
+        WorldConfig {
+            corpus: CorpusConfig {
+                n_malware: 20,
+                n_benign: 20,
+                seed: 0xDAC2023,
+                no_slack_fraction: 0.1,
+            },
+            benign_pool_programs: 6,
+            conv: ByteConvConfig::tiny(),
+            malgcg: MalGcgConfig::tiny(),
+            conv_epochs: 5,
+            conv_lr: 5e-3,
+            gbdt: GbdtParams { trees: 30, ..GbdtParams::default() },
+            attack_samples: 6,
+            max_queries: 100,
+            seed: 0x4D50_4153,
+        }
+    }
+}
+
+/// The built world: corpus + pool + all nine trained targets.
+pub struct World {
+    /// The configuration the world was built from.
+    pub config: WorldConfig,
+    /// The full labelled corpus.
+    pub dataset: Dataset,
+    /// The attacker's benign-content pool.
+    pub pool: BenignPool,
+    /// MalConv.
+    pub malconv: MalConv,
+    /// NonNeg.
+    pub nonneg: NonNeg,
+    /// LightGBM-style GBDT.
+    pub lightgbm: LightGbm,
+    /// MalGCG.
+    pub malgcg: MalGcg,
+    /// The five commercial AVs (fresh, before any weekly updates).
+    pub avs: Vec<CommercialAv>,
+}
+
+impl World {
+    /// Generate the corpus and train every detector. Deterministic in the
+    /// configuration.
+    pub fn build(config: WorldConfig) -> World {
+        let mut dataset = Dataset::generate(&config.corpus);
+        // Pack roughly one in seven benign samples with the benign
+        // installer packer: packed goodware exists in real training sets
+        // ("When malware is packin' heat", NDSS 2020), and without it every
+        // detector would treat packing artifacts as conclusive.
+        let benign_packer =
+            mpass_baselines::Packer::new(mpass_baselines::benign_packer_profile());
+        let mut i = 0;
+        for s in dataset.samples.iter_mut() {
+            if s.label != mpass_corpus::Label::Benign {
+                continue;
+            }
+            i += 1;
+            if i % 7 != 0 {
+                continue;
+            }
+            if let Ok(bytes) = benign_packer.pack(&s.pe) {
+                if let Ok(pe) = mpass_pe::PeFile::parse(&bytes) {
+                    *s = mpass_corpus::Sample::new(s.name.clone(), s.label, pe);
+                }
+            }
+        }
+        let pool = BenignPool::generate(config.benign_pool_programs, config.seed ^ 0xB00);
+        let (train, _test) = dataset.split(5);
+        let pairs = training_pairs(&train);
+
+        // Each model gets its own derived stream so training is invariant
+        // to the order models are built in.
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x7281);
+        let mut malconv = MalConv::new(config.conv, &mut rng);
+        malconv.train(&pairs, config.conv_epochs, config.conv_lr, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x7282);
+        let mut nonneg = NonNeg::new(config.conv, &mut rng);
+        // The non-negativity constraint clamps away half of every update;
+        // NonNeg needs roughly twice the epochs to converge.
+        nonneg.train(&pairs, config.conv_epochs * 2, config.conv_lr, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x7283);
+        let mut malgcg = MalGcg::new(config.malgcg, &mut rng);
+        malgcg.train(&pairs, config.conv_epochs, config.conv_lr, &mut rng);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0x7284);
+        let lightgbm = LightGbm::train(&train, config.gbdt, &mut rng);
+        let avs = default_profiles()
+            .into_iter()
+            .map(|p| CommercialAv::train(p, &train))
+            .collect();
+        World { config, dataset, pool, malconv, nonneg, lightgbm, malgcg, avs }
+    }
+
+    /// The four offline targets in table order.
+    pub fn offline_targets(&self) -> Vec<(&'static str, &dyn Detector)> {
+        vec![
+            ("MalConv", &self.malconv as &dyn Detector),
+            ("NonNeg", &self.nonneg as &dyn Detector),
+            ("LightGBM", &self.lightgbm as &dyn Detector),
+            ("MalGCG", &self.malgcg as &dyn Detector),
+        ]
+    }
+
+    /// MPass's known-model ensemble when attacking `target`: the remaining
+    /// differentiable models (LightGBM is never a known model — footnote 6).
+    pub fn known_models_excluding(&self, target: &str) -> Vec<&dyn WhiteBoxModel> {
+        let mut models: Vec<(&str, &dyn WhiteBoxModel)> = vec![
+            ("MalConv", &self.malconv as &dyn WhiteBoxModel),
+            ("NonNeg", &self.nonneg as &dyn WhiteBoxModel),
+            ("MalGCG", &self.malgcg as &dyn WhiteBoxModel),
+        ];
+        models.retain(|(name, _)| *name != target);
+        models.into_iter().map(|(_, m)| m).collect()
+    }
+
+    /// All three differentiable models (used against commercial AVs, which
+    /// are never in the known set).
+    pub fn all_known_models(&self) -> Vec<&dyn WhiteBoxModel> {
+        vec![&self.malconv, &self.nonneg, &self.malgcg]
+    }
+
+    /// Malware samples that `target` initially classifies correctly — the
+    /// paper's sample-quality requirement (1) — capped at
+    /// `config.attack_samples`.
+    pub fn attack_set(&self, target: &dyn Detector) -> Vec<&Sample> {
+        self.dataset
+            .malware()
+            .into_iter()
+            .filter(|s| target.classify(&s.bytes) == Verdict::Malicious)
+            .take(self.config.attack_samples)
+            .collect()
+    }
+
+    /// Detection accuracy of every target on the full corpus (sanity
+    /// diagnostics printed by the binaries).
+    pub fn detector_health(&self) -> Vec<(String, f32)> {
+        let mut out = Vec::new();
+        let all: Vec<&Sample> = self.dataset.samples.iter().collect();
+        for (name, det) in self.offline_targets() {
+            let pairs = mpass_detectors::train::score_pairs(det, &all);
+            out.push((name.to_owned(), mpass_ml::metrics::accuracy(&pairs, det.threshold())));
+        }
+        for av in &self.avs {
+            let pairs = mpass_detectors::train::score_pairs(av, &all);
+            out.push((av.name().to_owned(), mpass_ml::metrics::accuracy(&pairs, av.threshold())));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_world_builds_and_detects() {
+        let world = World::build(WorldConfig::quick());
+        for (name, acc) in world.detector_health() {
+            assert!(acc >= 0.7, "{name} accuracy {acc}");
+        }
+        // Attack sets are non-empty for every target.
+        for (name, det) in world.offline_targets() {
+            assert!(!world.attack_set(det).is_empty(), "{name} attack set empty");
+        }
+    }
+
+    #[test]
+    fn known_models_exclude_target() {
+        let world = World::build(WorldConfig::quick());
+        assert_eq!(world.known_models_excluding("MalConv").len(), 2);
+        assert_eq!(world.known_models_excluding("LightGBM").len(), 3);
+        assert_eq!(world.all_known_models().len(), 3);
+    }
+}

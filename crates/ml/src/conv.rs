@@ -1,0 +1,214 @@
+//! One-dimensional convolution over embedded byte sequences, with backprop
+//! to weights *and inputs* (the input gradient is what the ensemble
+//! transfer attack differentiates through).
+
+use crate::param::ParamBuf;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A 1-D convolution `in_ch → out_ch` with kernel width `kernel` and hop
+/// `stride`, over an input laid out `[position][in_ch]` (row-major flat).
+///
+/// Output layout is `[window][out_ch]` where
+/// `window = (len - kernel) / stride + 1`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv1d {
+    /// Kernel weights, `[out_ch][kernel][in_ch]` flattened.
+    pub weight: ParamBuf,
+    /// Per-output-channel bias.
+    pub bias: ParamBuf,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+}
+
+impl Conv1d {
+    /// New layer with He-style uniform init.
+    pub fn new<R: Rng + ?Sized>(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        let scale = (2.0 / (in_ch * kernel) as f32).sqrt();
+        Conv1d {
+            weight: ParamBuf::uniform(out_ch * kernel * in_ch, scale, rng),
+            bias: ParamBuf::new(vec![0.0; out_ch]),
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_ch(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Input channel count.
+    pub fn in_ch(&self) -> usize {
+        self.in_ch
+    }
+
+    /// Number of output windows for an input of `positions` rows.
+    pub fn windows(&self, positions: usize) -> usize {
+        if positions < self.kernel {
+            0
+        } else {
+            (positions - self.kernel) / self.stride + 1
+        }
+    }
+
+    /// Forward pass. `x` is `[positions × in_ch]` flat; returns
+    /// `[windows × out_ch]` flat.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len()` is not a multiple of `in_ch`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len() % self.in_ch, 0, "input not a whole number of positions");
+        let positions = x.len() / self.in_ch;
+        let windows = self.windows(positions);
+        let mut out = vec![0.0f32; windows * self.out_ch];
+        let k_in = self.kernel * self.in_ch;
+        for w in 0..windows {
+            let start = w * self.stride * self.in_ch;
+            let patch = &x[start..start + k_in];
+            let out_row = &mut out[w * self.out_ch..(w + 1) * self.out_ch];
+            for (oc, o) in out_row.iter_mut().enumerate() {
+                let kw = &self.weight.w[oc * k_in..(oc + 1) * k_in];
+                let mut acc = self.bias.w[oc];
+                for (a, b) in kw.iter().zip(patch) {
+                    acc += a * b;
+                }
+                *o = acc;
+            }
+        }
+        out
+    }
+
+    /// Backward pass: given `x` and the gradient w.r.t. the output,
+    /// accumulate weight/bias gradients and return the gradient w.r.t. `x`.
+    pub fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
+        let positions = x.len() / self.in_ch;
+        let windows = self.windows(positions);
+        debug_assert_eq!(grad_out.len(), windows * self.out_ch);
+        let mut grad_x = vec![0.0f32; x.len()];
+        let k_in = self.kernel * self.in_ch;
+        for w in 0..windows {
+            let start = w * self.stride * self.in_ch;
+            let patch = &x[start..start + k_in];
+            let g_row = &grad_out[w * self.out_ch..(w + 1) * self.out_ch];
+            for (oc, &g) in g_row.iter().enumerate() {
+                if g == 0.0 {
+                    continue;
+                }
+                self.bias.g[oc] += g;
+                let kw = &self.weight.w[oc * k_in..(oc + 1) * k_in];
+                let kg = &mut self.weight.g[oc * k_in..(oc + 1) * k_in];
+                let gx = &mut grad_x[start..start + k_in];
+                for i in 0..k_in {
+                    kg[i] += g * patch[i];
+                    gx[i] += g * kw[i];
+                }
+            }
+        }
+        grad_x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn conv(in_ch: usize, out_ch: usize, kernel: usize, stride: usize) -> Conv1d {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        Conv1d::new(in_ch, out_ch, kernel, stride, &mut rng)
+    }
+
+    #[test]
+    fn window_count() {
+        let c = conv(2, 3, 4, 2);
+        assert_eq!(c.windows(4), 1);
+        assert_eq!(c.windows(5), 1);
+        assert_eq!(c.windows(6), 2);
+        assert_eq!(c.windows(3), 0);
+    }
+
+    #[test]
+    fn forward_shape() {
+        let c = conv(2, 3, 4, 2);
+        let x = vec![0.1f32; 10 * 2];
+        let y = c.forward(&x);
+        assert_eq!(y.len(), c.windows(10) * 3);
+    }
+
+    #[test]
+    fn identity_like_kernel_detects_position() {
+        // One input channel, one output channel, kernel 1, stride 1, weight 1.
+        let mut c = conv(1, 1, 1, 1);
+        c.weight.w[0] = 1.0;
+        c.bias.w[0] = 0.0;
+        let x = vec![3.0, -1.0, 2.5];
+        assert_eq!(c.forward(&x), vec![3.0, -1.0, 2.5]);
+    }
+
+    /// Finite-difference gradient check against the analytic backward.
+    #[test]
+    fn gradient_check_weights_and_input() {
+        let mut c = conv(3, 2, 2, 1);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let x: Vec<f32> = (0..5 * 3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        // Scalar objective: sum of outputs.
+        let objective = |c: &Conv1d, x: &[f32]| -> f32 { c.forward(x).iter().sum() };
+        let y = c.forward(&x);
+        let grad_out = vec![1.0f32; y.len()];
+        c.weight.zero_grad();
+        c.bias.zero_grad();
+        let grad_x = c.backward(&x, &grad_out);
+
+        let eps = 1e-3;
+        // Check a handful of weight entries.
+        for idx in [0usize, 3, 7, 11] {
+            let mut cp = c.clone();
+            cp.weight.w[idx] += eps;
+            let mut cm = c.clone();
+            cm.weight.w[idx] -= eps;
+            let num = (objective(&cp, &x) - objective(&cm, &x)) / (2.0 * eps);
+            assert!(
+                (num - c.weight.g[idx]).abs() < 1e-2,
+                "weight {idx}: numeric {num} vs analytic {}",
+                c.weight.g[idx]
+            );
+        }
+        // Check input entries.
+        for idx in [0usize, 4, 9, 14] {
+            let mut xp = x.clone();
+            xp[idx] += eps;
+            let mut xm = x.clone();
+            xm[idx] -= eps;
+            let num = (objective(&c, &xp) - objective(&c, &xm)) / (2.0 * eps);
+            assert!(
+                (num - grad_x[idx]).abs() < 1e-2,
+                "input {idx}: numeric {num} vs analytic {}",
+                grad_x[idx]
+            );
+        }
+        // Bias gradient of a sum objective is the window count.
+        let windows = c.windows(5) as f32;
+        assert!(c.bias.g.iter().all(|&g| (g - windows).abs() < 1e-4));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of positions")]
+    fn ragged_input_panics() {
+        let c = conv(3, 1, 1, 1);
+        let _ = c.forward(&[0.0; 7]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Byte-embedding layer.
+//!
+//! MalConv-family detectors embed each input byte into a small dense
+//! vector. The MPass optimizer exploits exactly this layer: perturbations
+//! are optimized *in embedding space* and mapped back to discrete bytes via
+//! nearest-neighbour lookup ([`Embedding::nearest_token`]), following the
+//! paper's §III-D ("the perturbations are first lifted to feature vectors
+//! using the embedding layer ... and get mapped back to discrete bytes").
+
+use crate::param::ParamBuf;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A learned `vocab × dim` embedding table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Embedding {
+    /// Embedding table parameters, row-major `[vocab][dim]`.
+    pub table: ParamBuf,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// New table with uniform init.
+    pub fn new<R: Rng + ?Sized>(vocab: usize, dim: usize, rng: &mut R) -> Self {
+        Embedding { table: ParamBuf::uniform(vocab * dim, 0.5, rng), vocab, dim }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The embedding vector of `token`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token ≥ vocab`.
+    pub fn vector(&self, token: usize) -> &[f32] {
+        assert!(token < self.vocab, "token {token} out of vocabulary {}", self.vocab);
+        &self.table.w[token * self.dim..(token + 1) * self.dim]
+    }
+
+    /// Embed a token sequence into a flat `[len × dim]` activation.
+    pub fn forward(&self, tokens: &[usize]) -> Vec<f32> {
+        let mut out = Vec::with_capacity(tokens.len() * self.dim);
+        for &t in tokens {
+            out.extend_from_slice(self.vector(t));
+        }
+        out
+    }
+
+    /// Accumulate table gradients from the gradient w.r.t. the embedded
+    /// activation (same layout as [`Embedding::forward`] output).
+    pub fn backward(&mut self, tokens: &[usize], grad_out: &[f32]) {
+        debug_assert_eq!(grad_out.len(), tokens.len() * self.dim);
+        for (i, &t) in tokens.iter().enumerate() {
+            let g = &grad_out[i * self.dim..(i + 1) * self.dim];
+            let row = &mut self.table.g[t * self.dim..(t + 1) * self.dim];
+            for (r, &gi) in row.iter_mut().zip(g) {
+                *r += gi;
+            }
+        }
+    }
+
+    /// The token whose embedding is nearest (L2) to `vec`, optionally
+    /// restricted to tokens `< limit` (MalConv uses vocab 257 where token
+    /// 256 is padding, which must not be emitted as a byte).
+    pub fn nearest_token(&self, vec: &[f32], limit: usize) -> usize {
+        debug_assert_eq!(vec.len(), self.dim);
+        let limit = limit.min(self.vocab);
+        let mut best = 0;
+        let mut best_d = f32::INFINITY;
+        for t in 0..limit {
+            let row = self.vector(t);
+            let mut d = 0.0;
+            for (a, b) in row.iter().zip(vec) {
+                let diff = a - b;
+                d += diff * diff;
+            }
+            if d < best_d {
+                best_d = d;
+                best = t;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn emb() -> Embedding {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        Embedding::new(257, 4, &mut rng)
+    }
+
+    #[test]
+    fn forward_concatenates_rows() {
+        let e = emb();
+        let out = e.forward(&[3, 5]);
+        assert_eq!(out.len(), 8);
+        assert_eq!(&out[..4], e.vector(3));
+        assert_eq!(&out[4..], e.vector(5));
+    }
+
+    #[test]
+    fn backward_accumulates_per_token() {
+        let mut e = emb();
+        e.table.zero_grad();
+        let tokens = [7usize, 7, 9];
+        let grad = vec![1.0f32; 12];
+        e.backward(&tokens, &grad);
+        // token 7 appears twice → gradient 2.0 per component.
+        assert!(e.table.g[7 * 4..8 * 4].iter().all(|&g| (g - 2.0).abs() < 1e-6));
+        assert!(e.table.g[9 * 4..10 * 4].iter().all(|&g| (g - 1.0).abs() < 1e-6));
+        assert!(e.table.g[..4].iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn nearest_token_recovers_own_vector() {
+        let e = emb();
+        for t in [0usize, 100, 255] {
+            let v = e.vector(t).to_vec();
+            assert_eq!(e.nearest_token(&v, 256), t);
+        }
+    }
+
+    #[test]
+    fn nearest_token_respects_limit() {
+        let e = emb();
+        // The pad token (256) can never be returned with limit 256.
+        let v = e.vector(256).to_vec();
+        assert!(e.nearest_token(&v, 256) < 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn out_of_vocab_panics() {
+        let e = emb();
+        let _ = e.vector(300);
+    }
+}

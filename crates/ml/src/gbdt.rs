@@ -1,0 +1,328 @@
+//! Gradient-boosted decision trees with logistic loss — the stand-in for
+//! the LightGBM/EMBER detector (the paper's fourth offline model) and the
+//! tree component of the simulated commercial AVs.
+//!
+//! Second-order boosting (gradient + hessian, XGBoost/LightGBM style) with
+//! quantile candidate splits.
+
+use crate::activation::sigmoid;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters for [`Gbdt::train`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GbdtParams {
+    /// Number of boosting rounds.
+    pub trees: usize,
+    /// Maximum tree depth.
+    pub depth: usize,
+    /// Shrinkage applied to every leaf.
+    pub learning_rate: f32,
+    /// Minimum samples a node needs before splitting.
+    pub min_samples_split: usize,
+    /// Candidate thresholds examined per feature.
+    pub candidate_splits: usize,
+    /// L2 regularization on leaf values.
+    pub lambda: f32,
+    /// Fraction of features considered at each tree (column subsampling).
+    pub colsample: f32,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        GbdtParams {
+            trees: 60,
+            depth: 4,
+            learning_rate: 0.2,
+            min_samples_split: 8,
+            candidate_splits: 16,
+            lambda: 1.0,
+            colsample: 0.8,
+        }
+    }
+}
+
+/// One node of a regression tree, stored in a flat arena.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Split { feature: usize, threshold: f32, left: usize, right: usize },
+    Leaf { value: f32 },
+}
+
+/// A single regression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    /// Evaluate the tree on one feature vector.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        let mut at = 0;
+        loop {
+            match self.nodes[at] {
+                Node::Leaf { value } => return value,
+                Node::Split { feature, threshold, left, right } => {
+                    at = if x.get(feature).copied().unwrap_or(0.0) <= threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (diagnostic).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// A boosted ensemble for binary classification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Gbdt {
+    base: f32,
+    trees: Vec<Tree>,
+}
+
+struct Builder<'a> {
+    features: &'a [Vec<f32>],
+    grad: &'a [f32],
+    hess: &'a [f32],
+    params: GbdtParams,
+    active_features: Vec<usize>,
+    nodes: Vec<Node>,
+}
+
+impl<'a> Builder<'a> {
+    fn leaf_value(&self, idx: &[usize]) -> f32 {
+        let g: f32 = idx.iter().map(|&i| self.grad[i]).sum();
+        let h: f32 = idx.iter().map(|&i| self.hess[i]).sum();
+        -self.params.learning_rate * g / (h + self.params.lambda)
+    }
+
+    fn best_split(&self, idx: &[usize]) -> Option<(usize, f32, f32)> {
+        let g_total: f32 = idx.iter().map(|&i| self.grad[i]).sum();
+        let h_total: f32 = idx.iter().map(|&i| self.hess[i]).sum();
+        let lambda = self.params.lambda;
+        let parent_score = g_total * g_total / (h_total + lambda);
+        let mut best: Option<(usize, f32, f32)> = None;
+        for &f in &self.active_features {
+            let mut lo = f32::INFINITY;
+            let mut hi = f32::NEG_INFINITY;
+            for &i in idx {
+                let v = self.features[i][f];
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+            if !(hi > lo) {
+                continue;
+            }
+            for k in 1..=self.params.candidate_splits {
+                let thr = lo + (hi - lo) * k as f32 / (self.params.candidate_splits + 1) as f32;
+                let mut gl = 0.0f32;
+                let mut hl = 0.0f32;
+                let mut nl = 0usize;
+                for &i in idx {
+                    if self.features[i][f] <= thr {
+                        gl += self.grad[i];
+                        hl += self.hess[i];
+                        nl += 1;
+                    }
+                }
+                if nl == 0 || nl == idx.len() {
+                    continue;
+                }
+                let gr = g_total - gl;
+                let hr = h_total - hl;
+                let gain =
+                    gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score;
+                if gain > 1e-6 && best.map(|(_, _, g)| gain > g).unwrap_or(true) {
+                    best = Some((f, thr, gain));
+                }
+            }
+        }
+        best
+    }
+
+    fn build(&mut self, idx: Vec<usize>, depth: usize) -> usize {
+        if depth >= self.params.depth
+            || idx.len() < self.params.min_samples_split
+        {
+            let v = self.leaf_value(&idx);
+            self.nodes.push(Node::Leaf { value: v });
+            return self.nodes.len() - 1;
+        }
+        match self.best_split(&idx) {
+            None => {
+                let v = self.leaf_value(&idx);
+                self.nodes.push(Node::Leaf { value: v });
+                self.nodes.len() - 1
+            }
+            Some((feature, threshold, _)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                    idx.iter().partition(|&&i| self.features[i][feature] <= threshold);
+                let here = self.nodes.len();
+                self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+                let left = self.build(left_idx, depth + 1);
+                let right = self.build(right_idx, depth + 1);
+                self.nodes[here] = Node::Split { feature, threshold, left, right };
+                here
+            }
+        }
+    }
+}
+
+impl Gbdt {
+    /// Train on `(features, labels)` where labels are 1.0 (malicious) or
+    /// 0.0 (benign).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `features` is empty or lengths mismatch.
+    pub fn train<R: Rng + ?Sized>(
+        features: &[Vec<f32>],
+        labels: &[f32],
+        params: GbdtParams,
+        rng: &mut R,
+    ) -> Gbdt {
+        assert!(!features.is_empty(), "training set must be non-empty");
+        assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+        let n = features.len();
+        let dim = features[0].len();
+        let pos = labels.iter().sum::<f32>() / n as f32;
+        let base = (pos.clamp(1e-4, 1.0 - 1e-4) / (1.0 - pos.clamp(1e-4, 1.0 - 1e-4))).ln();
+        let mut logits = vec![base; n];
+        let mut trees = Vec::with_capacity(params.trees);
+        let n_cols = ((dim as f32 * params.colsample).ceil() as usize).clamp(1, dim);
+        for _ in 0..params.trees {
+            let grad: Vec<f32> =
+                logits.iter().zip(labels).map(|(&z, &y)| sigmoid(z) - y).collect();
+            let hess: Vec<f32> = logits
+                .iter()
+                .map(|&z| {
+                    let p = sigmoid(z);
+                    (p * (1.0 - p)).max(1e-6)
+                })
+                .collect();
+            let mut cols: Vec<usize> = (0..dim).collect();
+            // Column subsample: partial Fisher-Yates.
+            for i in 0..n_cols {
+                let j = rng.gen_range(i..dim);
+                cols.swap(i, j);
+            }
+            cols.truncate(n_cols);
+            let mut builder = Builder {
+                features,
+                grad: &grad,
+                hess: &hess,
+                params,
+                active_features: cols,
+                nodes: Vec::new(),
+            };
+            let root = builder.build((0..n).collect(), 0);
+            debug_assert_eq!(root, 0);
+            let tree = Tree { nodes: builder.nodes };
+            for (i, z) in logits.iter_mut().enumerate() {
+                *z += tree.predict(&features[i]);
+            }
+            trees.push(tree);
+        }
+        Gbdt { base, trees }
+    }
+
+    /// Raw additive logit.
+    pub fn logit(&self, x: &[f32]) -> f32 {
+        self.base + self.trees.iter().map(|t| t.predict(x)).sum::<f32>()
+    }
+
+    /// Malicious probability.
+    pub fn score(&self, x: &[f32]) -> f32 {
+        sigmoid(self.logit(x))
+    }
+
+    /// Number of trees.
+    pub fn tree_count(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy_dataset(rng: &mut ChaCha8Rng, n: usize) -> (Vec<Vec<f32>>, Vec<f32>) {
+        // Label = 1 iff x0 > 0.3 AND x2 < 0.5 — a tree-friendly rule.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let x: Vec<f32> = (0..4).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let y = if x[0] > 0.3 && x[2] < 0.5 { 1.0 } else { 0.0 };
+            xs.push(x);
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_axis_aligned_rule() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let (xs, ys) = toy_dataset(&mut rng, 400);
+        let model = Gbdt::train(&xs, &ys, GbdtParams::default(), &mut rng);
+        let (txs, tys) = toy_dataset(&mut rng, 200);
+        let correct = txs
+            .iter()
+            .zip(&tys)
+            .filter(|(x, y)| (model.score(x) > 0.5) == (**y > 0.5))
+            .count();
+        assert!(correct >= 190, "accuracy {correct}/200");
+    }
+
+    #[test]
+    fn single_class_predicts_that_class() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let xs: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32]).collect();
+        let ys = vec![1.0f32; 50];
+        let model = Gbdt::train(&xs, &ys, GbdtParams::default(), &mut rng);
+        assert!(model.score(&[25.0]) > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(8);
+        let (xs, ys) = toy_dataset(&mut r1, 100);
+        let mut ra = ChaCha8Rng::seed_from_u64(42);
+        let mut rb = ChaCha8Rng::seed_from_u64(42);
+        let m1 = Gbdt::train(&xs, &ys, GbdtParams::default(), &mut ra);
+        let m2 = Gbdt::train(&xs, &ys, GbdtParams::default(), &mut rb);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn missing_features_treated_as_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let (xs, ys) = toy_dataset(&mut rng, 100);
+        let model = Gbdt::train(&xs, &ys, GbdtParams::default(), &mut rng);
+        // Shorter vector must not panic.
+        let _ = model.score(&[0.5]);
+    }
+
+    #[test]
+    fn tree_count_matches_params() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let (xs, ys) = toy_dataset(&mut rng, 60);
+        let params = GbdtParams { trees: 13, ..GbdtParams::default() };
+        let model = Gbdt::train(&xs, &ys, params, &mut rng);
+        assert_eq!(model.tree_count(), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_training_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = Gbdt::train(&[], &[], GbdtParams::default(), &mut rng);
+    }
+}

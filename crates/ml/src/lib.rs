@@ -1,0 +1,46 @@
+//! # mpass-ml — the machine-learning substrate
+//!
+//! The MPass reproduction cannot rely on PyTorch or LightGBM; this crate
+//! implements the minimum viable ML stack the paper's detectors and attack
+//! need, from scratch:
+//!
+//! * [`ParamBuf`] / [`Adam`] — parameter buffers with gradient storage and
+//!   the Adam optimizer (used both to *train* detectors and to *optimize
+//!   adversarial perturbations*, §III-D of the paper),
+//! * [`Embedding`] — the byte-embedding layer through which perturbations
+//!   are lifted to continuous space and mapped back to discrete bytes
+//!   ([`Embedding::nearest_token`]),
+//! * [`Conv1d`] — MalConv-style convolutions over byte embeddings, with
+//!   backprop to both weights and inputs,
+//! * [`Linear`], [`global_max_pool`], sigmoid/relu activations and the
+//!   binary cross-entropy loss,
+//! * [`Mlp`] — small dense classifier used inside simulated commercial AVs,
+//! * [`Gbdt`] — histogram-based gradient-boosted decision trees standing in
+//!   for LightGBM/EMBER,
+//! * [`metrics`] — accuracy/AUC helpers.
+//!
+//! Every differentiable layer exposes `forward` and a `backward` that
+//! returns the gradient with respect to its input, so full input-gradient
+//! chains (loss → logits → conv → embedding) are available to the
+//! ensemble-transfer optimizer.
+
+mod activation;
+mod conv;
+mod embedding;
+mod gbdt;
+mod linear;
+mod loss;
+pub mod metrics;
+mod mlp;
+mod param;
+mod pool;
+
+pub use activation::{relu, relu_backward, sigmoid, sigmoid_backward};
+pub use conv::Conv1d;
+pub use embedding::Embedding;
+pub use gbdt::{Gbdt, GbdtParams, Tree};
+pub use linear::Linear;
+pub use loss::{bce_with_logits, bce_with_logits_backward};
+pub use mlp::Mlp;
+pub use param::{Adam, ParamBuf};
+pub use pool::{global_max_pool, global_max_pool_backward};

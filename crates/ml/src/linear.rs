@@ -1,0 +1,127 @@
+//! Fully-connected layer.
+
+use crate::param::ParamBuf;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense layer `in_dim → out_dim` operating on single vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weights, `[out_dim][in_dim]` flattened.
+    pub weight: ParamBuf,
+    /// Per-output bias.
+    pub bias: ParamBuf,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// New layer with Xavier-style uniform init.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        let scale = (1.0 / in_dim as f32).sqrt();
+        Linear {
+            weight: ParamBuf::uniform(out_dim * in_dim, scale, rng),
+            bias: ParamBuf::new(vec![0.0; out_dim]),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// `y = W x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_dim, "linear input dimension mismatch");
+        let mut y = self.bias.w.clone();
+        for (o, yo) in y.iter_mut().enumerate() {
+            let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
+            for (w, xi) in row.iter().zip(x) {
+                *yo += w * xi;
+            }
+        }
+        y
+    }
+
+    /// Accumulate weight/bias gradients and return the input gradient.
+    pub fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(grad_out.len(), self.out_dim);
+        let mut grad_x = vec![0.0f32; self.in_dim];
+        for (o, &g) in grad_out.iter().enumerate() {
+            self.bias.g[o] += g;
+            let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let grow = &mut self.weight.g[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                grow[i] += g * x[i];
+                grad_x[i] += g * row[i];
+            }
+        }
+        grad_x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut l = Linear::new(2, 2, &mut rng);
+        l.weight.w = vec![1.0, 2.0, 3.0, 4.0];
+        l.bias.w = vec![0.5, -0.5];
+        let y = l.forward(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn gradient_check() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut l = Linear::new(4, 3, &mut rng);
+        let x: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y = l.forward(&x);
+        let grad_out = vec![1.0f32; y.len()];
+        l.weight.zero_grad();
+        l.bias.zero_grad();
+        let grad_x = l.backward(&x, &grad_out);
+        let objective = |l: &Linear, x: &[f32]| -> f32 { l.forward(x).iter().sum() };
+        let eps = 1e-3;
+        for idx in 0..l.weight.len() {
+            let mut lp = l.clone();
+            lp.weight.w[idx] += eps;
+            let mut lm = l.clone();
+            lm.weight.w[idx] -= eps;
+            let num = (objective(&lp, &x) - objective(&lm, &x)) / (2.0 * eps);
+            assert!((num - l.weight.g[idx]).abs() < 1e-2);
+        }
+        for idx in 0..4 {
+            let mut xp = x.clone();
+            xp[idx] += eps;
+            let mut xm = x.clone();
+            xm[idx] -= eps;
+            let num = (objective(&l, &xp) - objective(&l, &xm)) / (2.0 * eps);
+            assert!((num - grad_x[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_size_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let l = Linear::new(3, 1, &mut rng);
+        let _ = l.forward(&[0.0; 5]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Binary cross-entropy with logits — the loss both for detector training
+//! and for the attack objective ℒ_opt = ℒ(F(x + M·δ), y) of Eq. 3, where
+//! the attack minimizes the loss toward the *benign* label.
+
+use crate::activation::sigmoid;
+
+/// Numerically stable `BCE(sigmoid(logit), target)`.
+///
+/// `target` is 1.0 for malicious, 0.0 for benign.
+pub fn bce_with_logits(logit: f32, target: f32) -> f32 {
+    // max(z,0) - z*t + ln(1 + e^{-|z|})
+    logit.max(0.0) - logit * target + (1.0 + (-logit.abs()).exp()).ln()
+}
+
+/// d loss / d logit.
+pub fn bce_with_logits_backward(logit: f32, target: f32) -> f32 {
+    sigmoid(logit) - target
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confident_correct_is_near_zero() {
+        assert!(bce_with_logits(10.0, 1.0) < 1e-3);
+        assert!(bce_with_logits(-10.0, 0.0) < 1e-3);
+    }
+
+    #[test]
+    fn confident_wrong_is_large() {
+        assert!(bce_with_logits(10.0, 0.0) > 5.0);
+        assert!(bce_with_logits(-10.0, 1.0) > 5.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        for &(z, t) in &[(0.5f32, 1.0f32), (-1.5, 0.0), (3.0, 0.0), (-2.0, 1.0)] {
+            let eps = 1e-3;
+            let num = (bce_with_logits(z + eps, t) - bce_with_logits(z - eps, t)) / (2.0 * eps);
+            let ana = bce_with_logits_backward(z, t);
+            assert!((num - ana).abs() < 1e-3, "z={z} t={t}");
+        }
+    }
+
+    #[test]
+    fn loss_is_nonnegative_and_stable_at_extremes() {
+        for &z in &[-500.0f32, -50.0, 0.0, 50.0, 500.0] {
+            for &t in &[0.0f32, 1.0] {
+                let l = bce_with_logits(z, t);
+                assert!(l.is_finite());
+                assert!(l >= 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Evaluation metrics for binary detectors.
+
+/// Fraction of `(score, label)` pairs classified correctly at `threshold`.
+///
+/// Labels are 1.0 (malicious) / 0.0 (benign). Empty input yields 0.0.
+pub fn accuracy(pairs: &[(f32, f32)], threshold: f32) -> f32 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let correct = pairs
+        .iter()
+        .filter(|(score, label)| (*score > threshold) == (*label > 0.5))
+        .count();
+    correct as f32 / pairs.len() as f32
+}
+
+/// Area under the ROC curve via the rank-sum (Mann–Whitney) formulation.
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+pub fn auc(pairs: &[(f32, f32)]) -> f32 {
+    let pos: Vec<f32> =
+        pairs.iter().filter(|(_, l)| *l > 0.5).map(|(s, _)| *s).collect();
+    let neg: Vec<f32> =
+        pairs.iter().filter(|(_, l)| *l <= 0.5).map(|(s, _)| *s).collect();
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    let mut wins = 0.0f64;
+    for &p in &pos {
+        for &n in &neg {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    (wins / (pos.len() as f64 * neg.len() as f64)) as f32
+}
+
+/// True-positive rate at `threshold` (detection rate on malicious items).
+pub fn detection_rate(pairs: &[(f32, f32)], threshold: f32) -> f32 {
+    let pos: Vec<&(f32, f32)> = pairs.iter().filter(|(_, l)| *l > 0.5).collect();
+    if pos.is_empty() {
+        return 0.0;
+    }
+    pos.iter().filter(|(s, _)| *s > threshold).count() as f32 / pos.len() as f32
+}
+
+/// False-positive rate at `threshold`.
+pub fn false_positive_rate(pairs: &[(f32, f32)], threshold: f32) -> f32 {
+    let neg: Vec<&(f32, f32)> = pairs.iter().filter(|(_, l)| *l <= 0.5).collect();
+    if neg.is_empty() {
+        return 0.0;
+    }
+    neg.iter().filter(|(s, _)| *s > threshold).count() as f32 / neg.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let pairs = vec![(0.9, 1.0), (0.8, 1.0), (0.1, 0.0), (0.2, 0.0)];
+        assert_eq!(accuracy(&pairs, 0.5), 1.0);
+        assert_eq!(auc(&pairs), 1.0);
+        assert_eq!(detection_rate(&pairs, 0.5), 1.0);
+        assert_eq!(false_positive_rate(&pairs, 0.5), 0.0);
+    }
+
+    #[test]
+    fn inverted_classifier() {
+        let pairs = vec![(0.1, 1.0), (0.9, 0.0)];
+        assert_eq!(accuracy(&pairs, 0.5), 0.0);
+        assert_eq!(auc(&pairs), 0.0);
+    }
+
+    #[test]
+    fn random_ties_give_half_auc() {
+        let pairs = vec![(0.5, 1.0), (0.5, 0.0), (0.5, 1.0), (0.5, 0.0)];
+        assert!((auc(&pairs) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_class_degenerates() {
+        let pairs = vec![(0.9, 1.0), (0.7, 1.0)];
+        assert_eq!(auc(&pairs), 0.5);
+        assert_eq!(false_positive_rate(&pairs, 0.5), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(accuracy(&[], 0.5), 0.0);
+        assert_eq!(auc(&[]), 0.5);
+        assert_eq!(detection_rate(&[], 0.5), 0.0);
+    }
+}

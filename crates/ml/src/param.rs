@@ -1,0 +1,165 @@
+//! Parameter buffers and the Adam optimizer.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A flat parameter buffer with its gradient accumulator and Adam moment
+/// estimates.
+///
+/// Layers own one `ParamBuf` per weight tensor; training code zeroes
+/// gradients, runs forward/backward, then calls [`Adam::step`] over every
+/// buffer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamBuf {
+    /// The parameters.
+    pub w: Vec<f32>,
+    /// Accumulated gradient, same length as `w`.
+    pub g: Vec<f32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl ParamBuf {
+    /// Wrap an initial parameter vector.
+    pub fn new(init: Vec<f32>) -> Self {
+        let n = init.len();
+        ParamBuf { w: init, g: vec![0.0; n], m: vec![0.0; n], v: vec![0.0; n], t: 0 }
+    }
+
+    /// Uniform initialization in `[-scale, scale]`.
+    pub fn uniform<R: Rng + ?Sized>(n: usize, scale: f32, rng: &mut R) -> Self {
+        ParamBuf::new((0..n).map(|_| rng.gen_range(-scale..=scale)).collect())
+    }
+
+    /// Zero the gradient accumulator.
+    pub fn zero_grad(&mut self) {
+        self.g.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Clamp every parameter to at least `min` (used by the NonNeg
+    /// detector, which constrains weights to be non-negative).
+    pub fn clamp_min(&mut self, min: f32) {
+        self.w.iter_mut().for_each(|w| *w = w.max(min));
+    }
+}
+
+/// Adam optimizer hyper-parameters; stateless across buffers (per-buffer
+/// moments live in [`ParamBuf`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate η.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical fuzz.
+    pub eps: f32,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+}
+
+impl Adam {
+    /// Adam with a custom learning rate (the paper's attack uses η = 0.01).
+    pub fn with_lr(lr: f32) -> Self {
+        Adam { lr, ..Adam::default() }
+    }
+
+    /// Apply one update to `buf` from its accumulated gradient, then clear
+    /// the gradient.
+    pub fn step(&self, buf: &mut ParamBuf) {
+        buf.t += 1;
+        let t = buf.t as f32;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for i in 0..buf.w.len() {
+            let g = buf.g[i];
+            buf.m[i] = self.beta1 * buf.m[i] + (1.0 - self.beta1) * g;
+            buf.v[i] = self.beta2 * buf.v[i] + (1.0 - self.beta2) * g * g;
+            let mhat = buf.m[i] / bc1;
+            let vhat = buf.v[i] / bc2;
+            buf.w[i] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+        buf.zero_grad();
+    }
+
+    /// Step a batch of buffers.
+    pub fn step_all(&self, bufs: &mut [&mut ParamBuf]) {
+        for b in bufs.iter_mut() {
+            self.step(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // f(w) = (w - 3)^2, gradient 2(w-3): Adam should reach ~3.
+        let mut buf = ParamBuf::new(vec![0.0]);
+        let adam = Adam::with_lr(0.1);
+        for _ in 0..500 {
+            buf.g[0] = 2.0 * (buf.w[0] - 3.0);
+            adam.step(&mut buf);
+        }
+        assert!((buf.w[0] - 3.0).abs() < 1e-2, "w = {}", buf.w[0]);
+    }
+
+    #[test]
+    fn step_clears_gradient() {
+        let mut buf = ParamBuf::new(vec![1.0, 2.0]);
+        buf.g = vec![0.5, -0.5];
+        Adam::default().step(&mut buf);
+        assert_eq!(buf.g, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn uniform_init_within_bounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let buf = ParamBuf::uniform(1000, 0.05, &mut rng);
+        assert!(buf.w.iter().all(|&w| (-0.05..=0.05).contains(&w)));
+        assert!(buf.w.iter().any(|&w| w != 0.0));
+    }
+
+    #[test]
+    fn clamp_min_enforces_nonneg() {
+        let mut buf = ParamBuf::new(vec![-1.0, 0.5, -0.2]);
+        buf.clamp_min(0.0);
+        assert_eq!(buf.w, vec![0.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn multi_dim_minimization() {
+        let target = [1.0f32, -2.0, 0.5, 4.0];
+        let mut buf = ParamBuf::new(vec![0.0; 4]);
+        let adam = Adam::with_lr(0.05);
+        for _ in 0..2000 {
+            for i in 0..4 {
+                buf.g[i] = 2.0 * (buf.w[i] - target[i]);
+            }
+            adam.step(&mut buf);
+        }
+        for i in 0..4 {
+            assert!((buf.w[i] - target[i]).abs() < 1e-2);
+        }
+    }
+}

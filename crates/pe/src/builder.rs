@@ -1,0 +1,274 @@
+//! Construction of fresh PE images.
+
+use crate::error::PeError;
+use crate::headers::{CoffHeader, DosHeader, OptionalHeader};
+use crate::section::{Section, SectionFlags, SectionHeader};
+use crate::PeFile;
+
+/// Builder for a PE executable assembled from named sections.
+///
+/// Section raw addresses, virtual addresses, image sizes and alignment are
+/// computed by [`PeBuilder::build`]; callers only provide content.
+///
+/// ```
+/// use mpass_pe::{PeBuilder, SectionFlags};
+/// # fn main() -> Result<(), mpass_pe::PeError> {
+/// let mut b = PeBuilder::new();
+/// b.add_section(".text", vec![0x90; 32], SectionFlags::CODE)?;
+/// b.set_entry_section(".text", 0)?;
+/// b.set_timestamp(0x600D_CAFE);
+/// let pe = b.build()?;
+/// assert_eq!(pe.coff().time_date_stamp, 0x600D_CAFE);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeBuilder {
+    sections: Vec<(String, Vec<u8>, SectionFlags)>,
+    entry: Option<(String, u32)>,
+    timestamp: Option<u32>,
+    subsystem: Option<u16>,
+    image_base: Option<u32>,
+    header_slack_sections: usize,
+}
+
+impl Default for PeBuilder {
+    fn default() -> Self {
+        PeBuilder {
+            sections: Vec::new(),
+            entry: None,
+            timestamp: None,
+            subsystem: None,
+            image_base: None,
+            header_slack_sections: 4,
+        }
+    }
+}
+
+impl PeBuilder {
+    /// Create an empty builder. The built image reserves header slack for
+    /// four additional section headers, matching typical linker output; use
+    /// [`PeBuilder::set_header_slack`] to change this.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reserve header room for `sections` extra section headers. A value of
+    /// zero produces an image on which [`crate::PeFile::add_section`] fails
+    /// with [`PeError::NoHeaderSpace`] — the condition under which MPass
+    /// falls back to overlay appending.
+    pub fn set_header_slack(&mut self, sections: usize) -> &mut Self {
+        self.header_slack_sections = sections;
+        self
+    }
+
+    /// Append a section with `name`, raw `data` and characteristic `flags`.
+    ///
+    /// # Errors
+    ///
+    /// [`PeError::NameTooLong`] when `name` exceeds 8 bytes,
+    /// [`PeError::DuplicateSection`] when a section with that name was
+    /// already added.
+    pub fn add_section(
+        &mut self,
+        name: &str,
+        data: Vec<u8>,
+        flags: SectionFlags,
+    ) -> Result<&mut Self, PeError> {
+        SectionHeader::encode_name(name)?;
+        if self.sections.iter().any(|(n, _, _)| n == name) {
+            return Err(PeError::DuplicateSection(name.to_owned()));
+        }
+        self.sections.push((name.to_owned(), data, flags));
+        Ok(self)
+    }
+
+    /// Place the entry point `offset` bytes into section `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`PeError::MissingSection`] when no such section has been added.
+    pub fn set_entry_section(&mut self, name: &str, offset: u32) -> Result<&mut Self, PeError> {
+        if !self.sections.iter().any(|(n, _, _)| n == name) {
+            return Err(PeError::MissingSection(name.to_owned()));
+        }
+        self.entry = Some((name.to_owned(), offset));
+        Ok(self)
+    }
+
+    /// Override the COFF timestamp.
+    pub fn set_timestamp(&mut self, ts: u32) -> &mut Self {
+        self.timestamp = Some(ts);
+        self
+    }
+
+    /// Override the subsystem field.
+    pub fn set_subsystem(&mut self, subsystem: u16) -> &mut Self {
+        self.subsystem = Some(subsystem);
+        self
+    }
+
+    /// Override the preferred image base.
+    pub fn set_image_base(&mut self, base: u32) -> &mut Self {
+        self.image_base = Some(base);
+        self
+    }
+
+    /// Assemble the [`PeFile`], computing the full layout.
+    ///
+    /// # Errors
+    ///
+    /// [`PeError::InvalidHeader`] when no sections were added (an image
+    /// without sections cannot carry an entry point).
+    pub fn build(&self) -> Result<PeFile, PeError> {
+        if self.sections.is_empty() {
+            return Err(PeError::InvalidHeader {
+                field: "number_of_sections",
+                reason: "an image needs at least one section".into(),
+            });
+        }
+        let mut coff = CoffHeader::default();
+        if let Some(ts) = self.timestamp {
+            coff.time_date_stamp = ts;
+        }
+        let mut optional = OptionalHeader::default();
+        if let Some(ss) = self.subsystem {
+            optional.subsystem = ss;
+        }
+        if let Some(base) = self.image_base {
+            optional.image_base = base;
+        }
+        let sections = self
+            .sections
+            .iter()
+            .map(|(name, data, flags)| {
+                let header = SectionHeader {
+                    name: SectionHeader::encode_name(name).expect("validated in add_section"),
+                    virtual_size: data.len() as u32,
+                    virtual_address: 0,
+                    size_of_raw_data: 0,
+                    pointer_to_raw_data: 0,
+                    pointer_to_relocations: 0,
+                    pointer_to_linenumbers: 0,
+                    number_of_relocations: 0,
+                    number_of_linenumbers: 0,
+                    characteristics: *flags,
+                };
+                Section::new(header, data.clone())
+            })
+            .collect();
+        let mut pe = PeFile {
+            dos: DosHeader::minimal(),
+            coff,
+            optional,
+            sections,
+            overlay: Vec::new(),
+        };
+        pe.optional.size_of_headers = (pe.header_size()
+            + self.header_slack_sections * crate::section::SECTION_HEADER_SIZE)
+            as u32;
+        pe.refresh_layout();
+        if let Some((name, offset)) = &self.entry {
+            let rva = pe
+                .section(name)
+                .map(|s| s.header().virtual_address + offset)
+                .ok_or_else(|| PeError::MissingSection(name.clone()))?;
+            pe.optional.address_of_entry_point = rva;
+        } else {
+            // Default: first byte of the first code section, if any.
+            if let Some(s) = pe.sections.iter().find(|s| s.header().characteristics.is_code()) {
+                pe.optional.address_of_entry_point = s.header().virtual_address;
+            }
+        }
+        pe.update_checksum();
+        Ok(pe)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PeFile;
+
+    #[test]
+    fn build_minimal() {
+        let mut b = PeBuilder::new();
+        b.add_section(".text", vec![1, 2, 3], SectionFlags::CODE).unwrap();
+        let pe = b.build().unwrap();
+        assert_eq!(pe.sections().len(), 1);
+        assert_eq!(pe.entry_point(), pe.section(".text").unwrap().header().virtual_address);
+    }
+
+    #[test]
+    fn empty_builder_fails() {
+        assert!(PeBuilder::new().build().is_err());
+    }
+
+    #[test]
+    fn duplicate_section_rejected() {
+        let mut b = PeBuilder::new();
+        b.add_section(".text", vec![], SectionFlags::CODE).unwrap();
+        assert!(matches!(
+            b.add_section(".text", vec![], SectionFlags::CODE),
+            Err(PeError::DuplicateSection(_))
+        ));
+    }
+
+    #[test]
+    fn entry_into_missing_section_rejected() {
+        let mut b = PeBuilder::new();
+        b.add_section(".text", vec![0; 4], SectionFlags::CODE).unwrap();
+        assert!(matches!(b.set_entry_section(".nope", 0), Err(PeError::MissingSection(_))));
+    }
+
+    #[test]
+    fn builder_output_parses() {
+        let mut b = PeBuilder::new();
+        b.add_section(".text", vec![0xCC; 1000], SectionFlags::CODE).unwrap();
+        b.add_section(".data", vec![0x55; 2000], SectionFlags::DATA).unwrap();
+        b.add_section(".rsrc", vec![0xAA; 300], SectionFlags::RSRC).unwrap();
+        b.set_entry_section(".text", 16).unwrap();
+        let pe = b.build().unwrap();
+        let pe2 = PeFile::parse(&pe.to_bytes()).unwrap();
+        assert_eq!(pe, pe2);
+    }
+
+    #[test]
+    fn default_slack_allows_adding_sections() {
+        let mut b = PeBuilder::new();
+        b.add_section(".text", vec![0; 64], SectionFlags::CODE).unwrap();
+        let mut pe = b.build().unwrap();
+        assert!(pe.can_add_section());
+        pe.add_section(".new", vec![1; 32], SectionFlags::DATA).unwrap();
+        assert_eq!(PeFile::parse(&pe.to_bytes()).unwrap(), pe);
+    }
+
+    #[test]
+    fn zero_slack_blocks_adding_sections() {
+        // With zero slack the header region is exactly full once aligned
+        // space is consumed; craft enough sections to exhaust the alignment
+        // padding as well.
+        let mut b = PeBuilder::new();
+        b.set_header_slack(0);
+        for i in 0..16 {
+            b.add_section(&format!(".s{i}"), vec![0; 8], SectionFlags::DATA).unwrap();
+        }
+        let mut pe = b.build().unwrap();
+        assert!(!pe.can_add_section());
+        assert!(matches!(
+            pe.add_section(".x", vec![0; 8], SectionFlags::DATA),
+            Err(PeError::NoHeaderSpace)
+        ));
+    }
+
+    #[test]
+    fn overrides_apply() {
+        let mut b = PeBuilder::new();
+        b.add_section(".text", vec![0; 4], SectionFlags::CODE).unwrap();
+        b.set_timestamp(123).set_subsystem(2).set_image_base(0x1000_0000);
+        let pe = b.build().unwrap();
+        assert_eq!(pe.coff().time_date_stamp, 123);
+        assert_eq!(pe.optional().subsystem, 2);
+        assert_eq!(pe.optional().image_base, 0x1000_0000);
+    }
+}

@@ -1,0 +1,271 @@
+//! Structural edit operations used by the attacks: adding sections,
+//! renaming sections, rewriting semantics-free header fields, appending
+//! overlay data, and writing through virtual addresses.
+
+use crate::error::PeError;
+use crate::section::{Section, SectionFlags, SectionHeader};
+use crate::PeFile;
+
+impl PeFile {
+    /// Append a new section at the end of the section table and the end of
+    /// the raw file. This is the paper's primary "modification position":
+    /// the blue region of Fig. 2 where the recovery module, decoding keys
+    /// and optimizable perturbation space live.
+    ///
+    /// Returns the RVA the new section was mapped at.
+    ///
+    /// # Errors
+    ///
+    /// * [`PeError::NameTooLong`] / [`PeError::DuplicateSection`] for bad
+    ///   names,
+    /// * [`PeError::NoHeaderSpace`] when the header region cannot hold
+    ///   another section header without moving raw data (the condition under
+    ///   which MPass falls back to overlay appending).
+    pub fn add_section(
+        &mut self,
+        name: &str,
+        data: Vec<u8>,
+        flags: SectionFlags,
+    ) -> Result<u32, PeError> {
+        SectionHeader::encode_name(name)?;
+        if self.section(name).is_some() {
+            return Err(PeError::DuplicateSection(name.to_owned()));
+        }
+        if !self.can_add_section() {
+            return Err(PeError::NoHeaderSpace);
+        }
+        let file_align = self.optional.file_alignment.max(1);
+        let rva = self.next_free_rva();
+        let raw_size = (data.len() as u32).div_ceil(file_align) * file_align;
+        let raw_ptr = self
+            .sections
+            .iter()
+            .map(|s| s.header.pointer_to_raw_data + s.header.size_of_raw_data)
+            .max()
+            .unwrap_or(self.optional.size_of_headers)
+            .div_ceil(file_align)
+            * file_align;
+        let mut data = data;
+        data.resize(raw_size as usize, 0);
+        let header = SectionHeader {
+            name: SectionHeader::encode_name(name)?,
+            virtual_size: data.len() as u32,
+            virtual_address: rva,
+            size_of_raw_data: raw_size,
+            pointer_to_raw_data: raw_ptr,
+            pointer_to_relocations: 0,
+            pointer_to_linenumbers: 0,
+            number_of_relocations: 0,
+            number_of_linenumbers: 0,
+            characteristics: flags,
+        };
+        self.sections.push(Section::new(header, data));
+        self.coff.number_of_sections = self.sections.len() as u16;
+        let sect_align = self.optional.section_alignment.max(1);
+        self.optional.size_of_image =
+            (rva + raw_size.max(1)).div_ceil(sect_align) * sect_align;
+        if flags.is_code() {
+            self.optional.size_of_code += raw_size;
+        } else if flags.is_initialized_data() {
+            self.optional.size_of_initialized_data += raw_size;
+        }
+        Ok(rva)
+    }
+
+    /// Rename an existing section — one of the semantics-free header edits
+    /// (grey region of Fig. 2).
+    ///
+    /// # Errors
+    ///
+    /// [`PeError::MissingSection`] when `old` does not exist,
+    /// [`PeError::NameTooLong`] for invalid `new` names,
+    /// [`PeError::DuplicateSection`] when `new` is already taken.
+    pub fn rename_section(&mut self, old: &str, new: &str) -> Result<(), PeError> {
+        let encoded = SectionHeader::encode_name(new)?;
+        if self.section(new).is_some() {
+            return Err(PeError::DuplicateSection(new.to_owned()));
+        }
+        let s = self
+            .section_mut(old)
+            .ok_or_else(|| PeError::MissingSection(old.to_owned()))?;
+        s.header.name = encoded;
+        Ok(())
+    }
+
+    /// Overwrite the COFF link timestamp (semantics-free header edit).
+    pub fn set_timestamp(&mut self, ts: u32) {
+        self.coff.time_date_stamp = ts;
+    }
+
+    /// Overwrite the semantics-free image version fields.
+    pub fn set_image_version(&mut self, major: u16, minor: u16) {
+        self.optional.major_image_version = major;
+        self.optional.minor_image_version = minor;
+    }
+
+    /// Redirect the entry point to `rva`. Used to point execution at the
+    /// recovery module.
+    ///
+    /// # Errors
+    ///
+    /// [`PeError::UnmappedRva`] when no section contains `rva`.
+    pub fn set_entry_point(&mut self, rva: u32) -> Result<(), PeError> {
+        if self.section_containing_rva(rva).is_none() {
+            return Err(PeError::UnmappedRva(rva));
+        }
+        self.optional.address_of_entry_point = rva;
+        Ok(())
+    }
+
+    /// Append bytes to the overlay (the purple region of Fig. 2; the
+    /// fallback perturbation position when a section cannot be added).
+    pub fn append_overlay(&mut self, bytes: &[u8]) {
+        self.overlay.extend_from_slice(bytes);
+    }
+
+    /// Truncate the overlay to `len` bytes (used by attacks that search
+    /// over append length).
+    pub fn truncate_overlay(&mut self, len: usize) {
+        self.overlay.truncate(len);
+    }
+
+    /// Write `bytes` at virtual address `rva`, spanning section boundaries
+    /// if needed.
+    ///
+    /// # Errors
+    ///
+    /// [`PeError::UnmappedRva`] if any target byte falls outside all
+    /// sections' raw data.
+    pub fn write_virtual(&mut self, rva: u32, bytes: &[u8]) -> Result<(), PeError> {
+        for (i, &b) in bytes.iter().enumerate() {
+            let addr = rva + i as u32;
+            let idx = self
+                .section_index_containing_rva(addr)
+                .ok_or(PeError::UnmappedRva(addr))?;
+            let s = &mut self.sections[idx];
+            let rel = (addr - s.header.virtual_address) as usize;
+            if rel >= s.data.len() {
+                return Err(PeError::UnmappedRva(addr));
+            }
+            s.data[rel] = b;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PeBuilder;
+
+    fn build() -> PeFile {
+        let mut b = PeBuilder::new();
+        b.add_section(".text", vec![0x90; 128], SectionFlags::CODE).unwrap();
+        b.add_section(".data", vec![0x00; 64], SectionFlags::DATA).unwrap();
+        b.set_entry_section(".text", 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn add_section_round_trips() {
+        let mut pe = build();
+        let rva = pe.add_section(".mp", vec![0xEE; 700], SectionFlags::CODE).unwrap();
+        let pe2 = PeFile::parse(&pe.to_bytes()).unwrap();
+        let s = pe2.section(".mp").unwrap();
+        assert_eq!(s.header().virtual_address, rva);
+        assert_eq!(&s.data()[..700], &vec![0xEE; 700][..]);
+        assert_eq!(pe2.coff().number_of_sections, 3);
+    }
+
+    #[test]
+    fn add_section_extends_image_size() {
+        let mut pe = build();
+        let before = pe.optional().size_of_image;
+        pe.add_section(".big", vec![1; 10_000], SectionFlags::DATA).unwrap();
+        assert!(pe.optional().size_of_image > before);
+        // The new virtual extent must be covered.
+        let s = pe.section(".big").unwrap();
+        assert!(
+            s.header().virtual_address + s.header().size_of_raw_data
+                <= pe.optional().size_of_image
+        );
+    }
+
+    #[test]
+    fn add_duplicate_section_fails() {
+        let mut pe = build();
+        assert!(matches!(
+            pe.add_section(".text", vec![], SectionFlags::CODE),
+            Err(PeError::DuplicateSection(_))
+        ));
+    }
+
+    #[test]
+    fn rename_section_works_and_validates() {
+        let mut pe = build();
+        pe.rename_section(".data", ".blob").unwrap();
+        assert!(pe.section(".blob").is_some());
+        assert!(pe.section(".data").is_none());
+        assert!(matches!(pe.rename_section(".gone", ".x"), Err(PeError::MissingSection(_))));
+        assert!(matches!(
+            pe.rename_section(".text", ".blob"),
+            Err(PeError::DuplicateSection(_))
+        ));
+    }
+
+    #[test]
+    fn renamed_section_round_trips() {
+        let mut pe = build();
+        pe.rename_section(".data", "UPX0").unwrap();
+        let pe2 = PeFile::parse(&pe.to_bytes()).unwrap();
+        assert!(pe2.section("UPX0").is_some());
+    }
+
+    #[test]
+    fn set_entry_point_validates_mapping() {
+        let mut pe = build();
+        let rva = pe.section(".data").unwrap().header().virtual_address + 8;
+        pe.set_entry_point(rva).unwrap();
+        assert_eq!(pe.entry_point(), rva);
+        assert!(matches!(pe.set_entry_point(0x00F0_0000), Err(PeError::UnmappedRva(_))));
+    }
+
+    #[test]
+    fn overlay_append_and_truncate() {
+        let mut pe = build();
+        pe.append_overlay(&[1, 2, 3, 4]);
+        pe.append_overlay(&[5, 6]);
+        assert_eq!(pe.overlay(), &[1, 2, 3, 4, 5, 6]);
+        pe.truncate_overlay(3);
+        assert_eq!(pe.overlay(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn write_virtual_crosses_into_raw_data_only() {
+        let mut pe = build();
+        let rva = pe.section(".text").unwrap().header().virtual_address;
+        pe.write_virtual(rva + 10, &[0xAB, 0xCD]).unwrap();
+        assert_eq!(pe.section(".text").unwrap().data()[10], 0xAB);
+        assert_eq!(pe.section(".text").unwrap().data()[11], 0xCD);
+        assert!(pe.write_virtual(0x00F0_0000, &[0]).is_err());
+    }
+
+    #[test]
+    fn timestamp_and_version_edits_round_trip() {
+        let mut pe = build();
+        pe.set_timestamp(0xDEAD_BEEF);
+        pe.set_image_version(7, 9);
+        let pe2 = PeFile::parse(&pe.to_bytes()).unwrap();
+        assert_eq!(pe2.coff().time_date_stamp, 0xDEAD_BEEF);
+        assert_eq!(pe2.optional().major_image_version, 7);
+        assert_eq!(pe2.optional().minor_image_version, 9);
+    }
+
+    #[test]
+    fn entry_point_survives_add_section() {
+        let mut pe = build();
+        let entry = pe.entry_point();
+        pe.add_section(".new", vec![0; 256], SectionFlags::DATA).unwrap();
+        assert_eq!(pe.entry_point(), entry);
+    }
+}

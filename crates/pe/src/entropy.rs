@@ -1,0 +1,102 @@
+//! Byte-statistics utilities shared by detectors and the corpus generator.
+
+/// Shannon entropy of a byte slice, in bits per byte (0.0..=8.0).
+///
+/// An empty slice has entropy 0 by convention.
+///
+/// ```
+/// let uniform: Vec<u8> = (0..=255).collect();
+/// assert!((mpass_pe::entropy(&uniform) - 8.0).abs() < 1e-9);
+/// assert_eq!(mpass_pe::entropy(&[7u8; 1024]), 0.0);
+/// ```
+pub fn entropy(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let hist = byte_histogram(bytes);
+    let n = bytes.len() as f64;
+    let mut h = 0.0;
+    for &count in hist.iter() {
+        if count > 0 {
+            let p = count as f64 / n;
+            h -= p * p.log2();
+        }
+    }
+    h
+}
+
+/// Counts of each byte value.
+pub fn byte_histogram(bytes: &[u8]) -> [u64; 256] {
+    let mut hist = [0u64; 256];
+    for &b in bytes {
+        hist[b as usize] += 1;
+    }
+    hist
+}
+
+/// Entropy computed over fixed-size windows; the tail window may be short
+/// but never empty. Returns one entropy value per window.
+///
+/// Used by detector feature extractors to spot localized high-entropy
+/// regions (packed/encrypted payloads).
+pub fn window_entropy(bytes: &[u8], window: usize) -> Vec<f64> {
+    assert!(window > 0, "window must be positive");
+    bytes.chunks(window).map(entropy).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        assert_eq!(entropy(&[]), 0.0);
+    }
+
+    #[test]
+    fn constant_is_zero() {
+        assert_eq!(entropy(&[0xAB; 4096]), 0.0);
+    }
+
+    #[test]
+    fn uniform_is_eight() {
+        let data: Vec<u8> = (0..4096).map(|i| (i % 256) as u8).collect();
+        assert!((entropy(&data) - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_symbols_is_one_bit() {
+        let data: Vec<u8> = (0..1000).map(|i| (i % 2) as u8).collect();
+        assert!((entropy(&data) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn entropy_bounded() {
+        let data = b"hello world, some text with structure".repeat(4);
+        let h = entropy(&data);
+        assert!(h > 0.0 && h < 8.0);
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let hist = byte_histogram(&[1, 1, 2, 255]);
+        assert_eq!(hist[1], 2);
+        assert_eq!(hist[2], 1);
+        assert_eq!(hist[255], 1);
+        assert_eq!(hist[0], 0);
+    }
+
+    #[test]
+    fn window_entropy_covers_tail() {
+        let data = vec![0u8; 1000];
+        let w = window_entropy(&data, 256);
+        assert_eq!(w.len(), 4); // 256,256,256,232
+        assert!(w.iter().all(|&e| e == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn window_zero_panics() {
+        window_entropy(&[1, 2, 3], 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type for PE parsing and manipulation.
+
+use std::fmt;
+
+/// Errors produced while parsing or editing a PE image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PeError {
+    /// The buffer is shorter than a structure requires.
+    Truncated {
+        /// What was being read when the buffer ran out.
+        context: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// A magic value did not match (`MZ`, `PE\0\0`, or the PE32 magic).
+    BadMagic {
+        /// Which magic failed.
+        context: &'static str,
+        /// The value found.
+        found: u32,
+    },
+    /// A header field holds a value the implementation cannot honor.
+    InvalidHeader {
+        /// Field name.
+        field: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A section with this name already exists.
+    DuplicateSection(String),
+    /// No section with this name exists.
+    MissingSection(String),
+    /// A section name exceeds the 8-byte PE limit.
+    NameTooLong(String),
+    /// The section table is full or overlaps raw data, so a section cannot
+    /// be added without relocating raw data (which this library refuses to
+    /// do implicitly).
+    NoHeaderSpace,
+    /// An RVA does not map into any section.
+    UnmappedRva(u32),
+}
+
+impl fmt::Display for PeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeError::Truncated { context, needed, available } => write!(
+                f,
+                "truncated image while reading {context}: need {needed} bytes, have {available}"
+            ),
+            PeError::BadMagic { context, found } => {
+                write!(f, "bad magic for {context}: {found:#x}")
+            }
+            PeError::InvalidHeader { field, reason } => {
+                write!(f, "invalid header field {field}: {reason}")
+            }
+            PeError::DuplicateSection(name) => write!(f, "section {name:?} already exists"),
+            PeError::MissingSection(name) => write!(f, "no section named {name:?}"),
+            PeError::NameTooLong(name) => {
+                write!(f, "section name {name:?} exceeds 8 bytes")
+            }
+            PeError::NoHeaderSpace => {
+                write!(f, "no room in the header region for another section header")
+            }
+            PeError::UnmappedRva(rva) => write!(f, "rva {rva:#x} maps into no section"),
+        }
+    }
+}
+
+impl std::error::Error for PeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<PeError> = vec![
+            PeError::Truncated { context: "coff header", needed: 20, available: 3 },
+            PeError::BadMagic { context: "dos header", found: 0x1234 },
+            PeError::InvalidHeader { field: "file_alignment", reason: "zero".into() },
+            PeError::DuplicateSection(".text".into()),
+            PeError::MissingSection(".data".into()),
+            PeError::NameTooLong("waytoolongname".into()),
+            PeError::NoHeaderSpace,
+            PeError::UnmappedRva(0x5000),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PeError>();
+    }
+}

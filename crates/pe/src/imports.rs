@@ -1,0 +1,397 @@
+//! The PE import table (`IMAGE_DIRECTORY_ENTRY_IMPORT`).
+//!
+//! Real PE executables declare the DLLs and functions they link against in
+//! an import directory; static detectors read it as a feature source and
+//! several published attacks pad it with benign imports. MPass explicitly
+//! does *not* modify import tables (paper footnote 5: their effect is
+//! negligible), but a credible PE substrate must still carry them: the
+//! corpus generator stamps realistic import tables onto every sample, the
+//! feature extractor reads them, and the baselines' action set can pad
+//! them.
+//!
+//! Layout implemented (PE32):
+//!
+//! ```text
+//! Import Directory Table:  IMAGE_IMPORT_DESCRIPTOR × n + zero terminator
+//!   +0  OriginalFirstThunk (RVA of Import Lookup Table)
+//!   +4  TimeDateStamp
+//!   +8  ForwarderChain
+//!   +12 Name               (RVA of NUL-terminated DLL name)
+//!   +16 FirstThunk         (RVA of Import Address Table)
+//! ILT/IAT: u32 entries; high bit ⇒ ordinal, else RVA of hint/name entry
+//! Hint/Name: u16 hint + NUL-terminated function name
+//! ```
+
+use crate::error::PeError;
+use crate::headers::read_u32;
+use crate::section::SectionFlags;
+use crate::PeFile;
+use serde::{Deserialize, Serialize};
+
+/// Size of one import descriptor.
+const DESCRIPTOR_SIZE: usize = 20;
+/// Data-directory slot of the import table.
+pub const IMPORT_DIRECTORY_INDEX: usize = 1;
+
+/// One imported symbol.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ImportEntry {
+    /// Import by name with a loader hint.
+    Name {
+        /// Loader hint (index guess into the export table).
+        hint: u16,
+        /// Function name.
+        name: String,
+    },
+    /// Import by ordinal.
+    Ordinal(u16),
+}
+
+impl ImportEntry {
+    /// Convenience constructor for by-name imports with hint 0.
+    pub fn by_name(name: &str) -> ImportEntry {
+        ImportEntry::Name { hint: 0, name: name.to_owned() }
+    }
+
+    /// The function name, if imported by name.
+    pub fn name(&self) -> Option<&str> {
+        match self {
+            ImportEntry::Name { name, .. } => Some(name),
+            ImportEntry::Ordinal(_) => None,
+        }
+    }
+}
+
+/// All imports from one DLL.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImportedDll {
+    /// DLL file name (`KERNEL32.dll`, …).
+    pub dll: String,
+    /// Imported symbols in table order.
+    pub entries: Vec<ImportEntry>,
+}
+
+/// A parsed or to-be-built import table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImportTable {
+    /// Imported DLLs in directory order.
+    pub dlls: Vec<ImportedDll>,
+}
+
+impl ImportTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        ImportTable::default()
+    }
+
+    /// Add imports for one DLL (appending to an existing entry with the
+    /// same name, case-insensitively).
+    pub fn add(&mut self, dll: &str, entries: Vec<ImportEntry>) -> &mut Self {
+        if let Some(existing) =
+            self.dlls.iter_mut().find(|d| d.dll.eq_ignore_ascii_case(dll))
+        {
+            existing.entries.extend(entries);
+        } else {
+            self.dlls.push(ImportedDll { dll: dll.to_owned(), entries });
+        }
+        self
+    }
+
+    /// Total imported symbols.
+    pub fn symbol_count(&self) -> usize {
+        self.dlls.iter().map(|d| d.entries.len()).sum()
+    }
+
+    /// All by-name imports, flattened.
+    pub fn names(&self) -> Vec<&str> {
+        self.dlls
+            .iter()
+            .flat_map(|d| d.entries.iter().filter_map(ImportEntry::name))
+            .collect()
+    }
+
+    /// Serialize the table into a self-contained blob to be placed at
+    /// `base_rva`; returns `(bytes, directory_size)`. The directory itself
+    /// sits at offset 0 of the blob.
+    pub fn build(&self, base_rva: u32) -> (Vec<u8>, u32) {
+        // Layout: [descriptors + terminator][ILTs][IATs][dll names][hint/names]
+        let n = self.dlls.len();
+        let dir_size = (n + 1) * DESCRIPTOR_SIZE;
+        // First pass: compute offsets.
+        let mut cursor = dir_size;
+        let mut ilt_offsets = Vec::with_capacity(n);
+        for d in &self.dlls {
+            ilt_offsets.push(cursor);
+            cursor += (d.entries.len() + 1) * 4;
+        }
+        let mut iat_offsets = Vec::with_capacity(n);
+        for d in &self.dlls {
+            iat_offsets.push(cursor);
+            cursor += (d.entries.len() + 1) * 4;
+        }
+        let mut name_offsets = Vec::with_capacity(n);
+        for d in &self.dlls {
+            name_offsets.push(cursor);
+            cursor += d.dll.len() + 1;
+        }
+        let mut hint_offsets: Vec<Vec<Option<usize>>> = Vec::with_capacity(n);
+        for d in &self.dlls {
+            let mut per = Vec::with_capacity(d.entries.len());
+            for e in &d.entries {
+                match e {
+                    ImportEntry::Name { name, .. } => {
+                        if cursor % 2 == 1 {
+                            cursor += 1; // hint/name entries are 2-aligned
+                        }
+                        per.push(Some(cursor));
+                        cursor += 2 + name.len() + 1;
+                    }
+                    ImportEntry::Ordinal(_) => per.push(None),
+                }
+            }
+            hint_offsets.push(per);
+        }
+        // Second pass: emit.
+        let mut out = vec![0u8; cursor];
+        let put32 = |out: &mut Vec<u8>, at: usize, v: u32| {
+            out[at..at + 4].copy_from_slice(&v.to_le_bytes());
+        };
+        for (i, d) in self.dlls.iter().enumerate() {
+            let at = i * DESCRIPTOR_SIZE;
+            put32(&mut out, at, base_rva + ilt_offsets[i] as u32);
+            put32(&mut out, at + 12, base_rva + name_offsets[i] as u32);
+            put32(&mut out, at + 16, base_rva + iat_offsets[i] as u32);
+            for (j, e) in d.entries.iter().enumerate() {
+                let entry = match e {
+                    ImportEntry::Ordinal(ord) => 0x8000_0000 | *ord as u32,
+                    ImportEntry::Name { .. } => {
+                        base_rva + hint_offsets[i][j].expect("name entry has offset") as u32
+                    }
+                };
+                put32(&mut out, ilt_offsets[i] + j * 4, entry);
+                put32(&mut out, iat_offsets[i] + j * 4, entry);
+            }
+            out[name_offsets[i]..name_offsets[i] + d.dll.len()]
+                .copy_from_slice(d.dll.as_bytes());
+            for (j, e) in d.entries.iter().enumerate() {
+                if let (ImportEntry::Name { hint, name }, Some(off)) =
+                    (e, hint_offsets[i][j])
+                {
+                    out[off..off + 2].copy_from_slice(&hint.to_le_bytes());
+                    out[off + 2..off + 2 + name.len()].copy_from_slice(name.as_bytes());
+                }
+            }
+        }
+        (out, dir_size as u32)
+    }
+}
+
+fn read_cstr(image: &[u8], at: usize) -> Result<String, PeError> {
+    let start = at;
+    let mut end = at;
+    loop {
+        match image.get(end) {
+            Some(0) => break,
+            Some(_) => end += 1,
+            None => {
+                return Err(PeError::Truncated {
+                    context: "import string",
+                    needed: end + 1,
+                    available: image.len(),
+                })
+            }
+        }
+        if end - start > 512 {
+            return Err(PeError::InvalidHeader {
+                field: "import name",
+                reason: "unterminated string".into(),
+            });
+        }
+    }
+    Ok(String::from_utf8_lossy(&image[start..end]).into_owned())
+}
+
+impl PeFile {
+    /// Parse the import table, if the image declares one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeError`] when the directory points at malformed or
+    /// truncated structures.
+    pub fn imports(&self) -> Result<Option<ImportTable>, PeError> {
+        let dir = self.optional.data_directories[IMPORT_DIRECTORY_INDEX];
+        if dir.virtual_address == 0 || dir.size == 0 {
+            return Ok(None);
+        }
+        let image = self.map_image();
+        let mut table = ImportTable::new();
+        let mut at = dir.virtual_address as usize;
+        loop {
+            let ilt = read_u32(&image, at, "import descriptor ilt")?;
+            let name_rva = read_u32(&image, at + 12, "import descriptor name")?;
+            let iat = read_u32(&image, at + 16, "import descriptor iat")?;
+            if ilt == 0 && name_rva == 0 && iat == 0 {
+                break;
+            }
+            let dll = read_cstr(&image, name_rva as usize)?;
+            let mut entries = Vec::new();
+            let mut t = (if ilt != 0 { ilt } else { iat }) as usize;
+            loop {
+                let entry = read_u32(&image, t, "import thunk")?;
+                if entry == 0 {
+                    break;
+                }
+                if entry & 0x8000_0000 != 0 {
+                    entries.push(ImportEntry::Ordinal(entry as u16));
+                } else {
+                    let hint =
+                        crate::headers::read_u16(&image, entry as usize, "import hint")?;
+                    let name = read_cstr(&image, entry as usize + 2)?;
+                    entries.push(ImportEntry::Name { hint, name });
+                }
+                t += 4;
+            }
+            table.dlls.push(ImportedDll { dll, entries });
+            at += DESCRIPTOR_SIZE;
+        }
+        Ok(Some(table))
+    }
+
+    /// Install `imports` as the image's import table: writes the blob into
+    /// a new `.idata`-style section (or the named section if it already
+    /// exists with enough space) and points the import data directory at
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates section-creation failures ([`PeError::NoHeaderSpace`]
+    /// when the section table is full).
+    pub fn set_imports(&mut self, imports: &ImportTable) -> Result<(), PeError> {
+        let rva = self.next_free_rva();
+        let (blob, dir_size) = imports.build(rva);
+        // A fresh name per call; replacing imports twice is not needed by
+        // any caller, so collide-free naming suffices.
+        let mut name = ".idata".to_owned();
+        let mut suffix = 0;
+        while self.section(&name).is_some() {
+            suffix += 1;
+            name = format!(".idat{suffix}");
+            if suffix > 9 {
+                return Err(PeError::DuplicateSection(name));
+            }
+        }
+        let got = self.add_section(&name, blob, SectionFlags::RDATA)?;
+        debug_assert_eq!(got, rva);
+        self.optional.data_directories[IMPORT_DIRECTORY_INDEX] =
+            crate::headers::DataDirectory { virtual_address: rva, size: dir_size };
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PeBuilder, PeFile};
+
+    fn sample_table() -> ImportTable {
+        let mut t = ImportTable::new();
+        t.add(
+            "KERNEL32.dll",
+            vec![
+                ImportEntry::by_name("CreateFileW"),
+                ImportEntry::Name { hint: 42, name: "ReadFile".into() },
+                ImportEntry::Ordinal(17),
+            ],
+        );
+        t.add("USER32.dll", vec![ImportEntry::by_name("MessageBoxW")]);
+        t
+    }
+
+    fn base_pe() -> PeFile {
+        let mut b = PeBuilder::new();
+        b.add_section(".text", vec![0x90; 64], crate::SectionFlags::CODE).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_parse_round_trip() {
+        let table = sample_table();
+        let mut pe = base_pe();
+        pe.set_imports(&table).unwrap();
+        let parsed = pe.imports().unwrap().expect("imports present");
+        assert_eq!(parsed, table);
+    }
+
+    #[test]
+    fn survives_serialization() {
+        let table = sample_table();
+        let mut pe = base_pe();
+        pe.set_imports(&table).unwrap();
+        pe.update_checksum();
+        let re = PeFile::parse(&pe.to_bytes()).unwrap();
+        assert_eq!(re.imports().unwrap().unwrap(), table);
+    }
+
+    #[test]
+    fn no_directory_means_no_imports() {
+        let pe = base_pe();
+        assert!(pe.imports().unwrap().is_none());
+    }
+
+    #[test]
+    fn add_merges_same_dll_case_insensitively() {
+        let mut t = ImportTable::new();
+        t.add("kernel32.DLL", vec![ImportEntry::by_name("A")]);
+        t.add("KERNEL32.dll", vec![ImportEntry::by_name("B")]);
+        assert_eq!(t.dlls.len(), 1);
+        assert_eq!(t.symbol_count(), 2);
+    }
+
+    #[test]
+    fn names_flattens_by_name_imports() {
+        let t = sample_table();
+        let names = t.names();
+        assert_eq!(names, vec!["CreateFileW", "ReadFile", "MessageBoxW"]);
+        assert_eq!(t.symbol_count(), 4);
+    }
+
+    #[test]
+    fn ordinal_bit_round_trips() {
+        let mut t = ImportTable::new();
+        t.add("X.dll", vec![ImportEntry::Ordinal(0x7FFF), ImportEntry::Ordinal(1)]);
+        let mut pe = base_pe();
+        pe.set_imports(&t).unwrap();
+        assert_eq!(pe.imports().unwrap().unwrap(), t);
+    }
+
+    #[test]
+    fn corrupted_directory_errors() {
+        let mut pe = base_pe();
+        pe.set_imports(&sample_table()).unwrap();
+        // Point the directory into the void.
+        pe.optional.data_directories[IMPORT_DIRECTORY_INDEX].virtual_address = 0x00F0_0000;
+        assert!(pe.imports().is_err());
+    }
+
+    #[test]
+    fn empty_table_builds_terminator_only() {
+        let t = ImportTable::new();
+        let (blob, dir_size) = t.build(0x5000);
+        assert_eq!(blob.len(), DESCRIPTOR_SIZE);
+        assert_eq!(dir_size as usize, DESCRIPTOR_SIZE);
+        assert!(blob.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn second_set_imports_uses_fresh_section_name() {
+        let mut pe = base_pe();
+        pe.set_imports(&sample_table()).unwrap();
+        let mut t2 = ImportTable::new();
+        t2.add("ADVAPI32.dll", vec![ImportEntry::by_name("RegOpenKeyW")]);
+        pe.set_imports(&t2).unwrap();
+        assert!(pe.section(".idata").is_some());
+        assert!(pe.section(".idat1").is_some());
+        // Directory points at the latest table.
+        assert_eq!(pe.imports().unwrap().unwrap(), t2);
+    }
+}

@@ -1,0 +1,151 @@
+//! Parsing a PE image from raw bytes.
+
+use crate::error::PeError;
+use crate::headers::{CoffHeader, DosHeader, OptionalHeader, PE_SIGNATURE};
+use crate::section::{Section, SectionHeader, SECTION_HEADER_SIZE};
+use crate::PeFile;
+
+impl PeFile {
+    /// Parse a PE image from its on-disk bytes.
+    ///
+    /// Parsing is strict about the structures the loader needs (magics,
+    /// alignments, in-bounds section table) and tolerant about everything
+    /// else, mirroring the Windows loader. Bytes past the end of the last
+    /// section's raw data are captured as the overlay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeError`] when the image is truncated, a magic value
+    /// mismatches, or a header field is malformed.
+    ///
+    /// ```
+    /// # fn main() -> Result<(), mpass_pe::PeError> {
+    /// let mut b = mpass_pe::PeBuilder::new();
+    /// b.add_section(".text", vec![0x90; 16], mpass_pe::SectionFlags::CODE)?;
+    /// let original = b.build()?;
+    /// let parsed = mpass_pe::PeFile::parse(&original.to_bytes())?;
+    /// assert_eq!(parsed, original);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn parse(bytes: &[u8]) -> Result<PeFile, PeError> {
+        let dos = DosHeader::parse(bytes)?;
+        let sig_at = dos.e_lfanew as usize;
+        let sig = bytes.get(sig_at..sig_at + 4).ok_or(PeError::Truncated {
+            context: "pe signature",
+            needed: sig_at + 4,
+            available: bytes.len(),
+        })?;
+        if sig != PE_SIGNATURE {
+            return Err(PeError::BadMagic {
+                context: "pe signature",
+                found: u32::from_le_bytes([sig[0], sig[1], sig[2], sig[3]]),
+            });
+        }
+        let coff_at = sig_at + 4;
+        let coff = CoffHeader::parse(bytes, coff_at)?;
+        let opt_at = coff_at + CoffHeader::SIZE;
+        let optional = OptionalHeader::parse(bytes, opt_at)?;
+
+        let table_at = opt_at + coff.size_of_optional_header as usize;
+        let n_sections = coff.number_of_sections as usize;
+        let mut sections = Vec::with_capacity(n_sections);
+        let mut raw_end = optional.size_of_headers as usize;
+        for i in 0..n_sections {
+            let header = SectionHeader::parse(bytes, table_at + i * SECTION_HEADER_SIZE)?;
+            let start = header.pointer_to_raw_data as usize;
+            let len = header.size_of_raw_data as usize;
+            let data = if len == 0 {
+                Vec::new()
+            } else {
+                bytes
+                    .get(start..start + len)
+                    .ok_or(PeError::Truncated {
+                        context: "section raw data",
+                        needed: start + len,
+                        available: bytes.len(),
+                    })?
+                    .to_vec()
+            };
+            raw_end = raw_end.max(start + len);
+            sections.push(Section::new(header, data));
+        }
+        let overlay = bytes.get(raw_end..).map(<[u8]>::to_vec).unwrap_or_default();
+        Ok(PeFile { dos, coff, optional, sections, overlay })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{PeBuilder, SectionFlags};
+
+    fn build() -> PeFile {
+        let mut b = PeBuilder::new();
+        b.add_section(".text", (0..200u16).map(|i| i as u8).collect(), SectionFlags::CODE)
+            .unwrap();
+        b.add_section(".data", vec![0x11; 80], SectionFlags::DATA).unwrap();
+        b.add_section(".rsrc", vec![0x22; 40], SectionFlags::RSRC).unwrap();
+        b.set_entry_section(".text", 0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_equality() {
+        let pe = build();
+        let bytes = pe.to_bytes();
+        let pe2 = PeFile::parse(&bytes).unwrap();
+        assert_eq!(pe, pe2);
+        assert_eq!(pe2.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn overlay_preserved() {
+        let mut pe = build();
+        pe.append_overlay(b"OVERLAYDATA");
+        let pe2 = PeFile::parse(&pe.to_bytes()).unwrap();
+        assert_eq!(pe2.overlay(), b"OVERLAYDATA");
+    }
+
+    #[test]
+    fn empty_input_fails() {
+        assert!(matches!(PeFile::parse(&[]), Err(PeError::Truncated { .. })));
+    }
+
+    #[test]
+    fn non_mz_fails() {
+        assert!(matches!(
+            PeFile::parse(&[0u8; 512]),
+            Err(PeError::BadMagic { context: "dos header", .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_signature_fails() {
+        let pe = build();
+        let mut bytes = pe.to_bytes();
+        let at = pe.dos().e_lfanew as usize;
+        bytes[at] = b'X';
+        assert!(matches!(
+            PeFile::parse(&bytes),
+            Err(PeError::BadMagic { context: "pe signature", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_section_data_fails() {
+        let pe = build();
+        let bytes = pe.to_bytes();
+        let cut = pe.optional().size_of_headers as usize + 10;
+        assert!(matches!(
+            PeFile::parse(&bytes[..cut]),
+            Err(PeError::Truncated { context: "section raw data", .. })
+        ));
+    }
+
+    #[test]
+    fn section_count_matches_header() {
+        let pe = build();
+        assert_eq!(pe.coff().number_of_sections as usize, pe.sections().len());
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests: any PE image assembled from arbitrary sections
+//! must survive serialize→parse→serialize byte-identically, and structural
+//! edits must preserve parseability.
+
+use mpass_pe::{PeBuilder, PeFile, SectionFlags};
+use proptest::prelude::*;
+
+fn arb_flags() -> impl Strategy<Value = SectionFlags> {
+    prop_oneof![
+        Just(SectionFlags::CODE),
+        Just(SectionFlags::DATA),
+        Just(SectionFlags::RDATA),
+        Just(SectionFlags::RSRC),
+    ]
+}
+
+fn arb_sections() -> impl Strategy<Value = Vec<(String, Vec<u8>, SectionFlags)>> {
+    prop::collection::vec(
+        (
+            "[a-z.]{1,8}",
+            prop::collection::vec(any::<u8>(), 0..2000),
+            arb_flags(),
+        ),
+        1..6,
+    )
+    .prop_filter("unique names", |v| {
+        let mut names: Vec<&String> = v.iter().map(|(n, _, _)| n).collect();
+        names.sort();
+        names.dedup();
+        names.len() == v.len()
+    })
+}
+
+fn build(sections: &[(String, Vec<u8>, SectionFlags)]) -> PeFile {
+    let mut b = PeBuilder::new();
+    for (name, data, flags) in sections {
+        b.add_section(name, data.clone(), *flags).unwrap();
+    }
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn serialize_parse_round_trip(sections in arb_sections()) {
+        let pe = build(&sections);
+        let bytes = pe.to_bytes();
+        let parsed = PeFile::parse(&bytes).unwrap();
+        prop_assert_eq!(&parsed, &pe);
+        prop_assert_eq!(parsed.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn section_data_is_recoverable(sections in arb_sections()) {
+        let pe = build(&sections);
+        let parsed = PeFile::parse(&pe.to_bytes()).unwrap();
+        for (name, data, _) in &sections {
+            let s = parsed.section(name).unwrap();
+            prop_assert_eq!(&s.data()[..data.len()], &data[..]);
+        }
+    }
+
+    #[test]
+    fn add_section_then_round_trip(
+        sections in arb_sections(),
+        extra in prop::collection::vec(any::<u8>(), 0..1000),
+    ) {
+        let mut pe = build(&sections);
+        if pe.section(".zz").is_none() && pe.can_add_section() {
+            pe.add_section(".zz", extra.clone(), SectionFlags::DATA).unwrap();
+            let parsed = PeFile::parse(&pe.to_bytes()).unwrap();
+            let s = parsed.section(".zz").unwrap();
+            prop_assert_eq!(&s.data()[..extra.len()], &extra[..]);
+        }
+    }
+
+    #[test]
+    fn overlay_survives_round_trip(
+        sections in arb_sections(),
+        overlay in prop::collection::vec(any::<u8>(), 1..500),
+    ) {
+        let mut pe = build(&sections);
+        pe.append_overlay(&overlay);
+        let parsed = PeFile::parse(&pe.to_bytes()).unwrap();
+        prop_assert_eq!(parsed.overlay(), &overlay[..]);
+    }
+
+    #[test]
+    fn rva_offset_bijection_inside_sections(sections in arb_sections()) {
+        let pe = build(&sections);
+        for s in pe.sections() {
+            if s.header().size_of_raw_data == 0 { continue; }
+            for delta in [0u32, s.header().size_of_raw_data - 1] {
+                let rva = s.header().virtual_address + delta;
+                let off = pe.rva_to_offset(rva).unwrap();
+                prop_assert_eq!(pe.offset_to_rva(off), Some(rva));
+            }
+        }
+    }
+
+    #[test]
+    fn map_image_matches_read_virtual(sections in arb_sections()) {
+        let pe = build(&sections);
+        let image = pe.map_image();
+        for s in pe.sections() {
+            let va = s.header().virtual_address;
+            let got = pe.read_virtual(va, s.data().len().min(64));
+            let want = &image[va as usize..va as usize + got.len()];
+            prop_assert_eq!(&got[..], want);
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! # mpass-sandbox — behavioural functionality verification
+//!
+//! The paper verifies functionality preservation by running original
+//! malware and its adversarial examples in a Cuckoo sandbox and comparing
+//! their runtime behaviours (API call sequences, §IV-A). This crate is
+//! that check over the MVM substrate: [`Sandbox::run`] executes a PE image
+//! and returns its API trace; [`Sandbox::verify_functionality`] compares an
+//! original against a modified sample and explains any divergence.
+//!
+//! ```
+//! use mpass_sandbox::{FunctionalityVerdict, Sandbox};
+//! use mpass_corpus::{CorpusConfig, Dataset};
+//!
+//! let ds = Dataset::generate(&CorpusConfig {
+//!     n_malware: 1, n_benign: 0, seed: 1, no_slack_fraction: 0.0,
+//! });
+//! let sandbox = Sandbox::new();
+//! let sample = &ds.samples[0];
+//! // A sample trivially preserves its own behaviour.
+//! assert_eq!(
+//!     sandbox.verify_functionality(&sample.bytes, &sample.bytes),
+//!     FunctionalityVerdict::Preserved,
+//! );
+//! ```
+
+use mpass_pe::PeFile;
+use mpass_vm::{Execution, Vm};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Result of comparing a modified sample against its original.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FunctionalityVerdict {
+    /// The modified sample runs to completion with an identical API trace.
+    Preserved,
+    /// The modified sample no longer parses as a PE.
+    BrokenParse,
+    /// The modified sample crashed, hung or was otherwise terminated
+    /// abnormally.
+    BrokenExecution {
+        /// The abnormal outcome observed.
+        outcome: mpass_vm::Outcome,
+    },
+    /// The modified sample ran but its API trace diverged.
+    BrokenBehavior {
+        /// Index of the first diverging API event (or the shorter trace's
+        /// length when one is a prefix of the other).
+        first_divergence: usize,
+    },
+}
+
+impl FunctionalityVerdict {
+    /// True when functionality is preserved.
+    pub fn is_preserved(&self) -> bool {
+        *self == FunctionalityVerdict::Preserved
+    }
+}
+
+impl fmt::Display for FunctionalityVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FunctionalityVerdict::Preserved => write!(f, "preserved"),
+            FunctionalityVerdict::BrokenParse => write!(f, "broken (unparseable)"),
+            FunctionalityVerdict::BrokenExecution { outcome } => {
+                write!(f, "broken (execution: {outcome:?})")
+            }
+            FunctionalityVerdict::BrokenBehavior { first_divergence } => {
+                write!(f, "broken (trace diverges at event {first_divergence})")
+            }
+        }
+    }
+}
+
+/// The behavioural sandbox.
+#[derive(Debug, Clone, Copy)]
+pub struct Sandbox {
+    step_limit: u64,
+}
+
+impl Default for Sandbox {
+    fn default() -> Self {
+        Sandbox { step_limit: mpass_vm::DEFAULT_STEP_LIMIT }
+    }
+}
+
+impl Sandbox {
+    /// Sandbox with the default instruction budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sandbox with a custom instruction budget.
+    pub fn with_step_limit(step_limit: u64) -> Self {
+        Sandbox { step_limit }
+    }
+
+    /// Execute a parsed PE and return the full execution record.
+    pub fn run_pe(&self, pe: &PeFile) -> Execution {
+        Vm::load(pe).with_step_limit(self.step_limit).run()
+    }
+
+    /// Parse and execute raw bytes. `None` when the bytes are not a PE.
+    pub fn run(&self, bytes: &[u8]) -> Option<Execution> {
+        let pe = PeFile::parse(bytes).ok()?;
+        Some(self.run_pe(&pe))
+    }
+
+    /// Compare a modified sample's behaviour against the original's.
+    ///
+    /// Behaviour equality is full API-trace equality (API identifier *and*
+    /// first argument per event): data corruption that changes what a
+    /// sample exfiltrates or encrypts counts as broken even if control flow
+    /// survives.
+    pub fn verify_functionality(
+        &self,
+        original: &[u8],
+        modified: &[u8],
+    ) -> FunctionalityVerdict {
+        let Some(orig_exec) = self.run(original) else {
+            return FunctionalityVerdict::BrokenParse;
+        };
+        let Some(mod_exec) = self.run(modified) else {
+            return FunctionalityVerdict::BrokenParse;
+        };
+        if !mod_exec.completed() {
+            return FunctionalityVerdict::BrokenExecution { outcome: mod_exec.outcome };
+        }
+        if orig_exec.trace == mod_exec.trace {
+            FunctionalityVerdict::Preserved
+        } else {
+            let first_divergence = orig_exec
+                .trace
+                .iter()
+                .zip(&mod_exec.trace)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| orig_exec.trace.len().min(mod_exec.trace.len()));
+            FunctionalityVerdict::BrokenBehavior { first_divergence }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpass_corpus::{CorpusConfig, Dataset};
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&CorpusConfig {
+            n_malware: 6,
+            n_benign: 2,
+            seed: 77,
+            no_slack_fraction: 0.0,
+        })
+    }
+
+    #[test]
+    fn identity_preserves() {
+        let ds = dataset();
+        let sb = Sandbox::new();
+        for s in &ds.samples {
+            assert!(sb.verify_functionality(&s.bytes, &s.bytes).is_preserved(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn semantics_free_edits_preserve() {
+        let ds = dataset();
+        let sb = Sandbox::new();
+        let s = &ds.samples[0];
+        let mut pe = s.pe.clone();
+        pe.set_timestamp(0xDEAD_BEEF);
+        pe.append_overlay(&[1, 2, 3, 4]);
+        assert!(sb.verify_functionality(&s.bytes, &pe.to_bytes()).is_preserved());
+    }
+
+    #[test]
+    fn code_corruption_is_caught() {
+        let ds = dataset();
+        let sb = Sandbox::new();
+        let s = &ds.samples[0];
+        let mut pe = s.pe.clone();
+        // Trash the first instructions.
+        let sec = pe.sections_mut().iter_mut().find(|s| s.header().characteristics.is_code()).unwrap();
+        for b in sec.data_mut().iter_mut().take(64) {
+            *b = 0xEE;
+        }
+        let verdict = sb.verify_functionality(&s.bytes, &pe.to_bytes());
+        assert!(!verdict.is_preserved(), "got {verdict}");
+    }
+
+    #[test]
+    fn data_corruption_changes_behavior() {
+        let ds = dataset();
+        let sb = Sandbox::new();
+        // Find a sample whose trace actually depends on data (all malware
+        // samples load some API args from .data).
+        let mut caught = 0;
+        for s in ds.malware() {
+            let mut pe = s.pe.clone();
+            let sec = pe.section_mut(".data").unwrap();
+            for b in sec.data_mut().iter_mut().take(128) {
+                *b = b.wrapping_add(0x5A);
+            }
+            let verdict = sb.verify_functionality(&s.bytes, &pe.to_bytes());
+            if matches!(verdict, FunctionalityVerdict::BrokenBehavior { .. }) {
+                caught += 1;
+            }
+        }
+        assert!(caught >= 3, "data corruption detected in only {caught}/6 samples");
+    }
+
+    #[test]
+    fn unparseable_modified_is_broken_parse() {
+        let ds = dataset();
+        let sb = Sandbox::new();
+        let s = &ds.samples[0];
+        assert_eq!(
+            sb.verify_functionality(&s.bytes, &[0u8; 64]),
+            FunctionalityVerdict::BrokenParse
+        );
+    }
+
+    #[test]
+    fn hang_is_broken_execution() {
+        let ds = dataset();
+        let s = &ds.samples[0];
+        let mut pe = s.pe.clone();
+        // Overwrite entry with a tight infinite loop: jmp -8.
+        let entry = pe.entry_point();
+        let jmp = mpass_vm::Instr::Jmp(-8).encode();
+        pe.write_virtual(entry, &jmp).unwrap();
+        let sb = Sandbox::with_step_limit(10_000);
+        assert!(matches!(
+            sb.verify_functionality(&s.bytes, &pe.to_bytes()),
+            FunctionalityVerdict::BrokenExecution { outcome: mpass_vm::Outcome::StepLimit }
+        ));
+    }
+
+    #[test]
+    fn divergence_index_reported() {
+        let ds = dataset();
+        let sb = Sandbox::new();
+        let a = &ds.samples[0];
+        let b = &ds.samples[1];
+        // Different samples almost surely diverge.
+        let verdict = sb.verify_functionality(&a.bytes, &b.bytes);
+        assert!(matches!(verdict, FunctionalityVerdict::BrokenBehavior { .. }));
+    }
+}

@@ -1,0 +1,154 @@
+//! The OS API namespace that MVM programs call into.
+//!
+//! MVM "system calls" are numbered APIs split into a benign set and a
+//! suspicious set. The synthetic corpus plants suspicious-API call
+//! sequences as ground-truth malicious behaviour; the sandbox records the
+//! API-call sequence as the behaviour trace that must be preserved by
+//! function-preserving attacks.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one OS API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ApiId(pub u16);
+
+macro_rules! apis {
+    ($($konst:ident = $id:expr, $name:expr, $susp:expr;)*) => {
+        $(
+            #[doc = concat!("The `", $name, "` API.")]
+            pub const $konst: ApiId = ApiId($id);
+        )*
+
+        /// All defined API identifiers.
+        pub const ALL: &[ApiId] = &[$($konst),*];
+
+        impl ApiId {
+            /// Human-readable API name; unknown ids format as `api_<n>`.
+            pub fn name(self) -> String {
+                match self.0 {
+                    $($id => $name.to_owned(),)*
+                    other => format!("api_{other}"),
+                }
+            }
+
+            /// Whether this API belongs to the suspicious set (the
+            /// behaviours malware exhibits and detectors key on).
+            pub fn is_suspicious(self) -> bool {
+                match self.0 {
+                    $($id => $susp,)*
+                    _ => false,
+                }
+            }
+
+            /// Whether the id is one of the defined APIs.
+            pub fn is_known(self) -> bool {
+                matches!(self.0, $($id)|*)
+            }
+        }
+    };
+}
+
+apis! {
+    // ---- benign APIs (1..=16) ----
+    CREATE_WINDOW = 1, "CreateWindow", false;
+    READ_FILE = 2, "ReadFile", false;
+    WRITE_FILE = 3, "WriteFile", false;
+    GET_SYSTEM_TIME = 4, "GetSystemTime", false;
+    LOAD_LIBRARY = 5, "LoadLibrary", false;
+    GET_PROC_ADDRESS = 6, "GetProcAddress", false;
+    MESSAGE_BOX = 7, "MessageBox", false;
+    REG_QUERY_VALUE = 8, "RegQueryValue", false;
+    OPEN_FILE = 9, "OpenFile", false;
+    CLOSE_HANDLE = 10, "CloseHandle", false;
+    SLEEP = 11, "Sleep", false;
+    GET_USER_NAME = 12, "GetUserName", false;
+    CREATE_THREAD = 13, "CreateThread", false;
+    PRINT_CONSOLE = 14, "PrintConsole", false;
+    ALLOC_MEM = 15, "AllocMem", false;
+    FREE_MEM = 16, "FreeMem", false;
+    // ---- suspicious APIs (17..=32) ----
+    REG_SET_PERSIST = 17, "RegSetValuePersist", true;
+    CREATE_REMOTE_THREAD = 18, "CreateRemoteThread", true;
+    HTTP_EXFILTRATE = 19, "HttpExfiltrate", true;
+    ENCRYPT_USER_FILES = 20, "EncryptUserFiles", true;
+    KEYLOG_START = 21, "KeyLogStart", true;
+    DISABLE_DEFENDER = 22, "DisableDefender", true;
+    INJECT_SHELLCODE = 23, "InjectShellcode", true;
+    OPEN_PROCESS_TOKEN = 24, "OpenProcessToken", true;
+    WALLET_SCAN = 25, "CryptoWalletScan", true;
+    SCREEN_CAPTURE = 26, "ScreenCapture", true;
+    DOWNLOAD_EXECUTE = 27, "DownloadExecute", true;
+    DELETE_SHADOW_COPIES = 28, "DeleteShadowCopies", true;
+    REVERSE_SHELL = 29, "SpawnReverseShell", true;
+    HOOK_KEYBOARD = 30, "HookKeyboard", true;
+    SELF_REPLICATE = 31, "SelfReplicate", true;
+    MODIFY_HOSTS = 32, "ModifyHostsFile", true;
+}
+
+/// The benign API subset.
+pub fn benign() -> Vec<ApiId> {
+    ALL.iter().copied().filter(|a| !a.is_suspicious()).collect()
+}
+
+/// The suspicious API subset.
+pub fn suspicious() -> Vec<ApiId> {
+    ALL.iter().copied().filter(|a| a.is_suspicious()).collect()
+}
+
+impl fmt::Display for ApiId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// One recorded API invocation: the behaviour-trace unit the sandbox
+/// compares between original malware and its adversarial example.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ApiEvent {
+    /// Which API was invoked.
+    pub api: ApiId,
+    /// The first argument register (`r0`) at call time. Including one
+    /// argument in the trace makes behaviour comparison sensitive to data
+    /// corruption, not just control flow.
+    pub arg: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benign_and_suspicious_partition_all() {
+        let b = benign();
+        let s = suspicious();
+        assert_eq!(b.len() + s.len(), ALL.len());
+        assert!(b.iter().all(|a| !a.is_suspicious()));
+        assert!(s.iter().all(|a| a.is_suspicious()));
+        assert_eq!(ALL.len(), 32);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = ALL.iter().map(|a| a.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), ALL.len());
+    }
+
+    #[test]
+    fn unknown_api_formats_and_is_not_suspicious() {
+        let id = ApiId(999);
+        assert_eq!(id.name(), "api_999");
+        assert!(!id.is_suspicious());
+        assert!(!id.is_known());
+    }
+
+    #[test]
+    fn known_examples() {
+        assert!(ENCRYPT_USER_FILES.is_suspicious());
+        assert!(!READ_FILE.is_suspicious());
+        assert!(READ_FILE.is_known());
+        assert_eq!(READ_FILE.to_string(), "ReadFile");
+    }
+}

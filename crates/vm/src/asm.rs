@@ -1,0 +1,211 @@
+//! A small label-resolving assembler for MVM programs.
+//!
+//! Programs (and the MPass recovery stub) are written as sequences of
+//! [`Instr`] plus symbolic jump targets; [`Asm::assemble`] resolves labels
+//! into PC-relative displacements.
+
+use crate::isa::{Instr, INSTR_SIZE};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors from assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A jump references a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A symbolic jump was requested on an instruction without a relative
+    /// target field.
+    NotAJump(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label {l:?}"),
+            AsmError::DuplicateLabel(l) => write!(f, "label {l:?} defined twice"),
+            AsmError::NotAJump(l) => {
+                write!(f, "symbolic target {l:?} attached to a non-jump instruction")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// One assembler item: a literal instruction, optionally carrying a
+/// symbolic target to resolve.
+#[derive(Debug, Clone)]
+struct Item {
+    instr: Instr,
+    target: Option<String>,
+}
+
+/// Label-resolving assembler.
+///
+/// ```
+/// use mpass_vm::{Asm, Instr, Reg};
+/// # fn main() -> Result<(), mpass_vm::AsmError> {
+/// let mut asm = Asm::new();
+/// asm.push(Instr::Movi(Reg::R0, 3));
+/// asm.label("loop");
+/// asm.push(Instr::Addi(Reg::R0, -1));
+/// asm.jump_to(Instr::Jnz(Reg::R0, 0), "loop");
+/// asm.push(Instr::Halt);
+/// let bytes = asm.assemble()?;
+/// assert_eq!(bytes.len(), 4 * 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+    errors: Vec<AsmError>,
+}
+
+impl Asm {
+    /// Create an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a literal instruction.
+    pub fn push(&mut self, instr: Instr) -> &mut Self {
+        self.items.push(Item { instr, target: None });
+        self
+    }
+
+    /// Append a control-transfer instruction whose displacement will be
+    /// resolved to `label`. The displacement inside `instr` is ignored.
+    pub fn jump_to(&mut self, instr: Instr, label: &str) -> &mut Self {
+        if instr.relative_target().is_none() {
+            self.errors.push(AsmError::NotAJump(label.to_owned()));
+        }
+        self.items.push(Item { instr, target: Some(label.to_owned()) });
+        self
+    }
+
+    /// Define `label` at the current position.
+    pub fn label(&mut self, label: &str) -> &mut Self {
+        if self.labels.insert(label.to_owned(), self.items.len()).is_some() {
+            self.errors.push(AsmError::DuplicateLabel(label.to_owned()));
+        }
+        self
+    }
+
+    /// Number of instructions appended so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no instructions have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Resolve labels and emit the encoded program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first recorded [`AsmError`] (undefined/duplicate label,
+    /// symbolic target on a non-jump).
+    pub fn assemble(&self) -> Result<Vec<u8>, AsmError> {
+        if let Some(e) = self.errors.first() {
+            return Err(e.clone());
+        }
+        let mut out = Vec::with_capacity(self.items.len() * INSTR_SIZE);
+        for (idx, item) in self.items.iter().enumerate() {
+            let instr = match &item.target {
+                None => item.instr,
+                Some(label) => {
+                    let target_idx = *self
+                        .labels
+                        .get(label)
+                        .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+                    let next = (idx + 1) * INSTR_SIZE;
+                    let disp = target_idx as i64 * INSTR_SIZE as i64 - next as i64;
+                    item.instr.with_relative_target(disp as i32)
+                }
+            };
+            out.extend_from_slice(&instr.encode());
+        }
+        Ok(out)
+    }
+
+    /// Resolve labels and return the instruction list (used by tests and
+    /// the shuffle engine, which operates on instructions rather than
+    /// bytes).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Asm::assemble`].
+    pub fn instructions(&self) -> Result<Vec<Instr>, AsmError> {
+        let bytes = self.assemble()?;
+        Ok(crate::isa::disassemble(&bytes).expect("assembler output always decodes"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Asm::new();
+        asm.label("start");
+        asm.push(Instr::Movi(Reg::R0, 1));
+        asm.jump_to(Instr::Jmp(0), "end");
+        asm.jump_to(Instr::Jmp(0), "start");
+        asm.label("end");
+        asm.push(Instr::Halt);
+        let instrs = asm.instructions().unwrap();
+        // jmp "end": at idx 1, target idx 3 → (3-2)*8 = +8
+        assert_eq!(instrs[1], Instr::Jmp(8));
+        // jmp "start": at idx 2, target idx 0 → (0-3)*8 = -24
+        assert_eq!(instrs[2], Instr::Jmp(-24));
+    }
+
+    #[test]
+    fn zero_displacement_falls_through() {
+        let mut asm = Asm::new();
+        asm.jump_to(Instr::Jmp(0), "next");
+        asm.label("next");
+        asm.push(Instr::Halt);
+        assert_eq!(asm.instructions().unwrap()[0], Instr::Jmp(0));
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut asm = Asm::new();
+        asm.jump_to(Instr::Jmp(0), "nowhere");
+        assert_eq!(asm.assemble(), Err(AsmError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn duplicate_label_errors() {
+        let mut asm = Asm::new();
+        asm.label("x");
+        asm.push(Instr::Nop);
+        asm.label("x");
+        assert_eq!(asm.assemble(), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn non_jump_with_target_errors() {
+        let mut asm = Asm::new();
+        asm.jump_to(Instr::Nop, "x");
+        asm.label("x");
+        assert_eq!(asm.assemble(), Err(AsmError::NotAJump("x".into())));
+    }
+
+    #[test]
+    fn literal_displacements_pass_through() {
+        let mut asm = Asm::new();
+        asm.push(Instr::Jmp(16));
+        asm.push(Instr::Halt);
+        assert_eq!(asm.instructions().unwrap()[0], Instr::Jmp(16));
+    }
+}

@@ -1,0 +1,556 @@
+//! The MVM interpreter: loads a PE image the way the OS loader would and
+//! executes from the entry point, recording the API-call behaviour trace.
+
+use crate::api::{ApiEvent, ApiId};
+use crate::isa::{Instr, Reg, INSTR_SIZE};
+use mpass_pe::PeFile;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Default bound on executed instructions, generous enough for every
+/// corpus program plus recovery stubs over full code/data sections.
+pub const DEFAULT_STEP_LIMIT: u64 = 20_000_000;
+
+/// A fault that terminates execution abnormally. Any fault on an
+/// adversarial example that the original did not exhibit means the attack
+/// destroyed functionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmFault {
+    /// PC left the mapped image or was mid-instruction at the image edge.
+    PcOutOfBounds(u32),
+    /// The bytes at PC did not decode to an instruction.
+    IllegalInstruction(u32),
+    /// A load/store touched an unmapped address.
+    MemoryOutOfBounds(u32),
+    /// `Pop`/`Ret` on an empty stack.
+    StackUnderflow,
+    /// The data or call stack grew past its bound.
+    StackOverflow,
+}
+
+impl fmt::Display for VmFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmFault::PcOutOfBounds(pc) => write!(f, "pc {pc:#x} outside mapped image"),
+            VmFault::IllegalInstruction(pc) => write!(f, "illegal instruction at {pc:#x}"),
+            VmFault::MemoryOutOfBounds(a) => write!(f, "memory access at {a:#x} out of bounds"),
+            VmFault::StackUnderflow => write!(f, "stack underflow"),
+            VmFault::StackOverflow => write!(f, "stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for VmFault {}
+
+/// How an execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// A `halt` instruction was reached.
+    Halted,
+    /// Execution faulted.
+    Faulted(VmFault),
+    /// The step limit was exhausted (treated as a hang).
+    StepLimit,
+}
+
+/// The result of running a program: outcome, step count and the API trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Execution {
+    /// Terminal condition.
+    pub outcome: Outcome,
+    /// Number of instructions executed.
+    pub steps: u64,
+    /// Recorded API calls in order.
+    pub trace: Vec<ApiEvent>,
+}
+
+impl Execution {
+    /// True when the program ran to a clean `halt`.
+    pub fn completed(&self) -> bool {
+        self.outcome == Outcome::Halted
+    }
+
+    /// The subsequence of suspicious API calls — the "malicious behaviour"
+    /// the sandbox checks for.
+    pub fn suspicious_calls(&self) -> Vec<ApiEvent> {
+        self.trace.iter().copied().filter(|e| e.api.is_suspicious()).collect()
+    }
+}
+
+const STACK_LIMIT: usize = 64 * 1024;
+
+/// The MVM virtual machine.
+///
+/// Address space: the PE image mapped at address 0 (RVA addressing), i.e.
+/// headers at 0 and every section at its RVA, with virtual-only space
+/// zero-filled. All of it is readable and writable — runtime unpacking,
+/// which both the MPass recovery module and the simulated packers rely on,
+/// writes over code.
+#[derive(Debug, Clone)]
+pub struct Vm {
+    memory: Vec<u8>,
+    regs: [u32; 8],
+    pc: u32,
+    data_stack: Vec<u32>,
+    call_stack: Vec<u32>,
+    step_limit: u64,
+}
+
+impl Vm {
+    /// Map `pe` into a fresh VM, with the PC at the PE entry point.
+    pub fn load(pe: &PeFile) -> Vm {
+        Vm {
+            memory: pe.map_image(),
+            regs: [0; 8],
+            pc: pe.entry_point(),
+            data_stack: Vec::new(),
+            call_stack: Vec::new(),
+            step_limit: DEFAULT_STEP_LIMIT,
+        }
+    }
+
+    /// Construct from a raw flat memory image and entry address (used by
+    /// unit tests and fuzzing).
+    pub fn from_image(memory: Vec<u8>, entry: u32) -> Vm {
+        Vm {
+            memory,
+            regs: [0; 8],
+            pc: entry,
+            data_stack: Vec::new(),
+            call_stack: Vec::new(),
+            step_limit: DEFAULT_STEP_LIMIT,
+        }
+    }
+
+    /// Override the instruction budget.
+    pub fn with_step_limit(mut self, limit: u64) -> Vm {
+        self.step_limit = limit;
+        self
+    }
+
+    /// Current register file (read-only view for assertions).
+    pub fn regs(&self) -> &[u32; 8] {
+        &self.regs
+    }
+
+    /// The VM memory after execution (used to assert in-place recovery).
+    pub fn memory(&self) -> &[u8] {
+        &self.memory
+    }
+
+    fn read8(&self, addr: u32) -> Result<u8, VmFault> {
+        self.memory.get(addr as usize).copied().ok_or(VmFault::MemoryOutOfBounds(addr))
+    }
+
+    fn write8(&mut self, addr: u32, v: u8) -> Result<(), VmFault> {
+        match self.memory.get_mut(addr as usize) {
+            Some(slot) => {
+                *slot = v;
+                Ok(())
+            }
+            None => Err(VmFault::MemoryOutOfBounds(addr)),
+        }
+    }
+
+    fn read32(&self, addr: u32) -> Result<u32, VmFault> {
+        let a = addr as usize;
+        if a + 4 > self.memory.len() {
+            return Err(VmFault::MemoryOutOfBounds(addr));
+        }
+        Ok(u32::from_le_bytes([
+            self.memory[a],
+            self.memory[a + 1],
+            self.memory[a + 2],
+            self.memory[a + 3],
+        ]))
+    }
+
+    fn write32(&mut self, addr: u32, v: u32) -> Result<(), VmFault> {
+        let a = addr as usize;
+        if a + 4 > self.memory.len() {
+            return Err(VmFault::MemoryOutOfBounds(addr));
+        }
+        self.memory[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Execute until halt, fault or step limit; consumes the VM's transient
+    /// state but leaves memory/registers inspectable afterwards via
+    /// [`Vm::memory`] / [`Vm::regs`] when called through
+    /// [`Vm::run_in_place`].
+    pub fn run(mut self) -> Execution {
+        self.run_in_place()
+    }
+
+    /// Like [`Vm::run`] but borrows, so memory and registers can be
+    /// inspected afterwards.
+    pub fn run_in_place(&mut self) -> Execution {
+        let mut trace = Vec::new();
+        let mut steps: u64 = 0;
+        loop {
+            if steps >= self.step_limit {
+                return Execution { outcome: Outcome::StepLimit, steps, trace };
+            }
+            let pc = self.pc;
+            let end = pc as usize + INSTR_SIZE;
+            if end > self.memory.len() {
+                return Execution {
+                    outcome: Outcome::Faulted(VmFault::PcOutOfBounds(pc)),
+                    steps,
+                    trace,
+                };
+            }
+            let instr = match Instr::decode(&self.memory[pc as usize..end]) {
+                Ok(i) => i,
+                Err(_) => {
+                    return Execution {
+                        outcome: Outcome::Faulted(VmFault::IllegalInstruction(pc)),
+                        steps,
+                        trace,
+                    }
+                }
+            };
+            steps += 1;
+            let next = pc.wrapping_add(INSTR_SIZE as u32);
+            self.pc = next;
+            let r = |reg: Reg| self.regs[reg.index()];
+            match instr {
+                Instr::Movi(a, imm) => self.regs[a.index()] = imm as u32,
+                Instr::Mov(a, b) => self.regs[a.index()] = r(b),
+                Instr::Add(a, b) => self.regs[a.index()] = r(a).wrapping_add(r(b)),
+                Instr::Sub(a, b) => self.regs[a.index()] = r(a).wrapping_sub(r(b)),
+                Instr::Xor(a, b) => self.regs[a.index()] = r(a) ^ r(b),
+                Instr::And(a, b) => self.regs[a.index()] = r(a) & r(b),
+                Instr::Or(a, b) => self.regs[a.index()] = r(a) | r(b),
+                Instr::Shl(a, b) => self.regs[a.index()] = r(a) << (r(b) & 31),
+                Instr::Shr(a, b) => self.regs[a.index()] = r(a) >> (r(b) & 31),
+                Instr::Mul(a, b) => self.regs[a.index()] = r(a).wrapping_mul(r(b)),
+                Instr::Addi(a, imm) => {
+                    self.regs[a.index()] = r(a).wrapping_add(imm as u32)
+                }
+                Instr::Ld8(a, b, imm) => {
+                    let addr = r(b).wrapping_add(imm as u32);
+                    match self.read8(addr) {
+                        Ok(v) => self.regs[a.index()] = v as u32,
+                        Err(f) => {
+                            return Execution { outcome: Outcome::Faulted(f), steps, trace }
+                        }
+                    }
+                }
+                Instr::St8(a, b, imm) => {
+                    let addr = r(b).wrapping_add(imm as u32);
+                    if let Err(f) = self.write8(addr, r(a) as u8) {
+                        return Execution { outcome: Outcome::Faulted(f), steps, trace };
+                    }
+                }
+                Instr::Ld32(a, b, imm) => {
+                    let addr = r(b).wrapping_add(imm as u32);
+                    match self.read32(addr) {
+                        Ok(v) => self.regs[a.index()] = v,
+                        Err(f) => {
+                            return Execution { outcome: Outcome::Faulted(f), steps, trace }
+                        }
+                    }
+                }
+                Instr::St32(a, b, imm) => {
+                    let addr = r(b).wrapping_add(imm as u32);
+                    if let Err(f) = self.write32(addr, r(a)) {
+                        return Execution { outcome: Outcome::Faulted(f), steps, trace };
+                    }
+                }
+                Instr::Jmp(d) => self.pc = next.wrapping_add(d as u32),
+                Instr::Jz(a, d) => {
+                    if r(a) == 0 {
+                        self.pc = next.wrapping_add(d as u32);
+                    }
+                }
+                Instr::Jnz(a, d) => {
+                    if r(a) != 0 {
+                        self.pc = next.wrapping_add(d as u32);
+                    }
+                }
+                Instr::Jlt(a, b, d) => {
+                    if r(a) < r(b) {
+                        self.pc = next.wrapping_add(d as u32);
+                    }
+                }
+                Instr::CallApi(id) => {
+                    trace.push(ApiEvent { api: id, arg: self.regs[0] });
+                    // Deterministic pseudo-result so data flow through API
+                    // results is reproducible.
+                    self.regs[0] = api_result(id, self.regs[0]);
+                }
+                Instr::Halt => {
+                    return Execution { outcome: Outcome::Halted, steps, trace };
+                }
+                Instr::Nop => {}
+                Instr::Push(a) => {
+                    if self.data_stack.len() >= STACK_LIMIT {
+                        return Execution {
+                            outcome: Outcome::Faulted(VmFault::StackOverflow),
+                            steps,
+                            trace,
+                        };
+                    }
+                    self.data_stack.push(r(a));
+                }
+                Instr::Pop(a) => match self.data_stack.pop() {
+                    Some(v) => self.regs[a.index()] = v,
+                    None => {
+                        return Execution {
+                            outcome: Outcome::Faulted(VmFault::StackUnderflow),
+                            steps,
+                            trace,
+                        }
+                    }
+                },
+                Instr::Call(d) => {
+                    if self.call_stack.len() >= STACK_LIMIT {
+                        return Execution {
+                            outcome: Outcome::Faulted(VmFault::StackOverflow),
+                            steps,
+                            trace,
+                        };
+                    }
+                    self.call_stack.push(next);
+                    self.pc = next.wrapping_add(d as u32);
+                }
+                Instr::Ret => match self.call_stack.pop() {
+                    Some(addr) => self.pc = addr,
+                    None => {
+                        return Execution {
+                            outcome: Outcome::Faulted(VmFault::StackUnderflow),
+                            steps,
+                            trace,
+                        }
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Deterministic pseudo-result an API returns, mixing the id and argument.
+fn api_result(id: ApiId, arg: u32) -> u32 {
+    let x = (id.0 as u32).wrapping_mul(0x9E37_79B9) ^ arg.rotate_left(13);
+    x.wrapping_add(0x7F4A_7C15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api;
+    use crate::asm::Asm;
+
+    fn run_program(asm: &Asm) -> (Execution, Vm) {
+        let code = asm.assemble().unwrap();
+        let mut mem = vec![0u8; 4096];
+        mem[..code.len()].copy_from_slice(&code);
+        let mut vm = Vm::from_image(mem, 0);
+        let exec = vm.run_in_place();
+        (exec, vm)
+    }
+
+    #[test]
+    fn arithmetic_and_halt() {
+        let mut asm = Asm::new();
+        asm.push(Instr::Movi(Reg::R0, 10));
+        asm.push(Instr::Movi(Reg::R1, 4));
+        asm.push(Instr::Sub(Reg::R0, Reg::R1));
+        asm.push(Instr::Halt);
+        let (exec, vm) = run_program(&asm);
+        assert!(exec.completed());
+        assert_eq!(vm.regs()[0], 6);
+        assert_eq!(exec.steps, 4);
+    }
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let mut asm = Asm::new();
+        asm.push(Instr::Movi(Reg::R0, -1));
+        asm.push(Instr::Movi(Reg::R1, 2));
+        asm.push(Instr::Add(Reg::R0, Reg::R1));
+        asm.push(Instr::Halt);
+        let (_, vm) = run_program(&asm);
+        assert_eq!(vm.regs()[0], 1);
+    }
+
+    #[test]
+    fn loop_decrements_to_zero() {
+        let mut asm = Asm::new();
+        asm.push(Instr::Movi(Reg::R0, 5));
+        asm.push(Instr::Movi(Reg::R2, 0));
+        asm.label("loop");
+        asm.push(Instr::Addi(Reg::R0, -1));
+        asm.push(Instr::Addi(Reg::R2, 3));
+        asm.jump_to(Instr::Jnz(Reg::R0, 0), "loop");
+        asm.push(Instr::Halt);
+        let (exec, vm) = run_program(&asm);
+        assert!(exec.completed());
+        assert_eq!(vm.regs()[2], 15);
+    }
+
+    #[test]
+    fn memory_byte_round_trip() {
+        let mut asm = Asm::new();
+        asm.push(Instr::Movi(Reg::R0, 0xAB));
+        asm.push(Instr::Movi(Reg::R1, 2048));
+        asm.push(Instr::St8(Reg::R0, Reg::R1, 4));
+        asm.push(Instr::Ld8(Reg::R2, Reg::R1, 4));
+        asm.push(Instr::Halt);
+        let (exec, vm) = run_program(&asm);
+        assert!(exec.completed());
+        assert_eq!(vm.regs()[2], 0xAB);
+        assert_eq!(vm.memory()[2052], 0xAB);
+    }
+
+    #[test]
+    fn memory_word_round_trip() {
+        let mut asm = Asm::new();
+        asm.push(Instr::Movi(Reg::R0, 0x1234_5678));
+        asm.push(Instr::Movi(Reg::R1, 1000));
+        asm.push(Instr::St32(Reg::R0, Reg::R1, 0));
+        asm.push(Instr::Ld32(Reg::R3, Reg::R1, 0));
+        asm.push(Instr::Halt);
+        let (_, vm) = run_program(&asm);
+        assert_eq!(vm.regs()[3], 0x1234_5678);
+        assert_eq!(&vm.memory()[1000..1004], &0x1234_5678u32.to_le_bytes());
+    }
+
+    #[test]
+    fn api_calls_are_traced_with_args() {
+        let mut asm = Asm::new();
+        asm.push(Instr::Movi(Reg::R0, 77));
+        asm.push(Instr::CallApi(api::HTTP_EXFILTRATE));
+        asm.push(Instr::CallApi(api::READ_FILE));
+        asm.push(Instr::Halt);
+        let (exec, _) = run_program(&asm);
+        assert_eq!(exec.trace.len(), 2);
+        assert_eq!(exec.trace[0], ApiEvent { api: api::HTTP_EXFILTRATE, arg: 77 });
+        assert_eq!(exec.suspicious_calls().len(), 1);
+    }
+
+    #[test]
+    fn api_result_is_deterministic() {
+        let mut asm = Asm::new();
+        asm.push(Instr::Movi(Reg::R0, 5));
+        asm.push(Instr::CallApi(api::GET_SYSTEM_TIME));
+        asm.push(Instr::CallApi(api::WRITE_FILE));
+        asm.push(Instr::Halt);
+        let (e1, _) = run_program(&asm);
+        let (e2, _) = run_program(&asm);
+        assert_eq!(e1.trace, e2.trace);
+        // Second call's arg is the first call's pseudo-result: data flows.
+        assert_ne!(e1.trace[1].arg, 5);
+    }
+
+    #[test]
+    fn call_ret() {
+        let mut asm = Asm::new();
+        asm.jump_to(Instr::Call(0), "sub");
+        asm.push(Instr::Halt);
+        asm.label("sub");
+        asm.push(Instr::Movi(Reg::R5, 99));
+        asm.push(Instr::Ret);
+        let (exec, vm) = run_program(&asm);
+        assert!(exec.completed());
+        assert_eq!(vm.regs()[5], 99);
+    }
+
+    #[test]
+    fn push_pop() {
+        let mut asm = Asm::new();
+        asm.push(Instr::Movi(Reg::R0, 11));
+        asm.push(Instr::Movi(Reg::R1, 22));
+        asm.push(Instr::Push(Reg::R0));
+        asm.push(Instr::Push(Reg::R1));
+        asm.push(Instr::Pop(Reg::R2));
+        asm.push(Instr::Pop(Reg::R3));
+        asm.push(Instr::Halt);
+        let (_, vm) = run_program(&asm);
+        assert_eq!(vm.regs()[2], 22);
+        assert_eq!(vm.regs()[3], 11);
+    }
+
+    #[test]
+    fn stack_underflow_faults() {
+        let mut asm = Asm::new();
+        asm.push(Instr::Pop(Reg::R0));
+        let (exec, _) = run_program(&asm);
+        assert_eq!(exec.outcome, Outcome::Faulted(VmFault::StackUnderflow));
+    }
+
+    #[test]
+    fn ret_without_call_faults() {
+        let mut asm = Asm::new();
+        asm.push(Instr::Ret);
+        let (exec, _) = run_program(&asm);
+        assert_eq!(exec.outcome, Outcome::Faulted(VmFault::StackUnderflow));
+    }
+
+    #[test]
+    fn oob_load_faults() {
+        let mut asm = Asm::new();
+        asm.push(Instr::Movi(Reg::R1, 1 << 20));
+        asm.push(Instr::Ld8(Reg::R0, Reg::R1, 0));
+        let (exec, _) = run_program(&asm);
+        assert!(matches!(exec.outcome, Outcome::Faulted(VmFault::MemoryOutOfBounds(_))));
+    }
+
+    #[test]
+    fn oob_pc_faults() {
+        let mut asm = Asm::new();
+        asm.push(Instr::Jmp(1 << 20));
+        let (exec, _) = run_program(&asm);
+        assert!(matches!(exec.outcome, Outcome::Faulted(VmFault::PcOutOfBounds(_))));
+    }
+
+    #[test]
+    fn illegal_instruction_faults() {
+        let mut mem = vec![0xEEu8; 64];
+        mem[0] = 0xEE;
+        let exec = Vm::from_image(mem, 0).run();
+        assert!(matches!(exec.outcome, Outcome::Faulted(VmFault::IllegalInstruction(0))));
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let mut asm = Asm::new();
+        asm.label("spin");
+        asm.jump_to(Instr::Jmp(0), "spin");
+        let code = asm.assemble().unwrap();
+        let mut mem = vec![0u8; 256];
+        mem[..code.len()].copy_from_slice(&code);
+        let exec = Vm::from_image(mem, 0).with_step_limit(1000).run();
+        assert_eq!(exec.outcome, Outcome::StepLimit);
+        assert_eq!(exec.steps, 1000);
+    }
+
+    #[test]
+    fn self_modifying_code_executes() {
+        // Program stores a HALT opcode over the instruction after the
+        // store, proving code is writable (required by runtime recovery).
+        let mut asm = Asm::new();
+        asm.push(Instr::Movi(Reg::R0, 0x31)); // HALT opcode byte
+        asm.push(Instr::Movi(Reg::R1, 3 * 8)); // address of instr #3
+        asm.push(Instr::St8(Reg::R0, Reg::R1, 0));
+        asm.push(Instr::Jmp(1 << 20)); // would fault if not overwritten
+        let (exec, _) = run_program(&asm);
+        assert_eq!(exec.outcome, Outcome::Halted);
+    }
+
+    #[test]
+    fn execution_from_pe_entry_point() {
+        let mut asm = Asm::new();
+        asm.push(Instr::CallApi(api::ENCRYPT_USER_FILES));
+        asm.push(Instr::Halt);
+        let code = asm.assemble().unwrap();
+        let mut b = mpass_pe::PeBuilder::new();
+        b.add_section(".text", code, mpass_pe::SectionFlags::CODE).unwrap();
+        b.set_entry_section(".text", 0).unwrap();
+        let pe = b.build().unwrap();
+        let exec = Vm::load(&pe).run();
+        assert!(exec.completed());
+        assert_eq!(exec.suspicious_calls().len(), 1);
+    }
+}

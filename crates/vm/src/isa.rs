@@ -1,0 +1,514 @@
+//! The MVM instruction set and its fixed-width binary encoding.
+//!
+//! Every instruction occupies exactly [`INSTR_SIZE`] bytes:
+//! `[opcode, a, b, c, imm₀, imm₁, imm₂, imm₃]` with a little-endian signed
+//! 32-bit immediate. The fixed width is a deliberate substrate choice: the
+//! MPass shuffle strategy permutes individual instructions and patches
+//! relative jumps, which requires unambiguous instruction boundaries.
+//!
+//! Control flow is PC-relative: a jump with immediate `d` transfers to
+//! `address_of_next_instruction + d`. Relative addressing is exactly what
+//! the shuffle engine must re-patch when instructions move (§III-C).
+
+use crate::api::ApiId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Size in bytes of every encoded instruction.
+pub const INSTR_SIZE: usize = 8;
+
+/// One of the eight MVM general-purpose registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum Reg {
+    R0,
+    R1,
+    R2,
+    R3,
+    R4,
+    R5,
+    R6,
+    R7,
+}
+
+impl Reg {
+    /// All registers in index order.
+    pub const ALL: [Reg; 8] =
+        [Reg::R0, Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6, Reg::R7];
+
+    /// The register's index 0..8.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Register from an index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BadRegister`] for indices ≥ 8.
+    pub fn from_index(i: u8) -> Result<Reg, DecodeError> {
+        Reg::ALL.get(i as usize).copied().ok_or(DecodeError::BadRegister(i))
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.index())
+    }
+}
+
+/// Errors from decoding instruction bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// Register field out of range.
+    BadRegister(u8),
+    /// Fewer than [`INSTR_SIZE`] bytes available.
+    Truncated(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::BadRegister(r) => write!(f, "register index {r} out of range"),
+            DecodeError::Truncated(n) => write!(f, "need {INSTR_SIZE} bytes, found {n}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+mod op {
+    pub const MOVI: u8 = 0x01;
+    pub const MOV: u8 = 0x02;
+    pub const ADD: u8 = 0x03;
+    pub const SUB: u8 = 0x04;
+    pub const XOR: u8 = 0x05;
+    pub const AND: u8 = 0x06;
+    pub const OR: u8 = 0x07;
+    pub const SHL: u8 = 0x08;
+    pub const SHR: u8 = 0x09;
+    pub const MUL: u8 = 0x0A;
+    pub const ADDI: u8 = 0x0B;
+    pub const LD8: u8 = 0x10;
+    pub const ST8: u8 = 0x11;
+    pub const LD32: u8 = 0x12;
+    pub const ST32: u8 = 0x13;
+    pub const JMP: u8 = 0x20;
+    pub const JZ: u8 = 0x21;
+    pub const JNZ: u8 = 0x22;
+    pub const JLT: u8 = 0x23;
+    pub const CALLAPI: u8 = 0x30;
+    pub const HALT: u8 = 0x31;
+    pub const NOP: u8 = 0x32;
+    pub const PUSH: u8 = 0x40;
+    pub const POP: u8 = 0x41;
+    pub const CALL: u8 = 0x42;
+    pub const RET: u8 = 0x43;
+}
+
+/// An MVM instruction.
+///
+/// Arithmetic wraps (two's complement); `Sub` is the workhorse of the
+/// MPass recovery module, which restores original bytes via
+/// `x = b − k` exactly as Eq. (recovery) in §III-C.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Instr {
+    /// `r[a] = imm`
+    Movi(Reg, i32),
+    /// `r[a] = r[b]`
+    Mov(Reg, Reg),
+    /// `r[a] += r[b]` (wrapping)
+    Add(Reg, Reg),
+    /// `r[a] -= r[b]` (wrapping)
+    Sub(Reg, Reg),
+    /// `r[a] ^= r[b]`
+    Xor(Reg, Reg),
+    /// `r[a] &= r[b]`
+    And(Reg, Reg),
+    /// `r[a] |= r[b]`
+    Or(Reg, Reg),
+    /// `r[a] <<= (r[b] & 31)`
+    Shl(Reg, Reg),
+    /// `r[a] >>= (r[b] & 31)` (logical)
+    Shr(Reg, Reg),
+    /// `r[a] *= r[b]` (wrapping)
+    Mul(Reg, Reg),
+    /// `r[a] += imm` (wrapping)
+    Addi(Reg, i32),
+    /// `r[a] = mem8[r[b] + imm]` (zero-extended)
+    Ld8(Reg, Reg, i32),
+    /// `mem8[r[b] + imm] = low8(r[a])`
+    St8(Reg, Reg, i32),
+    /// `r[a] = mem32[r[b] + imm]` (little-endian)
+    Ld32(Reg, Reg, i32),
+    /// `mem32[r[b] + imm] = r[a]`
+    St32(Reg, Reg, i32),
+    /// `pc = next + imm`
+    Jmp(i32),
+    /// `if r[a] == 0 { pc = next + imm }`
+    Jz(Reg, i32),
+    /// `if r[a] != 0 { pc = next + imm }`
+    Jnz(Reg, i32),
+    /// `if r[a] < r[b] { pc = next + imm }` (unsigned)
+    Jlt(Reg, Reg, i32),
+    /// Invoke OS API `id` with args `r0..r3`; result in `r0`.
+    CallApi(ApiId),
+    /// Stop execution successfully.
+    Halt,
+    /// No operation.
+    Nop,
+    /// Push `r[a]` on the data stack.
+    Push(Reg),
+    /// Pop the data stack into `r[a]`.
+    Pop(Reg),
+    /// Push return address, `pc = next + imm`.
+    Call(i32),
+    /// Pop return address into `pc`.
+    Ret,
+}
+
+impl Instr {
+    /// Encode into the fixed 8-byte form.
+    pub fn encode(&self) -> [u8; INSTR_SIZE] {
+        let (opc, a, b, c, imm): (u8, u8, u8, u8, i32) = match *self {
+            Instr::Movi(r, imm) => (op::MOVI, r.index() as u8, 0, 0, imm),
+            Instr::Mov(a, b) => (op::MOV, a.index() as u8, b.index() as u8, 0, 0),
+            Instr::Add(a, b) => (op::ADD, a.index() as u8, b.index() as u8, 0, 0),
+            Instr::Sub(a, b) => (op::SUB, a.index() as u8, b.index() as u8, 0, 0),
+            Instr::Xor(a, b) => (op::XOR, a.index() as u8, b.index() as u8, 0, 0),
+            Instr::And(a, b) => (op::AND, a.index() as u8, b.index() as u8, 0, 0),
+            Instr::Or(a, b) => (op::OR, a.index() as u8, b.index() as u8, 0, 0),
+            Instr::Shl(a, b) => (op::SHL, a.index() as u8, b.index() as u8, 0, 0),
+            Instr::Shr(a, b) => (op::SHR, a.index() as u8, b.index() as u8, 0, 0),
+            Instr::Mul(a, b) => (op::MUL, a.index() as u8, b.index() as u8, 0, 0),
+            Instr::Addi(r, imm) => (op::ADDI, r.index() as u8, 0, 0, imm),
+            Instr::Ld8(a, b, imm) => (op::LD8, a.index() as u8, b.index() as u8, 0, imm),
+            Instr::St8(a, b, imm) => (op::ST8, a.index() as u8, b.index() as u8, 0, imm),
+            Instr::Ld32(a, b, imm) => (op::LD32, a.index() as u8, b.index() as u8, 0, imm),
+            Instr::St32(a, b, imm) => (op::ST32, a.index() as u8, b.index() as u8, 0, imm),
+            Instr::Jmp(imm) => (op::JMP, 0, 0, 0, imm),
+            Instr::Jz(r, imm) => (op::JZ, r.index() as u8, 0, 0, imm),
+            Instr::Jnz(r, imm) => (op::JNZ, r.index() as u8, 0, 0, imm),
+            Instr::Jlt(a, b, imm) => (op::JLT, a.index() as u8, b.index() as u8, 0, imm),
+            Instr::CallApi(id) => (op::CALLAPI, 0, 0, 0, id.0 as i32),
+            Instr::Halt => (op::HALT, 0, 0, 0, 0),
+            Instr::Nop => (op::NOP, 0, 0, 0, 0),
+            Instr::Push(r) => (op::PUSH, r.index() as u8, 0, 0, 0),
+            Instr::Pop(r) => (op::POP, r.index() as u8, 0, 0, 0),
+            Instr::Call(imm) => (op::CALL, 0, 0, 0, imm),
+            Instr::Ret => (op::RET, 0, 0, 0, 0),
+        };
+        let i = imm.to_le_bytes();
+        [opc, a, b, c, i[0], i[1], i[2], i[3]]
+    }
+
+    /// Decode from an 8-byte slice.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] for truncated input, unknown opcodes or bad register
+    /// indices.
+    pub fn decode(bytes: &[u8]) -> Result<Instr, DecodeError> {
+        if bytes.len() < INSTR_SIZE {
+            return Err(DecodeError::Truncated(bytes.len()));
+        }
+        let imm = i32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        let ra = || Reg::from_index(bytes[1]);
+        let rb = || Reg::from_index(bytes[2]);
+        Ok(match bytes[0] {
+            op::MOVI => Instr::Movi(ra()?, imm),
+            op::MOV => Instr::Mov(ra()?, rb()?),
+            op::ADD => Instr::Add(ra()?, rb()?),
+            op::SUB => Instr::Sub(ra()?, rb()?),
+            op::XOR => Instr::Xor(ra()?, rb()?),
+            op::AND => Instr::And(ra()?, rb()?),
+            op::OR => Instr::Or(ra()?, rb()?),
+            op::SHL => Instr::Shl(ra()?, rb()?),
+            op::SHR => Instr::Shr(ra()?, rb()?),
+            op::MUL => Instr::Mul(ra()?, rb()?),
+            op::ADDI => Instr::Addi(ra()?, imm),
+            op::LD8 => Instr::Ld8(ra()?, rb()?, imm),
+            op::ST8 => Instr::St8(ra()?, rb()?, imm),
+            op::LD32 => Instr::Ld32(ra()?, rb()?, imm),
+            op::ST32 => Instr::St32(ra()?, rb()?, imm),
+            op::JMP => Instr::Jmp(imm),
+            op::JZ => Instr::Jz(ra()?, imm),
+            op::JNZ => Instr::Jnz(ra()?, imm),
+            op::JLT => Instr::Jlt(ra()?, rb()?, imm),
+            op::CALLAPI => Instr::CallApi(ApiId(imm as u16)),
+            op::HALT => Instr::Halt,
+            op::NOP => Instr::Nop,
+            op::PUSH => Instr::Push(ra()?),
+            op::POP => Instr::Pop(ra()?),
+            op::CALL => Instr::Call(imm),
+            op::RET => Instr::Ret,
+            other => return Err(DecodeError::BadOpcode(other)),
+        })
+    }
+
+    /// Which bytes of the 8-byte encoding the decoder *ignores* for this
+    /// instruction (unused register fields, unused immediate bytes).
+    ///
+    /// Ignored bytes may hold arbitrary values without changing semantics
+    /// — [`Instr::decode`] reconstructs the same instruction. The MPass
+    /// shuffle strategy randomizes them per sample so the recovery stub
+    /// has no fixed byte pattern for adaptive AVs to learn (§III-C).
+    pub fn dont_care_mask(&self) -> [bool; INSTR_SIZE] {
+        // Encoding layout: [op, a, b, c, imm0, imm1, imm2, imm3].
+        let (a, b, c, imm) = match *self {
+            // a + imm used.
+            Instr::Movi(..) | Instr::Addi(..) | Instr::Jz(..) | Instr::Jnz(..) => {
+                (false, true, true, false)
+            }
+            // a + b used.
+            Instr::Mov(..)
+            | Instr::Add(..)
+            | Instr::Sub(..)
+            | Instr::Xor(..)
+            | Instr::And(..)
+            | Instr::Or(..)
+            | Instr::Shl(..)
+            | Instr::Shr(..)
+            | Instr::Mul(..) => (false, false, true, true),
+            // a + b + imm used.
+            Instr::Ld8(..) | Instr::St8(..) | Instr::Ld32(..) | Instr::St32(..)
+            | Instr::Jlt(..) => (false, false, true, false),
+            // imm only.
+            Instr::Jmp(..) | Instr::Call(..) => (true, true, true, false),
+            // low 16 bits of imm only (ApiId is u16).
+            Instr::CallApi(..) => (true, true, true, false),
+            // a only.
+            Instr::Push(..) | Instr::Pop(..) => (false, true, true, true),
+            // opcode only.
+            Instr::Halt | Instr::Nop | Instr::Ret => (true, true, true, true),
+        };
+        // CallApi's imm bytes 2..4 are ignored (u16 truncation).
+        let api_hi = matches!(self, Instr::CallApi(..));
+        [false, a, b, c, imm, imm, imm || api_hi, imm || api_hi]
+    }
+
+    /// The PC-relative jump displacement carried by this instruction, if it
+    /// is a control-transfer instruction whose target moves with code
+    /// layout. Used by the shuffle engine's relative-address patching.
+    pub fn relative_target(&self) -> Option<i32> {
+        match *self {
+            Instr::Jmp(d)
+            | Instr::Jz(_, d)
+            | Instr::Jnz(_, d)
+            | Instr::Jlt(_, _, d)
+            | Instr::Call(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Replace the relative displacement of a control-transfer instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called on a non-control-transfer instruction; callers
+    /// pair it with [`Instr::relative_target`].
+    pub fn with_relative_target(&self, d: i32) -> Instr {
+        match *self {
+            Instr::Jmp(_) => Instr::Jmp(d),
+            Instr::Jz(r, _) => Instr::Jz(r, d),
+            Instr::Jnz(r, _) => Instr::Jnz(r, d),
+            Instr::Jlt(a, b, _) => Instr::Jlt(a, b, d),
+            Instr::Call(_) => Instr::Call(d),
+            other => panic!("instruction {other:?} has no relative target"),
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Movi(r, i) => write!(f, "movi {r}, {i}"),
+            Instr::Mov(a, b) => write!(f, "mov {a}, {b}"),
+            Instr::Add(a, b) => write!(f, "add {a}, {b}"),
+            Instr::Sub(a, b) => write!(f, "sub {a}, {b}"),
+            Instr::Xor(a, b) => write!(f, "xor {a}, {b}"),
+            Instr::And(a, b) => write!(f, "and {a}, {b}"),
+            Instr::Or(a, b) => write!(f, "or {a}, {b}"),
+            Instr::Shl(a, b) => write!(f, "shl {a}, {b}"),
+            Instr::Shr(a, b) => write!(f, "shr {a}, {b}"),
+            Instr::Mul(a, b) => write!(f, "mul {a}, {b}"),
+            Instr::Addi(r, i) => write!(f, "addi {r}, {i}"),
+            Instr::Ld8(a, b, i) => write!(f, "ld8 {a}, [{b}{i:+}]"),
+            Instr::St8(a, b, i) => write!(f, "st8 [{b}{i:+}], {a}"),
+            Instr::Ld32(a, b, i) => write!(f, "ld32 {a}, [{b}{i:+}]"),
+            Instr::St32(a, b, i) => write!(f, "st32 [{b}{i:+}], {a}"),
+            Instr::Jmp(i) => write!(f, "jmp {i:+}"),
+            Instr::Jz(r, i) => write!(f, "jz {r}, {i:+}"),
+            Instr::Jnz(r, i) => write!(f, "jnz {r}, {i:+}"),
+            Instr::Jlt(a, b, i) => write!(f, "jlt {a}, {b}, {i:+}"),
+            Instr::CallApi(id) => write!(f, "callapi {}", id.name()),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Nop => write!(f, "nop"),
+            Instr::Push(r) => write!(f, "push {r}"),
+            Instr::Pop(r) => write!(f, "pop {r}"),
+            Instr::Call(i) => write!(f, "call {i:+}"),
+            Instr::Ret => write!(f, "ret"),
+        }
+    }
+}
+
+/// Decode a whole buffer of back-to-back instructions.
+///
+/// # Errors
+///
+/// Fails on the first undecodable instruction; the buffer length must be a
+/// multiple of [`INSTR_SIZE`] to decode fully (a trailing partial
+/// instruction yields [`DecodeError::Truncated`]).
+pub fn disassemble(bytes: &[u8]) -> Result<Vec<Instr>, DecodeError> {
+    let mut out = Vec::with_capacity(bytes.len() / INSTR_SIZE);
+    let mut at = 0;
+    while at < bytes.len() {
+        out.push(Instr::decode(&bytes[at..])?);
+        at += INSTR_SIZE;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api;
+
+    fn all_variants() -> Vec<Instr> {
+        use Instr::*;
+        vec![
+            Movi(Reg::R0, -7),
+            Mov(Reg::R1, Reg::R2),
+            Add(Reg::R3, Reg::R4),
+            Sub(Reg::R5, Reg::R6),
+            Xor(Reg::R7, Reg::R0),
+            And(Reg::R1, Reg::R1),
+            Or(Reg::R2, Reg::R3),
+            Shl(Reg::R4, Reg::R5),
+            Shr(Reg::R6, Reg::R7),
+            Mul(Reg::R0, Reg::R1),
+            Addi(Reg::R2, 1024),
+            Ld8(Reg::R3, Reg::R4, 16),
+            St8(Reg::R5, Reg::R6, -16),
+            Ld32(Reg::R7, Reg::R0, 0),
+            St32(Reg::R1, Reg::R2, 4),
+            Jmp(-8),
+            Jz(Reg::R3, 24),
+            Jnz(Reg::R4, -24),
+            Jlt(Reg::R5, Reg::R6, 8),
+            CallApi(api::READ_FILE),
+            Halt,
+            Nop,
+            Push(Reg::R7),
+            Pop(Reg::R0),
+            Call(64),
+            Ret,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_round_trip_every_variant() {
+        for i in all_variants() {
+            let enc = i.encode();
+            assert_eq!(Instr::decode(&enc).unwrap(), i, "{i}");
+        }
+    }
+
+    #[test]
+    fn disassemble_round_trip() {
+        let instrs = all_variants();
+        let bytes: Vec<u8> = instrs.iter().flat_map(|i| i.encode()).collect();
+        assert_eq!(disassemble(&bytes).unwrap(), instrs);
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let bytes = [0xFFu8, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(Instr::decode(&bytes), Err(DecodeError::BadOpcode(0xFF)));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let mut bytes = Instr::Mov(Reg::R0, Reg::R0).encode();
+        bytes[1] = 9;
+        assert_eq!(Instr::decode(&bytes), Err(DecodeError::BadRegister(9)));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(Instr::decode(&[1, 2, 3]), Err(DecodeError::Truncated(3)));
+        let bytes: Vec<u8> = Instr::Halt.encode()[..5].to_vec();
+        let mut full = Instr::Nop.encode().to_vec();
+        full.extend_from_slice(&bytes);
+        assert!(matches!(disassemble(&full), Err(DecodeError::Truncated(_))));
+    }
+
+    #[test]
+    fn relative_target_accessors() {
+        assert_eq!(Instr::Jmp(16).relative_target(), Some(16));
+        assert_eq!(Instr::Jz(Reg::R0, -8).relative_target(), Some(-8));
+        assert_eq!(Instr::Halt.relative_target(), None);
+        assert_eq!(Instr::Jmp(16).with_relative_target(24), Instr::Jmp(24));
+        assert_eq!(
+            Instr::Jlt(Reg::R1, Reg::R2, 0).with_relative_target(-40),
+            Instr::Jlt(Reg::R1, Reg::R2, -40)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no relative target")]
+    fn with_relative_target_panics_on_non_jump() {
+        let _ = Instr::Nop.with_relative_target(8);
+    }
+
+    #[test]
+    fn dont_care_bytes_really_dont_matter() {
+        // Filling every don't-care byte with arbitrary junk must decode to
+        // the same instruction.
+        for i in all_variants() {
+            let mask = i.dont_care_mask();
+            assert!(!mask[0], "opcode is never a don't-care");
+            let mut enc = i.encode();
+            for (j, &free) in mask.iter().enumerate() {
+                if free {
+                    enc[j] = 0xA5u8.wrapping_add(j as u8).wrapping_mul(37);
+                }
+            }
+            assert_eq!(Instr::decode(&enc).unwrap(), i, "{i}");
+        }
+    }
+
+    #[test]
+    fn used_bytes_are_not_marked_dont_care() {
+        // Changing a *used* byte must change the decoded instruction (or
+        // make it invalid) — spot-check a few.
+        let i = Instr::Movi(Reg::R1, 7);
+        let mask = i.dont_care_mask();
+        assert!(!mask[1], "register field is used");
+        assert!(!mask[4], "immediate is used");
+        let j = Instr::Jmp(16);
+        assert!(j.dont_care_mask()[1], "jmp register fields are free");
+        assert!(!j.dont_care_mask()[4], "jmp displacement is used");
+        let c = Instr::CallApi(crate::api::READ_FILE);
+        assert!(!c.dont_care_mask()[4], "api id low byte is used");
+        assert!(c.dont_care_mask()[6], "api id upper bytes are free");
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for i in all_variants() {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn negative_immediates_survive() {
+        let i = Instr::Movi(Reg::R7, i32::MIN);
+        assert_eq!(Instr::decode(&i.encode()).unwrap(), i);
+        let j = Instr::Jmp(-1);
+        assert_eq!(Instr::decode(&j.encode()).unwrap(), j);
+    }
+}

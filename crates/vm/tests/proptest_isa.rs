@@ -1,0 +1,122 @@
+//! Property tests of the MVM ISA: encoding round-trips, don't-care
+//! robustness, and interpreter safety on arbitrary byte soup.
+
+use mpass_vm::{disassemble, Asm, Instr, Reg, Vm, INSTR_SIZE};
+use proptest::prelude::*;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..8).prop_map(|i| Reg::from_index(i).expect("in range"))
+}
+
+fn arb_instr() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Instr::Movi(r, i)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Mov(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Add(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Sub(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Xor(a, b)),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Mul(a, b)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Instr::Addi(r, i)),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(a, b, i)| Instr::Ld8(a, b, i)),
+        (arb_reg(), arb_reg(), any::<i32>()).prop_map(|(a, b, i)| Instr::St8(a, b, i)),
+        any::<i32>().prop_map(Instr::Jmp),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Instr::Jz(r, i)),
+        (arb_reg(), any::<i32>()).prop_map(|(r, i)| Instr::Jnz(r, i)),
+        any::<u16>().prop_map(|id| Instr::CallApi(mpass_vm::ApiId(id))),
+        Just(Instr::Halt),
+        Just(Instr::Nop),
+        arb_reg().prop_map(Instr::Push),
+        arb_reg().prop_map(Instr::Pop),
+        any::<i32>().prop_map(Instr::Call),
+        Just(Instr::Ret),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_round_trip(instr in arb_instr()) {
+        let enc = instr.encode();
+        prop_assert_eq!(Instr::decode(&enc).unwrap(), instr);
+    }
+
+    #[test]
+    fn dont_care_bytes_never_change_decoding(instr in arb_instr(), junk in any::<[u8; 8]>()) {
+        let mut enc = instr.encode();
+        for (i, free) in instr.dont_care_mask().iter().enumerate() {
+            if *free {
+                enc[i] = junk[i];
+            }
+        }
+        prop_assert_eq!(Instr::decode(&enc).unwrap(), instr);
+    }
+
+    #[test]
+    fn disassemble_round_trips_programs(instrs in prop::collection::vec(arb_instr(), 1..64)) {
+        let bytes: Vec<u8> = instrs.iter().flat_map(|i| i.encode()).collect();
+        prop_assert_eq!(disassemble(&bytes).unwrap(), instrs);
+    }
+
+    /// The interpreter must never panic or loop forever on arbitrary
+    /// memory images — it either halts, faults or hits the step limit.
+    #[test]
+    fn interpreter_is_total_on_byte_soup(
+        image in prop::collection::vec(any::<u8>(), 64..2048),
+        entry in 0u32..2048,
+    ) {
+        let exec = Vm::from_image(image, entry).with_step_limit(5_000).run();
+        prop_assert!(exec.steps <= 5_000);
+        // Any outcome is acceptable; reaching here means no panic/hang.
+        let _ = exec.outcome;
+    }
+
+    /// Assembled straight-line programs (no jumps) always halt with one
+    /// step per instruction.
+    #[test]
+    fn straight_line_programs_halt(
+        instrs in prop::collection::vec(
+            prop_oneof![
+                (arb_reg(), any::<i32>()).prop_map(|(r, i)| Instr::Movi(r, i)),
+                (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Add(a, b)),
+                (arb_reg(), arb_reg()).prop_map(|(a, b)| Instr::Xor(a, b)),
+                Just(Instr::Nop),
+            ],
+            0..32,
+        ),
+    ) {
+        let mut asm = Asm::new();
+        for i in &instrs {
+            asm.push(*i);
+        }
+        asm.push(Instr::Halt);
+        let code = asm.assemble().unwrap();
+        let mut mem = vec![0u8; 4096];
+        mem[..code.len()].copy_from_slice(&code);
+        let exec = Vm::from_image(mem, 0).run();
+        prop_assert!(exec.completed());
+        prop_assert_eq!(exec.steps as usize, instrs.len() + 1);
+    }
+
+    /// Store-then-load through arbitrary in-bounds addresses is identity.
+    #[test]
+    fn memory_round_trip(addr in 8u32..4000, value in any::<u8>()) {
+        let mut asm = Asm::new();
+        asm.push(Instr::Movi(Reg::R0, value as i32));
+        asm.push(Instr::Movi(Reg::R1, addr as i32));
+        asm.push(Instr::St8(Reg::R0, Reg::R1, 0));
+        asm.push(Instr::Ld8(Reg::R2, Reg::R1, 0));
+        asm.push(Instr::Halt);
+        let code = asm.assemble().unwrap();
+        let mut mem = vec![0u8; 4096];
+        // Keep the program clear of the store target.
+        prop_assume!(addr as usize >= code.len() || (addr as usize) < 4096 - INSTR_SIZE);
+        mem[..code.len()].copy_from_slice(&code);
+        let mut vm = Vm::from_image(mem, 0);
+        let exec = vm.run_in_place();
+        if addr as usize >= code.len() {
+            prop_assert!(exec.completed());
+            prop_assert_eq!(vm.regs()[2], value as u32);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build a synthetic world, train a detector, and evade it
+//! with MPass — end to end in under a minute.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use mpass::core::{Attack, HardLabelTarget, MPassAttack, MPassConfig};
+use mpass::corpus::{BenignPool, CorpusConfig, Dataset};
+use mpass::detectors::train::training_pairs;
+use mpass::detectors::{ByteConvConfig, Detector, MalConv, MalGcg, MalGcgConfig};
+use mpass::sandbox::Sandbox;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // 1. A corpus of synthetic malware and benign PE executables.
+    let dataset = Dataset::generate(&CorpusConfig {
+        n_malware: 30,
+        n_benign: 30,
+        seed: 42,
+        no_slack_fraction: 0.1,
+    });
+    println!("corpus: {} samples", dataset.samples.len());
+
+    // 2. Train the black-box target (MalConv) and one known surrogate
+    //    model (MalGCG) for the transfer ensemble.
+    let samples: Vec<_> = dataset.samples.iter().collect();
+    let pairs = training_pairs(&samples);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut target = MalConv::new(ByteConvConfig::default(), &mut rng);
+    let loss = target.train(&pairs, 5, 5e-3, &mut rng);
+    println!("target MalConv trained (final loss {loss:.4})");
+    let mut surrogate = MalGcg::new(MalGcgConfig::default(), &mut rng);
+    surrogate.train(&pairs, 5, 5e-3, &mut rng);
+
+    // 3. The attacker's benign-content pool (the paper harvests 50 000
+    //    benign programs; we generate a smaller pool).
+    let pool = BenignPool::generate(10, 7);
+
+    // 4. Attack the first malware sample the target detects.
+    let sandbox = Sandbox::new();
+    let mut attack = MPassAttack::new(vec![&surrogate], &pool, MPassConfig::default());
+    for sample in dataset.malware().into_iter().take(5) {
+        if target.classify(&sample.bytes) != mpass::detectors::Verdict::Malicious {
+            continue;
+        }
+        let mut oracle = HardLabelTarget::new(&target, 100);
+        let outcome = attack.attack(sample, &mut oracle);
+        println!(
+            "{}: evaded={} queries={} size {} -> {} bytes",
+            sample.name, outcome.evaded, outcome.queries, outcome.original_size, outcome.final_size
+        );
+        if let Some(ae) = &outcome.adversarial {
+            // 5. Functionality must be preserved: same API trace.
+            let verdict = sandbox.verify_functionality(&sample.bytes, ae);
+            println!("   functionality: {verdict}");
+            assert!(verdict.is_preserved());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # mpass — reproduction of *MPass: Bypassing Learning-based Static
+//! Malware Detectors* (DAC 2023)
+//!
+//! This façade crate re-exports the whole workspace so that examples,
+//! integration tests and downstream users can depend on a single crate:
+//!
+//! * [`pe`] — the Portable Executable substrate,
+//! * [`vm`] — the MVM execution substrate (sandboxed "CPU"),
+//! * [`ml`] — tensors, backprop layers and gradient-boosted trees,
+//! * [`corpus`] — the synthetic benign/malware sample generator,
+//! * [`detectors`] — MalConv, NonNeg, LightGbm, MalGcg and five simulated
+//!   commercial ML AVs,
+//! * [`sandbox`] — the Cuckoo-style behaviour checker,
+//! * [`core`] — the MPass attack itself (PEM, runtime recovery, shuffle,
+//!   ensemble-transfer optimization, hard-label loop),
+//! * [`baselines`] — RLA, MAB, GAMMA, MalRNN, simulated packers and the
+//!   ablation attackers,
+//! * [`experiments`] — runners that regenerate every table and figure of
+//!   the paper.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use mpass_baselines as baselines;
+pub use mpass_core as core;
+pub use mpass_corpus as corpus;
+pub use mpass_detectors as detectors;
+pub use mpass_experiments as experiments;
+pub use mpass_ml as ml;
+pub use mpass_pe as pe;
+pub use mpass_sandbox as sandbox;
+pub use mpass_vm as vm;

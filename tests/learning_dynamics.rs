@@ -1,0 +1,106 @@
+//! The Figure-4 mechanism as a cross-crate contract: AV continual
+//! learning must catch fixed-pattern perturbations and must *not* be able
+//! to mine MPass's shuffled, per-sample-randomized perturbations.
+
+use mpass::core::modify::{modify, ModificationConfig};
+use mpass::detectors::{Detector, Verdict};
+use mpass_experiments::{World, WorldConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn fixed_patterns_are_learned_shuffled_recovery_is_not() {
+    let world = World::build(WorldConfig::quick());
+    let malware = world.dataset.malware();
+
+    // Fixed-pattern "AEs": identical appended blob on every sample (the
+    // structure baselines share).
+    let fixed: Vec<Vec<u8>> = malware
+        .iter()
+        .take(8)
+        .map(|s| {
+            let mut pe = s.pe.clone();
+            pe.append_overlay(&[0xC3u8; 64].repeat(4));
+            pe.to_bytes()
+        })
+        .collect();
+
+    // MPass-style modifications: fresh benign cover + fresh shuffle per
+    // sample (no optimization needed to test the learning dynamic).
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    let shuffled: Vec<Vec<u8>> = malware
+        .iter()
+        .take(8)
+        .filter_map(|s| {
+            modify(s, &world.pool, &ModificationConfig::default(), &mut rng)
+                .ok()
+                .filter(|m| m.mode == mpass::core::ModificationMode::NewSection)
+                .map(|m| m.bytes)
+        })
+        .collect();
+    assert!(shuffled.len() >= 5, "not enough full-pipeline modifications");
+
+    let av = &world.avs[0];
+
+    // Learning on the fixed pattern: signatures appear, resubmissions die.
+    let mut av_fixed = av.clone();
+    let subs: Vec<&[u8]> = fixed.iter().map(|v| v.as_slice()).collect();
+    let added_fixed = av_fixed.weekly_update(&subs);
+    assert!(added_fixed > 0, "fixed pattern must be mined");
+    let caught = fixed.iter().filter(|ae| av_fixed.signature_matches(ae)).count();
+    assert!(caught == fixed.len(), "only {caught}/{} fixed AEs signatured", fixed.len());
+
+    // Learning on shuffled-recovery AEs: whatever grams are mined must not
+    // signature-match future, unseen MPass modifications.
+    let mut av_shuffled = av.clone();
+    let subs: Vec<&[u8]> = shuffled.iter().map(|v| v.as_slice()).collect();
+    av_shuffled.weekly_update(&subs);
+    // Fresh modifications of *other* samples with new randomness.
+    let mut rng = ChaCha8Rng::seed_from_u64(12345);
+    let fresh: Vec<Vec<u8>> = malware
+        .iter()
+        .skip(8)
+        .take(4)
+        .filter_map(|s| {
+            modify(s, &world.pool, &ModificationConfig::default(), &mut rng).ok().map(|m| m.bytes)
+        })
+        .collect();
+    let sig_hits = fresh.iter().filter(|ae| av_shuffled.signature_matches(ae)).count();
+    assert_eq!(
+        sig_hits, 0,
+        "signatures mined from shuffled AEs must not transfer to fresh ones"
+    );
+}
+
+#[test]
+fn benign_false_positive_rate_survives_updates() {
+    let world = World::build(WorldConfig::quick());
+    let mut av = world.avs[1].clone();
+    // Adversary submits malware-with-overlay junk for three weeks.
+    let subs_owned: Vec<Vec<u8>> = world
+        .dataset
+        .malware()
+        .iter()
+        .take(6)
+        .map(|s| {
+            let mut pe = s.pe.clone();
+            pe.append_overlay(b"SUBMITTED-JUNK-PATTERN-SUBMITTED-JUNK");
+            pe.to_bytes()
+        })
+        .collect();
+    let subs: Vec<&[u8]> = subs_owned.iter().map(|v| v.as_slice()).collect();
+    for _ in 0..3 {
+        av.weekly_update(&subs);
+    }
+    let fp = world
+        .dataset
+        .benign()
+        .iter()
+        .filter(|s| av.classify(&s.bytes) == Verdict::Malicious)
+        .count();
+    let total = world.dataset.benign().len();
+    assert!(
+        fp * 10 <= total,
+        "update poisoned the AV: {fp}/{total} benign flagged"
+    );
+}

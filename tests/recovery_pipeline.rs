@@ -1,0 +1,109 @@
+//! Property-style integration tests of the full recovery pipeline:
+//! arbitrary modification configurations against arbitrary corpus samples
+//! must preserve behaviour exactly.
+
+use mpass::core::modify::{modify, ModificationConfig};
+use mpass::core::optimize::{EnsembleOptimizer, OptimizerConfig};
+use mpass::corpus::{BenignPool, CorpusConfig, Dataset};
+use mpass::sandbox::Sandbox;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn fixture() -> (Dataset, BenignPool) {
+    let ds = Dataset::generate(&CorpusConfig {
+        n_malware: 8,
+        n_benign: 4,
+        seed: 0xF1B,
+        no_slack_fraction: 0.25,
+    });
+    let pool = BenignPool::generate(4, 0xF1B);
+    (ds, pool)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any combination of modification switches and seeds preserves the
+    /// sample's API behaviour.
+    #[test]
+    fn modification_always_preserves_behavior(
+        sample_idx in 0usize..8,
+        seed in 0u64..1000,
+        shuffle in any::<bool>(),
+        encode_code in any::<bool>(),
+        encode_data in any::<bool>(),
+        gap in 0usize..4,
+        perturb in 64usize..2048,
+    ) {
+        let (ds, pool) = fixture();
+        let sandbox = Sandbox::new();
+        let sample = ds.malware()[sample_idx];
+        let cfg = ModificationConfig {
+            encode_code,
+            encode_data,
+            shuffle,
+            max_gap_units: gap,
+            perturb_space: perturb,
+            ..ModificationConfig::default()
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ms = modify(sample, &pool, &cfg, &mut rng).unwrap();
+        let verdict = sandbox.verify_functionality(&sample.bytes, &ms.bytes);
+        prop_assert!(verdict.is_preserved(), "{}: {verdict}", sample.name);
+    }
+
+    /// Arbitrary writes at every advertised optimizable position keep the
+    /// behaviour intact (the positions really are free).
+    #[test]
+    fn arbitrary_position_writes_preserve_behavior(
+        sample_idx in 0usize..8,
+        seed in 0u64..500,
+        fill in any::<u8>(),
+        stride in 1usize..9,
+    ) {
+        let (ds, pool) = fixture();
+        let sandbox = Sandbox::new();
+        let sample = ds.malware()[sample_idx];
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ms =
+            modify(sample, &pool, &ModificationConfig::default(), &mut rng).unwrap();
+        for idx in (0..ms.position_count()).step_by(stride) {
+            ms.set_position(idx, fill.wrapping_add(idx as u8));
+        }
+        let verdict = sandbox.verify_functionality(&sample.bytes, &ms.bytes);
+        prop_assert!(verdict.is_preserved(), "{}: {verdict}", sample.name);
+    }
+}
+
+#[test]
+fn optimizer_rounds_never_break_behavior() {
+    let (ds, pool) = fixture();
+    let sandbox = Sandbox::new();
+    // A tiny surrogate trained on the fixture corpus.
+    let samples: Vec<_> = ds.samples.iter().collect();
+    let pairs = mpass::detectors::train::training_pairs(&samples);
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let mut surrogate = mpass::detectors::MalGcg::new(
+        mpass::detectors::MalGcgConfig::tiny(),
+        &mut rng,
+    );
+    surrogate.train(&pairs, 4, 5e-3, &mut rng);
+
+    for (i, sample) in ds.malware().into_iter().take(4).enumerate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(i as u64);
+        let mut ms =
+            modify(sample, &pool, &ModificationConfig::default(), &mut rng).unwrap();
+        let models: Vec<&dyn mpass::detectors::WhiteBoxModel> = vec![&surrogate];
+        let mut opt = EnsembleOptimizer::new(
+            models,
+            &ms,
+            OptimizerConfig { lr: 0.05, iterations: 3 },
+        );
+        for _round in 0..3 {
+            opt.run(&mut ms);
+            let verdict = sandbox.verify_functionality(&sample.bytes, &ms.bytes);
+            assert!(verdict.is_preserved(), "{}: {verdict}", sample.name);
+        }
+    }
+}
