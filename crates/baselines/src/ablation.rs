@@ -12,6 +12,7 @@
 
 use mpass_core::{
     Attack, AttackOutcome, HardLabelTarget, MPassAttack, MPassConfig, ModificationConfig,
+    QueryBudgetExhausted,
 };
 use mpass_corpus::{BenignPool, Sample};
 use mpass_detectors::{Verdict, WhiteBoxModel};
@@ -69,7 +70,7 @@ impl Attack for RandomData {
             };
             last_size = ms.bytes.len();
             match target.query(&ms.bytes) {
-                Some(Verdict::Benign) => {
+                Ok(Verdict::Benign) => {
                     return AttackOutcome {
                         sample: sample.name.clone(),
                         evaded: true,
@@ -79,8 +80,8 @@ impl Attack for RandomData {
                         final_size: last_size,
                     }
                 }
-                Some(Verdict::Malicious) => {}
-                None => break,
+                Ok(Verdict::Malicious) => {}
+                Err(QueryBudgetExhausted { .. }) => break,
             }
         }
         AttackOutcome {
@@ -104,13 +105,14 @@ pub fn other_sec<'a>(
     pool: &'a BenignPool,
     base: MPassConfig,
 ) -> OtherSec<'a> {
-    let cfg = MPassConfig {
-        modification: ModificationConfig {
+    let cfg = base
+        .to_builder()
+        .modification(ModificationConfig {
             other_sections_instead: true,
-            ..base.modification
-        },
-        ..base
-    };
+            ..base.modification().clone()
+        })
+        .build()
+        .expect("redirecting sections keeps the base config valid");
     OtherSec(MPassAttack::new(models, pool, cfg))
 }
 

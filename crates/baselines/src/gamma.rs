@@ -9,7 +9,7 @@
 //! GAMMA achieves competitive evasion at an enormous appending rate —
 //! Table III reports 3600–4200 % APR.
 
-use mpass_core::{Attack, AttackOutcome, HardLabelTarget};
+use mpass_core::{Attack, AttackOutcome, HardLabelTarget, QueryBudgetExhausted};
 use mpass_corpus::{BenignPool, Sample};
 use mpass_detectors::Verdict;
 use mpass_pe::SectionFlags;
@@ -112,7 +112,7 @@ impl Attack for Gamma {
                 let bytes = self.express(sample, genome);
                 last_size = bytes.len();
                 match target.query(&bytes) {
-                    Some(Verdict::Benign) => {
+                    Ok(Verdict::Benign) => {
                         // Keep the smallest evading individual seen.
                         let better = best_evading
                             .as_ref()
@@ -123,8 +123,8 @@ impl Attack for Gamma {
                         }
                         scored.push((i, true, last_size));
                     }
-                    Some(Verdict::Malicious) => scored.push((i, false, last_size)),
-                    None => {
+                    Ok(Verdict::Malicious) => scored.push((i, false, last_size)),
+                    Err(QueryBudgetExhausted { .. }) => {
                         return finish(sample, target, best_evading, original_size, last_size)
                     }
                 }
@@ -135,7 +135,7 @@ impl Attack for Gamma {
             // Selection: evading (none here) > larger injections first
             // (under a hard-label oracle more benign content is the only
             // gradient), then crossover + mutation.
-            scored.sort_by(|a, b| b.2.cmp(&a.2));
+            scored.sort_by_key(|s| std::cmp::Reverse(s.2));
             let parents: Vec<Genome> = scored
                 .iter()
                 .take((self.cfg.population / 2).max(2))

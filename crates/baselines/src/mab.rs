@@ -10,7 +10,7 @@
 //! structural limit remains: no action touches code or data sections.
 
 use crate::actions::{ActionLibrary, PeAction};
-use mpass_core::{Attack, AttackOutcome, HardLabelTarget};
+use mpass_core::{Attack, AttackOutcome, HardLabelTarget, QueryBudgetExhausted};
 use mpass_corpus::{BenignPool, Sample};
 use mpass_detectors::Verdict;
 use rand::Rng;
@@ -30,7 +30,7 @@ pub struct MabConfig {
 
 impl Default for MabConfig {
     fn default() -> Self {
-        MabConfig { max_stack: 8, seed: 0x4D41_42 }
+        MabConfig { max_stack: 8, seed: 0x004D_4142 }
     }
 }
 
@@ -138,7 +138,7 @@ impl Attack for Mab {
                 let bytes = pe.to_bytes();
                 last_size = bytes.len();
                 match target.query(&bytes) {
-                    Some(Verdict::Benign) => {
+                    Ok(Verdict::Benign) => {
                         self.arms[arm].alpha += 1.0;
                         return AttackOutcome {
                             sample: sample.name.clone(),
@@ -149,10 +149,10 @@ impl Attack for Mab {
                             final_size: last_size,
                         };
                     }
-                    Some(Verdict::Malicious) => {
+                    Ok(Verdict::Malicious) => {
                         self.arms[arm].beta += 0.3;
                     }
-                    None => {
+                    Err(QueryBudgetExhausted { .. }) => {
                         return AttackOutcome {
                             sample: sample.name.clone(),
                             evaded: false,

@@ -11,7 +11,7 @@
 //! across AEs for AV n-gram learning to latch onto in the Fig. 4
 //! experiment.
 
-use mpass_core::{Attack, AttackOutcome, HardLabelTarget};
+use mpass_core::{Attack, AttackOutcome, HardLabelTarget, QueryBudgetExhausted};
 use mpass_corpus::{BenignPool, Sample};
 use mpass_detectors::Verdict;
 use rand::Rng;
@@ -172,7 +172,7 @@ impl Attack for MalRnn {
                 let bytes = pe.to_bytes();
                 last_size = bytes.len();
                 match target.query(&bytes) {
-                    Some(Verdict::Benign) => {
+                    Ok(Verdict::Benign) => {
                         return AttackOutcome {
                             sample: sample.name.clone(),
                             evaded: true,
@@ -182,8 +182,8 @@ impl Attack for MalRnn {
                             final_size: last_size,
                         }
                     }
-                    Some(Verdict::Malicious) => {}
-                    None => {
+                    Ok(Verdict::Malicious) => {}
+                    Err(QueryBudgetExhausted { .. }) => {
                         return AttackOutcome {
                             sample: sample.name.clone(),
                             evaded: false,

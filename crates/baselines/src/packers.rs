@@ -157,7 +157,7 @@ impl Attack for Packer {
         match self.pack(&sample.pe) {
             Ok(bytes) => {
                 let final_size = bytes.len();
-                let evaded = target.query(&bytes) == Some(Verdict::Benign);
+                let evaded = target.query(&bytes) == Ok(Verdict::Benign);
                 AttackOutcome {
                     sample: sample.name.clone(),
                     evaded,

@@ -11,7 +11,7 @@
 //! recovery, which is why the paper finds 23 % of RLA's AEs broken.
 
 use crate::actions::{ActionLibrary, PeAction};
-use mpass_core::{Attack, AttackOutcome, HardLabelTarget};
+use mpass_core::{Attack, AttackOutcome, HardLabelTarget, QueryBudgetExhausted};
 use mpass_corpus::{BenignPool, Sample};
 use mpass_detectors::Verdict;
 use rand::Rng;
@@ -37,7 +37,7 @@ pub struct RlaConfig {
 
 impl Default for RlaConfig {
     fn default() -> Self {
-        RlaConfig { horizon: 10, alpha: 0.3, gamma: 0.9, epsilon: 0.2, seed: 0x524C_41 }
+        RlaConfig { horizon: 10, alpha: 0.3, gamma: 0.9, epsilon: 0.2, seed: 0x0052_4C41 }
     }
 }
 
@@ -107,7 +107,7 @@ impl Attack for Rla {
                 let bytes = pe.to_bytes();
                 last_size = bytes.len();
                 match target.query(&bytes) {
-                    Some(Verdict::Benign) => {
+                    Ok(Verdict::Benign) => {
                         self.update(state, a, 1.0, state + 1);
                         return AttackOutcome {
                             sample: sample.name.clone(),
@@ -118,10 +118,10 @@ impl Attack for Rla {
                             final_size: last_size,
                         };
                     }
-                    Some(Verdict::Malicious) => {
+                    Ok(Verdict::Malicious) => {
                         self.update(state, a, -0.05, state + 1);
                     }
-                    None => {
+                    Err(QueryBudgetExhausted { .. }) => {
                         return AttackOutcome {
                             sample: sample.name.clone(),
                             evaded: false,

@@ -228,7 +228,11 @@ pub fn cmd_attack(path: &str, out_path: &str, seed: u64) -> CliResult {
     let pool = BenignPool::generate(8, seed ^ 0xB00);
 
     let initial = target.classify(&sample.bytes);
-    let mut attack = MPassAttack::new(vec![&surrogate], &pool, MPassConfig::default());
+    let config = MPassConfig::builder()
+        .seed(seed)
+        .build()
+        .expect("default MPass config is valid");
+    let mut attack = MPassAttack::new(vec![&surrogate], &pool, config);
     let mut oracle = HardLabelTarget::new(&target, 100);
     let outcome = attack.attack(&sample, &mut oracle);
     let mut out = String::new();
@@ -247,6 +251,20 @@ pub fn cmd_attack(path: &str, out_path: &str, seed: u64) -> CliResult {
     Ok(out)
 }
 
+/// `mpass engine-report`: human summary of one or more engine metrics
+/// files written next to `results/*.json` by the experiment runners.
+pub fn cmd_engine_report(paths: &[&String]) -> CliResult {
+    if paths.is_empty() {
+        return Err("engine-report requires at least one METRICS.json path".to_owned());
+    }
+    let mut out = String::new();
+    for path in paths {
+        let file = mpass_engine::MetricsFile::load(Path::new(path.as_str()))?;
+        out.push_str(&file.summary());
+    }
+    Ok(out)
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 mpass — MPass (DAC 2023) reproduction toolkit
@@ -259,6 +277,7 @@ USAGE:
   mpass verify ORIGINAL MODIFIED
   mpass pack FILE --packer upx|pespin|aspack --out FILE
   mpass attack FILE --out FILE [--seed S]
+  mpass engine-report METRICS.json [METRICS.json ...]
 ";
 
 /// Tiny flag parser: `--name value` pairs after positional arguments.
@@ -303,6 +322,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
             flag(args, "--out").ok_or("attack requires --out FILE")?,
             seed,
         ),
+        "engine-report" => cmd_engine_report(&positional),
         "" | "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -399,5 +419,28 @@ mod tests {
         assert_eq!(flag(&args, "--out"), Some("x"));
         assert_eq!(flag(&args, "--seed"), Some("7"));
         assert_eq!(flag(&args, "--nope"), None);
+    }
+
+    #[test]
+    fn engine_report_summarizes_metrics_file() {
+        use mpass_engine::{metrics, Engine, EngineConfig, MetricsFile, Shard};
+        let engine = Engine::new(EngineConfig { workers: 1, seed: 7 });
+        let run = engine.run(vec![Shard::new("demo shard", ())], |_ctx, ()| {
+            metrics::counter("queries", 3);
+        });
+        let file = MetricsFile::from_run("cli-test", &run);
+        let dir = tempdir();
+        let path = dir.join("cli-test.metrics.json");
+        file.save(&path).unwrap();
+        let out = dispatch(&strings(&["engine-report", path.to_str().unwrap()])).unwrap();
+        assert!(out.contains("experiment `cli-test`"));
+        assert!(out.contains("demo shard"));
+        assert!(out.contains("3 queries"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn engine_report_requires_a_path() {
+        assert!(dispatch(&strings(&["engine-report"])).is_err());
     }
 }

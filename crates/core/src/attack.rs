@@ -5,6 +5,8 @@ use crate::modify::{modify, ModificationConfig, ModifyError};
 use crate::optimize::{EnsembleOptimizer, OptimizerConfig};
 use mpass_corpus::{BenignPool, Sample};
 use mpass_detectors::{Detector, Verdict, WhiteBoxModel};
+use mpass_engine::metrics as trace;
+use mpass_engine::{QueryBudget, QueryBudgetExhausted};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -12,36 +14,48 @@ use serde::{Deserialize, Serialize};
 /// A query-counted, budgeted hard-label oracle around a [`Detector`].
 ///
 /// This is the *only* interface attacks get to the target: no scores, no
-/// gradients — exactly the paper's threat model.
+/// gradients — exactly the paper's threat model. The allowance is an
+/// explicit [`QueryBudget`]; exhaustion is a typed error rather than a
+/// `None` that reads like a missing verdict.
 pub struct HardLabelTarget<'a> {
     detector: &'a dyn Detector,
-    queries: usize,
-    max_queries: usize,
+    budget: QueryBudget,
 }
 
 impl<'a> HardLabelTarget<'a> {
     /// Wrap `detector` with a budget of `max_queries`.
     pub fn new(detector: &'a dyn Detector, max_queries: usize) -> Self {
-        HardLabelTarget { detector, queries: 0, max_queries }
+        Self::with_budget(detector, QueryBudget::new(max_queries))
     }
 
-    /// Query the target. Returns `None` once the budget is exhausted.
-    pub fn query(&mut self, bytes: &[u8]) -> Option<Verdict> {
-        if self.queries >= self.max_queries {
-            return None;
-        }
-        self.queries += 1;
-        Some(self.detector.classify(bytes))
+    /// Wrap `detector` with an explicit budget (e.g. a remaining
+    /// allowance carried over from another phase).
+    pub fn with_budget(detector: &'a dyn Detector, budget: QueryBudget) -> Self {
+        HardLabelTarget { detector, budget }
+    }
+
+    /// Query the target. Fails with [`QueryBudgetExhausted`] once the
+    /// budget is spent; a failed query consumes nothing.
+    pub fn query(&mut self, bytes: &[u8]) -> Result<Verdict, QueryBudgetExhausted> {
+        self.budget.try_consume()?;
+        trace::counter("queries", 1);
+        let _span = trace::span("stage/query");
+        Ok(self.detector.classify(bytes))
     }
 
     /// Queries consumed so far.
     pub fn queries(&self) -> usize {
-        self.queries
+        self.budget.used()
     }
 
     /// Remaining budget.
     pub fn remaining(&self) -> usize {
-        self.max_queries - self.queries
+        self.budget.remaining()
+    }
+
+    /// The budget state itself.
+    pub fn budget(&self) -> &QueryBudget {
+        &self.budget
     }
 
     /// The target's display name.
@@ -125,20 +139,26 @@ pub mod metrics {
 }
 
 /// Configuration of the full MPass attack.
+///
+/// Construct via [`MPassConfig::builder`] (or keep [`Default`]). Fields
+/// are private as of the engine redesign — the old field-literal /
+/// struct-update syntax (`MPassConfig { seed, ..Default::default() }`)
+/// is gone, because it silently accepted degenerate values like zero
+/// restarts; the builder validates on [`MPassConfigBuilder::build`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MPassConfig {
     /// Fresh modifications tried (each with new benign content and a new
     /// shuffle) before giving up, budget permitting.
-    pub max_restarts: usize,
+    max_restarts: usize,
     /// Optimize-then-query rounds per modification.
-    pub rounds_per_restart: usize,
+    rounds_per_restart: usize,
     /// Modification engine settings.
-    pub modification: ModificationConfig,
+    modification: ModificationConfig,
     /// Optimizer settings (η, iterations per round).
-    pub optimizer: OptimizerConfig,
+    optimizer: OptimizerConfig,
     /// Base seed; per-sample randomness derives from it and the sample
     /// name, so attacks are reproducible sample-by-sample.
-    pub seed: u64,
+    seed: u64,
 }
 
 impl Default for MPassConfig {
@@ -150,6 +170,115 @@ impl Default for MPassConfig {
             optimizer: OptimizerConfig::default(),
             seed: 0x4D50_4153,
         }
+    }
+}
+
+impl MPassConfig {
+    /// Start a builder pre-loaded with the validated defaults.
+    pub fn builder() -> MPassConfigBuilder {
+        MPassConfigBuilder::default()
+    }
+
+    /// Re-open this configuration as a builder, for deriving variants
+    /// (ablations flip one knob and keep the rest).
+    pub fn to_builder(&self) -> MPassConfigBuilder {
+        MPassConfigBuilder { cfg: self.clone() }
+    }
+
+    pub fn max_restarts(&self) -> usize {
+        self.max_restarts
+    }
+
+    pub fn rounds_per_restart(&self) -> usize {
+        self.rounds_per_restart
+    }
+
+    pub fn modification(&self) -> &ModificationConfig {
+        &self.modification
+    }
+
+    pub fn optimizer(&self) -> OptimizerConfig {
+        self.optimizer
+    }
+
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// Why an [`MPassConfigBuilder`] refused to produce a config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MPassConfigError {
+    /// `max_restarts` must be at least 1.
+    ZeroRestarts,
+    /// `rounds_per_restart` must be at least 1.
+    ZeroRounds,
+    /// The optimizer learning rate must be finite and positive.
+    BadLearningRate,
+}
+
+impl std::fmt::Display for MPassConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MPassConfigError::ZeroRestarts => write!(f, "max_restarts must be >= 1"),
+            MPassConfigError::ZeroRounds => write!(f, "rounds_per_restart must be >= 1"),
+            MPassConfigError::BadLearningRate => {
+                write!(f, "optimizer.lr must be finite and > 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MPassConfigError {}
+
+/// Typed builder for [`MPassConfig`]; every setter keeps the remaining
+/// fields at their defaults, and [`MPassConfigBuilder::build`] validates
+/// the combination.
+#[derive(Debug, Clone, Default)]
+pub struct MPassConfigBuilder {
+    cfg: MPassConfig,
+}
+
+impl MPassConfigBuilder {
+    pub fn max_restarts(mut self, n: usize) -> Self {
+        self.cfg.max_restarts = n;
+        self
+    }
+
+    pub fn rounds_per_restart(mut self, n: usize) -> Self {
+        self.cfg.rounds_per_restart = n;
+        self
+    }
+
+    pub fn modification(mut self, modification: ModificationConfig) -> Self {
+        self.cfg.modification = modification;
+        self
+    }
+
+    pub fn optimizer(mut self, optimizer: OptimizerConfig) -> Self {
+        self.cfg.optimizer = optimizer;
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<MPassConfig, MPassConfigError> {
+        if self.cfg.max_restarts == 0 {
+            return Err(MPassConfigError::ZeroRestarts);
+        }
+        if self.cfg.rounds_per_restart == 0 {
+            return Err(MPassConfigError::ZeroRounds);
+        }
+        // `optimizer.iterations == 0` is deliberately allowed: it disables
+        // the optimization stage, which the design ablation sweeps over.
+        if !(self.cfg.optimizer.lr.is_finite() && self.cfg.optimizer.lr > 0.0) {
+            return Err(MPassConfigError::BadLearningRate);
+        }
+        Ok(self.cfg)
     }
 }
 
@@ -191,14 +320,17 @@ impl Attack for MPassAttack<'_> {
         let original_size = sample.size();
         let mut last_size = original_size;
         for _restart in 0..self.cfg.max_restarts {
-            let ms = match modify(sample, self.pool, &self.cfg.modification, &mut rng) {
+            let modified = {
+                let _span = trace::span("stage/modify");
+                modify(sample, self.pool, &self.cfg.modification, &mut rng)
+            };
+            let mut ms = match modified {
                 Ok(ms) => ms,
                 Err(ModifyError::NoEntrySection | ModifyError::Pe(_)) => break,
             };
-            let mut ms = ms;
             last_size = ms.bytes.len();
             match target.query(&ms.bytes) {
-                Some(Verdict::Benign) => {
+                Ok(Verdict::Benign) => {
                     return AttackOutcome {
                         sample: sample.name.clone(),
                         evaded: true,
@@ -208,16 +340,19 @@ impl Attack for MPassAttack<'_> {
                         final_size: last_size,
                     }
                 }
-                Some(Verdict::Malicious) => {}
-                None => break,
+                Ok(Verdict::Malicious) => {}
+                Err(QueryBudgetExhausted { .. }) => break,
             }
             let mut opt =
                 EnsembleOptimizer::new(self.models.clone(), &ms, self.cfg.optimizer);
             for _round in 0..self.cfg.rounds_per_restart {
-                opt.run(&mut ms);
+                {
+                    let _span = trace::span("stage/optimize");
+                    opt.run(&mut ms);
+                }
                 last_size = ms.bytes.len();
                 match target.query(&ms.bytes) {
-                    Some(Verdict::Benign) => {
+                    Ok(Verdict::Benign) => {
                         return AttackOutcome {
                             sample: sample.name.clone(),
                             evaded: true,
@@ -227,8 +362,8 @@ impl Attack for MPassAttack<'_> {
                             final_size: last_size,
                         }
                     }
-                    Some(Verdict::Malicious) => {}
-                    None => {
+                    Ok(Verdict::Malicious) => {}
+                    Err(QueryBudgetExhausted { .. }) => {
                         return AttackOutcome {
                             sample: sample.name.clone(),
                             evaded: false,
@@ -289,11 +424,82 @@ mod tests {
     fn target_budget_enforced() {
         let w = world();
         let mut t = HardLabelTarget::new(&w.malconv, 2);
-        assert!(t.query(&w.ds.samples[0].bytes).is_some());
-        assert!(t.query(&w.ds.samples[0].bytes).is_some());
-        assert!(t.query(&w.ds.samples[0].bytes).is_none());
+        assert!(t.query(&w.ds.samples[0].bytes).is_ok());
+        assert!(t.query(&w.ds.samples[0].bytes).is_ok());
+        assert_eq!(
+            t.query(&w.ds.samples[0].bytes),
+            Err(QueryBudgetExhausted { limit: 2 })
+        );
         assert_eq!(t.queries(), 2);
         assert_eq!(t.remaining(), 0);
+        assert!(t.budget().is_exhausted());
+    }
+
+    #[test]
+    fn exhausted_queries_consume_nothing() {
+        let w = world();
+        let mut t = HardLabelTarget::new(&w.malconv, 1);
+        assert!(t.query(&w.ds.samples[0].bytes).is_ok());
+        for _ in 0..5 {
+            assert!(t.query(&w.ds.samples[0].bytes).is_err());
+        }
+        assert_eq!(t.queries(), 1);
+    }
+
+    #[test]
+    fn target_accepts_explicit_budget() {
+        let w = world();
+        let mut budget = QueryBudget::new(3);
+        budget.try_consume().unwrap();
+        let mut t = HardLabelTarget::with_budget(&w.malconv, budget);
+        assert_eq!(t.remaining(), 2);
+        assert!(t.query(&w.ds.samples[0].bytes).is_ok());
+        assert_eq!(t.queries(), 2);
+    }
+
+    #[test]
+    fn builder_validates_and_round_trips() {
+        let cfg = MPassConfig::builder()
+            .max_restarts(5)
+            .rounds_per_restart(2)
+            .seed(99)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.max_restarts(), 5);
+        assert_eq!(cfg.rounds_per_restart(), 2);
+        assert_eq!(cfg.seed(), 99);
+        // Unset knobs keep the defaults.
+        assert_eq!(cfg.modification(), &ModificationConfig::default());
+
+        // Variants derive from an existing config.
+        let variant = cfg.to_builder().seed(1).build().unwrap();
+        assert_eq!(variant.max_restarts(), 5);
+        assert_eq!(variant.seed(), 1);
+
+        assert_eq!(
+            MPassConfig::builder().max_restarts(0).build(),
+            Err(MPassConfigError::ZeroRestarts)
+        );
+        assert_eq!(
+            MPassConfig::builder().rounds_per_restart(0).build(),
+            Err(MPassConfigError::ZeroRounds)
+        );
+        // Zero iterations disables optimization (a supported ablation).
+        assert!(MPassConfig::builder()
+            .optimizer(OptimizerConfig { lr: 0.05, iterations: 0 })
+            .build()
+            .is_ok());
+        assert_eq!(
+            MPassConfig::builder()
+                .optimizer(OptimizerConfig { lr: -1.0, iterations: 3 })
+                .build(),
+            Err(MPassConfigError::BadLearningRate)
+        );
+    }
+
+    #[test]
+    fn builder_defaults_match_default() {
+        assert_eq!(MPassConfig::builder().build().unwrap(), MPassConfig::default());
     }
 
     #[test]
@@ -349,6 +555,28 @@ mod tests {
         assert_eq!(a.evaded, b.evaded);
         assert_eq!(a.queries, b.queries);
         assert_eq!(a.adversarial, b.adversarial);
+    }
+
+    #[test]
+    fn attack_records_metrics_when_collector_installed() {
+        let w = world();
+        let s = w.ds.malware()[0];
+        mpass_engine::metrics::install(mpass_engine::Collector::default());
+        mpass_engine::metrics::begin_sample(&s.name);
+        let mut attack =
+            MPassAttack::new(vec![&w.malgcg], &w.pool, MPassConfig::default());
+        let mut target = HardLabelTarget::new(&w.malconv, 100);
+        let outcome = attack.attack(s, &mut target);
+        mpass_engine::metrics::end_sample();
+        let shard = mpass_engine::metrics::take().unwrap().finish("test", 0.0);
+        assert_eq!(shard.counters["queries"], outcome.queries as u64);
+        assert_eq!(shard.samples.len(), 1);
+        assert_eq!(
+            shard.samples[0].counters["queries"],
+            outcome.queries as u64
+        );
+        assert!(shard.timings.contains_key("stage/modify"));
+        assert!(shard.timings.contains_key("stage/query"));
     }
 
     #[test]

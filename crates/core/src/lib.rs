@@ -32,8 +32,12 @@ pub mod pem;
 pub mod recovery;
 pub mod shuffle;
 
-pub use attack::{Attack, AttackOutcome, HardLabelTarget, MPassAttack, MPassConfig};
+pub use attack::{
+    Attack, AttackOutcome, HardLabelTarget, MPassAttack, MPassConfig, MPassConfigBuilder,
+    MPassConfigError,
+};
 pub use modify::{ModificationConfig, ModificationMode, ModifiedSample, ModifyError};
+pub use mpass_engine::{QueryBudget, QueryBudgetExhausted};
 pub use optimize::OptimizerConfig;
 pub use pem::{PemConfig, PemReport};
 pub use recovery::{generate_recovery_stub, EncodedRegion, StubInstr};

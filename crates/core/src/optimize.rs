@@ -18,7 +18,8 @@
 //! distance of `e(b − original)` to the key state.
 
 use crate::modify::{CoupledByte, ModifiedSample};
-use mpass_detectors::WhiteBoxModel;
+use mpass_detectors::{DetectorExt, WhiteBoxModel};
+use mpass_engine::metrics as trace;
 use mpass_ml::{Adam, ParamBuf};
 use serde::{Deserialize, Serialize};
 
@@ -115,6 +116,25 @@ impl<'a> EnsembleOptimizer<'a> {
         }
     }
 
+    /// Set up the optimizer from a mixed detector roster: members exposing
+    /// a white-box interface ([`DetectorExt::as_white_box`]) become the
+    /// known-model ensemble, the rest are skipped. Callers hold one roster
+    /// instead of parallel `&dyn Detector` / `&dyn WhiteBoxModel` lists.
+    pub fn from_roster(
+        roster: &[&'a dyn DetectorExt],
+        sample: &ModifiedSample,
+        cfg: OptimizerConfig,
+    ) -> Self {
+        let models: Vec<&'a dyn WhiteBoxModel> =
+            roster.iter().filter_map(|d| d.as_white_box()).collect();
+        EnsembleOptimizer::new(models, sample, cfg)
+    }
+
+    /// Number of known models in the ensemble.
+    pub fn model_count(&self) -> usize {
+        self.models.len()
+    }
+
     /// Number of variables under optimization.
     pub fn position_count(&self) -> usize {
         self.vars.len()
@@ -148,12 +168,16 @@ impl<'a> EnsembleOptimizer<'a> {
 
     /// Run `cfg.iterations` gradient iterations, mutating the sample's
     /// bytes (and coupled keys) in place. Returns the ensemble loss after
-    /// the final mapping step.
+    /// the final mapping step. Each iteration's pre-step ensemble loss is
+    /// recorded to the `optimize/loss` metrics series, giving the sink a
+    /// loss curve per shard at no extra inference cost.
     pub fn run(&mut self, sample: &mut ModifiedSample) -> f32 {
         for _ in 0..self.cfg.iterations {
             // Gradient step on every model's embedding-space state.
+            let mut iteration_loss = 0.0f32;
             for (m, state) in self.models.iter().zip(&mut self.states) {
-                let (_, grad) = m.benign_loss_and_grad(&sample.bytes);
+                let (loss, grad) = m.benign_loss_and_grad(&sample.bytes);
+                iteration_loss += loss;
                 for (slot, &off) in self.slot_offsets.iter().enumerate() {
                     if off >= state.window {
                         continue;
@@ -163,6 +187,7 @@ impl<'a> EnsembleOptimizer<'a> {
                 }
                 self.adam.step(&mut state.z);
             }
+            trace::series("optimize/loss", f64::from(iteration_loss));
             // Map back to bytes, jointly over models and (for coupled
             // variables) jointly over the cover and the induced key byte.
             for var in &self.vars {
@@ -311,6 +336,29 @@ mod tests {
             let key = ms.bytes[c.key_offset];
             assert_eq!(cover.wrapping_sub(key), c.original, "coupling violated");
         }
+    }
+
+    #[test]
+    fn from_roster_keeps_only_white_box_members() {
+        let w = world();
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let s = w.ds.malware()[0];
+        let ms = modify(s, &w.pool, &ModificationConfig::default(), &mut rng).unwrap();
+        // A mixed roster: two gradient-capable models and one opaque stub.
+        struct Opaque;
+        impl mpass_detectors::Detector for Opaque {
+            fn name(&self) -> &str {
+                "opaque"
+            }
+            fn score(&self, _: &[u8]) -> f32 {
+                1.0
+            }
+        }
+        impl DetectorExt for Opaque {}
+        let opaque = Opaque;
+        let roster: Vec<&dyn DetectorExt> = vec![&w.malconv, &opaque, &w.malgcg];
+        let opt = EnsembleOptimizer::from_roster(&roster, &ms, OptimizerConfig::default());
+        assert_eq!(opt.model_count(), 2);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use mpass_corpus::Sample;
 use mpass_detectors::Detector;
+use mpass_engine::metrics as trace;
 use mpass_pe::{PeFile, SectionKind};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -41,7 +42,7 @@ pub struct PemConfig {
 
 impl Default for PemConfig {
     fn default() -> Self {
-        PemConfig { top_k: 4, max_exact_sections: 10, permutations: 16, seed: 0x5045_4D }
+        PemConfig { top_k: 4, max_exact_sections: 10, permutations: 16, seed: 0x0050_454D }
     }
 }
 
@@ -111,9 +112,16 @@ fn shapley_exact(model: &dyn Detector, pe: &PeFile) -> Vec<f64> {
     let n = pe.sections().len();
     let mut score_cache: HashMap<u64, f64> = HashMap::new();
     let f = |mask: u64, cache: &mut HashMap<u64, f64>| -> f64 {
-        *cache
-            .entry(mask)
-            .or_insert_with(|| model.raw_score(&ablated_bytes(pe, mask)) as f64)
+        match cache.entry(mask) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                trace::counter("pem/cache_hit", 1);
+                *e.get()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                trace::counter("pem/cache_miss", 1);
+                *e.insert(model.raw_score(&ablated_bytes(pe, mask)) as f64)
+            }
+        }
     };
     // Precompute factorials for the Shapley weights.
     let fact: Vec<f64> = (0..=n).scan(1.0f64, |acc, i| {
@@ -124,7 +132,7 @@ fn shapley_exact(model: &dyn Detector, pe: &PeFile) -> Vec<f64> {
     })
     .collect();
     let mut phi = vec![0.0f64; n];
-    for i in 0..n {
+    for (i, phi_i) in phi.iter_mut().enumerate() {
         let others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
         for sub in 0u64..(1u64 << others.len()) {
             let mut mask = 0u64;
@@ -138,7 +146,7 @@ fn shapley_exact(model: &dyn Detector, pe: &PeFile) -> Vec<f64> {
             let w = fact[size] * fact[n - size - 1] / fact[n];
             let with = f(mask | (1 << i), &mut score_cache);
             let without = f(mask, &mut score_cache);
-            phi[i] += w * (with - without);
+            *phi_i += w * (with - without);
         }
     }
     phi
@@ -154,9 +162,16 @@ fn shapley_sampled(
     let n = pe.sections().len();
     let mut score_cache: HashMap<u64, f64> = HashMap::new();
     let f = |mask: u64, cache: &mut HashMap<u64, f64>| -> f64 {
-        *cache
-            .entry(mask)
-            .or_insert_with(|| model.raw_score(&ablated_bytes(pe, mask)) as f64)
+        match cache.entry(mask) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                trace::counter("pem/cache_hit", 1);
+                *e.get()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                trace::counter("pem/cache_miss", 1);
+                *e.insert(model.raw_score(&ablated_bytes(pe, mask)) as f64)
+            }
+        }
     };
     let mut phi = vec![0.0f64; n];
     let mut order: Vec<usize> = (0..n).collect();
@@ -184,6 +199,7 @@ pub fn run_pem(
     samples: &[&Sample],
     cfg: &PemConfig,
 ) -> PemReport {
+    let _span = trace::span("stage/pem");
     let mut per_model = Vec::with_capacity(models.len());
     for (name, model) in models {
         // mean Shapley per kind across the population; kinds absent from a

@@ -131,7 +131,7 @@ fn synthesize_benign<R: Rng + ?Sized>(len: usize, rng: &mut R) -> Vec<u8> {
                 // (`key = fill − x`), and the mirrored form of cross-sample
                 // idioms would be minable.
                 let fill: u8 = rng.gen();
-                out.extend(std::iter::repeat(fill).take(seg));
+                out.extend(std::iter::repeat_n(fill, seg));
             }
         }
     }

@@ -285,6 +285,91 @@ impl Detector for CommercialAv {
     }
 }
 
+// Commercial engines are pure black boxes to the attacker.
+impl crate::traits::DetectorExt for CommercialAv {}
+
+/// A memoizing wrapper around a commercial AV: repeated scores for
+/// byte-identical submissions are served from an in-memory cache.
+///
+/// Attack campaigns re-query the same image often (sample-quality
+/// screening, the per-round verdict, the final verification pass), and the
+/// heuristic + ensemble scoring path is the dominant cost of the
+/// commercial experiments. Hits and misses are recorded to the
+/// `av/cache_hit` / `av/cache_miss` metrics counters, so the engine's
+/// metrics file reports the cache hit rate per shard.
+#[derive(Debug)]
+pub struct CachedAv {
+    inner: CommercialAv,
+    cache: std::sync::Mutex<std::collections::HashMap<u64, f32>>,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl CachedAv {
+    /// Wrap a trained AV.
+    pub fn new(inner: CommercialAv) -> CachedAv {
+        CachedAv { inner, cache: std::sync::Mutex::new(std::collections::HashMap::new()) }
+    }
+
+    /// The wrapped AV.
+    pub fn inner(&self) -> &CommercialAv {
+        &self.inner
+    }
+
+    /// Cached entries.
+    pub fn len(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Apply a weekly update to the wrapped AV. The cache is invalidated:
+    /// freshly mined signatures change verdicts for already-seen bytes.
+    pub fn weekly_update(&mut self, submissions: &[&[u8]]) -> usize {
+        let added = self.inner.weekly_update(submissions);
+        self.cache.lock().unwrap().clear();
+        added
+    }
+}
+
+impl Detector for CachedAv {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn score(&self, bytes: &[u8]) -> f32 {
+        let key = fnv1a(bytes);
+        if let Some(&s) = self.cache.lock().unwrap().get(&key) {
+            mpass_engine::metrics::counter("av/cache_hit", 1);
+            return s;
+        }
+        mpass_engine::metrics::counter("av/cache_miss", 1);
+        let s = self.inner.score(bytes);
+        self.cache.lock().unwrap().insert(key, s);
+        s
+    }
+
+    fn raw_score(&self, bytes: &[u8]) -> f32 {
+        self.inner.raw_score(bytes)
+    }
+
+    fn threshold(&self) -> f32 {
+        self.inner.threshold()
+    }
+}
+
+impl crate::traits::DetectorExt for CachedAv {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +486,49 @@ mod tests {
         // generator may be mined but the per-AE junk must not explode the
         // store.
         assert!(av.signature_count() - before <= av.profile().mine_cap);
+    }
+
+    #[test]
+    fn cached_av_matches_and_counts() {
+        let ds = dataset();
+        let av = one_av(&ds);
+        let cached = CachedAv::new(av.clone());
+        mpass_engine::metrics::install(mpass_engine::Collector::default());
+        for s in ds.malware()[..4].iter() {
+            assert_eq!(cached.score(&s.bytes), av.score(&s.bytes));
+            assert_eq!(cached.score(&s.bytes), av.score(&s.bytes)); // hit
+        }
+        let shard = mpass_engine::metrics::take().unwrap().finish("t", 0.0);
+        assert_eq!(shard.counters["av/cache_miss"], 4);
+        assert_eq!(shard.counters["av/cache_hit"], 4);
+        assert_eq!(cached.len(), 4);
+    }
+
+    #[test]
+    fn cached_av_invalidates_on_weekly_update() {
+        let ds = dataset();
+        let mut cached = CachedAv::new(one_av(&ds));
+        let pattern = b"#FIXED-ATTACK-STUB-PATTERN#";
+        let probe = {
+            let mut pe = ds.malware()[11].pe.clone();
+            pe.append_overlay(pattern);
+            pe.to_bytes()
+        };
+        let before = cached.score(&probe);
+        let subs: Vec<Vec<u8>> = ds.malware()[..10]
+            .iter()
+            .map(|s| {
+                let mut pe = s.pe.clone();
+                pe.append_overlay(pattern);
+                pe.to_bytes()
+            })
+            .collect();
+        let sub_refs: Vec<&[u8]> = subs.iter().map(|v| v.as_slice()).collect();
+        assert!(cached.weekly_update(&sub_refs) > 0);
+        // A stale cache would keep returning `before`; invalidation lets
+        // the new signature fire.
+        assert_eq!(cached.score(&probe), 0.99);
+        assert_ne!(cached.score(&probe), before);
     }
 
     #[test]

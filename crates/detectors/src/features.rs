@@ -149,7 +149,7 @@ impl FeatureExtractor {
                 let names = table.names();
                 let dual = names
                     .iter()
-                    .filter(|n| DUAL_USE_IMPORTS.contains(&n.as_ref()))
+                    .filter(|n| DUAL_USE_IMPORTS.contains(n))
                     .count();
                 f.push(1.0);
                 f.push(table.dlls.len() as f32 / 16.0);

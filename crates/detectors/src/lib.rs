@@ -17,7 +17,7 @@
 //!
 //! * [`Detector`] — the hard-label black-box interface every attack
 //!   queries ([`Detector::classify`]); scores exist internally but the
-//!!  attacks in `mpass-core`/`mpass-baselines` never read them.
+//!   attacks in `mpass-core`/`mpass-baselines` never read them.
 //! * [`WhiteBoxModel`] — the *known models* used by MPass's ensemble
 //!   transfer optimization, exposing the byte-embedding table and the
 //!   gradient of the benign-direction loss w.r.t. input embeddings.
@@ -33,9 +33,9 @@ mod signatures;
 mod traits;
 pub mod train;
 
-pub use commercial::{AvProfile, CommercialAv};
+pub use commercial::{AvProfile, CachedAv, CommercialAv};
 pub use lightgbm::LightGbm;
 pub use malconv::{ByteConvConfig, MalConv, NonNeg};
 pub use malgcg::{MalGcg, MalGcgConfig};
 pub use signatures::SignatureStore;
-pub use traits::{Detector, Verdict, WhiteBoxModel};
+pub use traits::{Detector, DetectorExt, Verdict, WhiteBoxModel};

@@ -60,6 +60,10 @@ impl Detector for LightGbm {
     }
 }
 
+// Footnote 6: trees cannot be back-propagated, so `as_white_box` stays at
+// its default `None` — LightGBM is never a known model.
+impl crate::traits::DetectorExt for LightGbm {}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,9 +2,14 @@
 //!
 //! MalConv (Raff et al., "Malware detection by eating a whole EXE") embeds
 //! raw bytes and applies a gated convolution with global max pooling.
-//! NonNeg (Fleshman et al.) is the same architecture with conv/head
-//! weights constrained non-negative, which blunts append-based evasion —
-//! one of the baselines' weaknesses the paper measures.
+//! NonNeg (Fleshman et al.) is the same architecture with the dense
+//! head constrained non-negative. Max pooling is monotone when appended
+//! bytes add windows, so a non-negative head makes the malware score
+//! monotone under appends, which blunts append-based evasion — one of
+//! the baselines' weaknesses the paper measures. The convolution stays
+//! unconstrained: clamping it too would let constant-byte runs (PE slack
+//! is full of them) win every filter's max for every input, collapsing
+//! the model to a constant output.
 
 use crate::traits::{Detector, WhiteBoxModel};
 use mpass_ml::{
@@ -98,15 +103,22 @@ impl ByteConvNet {
             nonneg,
             threshold: 0.5,
         };
+        // PAD embeds to a frozen zero vector (PyTorch's `padding_idx`):
+        // otherwise, on files shorter than the window, the identical
+        // padding windows win the global max-pool for both classes and
+        // their gradients cancel, stalling training.
+        net.embedding.freeze_zero_row(PAD);
         if nonneg {
-            net.clamp_nonneg();
+            // Start inside the feasible region with full magnitude:
+            // projecting the symmetric init would zero half of each head
+            // before training starts.
+            net.head1.weight.reflect_abs();
+            net.head2.weight.reflect_abs();
         }
         net
     }
 
     fn clamp_nonneg(&mut self) {
-        self.conv_a.weight.clamp_min(0.0);
-        self.conv_b.weight.clamp_min(0.0);
         self.head1.weight.clamp_min(0.0);
         self.head2.weight.clamp_min(0.0);
     }
@@ -186,6 +198,7 @@ impl ByteConvNet {
                 let dlogit = bce_with_logits_backward(act.logit, target);
                 let dx = self.backward(&act, dlogit);
                 self.embedding.backward(&act.tokens, &dx);
+                self.embedding.freeze_zero_row(PAD);
                 adam.step(&mut self.embedding.table);
                 adam.step(&mut self.conv_a.weight);
                 adam.step(&mut self.conv_a.bias);
@@ -225,6 +238,12 @@ impl Detector for ByteConvNet {
 
     fn threshold(&self) -> f32 {
         self.threshold
+    }
+}
+
+impl crate::traits::DetectorExt for ByteConvNet {
+    fn as_white_box(&self) -> Option<&dyn WhiteBoxModel> {
+        Some(self)
     }
 }
 
@@ -288,6 +307,12 @@ impl Detector for MalConv {
     }
 }
 
+impl crate::traits::DetectorExt for MalConv {
+    fn as_white_box(&self) -> Option<&dyn WhiteBoxModel> {
+        Some(self)
+    }
+}
+
 impl WhiteBoxModel for MalConv {
     fn embedding(&self) -> &Embedding {
         self.0.embedding()
@@ -300,7 +325,10 @@ impl WhiteBoxModel for MalConv {
     }
 }
 
-/// The non-negative-weights MalConv variant.
+/// The non-negative MalConv variant: the dense head's weights are
+/// projected to be non-negative after every training step, making the
+/// logit monotone in the pooled features (and therefore non-decreasing
+/// under byte appends, which can only add max-pool candidates).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NonNeg(pub ByteConvNet);
 
@@ -310,7 +338,7 @@ impl NonNeg {
         NonNeg(ByteConvNet::new("NonNeg", config, true, rng))
     }
 
-    /// Train in place; weights are re-clamped after every step.
+    /// Train in place; head weights are re-projected after every step.
     pub fn train<R: Rng + ?Sized>(
         &mut self,
         data: &[(&[u8], f32)],
@@ -321,11 +349,10 @@ impl NonNeg {
         self.0.train(data, epochs, lr, rng)
     }
 
-    /// Whether all constrained weights are currently non-negative.
+    /// Whether all constrained weights (the dense head) are currently
+    /// non-negative.
     pub fn weights_nonnegative(&self) -> bool {
-        self.0.conv_a.weight.w.iter().all(|&w| w >= 0.0)
-            && self.0.conv_b.weight.w.iter().all(|&w| w >= 0.0)
-            && self.0.head1.weight.w.iter().all(|&w| w >= 0.0)
+        self.0.head1.weight.w.iter().all(|&w| w >= 0.0)
             && self.0.head2.weight.w.iter().all(|&w| w >= 0.0)
     }
 }
@@ -342,6 +369,12 @@ impl Detector for NonNeg {
     }
     fn threshold(&self) -> f32 {
         self.0.threshold()
+    }
+}
+
+impl crate::traits::DetectorExt for NonNeg {
+    fn as_white_box(&self) -> Option<&dyn WhiteBoxModel> {
+        Some(self)
     }
 }
 

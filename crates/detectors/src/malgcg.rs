@@ -228,6 +228,12 @@ impl Detector for MalGcg {
     }
 }
 
+impl crate::traits::DetectorExt for MalGcg {
+    fn as_white_box(&self) -> Option<&dyn WhiteBoxModel> {
+        Some(self)
+    }
+}
+
 impl WhiteBoxModel for MalGcg {
     fn embedding(&self) -> &Embedding {
         &self.embedding

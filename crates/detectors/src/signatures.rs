@@ -119,10 +119,28 @@ impl SignatureStore {
         let novel = |g: &[u8]| -> bool {
             g.windows(SUBGRAM_LEN).all(|w| !clean_sub.contains(&gram_hash(w)))
         };
+        // Low-diversity grams — a couple of distinct bytes amid padding —
+        // would match the zero-padded regions of arbitrary executables.
+        // Real engines impose entropy floors on byte signatures for the
+        // same reason; require at least four distinct byte values.
+        let diverse = |g: &[u8]| -> bool {
+            let mut seen = [false; 256];
+            let mut n = 0;
+            for &b in g {
+                if !seen[b as usize] {
+                    seen[b as usize] = true;
+                    n += 1;
+                }
+            }
+            n >= 4
+        };
         let mut candidates: Vec<(Vec<u8>, usize)> = support
             .into_iter()
             .filter(|(g, n)| {
-                *n >= min_support && !self.grams.contains(&gram_hash(g)) && novel(g)
+                *n >= min_support
+                    && !self.grams.contains(&gram_hash(g))
+                    && diverse(g)
+                    && novel(g)
             })
             .collect();
         candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -192,7 +210,10 @@ mod tests {
 
     #[test]
     fn cap_limits_additions() {
-        let subs: Vec<Vec<u8>> = (0..6).map(|_| vec![0xAA; 600]).collect();
+        // Identical varied content in every submission: far more than one
+        // candidate gram qualifies, but the cap admits only one.
+        let subs: Vec<Vec<u8>> =
+            (0..6).map(|_| (0..600u32).map(|j| (j % 251) as u8).collect()).collect();
         let sub_refs: Vec<&[u8]> = subs.iter().map(|v| v.as_slice()).collect();
         let mut store = SignatureStore::new();
         let added = store.mine(&sub_refs, &[], 3, 1);

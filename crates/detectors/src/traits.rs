@@ -61,6 +61,21 @@ pub trait Detector: Send + Sync {
     }
 }
 
+/// Capability discovery over [`Detector`] trait objects.
+///
+/// Every concrete detector implements this; rosters can then be held as a
+/// single `Vec<&dyn DetectorExt>` and the white-box subset (MPass's known
+/// models) recovered with [`DetectorExt::as_white_box`] — no parallel
+/// `&dyn Detector` / `&dyn WhiteBoxModel` lists.
+pub trait DetectorExt: Detector {
+    /// The white-box interface of this detector, if it exposes one.
+    /// Defaults to `None`; gradient-capable models override it with
+    /// `Some(self)`.
+    fn as_white_box(&self) -> Option<&dyn WhiteBoxModel> {
+        None
+    }
+}
+
 /// A *known model* in MPass's ensemble transfer attack: a detector whose
 /// byte-embedding table and input gradients are available (§III-D).
 pub trait WhiteBoxModel: Detector {
@@ -93,6 +108,7 @@ mod tests {
             self.0
         }
     }
+    impl DetectorExt for Fixed {}
 
     #[test]
     fn classify_uses_threshold() {
@@ -110,6 +126,14 @@ mod tests {
     #[test]
     fn detector_is_object_safe() {
         let d: Box<dyn Detector> = Box::new(Fixed(0.7));
+        assert_eq!(d.classify(b"y"), Verdict::Malicious);
+    }
+
+    #[test]
+    fn as_white_box_defaults_to_none() {
+        let d: &dyn DetectorExt = &Fixed(0.7);
+        assert!(d.as_white_box().is_none());
+        // The black-box interface stays available through the same object.
         assert_eq!(d.classify(b"y"), Verdict::Malicious);
     }
 }

@@ -1,0 +1,27 @@
+//! # mpass-engine
+//!
+//! Shared execution and observability layer for the MPass reproduction.
+//! Every experiment runner drives its attack campaigns through one
+//! [`Engine`]: a work-stealing, shard-parallel thread pool whose
+//! per-shard RNG streams are keyed on shard *labels*, making campaign
+//! results bit-identical across worker counts.
+//!
+//! Around the pool sit three supporting pieces:
+//!
+//! * [`metrics`] — a zero-dependency tracing facade (spans, counters,
+//!   series) that instrumented code calls unconditionally; the pool
+//!   installs a collector per shard, everything else is a no-op.
+//! * [`QueryBudget`] — the first-class oracle-query allowance shared by
+//!   `HardLabelTarget` and the metrics sink.
+//! * [`MetricsFile`] — the JSON schema written next to each runner's
+//!   `results/*.json` and summarized by `mpass engine-report`.
+
+pub mod budget;
+pub mod metrics;
+pub mod pool;
+pub mod sink;
+
+pub use budget::{QueryBudget, QueryBudgetExhausted};
+pub use metrics::{Collector, SampleMetrics, ShardMetrics, TimingSummary};
+pub use pool::{Engine, EngineConfig, EngineRun, Shard, ShardCtx};
+pub use sink::{metrics_path, EngineInfo, MetricsFile};

@@ -1,0 +1,262 @@
+//! Lightweight tracing/metrics facade.
+//!
+//! Instrumented code (the attack loop, the optimizer, PEM, detector
+//! caches) calls the free functions in this module — [`counter`],
+//! [`series`], [`span`], [`begin_sample`]/[`end_sample`] — without
+//! knowing whether anyone is listening. The engine pool installs a
+//! thread-local [`Collector`] around each shard; outside a shard every
+//! call is a cheap no-op, so unit tests and library consumers pay
+//! nothing.
+//!
+//! The collector aggregates three primitives:
+//!
+//! * **counters** — monotonically increasing `u64`s ("queries",
+//!   "pem/cache_hit", ...),
+//! * **timings** — call count + total wall time per stage, fed by
+//!   [`span`] guards,
+//! * **series** — ordered `f64` observations (optimizer loss curves).
+//!
+//! While a sample is active (between `begin_sample` and `end_sample`)
+//! counters and timings are *also* attributed to that sample, which is
+//! how the sink gets per-sample query counts and per-stage timings.
+//! All maps are `BTreeMap`-backed so serialized output is deterministic.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+/// Aggregate wall time spent in one named stage.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimingSummary {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total elapsed milliseconds across those spans.
+    pub total_ms: f64,
+}
+
+/// Metrics attributed to a single sample inside a shard.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SampleMetrics {
+    pub name: String,
+    pub counters: BTreeMap<String, u64>,
+    pub timings: BTreeMap<String, TimingSummary>,
+}
+
+/// Everything one shard recorded: shard-wide aggregates plus the
+/// per-sample breakdown.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ShardMetrics {
+    /// The shard label, e.g. `"MPass vs MalConv"`.
+    pub label: String,
+    /// Wall-clock milliseconds the shard closure ran for.
+    pub wall_ms: f64,
+    pub counters: BTreeMap<String, u64>,
+    pub timings: BTreeMap<String, TimingSummary>,
+    pub series: BTreeMap<String, Vec<f64>>,
+    pub samples: Vec<SampleMetrics>,
+}
+
+/// The mutable recording state installed per worker while a shard runs.
+#[derive(Debug, Default)]
+pub struct Collector {
+    counters: BTreeMap<String, u64>,
+    timings: BTreeMap<String, TimingSummary>,
+    series: BTreeMap<String, Vec<f64>>,
+    samples: Vec<SampleMetrics>,
+    current: Option<SampleMetrics>,
+}
+
+impl Collector {
+    fn add_counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_default() += delta;
+        if let Some(sample) = self.current.as_mut() {
+            *sample.counters.entry(name.to_owned()).or_default() += delta;
+        }
+    }
+
+    fn add_timing(&mut self, name: &str, elapsed_ms: f64) {
+        let entry = self.timings.entry(name.to_owned()).or_default();
+        entry.count += 1;
+        entry.total_ms += elapsed_ms;
+        if let Some(sample) = self.current.as_mut() {
+            let entry = sample.timings.entry(name.to_owned()).or_default();
+            entry.count += 1;
+            entry.total_ms += elapsed_ms;
+        }
+    }
+
+    fn push_series(&mut self, name: &str, value: f64) {
+        self.series.entry(name.to_owned()).or_default().push(value);
+    }
+
+    fn begin_sample(&mut self, name: &str) {
+        // An unfinished sample is flushed rather than lost.
+        self.end_sample();
+        self.current = Some(SampleMetrics { name: name.to_owned(), ..Default::default() });
+    }
+
+    fn end_sample(&mut self) {
+        if let Some(sample) = self.current.take() {
+            self.samples.push(sample);
+        }
+    }
+
+    /// Seal the collector into the serializable per-shard record.
+    pub fn finish(mut self, label: impl Into<String>, wall_ms: f64) -> ShardMetrics {
+        self.end_sample();
+        ShardMetrics {
+            label: label.into(),
+            wall_ms,
+            counters: self.counters,
+            timings: self.timings,
+            series: self.series,
+            samples: self.samples,
+        }
+    }
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Option<Collector>> = const { RefCell::new(None) };
+}
+
+/// Install a collector on the current thread, returning whatever was
+/// installed before (normally `None`).
+pub fn install(collector: Collector) -> Option<Collector> {
+    COLLECTOR.with(|slot| slot.borrow_mut().replace(collector))
+}
+
+/// Remove and return the current thread's collector, ending recording.
+pub fn take() -> Option<Collector> {
+    COLLECTOR.with(|slot| slot.borrow_mut().take())
+}
+
+/// Whether a collector is currently recording on this thread.
+pub fn is_active() -> bool {
+    COLLECTOR.with(|slot| slot.borrow().is_some())
+}
+
+fn with_collector(f: impl FnOnce(&mut Collector)) {
+    COLLECTOR.with(|slot| {
+        if let Some(collector) = slot.borrow_mut().as_mut() {
+            f(collector);
+        }
+    });
+}
+
+/// Add `delta` to a named counter (shard-wide, and to the active sample
+/// if one is open).
+pub fn counter(name: &str, delta: u64) {
+    with_collector(|c| c.add_counter(name, delta));
+}
+
+/// Append one observation to a named series.
+pub fn series(name: &str, value: f64) {
+    with_collector(|c| c.push_series(name, value));
+}
+
+/// Mark the start of work attributed to `name`; closes any still-open
+/// sample first.
+pub fn begin_sample(name: &str) {
+    with_collector(|c| c.begin_sample(name));
+}
+
+/// Close the active sample and commit its metrics.
+pub fn end_sample() {
+    with_collector(Collector::end_sample);
+}
+
+/// Time a stage: the returned guard records elapsed wall time into the
+/// named timing when dropped. When no collector is installed the guard
+/// is inert.
+pub fn span(name: &'static str) -> SpanGuard {
+    SpanGuard { name, start: is_active().then(Instant::now) }
+}
+
+/// RAII guard produced by [`span`].
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+            with_collector(|c| c.add_timing(self.name, elapsed_ms));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_is_inert_without_collector() {
+        assert!(!is_active());
+        counter("queries", 3);
+        series("loss", 1.0);
+        begin_sample("s");
+        drop(span("stage"));
+        end_sample();
+        assert!(take().is_none());
+    }
+
+    #[test]
+    fn counters_attribute_to_active_sample() {
+        install(Collector::default());
+        counter("queries", 1);
+        begin_sample("mal_0");
+        counter("queries", 4);
+        end_sample();
+        begin_sample("mal_1");
+        counter("queries", 2);
+        end_sample();
+        let shard = take().unwrap().finish("test", 0.0);
+        assert_eq!(shard.counters["queries"], 7);
+        assert_eq!(shard.samples.len(), 2);
+        assert_eq!(shard.samples[0].name, "mal_0");
+        assert_eq!(shard.samples[0].counters["queries"], 4);
+        assert_eq!(shard.samples[1].counters["queries"], 2);
+    }
+
+    #[test]
+    fn spans_record_count_and_time() {
+        install(Collector::default());
+        for _ in 0..3 {
+            let _guard = span("stage/pem");
+        }
+        let shard = take().unwrap().finish("test", 0.0);
+        let t = &shard.timings["stage/pem"];
+        assert_eq!(t.count, 3);
+        assert!(t.total_ms >= 0.0);
+    }
+
+    #[test]
+    fn dangling_sample_is_flushed_on_finish() {
+        install(Collector::default());
+        begin_sample("left_open");
+        counter("queries", 1);
+        let shard = take().unwrap().finish("test", 1.5);
+        assert_eq!(shard.samples.len(), 1);
+        assert_eq!(shard.samples[0].name, "left_open");
+    }
+
+    #[test]
+    fn shard_metrics_round_trip_json() {
+        install(Collector::default());
+        begin_sample("m0");
+        counter("queries", 9);
+        drop(span("optimize"));
+        end_sample();
+        series("optimize/loss", 0.75);
+        series("optimize/loss", 0.25);
+        let shard = take().unwrap().finish("MPass vs MalConv", 12.5);
+        let text = serde_json::to_string_pretty(&shard).unwrap();
+        let back: ShardMetrics = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, shard);
+    }
+}

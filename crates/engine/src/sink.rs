@@ -1,0 +1,208 @@
+//! JSON metrics sink: serializes an [`EngineRun`]'s observability data
+//! next to the experiment's results file, and renders the human summary
+//! behind `mpass engine-report`.
+
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::ShardMetrics;
+use crate::pool::EngineRun;
+
+/// Pool facts recorded alongside the per-shard metrics.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineInfo {
+    pub workers: usize,
+    pub seed: u64,
+    pub shards: usize,
+}
+
+/// The on-disk schema (see DESIGN.md, "Metrics schema").
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MetricsFile {
+    /// Experiment name, e.g. `"offline"`.
+    pub experiment: String,
+    pub engine: EngineInfo,
+    /// Wall-clock milliseconds of the whole pool run.
+    pub wall_ms: f64,
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl MetricsFile {
+    /// Capture the metrics side of a finished engine run.
+    pub fn from_run<R>(experiment: impl Into<String>, run: &EngineRun<R>) -> Self {
+        MetricsFile {
+            experiment: experiment.into(),
+            engine: EngineInfo {
+                workers: run.workers,
+                seed: run.seed,
+                shards: run.shard_metrics.len(),
+            },
+            wall_ms: run.wall_ms,
+            shards: run.shard_metrics.clone(),
+        }
+    }
+
+    /// Write pretty JSON to `path`, creating parent directories.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let text = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::other(e.to_string()))?;
+        std::fs::write(path, text)
+    }
+
+    /// Parse a metrics file previously written by [`MetricsFile::save`].
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Multi-line human summary: pool shape, per-shard query/timing
+    /// breakdown, and experiment-wide stage totals.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "experiment `{}`: {} shards on {} workers (seed {:#x}), wall {:.1} ms\n",
+            self.experiment, self.engine.shards, self.engine.workers, self.engine.seed, self.wall_ms
+        ));
+
+        let mut total_queries = 0u64;
+        let mut stage_totals: std::collections::BTreeMap<String, (u64, f64)> =
+            std::collections::BTreeMap::new();
+        let mut sample_queries: Vec<u64> = Vec::new();
+
+        for shard in &self.shards {
+            let queries = shard.counters.get("queries").copied().unwrap_or(0);
+            total_queries += queries;
+            out.push_str(&format!(
+                "  {}: wall {:.1} ms, {} samples, {} queries\n",
+                shard.label,
+                shard.wall_ms,
+                shard.samples.len(),
+                queries
+            ));
+            for (stage, t) in &shard.timings {
+                out.push_str(&format!(
+                    "    {}: {} calls, {:.1} ms\n",
+                    stage, t.count, t.total_ms
+                ));
+                let entry = stage_totals.entry(stage.clone()).or_default();
+                entry.0 += t.count;
+                entry.1 += t.total_ms;
+            }
+            for (name, values) in &shard.series {
+                if let (Some(first), Some(last)) = (values.first(), values.last()) {
+                    out.push_str(&format!(
+                        "    {}: {} points, {:.4} -> {:.4}\n",
+                        name,
+                        values.len(),
+                        first,
+                        last
+                    ));
+                }
+            }
+            sample_queries
+                .extend(shard.samples.iter().map(|s| {
+                    s.counters.get("queries").copied().unwrap_or(0)
+                }));
+        }
+
+        out.push_str(&format!("totals: {total_queries} queries"));
+        if !sample_queries.is_empty() {
+            let mean = sample_queries.iter().sum::<u64>() as f64 / sample_queries.len() as f64;
+            let max = sample_queries.iter().max().copied().unwrap_or(0);
+            out.push_str(&format!(
+                " across {} samples (mean {:.1}/sample, max {})",
+                sample_queries.len(),
+                mean,
+                max
+            ));
+        }
+        out.push('\n');
+        for (stage, (count, ms)) in &stage_totals {
+            out.push_str(&format!("  stage {stage}: {count} calls, {ms:.1} ms total\n"));
+        }
+        out
+    }
+}
+
+/// The conventional sibling path for a results file's metrics: the
+/// runner that writes `results/offline.json` writes its metrics to
+/// `results/offline.metrics.json`.
+pub fn metrics_path(results_path: &Path) -> PathBuf {
+    results_path.with_extension("metrics.json")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{self, Collector};
+    use crate::pool::{Engine, EngineConfig, Shard};
+
+    fn sample_file() -> MetricsFile {
+        metrics::install(Collector::default());
+        metrics::begin_sample("mal_0");
+        metrics::counter("queries", 12);
+        {
+            let _span = metrics::span("optimize");
+        }
+        metrics::end_sample();
+        metrics::series("optimize/loss", 0.9);
+        metrics::series("optimize/loss", 0.1);
+        let shard = metrics::take().unwrap().finish("MPass vs MalConv", 3.25);
+        MetricsFile {
+            experiment: "offline".into(),
+            engine: EngineInfo { workers: 4, seed: 42, shards: 1 },
+            wall_ms: 3.5,
+            shards: vec![shard],
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let file = sample_file();
+        let dir = std::env::temp_dir().join("mpass-engine-sink-test");
+        let path = dir.join("offline.metrics.json");
+        file.save(&path).unwrap();
+        let back = MetricsFile::load(&path).unwrap();
+        assert_eq!(back, file);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn summary_reports_queries_and_stages() {
+        let text = sample_file().summary();
+        assert!(text.contains("experiment `offline`"));
+        assert!(text.contains("MPass vs MalConv"));
+        assert!(text.contains("12 queries"));
+        assert!(text.contains("optimize"));
+        assert!(text.contains("mean 12.0/sample"));
+    }
+
+    #[test]
+    fn from_run_captures_pool_shape() {
+        let engine = Engine::new(EngineConfig { workers: 2, seed: 5 });
+        let shards = vec![Shard::new("a", ()), Shard::new("b", ())];
+        let run = engine.run(shards, |_ctx, ()| {
+            metrics::counter("queries", 1);
+        });
+        let file = MetricsFile::from_run("demo", &run);
+        assert_eq!(file.engine.shards, 2);
+        assert_eq!(file.engine.seed, 5);
+        assert_eq!(file.shards[0].label, "a");
+        assert_eq!(file.shards[1].counters["queries"], 1);
+    }
+
+    #[test]
+    fn metrics_path_is_a_sibling() {
+        assert_eq!(
+            metrics_path(Path::new("results/offline.json")),
+            PathBuf::from("results/offline.metrics.json")
+        );
+    }
+}

@@ -5,6 +5,8 @@ use crate::commercial::attack_av;
 use crate::world::World;
 use mpass_baselines::{other_sec, RandomData};
 use mpass_core::MPassConfig;
+use mpass_detectors::Detector;
+use mpass_engine::{Engine, MetricsFile, Shard};
 use serde::{Deserialize, Serialize};
 
 /// Results of both ablation tables.
@@ -50,27 +52,57 @@ impl AblationResults {
     }
 }
 
-/// Run both ablations. `mpass_row` supplies the shared MPass reference
-/// ASRs when the Figure-3 campaign already produced them.
-pub fn run(world: &World, mpass_row: Option<Vec<f64>>) -> AblationResults {
-    let base = MPassConfig { seed: world.config.seed, ..MPassConfig::default() };
-    let mut other = Vec::new();
-    let mut random = Vec::new();
-    for av in &world.avs {
-        let mut o = other_sec(world.all_known_models(), &world.pool, base.clone());
-        other.push(attack_av(world, &mut o, av).stats.asr);
-        // Random-data attempts mirror MPass's modification count: restarts
-        // × (1 + rounds) queries would be the MPass budget; give the
-        // control the same number of fresh tries as MPass has restarts.
-        let mut r = RandomData::new(
-            base.max_restarts * (1 + base.rounds_per_restart),
-            world.config.seed,
-        );
-        random.push(attack_av(world, &mut r, av).stats.asr);
-    }
+/// Run both ablations on `engine`, one shard per (method, AV) campaign.
+/// `mpass_row` supplies the shared MPass reference ASRs when the Figure-3
+/// campaign already produced them.
+pub fn run_with_engine(
+    world: &World,
+    engine: &Engine,
+    mpass_row: Option<Vec<f64>>,
+) -> (AblationResults, MetricsFile) {
+    let base = MPassConfig::builder()
+        .seed(world.config.seed)
+        .build()
+        .expect("default MPass config is valid");
+    let methods = ["Other-sec", "Random data"];
+    let shards: Vec<Shard<(usize, usize)>> = methods
+        .iter()
+        .enumerate()
+        .flat_map(|(m, method)| {
+            world.avs.iter().enumerate().map(move |(a, av)| {
+                Shard::new(format!("{method} vs {}", av.name()), (m, a))
+            })
+        })
+        .collect();
+    let run = engine.run(shards, |_ctx, (m, a)| {
+        let av = &world.avs[a];
+        if m == 0 {
+            let mut o = other_sec(world.all_known_models(), &world.pool, base.clone());
+            attack_av(world, &mut o, av).stats.asr
+        } else {
+            // Random-data attempts mirror MPass's modification count:
+            // restarts × (1 + rounds) queries would be the MPass budget;
+            // give the control the same number of fresh tries as MPass has
+            // restarts.
+            let mut r = RandomData::new(
+                base.max_restarts() * (1 + base.rounds_per_restart()),
+                world.config.seed,
+            );
+            attack_av(world, &mut r, av).stats.asr
+        }
+    });
+    let n = world.avs.len();
+    let other = run.results[..n].to_vec();
+    let random = run.results[n..].to_vec();
     let mpass =
-        mpass_row.unwrap_or_else(|| crate::packers::mpass_reference_row(world));
-    AblationResults { other_sec: other, random_data: random, mpass }
+        mpass_row.unwrap_or_else(|| crate::packers::mpass_reference_row(world, engine));
+    (AblationResults { other_sec: other, random_data: random, mpass },
+     MetricsFile::from_run("ablation", &run))
+}
+
+/// Run both ablations on a default engine, discarding the metrics.
+pub fn run(world: &World, mpass_row: Option<Vec<f64>>) -> AblationResults {
+    run_with_engine(world, &Engine::new(Default::default()), mpass_row).0
 }
 
 #[cfg(test)]

@@ -49,7 +49,10 @@ impl AdvTrainResults {
 
 /// Run the adversarial-training evaluation against MalConv.
 pub fn run(world: &World) -> AdvTrainResults {
-    let cfg = MPassConfig { seed: world.config.seed, ..MPassConfig::default() };
+    let cfg = MPassConfig::builder()
+        .seed(world.config.seed)
+        .build()
+        .expect("default MPass config is valid");
     // Round 1: collect AEs against the original model.
     let mut attack = MPassAttack::new(world.known_models_excluding("MalConv"), &world.pool, cfg.clone());
     let samples = world.attack_set(&world.malconv);
@@ -94,7 +97,11 @@ pub fn run(world: &World) -> AdvTrainResults {
 
     // Round 2: fresh MPass (new randomness) against the hardened model,
     // on the samples the hardened model still detects.
-    let cfg2 = MPassConfig { seed: world.config.seed ^ 0x5EED, ..cfg };
+    let cfg2 = cfg
+        .to_builder()
+        .seed(world.config.seed ^ 0x5EED)
+        .build()
+        .expect("reseeding keeps the config valid");
     let mut attack2 =
         MPassAttack::new(world.known_models_excluding("MalConv"), &world.pool, cfg2);
     let samples2: Vec<&mpass_corpus::Sample> = world

@@ -5,11 +5,15 @@ use mpass_experiments::{ablation, report, World};
 fn main() {
     let args = report::CliArgs::parse();
     let world = World::build(args.world_config());
-    let results = ablation::run(&world, None);
+    let engine = args.engine(world.config.seed);
+    let (results, metrics) = ablation::run_with_engine(&world, &engine, None);
     println!("{}", results.table5());
     println!("{}", results.table6());
     match report::save_json("exp_ablation", &results) {
-        Ok(p) => println!("results written to {}", p.display()),
+        Ok(p) => {
+            println!("results written to {}", p.display());
+            report::save_metrics(&p, &metrics);
+        }
         Err(e) => eprintln!("could not write results: {e}"),
     }
 }

@@ -1,5 +1,5 @@
 //! Run the complete evaluation: every table and figure in sequence,
-//! sharing one world (and one Figure-3 AE harvest).
+//! sharing one world, one engine (and one Figure-3 AE harvest).
 
 use mpass_experiments::offline::Metric;
 use mpass_experiments::{
@@ -11,6 +11,7 @@ fn main() {
     let args = report::CliArgs::parse();
     let t0 = std::time::Instant::now();
     let world = World::build(args.world_config());
+    let engine = args.engine(world.config.seed);
     println!("== world built in {:.1}s ==", t0.elapsed().as_secs_f32());
     println!("== detector health ==");
     for (name, acc) in world.detector_health() {
@@ -21,20 +22,22 @@ fn main() {
     println!("{}", pem_results.summary());
     let _ = report::save_json("exp_pem", &pem_results);
 
-    let offline_results = offline::run(&world);
+    let (offline_results, offline_metrics) = offline::run_with_engine(&world, &engine);
     println!("{}", offline_results.table(Metric::Asr));
     println!("{}", offline_results.table(Metric::Avq));
     println!("{}", offline_results.table(Metric::Apr));
-    let _ = report::save_json("exp_offline", &offline_results);
+    if let Ok(p) = report::save_json("exp_offline", &offline_results) {
+        report::save_metrics(&p, &offline_metrics);
+    }
 
     let func = functionality::run(&offline_results);
     println!("{}", func.summary());
     let _ = report::save_json("exp_functionality", &func);
 
-    let fig3 = commercial::run(&world);
+    let (fig3, fig3_metrics) = commercial::run_with_engine(&world, &engine);
     println!("{}", fig3.figure3());
 
-    let fig4 = learning::run(&world, &fig3, 4);
+    let (fig4, fig4_metrics) = learning::run_with_engine(&world, &fig3, 4, &engine);
     for av in &world.avs {
         use mpass_detectors::Detector;
         println!("{}", fig4.figure4(av.name()));
@@ -44,23 +47,31 @@ fn main() {
         .iter()
         .map(|c| (c.attack.clone(), c.av.clone(), c.stats))
         .collect();
-    let _ = report::save_json("exp_commercial", &slim);
+    if let Ok(p) = report::save_json("exp_commercial", &slim) {
+        report::save_metrics(&p, &fig3_metrics);
+    }
     let slim4: Vec<_> = fig4
         .series
         .iter()
         .map(|s| (s.attack.clone(), s.av.clone(), s.bypass_rate.clone(), s.signatures_learned))
         .collect();
-    let _ = report::save_json("exp_learning", &(fig4.weeks, slim4));
+    if let Ok(p) = report::save_json("exp_learning", &(fig4.weeks, slim4)) {
+        report::save_metrics(&p, &fig4_metrics);
+    }
 
     let mpass_row: Vec<f64> = (1..=5).map(|i| format!("AV{i}")).map(|av| fig3.cell("MPass", &av).map(|c| c.stats.asr).unwrap_or(0.0)).collect();
-    let t4 = packers::run(&world, Some(mpass_row.clone()));
+    let (t4, t4_metrics) = packers::run_with_engine(&world, &engine, Some(mpass_row.clone()));
     println!("{}", t4.table4());
-    let _ = report::save_json("exp_packers", &t4);
+    if let Ok(p) = report::save_json("exp_packers", &t4) {
+        report::save_metrics(&p, &t4_metrics);
+    }
 
-    let ab = ablation::run(&world, Some(mpass_row.clone()));
+    let (ab, ab_metrics) = ablation::run_with_engine(&world, &engine, Some(mpass_row.clone()));
     println!("{}", ab.table5());
     println!("{}", ab.table6());
-    let _ = report::save_json("exp_ablation", &ab);
+    if let Ok(p) = report::save_json("exp_ablation", &ab) {
+        report::save_metrics(&p, &ab_metrics);
+    }
 
     let adv = advtrain::run(&world);
     println!("{}", adv.summary());

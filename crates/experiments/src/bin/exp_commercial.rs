@@ -5,7 +5,8 @@ use mpass_experiments::{commercial, report, World};
 fn main() {
     let args = report::CliArgs::parse();
     let world = World::build(args.world_config());
-    let results = commercial::run(&world);
+    let engine = args.engine(world.config.seed);
+    let (results, metrics) = commercial::run_with_engine(&world, &engine);
     println!("{}", results.figure3());
     // AEs are large; persist only the stats.
     let slim: Vec<_> = results
@@ -14,7 +15,10 @@ fn main() {
         .map(|c| (c.attack.clone(), c.av.clone(), c.stats))
         .collect();
     match report::save_json("exp_commercial", &slim) {
-        Ok(p) => println!("results written to {}", p.display()),
+        Ok(p) => {
+            println!("results written to {}", p.display());
+            report::save_metrics(&p, &metrics);
+        }
         Err(e) => eprintln!("could not write results: {e}"),
     }
 }

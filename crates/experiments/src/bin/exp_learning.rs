@@ -5,8 +5,9 @@ use mpass_experiments::{commercial, learning, report, World};
 fn main() {
     let args = report::CliArgs::parse();
     let world = World::build(args.world_config());
-    let fig3 = commercial::run(&world);
-    let results = learning::run(&world, &fig3, 4);
+    let engine = args.engine(world.config.seed);
+    let (fig3, _) = commercial::run_with_engine(&world, &engine);
+    let (results, metrics) = learning::run_with_engine(&world, &fig3, 4, &engine);
     for av in world.avs.iter() {
         use mpass_detectors::Detector;
         println!("{}", results.figure4(av.name()));
@@ -25,7 +26,10 @@ fn main() {
         .map(|s| (s.attack.clone(), s.av.clone(), s.bypass_rate.clone(), s.signatures_learned))
         .collect();
     match report::save_json("exp_learning", &(results.weeks, slim)) {
-        Ok(p) => println!("results written to {}", p.display()),
+        Ok(p) => {
+            println!("results written to {}", p.display());
+            report::save_metrics(&p, &metrics);
+        }
         Err(e) => eprintln!("could not write results: {e}"),
     }
 }

@@ -10,12 +10,16 @@ fn main() {
     for (name, acc) in world.detector_health() {
         println!("  {name:<10} accuracy {acc:.3}");
     }
-    let results = offline::run(&world);
+    let engine = args.engine(world.config.seed);
+    let (results, metrics) = offline::run_with_engine(&world, &engine);
     println!("{}", results.table(Metric::Asr));
     println!("{}", results.table(Metric::Avq));
     println!("{}", results.table(Metric::Apr));
     match report::save_json("exp_offline", &results) {
-        Ok(p) => println!("results written to {}", p.display()),
+        Ok(p) => {
+            println!("results written to {}", p.display());
+            report::save_metrics(&p, &metrics);
+        }
         Err(e) => eprintln!("could not write results: {e}"),
     }
 }

@@ -5,10 +5,14 @@ use mpass_experiments::{packers, report, World};
 fn main() {
     let args = report::CliArgs::parse();
     let world = World::build(args.world_config());
-    let results = packers::run(&world, None);
+    let engine = args.engine(world.config.seed);
+    let (results, metrics) = packers::run_with_engine(&world, &engine, None);
     println!("{}", results.table4());
     match report::save_json("exp_packers", &results) {
-        Ok(p) => println!("results written to {}", p.display()),
+        Ok(p) => {
+            println!("results written to {}", p.display());
+            report::save_metrics(&p, &metrics);
+        }
         Err(e) => eprintln!("could not write results: {e}"),
     }
 }

@@ -2,11 +2,12 @@
 //! commercial ML AVs, keeping successful AEs for the Figure 4 learning
 //! experiment.
 
-use crate::offline::attack_roster;
+use crate::offline::{make_attack, ATTACK_NAMES};
 use crate::world::World;
 use mpass_core::attack::metrics::{summarize, AttackStats};
 use mpass_core::{Attack, HardLabelTarget};
-use mpass_detectors::Detector;
+use mpass_detectors::{CachedAv, Detector};
+use mpass_engine::{metrics as trace, Engine, MetricsFile, Shard};
 use serde::{Deserialize, Serialize};
 
 /// One (attack, AV) cell with its surviving AEs.
@@ -64,12 +65,14 @@ pub fn attack_av(world: &World, attack: &mut dyn Attack, av: &dyn Detector) -> C
     let mut outcomes = Vec::with_capacity(samples.len());
     let mut successful_aes = Vec::new();
     for sample in samples {
+        trace::begin_sample(&sample.name);
         let mut oracle = HardLabelTarget::new(av, world.config.max_queries);
         let mut outcome = attack.attack(sample, &mut oracle);
         if let Some(ae) = outcome.adversarial.take() {
             successful_aes.push(ae);
         }
         outcomes.push(outcome);
+        trace::end_sample();
     }
     CommercialCell {
         attack: attack.name().to_owned(),
@@ -79,28 +82,36 @@ pub fn attack_av(world: &World, attack: &mut dyn Attack, av: &dyn Detector) -> C
     }
 }
 
-/// Run the full Figure 3 experiment. Against AVs the MPass ensemble is all
-/// three differentiable offline models (the AVs themselves are black
-/// boxes), which `attack_roster` provides by excluding a non-AV name.
+/// Run the full Figure 3 experiment on `engine`, one shard per
+/// (attack, AV) campaign. Against AVs the MPass ensemble is all three
+/// differentiable offline models (the AVs themselves are black boxes),
+/// which `make_attack` provides by excluding a non-AV name. Each shard
+/// queries a memoizing [`CachedAv`] copy of its AV so the metrics file
+/// records per-shard score-cache hit rates.
+pub fn run_with_engine(world: &World, engine: &Engine) -> (CommercialResults, MetricsFile) {
+    let shards: Vec<Shard<(usize, &str)>> = world
+        .avs
+        .iter()
+        .enumerate()
+        .flat_map(|(i, av)| {
+            ATTACK_NAMES
+                .iter()
+                .map(move |attack| Shard::new(format!("{attack} vs {}", av.name()), (i, *attack)))
+        })
+        .collect();
+    let run = engine.run(shards, |_ctx, (av_index, attack_name)| {
+        let av = CachedAv::new(world.avs[av_index].clone());
+        let mut attack = make_attack(world, "LightGBM", attack_name);
+        attack_av(world, attack.as_mut(), &av)
+    });
+    let metrics = MetricsFile::from_run("commercial", &run);
+    (CommercialResults { cells: run.results }, metrics)
+}
+
+/// Run the full Figure 3 experiment on a default engine, discarding the
+/// metrics (test/API convenience).
 pub fn run(world: &World) -> CommercialResults {
-    let cells = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = world
-            .avs
-            .iter()
-            .map(|av| {
-                scope.spawn(move |_| {
-                    let mut cells = Vec::new();
-                    for mut attack in attack_roster(world, "LightGBM") {
-                        cells.push(attack_av(world, attack.as_mut(), av));
-                    }
-                    cells
-                })
-            })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("attack thread")).collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope");
-    CommercialResults { cells }
+    run_with_engine(world, &Engine::new(Default::default())).0
 }
 
 #[cfg(test)]

@@ -105,7 +105,10 @@ pub fn run(world: &World) -> DesignResults {
         let mut attack = MPassAttack::new(
             all[..n].to_vec(),
             &world.pool,
-            MPassConfig { seed: world.config.seed, ..MPassConfig::default() },
+            MPassConfig::builder()
+                .seed(world.config.seed)
+                .build()
+                .expect("default MPass config is valid"),
         );
         let mut outcomes = Vec::new();
         let cap = world.config.attack_samples.min(12);
@@ -145,11 +148,11 @@ pub fn run(world: &World) -> DesignResults {
     // Optimization-budget sweep on MalConv.
     let mut budget_sweep = Vec::new();
     for iterations in [0usize, 5, 10, 20] {
-        let cfg = MPassConfig {
-            seed: world.config.seed,
-            optimizer: OptimizerConfig { iterations, ..OptimizerConfig::default() },
-            ..MPassConfig::default()
-        };
+        let cfg = MPassConfig::builder()
+            .seed(world.config.seed)
+            .optimizer(OptimizerConfig { iterations, ..OptimizerConfig::default() })
+            .build()
+            .expect("a positive iteration count keeps the config valid");
         let mut attack =
             MPassAttack::new(world.known_models_excluding("MalConv"), &world.pool, cfg);
         let mut outcomes = Vec::new();

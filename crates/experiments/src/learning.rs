@@ -11,6 +11,7 @@
 use crate::commercial::CommercialResults;
 use crate::world::World;
 use mpass_detectors::{Detector, Verdict};
+use mpass_engine::{metrics as trace, Engine, MetricsFile, Shard};
 use serde::{Deserialize, Serialize};
 
 /// Weekly bypass-rate series for one (attack, AV) pair.
@@ -69,19 +70,35 @@ impl LearningResults {
     }
 }
 
-/// Run the learning experiment over previously collected Figure-3 AEs.
-pub fn run(world: &World, commercial: &CommercialResults, weeks: usize) -> LearningResults {
-    let mut series = Vec::new();
-    for cell in &commercial.cells {
-        if cell.successful_aes.is_empty() {
-            continue;
-        }
+/// Run the learning experiment on `engine` over previously collected
+/// Figure-3 AEs, one shard per (attack, AV) pair with surviving AEs.
+/// Each shard records its weekly bypass rate to the `learning/bypass`
+/// metrics series and its query volume to the standard counters.
+pub fn run_with_engine(
+    world: &World,
+    commercial: &CommercialResults,
+    weeks: usize,
+    engine: &Engine,
+) -> (LearningResults, MetricsFile) {
+    let eligible: Vec<&crate::commercial::CommercialCell> = commercial
+        .cells
+        .iter()
+        .filter(|cell| !cell.successful_aes.is_empty())
+        .filter(|cell| world.avs.iter().any(|a| a.name() == cell.av))
+        .collect();
+    let shards: Vec<Shard<&crate::commercial::CommercialCell>> = eligible
+        .into_iter()
+        .map(|cell| Shard::new(format!("{} AEs vs {}", cell.attack, cell.av), cell))
+        .collect();
+    let run = engine.run(shards, |_ctx, cell| {
         // Fresh copy of the AV so each attack's learning dynamic is
         // observed in isolation.
-        let Some(av) = world.avs.iter().find(|a| a.name() == cell.av) else {
-            continue;
-        };
-        let mut av = av.clone();
+        let mut av = world
+            .avs
+            .iter()
+            .find(|a| a.name() == cell.av)
+            .expect("eligibility filter checked the roster")
+            .clone();
         let mut bypass_rate = vec![100.0];
         for _week in 0..weeks {
             let submissions: Vec<&[u8]> =
@@ -90,18 +107,29 @@ pub fn run(world: &World, commercial: &CommercialResults, weeks: usize) -> Learn
             let still = cell
                 .successful_aes
                 .iter()
-                .filter(|ae| av.classify(ae) == Verdict::Benign)
+                .filter(|ae| {
+                    trace::counter("queries", 1);
+                    av.classify(ae) == Verdict::Benign
+                })
                 .count();
-            bypass_rate.push(100.0 * still as f64 / cell.successful_aes.len() as f64);
+            let rate = 100.0 * still as f64 / cell.successful_aes.len() as f64;
+            trace::series("learning/bypass", rate);
+            bypass_rate.push(rate);
         }
-        series.push(LearningSeries {
+        LearningSeries {
             attack: cell.attack.clone(),
             av: cell.av.clone(),
             bypass_rate,
             signatures_learned: av.signature_count(),
-        });
-    }
-    LearningResults { weeks, series }
+        }
+    });
+    let metrics = MetricsFile::from_run("learning", &run);
+    (LearningResults { weeks, series: run.results }, metrics)
+}
+
+/// Run the learning experiment on a default engine, discarding metrics.
+pub fn run(world: &World, commercial: &CommercialResults, weeks: usize) -> LearningResults {
+    run_with_engine(world, commercial, weeks, &Engine::new(Default::default())).0
 }
 
 #[cfg(test)]

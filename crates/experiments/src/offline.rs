@@ -7,6 +7,7 @@ use mpass_baselines::{Gamma, GammaConfig, Mab, MabConfig, MalRnn, MalRnnConfig, 
 use mpass_core::attack::metrics::{summarize, AttackStats};
 use mpass_core::{Attack, HardLabelTarget, MPassAttack, MPassConfig};
 use mpass_detectors::Detector;
+use mpass_engine::{metrics as trace, Engine, MetricsFile, Shard};
 use mpass_sandbox::Sandbox;
 use serde::{Deserialize, Serialize};
 
@@ -115,15 +116,18 @@ pub fn attack_target(
     let mut broken = 0;
     let mut checked = 0;
     for sample in samples {
+        trace::begin_sample(&sample.name);
         let mut oracle = HardLabelTarget::new(target, world.config.max_queries);
         let mut outcome = attack.attack(sample, &mut oracle);
         if let Some(ae) = outcome.adversarial.take() {
             checked += 1;
+            let _span = trace::span("stage/verify");
             if !sandbox.verify_functionality(&sample.bytes, &ae).is_preserved() {
                 broken += 1;
             }
         }
         outcomes.push(outcome);
+        trace::end_sample();
     }
     OfflineCell {
         attack: attack.name().to_owned(),
@@ -134,49 +138,66 @@ pub fn attack_target(
     }
 }
 
-/// Build the fresh attack roster for a campaign against `target_name`.
-/// MPass's known ensemble excludes the target (it is black-box); the
-/// baselines are target-agnostic.
-pub fn attack_roster<'a>(world: &'a World, target_name: &str) -> Vec<Box<dyn Attack + 'a>> {
-    vec![
-        Box::new(MPassAttack::new(
+/// Build one named attack of the roster for a campaign against
+/// `target_name`. MPass's known ensemble excludes the target (it is
+/// black-box); the baselines are target-agnostic.
+pub fn make_attack<'a>(world: &'a World, target_name: &str, attack_name: &str) -> Box<dyn Attack + 'a> {
+    let seed = world.config.seed;
+    match attack_name {
+        "MPass" => Box::new(MPassAttack::new(
             world.known_models_excluding(target_name),
             &world.pool,
-            MPassConfig { seed: world.config.seed, ..MPassConfig::default() },
+            MPassConfig::builder().seed(seed).build().expect("default MPass config is valid"),
         )),
-        Box::new(Rla::new(&world.pool, RlaConfig { seed: world.config.seed, ..RlaConfig::default() })),
-        Box::new(Mab::new(&world.pool, MabConfig { seed: world.config.seed, ..MabConfig::default() })),
-        Box::new(Gamma::new(&world.pool, GammaConfig { seed: world.config.seed, ..GammaConfig::default() })),
-        Box::new(MalRnn::new(
+        "RLA" => Box::new(Rla::new(&world.pool, RlaConfig { seed, ..RlaConfig::default() })),
+        "MAB" => Box::new(Mab::new(&world.pool, MabConfig { seed, ..MabConfig::default() })),
+        "GAMMA" => {
+            Box::new(Gamma::new(&world.pool, GammaConfig { seed, ..GammaConfig::default() }))
+        }
+        "MalRNN" => Box::new(MalRnn::new(
             &world.pool,
-            MalRnnConfig { seed: world.config.seed, ..MalRnnConfig::default() },
+            MalRnnConfig { seed, ..MalRnnConfig::default() },
         )),
-    ]
+        other => panic!("unknown attack {other:?}"),
+    }
 }
 
-/// Run the full offline comparison (Tables I–III), parallelized across
-/// targets.
-pub fn run(world: &World) -> OfflineResults {
-    let targets = world.offline_targets();
-    let cells = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = targets
-            .iter()
-            .map(|(name, det)| {
-                let det = *det;
-                let name = *name;
-                scope.spawn(move |_| {
-                    let mut cells = Vec::new();
-                    for mut attack in attack_roster(world, name) {
-                        cells.push(attack_target(world, attack.as_mut(), det));
-                    }
-                    cells
-                })
+/// Build the fresh attack roster for a campaign against `target_name`.
+pub fn attack_roster<'a>(world: &'a World, target_name: &str) -> Vec<Box<dyn Attack + 'a>> {
+    ATTACK_NAMES.iter().map(|a| make_attack(world, target_name, a)).collect()
+}
+
+/// Run the full offline comparison (Tables I–III) on `engine`, one shard
+/// per (attack, target) campaign. Campaigns — not samples — are the shard
+/// unit because RLA and MAB carry learned state across samples within one
+/// campaign.
+pub fn run_with_engine(world: &World, engine: &Engine) -> (OfflineResults, MetricsFile) {
+    let shards: Vec<Shard<(&str, &str)>> = world
+        .offline_targets()
+        .iter()
+        .flat_map(|(target, _)| {
+            ATTACK_NAMES.iter().map(move |attack| {
+                Shard::new(format!("{attack} vs {target}"), (*attack, *target))
             })
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("attack thread")).collect::<Vec<_>>()
-    })
-    .expect("crossbeam scope");
-    OfflineResults { cells }
+        })
+        .collect();
+    let run = engine.run(shards, |_ctx, (attack_name, target_name)| {
+        let (_, det) = world
+            .offline_targets()
+            .into_iter()
+            .find(|(n, _)| *n == target_name)
+            .expect("shard names a roster target");
+        let mut attack = make_attack(world, target_name, attack_name);
+        attack_target(world, attack.as_mut(), det)
+    });
+    let metrics = MetricsFile::from_run("offline", &run);
+    (OfflineResults { cells: run.results }, metrics)
+}
+
+/// Run the full offline comparison on a default engine, discarding the
+/// metrics (test/API convenience).
+pub fn run(world: &World) -> OfflineResults {
+    run_with_engine(world, &Engine::new(Default::default())).0
 }
 
 #[cfg(test)]
@@ -203,5 +224,28 @@ mod tests {
         assert!(t2.contains("TABLE II"));
         let t3 = results.table(Metric::Apr);
         assert!(t3.contains("TABLE III"));
+    }
+
+    /// Same engine seed ⇒ identical attack outcomes, whatever the worker
+    /// count: per-shard RNG streams are keyed by shard label, not by
+    /// scheduling.
+    #[test]
+    fn outcomes_invariant_under_worker_count() {
+        let mut cfg = WorldConfig::quick();
+        cfg.attack_samples = 2;
+        let world = World::build(cfg);
+        let run_at = |workers: usize| {
+            let engine =
+                Engine::new(mpass_engine::EngineConfig { workers, seed: world.config.seed });
+            let (results, metrics) = run_with_engine(&world, &engine);
+            // Metrics labels come back in input order too.
+            let labels: Vec<String> =
+                metrics.shards.iter().map(|s| s.label.clone()).collect();
+            (format!("{:?}", results.cells), labels)
+        };
+        let (cells_serial, labels_serial) = run_at(1);
+        let (cells_parallel, labels_parallel) = run_at(4);
+        assert_eq!(cells_serial, cells_parallel);
+        assert_eq!(labels_serial, labels_parallel);
     }
 }

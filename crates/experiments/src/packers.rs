@@ -5,6 +5,8 @@ use crate::commercial::attack_av;
 use crate::world::World;
 use mpass_baselines::{packer_profiles, Packer};
 use mpass_core::{MPassAttack, MPassConfig};
+use mpass_detectors::Detector;
+use mpass_engine::{Engine, MetricsFile, Shard};
 use serde::{Deserialize, Serialize};
 
 /// Table IV contents.
@@ -28,41 +30,66 @@ impl PackerResults {
     }
 }
 
-/// Run Table IV: each packer applied once per sample against each AV.
-/// `mpass_row` supplies the MPass reference ASRs (one per AV) when the
-/// caller has already run the Figure-3 campaign; otherwise the row is
-/// recomputed here.
-pub fn run(world: &World, mpass_row: Option<Vec<f64>>) -> PackerResults {
-    let mut rows = Vec::new();
-    for profile in packer_profiles() {
-        let mut asrs = Vec::new();
-        for av in &world.avs {
-            let mut packer = Packer::new(profile);
-            let cell = attack_av(world, &mut packer, av);
-            asrs.push(cell.stats.asr);
-        }
-        rows.push((profile.name.to_owned(), asrs));
+/// Run Table IV on `engine`: each packer applied once per sample against
+/// each AV, one shard per (packer, AV) campaign. `mpass_row` supplies the
+/// MPass reference ASRs (one per AV) when the caller has already run the
+/// Figure-3 campaign; otherwise the row is recomputed here.
+pub fn run_with_engine(
+    world: &World,
+    engine: &Engine,
+    mpass_row: Option<Vec<f64>>,
+) -> (PackerResults, MetricsFile) {
+    let profiles = packer_profiles();
+    let shards: Vec<Shard<(usize, usize)>> = profiles
+        .iter()
+        .enumerate()
+        .flat_map(|(p, profile)| {
+            world.avs.iter().enumerate().map(move |(a, av)| {
+                Shard::new(format!("{} vs {}", profile.name, av.name()), (p, a))
+            })
+        })
+        .collect();
+    let run = engine.run(shards, |_ctx, (p, a)| {
+        let mut packer = Packer::new(profiles[p]);
+        attack_av(world, &mut packer, &world.avs[a]).stats.asr
+    });
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for (p, profile) in profiles.iter().enumerate() {
+        let n = world.avs.len();
+        rows.push((profile.name.to_owned(), run.results[p * n..(p + 1) * n].to_vec()));
     }
-    let mpass_asrs = mpass_row.unwrap_or_else(|| mpass_reference_row(world));
+    let mpass_asrs = mpass_row.unwrap_or_else(|| mpass_reference_row(world, engine));
     rows.push(("MPass".to_owned(), mpass_asrs));
-    PackerResults { rows }
+    (PackerResults { rows }, MetricsFile::from_run("packers", &run))
 }
 
-/// Compute MPass's ASR against every AV (the shared reference row of
-/// Tables IV, V and VI).
-pub fn mpass_reference_row(world: &World) -> Vec<f64> {
-    world
+/// Run Table IV on a default engine, discarding the metrics.
+pub fn run(world: &World, mpass_row: Option<Vec<f64>>) -> PackerResults {
+    run_with_engine(world, &Engine::new(Default::default()), mpass_row).0
+}
+
+/// Compute MPass's ASR against every AV on `engine` (the shared reference
+/// row of Tables IV, V and VI), one shard per AV.
+pub fn mpass_reference_row(world: &World, engine: &Engine) -> Vec<f64> {
+    let shards: Vec<Shard<usize>> = world
         .avs
         .iter()
-        .map(|av| {
+        .enumerate()
+        .map(|(a, av)| Shard::new(format!("MPass vs {}", av.name()), a))
+        .collect();
+    engine
+        .run(shards, |_ctx, a| {
             let mut mpass = MPassAttack::new(
                 world.all_known_models(),
                 &world.pool,
-                MPassConfig { seed: world.config.seed, ..MPassConfig::default() },
+                MPassConfig::builder()
+                    .seed(world.config.seed)
+                    .build()
+                    .expect("default MPass config is valid"),
             );
-            attack_av(world, &mut mpass, av).stats.asr
+            attack_av(world, &mut mpass, &world.avs[a]).stats.asr
         })
-        .collect()
+        .results
 }
 
 #[cfg(test)]

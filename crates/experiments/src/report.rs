@@ -23,13 +23,28 @@ pub fn save_json<T: Serialize>(name: &str, value: &T) -> io::Result<PathBuf> {
     Ok(path)
 }
 
-/// Parse `--quick` / `--samples N` style CLI flags shared by the binaries.
+/// Write an engine metrics file next to a `results/<name>.json` produced
+/// by [`save_json`] (i.e. at `results/<name>.metrics.json`) and report
+/// where it went on stdout.
+pub fn save_metrics(results_path: &Path, metrics: &mpass_engine::MetricsFile) {
+    let path = mpass_engine::metrics_path(results_path);
+    match metrics.save(&path) {
+        Ok(()) => println!("metrics  -> {}", path.display()),
+        Err(e) => eprintln!("could not save metrics {}: {e}", path.display()),
+    }
+}
+
+/// Parse `--quick` / `--samples N` / `--workers N` style CLI flags shared
+/// by the binaries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CliArgs {
     /// Use the down-scaled world.
     pub quick: bool,
     /// Override for the number of attacked samples.
     pub samples: Option<usize>,
+    /// Engine worker threads (`None`/0 = one per shard up to the core
+    /// count).
+    pub workers: Option<usize>,
 }
 
 impl CliArgs {
@@ -37,12 +52,13 @@ impl CliArgs {
     pub fn parse() -> CliArgs {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick");
-        let samples = args
-            .iter()
-            .position(|a| a == "--samples")
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok());
-        CliArgs { quick, samples }
+        let grab = |flag: &str| {
+            args.iter()
+                .position(|a| a == flag)
+                .and_then(|i| args.get(i + 1))
+                .and_then(|v| v.parse().ok())
+        };
+        CliArgs { quick, samples: grab("--samples"), workers: grab("--workers") }
     }
 
     /// Materialize the world configuration this invocation asked for.
@@ -53,6 +69,15 @@ impl CliArgs {
             cfg.attack_samples = n;
         }
         cfg
+    }
+
+    /// The shared engine this invocation runs its campaigns on. Seeded
+    /// from the world seed so shard RNG streams are reproducible.
+    pub fn engine(&self, seed: u64) -> mpass_engine::Engine {
+        mpass_engine::Engine::new(mpass_engine::EngineConfig {
+            workers: self.workers.unwrap_or(0),
+            seed,
+        })
     }
 }
 

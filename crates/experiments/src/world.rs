@@ -3,8 +3,8 @@
 use mpass_corpus::{BenignPool, CorpusConfig, Dataset, Sample};
 use mpass_detectors::train::training_pairs;
 use mpass_detectors::{
-    commercial::default_profiles, ByteConvConfig, CommercialAv, Detector, LightGbm, MalConv,
-    MalGcg, MalGcgConfig, NonNeg, Verdict, WhiteBoxModel,
+    commercial::default_profiles, ByteConvConfig, CommercialAv, Detector, DetectorExt, LightGbm,
+    MalConv, MalGcg, MalGcgConfig, NonNeg, Verdict, WhiteBoxModel,
 };
 use mpass_ml::GbdtParams;
 use rand::SeedableRng;
@@ -154,32 +154,40 @@ impl World {
         World { config, dataset, pool, malconv, nonneg, lightgbm, malgcg, avs }
     }
 
-    /// The four offline targets in table order.
-    pub fn offline_targets(&self) -> Vec<(&'static str, &dyn Detector)> {
+    /// The four offline targets in table order, as one capability-typed
+    /// roster. [`World::offline_targets`] and
+    /// [`World::known_models_excluding`] both derive from this single list
+    /// via [`DetectorExt::as_white_box`].
+    pub fn offline_roster(&self) -> Vec<(&'static str, &dyn DetectorExt)> {
         vec![
-            ("MalConv", &self.malconv as &dyn Detector),
-            ("NonNeg", &self.nonneg as &dyn Detector),
-            ("LightGBM", &self.lightgbm as &dyn Detector),
-            ("MalGCG", &self.malgcg as &dyn Detector),
+            ("MalConv", &self.malconv as &dyn DetectorExt),
+            ("NonNeg", &self.nonneg as &dyn DetectorExt),
+            ("LightGBM", &self.lightgbm as &dyn DetectorExt),
+            ("MalGCG", &self.malgcg as &dyn DetectorExt),
         ]
     }
 
+    /// The four offline targets in table order.
+    pub fn offline_targets(&self) -> Vec<(&'static str, &dyn Detector)> {
+        self.offline_roster().into_iter().map(|(n, d)| (n, d as &dyn Detector)).collect()
+    }
+
     /// MPass's known-model ensemble when attacking `target`: the remaining
-    /// differentiable models (LightGBM is never a known model — footnote 6).
+    /// differentiable models. LightGBM is never a known model (footnote 6)
+    /// — its [`DetectorExt::as_white_box`] is `None`, so the roster filter
+    /// drops it without a hand-maintained parallel list.
     pub fn known_models_excluding(&self, target: &str) -> Vec<&dyn WhiteBoxModel> {
-        let mut models: Vec<(&str, &dyn WhiteBoxModel)> = vec![
-            ("MalConv", &self.malconv as &dyn WhiteBoxModel),
-            ("NonNeg", &self.nonneg as &dyn WhiteBoxModel),
-            ("MalGCG", &self.malgcg as &dyn WhiteBoxModel),
-        ];
-        models.retain(|(name, _)| *name != target);
-        models.into_iter().map(|(_, m)| m).collect()
+        self.offline_roster()
+            .into_iter()
+            .filter(|(name, _)| *name != target)
+            .filter_map(|(_, d)| d.as_white_box())
+            .collect()
     }
 
     /// All three differentiable models (used against commercial AVs, which
     /// are never in the known set).
     pub fn all_known_models(&self) -> Vec<&dyn WhiteBoxModel> {
-        vec![&self.malconv, &self.nonneg, &self.malgcg]
+        self.offline_roster().into_iter().filter_map(|(_, d)| d.as_white_box()).collect()
     }
 
     /// Malware samples that `target` initially classifies correctly — the

@@ -55,6 +55,18 @@ impl Embedding {
         out
     }
 
+    /// Zero the embedding row of `token` and its gradient accumulator.
+    /// Calling this at init and again after every backward pass keeps the
+    /// row frozen at the zero vector — PyTorch's `padding_idx` semantics.
+    /// Without it, on inputs shorter than the model window the padding
+    /// windows dominate a global max-pool and both classes' gradients
+    /// cancel through them.
+    pub fn freeze_zero_row(&mut self, token: usize) {
+        assert!(token < self.vocab, "token {token} out of vocabulary {}", self.vocab);
+        self.table.w[token * self.dim..(token + 1) * self.dim].fill(0.0);
+        self.table.g[token * self.dim..(token + 1) * self.dim].fill(0.0);
+    }
+
     /// Accumulate table gradients from the gradient w.r.t. the embedded
     /// activation (same layout as [`Embedding::forward`] output).
     pub fn backward(&mut self, tokens: &[usize], grad_out: &[f32]) {

@@ -116,7 +116,7 @@ impl<'a> Builder<'a> {
                 lo = lo.min(v);
                 hi = hi.max(v);
             }
-            if !(hi > lo) {
+            if hi <= lo {
                 continue;
             }
             for k in 1..=self.params.candidate_splits {

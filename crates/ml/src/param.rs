@@ -52,6 +52,14 @@ impl ParamBuf {
     pub fn clamp_min(&mut self, min: f32) {
         self.w.iter_mut().for_each(|w| *w = w.max(min));
     }
+
+    /// Reflect every parameter into the non-negative half-space. Unlike
+    /// [`ParamBuf::clamp_min`], this keeps the initialization magnitude:
+    /// clamping a fresh symmetric init would zero half the capacity
+    /// before training starts.
+    pub fn reflect_abs(&mut self) {
+        self.w.iter_mut().for_each(|w| *w = w.abs());
+    }
 }
 
 /// Adam optimizer hyper-parameters; stateless across buffers (per-buffer

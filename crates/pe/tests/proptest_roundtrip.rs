@@ -1,34 +1,51 @@
-//! Property-based tests: any PE image assembled from arbitrary sections
+//! Property-style tests: any PE image assembled from randomized sections
 //! must survive serialize→parse→serialize byte-identically, and structural
-//! edits must preserve parseability.
+//! edits must preserve parseability. Cases are drawn from a seeded
+//! ChaCha8 stream so every run explores the same space deterministically.
 
 use mpass_pe::{PeBuilder, PeFile, SectionFlags};
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
-fn arb_flags() -> impl Strategy<Value = SectionFlags> {
-    prop_oneof![
-        Just(SectionFlags::CODE),
-        Just(SectionFlags::DATA),
-        Just(SectionFlags::RDATA),
-        Just(SectionFlags::RSRC),
-    ]
+const CASES: u64 = 64;
+
+fn arb_flags(rng: &mut ChaCha8Rng) -> SectionFlags {
+    match rng.gen_range(0..4u32) {
+        0 => SectionFlags::CODE,
+        1 => SectionFlags::DATA,
+        2 => SectionFlags::RDATA,
+        _ => SectionFlags::RSRC,
+    }
 }
 
-fn arb_sections() -> impl Strategy<Value = Vec<(String, Vec<u8>, SectionFlags)>> {
-    prop::collection::vec(
-        (
-            "[a-z.]{1,8}",
-            prop::collection::vec(any::<u8>(), 0..2000),
-            arb_flags(),
-        ),
-        1..6,
-    )
-    .prop_filter("unique names", |v| {
-        let mut names: Vec<&String> = v.iter().map(|(n, _, _)| n).collect();
+fn arb_bytes(rng: &mut ChaCha8Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_range(0..max_len);
+    (0..len).map(|_| rng.gen::<u8>()).collect()
+}
+
+/// 1–5 sections with unique `[a-z.]{1,8}` names and 0–2000 data bytes.
+fn arb_sections(rng: &mut ChaCha8Rng) -> Vec<(String, Vec<u8>, SectionFlags)> {
+    const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz.";
+    loop {
+        let n = rng.gen_range(1..6);
+        let sections: Vec<(String, Vec<u8>, SectionFlags)> = (0..n)
+            .map(|_| {
+                let name_len = rng.gen_range(1..9);
+                let name: String = (0..name_len)
+                    .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+                    .collect();
+                let data = arb_bytes(rng, 2000);
+                let flags = arb_flags(rng);
+                (name, data, flags)
+            })
+            .collect();
+        let mut names: Vec<&String> = sections.iter().map(|(n, _, _)| n).collect();
         names.sort();
         names.dedup();
-        names.len() == v.len()
-    })
+        if names.len() == sections.len() {
+            return sections;
+        }
+    }
 }
 
 fn build(sections: &[(String, Vec<u8>, SectionFlags)]) -> PeFile {
@@ -39,75 +56,96 @@ fn build(sections: &[(String, Vec<u8>, SectionFlags)]) -> PeFile {
     b.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn serialize_parse_round_trip(sections in arb_sections()) {
+#[test]
+fn serialize_parse_round_trip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9E01);
+    for _ in 0..CASES {
+        let sections = arb_sections(&mut rng);
         let pe = build(&sections);
         let bytes = pe.to_bytes();
         let parsed = PeFile::parse(&bytes).unwrap();
-        prop_assert_eq!(&parsed, &pe);
-        prop_assert_eq!(parsed.to_bytes(), bytes);
+        assert_eq!(&parsed, &pe);
+        assert_eq!(parsed.to_bytes(), bytes);
     }
+}
 
-    #[test]
-    fn section_data_is_recoverable(sections in arb_sections()) {
+#[test]
+fn section_data_is_recoverable() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9E02);
+    for _ in 0..CASES {
+        let sections = arb_sections(&mut rng);
         let pe = build(&sections);
         let parsed = PeFile::parse(&pe.to_bytes()).unwrap();
         for (name, data, _) in &sections {
             let s = parsed.section(name).unwrap();
-            prop_assert_eq!(&s.data()[..data.len()], &data[..]);
+            assert_eq!(&s.data()[..data.len()], &data[..]);
         }
     }
+}
 
-    #[test]
-    fn add_section_then_round_trip(
-        sections in arb_sections(),
-        extra in prop::collection::vec(any::<u8>(), 0..1000),
-    ) {
+#[test]
+fn add_section_then_round_trip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9E03);
+    for _ in 0..CASES {
+        let sections = arb_sections(&mut rng);
+        let extra = arb_bytes(&mut rng, 1000);
         let mut pe = build(&sections);
         if pe.section(".zz").is_none() && pe.can_add_section() {
             pe.add_section(".zz", extra.clone(), SectionFlags::DATA).unwrap();
             let parsed = PeFile::parse(&pe.to_bytes()).unwrap();
             let s = parsed.section(".zz").unwrap();
-            prop_assert_eq!(&s.data()[..extra.len()], &extra[..]);
+            assert_eq!(&s.data()[..extra.len()], &extra[..]);
         }
     }
+}
 
-    #[test]
-    fn overlay_survives_round_trip(
-        sections in arb_sections(),
-        overlay in prop::collection::vec(any::<u8>(), 1..500),
-    ) {
+#[test]
+fn overlay_survives_round_trip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9E04);
+    for _ in 0..CASES {
+        let sections = arb_sections(&mut rng);
+        let mut overlay = arb_bytes(&mut rng, 500);
+        if overlay.is_empty() {
+            overlay.push(rng.gen::<u8>());
+        }
         let mut pe = build(&sections);
         pe.append_overlay(&overlay);
         let parsed = PeFile::parse(&pe.to_bytes()).unwrap();
-        prop_assert_eq!(parsed.overlay(), &overlay[..]);
+        assert_eq!(parsed.overlay(), &overlay[..]);
     }
+}
 
-    #[test]
-    fn rva_offset_bijection_inside_sections(sections in arb_sections()) {
+#[test]
+fn rva_offset_bijection_inside_sections() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9E05);
+    for _ in 0..CASES {
+        let sections = arb_sections(&mut rng);
         let pe = build(&sections);
         for s in pe.sections() {
-            if s.header().size_of_raw_data == 0 { continue; }
+            if s.header().size_of_raw_data == 0 {
+                continue;
+            }
             for delta in [0u32, s.header().size_of_raw_data - 1] {
                 let rva = s.header().virtual_address + delta;
                 let off = pe.rva_to_offset(rva).unwrap();
-                prop_assert_eq!(pe.offset_to_rva(off), Some(rva));
+                assert_eq!(pe.offset_to_rva(off), Some(rva));
             }
         }
     }
+}
 
-    #[test]
-    fn map_image_matches_read_virtual(sections in arb_sections()) {
+#[test]
+fn map_image_matches_read_virtual() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9E06);
+    for _ in 0..CASES {
+        let sections = arb_sections(&mut rng);
         let pe = build(&sections);
         let image = pe.map_image();
         for s in pe.sections() {
             let va = s.header().virtual_address;
             let got = pe.read_virtual(va, s.data().len().min(64));
             let want = &image[va as usize..va as usize + got.len()];
-            prop_assert_eq!(&got[..], want);
+            assert_eq!(&got[..], want);
         }
     }
 }

@@ -42,6 +42,9 @@ macro_rules! apis {
             }
 
             /// Whether the id is one of the defined APIs.
+            // The macro expands each id literal separately; whether they
+            // form a contiguous range depends on the invocation.
+            #[allow(clippy::manual_range_patterns)]
             pub fn is_known(self) -> bool {
                 matches!(self.0, $($id)|*)
             }

@@ -41,7 +41,7 @@ fn main() {
     let mut mpass = MPassAttack::new(
         vec![&malconv, &nonneg, &malgcg],
         &pool,
-        MPassConfig::default(),
+        MPassConfig::builder().seed(9).build().expect("default MPass config is valid"),
     );
     let mut mab = Mab::new(&pool, MabConfig::default());
 

@@ -38,9 +38,14 @@ fn main() {
     //    benign programs; we generate a smaller pool).
     let pool = BenignPool::generate(10, 7);
 
-    // 4. Attack the first malware sample the target detects.
+    // 4. Attack the first malware sample the target detects. The config
+    //    builder validates restart/round/learning-rate choices up front.
     let sandbox = Sandbox::new();
-    let mut attack = MPassAttack::new(vec![&surrogate], &pool, MPassConfig::default());
+    let config = MPassConfig::builder()
+        .seed(42)
+        .build()
+        .expect("default MPass config is valid");
+    let mut attack = MPassAttack::new(vec![&surrogate], &pool, config);
     for sample in dataset.malware().into_iter().take(5) {
         if target.classify(&sample.bytes) != mpass::detectors::Verdict::Malicious {
             continue;

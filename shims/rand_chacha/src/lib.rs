@@ -1,0 +1,187 @@
+//! # rand_chacha (offline shim)
+//!
+//! [`ChaCha8Rng`]: a cryptographically-derived deterministic generator
+//! built on the ChaCha stream cipher with 8 double-rounds, vendored
+//! in-repo because the build container cannot reach crates.io.
+//!
+//! The block function follows RFC 8439 (32-byte key, 64-bit block
+//! counter + 64-bit stream id, "expand 32-byte k" constants); output
+//! words are emitted in block order. Streams are deterministic in the
+//! seed but not guaranteed bit-identical to upstream `rand_chacha` —
+//! the workspace only relies on determinism and statistical quality.
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const DOUBLE_ROUNDS: usize = 4; // 8 rounds total
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// The ChaCha stream cipher with 8 rounds, exposed as an RNG.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    /// Key + stream id; the block counter lives in `counter`.
+    key: [u32; 8],
+    stream: [u32; 2],
+    counter: u64,
+    /// Current output block and the next word index within it.
+    block: [u32; 16],
+    word_idx: usize,
+}
+
+impl ChaCha8Rng {
+    fn refill(&mut self) {
+        let mut state: [u32; 16] = [
+            CONSTANTS[0],
+            CONSTANTS[1],
+            CONSTANTS[2],
+            CONSTANTS[3],
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream[0],
+            self.stream[1],
+        ];
+        let initial = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (s, i) in state.iter_mut().zip(initial) {
+            *s = s.wrapping_add(i);
+        }
+        self.block = state;
+        self.word_idx = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        let mut rng = ChaCha8Rng {
+            key,
+            stream: [0, 0],
+            counter: 0,
+            block: [0; 16],
+            word_idx: 16, // force refill on first use
+        };
+        rng.refill();
+        rng.word_idx = 0;
+        rng
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.word_idx >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word_idx];
+        self.word_idx += 1;
+        w
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(0xDEAD_BEEF);
+        let mut b = ChaCha8Rng::seed_from_u64(0xDEAD_BEEF);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn clone_continues_the_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn output_is_statistically_plausible() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        // Byte-value chi-square over 256 buckets; catastrophic bias would
+        // blow far past the generous bound.
+        let mut counts = [0u32; 256];
+        let n = 1 << 16;
+        for _ in 0..n / 8 {
+            for b in rng.next_u64().to_le_bytes() {
+                counts[b as usize] += 1;
+            }
+        }
+        let expected = n as f64 / 256.0;
+        let chi2: f64 =
+            counts.iter().map(|&c| (c as f64 - expected).powi(2) / expected).sum();
+        assert!(chi2 < 350.0, "chi-square {chi2} too large for uniform bytes");
+        // Bit balance on a second stream.
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        let ratio = ones as f64 / 64_000.0;
+        assert!((0.48..0.52).contains(&ratio), "bit ratio {ratio}");
+    }
+
+    #[test]
+    fn gen_integration_with_rand_traits() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let x: u8 = rng.gen();
+        let _ = x;
+        let y = rng.gen_range(0..10usize);
+        assert!(y < 10);
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,514 @@
+//! # serde (offline shim)
+//!
+//! A vendored stand-in for the serde facade, built around an explicit
+//! [`Value`] tree instead of upstream's visitor machinery. The build
+//! container cannot reach a registry, so the workspace ships the small
+//! serialization surface it actually uses:
+//!
+//! * [`Serialize`] renders a type into a [`Value`].
+//! * [`Deserialize`] rebuilds a type from a `&Value`.
+//! * `#[derive(Serialize, Deserialize)]` come from the companion
+//!   `serde_derive` shim and are re-exported here, mirroring the real
+//!   crate's `derive` feature.
+//!
+//! `serde_json` (also vendored) renders a `Value` to JSON text and
+//! parses JSON back into one. Map entries preserve insertion order, and
+//! unordered containers are sorted on serialization, so output is
+//! deterministic — something the metrics pipeline relies on when
+//! diffing run reports.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing data tree: the intermediate form between Rust
+/// values and JSON text.
+///
+/// Integers keep their signedness (`I64` vs `U64`) so 64-bit hashes and
+/// signature digests round-trip exactly; a single `f64` variant would
+/// silently lose precision above 2^53.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Value>),
+    /// Ordered key/value pairs; order is whatever the serializer pushed.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in a `Map` value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Error raised when a [`Value`] does not match the requested shape.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub fn msg(text: impl Into<String>) -> Self {
+        Error(text.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Render `self` into a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuild `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+/// Fetch a required struct field from a `Map` value.
+///
+/// Used by derived `Deserialize` impls; a missing key or a non-map value
+/// is a shape error.
+pub fn field<'a>(value: &'a Value, name: &str) -> Result<&'a Value, Error> {
+    match value {
+        Value::Map(_) => value
+            .get(name)
+            .ok_or_else(|| Error::msg(format!("missing field `{name}`"))),
+        other => Err(Error::msg(format!(
+            "expected a map with field `{name}`, found {other:?}"
+        ))),
+    }
+}
+
+/// View a value as a sequence, for tuple structs/variants and arrays.
+pub fn seq(value: &Value) -> Result<&[Value], Error> {
+    match value {
+        Value::Seq(items) => Ok(items),
+        other => Err(Error::msg(format!("expected a sequence, found {other:?}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! serialize_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+    )*};
+}
+serialize_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! serialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+    )*};
+}
+serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+/// References serialize as their referent; this is what makes
+/// `&'static str` / `&'static [u8]` struct fields work.
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize, D: Serialize> Serialize for (A, B, C, D) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value(), self.2.to_value(), self.3.to_value()])
+    }
+}
+
+/// Sets serialize in sorted order so output is deterministic across
+/// runs despite `HashSet`'s randomized iteration.
+impl<T: Serialize + Ord + Eq + Hash> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        let mut items: Vec<&T> = self.iter().collect();
+        items.sort();
+        Value::Seq(items.into_iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+/// Hash maps serialize with sorted keys, again for determinism.
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+fn value_as_u64(value: &Value) -> Result<u64, Error> {
+    match value {
+        Value::U64(u) => Ok(*u),
+        Value::I64(i) if *i >= 0 => Ok(*i as u64),
+        other => Err(Error::msg(format!(
+            "expected unsigned integer, found {other:?}"
+        ))),
+    }
+}
+
+fn value_as_i64(value: &Value) -> Result<i64, Error> {
+    match value {
+        Value::I64(i) => Ok(*i),
+        Value::U64(u) => i64::try_from(*u)
+            .map_err(|_| Error::msg(format!("integer {u} overflows i64"))),
+        other => Err(Error::msg(format!(
+            "expected signed integer, found {other:?}"
+        ))),
+    }
+}
+
+macro_rules! deserialize_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value_as_u64(value)?;
+                <$ty>::try_from(raw).map_err(|_| {
+                    Error::msg(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+deserialize_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! deserialize_signed {
+    ($($ty:ty),*) => {$(
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value_as_i64(value)?;
+                <$ty>::try_from(raw).map_err(|_| {
+                    Error::msg(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+deserialize_signed!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::F64(f) => Ok(*f),
+            Value::I64(i) => Ok(*i as f64),
+            Value::U64(u) => Ok(*u as f64),
+            // Non-finite floats serialize as null (JSON has no NaN).
+            Value::Null => Ok(f64::NAN),
+            other => Err(Error::msg(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+/// Static string slices deserialize by leaking a heap copy. The only
+/// such fields in the workspace are packer profile names loaded once
+/// per process, so the leak is bounded and intentional.
+impl Deserialize for &'static str {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        String::from_value(value).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Deserialize for &'static [u8] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<u8>::from_value(value).map(|v| &*Box::leak(v.into_boxed_slice()))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        seq(value)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        let found = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::msg(format!("expected {N} elements, found {found}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = seq(value)?;
+        if items.len() != 2 {
+            return Err(Error::msg(format!(
+                "expected 2-tuple, found {} elements",
+                items.len()
+            )));
+        }
+        Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = seq(value)?;
+        if items.len() != 3 {
+            return Err(Error::msg(format!(
+                "expected 3-tuple, found {} elements",
+                items.len()
+            )));
+        }
+        Ok((
+            A::from_value(&items[0])?,
+            B::from_value(&items[1])?,
+            C::from_value(&items[2])?,
+        ))
+    }
+}
+
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        seq(value)?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected map, found {other:?}"))),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(Error::msg(format!("expected map, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&String::from("hi").to_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![(String::from("a"), 1.0f64), (String::from("b"), 2.0)];
+        let back = Vec::<(String, f64)>::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+
+        let arr = [9u8; 8];
+        let back = <[u8; 8]>::from_value(&arr.to_value()).unwrap();
+        assert_eq!(back, arr);
+
+        let set: HashSet<u64> = [3, 1, 2].into_iter().collect();
+        let rendered = set.to_value();
+        // Sorted for determinism.
+        assert_eq!(
+            rendered,
+            Value::Seq(vec![Value::U64(1), Value::U64(2), Value::U64(3)])
+        );
+        assert_eq!(HashSet::<u64>::from_value(&rendered).unwrap(), set);
+    }
+
+    #[test]
+    fn option_uses_null() {
+        assert_eq!(None::<u32>.to_value(), Value::Null);
+        assert_eq!(Option::<u32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_value(&Value::U64(5)).unwrap(), Some(5));
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(field(&Value::Map(vec![]), "missing").is_err());
+        assert!(seq(&Value::Bool(true)).is_err());
+    }
+
+    #[test]
+    fn static_refs_round_trip() {
+        let s: &'static str = "upx";
+        let back = <&'static str>::from_value(&s.to_value()).unwrap();
+        assert_eq!(back, "upx");
+        let b: &'static [u8] = b"MZ";
+        let back = <&'static [u8]>::from_value(&b.to_value()).unwrap();
+        assert_eq!(back, b"MZ");
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration tests for the hand-rolled derive macros. These live in
+//! `tests/` because the generated impls reference `::serde::...`, which
+//! only resolves from a crate that depends on the facade.
+
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize, Value};
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Named {
+    id: u64,
+    label: String,
+    weights: Vec<f64>,
+    tags: HashSet<u64>,
+    dirs: [u8; 4],
+    pair: (String, f64),
+    maybe: Option<i32>,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Wrapper(u32);
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Pair(u8, String);
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Marker;
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+enum Mixed {
+    Plain,
+    Wrapped(u64),
+    Wide(u8, u8),
+    Shaped { x: i64, y: String },
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct StaticRefs {
+    name: &'static str,
+    marker: &'static [u8],
+}
+
+fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(value: &T) {
+    let rendered = value.to_value();
+    let back = T::from_value(&rendered).expect("round trip");
+    assert_eq!(&back, value);
+}
+
+#[test]
+fn named_struct_round_trips() {
+    round_trip(&Named {
+        id: u64::MAX - 1,
+        label: "sample".into(),
+        weights: vec![0.25, -1.5],
+        tags: [7u64, 11].into_iter().collect(),
+        dirs: [1, 2, 3, 4],
+        pair: ("loss".into(), 0.125),
+        maybe: None,
+    });
+}
+
+#[test]
+fn named_struct_encodes_as_map() {
+    let v = Named {
+        id: 1,
+        label: "x".into(),
+        weights: vec![],
+        tags: HashSet::new(),
+        dirs: [0; 4],
+        pair: ("k".into(), 0.0),
+        maybe: Some(-3),
+    }
+    .to_value();
+    assert_eq!(v.get("id"), Some(&Value::U64(1)));
+    assert_eq!(v.get("maybe"), Some(&Value::I64(-3)));
+}
+
+#[test]
+fn tuple_and_unit_structs_round_trip() {
+    round_trip(&Wrapper(99));
+    // Newtype structs are transparent, like upstream serde.
+    assert_eq!(Wrapper(99).to_value(), Value::U64(99));
+    round_trip(&Pair(3, "b".into()));
+    round_trip(&Marker);
+}
+
+#[test]
+fn enums_round_trip_with_external_tagging() {
+    round_trip(&Mixed::Plain);
+    round_trip(&Mixed::Wrapped(1234));
+    round_trip(&Mixed::Wide(1, 2));
+    round_trip(&Mixed::Shaped { x: -9, y: "yy".into() });
+
+    assert_eq!(Mixed::Plain.to_value(), Value::Str("Plain".into()));
+    let wrapped = Mixed::Wrapped(5).to_value();
+    assert_eq!(wrapped.get("Wrapped"), Some(&Value::U64(5)));
+}
+
+#[test]
+fn unknown_variants_error() {
+    assert!(Mixed::from_value(&Value::Str("Nope".into())).is_err());
+    assert!(Mixed::from_value(&Value::U64(1)).is_err());
+}
+
+#[test]
+fn static_ref_fields_round_trip() {
+    round_trip(&StaticRefs { name: "upx", marker: b"UPX!" });
+}

@@ -1,0 +1,382 @@
+//! # serde_derive (offline shim)
+//!
+//! Derive macros for the workspace's vendored `serde` facade. The real
+//! `serde_derive` depends on `syn`/`quote`; this shim instead walks the
+//! raw [`proc_macro::TokenStream`] by hand, which is enough because the
+//! workspace only derives on concrete (non-generic) structs and enums
+//! with no `#[serde(...)]` attributes.
+//!
+//! The generated code targets the facade's Value-tree model:
+//!
+//! * `Serialize` impls build a `::serde::Value`.
+//! * `Deserialize` impls rebuild `Self` from a `&::serde::Value`.
+//!
+//! Encoding mirrors upstream serde's external tagging so JSON written by
+//! the old dependency remains readable: named structs become maps, unit
+//! structs `null`, newtype structs are transparent, wider tuple structs
+//! become sequences, unit enum variants become strings, and data-carrying
+//! variants become single-entry `{ "Variant": payload }` maps.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The subset of Rust data shapes the derives understand.
+enum Shape {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Advance past outer attributes (`#[...]`, including doc comments) and
+/// visibility modifiers (`pub`, `pub(crate)`, ...).
+fn skip_meta(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a token list on top-level commas. Nested delimiter groups are
+/// opaque `TokenTree::Group`s already, but generic arguments are not, so
+/// commas inside `<...>` are tracked by angle-bracket depth.
+fn split_top_level_commas(toks: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in toks {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extract the field name from one `attrs vis name : Type` chunk.
+fn field_name(chunk: &[TokenTree]) -> String {
+    let i = skip_meta(chunk, 0);
+    match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected field name, found {other:?}"),
+    }
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Variant {
+    let i = skip_meta(chunk, 0);
+    let name = match chunk.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected variant name, found {other:?}"),
+    };
+    let kind = match chunk.get(i + 1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let fields = split_top_level_commas(g.stream().into_iter().collect());
+            VariantKind::Tuple(fields.len())
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = split_top_level_commas(g.stream().into_iter().collect())
+                .iter()
+                .map(|c| field_name(c))
+                .collect();
+            VariantKind::Struct(fields)
+        }
+        // Bare variant, possibly with an explicit `= discriminant`.
+        _ => VariantKind::Unit,
+    };
+    Variant { name, kind }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_meta(&toks, 0);
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+    match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = split_top_level_commas(g.stream().into_iter().collect())
+                    .iter()
+                    .map(|c| field_name(c))
+                    .collect();
+                Shape::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level_commas(g.stream().into_iter().collect()).len();
+                Shape::TupleStruct { name, arity }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde_derive shim: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = split_top_level_commas(g.stream().into_iter().collect())
+                    .iter()
+                    .map(|c| parse_variant(c))
+                    .collect();
+                Shape::Enum { name, variants }
+            }
+            other => panic!("serde_derive shim: expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other} {name}`"),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let mut out = String::new();
+    match &shape {
+        Shape::NamedStruct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n"
+            ));
+            for f in fields {
+                out.push_str(&format!(
+                    "entries.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            out.push_str("::serde::Value::Map(entries)\n}\n}\n");
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n}}\n"
+            ));
+        }
+        Shape::TupleStruct { name, arity } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Seq(::std::vec![\n"
+            ));
+            for idx in 0..*arity {
+                out.push_str(&format!("::serde::Serialize::to_value(&self.{idx}),\n"));
+            }
+            out.push_str("])\n}\n}\n");
+        }
+        Shape::UnitStruct { name } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}\n"
+            ));
+        }
+        Shape::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n"
+            ));
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => out.push_str(&format!(
+                        "Self::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "Self::{vname}(f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        out.push_str(&format!(
+                            "Self::{vname}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Seq(::std::vec![{}]))]),\n",
+                            binders.join(", "),
+                            binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        out.push_str(&format!(
+                            "Self::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), ::serde::Value::Map(::std::vec![{}]))]),\n",
+                            fields.join(", "),
+                            fields
+                                .iter()
+                                .map(|f| format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                ))
+                                .collect::<Vec<_>>()
+                                .join(", "),
+                        ));
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out.parse().expect("serde_derive shim: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let mut out = String::new();
+    match &shape {
+        Shape::NamedStruct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 ::core::result::Result::Ok({name} {{\n"
+            ));
+            for f in fields {
+                out.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(::serde::field(value, \"{f}\")?)?,\n"
+                ));
+            }
+            out.push_str("})\n}\n}\n");
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 ::core::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))\n}}\n}}\n"
+            ));
+        }
+        Shape::TupleStruct { name, arity } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 let items = ::serde::seq(value)?;\n\
+                 if items.len() != {arity} {{\n\
+                 return ::core::result::Result::Err(::serde::Error::msg(::std::format!(\n\
+                 \"expected {arity} elements for {name}, found {{}}\", items.len())));\n\
+                 }}\n\
+                 ::core::result::Result::Ok({name}(\n"
+            ));
+            for idx in 0..*arity {
+                out.push_str(&format!("::serde::Deserialize::from_value(&items[{idx}])?,\n"));
+            }
+            out.push_str("))\n}\n}\n");
+        }
+        Shape::UnitStruct { name } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(_value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 ::core::result::Result::Ok({name})\n}}\n}}\n"
+            ));
+        }
+        Shape::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{\n\
+                 ::serde::Value::Str(tag) => match tag.as_str() {{\n"
+            ));
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    let vname = &v.name;
+                    out.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok(Self::{vname}),\n"
+                    ));
+                }
+            }
+            out.push_str(&format!(
+                "other => ::core::result::Result::Err(::serde::Error::msg(::std::format!(\n\
+                 \"unknown unit variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 match tag.as_str() {{\n"
+            ));
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {}
+                    VariantKind::Tuple(1) => out.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok(Self::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        out.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let items = ::serde::seq(inner)?;\n\
+                             if items.len() != {arity} {{\n\
+                             return ::core::result::Result::Err(::serde::Error::msg(::std::format!(\n\
+                             \"expected {arity} elements for {name}::{vname}, found {{}}\", items.len())));\n\
+                             }}\n\
+                             ::core::result::Result::Ok(Self::{vname}(\n"
+                        ));
+                        for idx in 0..*arity {
+                            out.push_str(&format!(
+                                "::serde::Deserialize::from_value(&items[{idx}])?,\n"
+                            ));
+                        }
+                        out.push_str("))\n},\n");
+                    }
+                    VariantKind::Struct(fields) => {
+                        out.push_str(&format!(
+                            "\"{vname}\" => ::core::result::Result::Ok(Self::{vname} {{\n"
+                        ));
+                        for f in fields {
+                            out.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(::serde::field(inner, \"{f}\")?)?,\n"
+                            ));
+                        }
+                        out.push_str("}),\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "other => ::core::result::Result::Err(::serde::Error::msg(::std::format!(\n\
+                 \"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 other => ::core::result::Result::Err(::serde::Error::msg(::std::format!(\n\
+                 \"expected a variant encoding for {name}, found {{other:?}}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n"
+            ));
+        }
+    }
+    out.parse().expect("serde_derive shim: generated Deserialize impl must parse")
+}

@@ -13,6 +13,8 @@
 //! * [`sandbox`] — the Cuckoo-style behaviour checker,
 //! * [`core`] — the MPass attack itself (PEM, runtime recovery, shuffle,
 //!   ensemble-transfer optimization, hard-label loop),
+//! * [`engine`] — the work-stealing campaign engine and its
+//!   tracing/metrics facade,
 //! * [`baselines`] — RLA, MAB, GAMMA, MalRNN, simulated packers and the
 //!   ablation attackers,
 //! * [`experiments`] — runners that regenerate every table and figure of
@@ -25,6 +27,7 @@ pub use mpass_baselines as baselines;
 pub use mpass_core as core;
 pub use mpass_corpus as corpus;
 pub use mpass_detectors as detectors;
+pub use mpass_engine as engine;
 pub use mpass_experiments as experiments;
 pub use mpass_ml as ml;
 pub use mpass_pe as pe;

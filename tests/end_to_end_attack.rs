@@ -6,7 +6,6 @@
 use mpass::baselines::RandomData;
 use mpass::core::attack::metrics::summarize;
 use mpass::core::{Attack, HardLabelTarget, MPassAttack, MPassConfig};
-use mpass::detectors::Detector;
 use mpass::sandbox::Sandbox;
 use mpass_experiments::{World, WorldConfig};
 
@@ -24,7 +23,7 @@ fn mpass_beats_random_data_on_malconv() {
     let mut mpass = MPassAttack::new(
         world.known_models_excluding("MalConv"),
         &world.pool,
-        MPassConfig::default(),
+        MPassConfig::builder().build().expect("default MPass config is valid"),
     );
     let mut control = RandomData::new(15, 1);
 
@@ -64,9 +63,9 @@ fn hard_label_oracle_counts_and_caps_queries() {
     let sample = world.dataset.malware()[0];
     let mut oracle = HardLabelTarget::new(&world.lightgbm, 5);
     for _ in 0..5 {
-        assert!(oracle.query(&sample.bytes).is_some());
+        assert!(oracle.query(&sample.bytes).is_ok());
     }
-    assert!(oracle.query(&sample.bytes).is_none());
+    assert!(oracle.query(&sample.bytes).is_err());
     assert_eq!(oracle.queries(), 5);
 }
 

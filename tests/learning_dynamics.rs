@@ -14,25 +14,32 @@ fn fixed_patterns_are_learned_shuffled_recovery_is_not() {
     let malware = world.dataset.malware();
 
     // Fixed-pattern "AEs": identical appended blob on every sample (the
-    // structure baselines share).
+    // structure baselines share — a packer stub's bytes are varied but
+    // identical across outputs).
+    let stub: Vec<u8> = (0..256u32).map(|i| (i.wrapping_mul(167) >> 3) as u8).collect();
     let fixed: Vec<Vec<u8>> = malware
         .iter()
         .take(8)
         .map(|s| {
             let mut pe = s.pe.clone();
-            pe.append_overlay(&[0xC3u8; 64].repeat(4));
+            pe.append_overlay(&stub);
             pe.to_bytes()
         })
         .collect();
 
     // MPass-style modifications: fresh benign cover + fresh shuffle per
-    // sample (no optimization needed to test the learning dynamic).
+    // sample (no optimization needed to test the learning dynamic). The
+    // quick world's 6-program pool keeps attack runs fast, but mining
+    // immunity is a claim about cover *diversity* — the paper's attacker
+    // draws covers from an abundant benign corpus — so the AEs here use a
+    // full-scale pool (40 programs, as in `WorldConfig::full`).
+    let pool = mpass::corpus::BenignPool::generate(40, 0x4D50_4153 ^ 0xB00);
     let mut rng = ChaCha8Rng::seed_from_u64(99);
     let shuffled: Vec<Vec<u8>> = malware
         .iter()
         .take(8)
         .filter_map(|s| {
-            modify(s, &world.pool, &ModificationConfig::default(), &mut rng)
+            modify(s, &pool, &ModificationConfig::default(), &mut rng)
                 .ok()
                 .filter(|m| m.mode == mpass::core::ModificationMode::NewSection)
                 .map(|m| m.bytes)
@@ -62,7 +69,7 @@ fn fixed_patterns_are_learned_shuffled_recovery_is_not() {
         .skip(8)
         .take(4)
         .filter_map(|s| {
-            modify(s, &world.pool, &ModificationConfig::default(), &mut rng).ok().map(|m| m.bytes)
+            modify(s, &pool, &ModificationConfig::default(), &mut rng).ok().map(|m| m.bytes)
         })
         .collect();
     let sig_hits = fresh.iter().filter(|ae| av_shuffled.signature_matches(ae)).count();
