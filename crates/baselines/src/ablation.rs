@@ -12,7 +12,6 @@
 
 use mpass_core::{
     Attack, AttackOutcome, HardLabelTarget, MPassAttack, MPassConfig, ModificationConfig,
-    QueryBudgetExhausted,
 };
 use mpass_corpus::{BenignPool, Sample};
 use mpass_detectors::{Verdict, WhiteBoxModel};
@@ -52,6 +51,12 @@ impl Attack for RandomData {
         "Random data"
     }
 
+    /// All randomness derives from `(seed, sample name)`; no state
+    /// carries across samples, so per-sample journal replay is sound.
+    fn stateful_across_samples(&self) -> bool {
+        false
+    }
+
     fn attack(&mut self, sample: &Sample, target: &mut HardLabelTarget<'_>) -> AttackOutcome {
         let mut rng = ChaCha8Rng::seed_from_u64(
             self.seed
@@ -81,7 +86,7 @@ impl Attack for RandomData {
                     }
                 }
                 Ok(Verdict::Malicious) => {}
-                Err(QueryBudgetExhausted { .. }) => break,
+                Err(_) => break,
             }
         }
         AttackOutcome {
@@ -119,6 +124,10 @@ pub fn other_sec<'a>(
 impl Attack for OtherSec<'_> {
     fn name(&self) -> &str {
         "Other-sec"
+    }
+
+    fn stateful_across_samples(&self) -> bool {
+        self.0.stateful_across_samples()
     }
 
     fn attack(&mut self, sample: &Sample, target: &mut HardLabelTarget<'_>) -> AttackOutcome {

@@ -9,7 +9,7 @@
 //! GAMMA achieves competitive evasion at an enormous appending rate —
 //! Table III reports 3600–4200 % APR.
 
-use mpass_core::{Attack, AttackOutcome, HardLabelTarget, QueryBudgetExhausted};
+use mpass_core::{Attack, AttackOutcome, HardLabelTarget};
 use mpass_corpus::{BenignPool, Sample};
 use mpass_detectors::Verdict;
 use mpass_pe::SectionFlags;
@@ -89,6 +89,12 @@ impl Attack for Gamma {
         "GAMMA"
     }
 
+    /// All randomness derives from `(seed, sample name)`; no state
+    /// carries across samples, so per-sample journal replay is sound.
+    fn stateful_across_samples(&self) -> bool {
+        false
+    }
+
     fn attack(&mut self, sample: &Sample, target: &mut HardLabelTarget<'_>) -> AttackOutcome {
         let mut rng = ChaCha8Rng::seed_from_u64(
             self.cfg.seed
@@ -124,7 +130,7 @@ impl Attack for Gamma {
                         scored.push((i, true, last_size));
                     }
                     Ok(Verdict::Malicious) => scored.push((i, false, last_size)),
-                    Err(QueryBudgetExhausted { .. }) => {
+                    Err(_) => {
                         return finish(sample, target, best_evading, original_size, last_size)
                     }
                 }

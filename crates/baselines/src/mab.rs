@@ -10,7 +10,7 @@
 //! structural limit remains: no action touches code or data sections.
 
 use crate::actions::{ActionLibrary, PeAction};
-use mpass_core::{Attack, AttackOutcome, HardLabelTarget, QueryBudgetExhausted};
+use mpass_core::{Attack, AttackOutcome, HardLabelTarget};
 use mpass_corpus::{BenignPool, Sample};
 use mpass_detectors::Verdict;
 use rand::Rng;
@@ -152,7 +152,7 @@ impl Attack for Mab {
                     Ok(Verdict::Malicious) => {
                         self.arms[arm].beta += 0.3;
                     }
-                    Err(QueryBudgetExhausted { .. }) => {
+                    Err(_) => {
                         return AttackOutcome {
                             sample: sample.name.clone(),
                             evaded: false,

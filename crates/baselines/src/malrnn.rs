@@ -11,7 +11,7 @@
 //! across AEs for AV n-gram learning to latch onto in the Fig. 4
 //! experiment.
 
-use mpass_core::{Attack, AttackOutcome, HardLabelTarget, QueryBudgetExhausted};
+use mpass_core::{Attack, AttackOutcome, HardLabelTarget};
 use mpass_corpus::{BenignPool, Sample};
 use mpass_detectors::Verdict;
 use rand::Rng;
@@ -152,6 +152,12 @@ impl Attack for MalRnn {
         "MalRNN"
     }
 
+    /// All randomness derives from `(seed, sample name)`; no state
+    /// carries across samples, so per-sample journal replay is sound.
+    fn stateful_across_samples(&self) -> bool {
+        false
+    }
+
     fn attack(&mut self, sample: &Sample, target: &mut HardLabelTarget<'_>) -> AttackOutcome {
         let mut rng = ChaCha8Rng::seed_from_u64(
             self.cfg.seed
@@ -183,7 +189,7 @@ impl Attack for MalRnn {
                         }
                     }
                     Ok(Verdict::Malicious) => {}
-                    Err(QueryBudgetExhausted { .. }) => {
+                    Err(_) => {
                         return AttackOutcome {
                             sample: sample.name.clone(),
                             evaded: false,

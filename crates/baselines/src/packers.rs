@@ -151,6 +151,12 @@ impl Attack for Packer {
         self.profile.name
     }
 
+    /// Packing is a pure function of the input bytes; no state carries
+    /// across samples, so per-sample journal replay is sound.
+    fn stateful_across_samples(&self) -> bool {
+        false
+    }
+
     /// Packers are one-shot transformations: a single query decides.
     fn attack(&mut self, sample: &Sample, target: &mut HardLabelTarget<'_>) -> AttackOutcome {
         let original_size = sample.size();

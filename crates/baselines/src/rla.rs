@@ -11,7 +11,7 @@
 //! recovery, which is why the paper finds 23 % of RLA's AEs broken.
 
 use crate::actions::{ActionLibrary, PeAction};
-use mpass_core::{Attack, AttackOutcome, HardLabelTarget, QueryBudgetExhausted};
+use mpass_core::{Attack, AttackOutcome, HardLabelTarget};
 use mpass_corpus::{BenignPool, Sample};
 use mpass_detectors::Verdict;
 use rand::Rng;
@@ -121,7 +121,7 @@ impl Attack for Rla {
                     Ok(Verdict::Malicious) => {
                         self.update(state, a, -0.05, state + 1);
                     }
-                    Err(QueryBudgetExhausted { .. }) => {
+                    Err(_) => {
                         return AttackOutcome {
                             sample: sample.name.clone(),
                             evaded: false,

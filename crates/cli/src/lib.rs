@@ -201,9 +201,13 @@ pub fn cmd_pack(path: &str, packer_name: &str, out_path: &str) -> CliResult {
 }
 
 /// `mpass attack`: run the full MPass pipeline on one file against a
-/// freshly trained MalConv (demonstration scale).
-pub fn cmd_attack(path: &str, out_path: &str, seed: u64) -> CliResult {
-    use mpass_core::{Attack, HardLabelTarget, MPassAttack, MPassConfig};
+/// freshly trained MalConv (demonstration scale). With `faults`, the
+/// oracle channel injects a deterministic fault schedule seeded from the
+/// given value, and the retry/fault counters are reported.
+pub fn cmd_attack(path: &str, out_path: &str, seed: u64, faults: Option<u64>) -> CliResult {
+    use mpass_core::{Attack, HardLabelTarget, MPassAttack, MPassConfig, QueryBudget, RetryPolicy};
+    use mpass_detectors::{FaultProfile, UnreliableOracle};
+    use mpass_engine::metrics;
     let bytes = read(path)?;
     let pe = parse_pe(&bytes, path)?;
     let sample = mpass_corpus::Sample::new(
@@ -233,8 +237,21 @@ pub fn cmd_attack(path: &str, out_path: &str, seed: u64) -> CliResult {
         .build()
         .expect("default MPass config is valid");
     let mut attack = MPassAttack::new(vec![&surrogate], &pool, config);
-    let mut oracle = HardLabelTarget::new(&target, 100);
+    let unreliable =
+        faults.map(|fault_seed| UnreliableOracle::new(&target, FaultProfile::seeded(fault_seed)));
+    let mut oracle = match &unreliable {
+        None => HardLabelTarget::new(&target, 100),
+        Some(channel) => {
+            HardLabelTarget::unreliable(channel, QueryBudget::new(100), RetryPolicy::default())
+                .with_retry_seed(seed)
+        }
+    };
+    let previous = metrics::install(metrics::Collector::default());
     let outcome = attack.attack(&sample, &mut oracle);
+    let collected = metrics::take().unwrap_or_default().finish("attack", 0.0);
+    if let Some(previous) = previous {
+        metrics::install(previous);
+    }
     let mut out = String::new();
     let _ = writeln!(out, "target MalConv verdict on input: {initial}");
     let _ = writeln!(
@@ -242,6 +259,18 @@ pub fn cmd_attack(path: &str, out_path: &str, seed: u64) -> CliResult {
         "attack: evaded={} queries={} size {} -> {}",
         outcome.evaded, outcome.queries, outcome.original_size, outcome.final_size
     );
+    if let Some(channel) = &unreliable {
+        let counter = |name: &str| collected.counters.get(name).copied().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "oracle faults: {} injected over {} submissions (retries {}, backoff {} ms, breaker opens {})",
+            channel.faults_injected(),
+            channel.submissions(),
+            counter("oracle/retry"),
+            counter("oracle/backoff_ms"),
+            counter("oracle/breaker_open"),
+        );
+    }
     if let Some(ae) = outcome.adversarial {
         let verdict = Sandbox::new().verify_functionality(&sample.bytes, &ae);
         let _ = writeln!(out, "functionality: {verdict}");
@@ -276,7 +305,7 @@ USAGE:
   mpass run FILE
   mpass verify ORIGINAL MODIFIED
   mpass pack FILE --packer upx|pespin|aspack --out FILE
-  mpass attack FILE --out FILE [--seed S]
+  mpass attack FILE --out FILE [--seed S] [--faults SEED]
   mpass engine-report METRICS.json [METRICS.json ...]
 ";
 
@@ -321,6 +350,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
             positional.first().ok_or("attack requires FILE")?,
             flag(args, "--out").ok_or("attack requires --out FILE")?,
             seed,
+            flag(args, "--faults").and_then(|s| s.parse().ok()),
         ),
         "engine-report" => cmd_engine_report(&positional),
         "" | "help" | "--help" | "-h" => Ok(USAGE.to_owned()),

@@ -4,22 +4,67 @@
 use crate::modify::{modify, ModificationConfig, ModifyError};
 use crate::optimize::{EnsembleOptimizer, OptimizerConfig};
 use mpass_corpus::{BenignPool, Sample};
-use mpass_detectors::{Detector, Verdict, WhiteBoxModel};
+use mpass_detectors::{Detector, Oracle, Verdict, WhiteBoxModel};
 use mpass_engine::metrics as trace;
-use mpass_engine::{QueryBudget, QueryBudgetExhausted};
+use mpass_engine::{
+    CircuitBreaker, OracleFault, QueryBudget, QueryBudgetExhausted, QueryError, RetryPolicy,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-/// A query-counted, budgeted hard-label oracle around a [`Detector`].
+/// The transport under a [`HardLabelTarget`]: an in-process detector
+/// that never fails, or an [`Oracle`] channel that can fault.
+///
+/// (An enum rather than a single `&dyn Oracle` field so that plain
+/// `&dyn Detector` construction keeps working — trait objects don't
+/// unsize-coerce to other trait objects.)
+enum Channel<'a> {
+    Reliable(&'a dyn Detector),
+    Unreliable(&'a dyn Oracle),
+}
+
+impl Channel<'_> {
+    fn submit(&self, bytes: &[u8]) -> Result<Verdict, OracleFault> {
+        match self {
+            Channel::Reliable(det) => Ok(det.classify(bytes)),
+            Channel::Unreliable(oracle) => oracle.submit(bytes),
+        }
+    }
+
+    fn name(&self) -> &str {
+        match self {
+            Channel::Reliable(det) => det.name(),
+            Channel::Unreliable(oracle) => oracle.name(),
+        }
+    }
+}
+
+/// A query-counted, budgeted hard-label oracle around a [`Detector`]
+/// (or any fallible [`Oracle`] channel).
 ///
 /// This is the *only* interface attacks get to the target: no scores, no
 /// gradients — exactly the paper's threat model. The allowance is an
 /// explicit [`QueryBudget`]; exhaustion is a typed error rather than a
 /// `None` that reads like a missing verdict.
+///
+/// ## Budget policy
+///
+/// The budget meters **delivered verdicts**: each successful query
+/// consumes exactly one unit, and a failed query — budget pre-check,
+/// transient attempts, retries, breaker refusals — consumes nothing.
+/// This keeps the threat model's "N oracle answers" semantics exact and
+/// makes transient faults semantically transparent: a retried query
+/// yields the same verdict at the same budget position as on a reliable
+/// channel. Retry pressure is still observable through the
+/// `oracle/retry`, `oracle/backoff_ms` and `oracle/breaker_open`
+/// metrics counters.
 pub struct HardLabelTarget<'a> {
-    detector: &'a dyn Detector,
+    channel: Channel<'a>,
     budget: QueryBudget,
+    policy: RetryPolicy,
+    breaker: CircuitBreaker,
+    retry_seed: u64,
 }
 
 impl<'a> HardLabelTarget<'a> {
@@ -31,16 +76,86 @@ impl<'a> HardLabelTarget<'a> {
     /// Wrap `detector` with an explicit budget (e.g. a remaining
     /// allowance carried over from another phase).
     pub fn with_budget(detector: &'a dyn Detector, budget: QueryBudget) -> Self {
-        HardLabelTarget { detector, budget }
+        HardLabelTarget {
+            channel: Channel::Reliable(detector),
+            budget,
+            policy: RetryPolicy::none(),
+            breaker: CircuitBreaker::default(),
+            retry_seed: 0,
+        }
     }
 
-    /// Query the target. Fails with [`QueryBudgetExhausted`] once the
-    /// budget is spent; a failed query consumes nothing.
-    pub fn query(&mut self, bytes: &[u8]) -> Result<Verdict, QueryBudgetExhausted> {
-        self.budget.try_consume()?;
-        trace::counter("queries", 1);
+    /// Wrap a fallible [`Oracle`] channel, applying `policy` to failed
+    /// submissions.
+    pub fn unreliable(oracle: &'a dyn Oracle, budget: QueryBudget, policy: RetryPolicy) -> Self {
+        HardLabelTarget {
+            channel: Channel::Unreliable(oracle),
+            budget,
+            policy,
+            breaker: CircuitBreaker::default(),
+            retry_seed: 0,
+        }
+    }
+
+    /// Key the deterministic backoff jitter (builder-style).
+    pub fn with_retry_seed(mut self, seed: u64) -> Self {
+        self.retry_seed = seed;
+        self
+    }
+
+    /// Query the target. Fails with [`QueryError::BudgetExhausted`] once
+    /// the budget is spent; on an unreliable channel, failed submissions
+    /// are retried per the [`RetryPolicy`] and surface as the other
+    /// [`QueryError`] variants when the policy gives up. Only delivered
+    /// verdicts consume budget (see the type-level docs).
+    pub fn query(&mut self, bytes: &[u8]) -> Result<Verdict, QueryError> {
+        if self.budget.is_exhausted() {
+            return Err(QueryBudgetExhausted { limit: self.budget.limit() }.into());
+        }
+        if !self.breaker.allows() {
+            trace::counter("oracle/breaker_open", 1);
+            return Err(QueryError::Fatal);
+        }
         let _span = trace::span("stage/query");
-        Ok(self.detector.classify(bytes))
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            match self.channel.submit(bytes) {
+                Ok(verdict) => {
+                    self.breaker.record_success();
+                    self.budget
+                        .try_consume()
+                        .expect("budget pre-checked before submitting");
+                    trace::counter("queries", 1);
+                    return Ok(verdict);
+                }
+                Err(OracleFault::Fatal) => {
+                    self.breaker.record_failure(&self.policy);
+                    return Err(QueryError::Fatal);
+                }
+                Err(fault) => {
+                    if attempt >= self.policy.max_attempts.max(1) {
+                        self.breaker.record_failure(&self.policy);
+                        return Err(match fault {
+                            OracleFault::RateLimited { retry_after_ms } => {
+                                QueryError::RateLimited { retry_after_ms }
+                            }
+                            _ => QueryError::Transient { attempts: attempt },
+                        });
+                    }
+                    trace::counter("oracle/retry", 1);
+                    let hint = match fault {
+                        OracleFault::RateLimited { retry_after_ms } => retry_after_ms,
+                        _ => 0,
+                    };
+                    let backoff = self.policy.backoff_ms(attempt, self.retry_seed).max(hint);
+                    trace::counter("oracle/backoff_ms", backoff);
+                    if self.policy.sleep && backoff > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(backoff));
+                    }
+                }
+            }
+        }
     }
 
     /// Queries consumed so far.
@@ -58,9 +173,19 @@ impl<'a> HardLabelTarget<'a> {
         &self.budget
     }
 
+    /// The retry policy in force.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+
+    /// The per-target circuit breaker state.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
     /// The target's display name.
     pub fn name(&self) -> &str {
-        self.detector.name()
+        self.channel.name()
     }
 }
 
@@ -95,6 +220,16 @@ pub trait Attack {
 
     /// Attack `sample` against `target` within the target's query budget.
     fn attack(&mut self, sample: &Sample, target: &mut HardLabelTarget<'_>) -> AttackOutcome;
+
+    /// Whether this attack carries learned state across samples within
+    /// one campaign (RLA's Q-table, MAB's bandit arms). Campaign
+    /// journals may replay *per-sample* outcomes only for stateless
+    /// attacks — skipping a sample of a stateful attack would desync
+    /// its learning trajectory — so the conservative default is `true`;
+    /// stateless attacks override to opt in to sample-level resume.
+    fn stateful_across_samples(&self) -> bool {
+        true
+    }
 }
 
 /// Aggregate metrics over attack outcomes (paper §IV-A).
@@ -315,6 +450,13 @@ impl Attack for MPassAttack<'_> {
         "MPass"
     }
 
+    /// MPass derives all randomness from `(seed, sample name)` and
+    /// mutates nothing across samples, so journaled outcomes can be
+    /// replayed per sample.
+    fn stateful_across_samples(&self) -> bool {
+        false
+    }
+
     fn attack(&mut self, sample: &Sample, target: &mut HardLabelTarget<'_>) -> AttackOutcome {
         let mut rng = self.sample_rng(sample);
         let original_size = sample.size();
@@ -341,7 +483,9 @@ impl Attack for MPassAttack<'_> {
                     }
                 }
                 Ok(Verdict::Malicious) => {}
-                Err(QueryBudgetExhausted { .. }) => break,
+                // Budget spent or channel down: either way no more
+                // verdicts are coming for this sample.
+                Err(_) => break,
             }
             let mut opt =
                 EnsembleOptimizer::new(self.models.clone(), &ms, self.cfg.optimizer);
@@ -363,7 +507,7 @@ impl Attack for MPassAttack<'_> {
                         }
                     }
                     Ok(Verdict::Malicious) => {}
-                    Err(QueryBudgetExhausted { .. }) => {
+                    Err(_) => {
                         return AttackOutcome {
                             sample: sample.name.clone(),
                             evaded: false,
@@ -428,7 +572,7 @@ mod tests {
         assert!(t.query(&w.ds.samples[0].bytes).is_ok());
         assert_eq!(
             t.query(&w.ds.samples[0].bytes),
-            Err(QueryBudgetExhausted { limit: 2 })
+            Err(QueryError::BudgetExhausted(QueryBudgetExhausted { limit: 2 }))
         );
         assert_eq!(t.queries(), 2);
         assert_eq!(t.remaining(), 0);
@@ -455,6 +599,183 @@ mod tests {
         assert_eq!(t.remaining(), 2);
         assert!(t.query(&w.ds.samples[0].bytes).is_ok());
         assert_eq!(t.queries(), 2);
+    }
+
+    /// A budget partially spent in one phase must be honored — not
+    /// reset — when the remainder is re-wrapped for a later phase (the
+    /// verification pass carries over the attack's leftover allowance).
+    #[test]
+    fn with_budget_carry_over_across_rewraps() {
+        let w = world();
+        let probe = &w.ds.samples[0].bytes;
+        let mut t = HardLabelTarget::new(&w.malconv, 5);
+        for _ in 0..3 {
+            assert!(t.query(probe).is_ok());
+        }
+        // Phase boundary: hand the same budget state to a new wrapper
+        // (around a different detector, as the verification pass does).
+        let carried = t.budget().clone();
+        let mut v = HardLabelTarget::with_budget(&w.malgcg, carried);
+        assert_eq!(v.queries(), 3, "spent queries must carry over");
+        assert_eq!(v.remaining(), 2);
+        assert!(v.query(probe).is_ok());
+        assert!(v.query(probe).is_ok());
+        assert!(matches!(
+            v.query(probe),
+            Err(QueryError::BudgetExhausted(QueryBudgetExhausted { limit: 5 }))
+        ));
+        assert_eq!(v.queries(), 5);
+    }
+
+    /// An oracle whose first submission of every query faults, so each
+    /// delivered verdict costs exactly one retry.
+    struct FlakyOnce<'a> {
+        inner: &'a dyn Detector,
+        fault: OracleFault,
+        calls: std::sync::Mutex<u64>,
+    }
+
+    impl<'a> FlakyOnce<'a> {
+        fn new(inner: &'a dyn Detector, fault: OracleFault) -> Self {
+            FlakyOnce { inner, fault, calls: std::sync::Mutex::new(0) }
+        }
+    }
+
+    impl Oracle for FlakyOnce<'_> {
+        fn name(&self) -> &str {
+            self.inner.name()
+        }
+        fn submit(&self, bytes: &[u8]) -> Result<Verdict, OracleFault> {
+            let mut calls = self.calls.lock().unwrap();
+            *calls += 1;
+            if *calls % 2 == 1 {
+                return Err(self.fault);
+            }
+            Ok(self.inner.classify(bytes))
+        }
+    }
+
+    /// Documented budget policy: one unit per delivered verdict; failed
+    /// and retried submissions consume nothing.
+    #[test]
+    fn retried_queries_consume_one_budget_unit_per_verdict() {
+        let w = world();
+        let probe = &w.ds.samples[0].bytes;
+        let oracle = FlakyOnce::new(&w.malconv, OracleFault::Transient);
+        mpass_engine::metrics::install(mpass_engine::Collector::default());
+        let mut t =
+            HardLabelTarget::unreliable(&oracle, QueryBudget::new(3), RetryPolicy::default());
+        for _ in 0..3 {
+            // Every query needs a retry, yet delivers the same verdict
+            // as the bare detector and costs exactly one unit.
+            assert_eq!(t.query(probe), Ok(w.malconv.classify(probe)));
+        }
+        assert_eq!(t.queries(), 3);
+        assert!(matches!(t.query(probe), Err(QueryError::BudgetExhausted(_))));
+        assert_eq!(t.queries(), 3, "failed query consumed nothing");
+        let shard = mpass_engine::metrics::take().unwrap().finish("t", 0.0);
+        assert_eq!(shard.counters["oracle/retry"], 3);
+        assert_eq!(shard.counters["queries"], 3);
+    }
+
+    /// Rate-limit hints surface in the backoff and in the terminal
+    /// error when retries run out.
+    #[test]
+    fn rate_limited_channel_exhausts_retries_with_hint() {
+        struct AlwaysLimited;
+        impl Oracle for AlwaysLimited {
+            fn name(&self) -> &str {
+                "limited"
+            }
+            fn submit(&self, _: &[u8]) -> Result<Verdict, OracleFault> {
+                Err(OracleFault::RateLimited { retry_after_ms: 40 })
+            }
+        }
+        let policy = RetryPolicy { max_attempts: 3, ..RetryPolicy::default() };
+        let mut t = HardLabelTarget::unreliable(&AlwaysLimited, QueryBudget::new(5), policy);
+        assert_eq!(t.query(b"x"), Err(QueryError::RateLimited { retry_after_ms: 40 }));
+        assert_eq!(t.queries(), 0, "no verdict, no budget");
+    }
+
+    /// After `breaker_threshold` consecutive failed queries the breaker
+    /// opens and fails fast without touching the channel or the budget.
+    #[test]
+    fn breaker_opens_and_fails_fast() {
+        struct Down;
+        impl Oracle for Down {
+            fn name(&self) -> &str {
+                "down"
+            }
+            fn submit(&self, _: &[u8]) -> Result<Verdict, OracleFault> {
+                Err(OracleFault::Fatal)
+            }
+        }
+        let policy = RetryPolicy {
+            breaker_threshold: 2,
+            breaker_cooldown: 3,
+            ..RetryPolicy::default()
+        };
+        mpass_engine::metrics::install(mpass_engine::Collector::default());
+        let mut t = HardLabelTarget::unreliable(&Down, QueryBudget::new(10), policy);
+        assert_eq!(t.query(b"x"), Err(QueryError::Fatal));
+        assert_eq!(t.query(b"x"), Err(QueryError::Fatal)); // trips breaker
+        assert!(t.breaker().is_open());
+        for _ in 0..3 {
+            assert_eq!(t.query(b"x"), Err(QueryError::Fatal)); // fail-fast
+        }
+        let shard = mpass_engine::metrics::take().unwrap().finish("t", 0.0);
+        assert_eq!(shard.counters["oracle/breaker_open"], 3);
+        assert_eq!(t.queries(), 0);
+    }
+
+    /// End to end: injected transient faults are semantically
+    /// transparent — the attack reaches the same outcome against the
+    /// faulted channel as against the bare detector, with non-zero
+    /// retry counters as the only trace.
+    #[test]
+    fn injected_faults_are_transparent_to_the_attack() {
+        let w = world();
+        let s = w.ds.malware()[0];
+        let reliable = {
+            let mut attack =
+                MPassAttack::new(vec![&w.malgcg], &w.pool, MPassConfig::default());
+            let mut target = HardLabelTarget::new(&w.malconv, 100);
+            attack.attack(s, &mut target)
+        };
+        // The attack may need only a couple of submissions, so sweep
+        // schedule seeds: every seed must be transparent, and at least
+        // one must actually inject faults. burst_cap 2 < max_attempts 4
+        // keeps every query answerable within its retries.
+        let mut total_faults = 0;
+        let mut total_retries = 0;
+        for seed in 0..8u64 {
+            let profile = mpass_detectors::FaultProfile {
+                transient: 0.5,
+                rate_limited: 0.2,
+                ..mpass_detectors::FaultProfile::seeded(seed)
+            };
+            let oracle = mpass_detectors::UnreliableOracle::new(&w.malconv, profile);
+            mpass_engine::metrics::install(mpass_engine::Collector::default());
+            let faulted = {
+                let mut attack =
+                    MPassAttack::new(vec![&w.malgcg], &w.pool, MPassConfig::default());
+                let mut target = HardLabelTarget::unreliable(
+                    &oracle,
+                    QueryBudget::new(100),
+                    RetryPolicy::default(),
+                )
+                .with_retry_seed(seed);
+                attack.attack(s, &mut target)
+            };
+            let shard = mpass_engine::metrics::take().unwrap().finish("t", 0.0);
+            assert_eq!(faulted.evaded, reliable.evaded, "seed {seed}");
+            assert_eq!(faulted.queries, reliable.queries, "seed {seed}");
+            assert_eq!(faulted.adversarial, reliable.adversarial, "seed {seed}");
+            total_faults += oracle.faults_injected();
+            total_retries += shard.counters.get("oracle/retry").copied().unwrap_or(0);
+        }
+        assert!(total_faults > 0, "no seed injected any fault");
+        assert_eq!(total_retries, total_faults, "every injected fault costs one retry");
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub use attack::{
     MPassConfigError,
 };
 pub use modify::{ModificationConfig, ModificationMode, ModifiedSample, ModifyError};
-pub use mpass_engine::{QueryBudget, QueryBudgetExhausted};
+pub use mpass_engine::{
+    CircuitBreaker, OracleFault, QueryBudget, QueryBudgetExhausted, QueryError, RetryPolicy,
+};
 pub use optimize::OptimizerConfig;
 pub use pem::{PemConfig, PemReport};
 pub use recovery::{generate_recovery_stub, EncodedRegion, StubInstr};

@@ -283,10 +283,8 @@ mod tests {
                             mpass_detectors::features::suspicious_api_count(sec.data());
                         s += (sus as f32 * 0.2).min(0.5);
                     }
-                    SectionKind::Data => {
-                        if sec.entropy() > 6.0 {
-                            s += 0.4;
-                        }
+                    SectionKind::Data if sec.entropy() > 6.0 => {
+                        s += 0.4;
                     }
                     _ => {}
                 }

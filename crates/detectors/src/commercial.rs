@@ -297,25 +297,27 @@ impl crate::traits::DetectorExt for CommercialAv {}
 /// commercial experiments. Hits and misses are recorded to the
 /// `av/cache_hit` / `av/cache_miss` metrics counters, so the engine's
 /// metrics file reports the cache hit rate per shard.
+///
+/// The cache keys on the *full submission bytes* — an earlier revision
+/// keyed on a 64-bit FNV-1a hash alone, which would silently serve one
+/// submission's score for a colliding one. Lock acquisition recovers
+/// from poisoning: a panicking worker (now isolated by the engine's
+/// `catch_unwind`) must not wedge the cache for every other shard, and
+/// a cache map is valid after any interrupted insert.
 #[derive(Debug)]
 pub struct CachedAv {
     inner: CommercialAv,
-    cache: std::sync::Mutex<std::collections::HashMap<u64, f32>>,
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    cache: std::sync::Mutex<std::collections::HashMap<Vec<u8>, f32>>,
 }
 
 impl CachedAv {
     /// Wrap a trained AV.
     pub fn new(inner: CommercialAv) -> CachedAv {
         CachedAv { inner, cache: std::sync::Mutex::new(std::collections::HashMap::new()) }
+    }
+
+    fn cache(&self) -> std::sync::MutexGuard<'_, std::collections::HashMap<Vec<u8>, f32>> {
+        self.cache.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// The wrapped AV.
@@ -325,7 +327,7 @@ impl CachedAv {
 
     /// Cached entries.
     pub fn len(&self) -> usize {
-        self.cache.lock().unwrap().len()
+        self.cache().len()
     }
 
     /// Whether the cache is empty.
@@ -337,7 +339,7 @@ impl CachedAv {
     /// freshly mined signatures change verdicts for already-seen bytes.
     pub fn weekly_update(&mut self, submissions: &[&[u8]]) -> usize {
         let added = self.inner.weekly_update(submissions);
-        self.cache.lock().unwrap().clear();
+        self.cache().clear();
         added
     }
 }
@@ -348,14 +350,13 @@ impl Detector for CachedAv {
     }
 
     fn score(&self, bytes: &[u8]) -> f32 {
-        let key = fnv1a(bytes);
-        if let Some(&s) = self.cache.lock().unwrap().get(&key) {
+        if let Some(&s) = self.cache().get(bytes) {
             mpass_engine::metrics::counter("av/cache_hit", 1);
             return s;
         }
         mpass_engine::metrics::counter("av/cache_miss", 1);
         let s = self.inner.score(bytes);
-        self.cache.lock().unwrap().insert(key, s);
+        self.cache().insert(bytes.to_vec(), s);
         s
     }
 
@@ -502,6 +503,23 @@ mod tests {
         assert_eq!(shard.counters["av/cache_miss"], 4);
         assert_eq!(shard.counters["av/cache_hit"], 4);
         assert_eq!(cached.len(), 4);
+    }
+
+    #[test]
+    fn cache_keys_on_full_bytes_not_a_hash() {
+        let ds = dataset();
+        let av = one_av(&ds);
+        let cached = CachedAv::new(av.clone());
+        // Distinct submissions each get their own entry and their own
+        // correct score; a hash-keyed cache could conflate them.
+        let a = &ds.malware()[0].bytes;
+        let b = &ds.benign()[0].bytes;
+        assert_eq!(cached.score(a), av.score(a));
+        assert_eq!(cached.score(b), av.score(b));
+        assert_eq!(cached.len(), 2);
+        // Served from cache, still per-submission.
+        assert_eq!(cached.score(a), av.score(a));
+        assert_eq!(cached.score(b), av.score(b));
     }
 
     #[test]

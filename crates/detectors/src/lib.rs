@@ -24,11 +24,19 @@
 //!   `LightGbm` deliberately does not implement it (paper footnote 6:
 //!   trees cannot be back-propagated).
 
+//!
+//! The query *transport* is modelled separately from the models: every
+//! detector is a perfectly reliable [`Oracle`], and
+//! [`UnreliableOracle`] wraps any detector in a seeded, replayable
+//! fault-injection schedule (timeouts, rate limits, outages) for the
+//! fault-tolerance experiments.
+
 pub mod commercial;
 pub mod features;
 mod lightgbm;
 mod malconv;
 mod malgcg;
+pub mod oracle;
 mod signatures;
 mod traits;
 pub mod train;
@@ -37,5 +45,6 @@ pub use commercial::{AvProfile, CachedAv, CommercialAv};
 pub use lightgbm::LightGbm;
 pub use malconv::{ByteConvConfig, MalConv, NonNeg};
 pub use malgcg::{MalGcg, MalGcgConfig};
+pub use oracle::{FaultProfile, Oracle, UnreliableOracle};
 pub use signatures::SignatureStore;
 pub use traits::{Detector, DetectorExt, Verdict, WhiteBoxModel};

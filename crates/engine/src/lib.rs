@@ -13,15 +13,20 @@
 //!   installs a collector per shard, everything else is a no-op.
 //! * [`QueryBudget`] — the first-class oracle-query allowance shared by
 //!   `HardLabelTarget` and the metrics sink.
+//! * [`fault`] — the fault model for unreliable oracle channels: the
+//!   [`OracleFault`]/[`QueryError`] taxonomy, [`RetryPolicy`] backoff,
+//!   and the query-counted [`CircuitBreaker`].
 //! * [`MetricsFile`] — the JSON schema written next to each runner's
 //!   `results/*.json` and summarized by `mpass engine-report`.
 
 pub mod budget;
+pub mod fault;
 pub mod metrics;
 pub mod pool;
 pub mod sink;
 
 pub use budget::{QueryBudget, QueryBudgetExhausted};
+pub use fault::{CircuitBreaker, OracleFault, QueryError, RetryPolicy};
 pub use metrics::{Collector, SampleMetrics, ShardMetrics, TimingSummary};
-pub use pool::{Engine, EngineConfig, EngineRun, Shard, ShardCtx};
+pub use pool::{Engine, EngineConfig, EngineRun, Shard, ShardCtx, ShardFailure};
 pub use sink::{metrics_path, EngineInfo, MetricsFile};

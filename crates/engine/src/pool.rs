@@ -13,6 +13,10 @@
 //!   around each shard closure; anything the shard (or code it calls
 //!   into) records through the metrics facade comes back as one
 //!   [`ShardMetrics`] per shard, in input order.
+//! * **Panic isolation.** A panicking shard closure is caught with
+//!   `catch_unwind` and recorded as a [`ShardFailure`]; the campaign
+//!   completes with every other shard's result intact instead of
+//!   aborting wholesale.
 //!
 //! Scheduling is per-worker deques with stealing: shards are dealt
 //! round-robin, each worker drains its own deque from the front and
@@ -21,11 +25,13 @@
 //! behind a static partition.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 use crate::metrics::{self, Collector, ShardMetrics};
 
@@ -70,10 +76,31 @@ impl ShardCtx {
     }
 }
 
+/// A shard whose closure panicked. The campaign keeps going; the panic
+/// is recorded here (and in the metrics sink) instead of propagating.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardFailure {
+    /// The shard's position in the input shard list.
+    pub index: usize,
+    /// The shard's label.
+    pub label: String,
+    /// The panic payload, if it was a string (the overwhelmingly common
+    /// case); otherwise a placeholder.
+    pub panic: String,
+}
+
 /// The outcome of [`Engine::run`]: results and metrics in input order.
+///
+/// `results` holds the output of every shard that completed;
+/// `failures` the shards whose closure panicked. `shard_metrics` always
+/// covers *all* shards in input order — a failed shard still reports
+/// whatever it recorded before panicking, plus an `engine/shard_panic`
+/// counter.
 #[derive(Debug)]
 pub struct EngineRun<R> {
     pub results: Vec<R>,
+    /// Shards that panicked instead of producing a result.
+    pub failures: Vec<ShardFailure>,
     pub shard_metrics: Vec<ShardMetrics>,
     /// Wall-clock milliseconds for the whole pool run.
     pub wall_ms: f64,
@@ -81,6 +108,13 @@ pub struct EngineRun<R> {
     pub workers: usize,
     /// The engine seed the run was keyed on.
     pub seed: u64,
+}
+
+impl<R> EngineRun<R> {
+    /// Whether every shard produced a result.
+    pub fn is_complete(&self) -> bool {
+        self.failures.is_empty()
+    }
 }
 
 /// The shard pool itself. Cheap to construct; threads live only for the
@@ -121,8 +155,10 @@ impl Engine {
     }
 
     /// Run `work` once per shard across the worker pool. Results come
-    /// back in input order regardless of completion order; a panic in
-    /// any shard closure propagates to the caller.
+    /// back in input order regardless of completion order. A panic in a
+    /// shard closure is caught and isolated: the shard is reported in
+    /// [`EngineRun::failures`] (with an `engine/shard_panic` metrics
+    /// counter) and every other shard's result survives.
     pub fn run<T, R, F>(&self, shards: Vec<Shard<T>>, work: F) -> EngineRun<R>
     where
         T: Send,
@@ -143,8 +179,8 @@ impl Engine {
                 .push_back(Task { index, label: shard.label, item: shard.item });
         }
 
-        let slots: Vec<Mutex<Option<(R, ShardMetrics)>>> =
-            (0..shard_count).map(|_| Mutex::new(None)).collect();
+        type Slot<R> = Mutex<Option<(Result<R, String>, ShardMetrics)>>;
+        let slots: Vec<Slot<R>> = (0..shard_count).map(|_| Mutex::new(None)).collect();
 
         let seed = self.config.seed;
         let queues = &queues;
@@ -160,37 +196,67 @@ impl Engine {
                         };
                         let previous = metrics::install(Collector::default());
                         let shard_started = Instant::now();
-                        let result = work(&mut ctx, task.item);
+                        // AssertUnwindSafe: on panic the closure's
+                        // captures are only read by the *caller* (world,
+                        // journal), never resumed by this shard, and the
+                        // shard's own partial state dies with the slot.
+                        let outcome =
+                            catch_unwind(AssertUnwindSafe(|| work(&mut ctx, task.item)))
+                                .map_err(|payload| {
+                                    // Recorded while this shard's
+                                    // collector is still installed.
+                                    metrics::counter("engine/shard_panic", 1);
+                                    panic_message(payload.as_ref())
+                                });
                         let wall_ms = shard_started.elapsed().as_secs_f64() * 1e3;
                         let collector = metrics::take().unwrap_or_default();
                         if let Some(previous) = previous {
                             metrics::install(previous);
                         }
                         *slots[task.index].lock().expect("slot lock") =
-                            Some((result, collector.finish(ctx.label, wall_ms)));
+                            Some((outcome, collector.finish(ctx.label, wall_ms)));
                     }
                 });
             }
         });
 
         let mut results = Vec::with_capacity(shard_count);
+        let mut failures = Vec::new();
         let mut shard_metrics = Vec::with_capacity(shard_count);
-        for slot in slots {
-            let (result, metrics) = slot
+        for (index, slot) in slots.iter().enumerate() {
+            let (outcome, metrics) = slot
                 .lock()
                 .expect("slot lock")
                 .take()
                 .expect("every shard produces a result");
-            results.push(result);
+            match outcome {
+                Ok(result) => results.push(result),
+                Err(panic) => {
+                    failures.push(ShardFailure { index, label: metrics.label.clone(), panic })
+                }
+            }
             shard_metrics.push(metrics);
         }
         EngineRun {
             results,
+            failures,
             shard_metrics,
             wall_ms: started.elapsed().as_secs_f64() * 1e3,
             workers,
             seed,
         }
+    }
+}
+
+/// Extract a printable message from a caught panic payload. `panic!`
+/// with a literal yields `&str`; with a format string, `String`.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -292,6 +358,45 @@ mod tests {
             assert_eq!(shard.counters["queries"], i as u64 + 1);
             assert_eq!(shard.samples.len(), 1);
         }
+    }
+
+    #[test]
+    fn panicking_shard_is_isolated() {
+        let engine = Engine::new(EngineConfig { workers: 4, seed: 3 });
+        let shards: Vec<Shard<usize>> =
+            (0..6).map(|i| Shard::new(format!("s{i}"), i)).collect();
+        let run = engine.run(shards, |_ctx, item| {
+            metrics::counter("work", 1);
+            if item == 2 {
+                panic!("shard {item} blew up");
+            }
+            item * 10
+        });
+        // Every other shard's result survives, in input order.
+        assert_eq!(run.results, vec![0, 10, 30, 40, 50]);
+        assert!(!run.is_complete());
+        assert_eq!(run.failures.len(), 1);
+        let failure = &run.failures[0];
+        assert_eq!(failure.index, 2);
+        assert_eq!(failure.label, "s2");
+        assert_eq!(failure.panic, "shard 2 blew up");
+        // Metrics still cover all shards; the failed one carries the
+        // panic counter plus whatever it recorded before dying.
+        assert_eq!(run.shard_metrics.len(), 6);
+        assert_eq!(run.shard_metrics[2].counters["engine/shard_panic"], 1);
+        assert_eq!(run.shard_metrics[2].counters["work"], 1);
+        assert!(!run.shard_metrics[0].counters.contains_key("engine/shard_panic"));
+    }
+
+    #[test]
+    fn all_shards_panicking_still_completes() {
+        let engine = Engine::new(EngineConfig { workers: 2, seed: 3 });
+        let shards: Vec<Shard<()>> =
+            (0..3).map(|i| Shard::new(format!("p{i}"), ())).collect();
+        let run: EngineRun<u8> = engine.run(shards, |_ctx, ()| panic!("down"));
+        assert!(run.results.is_empty());
+        assert_eq!(run.failures.len(), 3);
+        assert_eq!(run.shard_metrics.len(), 3);
     }
 
     #[test]

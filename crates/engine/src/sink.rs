@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::ShardMetrics;
-use crate::pool::EngineRun;
+use crate::pool::{EngineRun, ShardFailure};
 
 /// Pool facts recorded alongside the per-shard metrics.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -18,7 +18,7 @@ pub struct EngineInfo {
 }
 
 /// The on-disk schema (see DESIGN.md, "Metrics schema").
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct MetricsFile {
     /// Experiment name, e.g. `"offline"`.
     pub experiment: String,
@@ -26,6 +26,26 @@ pub struct MetricsFile {
     /// Wall-clock milliseconds of the whole pool run.
     pub wall_ms: f64,
     pub shards: Vec<ShardMetrics>,
+    /// Shards whose closure panicked (empty on a clean run).
+    pub failures: Vec<ShardFailure>,
+}
+
+// Hand-written so metrics files from before the fault layer (no
+// `failures` key) still load; the derive treats missing fields as shape
+// errors.
+impl serde::Deserialize for MetricsFile {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(MetricsFile {
+            experiment: serde::Deserialize::from_value(serde::field(value, "experiment")?)?,
+            engine: serde::Deserialize::from_value(serde::field(value, "engine")?)?,
+            wall_ms: serde::Deserialize::from_value(serde::field(value, "wall_ms")?)?,
+            shards: serde::Deserialize::from_value(serde::field(value, "shards")?)?,
+            failures: match value.get("failures") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl MetricsFile {
@@ -40,6 +60,7 @@ impl MetricsFile {
             },
             wall_ms: run.wall_ms,
             shards: run.shard_metrics.clone(),
+            failures: run.failures.clone(),
         }
     }
 
@@ -112,6 +133,10 @@ impl MetricsFile {
                 }));
         }
 
+        for failure in &self.failures {
+            out.push_str(&format!("  FAILED {}: panicked: {}\n", failure.label, failure.panic));
+        }
+
         out.push_str(&format!("totals: {total_queries} queries"));
         if !sample_queries.is_empty() {
             let mean = sample_queries.iter().sum::<u64>() as f64 / sample_queries.len() as f64;
@@ -160,6 +185,7 @@ mod tests {
             engine: EngineInfo { workers: 4, seed: 42, shards: 1 },
             wall_ms: 3.5,
             shards: vec![shard],
+            failures: Vec::new(),
         }
     }
 
@@ -196,6 +222,52 @@ mod tests {
         assert_eq!(file.engine.seed, 5);
         assert_eq!(file.shards[0].label, "a");
         assert_eq!(file.shards[1].counters["queries"], 1);
+    }
+
+    #[test]
+    fn failures_round_trip_and_summarize() {
+        let mut file = sample_file();
+        file.failures.push(ShardFailure {
+            index: 1,
+            label: "RLA vs NonNeg".into(),
+            panic: "index out of bounds".into(),
+        });
+        let text = serde_json::to_string_pretty(&file).unwrap();
+        let back: MetricsFile = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, file);
+        let summary = file.summary();
+        assert!(summary.contains("FAILED RLA vs NonNeg"));
+        assert!(summary.contains("index out of bounds"));
+    }
+
+    #[test]
+    fn pre_fault_layer_files_still_load() {
+        // A metrics file written before `failures` existed has no such
+        // key; loading must default it to empty, not error.
+        let legacy = r#"{
+            "experiment": "offline",
+            "engine": {"workers": 2, "seed": 7, "shards": 0},
+            "wall_ms": 1.5,
+            "shards": []
+        }"#;
+        let file: MetricsFile = serde_json::from_str(legacy).unwrap();
+        assert_eq!(file.experiment, "offline");
+        assert!(file.failures.is_empty());
+    }
+
+    #[test]
+    fn from_run_records_failures() {
+        let engine = Engine::new(EngineConfig { workers: 2, seed: 5 });
+        let shards = vec![Shard::new("ok", false), Shard::new("boom", true)];
+        let run = engine.run(shards, |_ctx, explode| {
+            if explode {
+                panic!("boom shard");
+            }
+        });
+        let file = MetricsFile::from_run("demo", &run);
+        assert_eq!(file.failures.len(), 1);
+        assert_eq!(file.failures[0].label, "boom");
+        assert_eq!(file.engine.shards, 2);
     }
 
     #[test]

@@ -6,7 +6,17 @@ fn main() {
     let args = report::CliArgs::parse();
     let world = World::build(args.world_config());
     let engine = args.engine(world.config.seed);
-    let (results, metrics) = commercial::run_with_engine(&world, &engine);
+    let opts = args.campaign_options("exp_commercial");
+    let (results, metrics) = match commercial::run_campaign(&world, &engine, &opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("could not open campaign journal: {e}");
+            std::process::exit(1);
+        }
+    };
+    for failure in &metrics.failures {
+        eprintln!("shard {} failed: {}", failure.label, failure.panic);
+    }
     println!("{}", results.figure3());
     // AEs are large; persist only the stats.
     let slim: Vec<_> = results

@@ -11,7 +11,17 @@ fn main() {
         println!("  {name:<10} accuracy {acc:.3}");
     }
     let engine = args.engine(world.config.seed);
-    let (results, metrics) = offline::run_with_engine(&world, &engine);
+    let opts = args.campaign_options("exp_offline");
+    let (results, metrics) = match offline::run_campaign(&world, &engine, &opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("could not open campaign journal: {e}");
+            std::process::exit(1);
+        }
+    };
+    for failure in &metrics.failures {
+        eprintln!("shard {} failed: {}", failure.label, failure.panic);
+    }
     println!("{}", results.table(Metric::Asr));
     println!("{}", results.table(Metric::Avq));
     println!("{}", results.table(Metric::Apr));

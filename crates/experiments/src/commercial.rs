@@ -2,10 +2,12 @@
 //! commercial ML AVs, keeping successful AEs for the Figure 4 learning
 //! experiment.
 
+use crate::campaign::{CampaignOptions, ShardOracle};
+use crate::journal::CampaignJournal;
 use crate::offline::{make_attack, ATTACK_NAMES};
 use crate::world::World;
 use mpass_core::attack::metrics::{summarize, AttackStats};
-use mpass_core::{Attack, HardLabelTarget};
+use mpass_core::Attack;
 use mpass_detectors::{CachedAv, Detector};
 use mpass_engine::{metrics as trace, Engine, MetricsFile, Shard};
 use serde::{Deserialize, Serialize};
@@ -61,25 +63,67 @@ impl CommercialResults {
 
 /// Run one attack against one AV, collecting successful AE bytes.
 pub fn attack_av(world: &World, attack: &mut dyn Attack, av: &dyn Detector) -> CommercialCell {
+    let label = format!("{} vs {}", attack.name(), av.name());
+    attack_av_with(world, attack, av, &label, &CampaignOptions::default(), None, 0)
+}
+
+/// [`attack_av`] with the full campaign machinery — see
+/// [`crate::offline::attack_target_with`] for the resume semantics; the
+/// collected `successful_aes` rebuild identically from journalled
+/// outcomes because the AE bytes ride along in each record.
+pub fn attack_av_with(
+    world: &World,
+    attack: &mut dyn Attack,
+    av: &dyn Detector,
+    label: &str,
+    opts: &CampaignOptions,
+    journal: Option<&CampaignJournal>,
+    shard_seed: u64,
+) -> CommercialCell {
+    if let Some(cell) = journal.and_then(|j| j.shard_cell::<CommercialCell>(label)) {
+        trace::counter("campaign/shard_resumed", 1);
+        return cell;
+    }
+    let replay_samples = !attack.stateful_across_samples();
+    let oracle = ShardOracle::build(av, opts, shard_seed);
     let samples = world.attack_set(av);
     let mut outcomes = Vec::with_capacity(samples.len());
     let mut successful_aes = Vec::new();
     for sample in samples {
-        trace::begin_sample(&sample.name);
-        let mut oracle = HardLabelTarget::new(av, world.config.max_queries);
-        let mut outcome = attack.attack(sample, &mut oracle);
+        let resumed = replay_samples
+            .then(|| journal.and_then(|j| j.sample(label, &sample.name)).cloned())
+            .flatten();
+        let mut outcome = match resumed {
+            Some(outcome) => {
+                trace::counter("campaign/sample_resumed", 1);
+                outcome
+            }
+            None => {
+                trace::begin_sample(&sample.name);
+                let mut target = oracle.target(world.config.max_queries, &opts.retry, shard_seed);
+                let outcome = attack.attack(sample, &mut target);
+                if let Some(journal) = journal {
+                    journal.record_sample(label, &outcome);
+                }
+                trace::end_sample();
+                outcome
+            }
+        };
         if let Some(ae) = outcome.adversarial.take() {
             successful_aes.push(ae);
         }
         outcomes.push(outcome);
-        trace::end_sample();
     }
-    CommercialCell {
+    let cell = CommercialCell {
         attack: attack.name().to_owned(),
         av: av.name().to_owned(),
         stats: summarize(&outcomes),
         successful_aes,
+    };
+    if let Some(journal) = journal {
+        journal.record_shard(label, &cell);
     }
+    cell
 }
 
 /// Run the full Figure 3 experiment on `engine`, one shard per
@@ -89,6 +133,22 @@ pub fn attack_av(world: &World, attack: &mut dyn Attack, av: &dyn Detector) -> C
 /// queries a memoizing [`CachedAv`] copy of its AV so the metrics file
 /// records per-shard score-cache hit rates.
 pub fn run_with_engine(world: &World, engine: &Engine) -> (CommercialResults, MetricsFile) {
+    run_campaign(world, engine, &CampaignOptions::default())
+        .expect("no journal configured, so no I/O can fail")
+}
+
+/// [`run_with_engine`] under explicit [`CampaignOptions`].
+///
+/// # Errors
+///
+/// Fails only on journal filesystem errors.
+pub fn run_campaign(
+    world: &World,
+    engine: &Engine,
+    opts: &CampaignOptions,
+) -> std::io::Result<(CommercialResults, MetricsFile)> {
+    let journal = opts.open_journal()?;
+    let journal = journal.as_ref();
     let shards: Vec<Shard<(usize, &str)>> = world
         .avs
         .iter()
@@ -99,13 +159,21 @@ pub fn run_with_engine(world: &World, engine: &Engine) -> (CommercialResults, Me
                 .map(move |attack| Shard::new(format!("{attack} vs {}", av.name()), (i, *attack)))
         })
         .collect();
-    let run = engine.run(shards, |_ctx, (av_index, attack_name)| {
+    let run = engine.run(shards, |ctx, (av_index, attack_name)| {
         let av = CachedAv::new(world.avs[av_index].clone());
         let mut attack = make_attack(world, "LightGBM", attack_name);
-        attack_av(world, attack.as_mut(), &av)
+        attack_av_with(
+            world,
+            attack.as_mut(),
+            &av,
+            ctx.label(),
+            opts,
+            journal,
+            engine.shard_seed(ctx.label()),
+        )
     });
     let metrics = MetricsFile::from_run("commercial", &run);
-    (CommercialResults { cells: run.results }, metrics)
+    Ok((CommercialResults { cells: run.results }, metrics))
 }
 
 /// Run the full Figure 3 experiment on a default engine, discarding the

@@ -1,0 +1,262 @@
+//! Crash-safe campaign journal: a write-ahead JSONL log of per-sample
+//! attack outcomes and per-shard cells.
+//!
+//! Every record is one JSON object on its own line, flushed as soon as
+//! it is complete, so a killed process loses at most the line it was in
+//! the middle of writing. On [`CampaignJournal::open`] the file is read
+//! back, a torn trailing line (no `\n`, or unparsable) is truncated
+//! away, and the surviving records become the resume state:
+//!
+//! * `{"kind":"sample","shard":…,"sample":…,"outcome":…}` — one
+//!   finished [`AttackOutcome`]. A resumed campaign replays these
+//!   instead of re-attacking (when the attack is stateless across
+//!   samples) and gets bit-identical results.
+//! * `{"kind":"shard","shard":…,"cell":…}` — a whole finished shard
+//!   cell. A resumed campaign skips the shard entirely.
+//!
+//! Journal *writes* are deliberately non-fatal: a full disk should cost
+//! resumability, not the campaign — errors go to stderr and the run
+//! continues.
+
+use mpass_core::AttackOutcome;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// An append-only JSONL journal plus the records recovered from a
+/// previous (possibly killed) run of the same campaign.
+pub struct CampaignJournal {
+    path: PathBuf,
+    writer: Mutex<BufWriter<File>>,
+    /// Finished shard cells from the previous run, by shard label.
+    shards: HashMap<String, Value>,
+    /// Finished sample outcomes from the previous run, by
+    /// `(shard label, sample name)`.
+    samples: HashMap<(String, String), AttackOutcome>,
+}
+
+impl CampaignJournal {
+    /// Open (or create) the journal at `path`, recovering every intact
+    /// record already there. A torn tail — a final line without `\n`,
+    /// or one that does not parse — is truncated off the file so the
+    /// next append starts on a clean boundary.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; recovery of a half-written file is
+    /// not an error.
+    pub fn open(path: impl Into<PathBuf>) -> std::io::Result<CampaignJournal> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut shards = HashMap::new();
+        let mut samples = HashMap::new();
+        let existing = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e),
+        };
+        let mut valid_len = 0usize;
+        for line in existing.split_inclusive('\n') {
+            // A line still being written when the process died has no
+            // terminator (or truncated JSON); everything from the first
+            // such line on is discarded.
+            if !line.ends_with('\n') {
+                break;
+            }
+            let Some(record) = parse_record(line) else { break };
+            match record {
+                Record::Sample { shard, sample, outcome } => {
+                    samples.insert((shard, sample), outcome);
+                }
+                Record::Shard { shard, cell } => {
+                    shards.insert(shard, cell);
+                }
+            }
+            valid_len += line.len();
+        }
+        if valid_len < existing.len() {
+            let file = OpenOptions::new().write(true).open(&path)?;
+            file.set_len(valid_len as u64)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(CampaignJournal {
+            path,
+            writer: Mutex::new(BufWriter::new(file)),
+            shards,
+            samples,
+        })
+    }
+
+    /// Where the journal lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append a finished sample outcome.
+    pub fn record_sample(&self, shard: &str, outcome: &AttackOutcome) {
+        self.append(Value::Map(vec![
+            ("kind".to_owned(), Value::Str("sample".to_owned())),
+            ("shard".to_owned(), Value::Str(shard.to_owned())),
+            ("sample".to_owned(), Value::Str(outcome.sample.clone())),
+            ("outcome".to_owned(), outcome.to_value()),
+        ]));
+    }
+
+    /// Append a finished shard cell.
+    pub fn record_shard(&self, shard: &str, cell: &impl Serialize) {
+        self.append(Value::Map(vec![
+            ("kind".to_owned(), Value::Str("shard".to_owned())),
+            ("shard".to_owned(), Value::Str(shard.to_owned())),
+            ("cell".to_owned(), cell.to_value()),
+        ]));
+    }
+
+    fn append(&self, record: Value) {
+        let line = match serde_json::to_string(&record) {
+            Ok(json) => json,
+            Err(e) => {
+                eprintln!("journal: could not render record: {e}");
+                return;
+            }
+        };
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        // One write_all per record, flushed immediately: the line is the
+        // atomicity unit recovery relies on.
+        if let Err(e) =
+            writer.write_all(line.as_bytes()).and_then(|()| writer.write_all(b"\n")).and_then(
+                |()| writer.flush(),
+            )
+        {
+            eprintln!("journal: could not append to {}: {e}", self.path.display());
+        }
+    }
+
+    /// A recovered sample outcome, if the previous run finished it.
+    pub fn sample(&self, shard: &str, sample: &str) -> Option<&AttackOutcome> {
+        self.samples.get(&(shard.to_owned(), sample.to_owned()))
+    }
+
+    /// Number of recovered sample outcomes across all shards.
+    pub fn recovered_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// A recovered shard cell, if the previous run finished the whole
+    /// shard. `None` both when absent and when the stored cell no
+    /// longer matches `T`'s shape.
+    pub fn shard_cell<T: Deserialize>(&self, shard: &str) -> Option<T> {
+        self.shards.get(shard).and_then(|v| T::from_value(v).ok())
+    }
+}
+
+enum Record {
+    Sample { shard: String, sample: String, outcome: AttackOutcome },
+    Shard { shard: String, cell: Value },
+}
+
+fn parse_record(line: &str) -> Option<Record> {
+    let value: Value = serde_json::from_str(line.trim_end()).ok()?;
+    let shard = String::from_value(value.get("shard")?).ok()?;
+    match value.get("kind")? {
+        Value::Str(kind) if kind == "sample" => Some(Record::Sample {
+            shard,
+            sample: String::from_value(value.get("sample")?).ok()?,
+            outcome: AttackOutcome::from_value(value.get("outcome")?).ok()?,
+        }),
+        Value::Str(kind) if kind == "shard" => {
+            Some(Record::Shard { shard, cell: value.get("cell")?.clone() })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &str, evaded: bool) -> AttackOutcome {
+        AttackOutcome {
+            sample: name.to_owned(),
+            evaded,
+            queries: 7,
+            adversarial: evaded.then(|| vec![0x4d, 0x5a, 0x90]),
+            original_size: 100,
+            final_size: 130,
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mpass-journal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn records_round_trip_across_reopen() {
+        let path = temp_path("round-trip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = CampaignJournal::open(&path).unwrap();
+            journal.record_sample("MPass vs MalConv", &outcome("mal_0001", true));
+            journal.record_sample("MPass vs MalConv", &outcome("mal_0002", false));
+            journal.record_shard("MPass vs NonNeg", &vec![1u64, 2, 3]);
+        }
+        let journal = CampaignJournal::open(&path).unwrap();
+        assert_eq!(journal.recovered_samples(), 2);
+        let first = journal.sample("MPass vs MalConv", "mal_0001").unwrap();
+        assert!(first.evaded);
+        assert_eq!(first.adversarial.as_deref(), Some(&[0x4d, 0x5a, 0x90][..]));
+        assert!(!journal.sample("MPass vs MalConv", "mal_0002").unwrap().evaded);
+        assert!(journal.sample("MPass vs MalConv", "mal_0003").is_none());
+        assert_eq!(journal.shard_cell::<Vec<u64>>("MPass vs NonNeg").unwrap(), vec![1, 2, 3]);
+        assert!(journal.shard_cell::<Vec<u64>>("MPass vs MalConv").is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_resume_cleanly() {
+        let path = temp_path("torn-tail");
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = CampaignJournal::open(&path).unwrap();
+            journal.record_sample("shard", &outcome("mal_0001", false));
+        }
+        // Simulate a kill mid-write: a record missing its newline.
+        {
+            use std::io::Write as _;
+            let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+            file.write_all(b"{\"kind\":\"sample\",\"shard\":\"shard\",\"sam").unwrap();
+        }
+        let journal = CampaignJournal::open(&path).unwrap();
+        assert_eq!(journal.recovered_samples(), 1);
+        journal.record_sample("shard", &outcome("mal_0002", true));
+        drop(journal);
+        // The torn bytes are gone; both intact records survive a reopen.
+        let reopened = CampaignJournal::open(&path).unwrap();
+        assert_eq!(reopened.recovered_samples(), 2);
+        assert!(reopened.sample("shard", "mal_0002").unwrap().evaded);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unparsable_line_discards_itself_and_the_rest() {
+        let path = temp_path("garbage");
+        std::fs::write(
+            &path,
+            "{\"kind\":\"shard\",\"shard\":\"a\",\"cell\":1}\nnot json at all\n{\"kind\":\"shard\",\"shard\":\"b\",\"cell\":2}\n",
+        )
+        .unwrap();
+        let journal = CampaignJournal::open(&path).unwrap();
+        assert_eq!(journal.shard_cell::<u64>("a"), Some(1));
+        // Everything after the corrupt line is untrusted.
+        assert_eq!(journal.shard_cell::<u64>("b"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -20,9 +20,11 @@
 
 pub mod ablation;
 pub mod advtrain;
+pub mod campaign;
 pub mod commercial;
 pub mod design;
 pub mod functionality;
+pub mod journal;
 pub mod learning;
 pub mod offline;
 pub mod packers;
@@ -31,4 +33,6 @@ pub mod report;
 pub mod table;
 pub mod world;
 
+pub use campaign::{CampaignOptions, ShardOracle};
+pub use journal::CampaignJournal;
 pub use world::{World, WorldConfig};

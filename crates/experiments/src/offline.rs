@@ -2,10 +2,12 @@
 //! against the four offline detectors, plus the §IV-A functionality
 //! verification of every generated AE.
 
+use crate::campaign::{CampaignOptions, ShardOracle};
+use crate::journal::CampaignJournal;
 use crate::world::World;
 use mpass_baselines::{Gamma, GammaConfig, Mab, MabConfig, MalRnn, MalRnnConfig, Rla, RlaConfig};
 use mpass_core::attack::metrics::{summarize, AttackStats};
-use mpass_core::{Attack, HardLabelTarget, MPassAttack, MPassConfig};
+use mpass_core::{Attack, MPassAttack, MPassConfig};
 use mpass_detectors::Detector;
 use mpass_engine::{metrics as trace, Engine, MetricsFile, Shard};
 use mpass_sandbox::Sandbox;
@@ -110,32 +112,88 @@ pub fn attack_target(
     attack: &mut dyn Attack,
     target: &dyn Detector,
 ) -> OfflineCell {
+    let label = format!("{} vs {}", attack.name(), target.name());
+    attack_target_with(world, attack, target, &label, &CampaignOptions::default(), None, 0)
+}
+
+/// [`attack_target`] with the full campaign machinery: an optionally
+/// fault-injected oracle channel, and journal-backed resume.
+///
+/// Resume operates at two granularities. A shard whose final cell is
+/// already journalled is returned wholesale (`campaign/shard_resumed`).
+/// Otherwise, when the attack carries no state across samples
+/// ([`Attack::stateful_across_samples`] is `false`), each journalled
+/// sample outcome is replayed instead of re-attacked
+/// (`campaign/sample_resumed`); a stateful attack (RLA's Q-table, MAB's
+/// arms) must re-run skipped samples to rebuild its state, so it only
+/// gets shard-level resume.
+pub fn attack_target_with(
+    world: &World,
+    attack: &mut dyn Attack,
+    target: &dyn Detector,
+    label: &str,
+    opts: &CampaignOptions,
+    journal: Option<&CampaignJournal>,
+    shard_seed: u64,
+) -> OfflineCell {
+    if let Some(cell) = journal.and_then(|j| j.shard_cell::<OfflineCell>(label)) {
+        trace::counter("campaign/shard_resumed", 1);
+        return cell;
+    }
+    let replay_samples = !attack.stateful_across_samples();
+    let oracle = ShardOracle::build(target, opts, shard_seed);
     let sandbox = Sandbox::new();
     let samples = world.attack_set(target);
     let mut outcomes = Vec::with_capacity(samples.len());
     let mut broken = 0;
     let mut checked = 0;
-    for sample in samples {
-        trace::begin_sample(&sample.name);
-        let mut oracle = HardLabelTarget::new(target, world.config.max_queries);
-        let mut outcome = attack.attack(sample, &mut oracle);
+    let mut verify = |original: &[u8], outcome: &mut mpass_core::AttackOutcome| {
         if let Some(ae) = outcome.adversarial.take() {
             checked += 1;
             let _span = trace::span("stage/verify");
-            if !sandbox.verify_functionality(&sample.bytes, &ae).is_preserved() {
+            if !sandbox.verify_functionality(original, &ae).is_preserved() {
                 broken += 1;
             }
         }
+    };
+    for sample in samples {
+        let resumed = replay_samples
+            .then(|| journal.and_then(|j| j.sample(label, &sample.name)).cloned())
+            .flatten();
+        let outcome = match resumed {
+            Some(mut outcome) => {
+                trace::counter("campaign/sample_resumed", 1);
+                verify(&sample.bytes, &mut outcome);
+                outcome
+            }
+            None => {
+                trace::begin_sample(&sample.name);
+                let mut target = oracle.target(world.config.max_queries, &opts.retry, shard_seed);
+                let mut outcome = attack.attack(sample, &mut target);
+                // Journalled before the AE is consumed by the verify
+                // step, so a resumed run can rebuild everything —
+                // including the AE bytes — from the record.
+                if let Some(journal) = journal {
+                    journal.record_sample(label, &outcome);
+                }
+                verify(&sample.bytes, &mut outcome);
+                trace::end_sample();
+                outcome
+            }
+        };
         outcomes.push(outcome);
-        trace::end_sample();
     }
-    OfflineCell {
+    let cell = OfflineCell {
         attack: attack.name().to_owned(),
         target: target.name().to_owned(),
         stats: summarize(&outcomes),
         broken,
         checked,
+    };
+    if let Some(journal) = journal {
+        journal.record_shard(label, &cell);
     }
+    cell
 }
 
 /// Build one named attack of the roster for a campaign against
@@ -172,6 +230,25 @@ pub fn attack_roster<'a>(world: &'a World, target_name: &str) -> Vec<Box<dyn Att
 /// unit because RLA and MAB carry learned state across samples within one
 /// campaign.
 pub fn run_with_engine(world: &World, engine: &Engine) -> (OfflineResults, MetricsFile) {
+    run_campaign(world, engine, &CampaignOptions::default())
+        .expect("no journal configured, so no I/O can fail")
+}
+
+/// [`run_with_engine`] under explicit [`CampaignOptions`]: fault
+/// injection on the oracle channel and/or a crash-safe resume journal.
+///
+/// # Errors
+///
+/// Fails only on journal filesystem errors (opening or recovering it);
+/// the attack campaigns themselves cannot fail, only panic — and a
+/// panicking shard is isolated into the metrics file's failure list.
+pub fn run_campaign(
+    world: &World,
+    engine: &Engine,
+    opts: &CampaignOptions,
+) -> std::io::Result<(OfflineResults, MetricsFile)> {
+    let journal = opts.open_journal()?;
+    let journal = journal.as_ref();
     let shards: Vec<Shard<(&str, &str)>> = world
         .offline_targets()
         .iter()
@@ -181,17 +258,25 @@ pub fn run_with_engine(world: &World, engine: &Engine) -> (OfflineResults, Metri
             })
         })
         .collect();
-    let run = engine.run(shards, |_ctx, (attack_name, target_name)| {
+    let run = engine.run(shards, |ctx, (attack_name, target_name)| {
         let (_, det) = world
             .offline_targets()
             .into_iter()
             .find(|(n, _)| *n == target_name)
             .expect("shard names a roster target");
         let mut attack = make_attack(world, target_name, attack_name);
-        attack_target(world, attack.as_mut(), det)
+        attack_target_with(
+            world,
+            attack.as_mut(),
+            det,
+            ctx.label(),
+            opts,
+            journal,
+            engine.shard_seed(ctx.label()),
+        )
     });
     let metrics = MetricsFile::from_run("offline", &run);
-    (OfflineResults { cells: run.results }, metrics)
+    Ok((OfflineResults { cells: run.results }, metrics))
 }
 
 /// Run the full offline comparison on a default engine, discarding the
@@ -247,5 +332,34 @@ mod tests {
         let (cells_parallel, labels_parallel) = run_at(4);
         assert_eq!(cells_serial, cells_parallel);
         assert_eq!(labels_serial, labels_parallel);
+    }
+
+    /// A resumed campaign over a complete journal replays every shard
+    /// from the record and reproduces the results bit-identically.
+    #[test]
+    fn journalled_campaign_resumes_identically() {
+        let mut cfg = WorldConfig::quick();
+        cfg.attack_samples = 2;
+        let world = World::build(cfg);
+        let engine = Engine::new(mpass_engine::EngineConfig { workers: 2, seed: 5 });
+        let path = std::env::temp_dir()
+            .join(format!("mpass-offline-resume-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let opts =
+            CampaignOptions { journal: Some(path.clone()), ..CampaignOptions::default() };
+        let (first, _) = run_campaign(&world, &engine, &opts).unwrap();
+
+        let resume = CampaignOptions { resume: true, ..opts };
+        let (second, metrics) = run_campaign(&world, &engine, &resume).unwrap();
+        assert_eq!(format!("{:?}", first.cells), format!("{:?}", second.cells));
+        let resumed: u64 = metrics
+            .shards
+            .iter()
+            .filter_map(|s| s.counters.get("campaign/shard_resumed"))
+            .sum();
+        assert_eq!(resumed as usize, second.cells.len(), "every shard replays from journal");
+        // No shard re-queried the oracle.
+        assert!(metrics.shards.iter().all(|s| !s.counters.contains_key("queries")));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -35,7 +35,9 @@ pub fn save_metrics(results_path: &Path, metrics: &mpass_engine::MetricsFile) {
 }
 
 /// Parse `--quick` / `--samples N` / `--workers N` style CLI flags shared
-/// by the binaries.
+/// by the binaries, plus the robustness flags `--faults SEED` (inject a
+/// deterministic oracle fault schedule) and `--resume` (continue a
+/// killed run from its journal).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CliArgs {
     /// Use the down-scaled world.
@@ -45,6 +47,10 @@ pub struct CliArgs {
     /// Engine worker threads (`None`/0 = one per shard up to the core
     /// count).
     pub workers: Option<usize>,
+    /// Seed for oracle fault injection (`None` = reliable oracle).
+    pub faults: Option<u64>,
+    /// Resume from the experiment's journal instead of restarting it.
+    pub resume: bool,
 }
 
 impl CliArgs {
@@ -52,13 +58,35 @@ impl CliArgs {
     pub fn parse() -> CliArgs {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick");
+        let resume = args.iter().any(|a| a == "--resume");
         let grab = |flag: &str| {
             args.iter()
                 .position(|a| a == flag)
                 .and_then(|i| args.get(i + 1))
                 .and_then(|v| v.parse().ok())
         };
-        CliArgs { quick, samples: grab("--samples"), workers: grab("--workers") }
+        CliArgs {
+            quick,
+            samples: grab("--samples"),
+            workers: grab("--workers"),
+            faults: grab("--faults").map(|n: usize| n as u64),
+            resume,
+        }
+    }
+
+    /// The campaign options this invocation asked for. Journalling is
+    /// always on for campaign-capable runners: the write-ahead log at
+    /// `results/<experiment>.journal.jsonl` is what `--resume` picks up
+    /// after a crash or kill.
+    pub fn campaign_options(&self, experiment: &str) -> crate::campaign::CampaignOptions {
+        crate::campaign::CampaignOptions {
+            faults: self.faults.map(mpass_detectors::FaultProfile::seeded),
+            retry: mpass_engine::RetryPolicy::default(),
+            journal: Some(
+                Path::new(RESULTS_DIR).join(format!("{experiment}.journal.jsonl")),
+            ),
+            resume: self.resume,
+        }
     }
 
     /// Materialize the world configuration this invocation asked for.

@@ -161,13 +161,13 @@ mod tests {
         let mut buf = ParamBuf::new(vec![0.0; 4]);
         let adam = Adam::with_lr(0.05);
         for _ in 0..2000 {
-            for i in 0..4 {
-                buf.g[i] = 2.0 * (buf.w[i] - target[i]);
+            for (i, t) in target.iter().enumerate() {
+                buf.g[i] = 2.0 * (buf.w[i] - t);
             }
             adam.step(&mut buf);
         }
-        for i in 0..4 {
-            assert!((buf.w[i] - target[i]).abs() < 1e-2);
+        for (i, t) in target.iter().enumerate() {
+            assert!((buf.w[i] - t).abs() < 1e-2);
         }
     }
 }

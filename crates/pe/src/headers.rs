@@ -428,8 +428,7 @@ mod tests {
 
     #[test]
     fn optional_rejects_zero_alignment() {
-        let mut h = OptionalHeader::default();
-        h.file_alignment = 0;
+        let h = OptionalHeader { file_alignment: 0, ..OptionalHeader::default() };
         let mut buf = Vec::new();
         h.write(&mut buf);
         assert!(matches!(
