@@ -18,10 +18,11 @@
 //! distance of `e(b − original)` to the key state.
 
 use crate::modify::{CoupledByte, ModifiedSample};
-use mpass_detectors::{DetectorExt, WhiteBoxModel};
+use mpass_detectors::{benign_loss, DetectorExt, WhiteBoxModel, WhiteBoxSession};
 use mpass_engine::metrics as trace;
 use mpass_ml::{Adam, ParamBuf};
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// Optimizer hyper-parameters. The paper uses Adam with η = 0.01 and
 /// γ = 50 iterations; this reproduction spends a smaller per-round budget
@@ -42,6 +43,24 @@ impl Default for OptimizerConfig {
     }
 }
 
+/// Index of the first minimum of `vals` under a strict-`<` first-win scan,
+/// or `None` when nothing compares below +∞. Split into a min-reduction
+/// and a first-equal scan so both passes vectorize; the selected index is
+/// identical to the branchy scan's (`==` pairs ±0.0, and NaNs lose every
+/// comparison in both formulations).
+fn argmin256(vals: &[f32; 256]) -> Option<usize> {
+    let mut best = f32::INFINITY;
+    for &d in vals.iter() {
+        if d < best {
+            best = d;
+        }
+    }
+    if best == f32::INFINITY {
+        return None;
+    }
+    vals.iter().position(|&d| d == best)
+}
+
 /// One optimizable variable of Eq. 2.
 #[derive(Debug, Clone, Copy)]
 enum Var {
@@ -56,9 +75,26 @@ struct ModelState {
     z: ParamBuf,
     dim: usize,
     window: usize,
+    /// `‖e(b)‖²` for every candidate byte `b`, precomputed once: the
+    /// mapping step ranks candidates by `‖e(b)‖² − 2⟨e(b), z⟩`, which
+    /// orders identically to `‖e(b) − z‖²` (the `‖z‖²` term is constant
+    /// per slot) without forming the difference vector.
+    norms: Vec<f32>,
+    /// Transposed embedding columns `et[c · 256 + b] = e(b)[c]`: the
+    /// candidate sweep walks 256-wide contiguous rows (one axpy per
+    /// embedding component) instead of 256 strided `dim`-length dots, so
+    /// the compiler vectorizes across candidates. Accumulating component
+    /// by component reproduces the sequential-dot rounding exactly.
+    et: Vec<f32>,
 }
 
 /// The ensemble optimizer over one [`ModifiedSample`].
+///
+/// Holds one warm [`WhiteBoxSession`] per model: across the gradient
+/// iterations (and across repeated [`EnsembleOptimizer::run`] calls of an
+/// attack's query rounds) only the bytes the mapping step rewrote are
+/// marked dirty, so each model re-scores a handful of conv windows instead
+/// of its whole input window.
 pub struct EnsembleOptimizer<'a> {
     models: Vec<&'a dyn WhiteBoxModel>,
     cfg: OptimizerConfig,
@@ -67,6 +103,11 @@ pub struct EnsembleOptimizer<'a> {
     slot_offsets: Vec<usize>,
     states: Vec<ModelState>,
     adam: Adam,
+    sessions: Vec<Box<dyn WhiteBoxSession + 'a>>,
+    /// Byte spans rewritten since the sessions last scored the sample.
+    dirty: Vec<Range<usize>>,
+    /// Reusable input-gradient buffer shared across models and iterations.
+    grad: Vec<f32>,
 }
 
 impl<'a> EnsembleOptimizer<'a> {
@@ -103,9 +144,22 @@ impl<'a> EnsembleOptimizer<'a> {
                     let byte = sample.bytes[off] as usize;
                     z.extend_from_slice(m.embedding().vector(byte));
                 }
-                ModelState { z: ParamBuf::new(z), dim, window: m.window() }
+                let mut et = vec![0.0f32; dim * 256];
+                for b in 0..256 {
+                    for (c, &v) in m.embedding().vector(b).iter().enumerate() {
+                        et[c * 256 + b] = v;
+                    }
+                }
+                ModelState {
+                    z: ParamBuf::new(z),
+                    dim,
+                    window: m.window(),
+                    norms: m.embedding().squared_norms(256),
+                    et,
+                }
             })
             .collect();
+        let sessions = models.iter().map(|&m| m.session()).collect();
         EnsembleOptimizer {
             models,
             adam: Adam::with_lr(cfg.lr),
@@ -113,6 +167,9 @@ impl<'a> EnsembleOptimizer<'a> {
             vars,
             slot_offsets,
             states,
+            sessions,
+            dirty: Vec::new(),
+            grad: Vec::new(),
         }
     }
 
@@ -141,29 +198,80 @@ impl<'a> EnsembleOptimizer<'a> {
     }
 
     /// Current ensemble loss (sum of per-model benign-direction losses).
+    /// A pure forward pass — no gradients, no sessions touched.
     pub fn ensemble_loss(&self, bytes: &[u8]) -> f32 {
-        self.models.iter().map(|m| m.benign_loss_and_grad(bytes).0).sum()
+        self.models.iter().map(|m| benign_loss(m.raw_score(bytes))).sum()
     }
 
-    /// Squared distance of token `b`'s embedding to slot `slot` of `state`.
-    fn slot_distance(
-        &self,
-        model: &dyn WhiteBoxModel,
-        state: &ModelState,
-        slot: usize,
-        token: usize,
-    ) -> f32 {
-        if self.slot_offsets[slot] >= state.window {
-            return 0.0; // invisible to this model
+    /// Fill `scores[b]` with `Σ_F ‖e_F(b)‖² − 2⟨e_F(b), z_F[slot]⟩` over
+    /// the models that can see `slot` — the joint nearest-token objective
+    /// up to a per-slot constant. One norm-table sweep per (model, slot),
+    /// shared by free variables and both halves of a coupled pair.
+    fn fill_slot_scores(&self, slot: usize, scores: &mut [f32; 256]) {
+        let mut acc = [0.0f32; 256];
+        let mut first = true;
+        for state in &self.states {
+            if self.slot_offsets[slot] >= state.window {
+                continue; // invisible to this model
+            }
+            let z = &state.z.w[slot * state.dim..(slot + 1) * state.dim];
+            // acc[b] = ⟨e(b), z⟩, accumulated component-by-component over
+            // contiguous transposed columns — the same left-associated
+            // addition sequence as a per-candidate sequential dot, but 256
+            // candidates per vectorized pass. The ubiquitous dim = 4 case
+            // fuses all components and the norm combine into one pass so
+            // the accumulator never round-trips through memory.
+            if let [z0, z1, z2, z3] = *z {
+                let (c0, rest) = state.et.split_at(256);
+                let (c1, rest) = rest.split_at(256);
+                let (c2, c3) = rest.split_at(256);
+                let it = scores
+                    .iter_mut()
+                    .zip(&state.norms)
+                    .zip(c0.iter().zip(c1).zip(c2.iter().zip(c3)));
+                if first {
+                    for ((s, &n), ((&e0, &e1), (&e2, &e3))) in it {
+                        let a = e0 * z0 + e1 * z1 + e2 * z2 + e3 * z3;
+                        *s = n - 2.0 * a;
+                    }
+                } else {
+                    for ((s, &n), ((&e0, &e1), (&e2, &e3))) in it {
+                        let a = e0 * z0 + e1 * z1 + e2 * z2 + e3 * z3;
+                        *s += n - 2.0 * a;
+                    }
+                }
+                first = false;
+                continue;
+            }
+            for (c, &zc) in z.iter().enumerate() {
+                let col = &state.et[c * 256..(c + 1) * 256];
+                if c == 0 {
+                    for (a, &e) in acc.iter_mut().zip(col) {
+                        *a = e * zc;
+                    }
+                } else {
+                    for (a, &e) in acc.iter_mut().zip(col) {
+                        *a += e * zc;
+                    }
+                }
+            }
+            if state.dim == 0 {
+                acc.fill(0.0);
+            }
+            if first {
+                for ((s, &n), &a) in scores.iter_mut().zip(&state.norms).zip(&acc) {
+                    *s = n - 2.0 * a;
+                }
+                first = false;
+            } else {
+                for ((s, &n), &a) in scores.iter_mut().zip(&state.norms).zip(&acc) {
+                    *s += n - 2.0 * a;
+                }
+            }
         }
-        let e = model.embedding().vector(token);
-        let z = &state.z.w[slot * state.dim..(slot + 1) * state.dim];
-        let mut d = 0.0;
-        for (ei, zi) in e.iter().zip(z) {
-            let diff = ei - zi;
-            d += diff * diff;
+        if first {
+            scores.fill(0.0); // slot invisible to every model
         }
-        d
     }
 
     /// Run `cfg.iterations` gradient iterations, mutating the sample's
@@ -171,65 +279,87 @@ impl<'a> EnsembleOptimizer<'a> {
     /// the final mapping step. Each iteration's pre-step ensemble loss is
     /// recorded to the `optimize/loss` metrics series, giving the sink a
     /// loss curve per shard at no extra inference cost.
+    ///
+    /// Inference runs through warm per-model sessions: between calls the
+    /// optimizer remembers which bytes it rewrote, so `sample.bytes` must
+    /// not be mutated by anyone else while this optimizer is alive (the
+    /// attack loop only *queries* between rounds, which is read-only).
     pub fn run(&mut self, sample: &mut ModifiedSample) -> f32 {
+        let mut cover_scores = [0.0f32; 256];
+        let mut key_scores = [0.0f32; 256];
+        let mut rotated = [0.0f32; 256];
+        let mut combined = [0.0f32; 256];
         for _ in 0..self.cfg.iterations {
-            // Gradient step on every model's embedding-space state.
+            // Gradient step on every model's embedding-space state. Only
+            // the windows overlapping bytes rewritten by the previous
+            // mapping step are recomputed.
             let mut iteration_loss = 0.0f32;
-            for (m, state) in self.models.iter().zip(&mut self.states) {
-                let (loss, grad) = m.benign_loss_and_grad(&sample.bytes);
+            for (sess, state) in self.sessions.iter_mut().zip(&mut self.states) {
+                let loss = sess.loss_grad_delta(&sample.bytes, &self.dirty, &mut self.grad);
                 iteration_loss += loss;
                 for (slot, &off) in self.slot_offsets.iter().enumerate() {
                     if off >= state.window {
                         continue;
                     }
-                    let g = &grad[off * state.dim..(off + 1) * state.dim];
+                    let g = &self.grad[off * state.dim..(off + 1) * state.dim];
                     state.z.g[slot * state.dim..(slot + 1) * state.dim].copy_from_slice(g);
                 }
                 self.adam.step(&mut state.z);
             }
+            self.dirty.clear(); // every session has now seen those spans
             trace::series("optimize/loss", f64::from(iteration_loss));
             // Map back to bytes, jointly over models and (for coupled
             // variables) jointly over the cover and the induced key byte.
-            for var in &self.vars {
-                match *var {
+            for vi in 0..self.vars.len() {
+                match self.vars[vi] {
                     Var::Free { off, slot } => {
-                        let mut best = sample.bytes[off];
-                        let mut best_d = f32::INFINITY;
-                        for b in 0u16..=255 {
-                            let mut d = 0.0;
-                            for (m, state) in self.models.iter().zip(&self.states) {
-                                d += self.slot_distance(*m, state, slot, b as usize);
-                            }
-                            if d < best_d {
-                                best_d = d;
-                                best = b as u8;
-                            }
+                        self.fill_slot_scores(slot, &mut cover_scores);
+                        let best = argmin256(&cover_scores)
+                            .map_or(sample.bytes[off], |b| b as u8);
+                        if best != sample.bytes[off] {
+                            sample.bytes[off] = best;
+                            self.dirty.push(off..off + 1);
                         }
-                        sample.bytes[off] = best;
                     }
                     Var::Coupled { pair, cover_slot, key_slot } => {
-                        let mut best = sample.bytes[pair.cover_offset];
-                        let mut best_d = f32::INFINITY;
-                        for b in 0u16..=255 {
-                            let key = (b as u8).wrapping_sub(pair.original);
-                            let mut d = 0.0;
-                            for (m, state) in self.models.iter().zip(&self.states) {
-                                d += self.slot_distance(*m, state, cover_slot, b as usize);
-                                d += self.slot_distance(*m, state, key_slot, key as usize);
-                            }
-                            if d < best_d {
-                                best_d = d;
-                                best = b as u8;
-                            }
+                        self.fill_slot_scores(cover_slot, &mut cover_scores);
+                        self.fill_slot_scores(key_slot, &mut key_scores);
+                        // Candidate `b` induces key `b − original`, so the
+                        // key scores seen along the candidate axis are a
+                        // rotation of `key_scores` — realign once and the
+                        // joint objective is an elementwise sum instead of
+                        // a per-candidate gather.
+                        let o = pair.original as usize;
+                        let split = 256 - o;
+                        rotated[..o].copy_from_slice(&key_scores[split..]);
+                        rotated[o..].copy_from_slice(&key_scores[..split]);
+                        for ((d, &c), &k) in
+                            combined.iter_mut().zip(&cover_scores).zip(&rotated)
+                        {
+                            *d = c + k;
                         }
-                        sample.bytes[pair.cover_offset] = best;
-                        sample.bytes[pair.key_offset] =
-                            crate::recovery::rekey(best, pair.original);
+                        let best = argmin256(&combined)
+                            .map_or(sample.bytes[pair.cover_offset], |b| b as u8);
+                        if best != sample.bytes[pair.cover_offset] {
+                            sample.bytes[pair.cover_offset] = best;
+                            sample.bytes[pair.key_offset] =
+                                crate::recovery::rekey(best, pair.original);
+                            self.dirty.push(pair.cover_offset..pair.cover_offset + 1);
+                            self.dirty.push(pair.key_offset..pair.key_offset + 1);
+                        }
                     }
                 }
             }
         }
-        self.ensemble_loss(&sample.bytes)
+        // Final loss through the same incremental sessions — the mapping
+        // step's spans are still dirty, so this re-scores a few windows
+        // instead of re-running every model end to end.
+        let mut total = 0.0;
+        for sess in &mut self.sessions {
+            total += benign_loss(sess.score_delta(&sample.bytes, &self.dirty));
+        }
+        self.dirty.clear();
+        total
     }
 }
 

@@ -14,16 +14,23 @@
 //!
 //! Sections are identified by their semantic [`SectionKind`] so that the
 //! ranking aggregates across samples with hostile/unusual section names.
+//!
+//! The subset sweep is engine-parallel (one shard per model × sample) and
+//! allocation-light: each shard serializes its PE once, patches only the
+//! spans whose keep-bit flipped between masks, and — for white-box models
+//! — re-scores through an incremental [`WhiteBoxSession`] that recomputes
+//! only the conv windows overlapping the flipped spans.
 
 use mpass_corpus::Sample;
-use mpass_detectors::Detector;
+use mpass_detectors::{DetectorExt, WhiteBoxSession};
 use mpass_engine::metrics as trace;
+use mpass_engine::{Engine, EngineConfig, Shard};
 use mpass_pe::{PeFile, SectionKind};
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// PEM configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,35 +101,155 @@ pub struct PemReport {
     pub common_critical: Vec<SectionKind>,
 }
 
-/// Byte image of the sample with all sections *not* in `mask` ablated
-/// (zeroed in place).
-fn ablated_bytes(pe: &PeFile, keep_mask: u64) -> Vec<u8> {
-    let mut ablated = pe.clone();
-    for (i, s) in ablated.sections_mut().iter_mut().enumerate() {
-        if keep_mask & (1u64 << i) == 0 {
-            s.data_mut().iter_mut().for_each(|b| *b = 0);
+/// The sections a sample's subset masks may ablate. Subsets are tracked as
+/// bits of a `u64`, so at most 64 sections participate; on section-richer
+/// (hostile) files the largest 64 by raw size are tracked and the rest are
+/// permanent background — always kept, φ = 0. Real PEs have well under 64
+/// sections, so the fallback only triggers on adversarial inputs that
+/// would previously overflow the `1u64 << i` shift.
+fn tracked_sections(sizes: &[usize]) -> Vec<usize> {
+    if sizes.len() <= 64 {
+        return (0..sizes.len()).collect();
+    }
+    let mut idx: Vec<usize> = (0..sizes.len()).collect();
+    idx.sort_by_key(|&i| std::cmp::Reverse(sizes[i]));
+    idx.truncate(64);
+    // Back to file order so bit positions are stable and deterministic.
+    idx.sort_unstable();
+    idx
+}
+
+/// Reusable ablation workspace over one sample: the PE is serialized
+/// *once*, each section's raw-data span in the image is cached, and
+/// successive masks only flip the spans whose keep-bit changed — no
+/// per-mask `PeFile` clone or re-serialization. Zeroing a section's span
+/// in the serialized image is exactly equivalent to zeroing its data and
+/// re-serializing, because [`PeFile::to_bytes`] writes each section's
+/// bytes verbatim at `pointer_to_raw_data` and nothing else depends on
+/// section contents.
+struct AblationPlan {
+    /// The fully-populated serialized image (every section present).
+    baseline: Vec<u8>,
+    /// Per-section occupied raw-data spans in the image.
+    spans: Vec<Range<usize>>,
+    /// Section indices the masks may ablate (bit `b` ↔ `tracked[b]`).
+    tracked: Vec<usize>,
+    /// `baseline` with `cur` applied; patched incrementally per mask.
+    scratch: Vec<u8>,
+    /// Keep-mask currently materialized in `scratch`.
+    cur: u64,
+}
+
+impl AblationPlan {
+    fn new(pe: &PeFile) -> Self {
+        let baseline = pe.to_bytes();
+        let spans: Vec<Range<usize>> = pe
+            .sections()
+            .iter()
+            .map(|s| {
+                let start = s.header().pointer_to_raw_data as usize;
+                let n = s.data().len().min(s.header().size_of_raw_data as usize);
+                start..start + n
+            })
+            .collect();
+        let sizes: Vec<usize> = spans.iter().map(|r| r.len()).collect();
+        let scratch = baseline.clone();
+        AblationPlan {
+            baseline,
+            spans,
+            tracked: tracked_sections(&sizes),
+            scratch,
+            cur: u64::MAX, // scratch starts with every section kept
         }
     }
-    ablated.to_bytes()
+
+    /// Number of ablatable sections (mask bit count).
+    fn n(&self) -> usize {
+        self.tracked.len()
+    }
+
+    /// Image with the tracked sections *not* in `keep_mask` zeroed. Only
+    /// sections whose bit differs from the previously materialized mask
+    /// are touched.
+    fn ablated(&mut self, keep_mask: u64) -> &[u8] {
+        let diff = self.cur ^ keep_mask;
+        for (b, &sec) in self.tracked.iter().enumerate() {
+            if diff & (1u64 << b) == 0 {
+                continue;
+            }
+            let span = self.spans[sec].clone();
+            if keep_mask & (1u64 << b) != 0 {
+                self.scratch[span.clone()].copy_from_slice(&self.baseline[span]);
+            } else {
+                self.scratch[span].fill(0);
+            }
+        }
+        self.cur = keep_mask;
+        &self.scratch
+    }
+}
+
+/// Memoized margin scorer for one (model, sample) pair.
+///
+/// White-box models score each new mask through a warm incremental
+/// [`WhiteBoxSession`]: the flipped sections' spans are handed to the
+/// session as dirty ranges, so only conv windows overlapping them are
+/// recomputed — and sections past the model's input window cost nothing
+/// at all. Detectors without a white-box interface fall back to a full
+/// `raw_score` over the patched image. Either way the PE is serialized
+/// once ([`AblationPlan`]) and each mask only flips changed spans.
+struct SampleScorer<'m> {
+    model: &'m dyn DetectorExt,
+    plan: AblationPlan,
+    /// Warm incremental session; `None` for black-box-only detectors.
+    /// Its last-seen bytes always equal `plan.scratch` (the plan is only
+    /// patched on cache misses, which always re-score).
+    session: Option<Box<dyn WhiteBoxSession + 'm>>,
+    cache: HashMap<u64, f64>,
+    dirty: Vec<Range<usize>>,
+}
+
+impl<'m> SampleScorer<'m> {
+    fn new(model: &'m dyn DetectorExt, pe: &PeFile) -> Self {
+        SampleScorer {
+            model,
+            plan: AblationPlan::new(pe),
+            session: model.as_white_box().map(|m| m.session()),
+            cache: HashMap::new(),
+            dirty: Vec::new(),
+        }
+    }
+
+    /// Memoized margin of the model on the mask's ablated image.
+    fn score(&mut self, mask: u64) -> f64 {
+        if let Some(&v) = self.cache.get(&mask) {
+            trace::counter("pem/cache_hit", 1);
+            return v;
+        }
+        trace::counter("pem/cache_miss", 1);
+        let v = match &mut self.session {
+            Some(sess) => {
+                self.dirty.clear();
+                let diff = self.plan.cur ^ mask;
+                for (b, &sec) in self.plan.tracked.iter().enumerate() {
+                    if diff & (1u64 << b) != 0 {
+                        self.dirty.push(self.plan.spans[sec].clone());
+                    }
+                }
+                f64::from(sess.score_delta(self.plan.ablated(mask), &self.dirty))
+            }
+            None => f64::from(self.model.raw_score(self.plan.ablated(mask))),
+        };
+        self.cache.insert(mask, v);
+        v
+    }
 }
 
 /// Exact Shapley values over the sample's sections for one model, via
-/// subset enumeration with score memoization.
-fn shapley_exact(model: &dyn Detector, pe: &PeFile) -> Vec<f64> {
-    let n = pe.sections().len();
-    let mut score_cache: HashMap<u64, f64> = HashMap::new();
-    let f = |mask: u64, cache: &mut HashMap<u64, f64>| -> f64 {
-        match cache.entry(mask) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                trace::counter("pem/cache_hit", 1);
-                *e.get()
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                trace::counter("pem/cache_miss", 1);
-                *e.insert(model.raw_score(&ablated_bytes(pe, mask)) as f64)
-            }
-        }
-    };
+/// subset enumeration with score memoization. The returned vector is
+/// indexed by *section* (untracked background sections get φ = 0).
+fn shapley_exact(scorer: &mut SampleScorer, n_sections: usize) -> Vec<f64> {
+    let n = scorer.plan.n();
     // Precompute factorials for the Shapley weights.
     let fact: Vec<f64> = (0..=n).scan(1.0f64, |acc, i| {
         if i > 0 {
@@ -131,8 +258,9 @@ fn shapley_exact(model: &dyn Detector, pe: &PeFile) -> Vec<f64> {
         Some(*acc)
     })
     .collect();
-    let mut phi = vec![0.0f64; n];
-    for (i, phi_i) in phi.iter_mut().enumerate() {
+    let mut phi = vec![0.0f64; n_sections];
+    for i in 0..n {
+        let mut phi_i = 0.0f64;
         let others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
         for sub in 0u64..(1u64 << others.len()) {
             let mut mask = 0u64;
@@ -144,80 +272,93 @@ fn shapley_exact(model: &dyn Detector, pe: &PeFile) -> Vec<f64> {
                 }
             }
             let w = fact[size] * fact[n - size - 1] / fact[n];
-            let with = f(mask | (1 << i), &mut score_cache);
-            let without = f(mask, &mut score_cache);
-            *phi_i += w * (with - without);
+            let with = scorer.score(mask | (1 << i));
+            let without = scorer.score(mask);
+            phi_i += w * (with - without);
         }
+        phi[scorer.plan.tracked[i]] = phi_i;
     }
     phi
 }
 
 /// Monte-Carlo Shapley via permutation sampling (for section-rich samples).
 fn shapley_sampled(
-    model: &dyn Detector,
-    pe: &PeFile,
+    scorer: &mut SampleScorer,
+    n_sections: usize,
     permutations: usize,
     rng: &mut ChaCha8Rng,
 ) -> Vec<f64> {
-    let n = pe.sections().len();
-    let mut score_cache: HashMap<u64, f64> = HashMap::new();
-    let f = |mask: u64, cache: &mut HashMap<u64, f64>| -> f64 {
-        match cache.entry(mask) {
-            std::collections::hash_map::Entry::Occupied(e) => {
-                trace::counter("pem/cache_hit", 1);
-                *e.get()
-            }
-            std::collections::hash_map::Entry::Vacant(e) => {
-                trace::counter("pem/cache_miss", 1);
-                *e.insert(model.raw_score(&ablated_bytes(pe, mask)) as f64)
-            }
-        }
-    };
+    let n = scorer.plan.n();
     let mut phi = vec![0.0f64; n];
     let mut order: Vec<usize> = (0..n).collect();
     for _ in 0..permutations {
         order.shuffle(rng);
         let mut mask = 0u64;
-        let mut prev = f(mask, &mut score_cache);
+        let mut prev = scorer.score(mask);
         for &i in &order {
             mask |= 1 << i;
-            let cur = f(mask, &mut score_cache);
+            let cur = scorer.score(mask);
             phi[i] += cur - prev;
             prev = cur;
         }
     }
-    for p in &mut phi {
-        *p /= permutations as f64;
+    let mut out = vec![0.0f64; n_sections];
+    for (i, p) in phi.into_iter().enumerate() {
+        out[scorer.plan.tracked[i]] = p / permutations as f64;
     }
-    phi
+    out
 }
 
 /// Run Algorithm 1 over `samples` (the `C` population of randomly sampled
 /// malware) against `models` (the known models `K`).
 pub fn run_pem(
-    models: &[(&str, &dyn Detector)],
+    models: &[(&str, &dyn DetectorExt)],
     samples: &[&Sample],
     cfg: &PemConfig,
 ) -> PemReport {
     let _span = trace::span("stage/pem");
+    // One engine shard per (model, sample) pair: every pair serializes its
+    // own ablation plan once and scores independently, so the sweep
+    // parallelizes across the worker pool. Shard RNGs are keyed on the
+    // (model, sample) label — deterministic for any worker count.
+    let mut shards = Vec::with_capacity(models.len() * samples.len());
+    for (mi, (name, _)) in models.iter().enumerate() {
+        for (si, sample) in samples.iter().enumerate() {
+            shards.push(Shard::new(format!("pem/{name}/{}", sample.name), (mi, si)));
+        }
+    }
+    let engine = Engine::new(EngineConfig { workers: 0, seed: cfg.seed });
+    let run = engine.run(shards, |ctx, (mi, si): (usize, usize)| {
+        let pe = &samples[si].pe;
+        let mut scorer = SampleScorer::new(models[mi].1, pe);
+        let n_sections = pe.sections().len();
+        if scorer.plan.n() <= cfg.max_exact_sections {
+            shapley_exact(&mut scorer, n_sections)
+        } else {
+            shapley_sampled(&mut scorer, n_sections, cfg.permutations, &mut ctx.rng)
+        }
+    });
+    assert!(run.is_complete(), "PEM shard panicked: {:?}", run.failures);
+    // Shard-local memoization counters fold back into the caller's
+    // collector so the pem/cache_* series survive the move off-thread.
+    for sm in &run.shard_metrics {
+        for key in ["pem/cache_hit", "pem/cache_miss"] {
+            if let Some(&v) = sm.counters.get(key) {
+                trace::counter(key, v);
+            }
+        }
+    }
     let mut per_model = Vec::with_capacity(models.len());
-    for (name, model) in models {
+    for (mi, (name, _)) in models.iter().enumerate() {
         // mean Shapley per kind across the population; kinds absent from a
         // sample contribute φ = 0 (Algorithm 1's else-branch).
         let mut sums: HashMap<SectionKind, f64> = HashMap::new();
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        for sample in samples {
-            let pe = &sample.pe;
-            let n = pe.sections().len();
-            let phi = if n <= cfg.max_exact_sections {
-                shapley_exact(*model, pe)
-            } else {
-                shapley_sampled(*model, pe, cfg.permutations, &mut rng)
-            };
+        for (si, sample) in samples.iter().enumerate() {
+            let phi = &run.results[mi * samples.len() + si];
             // Sum per kind within the sample (a sample may have several
             // sections of one kind).
             let mut per_kind: HashMap<SectionKind, f64> = HashMap::new();
-            for (s, p) in pe.sections().iter().zip(&phi) {
+            for (s, p) in sample.pe.sections().iter().zip(phi) {
                 *per_kind.entry(s.kind()).or_insert(0.0) += p;
             }
             for (kind, v) in per_kind {
@@ -263,6 +404,8 @@ pub fn run_pem(
 mod tests {
     use super::*;
     use mpass_corpus::{CorpusConfig, Dataset};
+    use mpass_detectors::Detector;
+    use rand::SeedableRng;
 
     /// A synthetic detector that only looks at the data section's entropy
     /// and the code section's suspicious opcodes — so PEM must rank code
@@ -293,6 +436,8 @@ mod tests {
         }
     }
 
+    impl DetectorExt for CodeDataOracle {}
+
     #[test]
     fn pem_finds_code_and_data_for_an_oracle() {
         let ds = Dataset::generate(&CorpusConfig {
@@ -303,7 +448,7 @@ mod tests {
         });
         let samples: Vec<&Sample> = ds.malware();
         let oracle = CodeDataOracle;
-        let models: Vec<(&str, &dyn Detector)> = vec![("oracle", &oracle)];
+        let models: Vec<(&str, &dyn DetectorExt)> = vec![("oracle", &oracle)];
         let report = run_pem(&models, &samples, &PemConfig::default());
         let top2 = report.per_model[0].top_k(2);
         assert!(top2.contains(&SectionKind::Code), "top2 = {top2:?}");
@@ -323,9 +468,10 @@ mod tests {
         });
         let pe = &ds.samples[0].pe;
         let oracle = CodeDataOracle;
-        let phi = shapley_exact(&oracle, pe);
-        let full = oracle.score(&ablated_bytes(pe, u64::MAX)) as f64;
-        let none = oracle.score(&ablated_bytes(pe, 0)) as f64;
+        let mut scorer = SampleScorer::new(&oracle, pe);
+        let phi = shapley_exact(&mut scorer, pe.sections().len());
+        let full = oracle.score(&scorer.plan.ablated(u64::MAX).to_vec()) as f64;
+        let none = oracle.score(&scorer.plan.ablated(0).to_vec()) as f64;
         let sum: f64 = phi.iter().sum();
         assert!((sum - (full - none)).abs() < 1e-6, "sum {sum} vs {}", full - none);
     }
@@ -340,9 +486,11 @@ mod tests {
         });
         let pe = &ds.samples[0].pe;
         let oracle = CodeDataOracle;
-        let exact = shapley_exact(&oracle, pe);
+        let n = pe.sections().len();
+        let mut scorer = SampleScorer::new(&oracle, pe);
+        let exact = shapley_exact(&mut scorer, n);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let sampled = shapley_sampled(&oracle, pe, 200, &mut rng);
+        let sampled = shapley_sampled(&mut scorer, n, 200, &mut rng);
         for (e, s) in exact.iter().zip(&sampled) {
             assert!((e - s).abs() < 0.1, "exact {e} vs sampled {s}");
         }
@@ -357,12 +505,126 @@ mod tests {
             no_slack_fraction: 0.0,
         });
         let pe = &ds.samples[0].pe;
-        let bytes = ablated_bytes(pe, 0b10);
-        let re = PeFile::parse(&bytes).unwrap();
+        let mut plan = AblationPlan::new(pe);
+        let re = PeFile::parse(plan.ablated(0b10)).unwrap();
         assert_eq!(re.sections().len(), pe.sections().len());
         // Section 1 kept, section 0 zeroed.
         assert!(re.sections()[0].data().iter().all(|&b| b == 0));
         assert_eq!(re.sections()[1].data(), pe.sections()[1].data());
+    }
+
+    /// Reference implementation of ablation — clone the parsed file, zero
+    /// the unkept sections' data, re-serialize — against which the
+    /// serialize-once incremental plan must be byte-exact, including when
+    /// the plan is reused across a mask sequence.
+    #[test]
+    fn plan_matches_naive_ablation_across_mask_sequences() {
+        let naive = |pe: &PeFile, keep_mask: u64| -> Vec<u8> {
+            let mut ablated = pe.clone();
+            for (i, s) in ablated.sections_mut().iter_mut().enumerate() {
+                if keep_mask & (1u64 << i) == 0 {
+                    s.data_mut().iter_mut().for_each(|b| *b = 0);
+                }
+            }
+            ablated.to_bytes()
+        };
+        let ds = Dataset::generate(&CorpusConfig {
+            n_malware: 3,
+            n_benign: 0,
+            seed: 7,
+            no_slack_fraction: 0.0,
+        });
+        for sample in &ds.samples {
+            let pe = &sample.pe;
+            let n = pe.sections().len();
+            let mut plan = AblationPlan::new(pe);
+            // Walk masks in a deliberately non-monotonic order so the
+            // incremental patching both zeroes and restores spans.
+            let full = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
+            let masks =
+                [0, full, 0b1, full & !0b1, 0b10, full, 0b101 & full, 0, full];
+            for &mask in &masks {
+                assert_eq!(
+                    plan.ablated(mask),
+                    &naive(pe, mask)[..],
+                    "{}: mask {mask:#b}",
+                    sample.name
+                );
+            }
+        }
+    }
+
+    /// The `u64` subset-mask arithmetic caps participating sections at 64;
+    /// section-richer files must fall back to the largest 64 by size
+    /// instead of overflowing `1u64 << i`.
+    #[test]
+    fn tracked_sections_cap_at_64_by_size() {
+        let small: Vec<usize> = (0..5).map(|i| i * 10).collect();
+        assert_eq!(tracked_sections(&small), vec![0, 1, 2, 3, 4]);
+        // 70 sections; sizes ascending, so the 6 smallest (indices 0..6)
+        // must be dropped and the remaining 64 kept in file order.
+        let rich: Vec<usize> = (0..70).map(|i| i + 1).collect();
+        let tracked = tracked_sections(&rich);
+        assert_eq!(tracked.len(), 64);
+        assert_eq!(tracked, (6..70).collect::<Vec<_>>());
+        // Bit shifts over the tracked set stay in range.
+        assert!(tracked.len() <= 64);
+    }
+
+    /// White-box models score masks through an incremental session; the
+    /// resulting Shapley values must agree with full-forward scoring of
+    /// the same model up to the tabled-vs-naive conv tolerance.
+    #[test]
+    fn session_shapley_matches_full_scoring() {
+        use mpass_detectors::train::training_pairs;
+        use mpass_detectors::{ByteConvConfig, MalConv};
+
+        /// Same model, white-box interface hidden — forces the
+        /// full-`raw_score` fallback path.
+        struct Masked<'a>(&'a MalConv);
+        impl Detector for Masked<'_> {
+            fn name(&self) -> &str {
+                "masked"
+            }
+            fn score(&self, bytes: &[u8]) -> f32 {
+                self.0.score(bytes)
+            }
+            fn raw_score(&self, bytes: &[u8]) -> f32 {
+                self.0.raw_score(bytes)
+            }
+        }
+        impl DetectorExt for Masked<'_> {}
+
+        let ds = Dataset::generate(&CorpusConfig {
+            n_malware: 6,
+            n_benign: 6,
+            seed: 8,
+            no_slack_fraction: 0.0,
+        });
+        let samples: Vec<&Sample> = ds.samples.iter().collect();
+        let pairs = training_pairs(&samples);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let mut malconv = MalConv::new(ByteConvConfig::tiny(), &mut rng);
+        malconv.train(&pairs, 3, 5e-3, &mut rng);
+        assert!(
+            (&malconv as &dyn DetectorExt).as_white_box().is_some(),
+            "MalConv must expose the session path"
+        );
+
+        for sample in ds.malware().into_iter().take(2) {
+            let pe = &sample.pe;
+            let n = pe.sections().len();
+            let mut fast = SampleScorer::new(&malconv, pe);
+            assert!(fast.session.is_some());
+            let phi_fast = shapley_exact(&mut fast, n);
+            let masked = Masked(&malconv);
+            let mut full = SampleScorer::new(&masked, pe);
+            assert!(full.session.is_none());
+            let phi_full = shapley_exact(&mut full, n);
+            for (a, b) in phi_fast.iter().zip(&phi_full) {
+                assert!((a - b).abs() < 1e-3, "{}: φ {a} vs {b}", sample.name);
+            }
+        }
     }
 
     #[test]

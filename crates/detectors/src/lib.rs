@@ -47,4 +47,4 @@ pub use malconv::{ByteConvConfig, MalConv, NonNeg};
 pub use malgcg::{MalGcg, MalGcgConfig};
 pub use oracle::{FaultProfile, Oracle, UnreliableOracle};
 pub use signatures::SignatureStore;
-pub use traits::{Detector, DetectorExt, Verdict, WhiteBoxModel};
+pub use traits::{benign_loss, Detector, DetectorExt, Verdict, WhiteBoxModel, WhiteBoxSession};

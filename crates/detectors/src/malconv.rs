@@ -11,14 +11,16 @@
 //! is full of them) win every filter's max for every input, collapsing
 //! the model to a constant output.
 
-use crate::traits::{Detector, WhiteBoxModel};
+use crate::traits::{Detector, WhiteBoxModel, WhiteBoxSession};
 use mpass_ml::{
     bce_with_logits, bce_with_logits_backward, global_max_pool, global_max_pool_backward,
-    relu, relu_backward, sigmoid, Adam, Conv1d, Embedding, Linear,
+    relu, relu_backward, sigmoid, Adam, Cached, Conv1d, Embedding, Linear, TokenConv,
+    Workspace,
 };
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 /// Byte vocabulary: 256 byte values plus a padding token.
 pub const VOCAB: usize = 257;
@@ -74,6 +76,18 @@ pub struct ByteConvNet {
     head2: Linear,
     nonneg: bool,
     threshold: f32,
+    /// Token-indexed conv responses, derived from the weights above;
+    /// rebuilt lazily after every training run ([`Cached`] is excluded
+    /// from comparison/serialization and clones empty).
+    tables: Cached<GatedTables>,
+}
+
+/// Token-indexed response tables of the gated conv pair — the inference
+/// kernel of the white-box attack path.
+#[derive(Debug, Clone)]
+struct GatedTables {
+    a: TokenConv,
+    b: TokenConv,
 }
 
 /// Cached activations of one forward pass.
@@ -102,6 +116,7 @@ impl ByteConvNet {
             head2: Linear::new(config.hidden, 1, rng),
             nonneg,
             threshold: 0.5,
+            tables: Cached::new(),
         };
         // PAD embeds to a frozen zero vector (PyTorch's `padding_idx`):
         // otherwise, on files shorter than the window, the identical
@@ -134,6 +149,101 @@ impl ByteConvNet {
             tokens.push(bytes.get(i).map(|&b| b as usize).unwrap_or(PAD));
         }
         tokens
+    }
+
+    /// Re-tokenize into an existing `window`-sized buffer.
+    fn tokenize_into(&self, bytes: &[u8], tokens: &mut [usize]) {
+        debug_assert_eq!(tokens.len(), self.config.window);
+        for (i, t) in tokens.iter_mut().enumerate() {
+            *t = bytes.get(i).map(|&b| b as usize).unwrap_or(PAD);
+        }
+    }
+
+    /// The token-indexed conv tables, built on first use after training.
+    fn tables(&self) -> &GatedTables {
+        self.tables.get_or_build(|| GatedTables {
+            a: TokenConv::build(&self.conv_a, &self.embedding),
+            b: TokenConv::build(&self.conv_b, &self.embedding),
+        })
+    }
+
+    /// Tabled gated forward: fill `a`, `b` and `gated = a · σ(b)` over
+    /// `tokens` (all `[windows × filters]` flat).
+    fn gated_forward(
+        &self,
+        t: &GatedTables,
+        tokens: &[usize],
+        a: &mut Vec<f32>,
+        b: &mut Vec<f32>,
+        gated: &mut Vec<f32>,
+    ) {
+        t.a.forward_into(tokens, a);
+        t.b.forward_into(tokens, b);
+        gated.clear();
+        gated.extend(a.iter().zip(b.iter()).map(|(&ai, &bi)| ai * sigmoid(bi)));
+    }
+
+    /// Pool + dense head over cached gated activations; returns the logit.
+    fn head_logit(&self, gated: &[f32]) -> f32 {
+        let (pooled, _) = global_max_pool(gated, self.config.filters);
+        let h1 = relu(&self.head1.forward(&pooled));
+        self.head2.forward(&h1)[0]
+    }
+
+    /// From cached gated-conv activations: pool + head forward, then the
+    /// input-grad-only backward. Never touches parameter gradients (every
+    /// layer is used through `&self`), so no scratch model clone exists on
+    /// this path — the zero-clone contract is structural. Returns the
+    /// benign-direction loss and fills `grad` with `∂ℒ/∂x` over the full
+    /// `window × dim` embedded input.
+    fn head_backward_into(
+        &self,
+        ws: &mut Workspace,
+        a: &[f32],
+        b: &[f32],
+        gated: &[f32],
+        grad: &mut Vec<f32>,
+    ) -> f32 {
+        let filters = self.config.filters;
+        let (pooled, argmax) = global_max_pool(gated, filters);
+        let a1 = self.head1.forward(&pooled);
+        let h1 = relu(&a1);
+        let logit = self.head2.forward(&h1)[0];
+        let loss = bce_with_logits(logit, 0.0);
+        let dlogit = bce_with_logits_backward(logit, 0.0);
+        let mut dh1 = ws.take_f32(self.config.hidden);
+        self.head2.backward_input(&[dlogit], &mut dh1);
+        let da1 = relu_backward(&a1, &dh1);
+        let mut dpooled = ws.take_f32(filters);
+        self.head1.backward_input(&da1, &mut dpooled);
+        // The max pool makes the gate gradient sparse: exactly one window
+        // per channel receives it.
+        let mut da = ws.take_f32(gated.len());
+        let mut db = ws.take_f32(gated.len());
+        for (c, &w) in argmax.iter().enumerate() {
+            let g = dpooled[c];
+            if g == 0.0 {
+                continue;
+            }
+            let i = w * filters + c;
+            let s = sigmoid(b[i]);
+            da[i] = g * s;
+            db[i] = g * a[i] * s * (1.0 - s);
+        }
+        grad.clear();
+        grad.resize(self.config.window * self.embedding.dim(), 0.0);
+        let mut gb = ws.take_f32(grad.len());
+        self.conv_a.backward_input(&da, grad);
+        self.conv_b.backward_input(&db, &mut gb);
+        for (ga, &gbi) in grad.iter_mut().zip(&gb) {
+            *ga += gbi;
+        }
+        ws.give_f32(gb);
+        ws.give_f32(db);
+        ws.give_f32(da);
+        ws.give_f32(dpooled);
+        ws.give_f32(dh1);
+        loss
     }
 
     fn forward(&self, bytes: &[u8]) -> Activations {
@@ -214,6 +324,8 @@ impl ByteConvNet {
             }
             last = total / data.len().max(1) as f32;
         }
+        // Weights changed: derived token tables must be rebuilt on next use.
+        self.tables.invalidate();
         last
     }
 
@@ -256,17 +368,123 @@ impl WhiteBoxModel for ByteConvNet {
         self.config.window
     }
 
-    fn benign_loss_and_grad(&self, bytes: &[u8]) -> (f32, Vec<f32>) {
-        // The gradient graph is stateless apart from parameter gradient
-        // accumulators, which we must not pollute: clone the layer stack
-        // cheaply? Layer backward accumulates into ParamBufs; instead run
-        // backward on a scratch clone of the two convs and heads.
-        let act = self.forward(bytes);
-        let loss = bce_with_logits(act.logit, 0.0);
-        let dlogit = bce_with_logits_backward(act.logit, 0.0);
-        let mut scratch = self.clone();
-        let dx = scratch.backward(&act, dlogit);
-        (loss, dx)
+    fn benign_loss_grad_into(
+        &self,
+        bytes: &[u8],
+        ws: &mut Workspace,
+        grad: &mut Vec<f32>,
+    ) -> f32 {
+        let t = self.tables();
+        let mut tokens = ws.take_idx(self.config.window);
+        self.tokenize_into(bytes, &mut tokens);
+        let mut a = ws.take_f32(0);
+        let mut b = ws.take_f32(0);
+        let mut gated = ws.take_f32(0);
+        self.gated_forward(t, &tokens, &mut a, &mut b, &mut gated);
+        let loss = self.head_backward_into(ws, &a, &b, &gated, grad);
+        ws.give_f32(gated);
+        ws.give_f32(b);
+        ws.give_f32(a);
+        ws.give_idx(tokens);
+        loss
+    }
+
+    fn session(&self) -> Box<dyn WhiteBoxSession + '_> {
+        Box::new(ByteConvSession {
+            tables: self.tables(),
+            net: self,
+            ws: Workspace::default(),
+            tokens: Vec::new(),
+            a: Vec::new(),
+            b: Vec::new(),
+            gated: Vec::new(),
+            len: 0,
+            primed: false,
+        })
+    }
+}
+
+/// Incremental inference session over one evolving byte buffer: caches
+/// the tokenization and gated-conv activations, recomputing only windows
+/// whose receptive field overlaps a dirty span, then re-pools. Patched
+/// windows use the identical per-window arithmetic as the full tabled
+/// forward, so incremental results are bit-equal to a fresh session.
+struct ByteConvSession<'a> {
+    net: &'a ByteConvNet,
+    tables: &'a GatedTables,
+    ws: Workspace,
+    tokens: Vec<usize>,
+    a: Vec<f32>,
+    b: Vec<f32>,
+    gated: Vec<f32>,
+    len: usize,
+    primed: bool,
+}
+
+impl ByteConvSession<'_> {
+    /// Bring cached activations up to date with `bytes`, trusting `dirty`
+    /// to cover every changed offset since the last call.
+    fn sync(&mut self, bytes: &[u8], dirty: &[Range<usize>]) {
+        let window = self.net.config.window;
+        if !self.primed || bytes.len() != self.len {
+            self.tokens.clear();
+            self.tokens.resize(window, 0);
+            self.net.tokenize_into(bytes, &mut self.tokens);
+            self.net.gated_forward(
+                self.tables,
+                &self.tokens,
+                &mut self.a,
+                &mut self.b,
+                &mut self.gated,
+            );
+            self.len = bytes.len();
+            self.primed = true;
+            return;
+        }
+        let filters = self.net.config.filters;
+        for r in dirty {
+            let lo = r.start.min(window);
+            let hi = r.end.min(window);
+            if lo >= hi {
+                continue;
+            }
+            for i in lo..hi {
+                self.tokens[i] = bytes.get(i).map(|&v| v as usize).unwrap_or(PAD);
+            }
+            for w in self.tables.a.dirty_windows(window, lo, hi) {
+                let span = w * filters..(w + 1) * filters;
+                self.tables.a.window_into(&self.tokens, w, &mut self.a[span.clone()]);
+                self.tables.b.window_into(&self.tokens, w, &mut self.b[span.clone()]);
+                for i in span {
+                    self.gated[i] = self.a[i] * sigmoid(self.b[i]);
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        for (i, &t) in self.tokens.iter().enumerate() {
+            debug_assert_eq!(
+                t,
+                bytes.get(i).map(|&v| v as usize).unwrap_or(PAD),
+                "dirty spans did not cover a changed byte at offset {i}"
+            );
+        }
+    }
+}
+
+impl WhiteBoxSession for ByteConvSession<'_> {
+    fn score_delta(&mut self, bytes: &[u8], dirty: &[Range<usize>]) -> f32 {
+        self.sync(bytes, dirty);
+        self.net.head_logit(&self.gated)
+    }
+
+    fn loss_grad_delta(
+        &mut self,
+        bytes: &[u8],
+        dirty: &[Range<usize>],
+        grad: &mut Vec<f32>,
+    ) -> f32 {
+        self.sync(bytes, dirty);
+        self.net.head_backward_into(&mut self.ws, &self.a, &self.b, &self.gated, grad)
     }
 }
 
@@ -320,8 +538,16 @@ impl WhiteBoxModel for MalConv {
     fn window(&self) -> usize {
         self.0.window()
     }
-    fn benign_loss_and_grad(&self, bytes: &[u8]) -> (f32, Vec<f32>) {
-        self.0.benign_loss_and_grad(bytes)
+    fn benign_loss_grad_into(
+        &self,
+        bytes: &[u8],
+        ws: &mut Workspace,
+        grad: &mut Vec<f32>,
+    ) -> f32 {
+        self.0.benign_loss_grad_into(bytes, ws, grad)
+    }
+    fn session(&self) -> Box<dyn WhiteBoxSession + '_> {
+        self.0.session()
     }
 }
 
@@ -385,8 +611,16 @@ impl WhiteBoxModel for NonNeg {
     fn window(&self) -> usize {
         self.0.window()
     }
-    fn benign_loss_and_grad(&self, bytes: &[u8]) -> (f32, Vec<f32>) {
-        self.0.benign_loss_and_grad(bytes)
+    fn benign_loss_grad_into(
+        &self,
+        bytes: &[u8],
+        ws: &mut Workspace,
+        grad: &mut Vec<f32>,
+    ) -> f32 {
+        self.0.benign_loss_grad_into(bytes, ws, grad)
+    }
+    fn session(&self) -> Box<dyn WhiteBoxSession + '_> {
+        self.0.session()
     }
 }
 
@@ -501,5 +735,120 @@ mod tests {
         let m = MalConv::new(ByteConvConfig::tiny(), &mut rng);
         assert!(m.score(&[]).is_finite());
         assert!(m.score(&[1, 2, 3]).is_finite());
+    }
+
+    fn trained_tiny() -> MalConv {
+        let ds = dataset();
+        let pairs = training_pairs(&ds.samples.iter().collect::<Vec<_>>());
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut m = MalConv::new(ByteConvConfig::tiny(), &mut rng);
+        m.train(&pairs, 3, 5e-3, &mut rng);
+        m
+    }
+
+    /// The tabled white-box forward must agree with the naive score path
+    /// within float-reassociation error.
+    #[test]
+    fn tabled_logit_matches_naive_logit() {
+        let m = trained_tiny();
+        let ds = dataset();
+        for s in ds.samples.iter().take(6) {
+            let naive = m.raw_score(&s.bytes);
+            let tabled = m.0.session().score_delta(&s.bytes, &[]);
+            assert!(
+                (naive - tabled).abs() < 1e-4,
+                "{}: naive {naive} vs tabled {tabled}",
+                s.name
+            );
+        }
+    }
+
+    /// Property: incremental `score_delta` over random dirty spans is
+    /// bit-identical to a full recompute — including spans that straddle
+    /// conv-window boundaries and the end of the model window.
+    #[test]
+    fn score_delta_matches_full_recompute_exactly() {
+        let m = trained_tiny();
+        let ds = dataset();
+        let mut bytes = ds.malware()[0].bytes.clone();
+        let mut sess = m.0.session();
+        sess.score_delta(&bytes, &[]); // prime
+        let mut rng = ChaCha8Rng::seed_from_u64(77);
+        // kernel = stride = 64 for tiny: 60..70 straddles a boundary,
+        // 4090..4100 straddles the window edge (window = 4096).
+        let fixed: [(usize, usize); 3] = [(60, 70), (4090, 4100), (0, 1)];
+        for trial in 0..20 {
+            let (lo, hi) = if trial < fixed.len() {
+                fixed[trial]
+            } else {
+                let lo = rng.gen_range(0..bytes.len().min(4200));
+                (lo, (lo + rng.gen_range(1..80)).min(bytes.len()))
+            };
+            let hi = hi.min(bytes.len());
+            if lo >= hi {
+                continue;
+            }
+            for i in lo..hi {
+                bytes[i] = rng.gen();
+            }
+            let incremental = sess.score_delta(&bytes, &[lo..hi]);
+            let full = m.0.session().score_delta(&bytes, &[]);
+            assert_eq!(
+                incremental.to_bits(),
+                full.to_bits(),
+                "trial {trial} span [{lo},{hi}): incremental {incremental} vs full {full}"
+            );
+        }
+    }
+
+    /// Property: incremental `loss_grad_delta` (loss and the full gradient
+    /// buffer) is bit-identical to a fresh session's full recompute.
+    #[test]
+    fn loss_grad_delta_matches_full_recompute_exactly() {
+        let m = trained_tiny();
+        let ds = dataset();
+        let mut bytes = ds.malware()[1].bytes.clone();
+        let mut sess = m.0.session();
+        let mut g_inc = Vec::new();
+        let mut g_full = Vec::new();
+        sess.loss_grad_delta(&bytes, &[], &mut g_inc); // prime
+        let mut rng = ChaCha8Rng::seed_from_u64(78);
+        for trial in 0..10 {
+            let lo = rng.gen_range(0..4096.min(bytes.len() - 1));
+            let hi = (lo + rng.gen_range(1..100)).min(bytes.len());
+            for i in lo..hi {
+                bytes[i] = rng.gen();
+            }
+            let li = sess.loss_grad_delta(&bytes, &[lo..hi], &mut g_inc);
+            let lf = m.0.session().loss_grad_delta(&bytes, &[], &mut g_full);
+            assert_eq!(li.to_bits(), lf.to_bits(), "trial {trial} loss mismatch");
+            assert_eq!(g_inc, g_full, "trial {trial} gradient mismatch");
+        }
+    }
+
+    /// The zero-clone gradient path: the model's own parameter-gradient
+    /// accumulators stay untouched (nothing backpropagates into them), and
+    /// the workspace reaches a steady state where repeated calls recycle
+    /// every buffer instead of allocating.
+    #[test]
+    fn gradient_path_is_zero_clone_and_reuses_buffers() {
+        let m = trained_tiny();
+        let ds = dataset();
+        let bytes = &ds.malware()[0].bytes;
+        let mut ws = Workspace::default();
+        let mut grad = Vec::new();
+        let l1 = m.0.benign_loss_grad_into(bytes, &mut ws, &mut grad);
+        let pooled_after_first = ws.pooled();
+        let g1 = grad.clone();
+        let l2 = m.0.benign_loss_grad_into(bytes, &mut ws, &mut grad);
+        assert_eq!(l1.to_bits(), l2.to_bits());
+        assert_eq!(g1, grad, "repeated calls must be deterministic");
+        assert_eq!(ws.pooled(), pooled_after_first, "buffer pool must reach steady state");
+        // &self throughout: parameter gradients cannot have been touched.
+        assert!(m.0.conv_a.weight.g.iter().all(|&g| g == 0.0));
+        assert!(m.0.conv_b.weight.g.iter().all(|&g| g == 0.0));
+        assert!(m.0.head1.weight.g.iter().all(|&g| g == 0.0));
+        // And the tables were built exactly once, on first use.
+        assert!(m.0.tables.is_built());
     }
 }

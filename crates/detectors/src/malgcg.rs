@@ -7,14 +7,16 @@
 //! gradients differ from the MalConv family — which is what makes it a
 //! meaningful fourth transfer target.
 
-use crate::traits::{Detector, WhiteBoxModel};
+use crate::traits::{Detector, WhiteBoxModel, WhiteBoxSession};
 use mpass_ml::{
     bce_with_logits, bce_with_logits_backward, global_max_pool, global_max_pool_backward,
-    relu, relu_backward, sigmoid, Adam, Conv1d, Embedding, Linear,
+    relu, relu_backward, sigmoid, Adam, Cached, Conv1d, Embedding, Linear, TokenConv,
+    Workspace,
 };
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::ops::Range;
 
 use crate::malconv::{PAD, VOCAB};
 
@@ -84,6 +86,16 @@ pub struct MalGcg {
     head1: Linear,
     head2: Linear,
     threshold: f32,
+    /// Token-indexed layer-1 responses; rebuilt lazily after training.
+    tables: Cached<GcgTables>,
+}
+
+/// Token-indexed response table of the first conv layer. The second layer
+/// runs over layer-1 activations (not tokens), so it keeps the plain
+/// [`Conv1d`] per-window kernel.
+#[derive(Debug, Clone)]
+struct GcgTables {
+    t1: TokenConv,
 }
 
 struct Activations {
@@ -111,6 +123,7 @@ impl MalGcg {
             head1: Linear::new(config.ch2 * 2, config.hidden, rng),
             head2: Linear::new(config.hidden, 1, rng),
             threshold: 0.5,
+            tables: Cached::new(),
         }
     }
 
@@ -123,6 +136,138 @@ impl MalGcg {
         (0..self.config.window)
             .map(|i| bytes.get(i).map(|&b| b as usize).unwrap_or(PAD))
             .collect()
+    }
+
+    /// Re-tokenize into an existing `window`-sized buffer.
+    fn tokenize_into(&self, bytes: &[u8], tokens: &mut [usize]) {
+        debug_assert_eq!(tokens.len(), self.config.window);
+        for (i, t) in tokens.iter_mut().enumerate() {
+            *t = bytes.get(i).map(|&b| b as usize).unwrap_or(PAD);
+        }
+    }
+
+    /// The token-indexed layer-1 table, built on first use after training.
+    fn tables(&self) -> &GcgTables {
+        self.tables
+            .get_or_build(|| GcgTables { t1: TokenConv::build(&self.conv1, &self.embedding) })
+    }
+
+    /// Tabled stacked forward: layer 1 via the token table, layer 2 via the
+    /// per-window conv kernel over layer-1 activations. Fills `c1`/`r1`
+    /// (`[windows1 × ch1]`) and `c2`/`r2` (`[windows2 × ch2]`).
+    fn stacked_forward(
+        &self,
+        t: &GcgTables,
+        tokens: &[usize],
+        c1: &mut Vec<f32>,
+        r1: &mut Vec<f32>,
+        c2: &mut Vec<f32>,
+        r2: &mut Vec<f32>,
+    ) {
+        t.t1.forward_into(tokens, c1);
+        r1.clear();
+        r1.extend(c1.iter().map(|&v| v.max(0.0)));
+        let ch2 = self.config.ch2;
+        let windows2 = self.conv2.windows(r1.len() / self.config.ch1);
+        c2.clear();
+        c2.resize(windows2 * ch2, 0.0);
+        for w in 0..windows2 {
+            self.conv2.forward_window_into(r1, w, &mut c2[w * ch2..(w + 1) * ch2]);
+        }
+        r2.clear();
+        r2.extend(c2.iter().map(|&v| v.max(0.0)));
+    }
+
+    /// The mixed max/mean pooled features over cached `r2` activations,
+    /// with the exact arithmetic of [`MalGcg::forward`]; also returns the
+    /// max-pool argmax for backprop.
+    fn pool_r2(&self, r2: &[f32]) -> (Vec<f32>, Vec<usize>) {
+        let ch2 = self.config.ch2;
+        let (maxed, argmax) = global_max_pool(r2, ch2);
+        let windows2 = r2.len() / ch2;
+        let mut mean = vec![0.0f32; ch2];
+        for w in 0..windows2 {
+            for c in 0..ch2 {
+                mean[c] += r2[w * ch2 + c];
+            }
+        }
+        for m in &mut mean {
+            *m /= windows2 as f32;
+        }
+        let mut pooled = maxed;
+        pooled.extend_from_slice(&mean);
+        (pooled, argmax)
+    }
+
+    /// Pool + dense head over cached `r2` activations; returns the logit.
+    fn head_logit(&self, r2: &[f32]) -> f32 {
+        let (pooled, _) = self.pool_r2(r2);
+        let h1 = relu(&self.head1.forward(&pooled));
+        self.head2.forward(&h1)[0]
+    }
+
+    /// From cached stacked-conv activations: pool + head forward, then the
+    /// input-grad-only backward through both conv layers. Every layer is
+    /// used through `&self`, so no scratch model clone exists on this path.
+    /// Returns the benign-direction loss and fills `grad` with `∂ℒ/∂x`
+    /// over the full `window × dim` embedded input.
+    fn backward_into(
+        &self,
+        ws: &mut Workspace,
+        c1: &[f32],
+        r1: &[f32],
+        c2: &[f32],
+        r2: &[f32],
+        grad: &mut Vec<f32>,
+    ) -> f32 {
+        let ch2 = self.config.ch2;
+        let windows2 = r2.len() / ch2;
+        let (pooled, argmax) = self.pool_r2(r2);
+        let a1 = self.head1.forward(&pooled);
+        let h1 = relu(&a1);
+        let logit = self.head2.forward(&h1)[0];
+        let loss = bce_with_logits(logit, 0.0);
+        let dlogit = bce_with_logits_backward(logit, 0.0);
+        let mut dh1 = ws.take_f32(self.config.hidden);
+        self.head2.backward_input(&[dlogit], &mut dh1);
+        let da1 = relu_backward(&a1, &dh1);
+        let mut dpooled = ws.take_f32(2 * ch2);
+        self.head1.backward_input(&da1, &mut dpooled);
+        // Max branch scatters to the winning windows; the mean branch
+        // spreads uniformly over all of them.
+        let mut dr2 = ws.take_f32(r2.len());
+        for (c, &w) in argmax.iter().enumerate() {
+            dr2[w * ch2 + c] = dpooled[c];
+        }
+        for w in 0..windows2 {
+            for c in 0..ch2 {
+                dr2[w * ch2 + c] += dpooled[ch2 + c] / windows2 as f32;
+            }
+        }
+        let mut dc2 = ws.take_f32(c2.len());
+        for i in 0..c2.len() {
+            if c2[i] > 0.0 {
+                dc2[i] = dr2[i];
+            }
+        }
+        let mut dr1 = ws.take_f32(r1.len());
+        self.conv2.backward_input(&dc2, &mut dr1);
+        let mut dc1 = ws.take_f32(c1.len());
+        for i in 0..c1.len() {
+            if c1[i] > 0.0 {
+                dc1[i] = dr1[i];
+            }
+        }
+        grad.clear();
+        grad.resize(self.config.window * self.embedding.dim(), 0.0);
+        self.conv1.backward_input(&dc1, grad);
+        ws.give_f32(dc1);
+        ws.give_f32(dr1);
+        ws.give_f32(dc2);
+        ws.give_f32(dr2);
+        ws.give_f32(dpooled);
+        ws.give_f32(dh1);
+        loss
     }
 
     fn forward(&self, bytes: &[u8]) -> Activations {
@@ -206,6 +351,9 @@ impl MalGcg {
             }
             last = total / data.len().max(1) as f32;
         }
+        // Weights changed: the derived token table must be rebuilt on next
+        // use.
+        self.tables.invalidate();
         last
     }
 }
@@ -243,13 +391,139 @@ impl WhiteBoxModel for MalGcg {
         self.config.window
     }
 
-    fn benign_loss_and_grad(&self, bytes: &[u8]) -> (f32, Vec<f32>) {
-        let act = self.forward(bytes);
-        let loss = bce_with_logits(act.logit, 0.0);
-        let dlogit = bce_with_logits_backward(act.logit, 0.0);
-        let mut scratch = self.clone();
-        let dx = scratch.backward(&act, dlogit);
-        (loss, dx)
+    fn benign_loss_grad_into(
+        &self,
+        bytes: &[u8],
+        ws: &mut Workspace,
+        grad: &mut Vec<f32>,
+    ) -> f32 {
+        let t = self.tables();
+        let mut tokens = ws.take_idx(self.config.window);
+        self.tokenize_into(bytes, &mut tokens);
+        let mut c1 = ws.take_f32(0);
+        let mut r1 = ws.take_f32(0);
+        let mut c2 = ws.take_f32(0);
+        let mut r2 = ws.take_f32(0);
+        self.stacked_forward(t, &tokens, &mut c1, &mut r1, &mut c2, &mut r2);
+        let loss = self.backward_into(ws, &c1, &r1, &c2, &r2, grad);
+        ws.give_f32(r2);
+        ws.give_f32(c2);
+        ws.give_f32(r1);
+        ws.give_f32(c1);
+        ws.give_idx(tokens);
+        loss
+    }
+
+    fn session(&self) -> Box<dyn WhiteBoxSession + '_> {
+        Box::new(MalGcgSession {
+            tables: self.tables(),
+            net: self,
+            ws: Workspace::default(),
+            tokens: Vec::new(),
+            c1: Vec::new(),
+            r1: Vec::new(),
+            c2: Vec::new(),
+            r2: Vec::new(),
+            len: 0,
+            primed: false,
+        })
+    }
+}
+
+/// Incremental inference session: caches the tokenization and both conv
+/// layers' activations. Dirty byte spans invalidate layer-1 windows, which
+/// in turn invalidate the layer-2 windows whose receptive field overlaps
+/// them; everything else is reused. Patched windows use the identical
+/// per-window arithmetic as the full stacked forward, so incremental
+/// results are bit-equal to a fresh session.
+struct MalGcgSession<'a> {
+    net: &'a MalGcg,
+    tables: &'a GcgTables,
+    ws: Workspace,
+    tokens: Vec<usize>,
+    c1: Vec<f32>,
+    r1: Vec<f32>,
+    c2: Vec<f32>,
+    r2: Vec<f32>,
+    len: usize,
+    primed: bool,
+}
+
+impl MalGcgSession<'_> {
+    /// Bring cached activations up to date with `bytes`, trusting `dirty`
+    /// to cover every changed offset since the last call.
+    fn sync(&mut self, bytes: &[u8], dirty: &[Range<usize>]) {
+        let window = self.net.config.window;
+        if !self.primed || bytes.len() != self.len {
+            self.tokens.clear();
+            self.tokens.resize(window, 0);
+            self.net.tokenize_into(bytes, &mut self.tokens);
+            self.net.stacked_forward(
+                self.tables,
+                &self.tokens,
+                &mut self.c1,
+                &mut self.r1,
+                &mut self.c2,
+                &mut self.r2,
+            );
+            self.len = bytes.len();
+            self.primed = true;
+            return;
+        }
+        let ch1 = self.net.config.ch1;
+        let ch2 = self.net.config.ch2;
+        let windows1 = self.c1.len() / ch1;
+        for r in dirty {
+            let lo = r.start.min(window);
+            let hi = r.end.min(window);
+            if lo >= hi {
+                continue;
+            }
+            for i in lo..hi {
+                self.tokens[i] = bytes.get(i).map(|&v| v as usize).unwrap_or(PAD);
+            }
+            let w1 = self.tables.t1.dirty_windows(window, lo, hi);
+            for w in w1.clone() {
+                let span = w * ch1..(w + 1) * ch1;
+                self.tables.t1.window_into(&self.tokens, w, &mut self.c1[span.clone()]);
+                for i in span {
+                    self.r1[i] = self.c1[i].max(0.0);
+                }
+            }
+            // Layer-1 windows are layer-2 input positions.
+            for w in self.net.conv2.dirty_windows(windows1, w1.start, w1.end) {
+                let span = w * ch2..(w + 1) * ch2;
+                self.net.conv2.forward_window_into(&self.r1, w, &mut self.c2[span.clone()]);
+                for i in span {
+                    self.r2[i] = self.c2[i].max(0.0);
+                }
+            }
+        }
+        #[cfg(debug_assertions)]
+        for (i, &t) in self.tokens.iter().enumerate() {
+            debug_assert_eq!(
+                t,
+                bytes.get(i).map(|&v| v as usize).unwrap_or(PAD),
+                "dirty spans did not cover a changed byte at offset {i}"
+            );
+        }
+    }
+}
+
+impl WhiteBoxSession for MalGcgSession<'_> {
+    fn score_delta(&mut self, bytes: &[u8], dirty: &[Range<usize>]) -> f32 {
+        self.sync(bytes, dirty);
+        self.net.head_logit(&self.r2)
+    }
+
+    fn loss_grad_delta(
+        &mut self,
+        bytes: &[u8],
+        dirty: &[Range<usize>],
+        grad: &mut Vec<f32>,
+    ) -> f32 {
+        self.sync(bytes, dirty);
+        self.net.backward_into(&mut self.ws, &self.c1, &self.r1, &self.c2, &self.r2, grad)
     }
 }
 
@@ -299,5 +573,120 @@ mod tests {
         let m = MalGcg::new(MalGcgConfig::tiny(), &mut rng);
         let s = m.score(&[1, 2, 3, 4]);
         assert!((0.0..=1.0).contains(&s));
+    }
+
+    fn trained_tiny() -> (MalGcg, Dataset) {
+        let ds = Dataset::generate(&CorpusConfig {
+            n_malware: 16,
+            n_benign: 16,
+            seed: 6,
+            no_slack_fraction: 0.0,
+        });
+        let samples: Vec<_> = ds.samples.iter().collect();
+        let pairs = training_pairs(&samples);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut m = MalGcg::new(MalGcgConfig::tiny(), &mut rng);
+        m.train(&pairs, 3, 5e-3, &mut rng);
+        (m, ds)
+    }
+
+    /// The tabled white-box forward must agree with the naive score path
+    /// within float-reassociation error.
+    #[test]
+    fn tabled_logit_matches_naive_logit() {
+        let (m, ds) = trained_tiny();
+        for s in ds.samples.iter().take(6) {
+            let naive = m.raw_score(&s.bytes);
+            let tabled = m.session().score_delta(&s.bytes, &[]);
+            assert!(
+                (naive - tabled).abs() < 1e-4,
+                "{}: naive {naive} vs tabled {tabled}",
+                s.name
+            );
+        }
+    }
+
+    /// Property: incremental `score_delta` over random dirty spans is
+    /// bit-identical to a full recompute through the two-layer stack —
+    /// including spans straddling layer-1 window boundaries and the end of
+    /// the model window.
+    #[test]
+    fn score_delta_matches_full_recompute_exactly() {
+        let (m, ds) = trained_tiny();
+        let mut bytes = ds.malware()[0].bytes.clone();
+        let mut sess = m.session();
+        sess.score_delta(&bytes, &[]); // prime
+        let mut rng = ChaCha8Rng::seed_from_u64(79);
+        // kernel1 = stride1 = 32 for tiny: 30..34 straddles a layer-1
+        // boundary; 4090..4100 straddles the window edge (window = 4096).
+        let fixed: [(usize, usize); 3] = [(30, 34), (4090, 4100), (0, 1)];
+        for trial in 0..20 {
+            let (lo, hi) = if trial < fixed.len() {
+                fixed[trial]
+            } else {
+                let lo = rng.gen_range(0..bytes.len().min(4200));
+                (lo, (lo + rng.gen_range(1..80)).min(bytes.len()))
+            };
+            let hi = hi.min(bytes.len());
+            if lo >= hi {
+                continue;
+            }
+            for i in lo..hi {
+                bytes[i] = rng.gen();
+            }
+            let incremental = sess.score_delta(&bytes, &[lo..hi]);
+            let full = m.session().score_delta(&bytes, &[]);
+            assert_eq!(
+                incremental.to_bits(),
+                full.to_bits(),
+                "trial {trial} span [{lo},{hi}): incremental {incremental} vs full {full}"
+            );
+        }
+    }
+
+    /// Property: incremental `loss_grad_delta` (loss and the full gradient
+    /// buffer) is bit-identical to a fresh session's full recompute.
+    #[test]
+    fn loss_grad_delta_matches_full_recompute_exactly() {
+        let (m, ds) = trained_tiny();
+        let mut bytes = ds.malware()[1].bytes.clone();
+        let mut sess = m.session();
+        let mut g_inc = Vec::new();
+        let mut g_full = Vec::new();
+        sess.loss_grad_delta(&bytes, &[], &mut g_inc); // prime
+        let mut rng = ChaCha8Rng::seed_from_u64(80);
+        for trial in 0..10 {
+            let lo = rng.gen_range(0..4096.min(bytes.len() - 1));
+            let hi = (lo + rng.gen_range(1..100)).min(bytes.len());
+            for i in lo..hi {
+                bytes[i] = rng.gen();
+            }
+            let li = sess.loss_grad_delta(&bytes, &[lo..hi], &mut g_inc);
+            let lf = m.session().loss_grad_delta(&bytes, &[], &mut g_full);
+            assert_eq!(li.to_bits(), lf.to_bits(), "trial {trial} loss mismatch");
+            assert_eq!(g_inc, g_full, "trial {trial} gradient mismatch");
+        }
+    }
+
+    /// The gradient path never clones the model and recycles its workspace
+    /// buffers across calls.
+    #[test]
+    fn gradient_path_is_zero_clone_and_reuses_buffers() {
+        let (m, ds) = trained_tiny();
+        let bytes = &ds.malware()[0].bytes;
+        let mut ws = Workspace::default();
+        let mut grad = Vec::new();
+        let l1 = m.benign_loss_grad_into(bytes, &mut ws, &mut grad);
+        let pooled_after_first = ws.pooled();
+        let g1 = grad.clone();
+        let l2 = m.benign_loss_grad_into(bytes, &mut ws, &mut grad);
+        assert_eq!(l1.to_bits(), l2.to_bits());
+        assert_eq!(g1, grad, "repeated calls must be deterministic");
+        assert_eq!(ws.pooled(), pooled_after_first, "buffer pool must reach steady state");
+        // &self throughout: parameter gradients cannot have been touched.
+        assert!(m.conv1.weight.g.iter().all(|&g| g == 0.0));
+        assert!(m.conv2.weight.g.iter().all(|&g| g == 0.0));
+        assert!(m.head1.weight.g.iter().all(|&g| g == 0.0));
+        assert!(m.tables.is_built());
     }
 }

@@ -1,9 +1,10 @@
 //! Detector capability traits: the hard-label black-box interface and the
 //! white-box interface of MPass's known-model ensemble.
 
-use mpass_ml::Embedding;
+use mpass_ml::{bce_with_logits, Embedding, Workspace};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::ops::Range;
 
 /// A hard-label classification result — the only signal the black-box
 /// attacks receive from a target.
@@ -87,12 +88,93 @@ pub trait WhiteBoxModel: Detector {
     fn window(&self) -> usize;
 
     /// Compute `ℒ(F(bytes), benign)` and its gradient with respect to the
-    /// embedding vector of every input position.
+    /// embedding vector of every input position, writing the gradient into
+    /// `grad` (resized to `window() * embedding().dim()`) and drawing all
+    /// scratch from `ws`.
     ///
-    /// The returned gradient has length `window() * embedding().dim()`
-    /// (positions past the end of file correspond to the padding token and
-    /// carry gradients too, though the attack never selects them).
-    fn benign_loss_and_grad(&self, bytes: &[u8]) -> (f32, Vec<f32>);
+    /// This is the allocation-free kernel of the attack loop: the model is
+    /// `&self` throughout, so implementations cannot clone it for scratch
+    /// parameter accumulators — the gradient path must be input-grad-only.
+    /// Positions past the end of file correspond to the padding token and
+    /// carry gradients too, though the attack never selects them.
+    fn benign_loss_grad_into(&self, bytes: &[u8], ws: &mut Workspace, grad: &mut Vec<f32>)
+        -> f32;
+
+    /// Allocating convenience wrapper over
+    /// [`WhiteBoxModel::benign_loss_grad_into`]; returns
+    /// `(loss, gradient)`. Prefer the `_into` form (or a
+    /// [`WhiteBoxModel::session`]) on hot paths.
+    fn benign_loss_and_grad(&self, bytes: &[u8]) -> (f32, Vec<f32>) {
+        let mut ws = Workspace::default();
+        let mut grad = Vec::new();
+        let loss = self.benign_loss_grad_into(bytes, &mut ws, &mut grad);
+        (loss, grad)
+    }
+
+    /// Open a stateful inference session for repeated evaluation of
+    /// *nearby* inputs (the optimizer mutates a handful of bytes per
+    /// iteration). The default falls back to full recomputation per call;
+    /// models with incremental kernels override it.
+    fn session(&self) -> Box<dyn WhiteBoxSession + '_> {
+        Box::new(FullSession { model: self, ws: Workspace::default() })
+    }
+}
+
+/// A stateful white-box inference session over one evolving byte buffer.
+///
+/// Contract: across consecutive calls on one session, `dirty` must cover
+/// every byte offset that changed since the previous call (supersets are
+/// fine — they only cost extra recompute). The first call on a fresh
+/// session recomputes everything regardless of `dirty`, as does any call
+/// that changes `bytes.len()`. Incremental results are **exactly** equal
+/// to a full recompute of the same session (bit-identical windows), never
+/// an approximation.
+pub trait WhiteBoxSession {
+    /// The model's raw decision margin (pre-sigmoid logit) for `bytes`,
+    /// recomputing only conv windows whose receptive field overlaps a
+    /// dirty span.
+    fn score_delta(&mut self, bytes: &[u8], dirty: &[Range<usize>]) -> f32;
+
+    /// Benign-direction loss and input-space gradient for `bytes`, with
+    /// the same incremental forward as [`WhiteBoxSession::score_delta`].
+    /// `grad` is resized to `window() * embedding().dim()`.
+    fn loss_grad_delta(
+        &mut self,
+        bytes: &[u8],
+        dirty: &[Range<usize>],
+        grad: &mut Vec<f32>,
+    ) -> f32;
+}
+
+/// The non-incremental [`WhiteBoxSession`] fallback: every call is a full
+/// recompute through the model's one-shot entry points. Correct for any
+/// model; incremental implementations exist to beat it.
+struct FullSession<'a, M: ?Sized + WhiteBoxModel> {
+    model: &'a M,
+    ws: Workspace,
+}
+
+impl<M: ?Sized + WhiteBoxModel> WhiteBoxSession for FullSession<'_, M> {
+    fn score_delta(&mut self, bytes: &[u8], _dirty: &[Range<usize>]) -> f32 {
+        self.model.raw_score(bytes)
+    }
+
+    fn loss_grad_delta(
+        &mut self,
+        bytes: &[u8],
+        _dirty: &[Range<usize>],
+        grad: &mut Vec<f32>,
+    ) -> f32 {
+        self.model.benign_loss_grad_into(bytes, &mut self.ws, grad)
+    }
+}
+
+/// `bce_with_logits(logit, benign)` — the benign-direction loss every
+/// white-box path derives from a raw logit. Exposed so sessions and
+/// optimizers turn [`WhiteBoxSession::score_delta`] margins into losses
+/// with the exact arithmetic of the gradient path.
+pub fn benign_loss(logit: f32) -> f32 {
+    bce_with_logits(logit, 0.0)
 }
 
 #[cfg(test)]

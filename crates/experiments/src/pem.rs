@@ -4,7 +4,7 @@
 
 use crate::world::World;
 use mpass_core::pem::{run_pem, PemConfig, PemReport};
-use mpass_detectors::Detector;
+use mpass_detectors::DetectorExt;
 use mpass_pe::SectionKind;
 use serde::{Deserialize, Serialize};
 
@@ -57,11 +57,11 @@ impl PemResults {
 /// from back-propagation, not from black-box scoring).
 pub fn run(world: &World, n_samples: usize) -> PemResults {
     let samples: Vec<_> = world.dataset.malware().into_iter().take(n_samples).collect();
-    let models: Vec<(&str, &dyn Detector)> = vec![
-        ("MalConv", &world.malconv as &dyn Detector),
-        ("NonNeg", &world.nonneg as &dyn Detector),
-        ("LightGBM", &world.lightgbm as &dyn Detector),
-        ("MalGCG", &world.malgcg as &dyn Detector),
+    let models: Vec<(&str, &dyn DetectorExt)> = vec![
+        ("MalConv", &world.malconv as &dyn DetectorExt),
+        ("NonNeg", &world.nonneg as &dyn DetectorExt),
+        ("LightGBM", &world.lightgbm as &dyn DetectorExt),
+        ("MalGCG", &world.malgcg as &dyn DetectorExt),
     ];
     let report = run_pem(&models, &samples, &PemConfig::default());
     let top2_over_top3 = report

@@ -54,6 +54,16 @@ impl Conv1d {
         self.in_ch
     }
 
+    /// Kernel width.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Window hop.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
     /// Number of output windows for an input of `positions` rows.
     pub fn windows(&self, positions: usize) -> usize {
         if positions < self.kernel {
@@ -61,6 +71,42 @@ impl Conv1d {
         } else {
             (positions - self.kernel) / self.stride + 1
         }
+    }
+
+    /// Recompute a single output window `w` of [`Conv1d::forward`] into
+    /// `out_row` (`out_ch` wide), using bit-identical per-window
+    /// arithmetic — patching window `w` of a cached forward output with
+    /// this equals rerunning the full forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window or `out_row` shape is out of range.
+    pub fn forward_window_into(&self, x: &[f32], w: usize, out_row: &mut [f32]) {
+        assert_eq!(x.len() % self.in_ch, 0, "input not a whole number of positions");
+        assert!(w < self.windows(x.len() / self.in_ch), "window {w} out of range");
+        assert_eq!(out_row.len(), self.out_ch, "output row width mismatch");
+        let k_in = self.kernel * self.in_ch;
+        let start = w * self.stride * self.in_ch;
+        let patch = &x[start..start + k_in];
+        for (oc, o) in out_row.iter_mut().enumerate() {
+            let kw = &self.weight.w[oc * k_in..(oc + 1) * k_in];
+            let mut acc = self.bias.w[oc];
+            for (a, b) in kw.iter().zip(patch) {
+                acc += a * b;
+            }
+            *o = acc;
+        }
+    }
+
+    /// The output windows whose receptive field overlaps input positions
+    /// `[lo, hi)`, for an input of `positions` rows.
+    pub fn dirty_windows(
+        &self,
+        positions: usize,
+        lo: usize,
+        hi: usize,
+    ) -> std::ops::Range<usize> {
+        crate::table::dirty_window_span(self.kernel, self.stride, self.windows(positions), lo, hi)
     }
 
     /// Forward pass. `x` is `[positions × in_ch]` flat; returns
@@ -74,26 +120,22 @@ impl Conv1d {
         let positions = x.len() / self.in_ch;
         let windows = self.windows(positions);
         let mut out = vec![0.0f32; windows * self.out_ch];
-        let k_in = self.kernel * self.in_ch;
         for w in 0..windows {
-            let start = w * self.stride * self.in_ch;
-            let patch = &x[start..start + k_in];
-            let out_row = &mut out[w * self.out_ch..(w + 1) * self.out_ch];
-            for (oc, o) in out_row.iter_mut().enumerate() {
-                let kw = &self.weight.w[oc * k_in..(oc + 1) * k_in];
-                let mut acc = self.bias.w[oc];
-                for (a, b) in kw.iter().zip(patch) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
+            let (lo, hi) = (w * self.out_ch, (w + 1) * self.out_ch);
+            self.forward_window_into(x, w, &mut out[lo..hi]);
         }
         out
     }
 
     /// Backward pass: given `x` and the gradient w.r.t. the output,
     /// accumulate weight/bias gradients and return the gradient w.r.t. `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len()` is not a multiple of `in_ch` (a ragged input
+    /// would silently truncate the trailing partial position).
     pub fn backward(&mut self, x: &[f32], grad_out: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len() % self.in_ch, 0, "input not a whole number of positions");
         let positions = x.len() / self.in_ch;
         let windows = self.windows(positions);
         debug_assert_eq!(grad_out.len(), windows * self.out_ch);
@@ -118,6 +160,42 @@ impl Conv1d {
             }
         }
         grad_x
+    }
+
+    /// Input-gradient-only backward: accumulate `∂L/∂x` into `grad_x`
+    /// without touching parameter gradients (and therefore without needing
+    /// `&mut self` or the forward input `x` — the input gradient depends
+    /// only on the weights). This is the attack-loop path: the optimizer
+    /// differentiates through a *frozen* model, so cloning it for scratch
+    /// parameter accumulators is pure waste.
+    ///
+    /// `grad_x` must be `[positions × in_ch]` and is accumulated into
+    /// (callers zero it first, typically via a recycled workspace buffer).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grad_x` is ragged or `grad_out` does not match the
+    /// window count implied by `grad_x`.
+    pub fn backward_input(&self, grad_out: &[f32], grad_x: &mut [f32]) {
+        assert_eq!(grad_x.len() % self.in_ch, 0, "input not a whole number of positions");
+        let positions = grad_x.len() / self.in_ch;
+        let windows = self.windows(positions);
+        assert_eq!(grad_out.len(), windows * self.out_ch, "output gradient shape mismatch");
+        let k_in = self.kernel * self.in_ch;
+        for w in 0..windows {
+            let start = w * self.stride * self.in_ch;
+            let g_row = &grad_out[w * self.out_ch..(w + 1) * self.out_ch];
+            let gx = &mut grad_x[start..start + k_in];
+            for (oc, &g) in g_row.iter().enumerate() {
+                if g == 0.0 {
+                    continue;
+                }
+                let kw = &self.weight.w[oc * k_in..(oc + 1) * k_in];
+                for (x_i, &w_i) in gx.iter_mut().zip(kw) {
+                    *x_i += g * w_i;
+                }
+            }
+        }
     }
 }
 
@@ -210,5 +288,32 @@ mod tests {
     fn ragged_input_panics() {
         let c = conv(3, 1, 1, 1);
         let _ = c.forward(&[0.0; 7]);
+    }
+
+    /// Regression: `backward` used to silently truncate ragged inputs via
+    /// integer division instead of rejecting them like `forward` does.
+    #[test]
+    #[should_panic(expected = "whole number of positions")]
+    fn ragged_backward_panics() {
+        let mut c = conv(3, 1, 1, 1);
+        let _ = c.backward(&[0.0; 7], &[1.0; 2]);
+    }
+
+    #[test]
+    fn backward_input_matches_full_backward() {
+        let mut c = conv(3, 2, 2, 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        let x: Vec<f32> = (0..9 * 3).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let y = c.forward(&x);
+        // Sparse gradient, like a max-pool scatter.
+        let mut grad_out = vec![0.0f32; y.len()];
+        grad_out[1] = 2.0;
+        grad_out[4] = -0.5;
+        c.weight.zero_grad();
+        c.bias.zero_grad();
+        let full = c.backward(&x, &grad_out);
+        let mut fast = vec![0.0f32; x.len()];
+        c.backward_input(&grad_out, &mut fast);
+        assert_eq!(full, fast);
     }
 }

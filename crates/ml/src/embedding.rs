@@ -102,6 +102,41 @@ impl Embedding {
         }
         best
     }
+
+    /// Squared L2 norms `‖e(t)‖²` for every token `t < limit`, for use
+    /// with [`Embedding::nearest_token_with`]. Recompute after weights
+    /// change (i.e. after training).
+    pub fn squared_norms(&self, limit: usize) -> Vec<f32> {
+        let limit = limit.min(self.vocab);
+        (0..limit)
+            .map(|t| self.vector(t).iter().map(|a| a * a).sum())
+            .collect()
+    }
+
+    /// Fast variant of [`Embedding::nearest_token`] using precomputed
+    /// squared norms: since `‖e(t) − z‖² = ‖e(t)‖² − 2⟨e(t), z⟩ + ‖z‖²`
+    /// and `‖z‖²` is constant across candidates, the argmin of
+    /// `norms[t] − 2⟨e(t), z⟩` is the nearest token. The candidate set is
+    /// `norms.len()` (pass `squared_norms(limit)` to bound it).
+    pub fn nearest_token_with(&self, norms: &[f32], vec: &[f32]) -> usize {
+        debug_assert_eq!(vec.len(), self.dim);
+        let limit = norms.len().min(self.vocab);
+        let mut best = 0;
+        let mut best_s = f32::INFINITY;
+        for (t, &n) in norms[..limit].iter().enumerate() {
+            let row = &self.table.w[t * self.dim..(t + 1) * self.dim];
+            let mut dot = 0.0;
+            for (a, b) in row.iter().zip(vec) {
+                dot += a * b;
+            }
+            let s = n - 2.0 * dot;
+            if s < best_s {
+                best_s = s;
+                best = t;
+            }
+        }
+        best
+    }
 }
 
 #[cfg(test)]
@@ -159,5 +194,23 @@ mod tests {
     fn out_of_vocab_panics() {
         let e = emb();
         let _ = e.vector(300);
+    }
+
+    /// Property: the norm-table sweep returns the identical token to the
+    /// naive squared-distance loop on random queries.
+    #[test]
+    fn nearest_token_with_matches_naive_loop() {
+        let e = emb();
+        let norms = e.squared_norms(256);
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        for _ in 0..200 {
+            let v: Vec<f32> = (0..4).map(|_| rng.gen_range(-1.5..1.5)).collect();
+            assert_eq!(e.nearest_token_with(&norms, &v), e.nearest_token(&v, 256));
+        }
+        // Exact token vectors must round-trip too.
+        for t in [0usize, 42, 255] {
+            let v = e.vector(t).to_vec();
+            assert_eq!(e.nearest_token_with(&norms, &v), t);
+        }
     }
 }

@@ -34,6 +34,8 @@ pub mod metrics;
 mod mlp;
 mod param;
 mod pool;
+mod table;
+mod workspace;
 
 pub use activation::{relu, relu_backward, sigmoid, sigmoid_backward};
 pub use conv::Conv1d;
@@ -44,3 +46,5 @@ pub use loss::{bce_with_logits, bce_with_logits_backward};
 pub use mlp::Mlp;
 pub use param::{Adam, ParamBuf};
 pub use pool::{global_max_pool, global_max_pool_backward};
+pub use table::{dirty_window_span, TokenConv};
+pub use workspace::{Cached, Workspace};

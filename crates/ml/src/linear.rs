@@ -69,6 +69,21 @@ impl Linear {
         }
         grad_x
     }
+
+    /// Input-gradient-only backward: accumulate `Wᵀ · grad_out` into
+    /// `grad_x` without touching parameter gradients (the input gradient
+    /// needs only the weights, so the layer stays immutable — no scratch
+    /// clone for frozen-model differentiation).
+    pub fn backward_input(&self, grad_out: &[f32], grad_x: &mut [f32]) {
+        assert_eq!(grad_out.len(), self.out_dim, "output gradient dimension mismatch");
+        assert_eq!(grad_x.len(), self.in_dim, "input gradient dimension mismatch");
+        for (o, &g) in grad_out.iter().enumerate() {
+            let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
+            for (x_i, &w_i) in grad_x.iter_mut().zip(row) {
+                *x_i += g * w_i;
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -115,6 +130,20 @@ mod tests {
             let num = (objective(&l, &xp) - objective(&l, &xm)) / (2.0 * eps);
             assert!((num - grad_x[idx]).abs() < 1e-2);
         }
+    }
+
+    #[test]
+    fn backward_input_matches_full_backward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut l = Linear::new(5, 3, &mut rng);
+        let x: Vec<f32> = (0..5).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let grad_out = vec![0.3f32, -1.2, 0.0];
+        l.weight.zero_grad();
+        l.bias.zero_grad();
+        let full = l.backward(&x, &grad_out);
+        let mut fast = vec![0.0f32; 5];
+        l.backward_input(&grad_out, &mut fast);
+        assert_eq!(full, fast);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use mpass::core::pem::{run_pem, PemConfig};
 use mpass::corpus::{CorpusConfig, Dataset};
 use mpass::detectors::train::training_pairs;
 use mpass::detectors::{
-    ByteConvConfig, Detector, MalConv, MalGcg, MalGcgConfig, NonNeg,
+    ByteConvConfig, DetectorExt, MalConv, MalGcg, MalGcgConfig, NonNeg,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -35,7 +35,7 @@ fn main() {
     malgcg.train(&pairs, 5, 5e-3, &mut rng);
 
     let population: Vec<_> = dataset.malware().into_iter().take(16).collect();
-    let models: Vec<(&str, &dyn Detector)> =
+    let models: Vec<(&str, &dyn DetectorExt)> =
         vec![("MalConv", &malconv), ("NonNeg", &nonneg), ("MalGCG", &malgcg)];
     let report = run_pem(&models, &population, &PemConfig::default());
 
