@@ -9,6 +9,7 @@ use mpass_engine::metrics as trace;
 use mpass_engine::{
     CircuitBreaker, OracleFault, QueryBudget, QueryBudgetExhausted, QueryError, RetryPolicy,
 };
+use mpass_pe::PeFile;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -65,6 +66,7 @@ pub struct HardLabelTarget<'a> {
     policy: RetryPolicy,
     breaker: CircuitBreaker,
     retry_seed: u64,
+    validate_ae: bool,
 }
 
 impl<'a> HardLabelTarget<'a> {
@@ -82,6 +84,7 @@ impl<'a> HardLabelTarget<'a> {
             policy: RetryPolicy::none(),
             breaker: CircuitBreaker::default(),
             retry_seed: 0,
+            validate_ae: false,
         }
     }
 
@@ -94,6 +97,7 @@ impl<'a> HardLabelTarget<'a> {
             policy,
             breaker: CircuitBreaker::default(),
             retry_seed: 0,
+            validate_ae: false,
         }
     }
 
@@ -101,6 +105,21 @@ impl<'a> HardLabelTarget<'a> {
     pub fn with_retry_seed(mut self, seed: u64) -> Self {
         self.retry_seed = seed;
         self
+    }
+
+    /// Gate every submission behind adversarial-example validation
+    /// (builder-style): candidate bytes must parse as a PE and round-trip
+    /// (`parse(to_bytes(pe)) == pe`) before they reach the oracle.
+    /// Invalid candidates fail with [`QueryError::InvalidCandidate`],
+    /// consume no budget, and are counted in `oracle/ae_rejected`.
+    pub fn with_ae_validation(mut self) -> Self {
+        self.validate_ae = true;
+        self
+    }
+
+    /// Whether the AE validation gate is active.
+    pub fn validates_ae(&self) -> bool {
+        self.validate_ae
     }
 
     /// Query the target. Fails with [`QueryError::BudgetExhausted`] once
@@ -111,6 +130,10 @@ impl<'a> HardLabelTarget<'a> {
     pub fn query(&mut self, bytes: &[u8]) -> Result<Verdict, QueryError> {
         if self.budget.is_exhausted() {
             return Err(QueryBudgetExhausted { limit: self.budget.limit() }.into());
+        }
+        if self.validate_ae && !candidate_is_valid(bytes) {
+            trace::counter("oracle/ae_rejected", 1);
+            return Err(QueryError::InvalidCandidate);
         }
         if !self.breaker.allows() {
             trace::counter("oracle/breaker_open", 1);
@@ -187,6 +210,16 @@ impl<'a> HardLabelTarget<'a> {
     pub fn name(&self) -> &str {
         self.channel.name()
     }
+}
+
+/// The AE validation predicate: the candidate must parse and its parsed
+/// form must survive a serialize→parse round trip unchanged, so every
+/// submitted adversarial example is a well-formed, reproducible PE.
+fn candidate_is_valid(bytes: &[u8]) -> bool {
+    let Ok(pe) = PeFile::parse(bytes) else {
+        return false;
+    };
+    matches!(PeFile::parse(&pe.to_bytes()), Ok(pe2) if pe2 == pe)
 }
 
 /// Result of attacking one sample.
@@ -483,6 +516,9 @@ impl Attack for MPassAttack<'_> {
                     }
                 }
                 Ok(Verdict::Malicious) => {}
+                // A candidate that failed AE validation consumed no budget;
+                // a fresh restart can still produce a valid one.
+                Err(QueryError::InvalidCandidate) => continue,
                 // Budget spent or channel down: either way no more
                 // verdicts are coming for this sample.
                 Err(_) => break,
@@ -507,6 +543,10 @@ impl Attack for MPassAttack<'_> {
                         }
                     }
                     Ok(Verdict::Malicious) => {}
+                    // An optimizer round that corrupted the candidate is
+                    // treated like a rejection: later rounds keep
+                    // perturbing and may restore validity.
+                    Err(QueryError::InvalidCandidate) => {}
                     Err(_) => {
                         return AttackOutcome {
                             sample: sample.name.clone(),
@@ -625,6 +665,32 @@ mod tests {
             Err(QueryError::BudgetExhausted(QueryBudgetExhausted { limit: 5 }))
         ));
         assert_eq!(v.queries(), 5);
+    }
+
+    #[test]
+    fn ae_validation_gate_rejects_malformed_candidates() {
+        let w = world();
+        mpass_engine::metrics::install(mpass_engine::Collector::default());
+        let mut t = HardLabelTarget::new(&w.malconv, 3).with_ae_validation();
+        assert!(t.validates_ae());
+        // Raw garbage is not a PE: rejected before submission, no budget.
+        assert_eq!(t.query(b"MZ garbage"), Err(QueryError::InvalidCandidate));
+        assert_eq!(t.queries(), 0);
+        // A well-formed sample passes the gate and reaches the detector.
+        assert!(t.query(&w.ds.samples[0].bytes).is_ok());
+        assert_eq!(t.queries(), 1);
+        let shard = mpass_engine::metrics::take().unwrap().finish("t", 0.0);
+        assert_eq!(shard.counters["oracle/ae_rejected"], 1);
+    }
+
+    #[test]
+    fn ae_validation_gate_is_off_by_default() {
+        let w = world();
+        let mut t = HardLabelTarget::new(&w.malconv, 3);
+        assert!(!t.validates_ae());
+        // Non-PE probe bytes reach the detector unharmed.
+        assert!(t.query(b"x").is_ok());
+        assert_eq!(t.queries(), 1);
     }
 
     /// An oracle whose first submission of every query faults, so each

@@ -45,7 +45,10 @@ impl StubLayout {
 }
 
 fn patch(instr: Instr, disp: i64) -> [u8; INSTR_SIZE] {
-    instr.with_relative_target(disp as i32).encode()
+    instr
+        .with_relative_target(disp as i32)
+        .expect("patch target is a control-transfer instruction")
+        .encode()
 }
 
 /// Randomize the encoding bytes the decoder ignores (unused register

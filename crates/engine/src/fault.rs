@@ -83,6 +83,10 @@ pub enum QueryError {
     /// The channel reported a fatal outage, or the circuit breaker is
     /// open and refused to submit at all.
     Fatal,
+    /// The candidate failed pre-submission validation (it does not
+    /// re-parse or round-trip as a PE) and was never sent to the oracle;
+    /// no budget was consumed.
+    InvalidCandidate,
 }
 
 impl QueryError {
@@ -110,6 +114,9 @@ impl fmt::Display for QueryError {
                 write!(f, "query rate-limited (last retry-after {retry_after_ms} ms)")
             }
             QueryError::Fatal => write!(f, "oracle channel is down"),
+            QueryError::InvalidCandidate => {
+                write!(f, "candidate failed adversarial-example validation")
+            }
         }
     }
 }

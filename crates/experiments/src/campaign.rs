@@ -76,6 +76,12 @@ impl<'a> ShardOracle<'a> {
 
     /// A fresh budgeted [`HardLabelTarget`] over this channel for one
     /// sample. `retry_seed` keys the deterministic backoff jitter.
+    ///
+    /// Campaign targets always validate adversarial candidates before
+    /// submission: bytes that do not re-parse and round-trip as a PE
+    /// are rejected locally (no budget spent) and recorded in metrics,
+    /// so a buggy or hostile mutation can never smuggle a malformed
+    /// sample into the oracle channel.
     pub fn target(
         &self,
         max_queries: usize,
@@ -83,10 +89,13 @@ impl<'a> ShardOracle<'a> {
         retry_seed: u64,
     ) -> HardLabelTarget<'_> {
         match self {
-            ShardOracle::Reliable(det) => HardLabelTarget::new(*det, max_queries),
+            ShardOracle::Reliable(det) => {
+                HardLabelTarget::new(*det, max_queries).with_ae_validation()
+            }
             ShardOracle::Faulty(oracle) => {
                 HardLabelTarget::unreliable(oracle, QueryBudget::new(max_queries), retry.clone())
                     .with_retry_seed(retry_seed)
+                    .with_ae_validation()
             }
         }
     }
@@ -113,7 +122,18 @@ mod tests {
         let oracle = ShardOracle::build(&det, &CampaignOptions::default(), 7);
         assert!(matches!(oracle, ShardOracle::Reliable(_)));
         let mut target = oracle.target(3, &RetryPolicy::default(), 7);
-        assert_eq!(target.query(b"MZ"), Ok(Verdict::Benign));
+        assert!(target.validates_ae());
+        // The campaign channel gates submissions: bytes that are not a
+        // well-formed PE never reach the oracle and spend no budget.
+        assert_eq!(target.query(b"MZ"), Err(mpass_core::QueryError::InvalidCandidate));
+        assert_eq!(target.remaining(), 3);
+        let ds = mpass_corpus::Dataset::generate(&mpass_corpus::CorpusConfig {
+            n_malware: 0,
+            n_benign: 1,
+            seed: 7,
+            no_slack_fraction: 0.0,
+        });
+        assert_eq!(target.query(&ds.samples[0].bytes), Ok(Verdict::Benign));
         assert_eq!(target.remaining(), 2);
     }
 

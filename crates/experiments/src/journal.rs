@@ -13,6 +13,10 @@
 //!   samples) and gets bit-identical results.
 //! * `{"kind":"shard","shard":…,"cell":…}` — a whole finished shard
 //!   cell. A resumed campaign skips the shard entirely.
+//! * `{"kind":"quarantine","shard":…,"sample":…,"reason":…}` — a sample
+//!   whose bytes failed ingestion validation; the diagnostic reason is
+//!   kept so hostile inputs leave an auditable trail instead of
+//!   crashing or silently vanishing from the campaign.
 //!
 //! Journal *writes* are deliberately non-fatal: a full disk should cost
 //! resumability, not the campaign — errors go to stderr and the run
@@ -36,6 +40,9 @@ pub struct CampaignJournal {
     /// Finished sample outcomes from the previous run, by
     /// `(shard label, sample name)`.
     samples: HashMap<(String, String), AttackOutcome>,
+    /// Quarantined samples from the previous run, by
+    /// `(shard label, sample name)`, with the diagnostic reason.
+    quarantined: HashMap<(String, String), String>,
 }
 
 impl CampaignJournal {
@@ -57,6 +64,7 @@ impl CampaignJournal {
         }
         let mut shards = HashMap::new();
         let mut samples = HashMap::new();
+        let mut quarantined = HashMap::new();
         let existing = match std::fs::read_to_string(&path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
@@ -78,6 +86,9 @@ impl CampaignJournal {
                 Record::Shard { shard, cell } => {
                     shards.insert(shard, cell);
                 }
+                Record::Quarantine { shard, sample, reason } => {
+                    quarantined.insert((shard, sample), reason);
+                }
             }
             valid_len += line.len();
         }
@@ -91,6 +102,7 @@ impl CampaignJournal {
             writer: Mutex::new(BufWriter::new(file)),
             shards,
             samples,
+            quarantined,
         })
     }
 
@@ -106,6 +118,17 @@ impl CampaignJournal {
             ("shard".to_owned(), Value::Str(shard.to_owned())),
             ("sample".to_owned(), Value::Str(outcome.sample.clone())),
             ("outcome".to_owned(), outcome.to_value()),
+        ]));
+    }
+
+    /// Append a quarantine diagnostic for a sample whose bytes failed
+    /// ingestion validation.
+    pub fn record_quarantine(&self, shard: &str, sample: &str, reason: &str) {
+        self.append(Value::Map(vec![
+            ("kind".to_owned(), Value::Str("quarantine".to_owned())),
+            ("shard".to_owned(), Value::Str(shard.to_owned())),
+            ("sample".to_owned(), Value::Str(sample.to_owned())),
+            ("reason".to_owned(), Value::Str(reason.to_owned())),
         ]));
     }
 
@@ -148,6 +171,17 @@ impl CampaignJournal {
         self.samples.len()
     }
 
+    /// The recorded quarantine reason for a sample, if the previous run
+    /// quarantined it.
+    pub fn quarantine_reason(&self, shard: &str, sample: &str) -> Option<&str> {
+        self.quarantined.get(&(shard.to_owned(), sample.to_owned())).map(String::as_str)
+    }
+
+    /// Number of recovered quarantine records across all shards.
+    pub fn recovered_quarantined(&self) -> usize {
+        self.quarantined.len()
+    }
+
     /// A recovered shard cell, if the previous run finished the whole
     /// shard. `None` both when absent and when the stored cell no
     /// longer matches `T`'s shape.
@@ -159,6 +193,7 @@ impl CampaignJournal {
 enum Record {
     Sample { shard: String, sample: String, outcome: AttackOutcome },
     Shard { shard: String, cell: Value },
+    Quarantine { shard: String, sample: String, reason: String },
 }
 
 fn parse_record(line: &str) -> Option<Record> {
@@ -173,6 +208,11 @@ fn parse_record(line: &str) -> Option<Record> {
         Value::Str(kind) if kind == "shard" => {
             Some(Record::Shard { shard, cell: value.get("cell")?.clone() })
         }
+        Value::Str(kind) if kind == "quarantine" => Some(Record::Quarantine {
+            shard,
+            sample: String::from_value(value.get("sample")?).ok()?,
+            reason: String::from_value(value.get("reason")?).ok()?,
+        }),
         _ => None,
     }
 }
@@ -217,6 +257,30 @@ mod tests {
         assert!(journal.sample("MPass vs MalConv", "mal_0003").is_none());
         assert_eq!(journal.shard_cell::<Vec<u64>>("MPass vs NonNeg").unwrap(), vec![1, 2, 3]);
         assert!(journal.shard_cell::<Vec<u64>>("MPass vs MalConv").is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn quarantine_records_survive_reopen_without_truncating() {
+        let path = temp_path("quarantine");
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = CampaignJournal::open(&path).unwrap();
+            journal.record_quarantine("shard", "mal_0007", "header does not re-parse");
+            // A record written *after* the quarantine must survive
+            // recovery: an unknown kind would truncate everything behind
+            // it, so the quarantine kind has to parse.
+            journal.record_sample("shard", &outcome("mal_0008", true));
+        }
+        let journal = CampaignJournal::open(&path).unwrap();
+        assert_eq!(journal.recovered_quarantined(), 1);
+        assert_eq!(
+            journal.quarantine_reason("shard", "mal_0007"),
+            Some("header does not re-parse")
+        );
+        assert_eq!(journal.quarantine_reason("shard", "mal_0008"), None);
+        assert_eq!(journal.recovered_samples(), 1);
+        assert!(journal.sample("shard", "mal_0008").unwrap().evaded);
         std::fs::remove_file(&path).unwrap();
     }
 

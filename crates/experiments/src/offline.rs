@@ -116,6 +116,22 @@ pub fn attack_target(
     attack_target_with(world, attack, target, &label, &CampaignOptions::default(), None, 0)
 }
 
+/// `None` when `bytes` ingest cleanly as a PE; otherwise the diagnostic
+/// reason the sample is quarantined with. Clean ingestion means the
+/// bytes parse *and* survive a serialize/re-parse round trip — the same
+/// predicate the oracle channel applies to outgoing candidates, applied
+/// here to incoming samples.
+fn ingest_reason(bytes: &[u8]) -> Option<String> {
+    match mpass_pe::PeFile::parse(bytes) {
+        Err(e) => Some(format!("does not parse: {e}")),
+        Ok(pe) => match mpass_pe::PeFile::parse(&pe.to_bytes()) {
+            Err(e) => Some(format!("round-trip does not re-parse: {e}")),
+            Ok(pe2) if pe2 != pe => Some("round-trip does not reproduce the image".to_owned()),
+            Ok(_) => None,
+        },
+    }
+}
+
 /// [`attack_target`] with the full campaign machinery: an optionally
 /// fault-injected oracle channel, and journal-backed resume.
 ///
@@ -157,6 +173,19 @@ pub fn attack_target_with(
         }
     };
     for sample in samples {
+        // Ingestion gate: a sample whose bytes do not re-parse and
+        // round-trip is quarantined with a diagnostic record instead of
+        // being handed to the attack, where hostile structure could
+        // otherwise surface deep inside the mutation machinery.
+        if let Some(reason) = ingest_reason(&sample.bytes) {
+            trace::counter("campaign/quarantined", 1);
+            if let Some(journal) = journal {
+                if journal.quarantine_reason(label, &sample.name).is_none() {
+                    journal.record_quarantine(label, &sample.name, &reason);
+                }
+            }
+            continue;
+        }
         let resumed = replay_samples
             .then(|| journal.and_then(|j| j.sample(label, &sample.name)).cloned())
             .flatten();
@@ -332,6 +361,75 @@ mod tests {
         let (cells_parallel, labels_parallel) = run_at(4);
         assert_eq!(cells_serial, cells_parallel);
         assert_eq!(labels_serial, labels_parallel);
+    }
+
+    #[test]
+    fn ingest_reason_accepts_corpus_and_rejects_garbage() {
+        assert!(ingest_reason(b"MZ but not actually a PE").is_some());
+        let ds = mpass_corpus::Dataset::generate(&mpass_corpus::CorpusConfig {
+            n_malware: 1,
+            n_benign: 1,
+            seed: 3,
+            no_slack_fraction: 0.0,
+        });
+        for s in &ds.samples {
+            assert_eq!(ingest_reason(&s.bytes), None, "{}", s.name);
+        }
+    }
+
+    /// A corrupted sample is quarantined — journalled with a diagnostic,
+    /// counted, and excluded from the attacked population — rather than
+    /// fed into the attack machinery.
+    #[test]
+    fn malformed_sample_is_quarantined_not_attacked() {
+        let mut cfg = WorldConfig::quick();
+        cfg.attack_samples = 2;
+        let mut world = World::build(cfg);
+        // Destroy the PE signature of one malware sample; the raw bytes
+        // barely change, so detectors still flag it, but ingestion fails.
+        let victim = world
+            .dataset
+            .samples
+            .iter_mut()
+            .find(|s| s.label == mpass_corpus::Label::Malware)
+            .expect("quick world has malware");
+        victim.bytes[0] = 0;
+        victim.bytes[1] = 0;
+        let victim_name = victim.name.clone();
+        let victim_bytes = victim.bytes.clone();
+        let (target_name, det) = world.offline_targets().into_iter().next().unwrap();
+        assert_eq!(
+            det.classify(&victim_bytes),
+            mpass_detectors::Verdict::Malicious,
+            "corruption must not flip the verdict for this test to bite"
+        );
+
+        let path = std::env::temp_dir()
+            .join(format!("mpass-offline-quarantine-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let journal = CampaignJournal::open(&path).unwrap();
+        let mut attack = make_attack(&world, target_name, "MPass");
+        let label = "quarantine shard";
+        let cell = attack_target_with(
+            &world,
+            attack.as_mut(),
+            det,
+            label,
+            &CampaignOptions::default(),
+            Some(&journal),
+            11,
+        );
+        assert!(cell.stats.samples < 2, "quarantined sample must not be attacked");
+        drop(journal);
+        // Recovery state is built at open time, so reopen to observe
+        // the quarantine record the run just appended.
+        let reopened = CampaignJournal::open(&path).unwrap();
+        assert!(
+            reopened.quarantine_reason(label, &victim_name).is_some(),
+            "victim sample should be journalled as quarantined"
+        );
+        drop(reopened);
+        std::fs::remove_file(&path).unwrap();
     }
 
     /// A resumed campaign over a complete journal replays every shard

@@ -1,0 +1,97 @@
+//! Deterministic fuzz smoke run: mutate seed images and check every
+//! ingestion contract, failing the process on the first violations.
+//!
+//! ```text
+//! fuzz_smoke [--iterations N] [--seed S] [--save-dir DIR]
+//! ```
+//!
+//! The default configuration (seed `0x4D50_6153_5346_555A`, 10 000
+//! iterations) is what CI runs; a campaign is a pure function of its
+//! arguments, so any reported iteration reproduces exactly.
+
+use mpass_fuzz::harness::{check_bytes, silence_panics};
+use mpass_fuzz::minimize::minimize;
+use mpass_fuzz::mutate::Mutator;
+use mpass_fuzz::seeds::seed_images;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const DEFAULT_SEED: u64 = 0x4D50_6153_5346_555A; // "MPaSSFUZ"
+const DEFAULT_ITERATIONS: u64 = 10_000;
+const MAX_REPORTED: usize = 10;
+
+fn parse_args() -> (u64, u64, Option<String>) {
+    let mut iterations = DEFAULT_ITERATIONS;
+    let mut seed = DEFAULT_SEED;
+    let mut save_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("fuzz_smoke: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--iterations" => {
+                iterations = value("--iterations").parse().unwrap_or_else(|e| {
+                    eprintln!("fuzz_smoke: bad --iterations: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--seed" => {
+                seed = value("--seed").parse().unwrap_or_else(|e| {
+                    eprintln!("fuzz_smoke: bad --seed: {e}");
+                    std::process::exit(2);
+                })
+            }
+            "--save-dir" => save_dir = Some(value("--save-dir")),
+            other => {
+                eprintln!("fuzz_smoke: unknown argument {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (iterations, seed, save_dir)
+}
+
+fn main() {
+    let (iterations, seed, save_dir) = parse_args();
+    silence_panics();
+    let seeds = seed_images(seed);
+    let mut mutator = Mutator::new(seed);
+    let mut picker = ChaCha8Rng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut failures = 0usize;
+
+    for i in 0..iterations {
+        let base = &seeds[picker.gen_range(0..seeds.len())];
+        let donor = &seeds[picker.gen_range(0..seeds.len())];
+        let mutant = mutator.mutate(base, donor);
+        if let Err(why) = check_bytes(&mutant) {
+            failures += 1;
+            eprintln!("iteration {i}: {why}");
+            let shrunk = minimize(&mutant, |b| check_bytes(b).is_err());
+            eprintln!("  minimized from {} to {} bytes", mutant.len(), shrunk.len());
+            if let Some(dir) = &save_dir {
+                let _ = std::fs::create_dir_all(dir);
+                let path = format!("{dir}/crash-{seed:016x}-{i}.bin");
+                match std::fs::write(&path, &shrunk) {
+                    Ok(()) => eprintln!("  saved {path}"),
+                    Err(e) => eprintln!("  could not save {path}: {e}"),
+                }
+            }
+            if failures >= MAX_REPORTED {
+                eprintln!("stopping after {MAX_REPORTED} failures");
+                break;
+            }
+        }
+    }
+
+    println!(
+        "fuzz_smoke: seed {seed:#x}, {iterations} iterations, {} seed images, {failures} contract violations",
+        seeds.len()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

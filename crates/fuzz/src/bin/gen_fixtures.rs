@@ -1,0 +1,136 @@
+//! Regenerate the checked-in malformed regression corpus at
+//! `tests/fixtures/malformed/` (or a directory given as the first
+//! argument).
+//!
+//! Each fixture is a deterministic, hand-constructed hostile input that
+//! once mapped to a distinct failure mode of the ingestion layer. The
+//! workspace test suite replays the directory through the fuzz harness
+//! on every run, so these stay fixed forever.
+
+use mpass_fuzz::harness::check_bytes;
+use mpass_pe::{CoffHeader, PeBuilder, PeFile, SectionFlags, SECTION_HEADER_SIZE};
+use mpass_vm::{Instr, Reg};
+
+fn opt_at(pe: &PeFile) -> usize {
+    pe.dos().e_lfanew as usize + 4 + CoffHeader::SIZE
+}
+
+fn section_entry_at(pe: &PeFile, i: usize) -> usize {
+    opt_at(pe) + pe.coff().size_of_optional_header as usize + i * SECTION_HEADER_SIZE
+}
+
+fn put_u32(bytes: &mut [u8], at: usize, v: u32) {
+    bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn base(code: &[Instr]) -> PeFile {
+    let encoded: Vec<u8> = code.iter().flat_map(|i| i.encode()).collect();
+    let mut b = PeBuilder::new();
+    b.add_section(".text", encoded, SectionFlags::CODE).expect("fresh section name");
+    b.add_section(".data", vec![0x33; 128], SectionFlags::DATA).expect("fresh section name");
+    b.set_entry_section(".text", 0).expect("section exists");
+    b.build().expect("well-formed by construction")
+}
+
+fn plain() -> PeFile {
+    base(&[Instr::Movi(Reg::R0, 1), Instr::Jmp(8), Instr::Halt, Instr::Halt])
+}
+
+/// `(name, bytes)` for every fixture in the corpus.
+fn fixtures() -> Vec<(&'static str, Vec<u8>)> {
+    let mut out = Vec::new();
+
+    // A zero-size section whose raw pointer aims far past the file end:
+    // inflates the overlay anchor without contributing any data.
+    {
+        let pe = plain();
+        let mut bytes = pe.to_bytes();
+        let e = section_entry_at(&pe, 1);
+        put_u32(&mut bytes, e + 16, 0); // size_of_raw_data
+        put_u32(&mut bytes, e + 20, 0xFFF0_0000); // pointer_to_raw_data
+        out.push(("size0_huge_pointer.bin", bytes));
+    }
+
+    // size_of_image near the top of the 32-bit range: a faithful mapper
+    // would allocate ~4 GiB per execution.
+    {
+        let pe = plain();
+        let mut bytes = pe.to_bytes();
+        put_u32(&mut bytes, opt_at(&pe) + 56, 0xFFFF_F000);
+        out.push(("huge_size_of_image.bin", bytes));
+    }
+
+    // The file ends in the middle of the optional header.
+    {
+        let pe = plain();
+        let mut bytes = pe.to_bytes();
+        bytes.truncate(opt_at(&pe) + 40);
+        out.push(("truncated_optional_header.bin", bytes));
+    }
+
+    // The file ends in the middle of a section's raw data.
+    {
+        let pe = plain();
+        let mut bytes = pe.to_bytes();
+        bytes.truncate(pe.optional().size_of_headers as usize + 10);
+        out.push(("truncated_section_data.bin", bytes));
+    }
+
+    // Two sections whose raw ranges alias the same file bytes.
+    {
+        let pe = plain();
+        let mut bytes = pe.to_bytes();
+        let ptr0 = pe.sections()[0].header().pointer_to_raw_data;
+        put_u32(&mut bytes, section_entry_at(&pe, 1) + 20, ptr0);
+        out.push(("overlapping_raw.bin", bytes));
+    }
+
+    // A section whose virtual extent wraps the 32-bit address space.
+    {
+        let pe = plain();
+        let mut bytes = pe.to_bytes();
+        let e = section_entry_at(&pe, 1);
+        put_u32(&mut bytes, e + 8, 0x2000); // virtual_size
+        put_u32(&mut bytes, e + 12, 0xFFFF_F000); // virtual_address
+        out.push(("va_overflow.bin", bytes));
+    }
+
+    // Entry code whose first jump lands mid-slot in its own stream.
+    {
+        let pe = base(&[Instr::Jmp(-4), Instr::Halt]);
+        out.push(("misaligned_jump.bin", pe.to_bytes()));
+    }
+
+    // Entry code that is not decodable at all.
+    {
+        let encoded = vec![0xEE; 16];
+        let mut b = PeBuilder::new();
+        b.add_section(".text", encoded, SectionFlags::CODE).expect("fresh section name");
+        b.set_entry_section(".text", 0).expect("section exists");
+        out.push(("bad_opcode.bin", b.build().expect("builds").to_bytes()));
+    }
+
+    out
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| "tests/fixtures/malformed".to_owned());
+    std::fs::create_dir_all(&dir).expect("create fixture directory");
+    let mut bad = 0;
+    for (name, bytes) in fixtures() {
+        let verdict = match check_bytes(&bytes) {
+            Ok(()) => "handled gracefully".to_owned(),
+            Err(why) => {
+                bad += 1;
+                format!("CONTRACT VIOLATION: {why}")
+            }
+        };
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, &bytes).expect("write fixture");
+        println!("{path}: {} bytes, {verdict}", bytes.len());
+    }
+    if bad > 0 {
+        eprintln!("gen_fixtures: {bad} fixtures violate the ingestion contracts");
+        std::process::exit(1);
+    }
+}

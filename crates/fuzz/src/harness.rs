@@ -1,0 +1,102 @@
+//! The fuzz oracle: one function that checks every ingestion contract
+//! against one byte string.
+
+use mpass_pe::PeFile;
+use mpass_vm::{disassemble, Vm, VmLimits};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Resource ceilings fuzz executions run under: tight enough that ten
+/// thousand iterations finish in seconds, generous enough that real
+/// control flow (loops, unpacker stubs, API floods) still executes.
+pub fn fuzz_limits() -> VmLimits {
+    VmLimits {
+        step_limit: 65_536,
+        memory_limit: 32 << 20,
+        trace_limit: 4_096,
+        jump_chain_limit: 16_384,
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Install a no-op panic hook so harness-caught panics do not spray
+/// backtraces over a ten-thousand-iteration run. Call once per process,
+/// from binaries only.
+pub fn silence_panics() {
+    std::panic::set_hook(Box::new(|_| {}));
+}
+
+/// Check every ingestion contract against `bytes`.
+///
+/// A graceful parse *rejection* is a pass — hostile bytes are supposed
+/// to be turned away. `Err` describes the violated contract:
+///
+/// * `PeFile::parse` panicked;
+/// * the accepted image does not round-trip (`to_bytes` panicked,
+///   its output no longer parses, or it parses to a different image);
+/// * `disassemble` panicked on a section's bytes;
+/// * `Vm::run` panicked (resource exhaustion and faults are graceful
+///   terminations, not violations).
+pub fn check_bytes(bytes: &[u8]) -> Result<(), String> {
+    let parsed = catch_unwind(AssertUnwindSafe(|| PeFile::parse(bytes)))
+        .map_err(|p| format!("PeFile::parse panicked: {}", panic_message(&*p)))?;
+    let Ok(pe) = parsed else {
+        return Ok(());
+    };
+
+    let round = catch_unwind(AssertUnwindSafe(|| PeFile::parse(&pe.to_bytes())))
+        .map_err(|p| format!("round trip panicked: {}", panic_message(&*p)))?;
+    match round {
+        Ok(pe2) if pe2 == pe => {}
+        Ok(_) => return Err("round trip parsed to a different image".to_owned()),
+        Err(e) => return Err(format!("round trip failed to re-parse: {e}")),
+    }
+
+    for section in pe.sections() {
+        let name = section.name();
+        catch_unwind(AssertUnwindSafe(|| {
+            let _ = disassemble(section.data());
+        }))
+        .map_err(|p| {
+            format!("disassemble panicked on section {name:?}: {}", panic_message(&*p))
+        })?;
+    }
+
+    catch_unwind(AssertUnwindSafe(|| Vm::load_with(&pe, fuzz_limits()).run()))
+        .map_err(|p| format!("Vm::run panicked: {}", panic_message(&*p)))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpass_corpus::{CorpusConfig, Dataset};
+
+    #[test]
+    fn garbage_is_gracefully_rejected() {
+        assert_eq!(check_bytes(&[]), Ok(()));
+        assert_eq!(check_bytes(b"MZ"), Ok(()));
+        assert_eq!(check_bytes(&[0xFF; 4096]), Ok(()));
+    }
+
+    #[test]
+    fn corpus_samples_satisfy_every_contract() {
+        let ds = Dataset::generate(&CorpusConfig {
+            n_malware: 2,
+            n_benign: 2,
+            seed: 42,
+            no_slack_fraction: 0.0,
+        });
+        for s in &ds.samples {
+            assert_eq!(check_bytes(&s.bytes), Ok(()), "{}", s.name);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Greedy crasher minimization: shrink a failing input while the
+//! caller-supplied predicate keeps failing.
+
+/// Shrink `bytes` while `still_fails` stays true, by repeated tail
+/// truncation and interior chunk removal with geometrically decreasing
+/// chunk sizes (a light-weight ddmin). The result is 1-minimal with
+/// respect to the chunk sizes tried, not globally minimal — good enough
+/// to turn a multi-kilobyte mutant into a small checked-in fixture.
+pub fn minimize(bytes: &[u8], still_fails: impl Fn(&[u8]) -> bool) -> Vec<u8> {
+    let mut cur = bytes.to_vec();
+    if !still_fails(&cur) {
+        return cur;
+    }
+    loop {
+        let before = cur.len();
+        // Tail truncation, halving the cut until single bytes.
+        let mut cut = (cur.len() / 2).max(1);
+        while cut >= 1 {
+            while cur.len() > cut {
+                let cand = &cur[..cur.len() - cut];
+                if still_fails(cand) {
+                    cur.truncate(cur.len() - cut);
+                } else {
+                    break;
+                }
+            }
+            if cut == 1 {
+                break;
+            }
+            cut /= 2;
+        }
+        // Interior removal: try deleting each chunk of the current size.
+        let mut chunk = (cur.len() / 4).max(1);
+        while chunk >= 1 {
+            let mut at = 0;
+            while at + chunk <= cur.len() {
+                let mut cand = Vec::with_capacity(cur.len() - chunk);
+                cand.extend_from_slice(&cur[..at]);
+                cand.extend_from_slice(&cur[at + chunk..]);
+                if still_fails(&cand) {
+                    cur = cand;
+                } else {
+                    at += chunk;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+        if cur.len() == before {
+            return cur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shrinks_to_the_failing_core() {
+        // "Failure" = contains the byte 0x7F.
+        let mut input = vec![0u8; 500];
+        input[321] = 0x7F;
+        let min = minimize(&input, |b| b.contains(&0x7F));
+        assert_eq!(min, vec![0x7F]);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let input = vec![1, 2, 3];
+        assert_eq!(minimize(&input, |_| false), input);
+    }
+
+    #[test]
+    fn respects_multi_byte_dependencies() {
+        // Failure requires the subsequence [9, 9] to survive.
+        let mut input = vec![0u8; 64];
+        input[10] = 9;
+        input[11] = 9;
+        let min = minimize(&input, |b| b.windows(2).any(|w| w == [9, 9]));
+        assert_eq!(min, vec![9, 9]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Seeded structure-aware mutation of PE images.
+//!
+//! Every choice is drawn from one ChaCha8 stream, so a mutation
+//! campaign is fully determined by its seed: the same `(seed, sequence
+//! of calls)` always yields the same mutants.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Values that sit on validation boundaries: zero, one, alignment
+/// quanta, and the top of the 32-bit range where additions overflow.
+const BOUNDARY: [u32; 10] = [
+    0,
+    1,
+    7,
+    8,
+    0x1FF,
+    0x200,
+    0x1000,
+    0x7FFF_FFFF,
+    0xFFFF_F000,
+    0xFFFF_FFFF,
+];
+
+fn read_u16(b: &[u8], at: usize) -> Option<u16> {
+    b.get(at..at + 2).map(|v| u16::from_le_bytes([v[0], v[1]]))
+}
+
+fn read_u32(b: &[u8], at: usize) -> Option<u32> {
+    b.get(at..at + 4).map(|v| u32::from_le_bytes([v[0], v[1], v[2], v[3]]))
+}
+
+fn write_u32(b: &mut [u8], at: usize, v: u32) {
+    if let Some(dst) = b.get_mut(at..at + 4) {
+        dst.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Best-effort header geometry recovered from raw bytes (no parser
+/// involved — the mutator must keep working on images the parser
+/// already rejects).
+struct Geometry {
+    coff_at: usize,
+    opt_at: usize,
+    table_at: usize,
+    n_sections: usize,
+}
+
+fn geometry(b: &[u8]) -> Option<Geometry> {
+    let e_lfanew = read_u32(b, 0x3C)? as usize;
+    let coff_at = e_lfanew.checked_add(4)?;
+    let opt_size = read_u16(b, coff_at.checked_add(16)?)? as usize;
+    let n_sections = read_u16(b, coff_at.checked_add(2)?)? as usize;
+    let opt_at = coff_at.checked_add(20)?;
+    let table_at = opt_at.checked_add(opt_size)?;
+    if table_at >= b.len() {
+        return None;
+    }
+    Some(Geometry { coff_at, opt_at, table_at, n_sections: n_sections.min(96) })
+}
+
+/// The deterministic structure-aware mutator.
+pub struct Mutator {
+    rng: ChaCha8Rng,
+}
+
+impl Mutator {
+    /// A mutator whose whole decision stream derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        Mutator { rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Produce one mutant of `base`, applying 1–3 mutation operators.
+    /// `donor` supplies foreign bytes for splice operations (pass any
+    /// other seed image, or `base` itself).
+    pub fn mutate(&mut self, base: &[u8], donor: &[u8]) -> Vec<u8> {
+        let mut out = base.to_vec();
+        for _ in 0..self.rng.gen_range(1..4u32) {
+            match self.rng.gen_range(0..6u32) {
+                0 => self.flip_header_field(&mut out),
+                1 => self.section_surgery(&mut out),
+                2 => self.truncate(&mut out),
+                3 => self.splice(&mut out, donor),
+                4 => self.byte_noise(&mut out),
+                _ => self.grow(&mut out, donor),
+            }
+        }
+        out
+    }
+
+    fn boundary(&mut self) -> u32 {
+        if self.rng.gen_range(0..4u32) == 0 {
+            self.rng.gen::<u32>()
+        } else {
+            BOUNDARY[self.rng.gen_range(0..BOUNDARY.len())]
+        }
+    }
+
+    /// Overwrite one load-bearing header field with a boundary value.
+    fn flip_header_field(&mut self, b: &mut [u8]) {
+        let Some(g) = geometry(b) else {
+            return self.byte_noise(b);
+        };
+        // (offset, width) of fields validation logic actually branches on.
+        let fields: [(usize, usize); 12] = [
+            (0x3C, 4),           // e_lfanew
+            (g.coff_at + 2, 2),  // number_of_sections
+            (g.coff_at + 16, 2), // size_of_optional_header
+            (g.opt_at + 16, 4),  // address_of_entry_point
+            (g.opt_at + 20, 4),  // base_of_code
+            (g.opt_at + 32, 4),  // section_alignment
+            (g.opt_at + 36, 4),  // file_alignment
+            (g.opt_at + 56, 4),  // size_of_image
+            (g.opt_at + 60, 4),  // size_of_headers
+            (g.opt_at + 92, 4),  // number_of_rva_and_sizes
+            (g.opt_at + 96 + 8, 4),     // import directory rva
+            (g.opt_at + 96 + 8 + 4, 4), // import directory size
+        ];
+        let (at, width) = fields[self.rng.gen_range(0..fields.len())];
+        let v = self.boundary();
+        if width == 2 {
+            if let Some(dst) = b.get_mut(at..at + 2) {
+                dst.copy_from_slice(&(v as u16).to_le_bytes());
+            }
+        } else {
+            write_u32(b, at, v);
+        }
+    }
+
+    /// Rewrite one field of one section-table entry, or clone an entry
+    /// over another.
+    fn section_surgery(&mut self, b: &mut [u8]) {
+        const ENTRY: usize = 40;
+        let Some(g) = geometry(b) else {
+            return self.byte_noise(b);
+        };
+        if g.n_sections == 0 {
+            return self.flip_header_field(b);
+        }
+        let i = self.rng.gen_range(0..g.n_sections);
+        let entry_at = g.table_at + i * ENTRY;
+        if self.rng.gen_range(0..4u32) == 0 && g.n_sections > 1 {
+            // Clone a whole entry over another: duplicate names, aliased
+            // raw ranges, identical virtual addresses.
+            let j = self.rng.gen_range(0..g.n_sections);
+            let src_at = g.table_at + j * ENTRY;
+            if src_at + ENTRY <= b.len() && entry_at + ENTRY <= b.len() {
+                let src: Vec<u8> = b[src_at..src_at + ENTRY].to_vec();
+                b[entry_at..entry_at + ENTRY].copy_from_slice(&src);
+            }
+            return;
+        }
+        // virtual_size, virtual_address, size_of_raw_data,
+        // pointer_to_raw_data, characteristics.
+        let field = [8usize, 12, 16, 20, 36][self.rng.gen_range(0..5)];
+        let v = self.boundary();
+        write_u32(b, entry_at + field, v);
+    }
+
+    /// Cut the image off at a random point.
+    fn truncate(&mut self, b: &mut Vec<u8>) {
+        if b.is_empty() {
+            return;
+        }
+        let keep = self.rng.gen_range(0..b.len());
+        b.truncate(keep);
+    }
+
+    /// Overwrite a window of `b` with a window of `donor`.
+    fn splice(&mut self, b: &mut [u8], donor: &[u8]) {
+        if b.is_empty() || donor.is_empty() {
+            return;
+        }
+        let len = self.rng.gen_range(1..=donor.len().min(b.len()).min(512));
+        let from = self.rng.gen_range(0..=donor.len() - len);
+        let to = self.rng.gen_range(0..=b.len() - len);
+        b[to..to + len].copy_from_slice(&donor[from..from + len]);
+    }
+
+    /// Flip a handful of random bytes.
+    fn byte_noise(&mut self, b: &mut [u8]) {
+        if b.is_empty() {
+            return;
+        }
+        for _ in 0..self.rng.gen_range(1..16u32) {
+            let at = self.rng.gen_range(0..b.len());
+            b[at] ^= self.rng.gen::<u8>() | 1;
+        }
+    }
+
+    /// Append donor bytes, turning them into (or extending) an overlay.
+    fn grow(&mut self, b: &mut Vec<u8>, donor: &[u8]) {
+        if donor.is_empty() {
+            return;
+        }
+        let len = self.rng.gen_range(1..=donor.len().min(256));
+        let from = self.rng.gen_range(0..=donor.len() - len);
+        b.extend_from_slice(&donor[from..from + len]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_mutants() {
+        let base: Vec<u8> = (0..1024u32).map(|i| i as u8).collect();
+        let mut a = Mutator::new(9);
+        let mut b = Mutator::new(9);
+        for _ in 0..50 {
+            assert_eq!(a.mutate(&base, &base), b.mutate(&base, &base));
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let base: Vec<u8> = (0..1024u32).map(|i| i as u8).collect();
+        let mut a = Mutator::new(1);
+        let mut b = Mutator::new(2);
+        let distinct = (0..20).filter(|_| a.mutate(&base, &base) != b.mutate(&base, &base)).count();
+        assert!(distinct > 0);
+    }
+
+    #[test]
+    fn mutator_survives_degenerate_inputs() {
+        let mut m = Mutator::new(3);
+        for base in [&[][..], &[0x4D][..], &[0u8; 64][..]] {
+            for _ in 0..20 {
+                let _ = m.mutate(base, base);
+            }
+        }
+    }
+}

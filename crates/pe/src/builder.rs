@@ -138,25 +138,24 @@ impl PeBuilder {
         if let Some(base) = self.image_base {
             optional.image_base = base;
         }
-        let sections = self
-            .sections
-            .iter()
-            .map(|(name, data, flags)| {
-                let header = SectionHeader {
-                    name: SectionHeader::encode_name(name).expect("validated in add_section"),
-                    virtual_size: data.len() as u32,
-                    virtual_address: 0,
-                    size_of_raw_data: 0,
-                    pointer_to_raw_data: 0,
-                    pointer_to_relocations: 0,
-                    pointer_to_linenumbers: 0,
-                    number_of_relocations: 0,
-                    number_of_linenumbers: 0,
-                    characteristics: *flags,
-                };
-                Section::new(header, data.clone())
-            })
-            .collect();
+        let mut sections = Vec::with_capacity(self.sections.len());
+        for (name, data, flags) in &self.sections {
+            let header = SectionHeader {
+                // Already validated in add_section; re-propagating keeps
+                // build() total without a reachable panic path.
+                name: SectionHeader::encode_name(name)?,
+                virtual_size: data.len() as u32,
+                virtual_address: 0,
+                size_of_raw_data: 0,
+                pointer_to_raw_data: 0,
+                pointer_to_relocations: 0,
+                pointer_to_linenumbers: 0,
+                number_of_relocations: 0,
+                number_of_linenumbers: 0,
+                characteristics: *flags,
+            };
+            sections.push(Section::new(header, data.clone()));
+        }
         let mut pe = PeFile {
             dos: DosHeader::minimal(),
             coff,
@@ -164,15 +163,20 @@ impl PeBuilder {
             sections,
             overlay: Vec::new(),
         };
-        pe.optional.size_of_headers = (pe.header_size()
-            + self.header_slack_sections * crate::section::SECTION_HEADER_SIZE)
-            as u32;
+        pe.optional.size_of_headers = u32::try_from(
+            pe.header_size()
+                + self.header_slack_sections * crate::section::SECTION_HEADER_SIZE,
+        )
+        .map_err(|_| PeError::Malformed("header region overflows u32".into()))?;
         pe.refresh_layout();
         if let Some((name, offset)) = &self.entry {
-            let rva = pe
+            let base = pe
                 .section(name)
-                .map(|s| s.header().virtual_address + offset)
+                .map(|s| s.header().virtual_address)
                 .ok_or_else(|| PeError::MissingSection(name.clone()))?;
+            let rva = base.checked_add(*offset).ok_or_else(|| {
+                PeError::Malformed(format!("entry offset {offset:#x} overflows the rva space"))
+            })?;
             pe.optional.address_of_entry_point = rva;
         } else {
             // Default: first byte of the first code section, if any.

@@ -20,35 +20,72 @@ impl PeFile {
     ///   names,
     /// * [`PeError::NoHeaderSpace`] when the header region cannot hold
     ///   another section header without moving raw data (the condition under
-    ///   which MPass falls back to overlay appending).
+    ///   which MPass falls back to overlay appending),
+    /// * [`PeError::Malformed`] when the resulting layout no longer fits in
+    ///   32-bit header fields (e.g. a large-overlay edit pushing the
+    ///   file-aligned raw size past `u32::MAX`). The image is untouched on
+    ///   every error.
     pub fn add_section(
         &mut self,
         name: &str,
         data: Vec<u8>,
         flags: SectionFlags,
     ) -> Result<u32, PeError> {
-        SectionHeader::encode_name(name)?;
+        let encoded_name = SectionHeader::encode_name(name)?;
         if self.section(name).is_some() {
             return Err(PeError::DuplicateSection(name.to_owned()));
         }
         if !self.can_add_section() {
             return Err(PeError::NoHeaderSpace);
         }
-        let file_align = self.optional.file_alignment.max(1);
+        if self.sections.len() >= u16::MAX as usize {
+            return Err(PeError::Malformed(
+                "section count would overflow number_of_sections".into(),
+            ));
+        }
+        // All layout arithmetic in 64 bits, checked back into u32 before any
+        // mutation, so a hostile base image or an oversized payload yields
+        // Malformed instead of wrapped pointers (or a debug-build panic).
+        let fit = |what: &'static str, v: u64| {
+            u32::try_from(v)
+                .map_err(|_| PeError::Malformed(format!("{what} {v:#x} overflows u32")))
+        };
+        let file_align = self.optional.file_alignment.max(1) as u64;
         let rva = self.next_free_rva();
-        let raw_size = (data.len() as u32).div_ceil(file_align) * file_align;
-        let raw_ptr = self
-            .sections
-            .iter()
-            .map(|s| s.header.pointer_to_raw_data + s.header.size_of_raw_data)
-            .max()
-            .unwrap_or(self.optional.size_of_headers)
-            .div_ceil(file_align)
-            * file_align;
+        let raw_size =
+            fit("raw size", (data.len() as u64).div_ceil(file_align) * file_align)?;
+        let raw_ptr = fit(
+            "raw pointer",
+            self.sections
+                .iter()
+                .map(|s| s.header.pointer_to_raw_data as u64 + s.header.size_of_raw_data as u64)
+                .max()
+                .unwrap_or(self.optional.size_of_headers as u64)
+                .div_ceil(file_align)
+                * file_align,
+        )?;
+        let sect_align = self.optional.section_alignment.max(1) as u64;
+        let size_of_image = fit(
+            "size_of_image",
+            (rva as u64 + raw_size.max(1) as u64).div_ceil(sect_align) * sect_align,
+        )?;
+        let size_of_code = if flags.is_code() {
+            fit("size_of_code", self.optional.size_of_code as u64 + raw_size as u64)?
+        } else {
+            self.optional.size_of_code
+        };
+        let size_of_init = if !flags.is_code() && flags.is_initialized_data() {
+            fit(
+                "size_of_initialized_data",
+                self.optional.size_of_initialized_data as u64 + raw_size as u64,
+            )?
+        } else {
+            self.optional.size_of_initialized_data
+        };
         let mut data = data;
         data.resize(raw_size as usize, 0);
         let header = SectionHeader {
-            name: SectionHeader::encode_name(name)?,
+            name: encoded_name,
             virtual_size: data.len() as u32,
             virtual_address: rva,
             size_of_raw_data: raw_size,
@@ -61,14 +98,9 @@ impl PeFile {
         };
         self.sections.push(Section::new(header, data));
         self.coff.number_of_sections = self.sections.len() as u16;
-        let sect_align = self.optional.section_alignment.max(1);
-        self.optional.size_of_image =
-            (rva + raw_size.max(1)).div_ceil(sect_align) * sect_align;
-        if flags.is_code() {
-            self.optional.size_of_code += raw_size;
-        } else if flags.is_initialized_data() {
-            self.optional.size_of_initialized_data += raw_size;
-        }
+        self.optional.size_of_image = size_of_image;
+        self.optional.size_of_code = size_of_code;
+        self.optional.size_of_initialized_data = size_of_init;
         Ok(rva)
     }
 
@@ -138,7 +170,9 @@ impl PeFile {
     /// sections' raw data.
     pub fn write_virtual(&mut self, rva: u32, bytes: &[u8]) -> Result<(), PeError> {
         for (i, &b) in bytes.iter().enumerate() {
-            let addr = rva + i as u32;
+            let addr = rva
+                .checked_add(i as u32)
+                .ok_or_else(|| PeError::Malformed("virtual write wraps past 4 GiB".into()))?;
             let idx = self
                 .section_index_containing_rva(addr)
                 .ok_or(PeError::UnmappedRva(addr))?;
@@ -259,6 +293,32 @@ mod tests {
         assert_eq!(pe2.coff().time_date_stamp, 0xDEAD_BEEF);
         assert_eq!(pe2.optional().major_image_version, 7);
         assert_eq!(pe2.optional().minor_image_version, 9);
+    }
+
+    #[test]
+    fn add_section_on_hostile_layout_errors_instead_of_wrapping() {
+        // A base image whose last section sits near the top of the 32-bit
+        // file/address space: the aligned raw pointer and size_of_image for
+        // any appended section overflow u32.
+        let mut pe = build();
+        pe.sections[1].header.pointer_to_raw_data = 0xFFFF_F000;
+        pe.sections[1].header.virtual_address = 0xFFFF_F000;
+        let before = pe.clone();
+        assert!(matches!(
+            pe.add_section(".mp", vec![0xEE; 64], SectionFlags::CODE),
+            Err(PeError::Malformed(_))
+        ));
+        // Failed edits leave the image untouched.
+        assert_eq!(pe, before);
+    }
+
+    #[test]
+    fn write_virtual_wrap_around_errors() {
+        let mut pe = build();
+        assert!(matches!(
+            pe.write_virtual(u32::MAX, &[1, 2]),
+            Err(PeError::Malformed(_) | PeError::UnmappedRva(_))
+        ));
     }
 
     #[test]

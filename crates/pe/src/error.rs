@@ -41,6 +41,12 @@ pub enum PeError {
     NoHeaderSpace,
     /// An RVA does not map into any section.
     UnmappedRva(u32),
+    /// The image (or a requested edit) violates a structural invariant that
+    /// cannot be represented or honored: arithmetic on 32-bit layout fields
+    /// overflowed, extents escape the file or address space, sections
+    /// overlap, or a resource bound (such as the mapped-image ceiling) was
+    /// exceeded. The string describes the specific violation.
+    Malformed(String),
 }
 
 impl fmt::Display for PeError {
@@ -65,6 +71,7 @@ impl fmt::Display for PeError {
                 write!(f, "no room in the header region for another section header")
             }
             PeError::UnmappedRva(rva) => write!(f, "rva {rva:#x} maps into no section"),
+            PeError::Malformed(reason) => write!(f, "malformed image: {reason}"),
         }
     }
 }
@@ -86,6 +93,7 @@ mod tests {
             PeError::NameTooLong("waytoolongname".into()),
             PeError::NoHeaderSpace,
             PeError::UnmappedRva(0x5000),
+            PeError::Malformed("raw size overflows u32".into()),
         ];
         for e in errs {
             let msg = e.to_string();

@@ -30,6 +30,11 @@ use serde::{Deserialize, Serialize};
 
 /// Size of one import descriptor.
 const DESCRIPTOR_SIZE: usize = 20;
+/// Ceiling on the flat image mapped while walking import structures.
+/// `size_of_image` is attacker-controlled; no realistic import-bearing
+/// image needs more, and anything larger fails with a typed error instead
+/// of allocating gigabytes.
+const IMPORT_MAP_CEILING: usize = 256 << 20;
 /// Data-directory slot of the import table.
 pub const IMPORT_DIRECTORY_INDEX: usize = 1;
 
@@ -162,11 +167,12 @@ impl ImportTable {
             put32(&mut out, at + 12, base_rva + name_offsets[i] as u32);
             put32(&mut out, at + 16, base_rva + iat_offsets[i] as u32);
             for (j, e) in d.entries.iter().enumerate() {
-                let entry = match e {
-                    ImportEntry::Ordinal(ord) => 0x8000_0000 | *ord as u32,
-                    ImportEntry::Name { .. } => {
-                        base_rva + hint_offsets[i][j].expect("name entry has offset") as u32
-                    }
+                let entry = match (e, hint_offsets[i][j]) {
+                    (ImportEntry::Ordinal(ord), _) => 0x8000_0000 | *ord as u32,
+                    (ImportEntry::Name { .. }, Some(off)) => base_rva + off as u32,
+                    // Offsets are Some exactly for Name entries; emit a
+                    // terminator rather than carrying a panic path.
+                    (ImportEntry::Name { .. }, None) => 0,
                 };
                 put32(&mut out, ilt_offsets[i] + j * 4, entry);
                 put32(&mut out, iat_offsets[i] + j * 4, entry);
@@ -223,7 +229,7 @@ impl PeFile {
         if dir.virtual_address == 0 || dir.size == 0 {
             return Ok(None);
         }
-        let image = self.map_image();
+        let image = self.map_image_bounded(IMPORT_MAP_CEILING)?;
         let mut table = ImportTable::new();
         let mut at = dir.virtual_address as usize;
         loop {
@@ -269,6 +275,13 @@ impl PeFile {
     pub fn set_imports(&mut self, imports: &ImportTable) -> Result<(), PeError> {
         let rva = self.next_free_rva();
         let (blob, dir_size) = imports.build(rva);
+        // build() encodes `rva + offset` into u32 thunks; reject placements
+        // where those additions would wrap.
+        if rva as u64 + blob.len() as u64 > u32::MAX as u64 {
+            return Err(PeError::Malformed(format!(
+                "import table at {rva:#x} overflows the rva space"
+            )));
+        }
         // A fresh name per call; replacing imports twice is not needed by
         // any caller, so collide-free naming suffices.
         let mut name = ".idata".to_owned();

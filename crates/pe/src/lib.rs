@@ -40,6 +40,18 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Hostile input
+//!
+//! Every parsing and editing entry point is total over arbitrary bytes:
+//! malformed input yields a typed [`PeError`], never a panic, and all
+//! layout arithmetic is performed in 64 bits so hostile 32-bit header
+//! fields cannot overflow. See [`ParseMode`] for the strict vs.
+//! loader-tolerant validation split.
+
+// Untrusted bytes reach nearly every function in this crate; failures must
+// surface as typed errors, never as panics (tests assert freely).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 mod builder;
 mod edit;
@@ -59,6 +71,7 @@ pub use headers::{
     CoffHeader, DataDirectory, DosHeader, OptionalHeader, DATA_DIRECTORY_COUNT, DOS_HEADER_SIZE,
     DOS_MAGIC, OPTIONAL_HEADER_SIZE, PE32_MAGIC, PE_SIGNATURE,
 };
+pub use parse::ParseMode;
 pub use section::{Section, SectionFlags, SectionHeader, SectionKind, SECTION_HEADER_SIZE};
 
 use serde::{Deserialize, Serialize};
@@ -168,8 +181,13 @@ impl PeFile {
         }
         for s in &self.sections {
             let h = s.header();
-            if rva >= h.virtual_address && rva < h.virtual_address + h.size_of_raw_data.max(1) {
-                return Some(h.pointer_to_raw_data + (rva - h.virtual_address));
+            // 64-bit arithmetic: hostile headers may place sections where
+            // `virtual_address + size` or the resulting offset wraps u32.
+            let end = h.virtual_address as u64 + h.size_of_raw_data.max(1) as u64;
+            if rva >= h.virtual_address && (rva as u64) < end {
+                let off =
+                    h.pointer_to_raw_data as u64 + (rva - h.virtual_address) as u64;
+                return u32::try_from(off).ok();
             }
         }
         None
@@ -183,10 +201,10 @@ impl PeFile {
         }
         for s in &self.sections {
             let h = s.header();
-            if offset >= h.pointer_to_raw_data
-                && offset < h.pointer_to_raw_data + h.size_of_raw_data
-            {
-                return Some(h.virtual_address + (offset - h.pointer_to_raw_data));
+            let end = h.pointer_to_raw_data as u64 + h.size_of_raw_data as u64;
+            if offset >= h.pointer_to_raw_data && (offset as u64) < end {
+                let rva = h.virtual_address as u64 + (offset - h.pointer_to_raw_data) as u64;
+                return u32::try_from(rva).ok();
             }
         }
         None
@@ -197,7 +215,7 @@ impl PeFile {
     pub fn read_virtual(&self, rva: u32, len: usize) -> Vec<u8> {
         let mut out = vec![0u8; len];
         for (i, byte) in out.iter_mut().enumerate() {
-            let addr = rva + i as u32;
+            let Some(addr) = rva.checked_add(i as u32) else { break };
             if let Some(s) = self.section_containing_rva(addr) {
                 let rel = (addr - s.header().virtual_address) as usize;
                 if rel < s.data().len() {
@@ -222,20 +240,45 @@ impl PeFile {
     /// First RVA beyond the virtual extent of the last section, aligned to
     /// the section alignment. This is where a newly added section lands.
     pub fn next_free_rva(&self) -> u32 {
-        let align = self.optional.section_alignment.max(1);
+        let align = self.optional.section_alignment.max(1) as u64;
         let end = self
             .sections
             .iter()
-            .map(|s| s.header().virtual_address + s.header().virtual_size.max(1))
+            .map(|s| s.header().virtual_address as u64 + s.header().virtual_size.max(1) as u64)
             .max()
-            .unwrap_or(self.optional.size_of_headers.max(align));
-        end.div_ceil(align) * align
+            .unwrap_or((self.optional.size_of_headers as u64).max(align));
+        // Saturate at u32::MAX: hostile layouts near the top of the address
+        // space yield an RVA that add_section then rejects as malformed.
+        u32::try_from(end.div_ceil(align) * align).unwrap_or(u32::MAX)
     }
 
     /// Map the whole image into a flat buffer of `size_of_image` bytes, the
     /// way the OS loader would (headers at 0, sections at their RVAs).
+    ///
+    /// `size_of_image` is attacker-controlled (up to 4 GiB); callers
+    /// handling untrusted images should prefer [`PeFile::map_image_bounded`]
+    /// so a hostile header cannot force a giant allocation.
     pub fn map_image(&self) -> Vec<u8> {
+        self.map_image_sized(self.optional.size_of_image as usize)
+    }
+
+    /// Like [`PeFile::map_image`], but refuses to allocate more than
+    /// `max_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// [`PeError::Malformed`] when `size_of_image` exceeds `max_bytes`.
+    pub fn map_image_bounded(&self, max_bytes: usize) -> Result<Vec<u8>, PeError> {
         let size = self.optional.size_of_image as usize;
+        if size > max_bytes {
+            return Err(PeError::Malformed(format!(
+                "size_of_image {size:#x} exceeds the mapping ceiling {max_bytes:#x}"
+            )));
+        }
+        Ok(self.map_image_sized(size))
+    }
+
+    fn map_image_sized(&self, size: usize) -> Vec<u8> {
         let mut image = vec![0u8; size];
         let header_bytes = self.to_bytes();
         let hdr_len = (self.optional.size_of_headers as usize).min(header_bytes.len()).min(size);

@@ -5,6 +5,28 @@ use crate::headers::{CoffHeader, DosHeader, OptionalHeader, PE_SIGNATURE};
 use crate::section::{Section, SectionHeader, SECTION_HEADER_SIZE};
 use crate::PeFile;
 
+/// How much structural validation parsing applies beyond what the loader
+/// itself needs.
+///
+/// The detectors and the attack must agree on what "still loads": the
+/// default [`ParseMode::LoaderTolerant`] accepts everything the Windows
+/// loader would map (hostile images routinely carry overlapping or
+/// zero-size sections), while [`ParseMode::Strict`] additionally rejects
+/// structural anomalies so that build/edit pipelines fail fast on corrupt
+/// intermediates instead of propagating them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ParseMode {
+    /// Enforce only what mapping requires: magics, alignment sanity and
+    /// in-bounds raw extents for sections that carry data.
+    #[default]
+    LoaderTolerant,
+    /// Additionally reject: a section table that escapes the declared
+    /// header region, zero-size sections pointing past the file, raw or
+    /// virtual extents that overflow 32 bits, overlapping raw data, and a
+    /// `size_of_image` that does not cover every section.
+    Strict,
+}
+
 impl PeFile {
     /// Parse a PE image from its on-disk bytes.
     ///
@@ -29,6 +51,28 @@ impl PeFile {
     /// # }
     /// ```
     pub fn parse(bytes: &[u8]) -> Result<PeFile, PeError> {
+        Self::parse_with(bytes, ParseMode::LoaderTolerant)
+    }
+
+    /// Parse with [`ParseMode::Strict`] validation. Shorthand for
+    /// [`PeFile::parse_with`].
+    ///
+    /// # Errors
+    ///
+    /// Everything [`PeFile::parse`] rejects, plus [`PeError::Malformed`]
+    /// for the structural anomalies listed on [`ParseMode::Strict`].
+    pub fn parse_strict(bytes: &[u8]) -> Result<PeFile, PeError> {
+        Self::parse_with(bytes, ParseMode::Strict)
+    }
+
+    /// Parse a PE image under an explicit [`ParseMode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PeError`] when the image is truncated, a magic value
+    /// mismatches, a header field is malformed, or (in strict mode) a
+    /// structural invariant is violated.
+    pub fn parse_with(bytes: &[u8], mode: ParseMode) -> Result<PeFile, PeError> {
         let dos = DosHeader::parse(bytes)?;
         let sig_at = dos.e_lfanew as usize;
         let sig = bytes.get(sig_at..sig_at + 4).ok_or(PeError::Truncated {
@@ -46,6 +90,27 @@ impl PeFile {
         let coff = CoffHeader::parse(bytes, coff_at)?;
         let opt_at = coff_at + CoffHeader::SIZE;
         let optional = OptionalHeader::parse(bytes, opt_at)?;
+
+        // Serialization-faithfulness invariants, enforced in every mode:
+        // anything accepted here must re-serialize to an image that parses
+        // back equal (the round-trip contract the AE gate and the fuzz
+        // harness rely on). The writer only emits the PE32 dialect with a
+        // full optional header, and places the overlay after the last data
+        // byte, so inputs outside that shape cannot round-trip.
+        if coff.size_of_optional_header as usize != crate::OPTIONAL_HEADER_SIZE {
+            return Err(PeError::Malformed(format!(
+                "size_of_optional_header {} (the PE32 dialect requires {})",
+                coff.size_of_optional_header,
+                crate::OPTIONAL_HEADER_SIZE
+            )));
+        }
+        if optional.size_of_headers as u64 > bytes.len() as u64 {
+            return Err(PeError::Malformed(format!(
+                "size_of_headers {:#x} past the file end ({:#x} bytes)",
+                optional.size_of_headers,
+                bytes.len()
+            )));
+        }
 
         let table_at = opt_at + coff.size_of_optional_header as usize;
         let n_sections = coff.number_of_sections as usize;
@@ -70,9 +135,77 @@ impl PeFile {
             raw_end = raw_end.max(start + len);
             sections.push(Section::new(header, data));
         }
+        // The overlay starts where the declared data region ends; if the
+        // headers themselves spill past it, re-serialization would push the
+        // overlay to a different offset and the round trip breaks.
+        let table_end = table_at + n_sections * SECTION_HEADER_SIZE;
+        if table_end > raw_end {
+            return Err(PeError::Malformed(format!(
+                "section table ends at {table_end:#x}, past the declared data \
+                 region ({raw_end:#x})"
+            )));
+        }
         let overlay = bytes.get(raw_end..).map(<[u8]>::to_vec).unwrap_or_default();
-        Ok(PeFile { dos, coff, optional, sections, overlay })
+        let pe = PeFile { dos, coff, optional, sections, overlay };
+        if mode == ParseMode::Strict {
+            validate_strict(&pe, bytes.len(), table_at)?;
+        }
+        Ok(pe)
     }
+}
+
+/// The additional invariants [`ParseMode::Strict`] enforces. All arithmetic
+/// is performed in 64 bits so hostile 32-bit fields cannot overflow the
+/// checks themselves.
+fn validate_strict(pe: &PeFile, file_len: usize, table_at: usize) -> Result<(), PeError> {
+    let table_end = table_at + pe.sections.len() * SECTION_HEADER_SIZE;
+    if table_end > pe.optional.size_of_headers as usize {
+        return Err(PeError::Malformed(format!(
+            "section table ends at {table_end:#x}, past size_of_headers {:#x}",
+            pe.optional.size_of_headers
+        )));
+    }
+    let mut raw_spans: Vec<(u64, u64, String)> = Vec::with_capacity(pe.sections.len());
+    for s in &pe.sections {
+        let h = s.header();
+        let name = s.name();
+        let raw_start = h.pointer_to_raw_data as u64;
+        let raw_len = h.size_of_raw_data as u64;
+        if raw_len == 0 && raw_start as usize > file_len {
+            return Err(PeError::Malformed(format!(
+                "zero-size section {name:?} points at {raw_start:#x}, past the file end"
+            )));
+        }
+        if h.virtual_address as u64 + (h.virtual_size.max(h.size_of_raw_data)) as u64
+            > u32::MAX as u64
+        {
+            return Err(PeError::Malformed(format!(
+                "section {name:?} virtual extent overflows the 32-bit address space"
+            )));
+        }
+        if h.virtual_address as u64 + (h.virtual_size.max(h.size_of_raw_data).max(1)) as u64
+            > pe.optional.size_of_image as u64
+        {
+            return Err(PeError::Malformed(format!(
+                "section {name:?} extends past size_of_image {:#x}",
+                pe.optional.size_of_image
+            )));
+        }
+        if raw_len > 0 {
+            raw_spans.push((raw_start, raw_start + raw_len, name));
+        }
+    }
+    raw_spans.sort_by_key(|&(start, _, _)| start);
+    for pair in raw_spans.windows(2) {
+        let (_, prev_end, ref prev_name) = pair[0];
+        let (next_start, _, ref next_name) = pair[1];
+        if next_start < prev_end {
+            return Err(PeError::Malformed(format!(
+                "raw data of {next_name:?} overlaps {prev_name:?}"
+            )));
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -147,5 +280,88 @@ mod tests {
     fn section_count_matches_header() {
         let pe = build();
         assert_eq!(pe.coff().number_of_sections as usize, pe.sections().len());
+    }
+
+    #[test]
+    fn tolerant_rejects_wrong_optional_header_size() {
+        let pe = build();
+        let mut bytes = pe.to_bytes();
+        let coff_at = pe.dos().e_lfanew as usize + 4;
+        // size_of_optional_header lives 16 bytes into the COFF header.
+        bytes[coff_at + 16..coff_at + 18].copy_from_slice(&0x00F0u16.to_le_bytes());
+        assert!(matches!(PeFile::parse(&bytes), Err(PeError::Malformed(_))));
+    }
+
+    #[test]
+    fn tolerant_rejects_size_of_headers_past_file_end() {
+        let pe = build();
+        let mut bytes = pe.to_bytes();
+        let opt_at = pe.dos().e_lfanew as usize + 4 + CoffHeader::SIZE;
+        bytes[opt_at + 60..opt_at + 64].copy_from_slice(&0xFFFF_FF00u32.to_le_bytes());
+        assert!(matches!(PeFile::parse(&bytes), Err(PeError::Malformed(_))));
+    }
+
+    #[test]
+    fn tolerant_rejects_headers_spilling_past_data_region() {
+        let pe = build();
+        let mut bytes = pe.to_bytes();
+        let opt_at = pe.dos().e_lfanew as usize + 4 + CoffHeader::SIZE;
+        // Shrink size_of_headers below the section table's end while also
+        // zeroing every section's raw extent, so nothing covers the
+        // headers: the overlay anchor would drift on re-serialization.
+        bytes[opt_at + 60..opt_at + 64].copy_from_slice(&0u32.to_le_bytes());
+        let table_at = opt_at + pe.coff().size_of_optional_header as usize;
+        for i in 0..pe.sections().len() {
+            let entry = table_at + i * SECTION_HEADER_SIZE;
+            bytes[entry + 16..entry + 24].copy_from_slice(&[0u8; 8]);
+        }
+        assert!(matches!(PeFile::parse(&bytes), Err(PeError::Malformed(_))));
+    }
+
+    #[test]
+    fn strict_accepts_well_formed_images() {
+        let pe = build();
+        assert_eq!(PeFile::parse_strict(&pe.to_bytes()).unwrap(), pe);
+    }
+
+    #[test]
+    fn strict_rejects_zero_size_section_pointing_past_file() {
+        let mut pe = build();
+        pe.sections[0].header.size_of_raw_data = 0;
+        pe.sections[0].header.pointer_to_raw_data = 0xFFF0_0000;
+        pe.sections[0].data.clear();
+        let bytes = pe.to_bytes();
+        // Loader-tolerant parsing still accepts it...
+        PeFile::parse(&bytes).unwrap();
+        // ...strict parsing names the anomaly.
+        assert!(matches!(PeFile::parse_strict(&bytes), Err(PeError::Malformed(_))));
+    }
+
+    #[test]
+    fn strict_rejects_virtual_extent_overflow() {
+        let mut pe = build();
+        pe.sections[2].header.virtual_address = 0xFFFF_F000;
+        pe.sections[2].header.virtual_size = 0x2000;
+        let bytes = pe.to_bytes();
+        PeFile::parse(&bytes).unwrap();
+        assert!(matches!(PeFile::parse_strict(&bytes), Err(PeError::Malformed(_))));
+    }
+
+    #[test]
+    fn strict_rejects_overlapping_raw_data() {
+        let mut pe = build();
+        pe.sections[1].header.pointer_to_raw_data = pe.sections[0].header.pointer_to_raw_data;
+        let bytes = pe.to_bytes();
+        PeFile::parse(&bytes).unwrap();
+        assert!(matches!(PeFile::parse_strict(&bytes), Err(PeError::Malformed(_))));
+    }
+
+    #[test]
+    fn strict_rejects_section_past_size_of_image() {
+        let mut pe = build();
+        pe.optional.size_of_image = pe.sections[0].header.virtual_address;
+        let bytes = pe.to_bytes();
+        PeFile::parse(&bytes).unwrap();
+        assert!(matches!(PeFile::parse_strict(&bytes), Err(PeError::Malformed(_))));
     }
 }

@@ -256,8 +256,11 @@ impl Section {
 
     /// Whether `rva` falls inside this section's virtual extent.
     pub fn contains_rva(&self, rva: u32) -> bool {
+        // 64-bit end: hostile headers near the top of the address space
+        // would otherwise wrap `virtual_address + size`.
         let size = self.header.virtual_size.max(self.header.size_of_raw_data).max(1);
-        rva >= self.header.virtual_address && rva < self.header.virtual_address + size
+        let end = self.header.virtual_address as u64 + size as u64;
+        rva >= self.header.virtual_address && (rva as u64) < end
     }
 
     /// Shannon entropy of the raw data in bits per byte.

@@ -4,11 +4,13 @@
 use crate::headers::PE_SIGNATURE;
 use crate::PeFile;
 
+/// Round `v` up to a multiple of `align`, saturating at `u32::MAX` instead
+/// of overflowing on hostile values near the top of the 32-bit range.
 fn align_up(v: u32, align: u32) -> u32 {
     if align <= 1 {
         v
     } else {
-        v.div_ceil(align) * align
+        u32::try_from((v as u64).div_ceil(align as u64) * align as u64).unwrap_or(u32::MAX)
     }
 }
 
@@ -34,6 +36,13 @@ impl PeFile {
             out.resize(hdr, 0);
         }
         for s in &self.sections {
+            // A zero-size section stores no bytes, and — because parsing
+            // only bounds-checks raw extents of sections that carry data —
+            // its pointer may hostilely sit anywhere in the 32-bit range;
+            // padding out to it would allocate gigabytes for nothing.
+            if s.header.size_of_raw_data == 0 {
+                continue;
+            }
             let start = s.header.pointer_to_raw_data as usize;
             let end = start + s.header.size_of_raw_data as usize;
             if out.len() < end {
@@ -61,35 +70,41 @@ impl PeFile {
         // Never shrink the header region: preserving pre-existing slack keeps
         // round-trips stable and leaves room for future section headers.
         let hdr = align_up(
-            (self.header_size() as u32).max(self.optional.size_of_headers),
+            u32::try_from(self.header_size())
+                .unwrap_or(u32::MAX)
+                .max(self.optional.size_of_headers),
             file_align,
         );
         self.optional.size_of_headers = hdr;
 
-        let mut raw = hdr;
-        let mut rva = align_up(hdr.max(sect_align), sect_align);
-        let mut size_of_code = 0u32;
-        let mut size_of_init = 0u32;
+        // Accumulate in 64 bits and saturate: on pathological layouts (many
+        // near-4GiB sections) the assigned addresses pin at u32::MAX rather
+        // than wrapping, and serialization/strict parsing reject from there.
+        let sat = |v: u64| u32::try_from(v).unwrap_or(u32::MAX);
+        let mut raw = hdr as u64;
+        let mut rva = align_up(hdr.max(sect_align), sect_align) as u64;
+        let mut size_of_code = 0u64;
+        let mut size_of_init = 0u64;
         for s in &mut self.sections {
-            let raw_size = align_up(s.data.len() as u32, file_align);
+            let raw_size = align_up(sat(s.data.len() as u64), file_align);
             s.data.resize(raw_size as usize, 0);
             s.header.size_of_raw_data = raw_size;
-            s.header.pointer_to_raw_data = if raw_size == 0 { 0 } else { raw };
+            s.header.pointer_to_raw_data = if raw_size == 0 { 0 } else { sat(raw) };
             if s.header.virtual_size == 0 || s.header.virtual_size < s.data.len() as u32 {
                 s.header.virtual_size = s.data.len() as u32;
             }
-            s.header.virtual_address = rva;
-            raw += raw_size;
-            rva = align_up(rva + s.header.virtual_size.max(1), sect_align);
+            s.header.virtual_address = sat(rva);
+            raw += raw_size as u64;
+            rva = align_up(sat(rva + s.header.virtual_size.max(1) as u64), sect_align) as u64;
             if s.header.characteristics.is_code() {
-                size_of_code += raw_size;
+                size_of_code += raw_size as u64;
             } else if s.header.characteristics.is_initialized_data() {
-                size_of_init += raw_size;
+                size_of_init += raw_size as u64;
             }
         }
-        self.optional.size_of_image = rva;
-        self.optional.size_of_code = size_of_code;
-        self.optional.size_of_initialized_data = size_of_init;
+        self.optional.size_of_image = sat(rva);
+        self.optional.size_of_code = sat(size_of_code);
+        self.optional.size_of_initialized_data = sat(size_of_init);
         if let Some(first_code) =
             self.sections.iter().find(|s| s.header.characteristics.is_code())
         {

@@ -134,6 +134,81 @@ fn rva_offset_bijection_inside_sections() {
     }
 }
 
+/// Layouts where some or all sections carry zero data bytes still
+/// round-trip: empty sections get no raw pointer but keep their slot in
+/// the table and their virtual address.
+#[test]
+fn empty_sections_round_trip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9E07);
+    for _ in 0..CASES {
+        let mut sections = arb_sections(&mut rng);
+        // Force at least one empty section, sometimes all of them.
+        for (i, (_, data, _)) in sections.iter_mut().enumerate() {
+            if i == 0 || rng.gen_range(0..2u32) == 0 {
+                data.clear();
+            }
+        }
+        let pe = build(&sections);
+        let parsed = PeFile::parse(&pe.to_bytes()).unwrap();
+        assert_eq!(&parsed, &pe);
+        assert_eq!(parsed.sections().len(), sections.len());
+    }
+}
+
+/// Everything the builder produces must satisfy the *strict* parser,
+/// not just the loader-tolerant one: the builder is the normative
+/// source of well-formed images.
+#[test]
+fn strict_mode_accepts_built_images() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9E08);
+    for _ in 0..CASES {
+        let sections = arb_sections(&mut rng);
+        let pe = build(&sections);
+        let strict = PeFile::parse_strict(&pe.to_bytes()).unwrap();
+        assert_eq!(strict, pe);
+    }
+}
+
+/// Random sequences of structural edits keep the image parseable (in
+/// both modes) and round-tripping.
+#[test]
+fn edit_sequences_preserve_round_trip() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0x9E09);
+    for case in 0..CASES {
+        let sections = arb_sections(&mut rng);
+        let mut pe = build(&sections);
+        for _ in 0..rng.gen_range(1..6) {
+            match rng.gen_range(0..4u32) {
+                0 => {
+                    pe.set_timestamp(rng.gen::<u32>());
+                }
+                1 => {
+                    pe.append_overlay(&arb_bytes(&mut rng, 200));
+                }
+                2 => {
+                    let i = rng.gen_range(0..pe.sections().len());
+                    let extra = arb_bytes(&mut rng, 600);
+                    pe.sections_mut()[i].data_mut().extend_from_slice(&extra);
+                    pe.refresh_layout();
+                }
+                _ => {
+                    let name = format!(".e{}", rng.gen_range(0..10u32));
+                    if pe.section(&name).is_none() && pe.can_add_section() {
+                        pe.add_section(&name, arb_bytes(&mut rng, 400), arb_flags(&mut rng))
+                            .unwrap();
+                    }
+                }
+            }
+        }
+        let bytes = pe.to_bytes();
+        let tolerant = PeFile::parse(&bytes).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(tolerant, pe, "case {case}");
+        let strict =
+            PeFile::parse_strict(&bytes).unwrap_or_else(|e| panic!("case {case} strict: {e}"));
+        assert_eq!(strict, pe, "case {case}");
+    }
+}
+
 #[test]
 fn map_image_matches_read_virtual() {
     let mut rng = ChaCha8Rng::seed_from_u64(0x9E06);

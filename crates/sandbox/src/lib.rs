@@ -24,7 +24,7 @@
 //! ```
 
 use mpass_pe::PeFile;
-use mpass_vm::{Execution, Vm};
+use mpass_vm::{Execution, Vm, VmLimits};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -72,31 +72,35 @@ impl fmt::Display for FunctionalityVerdict {
 }
 
 /// The behavioural sandbox.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Sandbox {
-    step_limit: u64,
-}
-
-impl Default for Sandbox {
-    fn default() -> Self {
-        Sandbox { step_limit: mpass_vm::DEFAULT_STEP_LIMIT }
-    }
+    limits: VmLimits,
 }
 
 impl Sandbox {
-    /// Sandbox with the default instruction budget.
+    /// Sandbox with the default resource ceilings.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Sandbox with a custom instruction budget.
+    /// Sandbox with a custom instruction budget (other ceilings default).
     pub fn with_step_limit(step_limit: u64) -> Self {
-        Sandbox { step_limit }
+        Sandbox { limits: VmLimits { step_limit, ..VmLimits::default() } }
+    }
+
+    /// Sandbox with a full custom set of resource ceilings.
+    pub fn with_limits(limits: VmLimits) -> Self {
+        Sandbox { limits }
+    }
+
+    /// The resource ceilings executions run under.
+    pub fn limits(&self) -> VmLimits {
+        self.limits
     }
 
     /// Execute a parsed PE and return the full execution record.
     pub fn run_pe(&self, pe: &PeFile) -> Execution {
-        Vm::load(pe).with_step_limit(self.step_limit).run()
+        Vm::load_with(pe, self.limits).run()
     }
 
     /// Parse and execute raw bytes. `None` when the bytes are not a PE.
@@ -233,6 +237,21 @@ mod tests {
         assert!(matches!(
             sb.verify_functionality(&s.bytes, &pe.to_bytes()),
             FunctionalityVerdict::BrokenExecution { outcome: mpass_vm::Outcome::StepLimit }
+        ));
+    }
+
+    #[test]
+    fn resource_exhaustion_is_broken_execution() {
+        let ds = dataset();
+        let s = &ds.samples[0];
+        // A 64-byte memory ceiling stops any real image from mapping; the
+        // exhaustion surfaces as a graceful broken-execution verdict.
+        let sb = Sandbox::with_limits(VmLimits { memory_limit: 64, ..VmLimits::default() });
+        assert!(matches!(
+            sb.verify_functionality(&s.bytes, &s.bytes),
+            FunctionalityVerdict::BrokenExecution {
+                outcome: mpass_vm::Outcome::ResourceExhausted(mpass_vm::Resource::Memory)
+            }
         ));
     }
 

@@ -105,17 +105,12 @@ impl Asm {
         self.items.is_empty()
     }
 
-    /// Resolve labels and emit the encoded program.
-    ///
-    /// # Errors
-    ///
-    /// Returns the first recorded [`AsmError`] (undefined/duplicate label,
-    /// symbolic target on a non-jump).
-    pub fn assemble(&self) -> Result<Vec<u8>, AsmError> {
+    /// Resolve every symbolic target into a concrete instruction list.
+    fn resolve(&self) -> Result<Vec<Instr>, AsmError> {
         if let Some(e) = self.errors.first() {
             return Err(e.clone());
         }
-        let mut out = Vec::with_capacity(self.items.len() * INSTR_SIZE);
+        let mut out = Vec::with_capacity(self.items.len());
         for (idx, item) in self.items.iter().enumerate() {
             let instr = match &item.target {
                 None => item.instr,
@@ -126,9 +121,26 @@ impl Asm {
                         .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
                     let next = (idx + 1) * INSTR_SIZE;
                     let disp = target_idx as i64 * INSTR_SIZE as i64 - next as i64;
-                    item.instr.with_relative_target(disp as i32)
+                    item.instr
+                        .with_relative_target(disp as i32)
+                        .ok_or_else(|| AsmError::NotAJump(label.clone()))?
                 }
             };
+            out.push(instr);
+        }
+        Ok(out)
+    }
+
+    /// Resolve labels and emit the encoded program.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first recorded [`AsmError`] (undefined/duplicate label,
+    /// symbolic target on a non-jump).
+    pub fn assemble(&self) -> Result<Vec<u8>, AsmError> {
+        let instrs = self.resolve()?;
+        let mut out = Vec::with_capacity(instrs.len() * INSTR_SIZE);
+        for instr in &instrs {
             out.extend_from_slice(&instr.encode());
         }
         Ok(out)
@@ -142,8 +154,7 @@ impl Asm {
     ///
     /// Same conditions as [`Asm::assemble`].
     pub fn instructions(&self) -> Result<Vec<Instr>, AsmError> {
-        let bytes = self.assemble()?;
-        Ok(crate::isa::disassemble(&bytes).expect("assembler output always decodes"))
+        self.resolve()
     }
 }
 

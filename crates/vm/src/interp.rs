@@ -11,6 +11,70 @@ use std::fmt;
 /// corpus program plus recovery stubs over full code/data sections.
 pub const DEFAULT_STEP_LIMIT: u64 = 20_000_000;
 
+/// Default ceiling on the mapped image size. A hostile `size_of_image` can
+/// claim up to 4 GiB of virtual space; no corpus or attack-produced image
+/// approaches this bound.
+pub const DEFAULT_MEMORY_LIMIT: usize = 256 << 20;
+
+/// Default cap on recorded API events. Every API call costs a step, so the
+/// trace can never outgrow the step limit; this bound keeps the trace
+/// allocation itself governed when callers raise the step limit.
+pub const DEFAULT_TRACE_LIMIT: usize = 4_000_000;
+
+/// Default cap on *consecutive* taken control transfers. A program that
+/// branches this many times without executing a single non-jump instruction
+/// is doing no work; the cap breaks hostile jump chains long before the
+/// step limit would.
+pub const DEFAULT_JUMP_CHAIN_LIMIT: u64 = 1_000_000;
+
+/// Resource ceilings applied to one execution. Every bound terminates the
+/// run gracefully with [`Outcome::ResourceExhausted`] (or
+/// [`Outcome::StepLimit`] for the step budget) — never a panic or an
+/// unbounded allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmLimits {
+    /// Maximum instructions executed before the run counts as a hang.
+    pub step_limit: u64,
+    /// Maximum mapped image size in bytes.
+    pub memory_limit: usize,
+    /// Maximum recorded API events.
+    pub trace_limit: usize,
+    /// Maximum consecutive taken control transfers.
+    pub jump_chain_limit: u64,
+}
+
+impl Default for VmLimits {
+    fn default() -> Self {
+        VmLimits {
+            step_limit: DEFAULT_STEP_LIMIT,
+            memory_limit: DEFAULT_MEMORY_LIMIT,
+            trace_limit: DEFAULT_TRACE_LIMIT,
+            jump_chain_limit: DEFAULT_JUMP_CHAIN_LIMIT,
+        }
+    }
+}
+
+/// Which governed resource an execution ran out of.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Resource {
+    /// The image exceeded [`VmLimits::memory_limit`] at load time.
+    Memory,
+    /// The API trace reached [`VmLimits::trace_limit`].
+    Trace,
+    /// Consecutive taken jumps exceeded [`VmLimits::jump_chain_limit`].
+    JumpChain,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Memory => write!(f, "memory ceiling"),
+            Resource::Trace => write!(f, "trace length cap"),
+            Resource::JumpChain => write!(f, "jump-chain depth cap"),
+        }
+    }
+}
+
 /// A fault that terminates execution abnormally. Any fault on an
 /// adversarial example that the original did not exhibit means the attack
 /// destroyed functionality.
@@ -18,6 +82,13 @@ pub const DEFAULT_STEP_LIMIT: u64 = 20_000_000;
 pub enum VmFault {
     /// PC left the mapped image or was mid-instruction at the image edge.
     PcOutOfBounds(u32),
+    /// A taken jump landed strictly inside an 8-byte instruction slot of
+    /// the sequential stream it is executing in (overlapping-instruction
+    /// execution); carries the offending target address. Jumps that leave
+    /// the current stream re-anchor the slot grid instead — instruction
+    /// streams have no global alignment (packer stubs start at arbitrary
+    /// byte offsets).
+    MisalignedPc(u32),
     /// The bytes at PC did not decode to an instruction.
     IllegalInstruction(u32),
     /// A load/store touched an unmapped address.
@@ -32,6 +103,9 @@ impl fmt::Display for VmFault {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmFault::PcOutOfBounds(pc) => write!(f, "pc {pc:#x} outside mapped image"),
+            VmFault::MisalignedPc(pc) => {
+                write!(f, "pc {pc:#x} inside an instruction slot")
+            }
             VmFault::IllegalInstruction(pc) => write!(f, "illegal instruction at {pc:#x}"),
             VmFault::MemoryOutOfBounds(a) => write!(f, "memory access at {a:#x} out of bounds"),
             VmFault::StackUnderflow => write!(f, "stack underflow"),
@@ -51,6 +125,9 @@ pub enum Outcome {
     Faulted(VmFault),
     /// The step limit was exhausted (treated as a hang).
     StepLimit,
+    /// A governed resource ceiling was reached (treated as a hang, but the
+    /// variant records which bound tripped).
+    ResourceExhausted(Resource),
 }
 
 /// The result of running a program: outcome, step count and the API trace.
@@ -93,24 +170,42 @@ pub struct Vm {
     pc: u32,
     data_stack: Vec<u32>,
     call_stack: Vec<u32>,
-    step_limit: u64,
+    limits: VmLimits,
+    /// Set when the image blew the memory ceiling at load time; the first
+    /// call to run reports [`Outcome::ResourceExhausted`] without stepping.
+    oversized: bool,
 }
 
 impl Vm {
-    /// Map `pe` into a fresh VM, with the PC at the PE entry point.
+    /// Map `pe` into a fresh VM, with the PC at the PE entry point, under
+    /// the default [`VmLimits`].
     pub fn load(pe: &PeFile) -> Vm {
+        Self::load_with(pe, VmLimits::default())
+    }
+
+    /// Map `pe` under explicit resource `limits`. An image whose mapped
+    /// size exceeds [`VmLimits::memory_limit`] is not mapped at all; the VM
+    /// reports [`Outcome::ResourceExhausted`]`(`[`Resource::Memory`]`)` at
+    /// zero steps instead of allocating.
+    pub fn load_with(pe: &PeFile, limits: VmLimits) -> Vm {
+        let (memory, oversized) = match pe.map_image_bounded(limits.memory_limit) {
+            Ok(m) => (m, false),
+            Err(_) => (Vec::new(), true),
+        };
         Vm {
-            memory: pe.map_image(),
+            memory,
             regs: [0; 8],
             pc: pe.entry_point(),
             data_stack: Vec::new(),
             call_stack: Vec::new(),
-            step_limit: DEFAULT_STEP_LIMIT,
+            limits,
+            oversized,
         }
     }
 
     /// Construct from a raw flat memory image and entry address (used by
-    /// unit tests and fuzzing).
+    /// unit tests and fuzzing). The caller already owns the allocation, so
+    /// no memory ceiling applies.
     pub fn from_image(memory: Vec<u8>, entry: u32) -> Vm {
         Vm {
             memory,
@@ -118,14 +213,26 @@ impl Vm {
             pc: entry,
             data_stack: Vec::new(),
             call_stack: Vec::new(),
-            step_limit: DEFAULT_STEP_LIMIT,
+            limits: VmLimits::default(),
+            oversized: false,
         }
     }
 
     /// Override the instruction budget.
     pub fn with_step_limit(mut self, limit: u64) -> Vm {
-        self.step_limit = limit;
+        self.limits.step_limit = limit;
         self
+    }
+
+    /// Replace the full set of resource ceilings.
+    pub fn with_limits(mut self, limits: VmLimits) -> Vm {
+        self.limits = limits;
+        self
+    }
+
+    /// The resource ceilings this VM runs under.
+    pub fn limits(&self) -> VmLimits {
+        self.limits
     }
 
     /// Current register file (read-only view for assertions).
@@ -187,8 +294,19 @@ impl Vm {
     pub fn run_in_place(&mut self) -> Execution {
         let mut trace = Vec::new();
         let mut steps: u64 = 0;
+        if self.oversized {
+            return Execution {
+                outcome: Outcome::ResourceExhausted(Resource::Memory),
+                steps,
+                trace,
+            };
+        }
+        let mut jump_chain: u64 = 0;
+        // First instruction address of the sequential stream currently
+        // executing; every slot in the stream sits at anchor + k·8.
+        let mut stream_anchor: u32 = self.pc;
         loop {
-            if steps >= self.step_limit {
+            if steps >= self.limits.step_limit {
                 return Execution { outcome: Outcome::StepLimit, steps, trace };
             }
             let pc = self.pc;
@@ -214,6 +332,7 @@ impl Vm {
             let next = pc.wrapping_add(INSTR_SIZE as u32);
             self.pc = next;
             let r = |reg: Reg| self.regs[reg.index()];
+            let mut taken = false;
             match instr {
                 Instr::Movi(a, imm) => self.regs[a.index()] = imm as u32,
                 Instr::Mov(a, b) => self.regs[a.index()] = r(b),
@@ -258,23 +377,36 @@ impl Vm {
                         return Execution { outcome: Outcome::Faulted(f), steps, trace };
                     }
                 }
-                Instr::Jmp(d) => self.pc = next.wrapping_add(d as u32),
+                Instr::Jmp(d) => {
+                    self.pc = next.wrapping_add(d as u32);
+                    taken = true;
+                }
                 Instr::Jz(a, d) => {
                     if r(a) == 0 {
                         self.pc = next.wrapping_add(d as u32);
+                        taken = true;
                     }
                 }
                 Instr::Jnz(a, d) => {
                     if r(a) != 0 {
                         self.pc = next.wrapping_add(d as u32);
+                        taken = true;
                     }
                 }
                 Instr::Jlt(a, b, d) => {
                     if r(a) < r(b) {
                         self.pc = next.wrapping_add(d as u32);
+                        taken = true;
                     }
                 }
                 Instr::CallApi(id) => {
+                    if trace.len() >= self.limits.trace_limit {
+                        return Execution {
+                            outcome: Outcome::ResourceExhausted(Resource::Trace),
+                            steps,
+                            trace,
+                        };
+                    }
                     trace.push(ApiEvent { api: id, arg: self.regs[0] });
                     // Deterministic pseudo-result so data flow through API
                     // results is reproducible.
@@ -314,9 +446,13 @@ impl Vm {
                     }
                     self.call_stack.push(next);
                     self.pc = next.wrapping_add(d as u32);
+                    taken = true;
                 }
                 Instr::Ret => match self.call_stack.pop() {
-                    Some(addr) => self.pc = addr,
+                    Some(addr) => {
+                        self.pc = addr;
+                        taken = true;
+                    }
                     None => {
                         return Execution {
                             outcome: Outcome::Faulted(VmFault::StackUnderflow),
@@ -325,6 +461,33 @@ impl Vm {
                         }
                     }
                 },
+            }
+            if taken {
+                let target = self.pc;
+                if target >= stream_anchor && target < next {
+                    // Landing inside the span this stream already executed:
+                    // the target must sit on the stream's slot grid.
+                    if !target.wrapping_sub(stream_anchor).is_multiple_of(INSTR_SIZE as u32) {
+                        return Execution {
+                            outcome: Outcome::Faulted(VmFault::MisalignedPc(target)),
+                            steps,
+                            trace,
+                        };
+                    }
+                } else {
+                    // Leaving the stream: the target starts a new one.
+                    stream_anchor = target;
+                }
+                jump_chain += 1;
+                if jump_chain > self.limits.jump_chain_limit {
+                    return Execution {
+                        outcome: Outcome::ResourceExhausted(Resource::JumpChain),
+                        steps,
+                        trace,
+                    };
+                }
+            } else {
+                jump_chain = 0;
             }
         }
     }
@@ -537,6 +700,96 @@ mod tests {
         asm.push(Instr::Jmp(1 << 20)); // would fault if not overwritten
         let (exec, _) = run_program(&asm);
         assert_eq!(exec.outcome, Outcome::Halted);
+    }
+
+    #[test]
+    fn misaligned_jump_target_faults() {
+        // Jump 4 bytes into the first instruction slot: next = 8, d = -4.
+        let mut asm = Asm::new();
+        asm.push(Instr::Jmp(-4));
+        let (exec, _) = run_program(&asm);
+        assert_eq!(exec.outcome, Outcome::Faulted(VmFault::MisalignedPc(4)));
+        assert_eq!(exec.steps, 1);
+    }
+
+    #[test]
+    fn unaligned_cross_stream_jump_is_legal() {
+        // Packer stubs start at arbitrary byte offsets: a jump that leaves
+        // the current stream may land off the old slot grid and simply
+        // anchors a new stream there.
+        let mut mem = vec![0u8; 256];
+        mem[..INSTR_SIZE].copy_from_slice(&Instr::Jmp(92).encode()); // → 100
+        mem[100..108].copy_from_slice(&Instr::Halt.encode());
+        let exec = Vm::from_image(mem, 0).run();
+        assert_eq!(exec.outcome, Outcome::Halted);
+        assert_eq!(exec.steps, 2);
+    }
+
+    #[test]
+    fn jump_chain_cap_breaks_pure_jump_loops() {
+        let mut asm = Asm::new();
+        asm.label("spin");
+        asm.jump_to(Instr::Jmp(0), "spin");
+        let code = asm.assemble().unwrap();
+        let mut mem = vec![0u8; 256];
+        mem[..code.len()].copy_from_slice(&code);
+        let limits = VmLimits { jump_chain_limit: 64, ..VmLimits::default() };
+        let exec = Vm::from_image(mem, 0).with_limits(limits).run();
+        assert_eq!(exec.outcome, Outcome::ResourceExhausted(Resource::JumpChain));
+        assert_eq!(exec.steps, 65);
+    }
+
+    #[test]
+    fn jump_chain_resets_on_real_work() {
+        // Loop body contains a non-jump instruction, so the chain counter
+        // resets every iteration and only the step limit can end the run.
+        let mut asm = Asm::new();
+        asm.label("loop");
+        asm.push(Instr::Addi(Reg::R0, 1));
+        asm.jump_to(Instr::Jmp(0), "loop");
+        let code = asm.assemble().unwrap();
+        let mut mem = vec![0u8; 256];
+        mem[..code.len()].copy_from_slice(&code);
+        let limits =
+            VmLimits { jump_chain_limit: 4, step_limit: 1000, ..VmLimits::default() };
+        let exec = Vm::from_image(mem, 0).with_limits(limits).run();
+        assert_eq!(exec.outcome, Outcome::StepLimit);
+    }
+
+    #[test]
+    fn trace_cap_stops_api_floods() {
+        let mut asm = Asm::new();
+        asm.label("loop");
+        asm.push(Instr::CallApi(api::GET_SYSTEM_TIME));
+        asm.jump_to(Instr::Jmp(0), "loop");
+        let code = asm.assemble().unwrap();
+        let mut mem = vec![0u8; 256];
+        mem[..code.len()].copy_from_slice(&code);
+        let limits = VmLimits { trace_limit: 10, ..VmLimits::default() };
+        let exec = Vm::from_image(mem, 0).with_limits(limits).run();
+        assert_eq!(exec.outcome, Outcome::ResourceExhausted(Resource::Trace));
+        assert_eq!(exec.trace.len(), 10);
+    }
+
+    #[test]
+    fn oversized_image_exhausts_memory_without_mapping() {
+        let mut b = mpass_pe::PeBuilder::new();
+        b.add_section(".text", vec![0x90; 64], mpass_pe::SectionFlags::CODE).unwrap();
+        let pe = b.build().unwrap();
+        let limits = VmLimits { memory_limit: 16, ..VmLimits::default() };
+        let exec = Vm::load_with(&pe, limits).run();
+        assert_eq!(exec.outcome, Outcome::ResourceExhausted(Resource::Memory));
+        assert_eq!(exec.steps, 0);
+        assert!(exec.trace.is_empty());
+    }
+
+    #[test]
+    fn default_limits_match_documented_constants() {
+        let l = VmLimits::default();
+        assert_eq!(l.step_limit, DEFAULT_STEP_LIMIT);
+        assert_eq!(l.memory_limit, DEFAULT_MEMORY_LIMIT);
+        assert_eq!(l.trace_limit, DEFAULT_TRACE_LIMIT);
+        assert_eq!(l.jump_chain_limit, DEFAULT_JUMP_CHAIN_LIMIT);
     }
 
     #[test]

@@ -306,18 +306,17 @@ impl Instr {
 
     /// Replace the relative displacement of a control-transfer instruction.
     ///
-    /// # Panics
-    ///
-    /// Panics when called on a non-control-transfer instruction; callers
-    /// pair it with [`Instr::relative_target`].
-    pub fn with_relative_target(&self, d: i32) -> Instr {
+    /// Returns `None` for instructions that carry no relative target —
+    /// exactly those for which [`Instr::relative_target`] is `None` — so
+    /// callers handle the mismatch as data instead of a panic path.
+    pub fn with_relative_target(&self, d: i32) -> Option<Instr> {
         match *self {
-            Instr::Jmp(_) => Instr::Jmp(d),
-            Instr::Jz(r, _) => Instr::Jz(r, d),
-            Instr::Jnz(r, _) => Instr::Jnz(r, d),
-            Instr::Jlt(a, b, _) => Instr::Jlt(a, b, d),
-            Instr::Call(_) => Instr::Call(d),
-            other => panic!("instruction {other:?} has no relative target"),
+            Instr::Jmp(_) => Some(Instr::Jmp(d)),
+            Instr::Jz(r, _) => Some(Instr::Jz(r, d)),
+            Instr::Jnz(r, _) => Some(Instr::Jnz(r, d)),
+            Instr::Jlt(a, b, _) => Some(Instr::Jlt(a, b, d)),
+            Instr::Call(_) => Some(Instr::Call(d)),
+            _ => None,
         }
     }
 }
@@ -451,17 +450,18 @@ mod tests {
         assert_eq!(Instr::Jmp(16).relative_target(), Some(16));
         assert_eq!(Instr::Jz(Reg::R0, -8).relative_target(), Some(-8));
         assert_eq!(Instr::Halt.relative_target(), None);
-        assert_eq!(Instr::Jmp(16).with_relative_target(24), Instr::Jmp(24));
+        assert_eq!(Instr::Jmp(16).with_relative_target(24), Some(Instr::Jmp(24)));
         assert_eq!(
             Instr::Jlt(Reg::R1, Reg::R2, 0).with_relative_target(-40),
-            Instr::Jlt(Reg::R1, Reg::R2, -40)
+            Some(Instr::Jlt(Reg::R1, Reg::R2, -40))
         );
     }
 
     #[test]
-    #[should_panic(expected = "no relative target")]
-    fn with_relative_target_panics_on_non_jump() {
-        let _ = Instr::Nop.with_relative_target(8);
+    fn with_relative_target_is_none_on_non_jump() {
+        assert_eq!(Instr::Nop.with_relative_target(8), None);
+        assert_eq!(Instr::Halt.with_relative_target(0), None);
+        assert_eq!(Instr::Ret.with_relative_target(-8), None);
     }
 
     #[test]

@@ -45,6 +45,16 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! ## Hostile input
+//!
+//! The VM executes attacker-controlled bytes, so the crate is total: no
+//! input reachable from untrusted data can panic, and every execution
+//! terminates under the [`VmLimits`] resource ceilings (step budget,
+//! memory ceiling, trace cap, jump-chain depth) with a typed
+//! [`Outcome`] — see [`Outcome::ResourceExhausted`].
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod api;
 mod asm;
@@ -53,5 +63,8 @@ mod isa;
 
 pub use api::{ApiEvent, ApiId};
 pub use asm::{Asm, AsmError};
-pub use interp::{Execution, Outcome, Vm, VmFault, DEFAULT_STEP_LIMIT};
+pub use interp::{
+    Execution, Outcome, Resource, Vm, VmFault, VmLimits, DEFAULT_JUMP_CHAIN_LIMIT,
+    DEFAULT_MEMORY_LIMIT, DEFAULT_STEP_LIMIT, DEFAULT_TRACE_LIMIT,
+};
 pub use isa::{disassemble, DecodeError, Instr, Reg, INSTR_SIZE};

@@ -1,0 +1,61 @@
+//! Regression replay of the checked-in malformed-PE corpus.
+//!
+//! Every fixture under `tests/fixtures/malformed/` is a hostile input
+//! that maps to a distinct historical failure mode of the ingestion
+//! layer (regenerate with `cargo run -p mpass-fuzz --bin gen_fixtures`).
+//! Each must keep satisfying the full fuzz harness: parsing never
+//! panics, accepted images round-trip, and execution terminates
+//! gracefully under resource limits.
+
+use mpass_fuzz::harness::check_bytes;
+use mpass_pe::PeFile;
+use mpass_sandbox::Sandbox;
+
+fn corpus() -> Vec<(String, Vec<u8>)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/malformed");
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("fixture directory exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "bin"))
+        .map(|p| {
+            let name = p.file_name().expect("file name").to_string_lossy().into_owned();
+            (name, std::fs::read(&p).expect("readable fixture"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn every_fixture_satisfies_the_ingestion_contracts() {
+    let corpus = corpus();
+    assert!(corpus.len() >= 8, "expected the checked-in corpus, found {}", corpus.len());
+    for (name, bytes) in &corpus {
+        if let Err(why) = check_bytes(bytes) {
+            panic!("{name}: {why}");
+        }
+    }
+}
+
+#[test]
+fn strict_parsing_never_panics_on_the_corpus() {
+    for (name, bytes) in corpus() {
+        // Outcome is irrelevant — graceful acceptance or typed rejection
+        // both pass; only a panic (caught by the test harness as an
+        // abort of this test) would fail.
+        let _ = std::panic::catch_unwind(|| PeFile::parse_strict(&bytes))
+            .unwrap_or_else(|_| panic!("{name}: parse_strict panicked"));
+    }
+}
+
+#[test]
+fn sandbox_runs_of_the_corpus_terminate() {
+    let sandbox = Sandbox::with_step_limit(100_000);
+    for (name, bytes) in corpus() {
+        // run() returns None for unparseable fixtures; parseable ones
+        // must come back with *some* outcome rather than hanging or
+        // panicking.
+        let _ = std::panic::catch_unwind(|| sandbox.run(&bytes))
+            .unwrap_or_else(|_| panic!("{name}: sandbox run panicked"));
+    }
+}
