@@ -163,7 +163,7 @@ impl Attack for Packer {
         match self.pack(&sample.pe) {
             Ok(bytes) => {
                 let final_size = bytes.len();
-                let evaded = target.query(&bytes) == Ok(Verdict::Benign);
+                let evaded = target.query(&bytes).is_ok_and(Verdict::is_benign);
                 AttackOutcome {
                     sample: sample.name.clone(),
                     evaded,

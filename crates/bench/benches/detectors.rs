@@ -37,9 +37,11 @@ fn bench_inference(c: &mut Criterion) {
         b.iter(|| av.score(std::hint::black_box(bytes)))
     });
     group.bench_function("malconv_gradient", |b| {
+        use mpass_detectors::WhiteBoxModel;
+        let mut ws = mpass_ml::Workspace::default();
+        let mut grad = Vec::new();
         b.iter(|| {
-            use mpass_detectors::WhiteBoxModel;
-            malconv.benign_loss_and_grad(std::hint::black_box(bytes))
+            malconv.benign_loss_grad_into(std::hint::black_box(bytes), &mut ws, &mut grad)
         })
     });
     group.finish();

@@ -6,7 +6,7 @@
 //! establishing the perf trajectory the ROADMAP asks every PR to advance:
 //!
 //! * `inference_us` — one `Detector::score` call per byte-conv model,
-//! * `gradient_us` — one `benign_loss_and_grad` call per model,
+//! * `gradient_us` — one `benign_loss_grad_into` call per model,
 //! * `optimizer_round_us` — one `EnsembleOptimizer::run` round (gradient +
 //!   byte-mapping) over the full known-model ensemble,
 //! * `pem_per_sample_us` — PEM Shapley attribution cost per (model, sample).
@@ -39,7 +39,7 @@ use std::time::Instant;
 struct Measurements {
     /// Mean `Detector::score` latency across the byte-conv models.
     inference_us: f64,
-    /// Mean `benign_loss_and_grad` latency across the white-box models.
+    /// Mean `benign_loss_grad_into` latency across the white-box models.
     gradient_us: f64,
     /// One optimizer round (gradients + byte-mapping, 3-model ensemble).
     optimizer_round_us: f64,
@@ -104,9 +104,15 @@ fn measure(reps: usize) -> Measurements {
     }) / detectors.len() as f64;
 
     let white: Vec<&dyn WhiteBoxModel> = vec![&malconv, &nonneg, &malgcg];
+    let mut ws = mpass_ml::Workspace::default();
+    let mut grad = Vec::new();
     let gradient_us = time_us(reps, || {
         for m in &white {
-            std::hint::black_box(m.benign_loss_and_grad(std::hint::black_box(&mal.bytes)));
+            std::hint::black_box(m.benign_loss_grad_into(
+                std::hint::black_box(&mal.bytes),
+                &mut ws,
+                &mut grad,
+            ));
         }
     }) / white.len() as f64;
 

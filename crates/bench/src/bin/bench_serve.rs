@@ -1,0 +1,151 @@
+//! Emit batched-vs-sequential scoring throughput to
+//! `results/BENCH_serve.json`.
+//!
+//! The batch-first detector API (`Detector::classify_batch`) promises
+//! throughput, not new numerics — scores are bit-identical to a
+//! sequential loop by contract. This binary quantifies the throughput
+//! side: for each roster detector it classifies the full bench corpus
+//! once through a sequential `classify` loop and once through one
+//! `classify_batch` call, and reports microseconds per item and the
+//! resulting speedup. Detector configs are the *default* (paper-shaped)
+//! sizes, not the tiny test configs: batched serving earns its keep on
+//! the 16 KiB-window models where most conv windows of a typical sample
+//! lie in the padding region and the batched path replicates them
+//! instead of recomputing them.
+//!
+//! Usage:
+//!
+//! * `bench_serve` — measure and write `results/BENCH_serve.json`,
+//! * `--quick` — fewer repetitions (CI smoke),
+//! * `--out PATH` — alternative output path.
+
+use mpass_bench::bench_fixture;
+use mpass_detectors::train::training_pairs;
+use mpass_detectors::{
+    ByteConvConfig, Detector, LightGbm, MalConv, MalGcg, MalGcgConfig, NonNeg,
+};
+use mpass_ml::GbdtParams;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Batched-vs-sequential classify cost for one detector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServeMeasurement {
+    /// Detector name.
+    name: String,
+    /// Items per pass (the whole bench corpus).
+    items: usize,
+    /// Sequential `classify` loop, microseconds per item.
+    sequential_us_per_item: f64,
+    /// One `classify_batch` call, microseconds per item.
+    batched_us_per_item: f64,
+    /// `sequential / batched` (higher means batching pays).
+    speedup: f64,
+}
+
+/// The on-disk report consumed by the README throughput table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ServeReport {
+    /// Fixture description (seeds are fixed inside the binary).
+    fixture: String,
+    measurements: Vec<ServeMeasurement>,
+}
+
+const FIXTURE_DESC: &str = "corpus seed 0xBE7C4 (12+12), default detector configs, \
+     train seed 1, classify over all 24 samples per pass";
+
+/// Median wall time of `reps` calls to `f`, in microseconds.
+fn time_us<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+    times[times.len() / 2]
+}
+
+fn measure_detector(name: &str, det: &dyn Detector, items: &[&[u8]], reps: usize) -> ServeMeasurement {
+    let sequential = time_us(reps, || {
+        for bytes in items {
+            std::hint::black_box(det.classify(std::hint::black_box(bytes)));
+        }
+    });
+    let mut out = Vec::with_capacity(items.len());
+    let batched = time_us(reps, || {
+        out.clear();
+        det.classify_batch(std::hint::black_box(items), &mut out);
+        std::hint::black_box(&out);
+    });
+    // The contract behind the speedup claim: identical verdicts.
+    let seq_verdicts: Vec<_> = items.iter().map(|b| det.classify(b)).collect();
+    assert_eq!(out, seq_verdicts, "{name}: classify_batch diverged from classify");
+    let n = items.len() as f64;
+    ServeMeasurement {
+        name: name.to_owned(),
+        items: items.len(),
+        sequential_us_per_item: sequential / n,
+        batched_us_per_item: batched / n,
+        speedup: sequential / batched,
+    }
+}
+
+fn measure(reps: usize) -> Vec<ServeMeasurement> {
+    let (ds, _pool) = bench_fixture();
+    let samples: Vec<_> = ds.samples.iter().collect();
+    let pairs = training_pairs(&samples);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let mut malconv = MalConv::new(ByteConvConfig::default(), &mut rng);
+    malconv.train(&pairs, 2, 5e-3, &mut rng);
+    let mut nonneg = NonNeg::new(ByteConvConfig::default(), &mut rng);
+    nonneg.train(&pairs, 2, 5e-3, &mut rng);
+    let mut malgcg = MalGcg::new(MalGcgConfig::default(), &mut rng);
+    malgcg.train(&pairs, 2, 5e-3, &mut rng);
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let lightgbm = LightGbm::train(&samples, GbdtParams::default(), &mut rng);
+
+    let items: Vec<&[u8]> = ds.samples.iter().map(|s| s.bytes.as_slice()).collect();
+    let roster: [(&str, &dyn Detector); 4] = [
+        ("MalConv", &malconv),
+        ("NonNeg", &nonneg),
+        ("MalGCG", &malgcg),
+        ("LightGBM", &lightgbm),
+    ];
+    roster.iter().map(|(name, det)| measure_detector(name, *det, &items, reps)).collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("results/BENCH_serve.json")
+        .to_owned();
+    let reps = if quick { 3 } else { 15 };
+
+    let measurements = measure(reps);
+    for m in &measurements {
+        eprintln!(
+            "{:<10} sequential {:>8.1} us/item  batched {:>8.1} us/item  speedup {:.2}x",
+            m.name, m.sequential_us_per_item, m.batched_us_per_item, m.speedup
+        );
+    }
+
+    let report = ServeReport { fixture: FIXTURE_DESC.to_owned(), measurements };
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| {
+        eprintln!("could not write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+}

@@ -11,6 +11,7 @@
 //! mpass verify   ORIGINAL MODIFIED         # functionality comparison
 //! mpass pack     FILE --packer upx|pespin|aspack --out FILE
 //! mpass attack   FILE --out FILE [--seed S]   # MPass one sample vs MalConv
+//! mpass score    FILE [FILE...]               # batched MalConv scoring
 //! ```
 //!
 //! Subcommand implementations live here so they can be unit-tested; the
@@ -280,6 +281,67 @@ pub fn cmd_attack(path: &str, out_path: &str, seed: u64, faults: Option<u64>) ->
     Ok(out)
 }
 
+/// `mpass score`: classify files with a freshly trained MalConv
+/// (demonstration scale, same world as `mpass attack`). Every file is
+/// scored on its own thread through the engine's [`BatchScheduler`], so
+/// concurrent submissions coalesce into batched `score_batch` calls —
+/// the CLI face of the batched serving path. Scores are bit-identical to
+/// sequential `score` calls; only the throughput differs.
+pub fn cmd_score(paths: &[&String], seed: u64, max_batch: usize) -> CliResult {
+    use mpass_engine::{BatchPolicy, BatchScheduler};
+    if paths.is_empty() {
+        return Err("score requires at least one FILE".to_owned());
+    }
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        files.push(read(path)?);
+    }
+    let ds = Dataset::generate(&CorpusConfig {
+        n_malware: 24,
+        n_benign: 24,
+        seed,
+        no_slack_fraction: 0.0,
+    });
+    let samples: Vec<_> = ds.samples.iter().collect();
+    let pairs = training_pairs(&samples);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut target = MalConv::new(ByteConvConfig::tiny(), &mut rng);
+    target.train(&pairs, 5, 5e-3, &mut rng);
+
+    let sched = BatchScheduler::new(
+        BatchPolicy {
+            max_batch: max_batch.max(1),
+            max_delay: std::time::Duration::from_millis(5),
+        },
+        |items: &[&[u8]]| {
+            let mut scores = Vec::with_capacity(items.len());
+            target.score_batch(items, &mut scores);
+            scores
+        },
+    );
+    let scores: Vec<f32> = std::thread::scope(|scope| {
+        let handles: Vec<_> = files
+            .iter()
+            .map(|bytes| {
+                let sched = &sched;
+                scope.spawn(move || sched.submit(bytes.as_slice()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("scoring thread panicked")).collect()
+    });
+    let threshold = target.threshold();
+    let mut out = String::new();
+    for (path, score) in paths.iter().zip(&scores) {
+        let verdict = if *score > threshold {
+            mpass_detectors::Verdict::Malicious
+        } else {
+            mpass_detectors::Verdict::Benign
+        };
+        let _ = writeln!(out, "{path}: score {score:.4} -> {verdict}");
+    }
+    Ok(out)
+}
+
 /// `mpass engine-report`: human summary of one or more engine metrics
 /// files written next to `results/*.json` by the experiment runners.
 pub fn cmd_engine_report(paths: &[&String]) -> CliResult {
@@ -306,6 +368,7 @@ USAGE:
   mpass verify ORIGINAL MODIFIED
   mpass pack FILE --packer upx|pespin|aspack --out FILE
   mpass attack FILE --out FILE [--seed S] [--faults SEED]
+  mpass score FILE [FILE ...] [--seed S] [--batch N]
   mpass engine-report METRICS.json [METRICS.json ...]
 ";
 
@@ -351,6 +414,11 @@ pub fn dispatch(args: &[String]) -> CliResult {
             flag(args, "--out").ok_or("attack requires --out FILE")?,
             seed,
             flag(args, "--faults").and_then(|s| s.parse().ok()),
+        ),
+        "score" => cmd_score(
+            &positional,
+            seed,
+            flag(args, "--batch").and_then(|s| s.parse().ok()).unwrap_or(32),
         ),
         "engine-report" => cmd_engine_report(&positional),
         "" | "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
@@ -467,6 +535,40 @@ mod tests {
         assert!(out.contains("demo shard"));
         assert!(out.contains("3 queries"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn score_batches_files_through_the_scheduler() {
+        let dir = tempdir();
+        let out = dir.join("score-corpus");
+        dispatch(&strings(&[
+            "gen",
+            "--out",
+            out.to_str().unwrap(),
+            "--malware",
+            "2",
+            "--benign",
+            "1",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        let mal = out.join("mal_0.exe");
+        let ben = out.join("ben_0.exe");
+        let msg = dispatch(&strings(&[
+            "score",
+            mal.to_str().unwrap(),
+            ben.to_str().unwrap(),
+            "--seed",
+            "9",
+            "--batch",
+            "2",
+        ]))
+        .unwrap();
+        assert!(msg.contains("mal_0.exe: score"), "{msg}");
+        assert!(msg.contains("ben_0.exe: score"), "{msg}");
+        assert!(dispatch(&strings(&["score"])).is_err());
+        std::fs::remove_dir_all(&out).ok();
     }
 
     #[test]

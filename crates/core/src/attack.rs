@@ -33,6 +33,18 @@ impl Channel<'_> {
         }
     }
 
+    /// Batched submission: one verdict-or-fault per item, in input order.
+    fn submit_batch(&self, items: &[&[u8]], out: &mut Vec<Result<Verdict, OracleFault>>) {
+        match self {
+            Channel::Reliable(det) => {
+                let mut verdicts = Vec::with_capacity(items.len());
+                det.classify_batch(items, &mut verdicts);
+                out.extend(verdicts.into_iter().map(Ok));
+            }
+            Channel::Unreliable(oracle) => oracle.submit_batch(items, out),
+        }
+    }
+
     fn name(&self) -> &str {
         match self {
             Channel::Reliable(det) => det.name(),
@@ -178,6 +190,124 @@ impl<'a> HardLabelTarget<'a> {
                     }
                 }
             }
+        }
+    }
+
+    /// Query the target with a whole candidate batch, appending one
+    /// result per item to `out` in input order.
+    ///
+    /// Semantics mirror N sequential [`HardLabelTarget::query`] calls:
+    ///
+    /// * **AE validation is per candidate** — invalid items fail with
+    ///   [`QueryError::InvalidCandidate`], are never submitted, and
+    ///   consume no budget.
+    /// * **Budget is metered per delivered verdict.** Each wave submits at
+    ///   most `budget.remaining()` candidates, so a delivery can always
+    ///   pay; items the budget defers are only submitted if an earlier
+    ///   item failed to deliver, and fail with
+    ///   [`QueryError::BudgetExhausted`] otherwise — exactly the
+    ///   sequential pre-check order.
+    /// * **Only the faulted subset is retried.** Delivered and fatal items
+    ///   leave the batch; transient/rate-limited items re-enter the next
+    ///   wave with the same per-attempt backoff, counters, and
+    ///   `max_attempts` cutoff as a sequential retry loop.
+    ///
+    /// Batch and sequential paths consume the same budget for the same
+    /// outcomes; on a fault-injecting oracle the *schedule alignment*
+    /// differs (a batch advances the oracle's submission index item by
+    /// item before any retry), so individual faults may land on different
+    /// items than a sequential interleaving — transparency holds for
+    /// budget accounting, not for fault placement.
+    pub fn query_batch(
+        &mut self,
+        items: &[&[u8]],
+        out: &mut Vec<Result<Verdict, QueryError>>,
+    ) {
+        let start = out.len();
+        out.extend(items.iter().map(|_| Err(QueryError::Fatal)));
+        let mut unresolved: Vec<usize> = Vec::with_capacity(items.len());
+        for (i, bytes) in items.iter().enumerate() {
+            if self.validate_ae && !candidate_is_valid(bytes) {
+                trace::counter("oracle/ae_rejected", 1);
+                out[start + i] = Err(QueryError::InvalidCandidate);
+            } else {
+                unresolved.push(i);
+            }
+        }
+        let mut attempts = vec![0u32; items.len()];
+        let mut batch: Vec<&[u8]> = Vec::new();
+        let mut results: Vec<Result<Verdict, OracleFault>> = Vec::new();
+        while !unresolved.is_empty() {
+            if self.budget.is_exhausted() {
+                for &i in &unresolved {
+                    out[start + i] =
+                        Err(QueryBudgetExhausted { limit: self.budget.limit() }.into());
+                }
+                return;
+            }
+            if !self.breaker.allows() {
+                for &i in &unresolved {
+                    trace::counter("oracle/breaker_open", 1);
+                    out[start + i] = Err(QueryError::Fatal);
+                }
+                return;
+            }
+            let wave_len = unresolved.len().min(self.budget.remaining());
+            let mut deferred = unresolved.split_off(wave_len);
+            let wave = std::mem::take(&mut unresolved);
+            batch.clear();
+            batch.extend(wave.iter().map(|&i| items[i]));
+            results.clear();
+            {
+                let _span = trace::span("stage/query");
+                self.channel.submit_batch(&batch, &mut results);
+            }
+            let mut retry: Vec<usize> = Vec::new();
+            for (&i, res) in wave.iter().zip(results.drain(..)) {
+                match res {
+                    Ok(verdict) => {
+                        self.breaker.record_success();
+                        self.budget
+                            .try_consume()
+                            .expect("wave sized to the remaining budget");
+                        trace::counter("queries", 1);
+                        out[start + i] = Ok(verdict);
+                    }
+                    Err(OracleFault::Fatal) => {
+                        self.breaker.record_failure(&self.policy);
+                        out[start + i] = Err(QueryError::Fatal);
+                    }
+                    Err(fault) => {
+                        attempts[i] += 1;
+                        if attempts[i] >= self.policy.max_attempts.max(1) {
+                            self.breaker.record_failure(&self.policy);
+                            out[start + i] = Err(match fault {
+                                OracleFault::RateLimited { retry_after_ms } => {
+                                    QueryError::RateLimited { retry_after_ms }
+                                }
+                                _ => QueryError::Transient { attempts: attempts[i] },
+                            });
+                        } else {
+                            trace::counter("oracle/retry", 1);
+                            let hint = match fault {
+                                OracleFault::RateLimited { retry_after_ms } => retry_after_ms,
+                                _ => 0,
+                            };
+                            let backoff =
+                                self.policy.backoff_ms(attempts[i], self.retry_seed).max(hint);
+                            trace::counter("oracle/backoff_ms", backoff);
+                            if self.policy.sleep && backoff > 0 {
+                                std::thread::sleep(std::time::Duration::from_millis(backoff));
+                            }
+                            retry.push(i);
+                        }
+                    }
+                }
+            }
+            // Retries go ahead of budget-deferred first attempts, matching
+            // the order a sequential loop would reach them in.
+            retry.append(&mut deferred);
+            unresolved = retry;
         }
     }
 

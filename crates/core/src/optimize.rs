@@ -203,6 +203,25 @@ impl<'a> EnsembleOptimizer<'a> {
         self.models.iter().map(|m| benign_loss(m.raw_score(bytes))).sum()
     }
 
+    /// Ensemble loss of a whole candidate set in one pass per model,
+    /// appended to `out` in input order. Each model scores the candidates
+    /// through its batched margin path ([`Detector::raw_score_batch`]),
+    /// so per-candidate dispatch and scratch setup are paid once per model
+    /// instead of once per (model, candidate). Results are bit-identical
+    /// to per-candidate [`EnsembleOptimizer::ensemble_loss`] calls.
+    pub fn ensemble_loss_batch(&self, candidates: &[&[u8]], out: &mut Vec<f32>) {
+        let start = out.len();
+        out.extend(candidates.iter().map(|_| 0.0f32));
+        let mut margins = Vec::with_capacity(candidates.len());
+        for m in &self.models {
+            margins.clear();
+            m.raw_score_batch(candidates, &mut margins);
+            for (total, &raw) in out[start..].iter_mut().zip(&margins) {
+                *total += benign_loss(raw);
+            }
+        }
+    }
+
     /// Fill `scores[b]` with `Σ_F ‖e_F(b)‖² − 2⟨e_F(b), z_F[slot]⟩` over
     /// the models that can see `slot` — the joint nearest-token objective
     /// up to a per-slot constant. One norm-table sweep per (model, slot),
@@ -408,17 +427,32 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let models: Vec<&dyn mpass_detectors::WhiteBoxModel> =
             vec![&w.malconv, &w.nonneg, &w.malgcg];
+        let cfg = OptimizerConfig { lr: 0.05, iterations: 6 };
+        // The whole candidate set is scored as one batch before the
+        // optimizer rounds — one batched margin pass per model instead of
+        // one forward per (model, candidate).
+        let mut candidates: Vec<_> = w
+            .ds
+            .malware()
+            .into_iter()
+            .take(4)
+            .map(|s| modify(s, &w.pool, &ModificationConfig::default(), &mut rng).unwrap())
+            .collect();
+        let mut before = Vec::new();
+        {
+            let probe = EnsembleOptimizer::new(models.clone(), &candidates[0], cfg);
+            let byte_refs: Vec<&[u8]> =
+                candidates.iter().map(|ms| ms.bytes.as_slice()).collect();
+            probe.ensemble_loss_batch(&byte_refs, &mut before);
+            // Batching is a throughput optimization, not a numerics change.
+            for (i, ms) in candidates.iter().enumerate() {
+                assert_eq!(before[i].to_bits(), probe.ensemble_loss(&ms.bytes).to_bits());
+            }
+        }
         let mut improved = 0;
-        for s in w.ds.malware().into_iter().take(4) {
-            let mut ms =
-                modify(s, &w.pool, &ModificationConfig::default(), &mut rng).unwrap();
-            let mut opt = EnsembleOptimizer::new(
-                models.clone(),
-                &ms,
-                OptimizerConfig { lr: 0.05, iterations: 6 },
-            );
-            let before = opt.ensemble_loss(&ms.bytes);
-            let after = opt.run(&mut ms);
+        for (ms, before) in candidates.iter_mut().zip(before) {
+            let mut opt = EnsembleOptimizer::new(models.clone(), ms, cfg);
+            let after = opt.run(ms);
             if after < before {
                 improved += 1;
             }

@@ -367,6 +367,64 @@ impl Detector for CachedAv {
     fn threshold(&self) -> f32 {
         self.inner.threshold()
     }
+
+    fn score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        // Resolve cache hits and batch-local duplicates in one lock pass,
+        // then score only the unique misses against the inner AV. Metric
+        // totals match the sequential loop exactly — one hit *or* miss per
+        // item, never one per batch — and a byte-identical duplicate later
+        // in the batch counts as a hit, because a sequential loop would
+        // already have inserted its first occurrence.
+        enum Slot {
+            Hit(f32),
+            Pending(usize),
+        }
+        let mut pending: Vec<&[u8]> = Vec::new();
+        let mut slots: Vec<Slot> = Vec::with_capacity(items.len());
+        let (mut hits, mut misses) = (0u64, 0u64);
+        {
+            let mut seen: std::collections::HashMap<&[u8], usize> =
+                std::collections::HashMap::new();
+            let cache = self.cache();
+            for &bytes in items {
+                if let Some(&s) = cache.get(bytes) {
+                    hits += 1;
+                    slots.push(Slot::Hit(s));
+                } else if let Some(&i) = seen.get(bytes) {
+                    hits += 1;
+                    slots.push(Slot::Pending(i));
+                } else {
+                    misses += 1;
+                    seen.insert(bytes, pending.len());
+                    slots.push(Slot::Pending(pending.len()));
+                    pending.push(bytes);
+                }
+            }
+        }
+        if hits > 0 {
+            mpass_engine::metrics::counter("av/cache_hit", hits);
+        }
+        if misses > 0 {
+            mpass_engine::metrics::counter("av/cache_miss", misses);
+        }
+        let mut fresh = Vec::with_capacity(pending.len());
+        self.inner.score_batch(&pending, &mut fresh);
+        {
+            let mut cache = self.cache();
+            for (bytes, &s) in pending.iter().zip(&fresh) {
+                cache.insert(bytes.to_vec(), s);
+            }
+        }
+        out.reserve(slots.len());
+        out.extend(slots.into_iter().map(|slot| match slot {
+            Slot::Hit(s) => s,
+            Slot::Pending(i) => fresh[i],
+        }));
+    }
+
+    fn raw_score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        self.inner.raw_score_batch(items, out)
+    }
 }
 
 impl crate::traits::DetectorExt for CachedAv {}
@@ -406,12 +464,12 @@ mod tests {
         let mal_detected = ds
             .malware()
             .iter()
-            .filter(|s| av.classify(&s.bytes) == Verdict::Malicious)
+            .filter(|s| av.classify(&s.bytes).is_malicious())
             .count();
         let ben_passed = ds
             .benign()
             .iter()
-            .filter(|s| av.classify(&s.bytes) == Verdict::Benign)
+            .filter(|s| av.classify(&s.bytes).is_benign())
             .count();
         assert!(mal_detected >= 22, "detected {mal_detected}/24 malware");
         assert!(ben_passed >= 22, "passed {ben_passed}/24 benign");
@@ -505,6 +563,48 @@ mod tests {
         assert_eq!(cached.len(), 4);
     }
 
+    /// Batch scoring must meter the cache per item (not per batch) and
+    /// score byte-identical duplicates against the inner AV only once.
+    #[test]
+    fn batched_cache_counts_per_item_and_dedups_inner_scoring() {
+        let ds = dataset();
+        let av = one_av(&ds);
+        let cached = CachedAv::new(av.clone());
+        let a = ds.malware()[0].bytes.clone();
+        let b = ds.malware()[1].bytes.clone();
+        let c = ds.benign()[0].bytes.clone();
+        // Pre-cache `a` so the batch sees a genuine cache hit too.
+        cached.score(&a);
+        mpass_engine::metrics::install(mpass_engine::Collector::default());
+        let items: Vec<&[u8]> = vec![&a, &b, &b, &c, &b];
+        let mut scores = Vec::new();
+        cached.score_batch(&items, &mut scores);
+        let shard = mpass_engine::metrics::take().unwrap().finish("t", 0.0);
+        // Per item: a=hit, b=miss, b=dup hit, c=miss, b=dup hit.
+        assert_eq!(shard.counters["av/cache_hit"], 3);
+        assert_eq!(shard.counters["av/cache_miss"], 2);
+        // The two unique misses were inserted exactly once each.
+        assert_eq!(cached.len(), 3);
+        for (i, bytes) in items.iter().enumerate() {
+            assert_eq!(scores[i].to_bits(), av.score(bytes).to_bits(), "item {i}");
+        }
+        // A sequential replay over a fresh wrapper yields the same metric
+        // totals as the batch did.
+        let seq = CachedAv::new(av.clone());
+        seq.score(&a);
+        mpass_engine::metrics::install(mpass_engine::Collector::default());
+        let mut seq_scores = Vec::new();
+        for bytes in &items {
+            seq_scores.push(seq.score(bytes));
+        }
+        let shard2 = mpass_engine::metrics::take().unwrap().finish("t", 0.0);
+        assert_eq!(shard2.counters["av/cache_hit"], 3);
+        assert_eq!(shard2.counters["av/cache_miss"], 2);
+        for (s1, s2) in scores.iter().zip(&seq_scores) {
+            assert_eq!(s1.to_bits(), s2.to_bits());
+        }
+    }
+
     #[test]
     fn cache_keys_on_full_bytes_not_a_hash() {
         let ds = dataset();
@@ -560,7 +660,7 @@ mod tests {
         let passed = ds
             .benign()
             .iter()
-            .filter(|s| av.classify(&s.bytes) == Verdict::Benign)
+            .filter(|s| av.classify(&s.bytes).is_benign())
             .count();
         assert!(passed >= 22, "benign still passes after update: {passed}/24");
     }

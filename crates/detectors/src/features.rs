@@ -57,6 +57,15 @@ impl FeatureExtractor {
     /// Extract features from raw file bytes.
     pub fn extract(&self, bytes: &[u8]) -> Vec<f32> {
         let mut f = Vec::with_capacity(FEATURE_DIM);
+        self.extract_into(bytes, &mut f);
+        f
+    }
+
+    /// Extract features into a reused buffer (cleared first). Batched
+    /// scoring re-extracts thousands of candidates; recycling one
+    /// `FEATURE_DIM` buffer keeps that loop allocation-free.
+    pub fn extract_into(&self, bytes: &[u8], f: &mut Vec<f32>) {
+        f.clear();
         // --- byte histogram (coarse, normalized) ---
         let hist = mpass_pe::byte_histogram(bytes);
         let total = bytes.len().max(1) as f32;
@@ -159,7 +168,6 @@ impl FeatureExtractor {
             None => f.extend_from_slice(&[0.0; 4]),
         }
         debug_assert_eq!(f.len(), FEATURE_DIM);
-        f
     }
 }
 

@@ -58,6 +58,27 @@ impl Detector for LightGbm {
     fn threshold(&self) -> f32 {
         self.threshold
     }
+
+    fn score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        // Feature extraction dominates tree walking; the batch path keeps
+        // the per-item arithmetic identical and just recycles one feature
+        // buffer across the batch.
+        let mut features = Vec::with_capacity(self.extractor.dim());
+        out.reserve(items.len());
+        for bytes in items {
+            self.extractor.extract_into(bytes, &mut features);
+            out.push(self.model.score(&features));
+        }
+    }
+
+    fn raw_score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        let mut features = Vec::with_capacity(self.extractor.dim());
+        out.reserve(items.len());
+        for bytes in items {
+            self.extractor.extract_into(bytes, &mut features);
+            out.push(self.model.logit(&features));
+        }
+    }
 }
 
 // Footnote 6: trees cannot be back-propagated, so `as_white_box` stays at

@@ -333,6 +333,86 @@ impl ByteConvNet {
     pub fn logit(&self, bytes: &[u8]) -> f32 {
         self.forward(bytes).logit
     }
+
+    /// Batched logits, appended to `out` in input order.
+    ///
+    /// Bit-identical to N [`ByteConvNet::logit`] calls: every window whose
+    /// receptive field touches file bytes runs the same
+    /// `forward_window_into` arithmetic as the sequential path, over an
+    /// embedding buffer filled with the same per-token rows. Windows past
+    /// the file's extent all see the identical all-PAD patch, so their
+    /// gated row is computed once per batch and replicated — that skip,
+    /// plus embedding/conv scratch drawn once from a [`Workspace`]
+    /// free-list and reused across items, is where the batch throughput
+    /// comes from (a sequential `score` call allocates a fresh
+    /// `window × dim` embedding per file).
+    fn logit_batch_into(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        let dim = self.embedding.dim();
+        let window = self.config.window;
+        let filters = self.config.filters;
+        let kernel = self.config.kernel;
+        let stride = self.config.stride;
+        let windows_total = self.conv_a.windows(window);
+        let mut ws = Workspace::default();
+        // One all-PAD receptive field serves every fully-padded window in
+        // every item.
+        let mut pad_patch = ws.take_f32(kernel * dim);
+        for k in 0..kernel {
+            pad_patch[k * dim..(k + 1) * dim].copy_from_slice(self.embedding.vector(PAD));
+        }
+        let mut pad_a = ws.take_f32(filters);
+        let mut pad_b = ws.take_f32(filters);
+        let mut pad_gated = ws.take_f32(filters);
+        if windows_total > 0 {
+            self.conv_a.forward_window_into(&pad_patch, 0, &mut pad_a);
+            self.conv_b.forward_window_into(&pad_patch, 0, &mut pad_b);
+            for ((g, &ai), &bi) in pad_gated.iter_mut().zip(&pad_a).zip(&pad_b) {
+                *g = ai * sigmoid(bi);
+            }
+        }
+        let mut x = ws.take_f32(window * dim);
+        let mut a_row = ws.take_f32(filters);
+        let mut b_row = ws.take_f32(filters);
+        let mut gated = ws.take_f32(windows_total * filters);
+        out.reserve(items.len());
+        for bytes in items {
+            let data_len = bytes.len().min(window);
+            // Windows touching position < data_len; everything after is
+            // all-PAD and gets the replicated row.
+            let data_windows = if data_len == 0 {
+                0
+            } else {
+                (((data_len - 1) / stride) + 1).min(windows_total)
+            };
+            // Embed only what those windows can see: the data prefix plus
+            // any PAD positions inside the last data-overlapping window.
+            let visible = if data_windows == 0 {
+                0
+            } else {
+                ((data_windows - 1) * stride + kernel).min(window)
+            };
+            let data_fill = data_len.min(visible);
+            for (i, &byte) in bytes.iter().enumerate().take(data_fill) {
+                x[i * dim..(i + 1) * dim]
+                    .copy_from_slice(self.embedding.vector(byte as usize));
+            }
+            for i in data_fill..visible {
+                x[i * dim..(i + 1) * dim].copy_from_slice(self.embedding.vector(PAD));
+            }
+            for w in 0..data_windows {
+                self.conv_a.forward_window_into(&x, w, &mut a_row);
+                self.conv_b.forward_window_into(&x, w, &mut b_row);
+                let g = &mut gated[w * filters..(w + 1) * filters];
+                for ((gi, &ai), &bi) in g.iter_mut().zip(&a_row).zip(&b_row) {
+                    *gi = ai * sigmoid(bi);
+                }
+            }
+            for w in data_windows..windows_total {
+                gated[w * filters..(w + 1) * filters].copy_from_slice(&pad_gated);
+            }
+            out.push(self.head_logit(&gated));
+        }
+    }
 }
 
 impl Detector for ByteConvNet {
@@ -350,6 +430,18 @@ impl Detector for ByteConvNet {
 
     fn threshold(&self) -> f32 {
         self.threshold
+    }
+
+    fn score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        let start = out.len();
+        self.logit_batch_into(items, out);
+        for s in &mut out[start..] {
+            *s = sigmoid(*s);
+        }
+    }
+
+    fn raw_score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        self.logit_batch_into(items, out);
     }
 }
 
@@ -523,6 +615,12 @@ impl Detector for MalConv {
     fn threshold(&self) -> f32 {
         self.0.threshold()
     }
+    fn score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        self.0.score_batch(items, out)
+    }
+    fn raw_score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        self.0.raw_score_batch(items, out)
+    }
 }
 
 impl crate::traits::DetectorExt for MalConv {
@@ -595,6 +693,12 @@ impl Detector for NonNeg {
     }
     fn threshold(&self) -> f32 {
         self.0.threshold()
+    }
+    fn score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        self.0.score_batch(items, out)
+    }
+    fn raw_score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        self.0.raw_score_batch(items, out)
     }
 }
 
@@ -678,7 +782,9 @@ mod tests {
         let mut m = MalConv::new(ByteConvConfig::tiny(), &mut rng);
         m.train(&pairs, 4, 5e-3, &mut rng);
         let mal = &ds.malware()[0].bytes;
-        let (loss, grad) = m.benign_loss_and_grad(mal);
+        let mut ws = Workspace::default();
+        let mut grad = Vec::new();
+        let loss = m.benign_loss_grad_into(mal, &mut ws, &mut grad);
         assert!(loss.is_finite());
         // Finite-difference along the negative gradient direction, probed
         // through the embedding of byte 0 at position 100 (inside .text is
@@ -716,7 +822,7 @@ mod tests {
         let mut modified = mal.clone();
         if pos < modified.len() {
             modified[pos] = newtok as u8;
-            let (loss2, _) = m.benign_loss_and_grad(&modified);
+            let loss2 = m.benign_loss_grad_into(&modified, &mut ws, &mut grad);
             assert!(loss2 <= loss + 1e-3, "loss rose from {loss} to {loss2}");
         }
     }
@@ -744,6 +850,44 @@ mod tests {
         let mut m = MalConv::new(ByteConvConfig::tiny(), &mut rng);
         m.train(&pairs, 3, 5e-3, &mut rng);
         m
+    }
+
+    /// The batched forward skips all-PAD windows and reuses scratch, but
+    /// its scores must stay bit-identical to N sequential `score` calls —
+    /// including empty input, files shorter than one kernel, and files
+    /// longer than the model window.
+    #[test]
+    fn score_batch_is_bit_identical_to_sequential_scores() {
+        let m = trained_tiny();
+        let ds = dataset();
+        let window = m.0.config().window;
+        let mut owned: Vec<Vec<u8>> = ds.samples.iter().map(|s| s.bytes.clone()).collect();
+        owned.push(Vec::new());
+        owned.push(vec![0x4d; 3]);
+        owned.push(vec![0xcc; 70]);
+        owned.push(vec![0xab; window + 257]);
+        let items: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        let mut scores = Vec::new();
+        let mut raw = Vec::new();
+        m.score_batch(&items, &mut scores);
+        m.raw_score_batch(&items, &mut raw);
+        assert_eq!(scores.len(), items.len());
+        for (i, bytes) in items.iter().enumerate() {
+            assert_eq!(
+                scores[i].to_bits(),
+                m.score(bytes).to_bits(),
+                "item {i} (len {}): batched {} vs sequential {}",
+                bytes.len(),
+                scores[i],
+                m.score(bytes)
+            );
+            assert_eq!(raw[i].to_bits(), m.raw_score(bytes).to_bits(), "raw item {i}");
+        }
+        let mut verdicts = Vec::new();
+        m.classify_batch(&items, &mut verdicts);
+        for (i, bytes) in items.iter().enumerate() {
+            assert_eq!(verdicts[i], m.classify(bytes), "verdict item {i}");
+        }
     }
 
     /// The tabled white-box forward must agree with the naive score path

@@ -356,6 +356,107 @@ impl MalGcg {
         self.tables.invalidate();
         last
     }
+
+    /// Batched logits, appended to `out` in input order; bit-identical to
+    /// N [`Detector::raw_score`] calls. Same pad-replication scheme as the
+    /// MalConv batch path, applied at both layers: all-PAD layer-1 windows
+    /// produce one constant relu row, and layer-2 windows whose receptive
+    /// field lies entirely in that constant region produce one constant
+    /// `r2` row — each computed once per batch through the real conv
+    /// kernels, then replicated. Scratch is drawn once from a
+    /// [`Workspace`] free-list and reused across items.
+    fn logit_batch_into(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        let dim = self.config.embed_dim;
+        let (window, ch1, ch2) = (self.config.window, self.config.ch1, self.config.ch2);
+        let (kernel1, stride1) = (self.config.kernel1, self.config.stride1);
+        let (kernel2, stride2) = (self.config.kernel2, self.config.stride2);
+        let w1_total = self.conv1.windows(window);
+        let w2_total = self.conv2.windows(w1_total);
+        let mut ws = Workspace::default();
+        // Constant rows for the fully-padded tail, layer by layer.
+        let mut pad_patch = ws.take_f32(kernel1 * dim);
+        for k in 0..kernel1 {
+            pad_patch[k * dim..(k + 1) * dim].copy_from_slice(self.embedding.vector(PAD));
+        }
+        let mut pad_r1 = ws.take_f32(ch1);
+        if w1_total > 0 {
+            self.conv1.forward_window_into(&pad_patch, 0, &mut pad_r1);
+            for v in &mut pad_r1 {
+                *v = v.max(0.0);
+            }
+        }
+        let mut pad_r1_patch = ws.take_f32(kernel2 * ch1);
+        for k in 0..kernel2 {
+            pad_r1_patch[k * ch1..(k + 1) * ch1].copy_from_slice(&pad_r1);
+        }
+        let mut pad_r2 = ws.take_f32(ch2);
+        if w2_total > 0 {
+            self.conv2.forward_window_into(&pad_r1_patch, 0, &mut pad_r2);
+            for v in &mut pad_r2 {
+                *v = v.max(0.0);
+            }
+        }
+        let mut x = ws.take_f32(window * dim);
+        let mut c1_row = ws.take_f32(ch1);
+        let mut c2_row = ws.take_f32(ch2);
+        let mut r1 = ws.take_f32(w1_total * ch1);
+        let mut r2 = ws.take_f32(w2_total * ch2);
+        out.reserve(items.len());
+        for bytes in items {
+            let data_len = bytes.len().min(window);
+            let data_w1 = if data_len == 0 {
+                0
+            } else {
+                (((data_len - 1) / stride1) + 1).min(w1_total)
+            };
+            // Embed only what the data-overlapping layer-1 windows see.
+            let visible = if data_w1 == 0 {
+                0
+            } else {
+                ((data_w1 - 1) * stride1 + kernel1).min(window)
+            };
+            let data_fill = data_len.min(visible);
+            for (i, &byte) in bytes.iter().enumerate().take(data_fill) {
+                x[i * dim..(i + 1) * dim]
+                    .copy_from_slice(self.embedding.vector(byte as usize));
+            }
+            for i in data_fill..visible {
+                x[i * dim..(i + 1) * dim].copy_from_slice(self.embedding.vector(PAD));
+            }
+            for w in 0..data_w1 {
+                self.conv1.forward_window_into(&x, w, &mut c1_row);
+                for (r, &v) in r1[w * ch1..(w + 1) * ch1].iter_mut().zip(&c1_row) {
+                    *r = v.max(0.0);
+                }
+            }
+            // Layer-2 windows read kernel2 consecutive r1 rows; the PAD
+            // rows still visible to a data-overlapping layer-2 window must
+            // be materialized before the conv runs over them.
+            let data_w2 = if data_w1 == 0 {
+                0
+            } else {
+                (((data_w1 - 1) / stride2) + 1).min(w2_total)
+            };
+            let visible1 = if data_w2 == 0 {
+                0
+            } else {
+                ((data_w2 - 1) * stride2 + kernel2).min(w1_total)
+            };
+            for w in data_w1..visible1 {
+                r1[w * ch1..(w + 1) * ch1].copy_from_slice(&pad_r1);
+            }
+            for w in 0..data_w2 {
+                self.conv2.forward_window_into(&r1, w, &mut c2_row);
+                for (r, &v) in r2[w * ch2..(w + 1) * ch2].iter_mut().zip(&c2_row) {
+                    *r = v.max(0.0);
+                }
+            }
+            for w in data_w2..w2_total {
+                r2[w * ch2..(w + 1) * ch2].copy_from_slice(&pad_r2);
+            }
+            out.push(self.head_logit(&r2));
+        }
+    }
 }
 
 impl Detector for MalGcg {
@@ -373,6 +474,18 @@ impl Detector for MalGcg {
 
     fn threshold(&self) -> f32 {
         self.threshold
+    }
+
+    fn score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        let start = out.len();
+        self.logit_batch_into(items, out);
+        for s in &mut out[start..] {
+            *s = sigmoid(*s);
+        }
+    }
+
+    fn raw_score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        self.logit_batch_into(items, out);
     }
 }
 
@@ -562,7 +675,9 @@ mod tests {
     fn gradient_has_window_shape() {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let m = MalGcg::new(MalGcgConfig::tiny(), &mut rng);
-        let (loss, grad) = m.benign_loss_and_grad(&[0x55u8; 700]);
+        let mut ws = Workspace::default();
+        let mut grad = Vec::new();
+        let loss = m.benign_loss_grad_into(&[0x55u8; 700], &mut ws, &mut grad);
         assert!(loss.is_finite());
         assert_eq!(grad.len(), m.window() * m.embedding().dim());
     }
@@ -588,6 +703,36 @@ mod tests {
         let mut m = MalGcg::new(MalGcgConfig::tiny(), &mut rng);
         m.train(&pairs, 3, 5e-3, &mut rng);
         (m, ds)
+    }
+
+    /// The two-level pad-replication batch path must stay bit-identical
+    /// to N sequential `score` calls — including empty input, files
+    /// shorter than one layer-1 kernel, and files past the model window.
+    #[test]
+    fn score_batch_is_bit_identical_to_sequential_scores() {
+        let (m, ds) = trained_tiny();
+        let window = m.config().window;
+        let mut owned: Vec<Vec<u8>> = ds.samples.iter().map(|s| s.bytes.clone()).collect();
+        owned.push(Vec::new());
+        owned.push(vec![0x4d; 5]);
+        owned.push(vec![0xcc; 33]);
+        owned.push(vec![0xab; window + 100]);
+        let items: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        let mut scores = Vec::new();
+        let mut raw = Vec::new();
+        m.score_batch(&items, &mut scores);
+        m.raw_score_batch(&items, &mut raw);
+        for (i, bytes) in items.iter().enumerate() {
+            assert_eq!(
+                scores[i].to_bits(),
+                m.score(bytes).to_bits(),
+                "item {i} (len {}): batched {} vs sequential {}",
+                bytes.len(),
+                scores[i],
+                m.score(bytes)
+            );
+            assert_eq!(raw[i].to_bits(), m.raw_score(bytes).to_bits(), "raw item {i}");
+        }
     }
 
     /// The tabled white-box forward must agree with the naive score path

@@ -7,12 +7,17 @@ pub fn training_pairs<'a>(samples: &[&'a Sample]) -> Vec<(&'a [u8], f32)> {
     samples.iter().map(|s| (s.bytes.as_slice(), s.label.target())).collect()
 }
 
-/// Score/label pairs for metric computation over a detector.
+/// Score/label pairs for metric computation over a detector. Goes through
+/// [`crate::Detector::score_batch`] (bit-identical to per-sample `score`
+/// calls) so evaluation over a corpus pays batch rates.
 pub fn score_pairs<D: crate::Detector + ?Sized>(
     detector: &D,
     samples: &[&Sample],
 ) -> Vec<(f32, f32)> {
-    samples.iter().map(|s| (detector.score(&s.bytes), s.label.target())).collect()
+    let items: Vec<&[u8]> = samples.iter().map(|s| s.bytes.as_slice()).collect();
+    let mut scores = Vec::with_capacity(items.len());
+    detector.score_batch(&items, &mut scores);
+    scores.into_iter().zip(samples).map(|(score, s)| (score, s.label.target())).collect()
 }
 
 #[cfg(test)]

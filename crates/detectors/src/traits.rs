@@ -16,6 +16,18 @@ pub enum Verdict {
     Benign,
 }
 
+impl Verdict {
+    /// `true` when the detector flagged the file.
+    pub fn is_malicious(self) -> bool {
+        self == Verdict::Malicious
+    }
+
+    /// `true` when the detector passed the file.
+    pub fn is_benign(self) -> bool {
+        self == Verdict::Benign
+    }
+}
+
 impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -60,6 +72,54 @@ pub trait Detector: Send + Sync {
             Verdict::Benign
         }
     }
+
+    /// Score a batch of files, appending one probability per item to
+    /// `out` in input order.
+    ///
+    /// Contract: the appended scores are **bit-identical** to `N`
+    /// sequential [`Detector::score`] calls — batching is a throughput
+    /// optimization, never a numerics change. The default loops over
+    /// `score`, so third-party detectors keep working unchanged;
+    /// implementations override it to amortize per-call overhead
+    /// (dispatch, feature extraction, scratch allocation) across the
+    /// batch. `out` is appended to (not cleared) so callers can
+    /// accumulate several batches into one buffer.
+    fn score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        out.reserve(items.len());
+        for bytes in items {
+            out.push(self.score(bytes));
+        }
+    }
+
+    /// Batched [`Detector::raw_score`]: append one margin per item to
+    /// `out` in input order, bit-identical to `N` sequential calls.
+    /// Consumers that difference margins in bulk (ensemble transfer loss,
+    /// PEM ablation masks) go through this instead of `score_batch` for
+    /// the same reason `raw_score` exists at all.
+    fn raw_score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        out.reserve(items.len());
+        for bytes in items {
+            out.push(self.raw_score(bytes));
+        }
+    }
+
+    /// Classify a batch of files, appending one verdict per item to
+    /// `out` in input order. Equivalent to thresholding
+    /// [`Detector::score_batch`] with the strict `>` of
+    /// [`Detector::classify`].
+    fn classify_batch(&self, items: &[&[u8]], out: &mut Vec<Verdict>) {
+        let mut scores = Vec::new();
+        self.score_batch(items, &mut scores);
+        let threshold = self.threshold();
+        out.reserve(scores.len());
+        out.extend(scores.into_iter().map(|s| {
+            if s > threshold {
+                Verdict::Malicious
+            } else {
+                Verdict::Benign
+            }
+        }));
+    }
 }
 
 /// Capability discovery over [`Detector`] trait objects.
@@ -102,8 +162,35 @@ pub trait WhiteBoxModel: Detector {
 
     /// Allocating convenience wrapper over
     /// [`WhiteBoxModel::benign_loss_grad_into`]; returns
-    /// `(loss, gradient)`. Prefer the `_into` form (or a
-    /// [`WhiteBoxModel::session`]) on hot paths.
+    /// `(loss, gradient)`.
+    ///
+    /// Deprecated: it allocates a fresh [`Workspace`] and gradient
+    /// buffer per call, defeating the free-list reuse the `_into` form
+    /// exists for. Call [`WhiteBoxModel::benign_loss_grad_into`] with a
+    /// caller-owned workspace, or open a [`WhiteBoxModel::session`] for
+    /// repeated nearby evaluations:
+    ///
+    /// ```
+    /// # use mpass_detectors::{MalConv, ByteConvConfig, WhiteBoxModel};
+    /// # use rand::SeedableRng;
+    /// # let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+    /// # let model = MalConv::new(ByteConvConfig::tiny(), &mut rng);
+    /// # let bytes = vec![0u8; 64];
+    /// #[allow(deprecated)]
+    /// let (loss, grad) = model.benign_loss_and_grad(&bytes);
+    ///
+    /// // The replacement: one workspace, reused across calls.
+    /// let mut ws = mpass_ml::Workspace::default();
+    /// let mut grad2 = Vec::new();
+    /// let loss2 = model.benign_loss_grad_into(&bytes, &mut ws, &mut grad2);
+    /// assert_eq!(loss.to_bits(), loss2.to_bits());
+    /// assert_eq!(grad, grad2);
+    /// ```
+    #[deprecated(
+        since = "0.5.0",
+        note = "allocates per call; use benign_loss_grad_into with a reused \
+                Workspace, or a WhiteBoxModel::session"
+    )]
     fn benign_loss_and_grad(&self, bytes: &[u8]) -> (f32, Vec<f32>) {
         let mut ws = Workspace::default();
         let mut grad = Vec::new();
@@ -203,6 +290,49 @@ mod tests {
     fn verdict_display() {
         assert_eq!(Verdict::Malicious.to_string(), "malicious");
         assert_eq!(Verdict::Benign.to_string(), "benign");
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(Verdict::Malicious.is_malicious());
+        assert!(!Verdict::Malicious.is_benign());
+        assert!(Verdict::Benign.is_benign());
+        assert!(!Verdict::Benign.is_malicious());
+    }
+
+    /// A detector whose score depends on the input, for batch-order tests.
+    struct LenScore;
+    impl Detector for LenScore {
+        fn name(&self) -> &str {
+            "len"
+        }
+        fn score(&self, bytes: &[u8]) -> f32 {
+            bytes.len() as f32 / 10.0
+        }
+    }
+
+    #[test]
+    fn default_batch_methods_match_sequential_calls() {
+        let det = LenScore;
+        let items: Vec<&[u8]> = vec![b"abc", b"", b"0123456789", b"abcdef"];
+        let mut scores = vec![f32::NAN]; // pre-existing entries survive
+        det.score_batch(&items, &mut scores);
+        assert!(scores[0].is_nan());
+        for (batch, bytes) in scores[1..].iter().zip(&items) {
+            assert_eq!(batch.to_bits(), det.score(bytes).to_bits());
+        }
+        let mut verdicts = Vec::new();
+        det.classify_batch(&items, &mut verdicts);
+        let seq: Vec<Verdict> = items.iter().map(|b| det.classify(b)).collect();
+        assert_eq!(verdicts, seq);
+    }
+
+    #[test]
+    fn batch_methods_are_object_safe() {
+        let d: Box<dyn Detector> = Box::new(LenScore);
+        let mut out = Vec::new();
+        d.classify_batch(&[b"0123456789".as_slice(), b"x".as_slice()], &mut out);
+        assert_eq!(out, vec![Verdict::Malicious, Verdict::Benign]);
     }
 
     #[test]

@@ -1,0 +1,251 @@
+//! Cross-shard batch coalescing for detector-level scoring.
+//!
+//! Engine shards produce candidates one at a time (each attack round
+//! yields one query), but the detectors underneath them score far cheaper
+//! per item when handed a whole batch (`Detector::score_batch` amortizes
+//! embedding scratch, feature buffers, and pad-window work). The
+//! [`BatchScheduler`] sits between the two: shards submit individual
+//! items and block for their result, while a flush policy coalesces
+//! everything pending across shards into one batched scorer call.
+//!
+//! ## Flush policy
+//!
+//! A batch is flushed when either trigger fires:
+//!
+//! * **size** — the pending queue reaches [`BatchPolicy::max_batch`], or
+//! * **deadline** — the oldest pending item has waited
+//!   [`BatchPolicy::max_delay`].
+//!
+//! The submitting thread whose item trips a trigger becomes the *leader*:
+//! it drains the queue, runs the scorer closure outside the lock, and
+//! wakes every waiter whose result arrived. Items that arrive while a
+//! flush is in flight queue up for the next one — nothing is lost and
+//! nothing is scored twice. A lone submitter therefore pays at most
+//! `max_delay` latency; a saturated pool pays none, because the size
+//! trigger fires first.
+//!
+//! Flush sizes are recorded to the `engine/batch_flush` counter and
+//! `engine/batch_size` series, so the metrics file shows how well a
+//! campaign's traffic coalesced.
+
+use crate::metrics as trace;
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// When to flush pending items into a scorer call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Flush as soon as this many items are pending.
+    pub max_batch: usize,
+    /// Flush when the oldest pending item has waited this long.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy { max_batch: 32, max_delay: Duration::from_millis(2) }
+    }
+}
+
+struct SchedState<T, R> {
+    /// Tickets waiting to be scored, in arrival order.
+    pending: Vec<(u64, T)>,
+    /// Results keyed by ticket, claimed by their submitter.
+    results: HashMap<u64, R>,
+    next_ticket: u64,
+    /// Whether a leader is currently running the scorer.
+    flushing: bool,
+}
+
+/// Coalesces items submitted from many threads into batched scorer calls.
+///
+/// `score` receives the drained batch in arrival order and must return
+/// one result per item, in the same order. [`BatchScheduler::submit`]
+/// blocks the calling thread until its item's result is available —
+/// semantically it behaves exactly like calling the scorer on a
+/// single-item batch, which is what makes the scheduler transparent to
+/// shard code.
+pub struct BatchScheduler<'s, T, R> {
+    #[allow(clippy::type_complexity)]
+    score: Box<dyn Fn(&[T]) -> Vec<R> + Send + Sync + 's>,
+    policy: BatchPolicy,
+    state: Mutex<SchedState<T, R>>,
+    cond: Condvar,
+}
+
+impl<'s, T: Send, R: Send> BatchScheduler<'s, T, R> {
+    /// A scheduler flushing per `policy` into `score`.
+    pub fn new<F>(policy: BatchPolicy, score: F) -> Self
+    where
+        F: Fn(&[T]) -> Vec<R> + Send + Sync + 's,
+    {
+        BatchScheduler {
+            score: Box::new(score),
+            policy,
+            state: Mutex::new(SchedState {
+                pending: Vec::new(),
+                results: HashMap::new(),
+                next_ticket: 0,
+                flushing: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Submit one item and block until its result is available.
+    pub fn submit(&self, item: T) -> R {
+        let deadline = Instant::now() + self.policy.max_delay;
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        state.pending.push((ticket, item));
+        loop {
+            if let Some(result) = state.results.remove(&ticket) {
+                return result;
+            }
+            let item_pending = state.pending.iter().any(|(t, _)| *t == ticket);
+            if item_pending && !state.flushing {
+                let size_trip = state.pending.len() >= self.policy.max_batch;
+                let deadline_trip = Instant::now() >= deadline;
+                if size_trip || deadline_trip {
+                    state = self.flush_locked(state);
+                    continue;
+                }
+            }
+            // Wait for a leader to deliver, or for our deadline to make
+            // us the leader. While a flush is in flight the leader's
+            // notify_all will wake us; cap the wait either way so a
+            // deadline trip is never missed.
+            let wait = deadline
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_micros(100));
+            let (next, _) =
+                self.cond.wait_timeout(state, wait).unwrap_or_else(|p| p.into_inner());
+            state = next;
+        }
+    }
+
+    /// Flush everything currently pending, regardless of policy. Useful at
+    /// shutdown so stragglers don't wait out their deadline.
+    pub fn flush(&self) {
+        let state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        if state.pending.is_empty() || state.flushing {
+            return;
+        }
+        drop(self.flush_locked(state));
+    }
+
+    /// Drain the queue and run the scorer outside the lock; the caller
+    /// becomes the leader. Returns the re-acquired guard.
+    fn flush_locked<'g>(
+        &'g self,
+        mut state: std::sync::MutexGuard<'g, SchedState<T, R>>,
+    ) -> std::sync::MutexGuard<'g, SchedState<T, R>> {
+        state.flushing = true;
+        let batch = std::mem::take(&mut state.pending);
+        drop(state);
+        let (tickets, items): (Vec<u64>, Vec<T>) = batch.into_iter().unzip();
+        let results = (self.score)(&items);
+        debug_assert_eq!(results.len(), tickets.len(), "scorer must be 1:1");
+        trace::counter("engine/batch_flush", 1);
+        trace::series("engine/batch_size", tickets.len() as f64);
+        let mut state = self.state.lock().unwrap_or_else(|p| p.into_inner());
+        for (ticket, result) in tickets.into_iter().zip(results) {
+            state.results.insert(ticket, result);
+        }
+        state.flushing = false;
+        self.cond.notify_all();
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_match_items_across_threads() {
+        let calls = AtomicUsize::new(0);
+        let sched = BatchScheduler::new(
+            BatchPolicy { max_batch: 8, max_delay: Duration::from_millis(5) },
+            |items: &[u32]| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                items.iter().map(|&i| i * 10).collect()
+            },
+        );
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..32u32)
+                .map(|i| {
+                    let sched = &sched;
+                    scope.spawn(move || (i, sched.submit(i)))
+                })
+                .collect();
+            for h in handles {
+                let (i, r) = h.join().expect("submitter panicked");
+                assert_eq!(r, i * 10, "item {i} got someone else's result");
+            }
+        });
+        let n = calls.load(Ordering::SeqCst);
+        assert!(n >= 1, "scorer never ran");
+        assert!(n <= 32, "more flushes than items");
+    }
+
+    #[test]
+    fn size_trigger_coalesces_a_full_batch() {
+        let max_seen = Mutex::new(0usize);
+        let sched = BatchScheduler::new(
+            // A deadline far beyond the test's runtime: only the size
+            // trigger can flush, so all items must coalesce.
+            BatchPolicy { max_batch: 4, max_delay: Duration::from_secs(30) },
+            |items: &[usize]| {
+                let mut max = max_seen.lock().unwrap();
+                *max = (*max).max(items.len());
+                items.to_vec()
+            },
+        );
+        std::thread::scope(|scope| {
+            for i in 0..4 {
+                let sched = &sched;
+                scope.spawn(move || assert_eq!(sched.submit(i), i));
+            }
+        });
+        assert_eq!(*max_seen.lock().unwrap(), 4, "size trigger never saw a full batch");
+    }
+
+    #[test]
+    fn deadline_trigger_serves_a_lone_submitter() {
+        let sched = BatchScheduler::new(
+            BatchPolicy { max_batch: 1024, max_delay: Duration::from_millis(1) },
+            |items: &[u8]| items.iter().map(|&b| b as u16 + 1).collect(),
+        );
+        // Nobody else is submitting: only the deadline can flush this.
+        assert_eq!(sched.submit(41), 42);
+    }
+
+    #[test]
+    fn explicit_flush_drains_pending() {
+        let sched = BatchScheduler::new(
+            BatchPolicy { max_batch: 1024, max_delay: Duration::from_secs(30) },
+            |items: &[u8]| items.to_vec(),
+        );
+        std::thread::scope(|scope| {
+            let sched = &sched;
+            let h = scope.spawn(move || sched.submit(7));
+            // Wait until the submitter has enqueued, then force the flush
+            // it would otherwise wait 30 s for.
+            loop {
+                {
+                    let state = sched.state.lock().unwrap();
+                    if !state.pending.is_empty() {
+                        break;
+                    }
+                }
+                std::thread::yield_now();
+            }
+            sched.flush();
+            assert_eq!(h.join().expect("submitter panicked"), 7);
+        });
+    }
+}

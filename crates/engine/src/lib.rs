@@ -18,13 +18,18 @@
 //!   and the query-counted [`CircuitBreaker`].
 //! * [`MetricsFile`] — the JSON schema written next to each runner's
 //!   `results/*.json` and summarized by `mpass engine-report`.
+//! * [`BatchScheduler`] — cross-shard coalescing of single-item scoring
+//!   requests into detector-level batches under a size/deadline
+//!   [`BatchPolicy`].
 
+pub mod batch;
 pub mod budget;
 pub mod fault;
 pub mod metrics;
 pub mod pool;
 pub mod sink;
 
+pub use batch::{BatchPolicy, BatchScheduler};
 pub use budget::{QueryBudget, QueryBudgetExhausted};
 pub use fault::{CircuitBreaker, OracleFault, QueryError, RetryPolicy};
 pub use metrics::{Collector, SampleMetrics, ShardMetrics, TimingSummary};

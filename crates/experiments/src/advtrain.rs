@@ -109,7 +109,7 @@ pub fn run(world: &World) -> AdvTrainResults {
         .malware()
         .into_iter()
         .filter(|s| {
-            hardened.classify(&s.bytes) == mpass_detectors::Verdict::Malicious
+            hardened.classify(&s.bytes).is_malicious()
         })
         .take(world.config.attack_samples)
         .collect();

@@ -136,7 +136,7 @@ pub fn run(world: &World) -> DesignResults {
         for s in &samples {
             if let Ok(ms) = modify(s, pool, &ModificationConfig::default(), &mut rng) {
                 total += 1;
-                if world.malconv.classify(&ms.bytes) == mpass_detectors::Verdict::Benign {
+                if world.malconv.classify(&ms.bytes).is_benign() {
                     first_query_wins += 1;
                 }
             }

@@ -10,7 +10,7 @@
 
 use crate::commercial::CommercialResults;
 use crate::world::World;
-use mpass_detectors::{Detector, Verdict};
+use mpass_detectors::Detector;
 use mpass_engine::{metrics as trace, Engine, MetricsFile, Shard};
 use serde::{Deserialize, Serialize};
 
@@ -109,7 +109,7 @@ pub fn run_with_engine(
                 .iter()
                 .filter(|ae| {
                     trace::counter("queries", 1);
-                    av.classify(ae) == Verdict::Benign
+                    av.classify(ae).is_benign()
                 })
                 .count();
             let rate = 100.0 * still as f64 / cell.successful_aes.len() as f64;

@@ -4,7 +4,7 @@ use mpass_corpus::{BenignPool, CorpusConfig, Dataset, Sample};
 use mpass_detectors::train::training_pairs;
 use mpass_detectors::{
     commercial::default_profiles, ByteConvConfig, CommercialAv, Detector, DetectorExt, LightGbm,
-    MalConv, MalGcg, MalGcgConfig, NonNeg, Verdict, WhiteBoxModel,
+    MalConv, MalGcg, MalGcgConfig, NonNeg, WhiteBoxModel,
 };
 use mpass_ml::GbdtParams;
 use rand::SeedableRng;
@@ -194,12 +194,30 @@ impl World {
     /// paper's sample-quality requirement (1) — capped at
     /// `config.attack_samples`.
     pub fn attack_set(&self, target: &dyn Detector) -> Vec<&Sample> {
-        self.dataset
-            .malware()
-            .into_iter()
-            .filter(|s| target.classify(&s.bytes) == Verdict::Malicious)
-            .take(self.config.attack_samples)
-            .collect()
+        // Batched equivalent of `.filter(classify is_malicious).take(n)`.
+        // Each chunk is sized to the number of samples still needed, which
+        // keeps the set of classified samples identical to the sequential
+        // early-exit loop: the take(n) cutoff lands on the n-th malicious
+        // verdict, and a chunk of `needed` items can reach it no earlier
+        // than its last element. Stateful targets (a caching AV wrapper)
+        // therefore end up with the same cache contents and counter totals
+        // either way.
+        let malware = self.dataset.malware();
+        let mut picked = Vec::with_capacity(self.config.attack_samples);
+        let mut next = 0;
+        let mut verdicts = Vec::new();
+        while picked.len() < self.config.attack_samples && next < malware.len() {
+            let needed = self.config.attack_samples - picked.len();
+            let chunk = &malware[next..malware.len().min(next + needed)];
+            let items: Vec<&[u8]> = chunk.iter().map(|s| s.bytes.as_slice()).collect();
+            verdicts.clear();
+            target.classify_batch(&items, &mut verdicts);
+            picked.extend(
+                chunk.iter().zip(&verdicts).filter(|(_, v)| v.is_malicious()).map(|(s, _)| *s),
+            );
+            next += chunk.len();
+        }
+        picked
     }
 
     /// Detection accuracy of every target on the full corpus (sanity

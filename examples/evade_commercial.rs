@@ -12,7 +12,7 @@ use mpass::corpus::{BenignPool, CorpusConfig, Dataset};
 use mpass::detectors::commercial::default_profiles;
 use mpass::detectors::train::training_pairs;
 use mpass::detectors::{
-    ByteConvConfig, CommercialAv, Detector, MalConv, MalGcg, MalGcgConfig, NonNeg, Verdict,
+    ByteConvConfig, CommercialAv, Detector, MalConv, MalGcg, MalGcgConfig, NonNeg,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -49,7 +49,7 @@ fn main() {
     let mut mab_aes: Vec<Vec<u8>> = Vec::new();
     let mut attacked = 0;
     for sample in dataset.malware() {
-        if av.classify(&sample.bytes) != Verdict::Malicious {
+        if !av.classify(&sample.bytes).is_malicious() {
             continue;
         }
         attacked += 1;
@@ -76,7 +76,7 @@ fn main() {
         let mut updated = av.clone();
         let subs: Vec<&[u8]> = aes.iter().map(|v| v.as_slice()).collect();
         let added = updated.weekly_update(&subs);
-        let still = aes.iter().filter(|ae| updated.classify(ae) == Verdict::Benign).count();
+        let still = aes.iter().filter(|ae| updated.classify(ae).is_benign()).count();
         println!(
             "{name}: AV learned {added} signatures; {still}/{} AEs still bypass",
             aes.len()

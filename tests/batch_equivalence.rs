@@ -1,0 +1,271 @@
+//! Batch-vs-sequential equivalence over the real detector roster.
+//!
+//! The batch-first API redesign promises that batching is a throughput
+//! optimization, never a semantics change. These tests pin that contract
+//! at the integration level, on the same trained world the experiment
+//! binaries use:
+//!
+//! * `Detector::score_batch` / `raw_score_batch` / `classify_batch` are
+//!   bit-identical to N sequential calls for every roster detector,
+//!   including the caching AV wrapper,
+//! * `Oracle::submit_batch` consumes the same fault schedule as N
+//!   sequential submissions on an `UnreliableOracle`,
+//! * `HardLabelTarget::query_batch` meters budget exactly like N
+//!   sequential `query` calls — per delivered verdict, with AE-invalid
+//!   candidates free — including at the exhaustion boundary and under
+//!   injected faults.
+
+use mpass_core::{HardLabelTarget, QueryError, RetryPolicy};
+use mpass_detectors::{CachedAv, Detector, FaultProfile, Oracle, UnreliableOracle, Verdict};
+use mpass_engine::{OracleFault, QueryBudget};
+use mpass_experiments::world::{World, WorldConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::build(WorldConfig::quick()))
+}
+
+/// Corpus bytes plus degenerate inputs (empty, truncated garbage).
+fn probe_items(w: &World) -> Vec<&[u8]> {
+    let mut items: Vec<&[u8]> = w.dataset.samples.iter().map(|s| s.bytes.as_slice()).collect();
+    items.push(b"");
+    items.push(b"MZ\x90");
+    items
+}
+
+fn assert_batch_matches_sequential(name: &str, det: &dyn Detector, items: &[&[u8]]) {
+    let mut scores = Vec::new();
+    det.score_batch(items, &mut scores);
+    let mut raw = Vec::new();
+    det.raw_score_batch(items, &mut raw);
+    let mut verdicts = Vec::new();
+    det.classify_batch(items, &mut verdicts);
+    assert_eq!(scores.len(), items.len(), "{name}: score_batch length");
+    assert_eq!(raw.len(), items.len(), "{name}: raw_score_batch length");
+    assert_eq!(verdicts.len(), items.len(), "{name}: classify_batch length");
+    for (i, bytes) in items.iter().enumerate() {
+        assert_eq!(
+            scores[i].to_bits(),
+            det.score(bytes).to_bits(),
+            "{name}: score_batch[{i}] diverged"
+        );
+        assert_eq!(
+            raw[i].to_bits(),
+            det.raw_score(bytes).to_bits(),
+            "{name}: raw_score_batch[{i}] diverged"
+        );
+        assert_eq!(verdicts[i], det.classify(bytes), "{name}: classify_batch[{i}] diverged");
+    }
+}
+
+#[test]
+fn score_batch_is_bit_identical_for_every_roster_detector() {
+    let w = world();
+    let items = probe_items(w);
+    for (name, det) in w.offline_targets() {
+        assert_batch_matches_sequential(name, det, &items);
+    }
+    for av in &w.avs {
+        assert_batch_matches_sequential(Detector::name(av), av, &items);
+    }
+}
+
+/// The caching wrapper answers batched queries with the same scores and
+/// the same cache-counter totals as a sequential loop — compared across
+/// two fresh wrappers of the same AV so cache state starts equal.
+#[test]
+fn cached_av_batches_match_a_fresh_sequential_wrapper() {
+    let w = world();
+    // Repeat a slice so the batch contains duplicates (the wrapper
+    // resolves those against the batch itself, not just the cache).
+    let mut items = probe_items(w);
+    items.push(items[0]);
+    items.push(items[0]);
+
+    let batched = CachedAv::new(w.avs[0].clone());
+    let mut scores = Vec::new();
+    batched.score_batch(&items, &mut scores);
+    let mut verdicts = Vec::new();
+    batched.classify_batch(&items, &mut verdicts);
+
+    let sequential = CachedAv::new(w.avs[0].clone());
+    for (i, bytes) in items.iter().enumerate() {
+        assert_eq!(
+            scores[i].to_bits(),
+            sequential.score(bytes).to_bits(),
+            "CachedAv: score_batch[{i}] diverged from a sequential wrapper"
+        );
+    }
+    // A second batched pass is all cache hits and still bit-identical.
+    let mut again = Vec::new();
+    batched.score_batch(&items, &mut again);
+    for (i, (a, b)) in again.iter().zip(&scores).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "CachedAv: cached re-score[{i}] diverged");
+    }
+    let seq_verdicts: Vec<Verdict> = items.iter().map(|b| sequential.classify(b)).collect();
+    assert_eq!(verdicts, seq_verdicts, "CachedAv: classify_batch diverged");
+}
+
+/// Batched submission through a fault-injecting oracle consumes exactly
+/// the per-submission schedule a sequential loop would: same verdicts,
+/// same faults, same positions.
+#[test]
+fn unreliable_oracle_submit_batch_consumes_the_sequential_schedule() {
+    let w = world();
+    let items = probe_items(w);
+    let profile = FaultProfile::seeded(0xFA17);
+
+    let batched = UnreliableOracle::new(&w.malconv, profile);
+    let mut batch_results = Vec::new();
+    batched.submit_batch(&items, &mut batch_results);
+
+    let sequential = UnreliableOracle::new(&w.malconv, profile);
+    let seq_results: Vec<Result<Verdict, OracleFault>> =
+        items.iter().map(|b| sequential.submit(b)).collect();
+
+    assert_eq!(batch_results, seq_results);
+    assert_eq!(batched.submissions(), sequential.submissions());
+    assert_eq!(batched.faults_injected(), sequential.faults_injected());
+}
+
+#[test]
+fn query_batch_matches_sequential_queries_on_a_reliable_channel() {
+    let w = world();
+    let items = probe_items(w);
+    // Budget below the item count so the exhaustion boundary is crossed
+    // mid-batch.
+    let limit = items.len() - 3;
+
+    let mut batched = HardLabelTarget::new(&w.malconv, limit);
+    let mut batch_results = Vec::new();
+    batched.query_batch(&items, &mut batch_results);
+
+    let mut sequential = HardLabelTarget::new(&w.malconv, limit);
+    let seq_results: Vec<Result<Verdict, QueryError>> =
+        items.iter().map(|b| sequential.query(b)).collect();
+
+    assert_eq!(batch_results, seq_results);
+    assert_eq!(batched.queries(), sequential.queries());
+    assert_eq!(batched.remaining(), sequential.remaining());
+    assert_eq!(batched.queries(), limit, "every delivered verdict costs one unit");
+    let delivered = batch_results.iter().filter(|r| r.is_ok()).count();
+    assert_eq!(delivered, limit);
+    assert!(batch_results[limit..]
+        .iter()
+        .all(|r| matches!(r, Err(e) if e.is_budget_exhausted())));
+}
+
+/// AE validation is per candidate in both paths: invalid candidates fail
+/// with `InvalidCandidate`, are never submitted, and consume no budget.
+#[test]
+fn query_batch_validates_each_candidate_without_spending_budget() {
+    let w = world();
+    let valid = w.dataset.samples[0].bytes.as_slice();
+    let items: Vec<&[u8]> = vec![valid, b"not a PE at all", valid, b"", valid];
+
+    let mut batched = HardLabelTarget::new(&w.malconv, 100).with_ae_validation();
+    let mut batch_results = Vec::new();
+    batched.query_batch(&items, &mut batch_results);
+
+    let mut sequential = HardLabelTarget::new(&w.malconv, 100).with_ae_validation();
+    let seq_results: Vec<Result<Verdict, QueryError>> =
+        items.iter().map(|b| sequential.query(b)).collect();
+
+    assert_eq!(batch_results, seq_results);
+    assert_eq!(batched.queries(), sequential.queries());
+    assert_eq!(batched.queries(), 3, "only the three valid candidates consume budget");
+    assert_eq!(batch_results[1], Err(QueryError::InvalidCandidate));
+    assert_eq!(batch_results[3], Err(QueryError::InvalidCandidate));
+}
+
+/// A channel that fails its first `k` submissions with transient faults
+/// and delivers ever after — a fault schedule whose retries resolve
+/// identically whether queries arrive one at a time or as a batch.
+struct FlakyFirstK<'a> {
+    inner: &'a dyn Detector,
+    remaining_faults: AtomicU64,
+}
+
+impl Oracle for FlakyFirstK<'_> {
+    fn name(&self) -> &str {
+        "flaky"
+    }
+
+    fn submit(&self, bytes: &[u8]) -> Result<Verdict, OracleFault> {
+        let left = self
+            .remaining_faults
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+            .is_ok();
+        if left {
+            Err(OracleFault::Transient)
+        } else {
+            Ok(self.inner.classify(bytes))
+        }
+    }
+}
+
+#[test]
+fn query_batch_budget_accounting_matches_sequential_under_injected_faults() {
+    let w = world();
+    let items = probe_items(w);
+    let policy = RetryPolicy { sleep: false, ..RetryPolicy::default() };
+    let run = |limit: usize| {
+        let channel = FlakyFirstK { inner: &w.malconv, remaining_faults: AtomicU64::new(3) };
+        let mut batched =
+            HardLabelTarget::unreliable(&channel, QueryBudget::new(limit), policy.clone());
+        let mut batch_results = Vec::new();
+        batched.query_batch(&items, &mut batch_results);
+
+        let channel = FlakyFirstK { inner: &w.malconv, remaining_faults: AtomicU64::new(3) };
+        let mut sequential =
+            HardLabelTarget::unreliable(&channel, QueryBudget::new(limit), policy.clone());
+        let seq_results: Vec<Result<Verdict, QueryError>> =
+            items.iter().map(|b| sequential.query(b)).collect();
+
+        assert_eq!(batch_results, seq_results, "limit {limit}");
+        assert_eq!(batched.queries(), sequential.queries(), "limit {limit}");
+        assert_eq!(batched.remaining(), sequential.remaining(), "limit {limit}");
+        // The invariant behind "budget meters delivered verdicts":
+        // consumed budget equals the number of Ok results, faults and
+        // retries are free.
+        let delivered = batch_results.iter().filter(|r| r.is_ok()).count();
+        assert_eq!(batched.queries(), delivered, "limit {limit}");
+    };
+    // Ample budget: every item delivers despite the three leading faults.
+    run(items.len() + 10);
+    // Tight budget: exhaustion landing after the faulted-and-retried
+    // prefix exercises deferred first attempts behind retries.
+    run(items.len() - 4);
+}
+
+/// Under a schedule that faults beyond the retry policy's patience, the
+/// failed query consumes no budget in either path.
+#[test]
+fn exhausted_retries_are_free_in_both_paths() {
+    let w = world();
+    let valid = w.dataset.samples[0].bytes.as_slice();
+    let items: Vec<&[u8]> = vec![valid, valid];
+    let policy = RetryPolicy { max_attempts: 2, sleep: false, ..RetryPolicy::default() };
+    // Enough faults that the first item exhausts its attempts in both
+    // schedules (sequential burns 2 on item 1; the batch interleaves but
+    // still spends 4 submissions on 2 items x 2 attempts).
+    let channel = FlakyFirstK { inner: &w.malconv, remaining_faults: AtomicU64::new(4) };
+    let mut batched =
+        HardLabelTarget::unreliable(&channel, QueryBudget::new(10), policy.clone());
+    let mut batch_results = Vec::new();
+    batched.query_batch(&items, &mut batch_results);
+    assert!(batch_results
+        .iter()
+        .all(|r| matches!(r, Err(QueryError::Transient { attempts: 2 }))));
+    assert_eq!(batched.queries(), 0, "failed queries must not consume budget");
+
+    let channel = FlakyFirstK { inner: &w.malconv, remaining_faults: AtomicU64::new(4) };
+    let mut sequential =
+        HardLabelTarget::unreliable(&channel, QueryBudget::new(10), policy.clone());
+    let seq_results: Vec<Result<Verdict, QueryError>> =
+        items.iter().map(|b| sequential.query(b)).collect();
+    assert_eq!(batch_results, seq_results);
+    assert_eq!(sequential.queries(), 0);
+}

@@ -3,7 +3,7 @@
 //! to mine MPass's shuffled, per-sample-randomized perturbations.
 
 use mpass::core::modify::{modify, ModificationConfig};
-use mpass::detectors::{Detector, Verdict};
+use mpass::detectors::Detector;
 use mpass_experiments::{World, WorldConfig};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -103,7 +103,7 @@ fn benign_false_positive_rate_survives_updates() {
         .dataset
         .benign()
         .iter()
-        .filter(|s| av.classify(&s.bytes) == Verdict::Malicious)
+        .filter(|s| av.classify(&s.bytes).is_malicious())
         .count();
     let total = world.dataset.benign().len();
     assert!(
