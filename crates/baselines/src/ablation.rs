@@ -190,7 +190,7 @@ mod tests {
             }
         }
         let det = Always;
-        let s = ds.malware().into_iter().find(|s| s.pe.can_add_section()).unwrap();
+        let s = ds.malware().into_iter().find(|s| s.pe().unwrap().can_add_section()).unwrap();
         let mut target = HardLabelTarget::new(&det, 10);
         let o = attack.attack(s, &mut target);
         let pe = mpass_pe::PeFile::parse(&o.adversarial.unwrap()).unwrap();

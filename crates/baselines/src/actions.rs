@@ -197,7 +197,7 @@ mod tests {
         let sandbox = Sandbox::new();
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         for s in ds.malware() {
-            let mut pe = s.pe.clone();
+            let mut pe = s.pe().unwrap().clone();
             for action in lib.action_space() {
                 if action == PeAction::UnsafePackSection {
                     continue;
@@ -219,7 +219,7 @@ mod tests {
         let mut total = 0;
         for s in ds.malware() {
             for _ in 0..6 {
-                let mut pe = s.pe.clone();
+                let mut pe = s.pe().unwrap().clone();
                 lib.apply(&mut pe, PeAction::UnsafePackSection, &mut rng);
                 total += 1;
                 if !sandbox.verify_functionality(&s.bytes, &pe.to_bytes()).is_preserved() {
@@ -244,7 +244,7 @@ mod tests {
         let (ds, lib) = world();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let s = &ds.samples[0];
-        let mut pe = s.pe.clone();
+        let mut pe = s.pe().unwrap().clone();
         for _ in 0..10 {
             let space = lib.action_space();
             let action = space[rng.gen_range(0..space.len())];

@@ -66,7 +66,12 @@ impl Gamma {
     /// Materialize a candidate: the sample plus one injected section (or
     /// overlay blob) per donor with non-trivial usage.
     fn express(&self, sample: &Sample, genome: &Genome) -> Vec<u8> {
-        let mut pe = sample.pe.clone();
+        // PE-only baseline: a non-PE sample is expressed unmodified (the
+        // genome has no PE section table to inject into).
+        let Some(base) = sample.pe() else {
+            return sample.bytes.clone();
+        };
+        let mut pe = base.clone();
         for (i, (&usage, donor)) in genome.iter().zip(&self.donor_sections).enumerate() {
             let take = (usage.clamp(0.0, 1.0) * donor.len() as f64) as usize;
             if take < 64 {

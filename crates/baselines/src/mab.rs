@@ -130,8 +130,20 @@ impl Attack for Mab {
         );
         let original_size = sample.size();
         let mut last_size = original_size;
+        // PE-only baseline: non-PE containers are out of this attack's
+        // action space and count as a failed attempt.
+        let Some(base) = sample.pe() else {
+            return AttackOutcome {
+                sample: sample.name.clone(),
+                evaded: false,
+                queries: target.queries(),
+                adversarial: None,
+                original_size,
+                final_size: original_size,
+            };
+        };
         loop {
-            let mut pe = sample.pe.clone();
+            let mut pe = base.clone();
             for _ in 0..self.cfg.max_stack {
                 let arm = self.pick_arm(&mut rng);
                 self.library.apply(&mut pe, self.actions[arm], &mut rng);

@@ -168,8 +168,20 @@ impl Attack for MalRnn {
         );
         let original_size = sample.size();
         let mut last_size = original_size;
+        // PE-only baseline: non-PE containers are out of this attack's
+        // action space and count as a failed attempt.
+        let Some(base) = sample.pe() else {
+            return AttackOutcome {
+                sample: sample.name.clone(),
+                evaded: false,
+                queries: target.queries(),
+                adversarial: None,
+                original_size,
+                final_size: original_size,
+            };
+        };
         loop {
-            let mut pe = sample.pe.clone();
+            let mut pe = base.clone();
             let mut appended = 0usize;
             while appended < self.cfg.max_append {
                 let chunk = self.lm.generate(self.cfg.chunk, self.cfg.temperature, &mut rng);

@@ -160,7 +160,8 @@ impl Attack for Packer {
     /// Packers are one-shot transformations: a single query decides.
     fn attack(&mut self, sample: &Sample, target: &mut HardLabelTarget<'_>) -> AttackOutcome {
         let original_size = sample.size();
-        match self.pack(&sample.pe) {
+        // PE-only baseline: non-PE containers fail to pack.
+        match sample.pe().ok_or(()).and_then(|pe| self.pack(pe).map_err(|_| ())) {
             Ok(bytes) => {
                 let final_size = bytes.len();
                 let evaded = target.query(&bytes).is_ok_and(Verdict::is_benign);
@@ -207,7 +208,7 @@ mod tests {
         for profile in packer_profiles() {
             let packer = Packer::new(profile);
             for s in ds.malware().into_iter().take(3) {
-                let packed = packer.pack(&s.pe).unwrap();
+                let packed = packer.pack(s.pe().unwrap()).unwrap();
                 let v = sandbox.verify_functionality(&s.bytes, &packed);
                 assert!(v.is_preserved(), "{} on {}: {v}", profile.name, s.name);
             }
@@ -219,11 +220,11 @@ mod tests {
         let ds = dataset();
         let packer = Packer::new(packer_profiles()[0]);
         let s = ds.malware()[0];
-        let packed = PeFile::parse(&packer.pack(&s.pe).unwrap()).unwrap();
+        let packed = PeFile::parse(&packer.pack(s.pe().unwrap()).unwrap()).unwrap();
         let text = packed
             .sections()
             .iter()
-            .find(|x| x.name() == s.pe.sections()[0].name())
+            .find(|x| x.name() == s.pe().unwrap().sections()[0].name())
             .unwrap();
         assert!(text.entropy() > 7.0, "entropy {}", text.entropy());
     }
@@ -233,7 +234,7 @@ mod tests {
         let ds = dataset();
         for profile in packer_profiles() {
             let packer = Packer::new(profile);
-            let packed = packer.pack(&ds.malware()[0].pe).unwrap();
+            let packed = packer.pack(ds.malware()[0].pe().unwrap()).unwrap();
             let pe = PeFile::parse(&packed).unwrap();
             assert!(pe.section(profile.section_name).is_some(), "{}", profile.name);
             let found = packed
@@ -250,8 +251,8 @@ mod tests {
         // code) and compare.
         let ds = dataset();
         let packer = Packer::new(packer_profiles()[1]);
-        let a = packer.pack(&ds.malware()[0].pe).unwrap();
-        let b = packer.pack(&ds.malware()[1].pe).unwrap();
+        let a = packer.pack(ds.malware()[0].pe().unwrap()).unwrap();
+        let b = packer.pack(ds.malware()[1].pe().unwrap()).unwrap();
         let grams: std::collections::HashSet<&[u8]> = a.windows(12).collect();
         let shared = b.windows(12).filter(|w| grams.contains(w)).count();
         assert!(shared > 50, "only {shared} shared 12-grams between packed outputs");
@@ -261,7 +262,7 @@ mod tests {
     fn entry_point_moves_to_stub_section() {
         let ds = dataset();
         let packer = Packer::new(packer_profiles()[2]);
-        let packed = PeFile::parse(&packer.pack(&ds.malware()[0].pe).unwrap()).unwrap();
+        let packed = PeFile::parse(&packer.pack(ds.malware()[0].pe().unwrap()).unwrap()).unwrap();
         let entry_sec = packed.section_containing_rva(packed.entry_point()).unwrap();
         assert_eq!(entry_sec.name(), packer.profile().section_name);
     }

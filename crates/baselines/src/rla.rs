@@ -97,9 +97,21 @@ impl Attack for Rla {
         );
         let original_size = sample.size();
         let mut last_size = original_size;
+        // PE-only baseline: non-PE containers are out of this attack's
+        // action space and count as a failed attempt.
+        let Some(base) = sample.pe() else {
+            return AttackOutcome {
+                sample: sample.name.clone(),
+                evaded: false,
+                queries: target.queries(),
+                adversarial: None,
+                original_size,
+                final_size: original_size,
+            };
+        };
         loop {
             // One episode from the pristine sample.
-            let mut pe = sample.pe.clone();
+            let mut pe = base.clone();
             for step in 0..self.cfg.horizon {
                 let state = step;
                 let a = self.choose(state, &mut rng);

@@ -12,7 +12,7 @@ use rand_chacha::ChaCha8Rng;
 fn bench_pe(c: &mut Criterion) {
     let (ds, _) = bench_fixture();
     let bytes = ds.samples[0].bytes.clone();
-    let pe = ds.samples[0].pe.clone();
+    let pe = ds.samples[0].pe().unwrap().clone();
     let mut group = c.benchmark_group("pe");
     group.bench_function("parse", |b| {
         b.iter(|| PeFile::parse(std::hint::black_box(&bytes)).unwrap())
@@ -35,7 +35,7 @@ fn bench_pe(c: &mut Criterion) {
 fn bench_vm(c: &mut Criterion) {
     let (ds, _) = bench_fixture();
     let mut group = c.benchmark_group("vm");
-    let pe = ds.malware()[0].pe.clone();
+    let pe = ds.malware()[0].pe().unwrap().clone();
     group.bench_function("execute_malware", |b| b.iter(|| Vm::load(&pe).run()));
     group.finish();
 }

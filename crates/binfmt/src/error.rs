@@ -1,0 +1,141 @@
+//! Format-neutral parse and edit errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong while parsing or editing a binary container, with the
+/// format-specific detail erased.
+///
+/// Backend crates (`mpass-pe`, `mpass-macho`) keep their own richer error
+/// enums; each provides a lossless `From` conversion into this type so that
+/// format-generic pipelines can report failures without knowing which
+/// backend produced them. The variant set deliberately mirrors `PeError`'s
+/// shape — the taxonomy ("the bytes ran out", "a magic is wrong", "a header
+/// field is unusable", ...) turned out to be container-agnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BinaryError {
+    /// The leading magic matches no supported container format.
+    UnknownMagic {
+        /// The first bytes of the buffer (zero padded when shorter).
+        found: [u8; 4],
+    },
+    /// The buffer is shorter than a structure requires.
+    Truncated {
+        /// What was being read when the buffer ran out.
+        context: &'static str,
+        /// Bytes the structure needs.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A magic number is wrong for the format being parsed.
+    BadMagic {
+        /// Which magic failed.
+        context: &'static str,
+        /// The value found.
+        found: u32,
+    },
+    /// A header field holds a value the implementation cannot honor.
+    InvalidHeader {
+        /// Field name.
+        field: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A section with this name already exists.
+    DuplicateSection(String),
+    /// No section with this name exists.
+    MissingSection(String),
+    /// A section name exceeds the format's on-disk name capacity.
+    NameTooLong(String),
+    /// The header region has no room for another section entry.
+    NoHeaderSpace,
+    /// A virtual address maps into no section.
+    UnmappedAddress(u64),
+    /// The container is a recognized but unsupported variant (for example
+    /// a fat/universal Mach-O wrapper or a 32-bit image).
+    UnsupportedVariant {
+        /// What was being inspected.
+        context: &'static str,
+        /// Which variant was found.
+        detail: String,
+    },
+    /// Catch-all structural violation.
+    Malformed(String),
+}
+
+impl fmt::Display for BinaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinaryError::UnknownMagic { found } => write!(
+                f,
+                "unknown container magic {:02x} {:02x} {:02x} {:02x}",
+                found[0], found[1], found[2], found[3]
+            ),
+            BinaryError::Truncated { context, needed, available } => write!(
+                f,
+                "truncated {context}: need {needed} bytes, have {available}"
+            ),
+            BinaryError::BadMagic { context, found } => {
+                write!(f, "bad {context} magic: {found:#x}")
+            }
+            BinaryError::InvalidHeader { field, reason } => {
+                write!(f, "invalid {field}: {reason}")
+            }
+            BinaryError::DuplicateSection(name) => write!(f, "section {name:?} already exists"),
+            BinaryError::MissingSection(name) => write!(f, "no section named {name:?}"),
+            BinaryError::NameTooLong(name) => {
+                write!(f, "section name {name:?} exceeds the format's capacity")
+            }
+            BinaryError::NoHeaderSpace => {
+                write!(f, "no header room left for another section entry")
+            }
+            BinaryError::UnmappedAddress(va) => {
+                write!(f, "virtual address {va:#x} maps into no section")
+            }
+            BinaryError::UnsupportedVariant { context, detail } => {
+                write!(f, "unsupported {context}: {detail}")
+            }
+            BinaryError::Malformed(reason) => write!(f, "malformed image: {reason}"),
+        }
+    }
+}
+
+impl Error for BinaryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_informative() {
+        let cases = [
+            BinaryError::UnknownMagic { found: [0xCA, 0xFE, 0, 0] },
+            BinaryError::Truncated { context: "mach header", needed: 32, available: 3 },
+            BinaryError::BadMagic { context: "mach header", found: 0x1234 },
+            BinaryError::InvalidHeader { field: "ncmds", reason: "overflows".into() },
+            BinaryError::DuplicateSection("__text".into()),
+            BinaryError::MissingSection("__data".into()),
+            BinaryError::NameTooLong("a-very-long-name-indeed".into()),
+            BinaryError::NoHeaderSpace,
+            BinaryError::UnmappedAddress(0x1234),
+            BinaryError::UnsupportedVariant { context: "mach-o container", detail: "fat".into() },
+            BinaryError::Malformed("why".into()),
+        ];
+        for c in cases {
+            let msg = c.to_string();
+            assert!(!msg.is_empty());
+            assert!(
+                msg.chars().next().is_some_and(|c| c.is_lowercase()),
+                "error text should start lowercase: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BinaryError>();
+    }
+}

@@ -1,0 +1,121 @@
+//! Format-neutral section classification.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// What role a section plays, independent of container format.
+///
+/// PE sections classify by conventional name (`.text`, `.data`, ...) with a
+/// characteristics fallback; Mach-O sections by their segment/section names
+/// (`__TEXT,__text`, ...) with a flags fallback. Both funnel into this one
+/// vocabulary so that attack strategies and feature extractors can reason
+/// about "the code section" without caring which container holds it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SectionKind {
+    /// Executable code (`.text` and friends).
+    Code,
+    /// Writable initialized data (`.data`).
+    Data,
+    /// Read-only data (`.rdata`).
+    ReadOnlyData,
+    /// Resources (`.rsrc`).
+    Resource,
+    /// Relocations (`.reloc`).
+    Relocation,
+    /// Import-related (`.idata`).
+    Import,
+    /// Uninitialized data (`.bss`).
+    Bss,
+    /// Thread-local storage (`.tls`).
+    Tls,
+    /// Anything else (packer stubs, attacker-created sections, ...).
+    Other,
+}
+
+/// The format-neutral facts a backend knows about a section's permissions,
+/// used as the fallback when its name is unconventional.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SectionTraits {
+    /// Marked as (or attributed with) executable code.
+    pub code: bool,
+    /// Occupies address space without file backing.
+    pub uninitialized: bool,
+    /// Carries initialized data.
+    pub initialized_data: bool,
+    /// Writable when mapped.
+    pub writable: bool,
+}
+
+impl SectionKind {
+    /// Classify from permission traits alone (the shared name-independent
+    /// fallback; backends consult their conventional-name tables first).
+    pub fn from_traits(traits: SectionTraits) -> SectionKind {
+        if traits.code {
+            SectionKind::Code
+        } else if traits.uninitialized {
+            SectionKind::Bss
+        } else if traits.initialized_data && traits.writable {
+            SectionKind::Data
+        } else if traits.initialized_data {
+            SectionKind::ReadOnlyData
+        } else {
+            SectionKind::Other
+        }
+    }
+
+    /// True for the two kinds the paper identifies as most critical.
+    pub fn is_critical_in_paper(self) -> bool {
+        matches!(self, SectionKind::Code | SectionKind::Data)
+    }
+}
+
+impl fmt::Display for SectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SectionKind::Code => "code",
+            SectionKind::Data => "data",
+            SectionKind::ReadOnlyData => "rdata",
+            SectionKind::Resource => "resource",
+            SectionKind::Relocation => "reloc",
+            SectionKind::Import => "import",
+            SectionKind::Bss => "bss",
+            SectionKind::Tls => "tls",
+            SectionKind::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_fallback_ordering_matches_the_pe_rules() {
+        // Code wins over everything; uninitialized over data; writable
+        // initialized data is Data; read-only initialized data is
+        // ReadOnlyData; nothing set is Other.
+        let t = |code, uninitialized, initialized_data, writable| SectionTraits {
+            code,
+            uninitialized,
+            initialized_data,
+            writable,
+        };
+        assert_eq!(SectionKind::from_traits(t(true, true, true, true)), SectionKind::Code);
+        assert_eq!(SectionKind::from_traits(t(false, true, true, true)), SectionKind::Bss);
+        assert_eq!(SectionKind::from_traits(t(false, false, true, true)), SectionKind::Data);
+        assert_eq!(
+            SectionKind::from_traits(t(false, false, true, false)),
+            SectionKind::ReadOnlyData
+        );
+        assert_eq!(SectionKind::from_traits(t(false, false, false, true)), SectionKind::Other);
+    }
+
+    #[test]
+    fn critical_kinds_are_code_and_data() {
+        assert!(SectionKind::Code.is_critical_in_paper());
+        assert!(SectionKind::Data.is_critical_in_paper());
+        assert!(!SectionKind::Resource.is_critical_in_paper());
+        assert!(!SectionKind::Other.is_critical_in_paper());
+    }
+}

@@ -1,0 +1,134 @@
+//! Format-neutral per-section metadata and the modifiable-position
+//! inventory.
+
+use crate::SectionKind;
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A format-neutral view of one section, snapshotted from a backend.
+///
+/// Virtual addresses are in each backend's native address space: RVAs for
+/// PE (image-relative), absolute `vmaddr` values for Mach-O. Consumers must
+/// treat them as opaque coordinates that are only comparable within one
+/// image — exactly how the VM, the recovery stub and the feature extractor
+/// already use them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SectionMeta {
+    /// Display name (`.text` for PE, `__text` for Mach-O).
+    pub name: String,
+    /// Role classification.
+    pub kind: SectionKind,
+    /// Address the section is mapped at.
+    pub virtual_address: u64,
+    /// Size when mapped (may exceed the raw size).
+    pub virtual_size: u64,
+    /// File offset of the raw data (0 when the section carries none).
+    pub file_offset: usize,
+    /// Raw data length on disk.
+    pub file_size: usize,
+    /// True when the name is conventional for its format — detectors
+    /// penalize images whose sections carry invented names.
+    pub standard_name: bool,
+    /// Executable when mapped.
+    pub executable: bool,
+    /// Writable when mapped.
+    pub writable: bool,
+}
+
+impl SectionMeta {
+    /// The raw byte span this section occupies in the serialized file.
+    pub fn file_range(&self) -> Range<usize> {
+        self.file_offset..self.file_offset.saturating_add(self.file_size)
+    }
+
+    /// True when `va` falls inside the mapped extent of this section.
+    pub fn contains_va(&self, va: u64) -> bool {
+        let size = self.virtual_size.max(self.file_size as u64);
+        va >= self.virtual_address && va < self.virtual_address.saturating_add(size)
+    }
+}
+
+/// Why a byte span is modifiable without breaking functionality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModifiableKind {
+    /// Alignment slack between a section's used bytes and its on-disk
+    /// extent.
+    SectionSlack,
+    /// Unclaimed bytes inside the header region (between the last header
+    /// structure and the first section's raw data).
+    HeaderGap,
+    /// Bytes past the last section's raw data; ignored by loaders.
+    Overlay,
+    /// A header field the loader does not interpret (timestamps, version
+    /// stamps, reserved words).
+    HeaderField,
+}
+
+/// One byte span of the serialized file an attacker may freely rewrite.
+///
+/// This is the paper's "modifiable position" inventory lifted to the
+/// format-neutral layer: §III-B enumerates the PE spans (header slack,
+/// section slack, overlay); each backend reports its own equivalents.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModifiableRegion {
+    /// Why these bytes are free.
+    pub kind: ModifiableKind,
+    /// File offset of the span in `to_bytes()` output.
+    pub file_offset: usize,
+    /// Span length in bytes.
+    pub len: usize,
+}
+
+impl ModifiableRegion {
+    /// The byte span as a range over the serialized file.
+    pub fn file_range(&self) -> Range<usize> {
+        self.file_offset..self.file_offset.saturating_add(self.len)
+    }
+}
+
+/// Format-neutral summary of an image's imported API surface.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImportSummary {
+    /// Number of distinct libraries (DLLs / dylibs) referenced.
+    pub libraries: usize,
+    /// Total imported symbols, including by-ordinal entries that carry no
+    /// name.
+    pub symbol_count: usize,
+    /// Imported symbol names, in on-disk order.
+    pub symbols: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> SectionMeta {
+        SectionMeta {
+            name: ".text".into(),
+            kind: SectionKind::Code,
+            virtual_address: 0x1000,
+            virtual_size: 0x600,
+            file_offset: 0x400,
+            file_size: 0x400,
+            standard_name: true,
+            executable: true,
+            writable: false,
+        }
+    }
+
+    #[test]
+    fn file_range_and_va_containment() {
+        let m = meta();
+        assert_eq!(m.file_range(), 0x400..0x800);
+        assert!(m.contains_va(0x1000));
+        assert!(m.contains_va(0x15FF));
+        assert!(!m.contains_va(0xFFF));
+        assert!(!m.contains_va(0x1000 + 0x600));
+    }
+
+    #[test]
+    fn import_summary_defaults_empty() {
+        let s = ImportSummary::default();
+        assert_eq!((s.libraries, s.symbol_count, s.symbols.len()), (0, 0, 0));
+    }
+}

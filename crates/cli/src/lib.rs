@@ -4,19 +4,26 @@
 //! and experimentation tools:
 //!
 //! ```text
-//! mpass gen      --out DIR [--malware N] [--benign N] [--seed S]
-//! mpass inspect  FILE                      # headers, sections, imports, entropy
+//! mpass gen      --out DIR [--malware N] [--benign N] [--seed S] [--macho-fraction F]
+//! mpass inspect  FILE [--format pe|macho]  # headers, sections, imports, entropy
 //! mpass disasm   FILE [--section NAME]     # MVM disassembly of a code section
-//! mpass run      FILE                      # execute in the sandbox, print API trace
+//! mpass run      FILE [--format pe|macho]  # execute in the sandbox, print API trace
 //! mpass verify   ORIGINAL MODIFIED         # functionality comparison
 //! mpass pack     FILE --packer upx|pespin|aspack --out FILE
 //! mpass attack   FILE --out FILE [--seed S]   # MPass one sample vs MalConv
 //! mpass score    FILE [FILE...]               # batched MalConv scoring
 //! ```
 //!
+//! Every file-taking subcommand auto-detects the container format by magic
+//! (`MZ` → PE, the Mach-O magic family → Mach-O); `--format pe|macho`
+//! overrides detection, and a file with no known magic is refused with the
+//! typed [`mpass_binary::BinaryError::UnknownMagic`] message rather than a
+//! PE-specific parse error.
+//!
 //! Subcommand implementations live here so they can be unit-tested; the
 //! binary in `src/bin/mpass.rs` only parses arguments.
 
+use mpass_binary::{BinaryFormat, BinaryImage, Format, ParseMode};
 use mpass_corpus::{BenignPool, CorpusConfig, Dataset};
 use mpass_detectors::train::training_pairs;
 use mpass_detectors::{ByteConvConfig, Detector, MalConv, MalGcg, MalGcgConfig};
@@ -35,22 +42,57 @@ fn read(path: &str) -> Result<Vec<u8>, String> {
     std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))
 }
 
-fn parse_pe(bytes: &[u8], path: &str) -> Result<PeFile, String> {
-    PeFile::parse(bytes).map_err(|e| format!("{path}: not a valid PE: {e}"))
+/// Resolve a `--format` flag value. `None` (flag absent) means
+/// auto-detect.
+pub fn parse_format_flag(value: Option<&str>) -> Result<Option<Format>, String> {
+    match value {
+        None => Ok(None),
+        Some(name) => Format::from_short_name(name)
+            .map(Some)
+            .ok_or_else(|| format!("unknown format {name:?} (pe|macho)")),
+    }
 }
 
-/// `mpass gen`: write a synthetic corpus to disk.
-pub fn cmd_gen(out_dir: &str, n_malware: usize, n_benign: usize, seed: u64) -> CliResult {
+/// Parse `bytes` as a binary image: by magic when `format` is `None`,
+/// under the forced backend otherwise.
+fn parse_image(bytes: &[u8], path: &str, format: Option<Format>) -> Result<BinaryImage, String> {
+    match format {
+        None => BinaryImage::parse_auto(bytes)
+            .map_err(|e| format!("{path}: {e} (use --format pe|macho to override detection)")),
+        Some(f) => BinaryImage::parse_as(f, bytes, ParseMode::LoaderTolerant)
+            .map_err(|e| format!("{path}: not a valid {f}: {e}")),
+    }
+}
+
+
+/// `mpass gen`: write a synthetic corpus to disk. `macho_fraction`
+/// controls the Mach-O share of the corpus (0.0 keeps the historical
+/// all-PE output, byte for byte). PE samples get an `.exe` suffix,
+/// Mach-O samples `.macho`.
+pub fn cmd_gen(
+    out_dir: &str,
+    n_malware: usize,
+    n_benign: usize,
+    seed: u64,
+    macho_fraction: f64,
+) -> CliResult {
     let dir = Path::new(out_dir);
     std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
-    let ds = Dataset::generate(&CorpusConfig {
-        n_malware,
-        n_benign,
-        seed,
-        no_slack_fraction: 0.1,
-    });
+    let ds = Dataset::generate_mixed(
+        &CorpusConfig {
+            n_malware,
+            n_benign,
+            seed,
+            no_slack_fraction: 0.1,
+        },
+        macho_fraction,
+    );
     for s in &ds.samples {
-        let path = dir.join(format!("{}.exe", s.name));
+        let ext = match s.format() {
+            Format::Pe => "exe",
+            Format::MachO => "macho",
+        };
+        let path = dir.join(format!("{}.{ext}", s.name));
         std::fs::write(&path, &s.bytes).map_err(|e| format!("write {path:?}: {e}"))?;
     }
     Ok(format!(
@@ -61,10 +103,18 @@ pub fn cmd_gen(out_dir: &str, n_malware: usize, n_benign: usize, seed: u64) -> C
     ))
 }
 
-/// `mpass inspect`: structural summary of a PE.
-pub fn cmd_inspect(path: &str) -> CliResult {
+/// `mpass inspect`: structural summary of a binary in any supported
+/// format. The PE branch keeps its historical output; Mach-O gets the
+/// analogous summary through the [`BinaryFormat`] trait.
+pub fn cmd_inspect(path: &str, format: Option<Format>) -> CliResult {
     let bytes = read(path)?;
-    let pe = parse_pe(&bytes, path)?;
+    match parse_image(&bytes, path, format)? {
+        BinaryImage::Pe(pe) => inspect_pe(path, &bytes, &pe),
+        BinaryImage::MachO(m) => inspect_macho(path, &bytes, &m),
+    }
+}
+
+fn inspect_pe(path: &str, bytes: &[u8], pe: &PeFile) -> CliResult {
     let mut out = String::new();
     let _ = writeln!(out, "{path}: {} bytes", bytes.len());
     let _ = writeln!(
@@ -127,30 +177,91 @@ pub fn cmd_inspect(path: &str) -> CliResult {
     let _ = writeln!(
         out,
         "statically visible suspicious API invocations: {}",
-        mpass_detectors::features::suspicious_api_count(&bytes)
+        mpass_detectors::features::suspicious_api_count(bytes)
     );
     Ok(out)
 }
 
-/// `mpass disasm`: MVM disassembly of a code section.
-pub fn cmd_disasm(path: &str, section: Option<&str>) -> CliResult {
+fn inspect_macho(path: &str, bytes: &[u8], m: &mpass_binary::MachoFile) -> CliResult {
+    let mut out = String::new();
+    let _ = writeln!(out, "{path}: {} bytes (mach-o)", bytes.len());
+    let _ = writeln!(
+        out,
+        "entry {:#x}  sections {}  load commands {:#x} bytes",
+        m.entry_point(),
+        m.section_count(),
+        m.sizeofcmds(),
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>10} {:>10} {:>9}  kind",
+        "name", "va", "vsize", "filesize", "entropy"
+    );
+    for i in 0..m.section_count() {
+        let Some(meta) = m.section_meta(i) else { continue };
+        let entropy = m.section_data(i).map(mpass_pe::entropy).unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10x} {:>10} {:>10} {:>9.3}  {}",
+            meta.name, meta.virtual_address, meta.virtual_size, meta.file_size, entropy, meta.kind,
+        );
+    }
+    if !m.overlay().is_empty() {
+        let _ = writeln!(
+            out,
+            "overlay: {} bytes, entropy {:.3}",
+            m.overlay().len(),
+            mpass_pe::entropy(m.overlay())
+        );
+    }
+    match m.imports_summary() {
+        Some(summary) => {
+            let _ = writeln!(
+                out,
+                "linked libraries ({}): {}",
+                summary.libraries,
+                summary.symbols.join(", ")
+            );
+        }
+        None => {
+            let _ = writeln!(out, "linked libraries: none");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "statically visible suspicious API invocations: {}",
+        mpass_detectors::features::suspicious_api_count(bytes)
+    );
+    Ok(out)
+}
+
+/// `mpass disasm`: MVM disassembly of a code section, in any supported
+/// container format.
+pub fn cmd_disasm(path: &str, section: Option<&str>, format: Option<Format>) -> CliResult {
     let bytes = read(path)?;
-    let pe = parse_pe(&bytes, path)?;
-    let sec = match section {
-        Some(name) => pe
-            .section(name)
+    let image = parse_image(&bytes, path, format)?;
+    let metas: Vec<_> = (0..image.section_count())
+        .filter_map(|i| image.section_meta(i).map(|m| (i, m)))
+        .collect();
+    let (index, meta) = match section {
+        Some(name) => metas
+            .into_iter()
+            .find(|(_, m)| m.name == name)
             .ok_or_else(|| format!("no section named {name:?}"))?,
-        None => pe
-            .sections()
-            .iter()
-            .find(|s| s.kind() == SectionKind::Code && !s.data().is_empty())
+        None => metas
+            .into_iter()
+            .find(|(i, m)| {
+                m.kind == SectionKind::Code
+                    && image.section_data(*i).is_some_and(|d| !d.is_empty())
+            })
             .ok_or_else(|| "no code section".to_owned())?,
     };
+    let data = image.section_data(index).unwrap_or_default();
     let mut out = String::new();
-    let _ = writeln!(out, "disassembly of {} ({} bytes):", sec.name(), sec.data().len());
-    let base = sec.header().virtual_address;
-    for (i, chunk) in sec.data().chunks(mpass_vm::INSTR_SIZE).enumerate().take(512) {
-        let addr = base + (i * mpass_vm::INSTR_SIZE) as u32;
+    let _ = writeln!(out, "disassembly of {} ({} bytes):", meta.name, data.len());
+    let base = meta.virtual_address;
+    for (i, chunk) in data.chunks(mpass_vm::INSTR_SIZE).enumerate().take(512) {
+        let addr = base + (i * mpass_vm::INSTR_SIZE) as u64;
         match mpass_vm::Instr::decode(chunk) {
             Ok(instr) => {
                 let _ = writeln!(out, "  {addr:#08x}  {instr}");
@@ -163,11 +274,11 @@ pub fn cmd_disasm(path: &str, section: Option<&str>) -> CliResult {
     Ok(out)
 }
 
-/// `mpass run`: execute a PE in the sandbox.
-pub fn cmd_run(path: &str) -> CliResult {
+/// `mpass run`: execute a binary in the sandbox.
+pub fn cmd_run(path: &str, format: Option<Format>) -> CliResult {
     let bytes = read(path)?;
-    let pe = parse_pe(&bytes, path)?;
-    let exec = Sandbox::new().run_pe(&pe);
+    let image = parse_image(&bytes, path, format)?;
+    let exec = Sandbox::new().run_image(image.as_dyn());
     let mut out = String::new();
     let _ = writeln!(out, "outcome: {:?} after {} instructions", exec.outcome, exec.steps);
     for ev in &exec.trace {
@@ -186,16 +297,20 @@ pub fn cmd_verify(original: &str, modified: &str) -> CliResult {
     Ok(format!("functionality: {verdict}"))
 }
 
-/// `mpass pack`: apply one of the simulated packers.
+/// `mpass pack`: apply one of the simulated packers (PE-only — the
+/// packer profiles model Windows packers).
 pub fn cmd_pack(path: &str, packer_name: &str, out_path: &str) -> CliResult {
     let bytes = read(path)?;
-    let pe = parse_pe(&bytes, path)?;
+    let image = parse_image(&bytes, path, None)?;
+    let pe = image
+        .as_pe()
+        .ok_or_else(|| format!("pack supports PE binaries only ({path} is {})", image.format()))?;
     let profile = mpass_baselines::packer_profiles()
         .into_iter()
         .find(|p| p.name.eq_ignore_ascii_case(packer_name))
         .ok_or_else(|| format!("unknown packer {packer_name:?} (upx|pespin|aspack)"))?;
     let packed = mpass_baselines::Packer::new(profile)
-        .pack(&pe)
+        .pack(pe)
         .map_err(|e| format!("packing failed: {e}"))?;
     std::fs::write(out_path, &packed).map_err(|e| format!("write {out_path}: {e}"))?;
     Ok(format!("packed with {} -> {out_path} ({} bytes)", profile.name, packed.len()))
@@ -205,16 +320,22 @@ pub fn cmd_pack(path: &str, packer_name: &str, out_path: &str) -> CliResult {
 /// freshly trained MalConv (demonstration scale). With `faults`, the
 /// oracle channel injects a deterministic fault schedule seeded from the
 /// given value, and the retry/fault counters are reported.
-pub fn cmd_attack(path: &str, out_path: &str, seed: u64, faults: Option<u64>) -> CliResult {
+pub fn cmd_attack(
+    path: &str,
+    out_path: &str,
+    seed: u64,
+    faults: Option<u64>,
+    format: Option<Format>,
+) -> CliResult {
     use mpass_core::{Attack, HardLabelTarget, MPassAttack, MPassConfig, QueryBudget, RetryPolicy};
     use mpass_detectors::{FaultProfile, UnreliableOracle};
     use mpass_engine::metrics;
     let bytes = read(path)?;
-    let pe = parse_pe(&bytes, path)?;
+    let image = parse_image(&bytes, path, format)?;
     let sample = mpass_corpus::Sample::new(
         Path::new(path).file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default(),
         mpass_corpus::Label::Malware,
-        pe,
+        image,
     );
     // Demonstration world: small corpus, tiny models.
     let ds = Dataset::generate(&CorpusConfig {
@@ -361,15 +482,18 @@ pub const USAGE: &str = "\
 mpass — MPass (DAC 2023) reproduction toolkit
 
 USAGE:
-  mpass gen --out DIR [--malware N] [--benign N] [--seed S]
-  mpass inspect FILE
-  mpass disasm FILE [--section NAME]
-  mpass run FILE
+  mpass gen --out DIR [--malware N] [--benign N] [--seed S] [--macho-fraction F]
+  mpass inspect FILE [--format pe|macho]
+  mpass disasm FILE [--section NAME] [--format pe|macho]
+  mpass run FILE [--format pe|macho]
   mpass verify ORIGINAL MODIFIED
   mpass pack FILE --packer upx|pespin|aspack --out FILE
-  mpass attack FILE --out FILE [--seed S] [--faults SEED]
+  mpass attack FILE --out FILE [--seed S] [--faults SEED] [--format pe|macho]
   mpass score FILE [FILE ...] [--seed S] [--batch N]
   mpass engine-report METRICS.json [METRICS.json ...]
+
+Container formats are auto-detected by magic (MZ -> pe, Mach-O magic
+family -> macho); --format forces one backend.
 ";
 
 /// Tiny flag parser: `--name value` pairs after positional arguments.
@@ -386,19 +510,22 @@ pub fn dispatch(args: &[String]) -> CliResult {
     let positional: Vec<&String> =
         args.iter().skip(1).take_while(|a| !a.starts_with("--")).collect();
     let seed = flag(args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(0xDAC2023);
+    let format = parse_format_flag(flag(args, "--format"))?;
     match cmd {
         "gen" => {
             let out = flag(args, "--out").ok_or("gen requires --out DIR")?;
             let m = flag(args, "--malware").and_then(|s| s.parse().ok()).unwrap_or(10);
             let b = flag(args, "--benign").and_then(|s| s.parse().ok()).unwrap_or(10);
-            cmd_gen(out, m, b, seed)
+            let f = flag(args, "--macho-fraction").and_then(|s| s.parse().ok()).unwrap_or(0.0);
+            cmd_gen(out, m, b, seed, f)
         }
-        "inspect" => cmd_inspect(positional.first().ok_or("inspect requires FILE")?),
+        "inspect" => cmd_inspect(positional.first().ok_or("inspect requires FILE")?, format),
         "disasm" => cmd_disasm(
             positional.first().ok_or("disasm requires FILE")?,
             flag(args, "--section"),
+            format,
         ),
-        "run" => cmd_run(positional.first().ok_or("run requires FILE")?),
+        "run" => cmd_run(positional.first().ok_or("run requires FILE")?, format),
         "verify" => {
             let orig = positional.first().ok_or("verify requires ORIGINAL MODIFIED")?;
             let modified = positional.get(1).ok_or("verify requires ORIGINAL MODIFIED")?;
@@ -414,6 +541,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
             flag(args, "--out").ok_or("attack requires --out FILE")?,
             seed,
             flag(args, "--faults").and_then(|s| s.parse().ok()),
+            format,
         ),
         "score" => cmd_score(
             &positional,
@@ -501,6 +629,86 @@ mod tests {
         ]))
         .unwrap();
         assert!(verify.contains("preserved"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn macho_gen_inspect_disasm_run_round_trip() {
+        let dir = tempdir();
+        let out = dir.join("macho-corpus");
+        let msg = dispatch(&strings(&[
+            "gen",
+            "--out",
+            out.to_str().unwrap(),
+            "--malware",
+            "2",
+            "--benign",
+            "1",
+            "--seed",
+            "3",
+            "--macho-fraction",
+            "1.0",
+        ]))
+        .unwrap();
+        assert!(msg.contains("wrote 3 samples"));
+        let mal = out.join("mal_0.macho");
+        let mal_str = mal.to_str().unwrap();
+        assert!(mal.exists(), "fraction 1.0 must emit .macho files");
+
+        // Auto-detected by magic: no --format needed.
+        let info = dispatch(&strings(&["inspect", mal_str])).unwrap();
+        assert!(info.contains("mach-o"), "{info}");
+        assert!(info.contains("__data"), "{info}");
+        assert!(info.contains("libSystem"), "{info}");
+
+        let dis = dispatch(&strings(&["disasm", mal_str])).unwrap();
+        assert!(dis.contains("disassembly of __"), "{dis}");
+        assert!(dis.contains("callapi"), "{dis}");
+
+        let run = dispatch(&strings(&["run", mal_str, "--format", "macho"])).unwrap();
+        assert!(run.contains("Halted"), "{run}");
+
+        // The explicit override refuses a mismatched backend.
+        let forced = dispatch(&strings(&["inspect", mal_str, "--format", "pe"]));
+        assert!(forced.is_err(), "Mach-O bytes must not parse as PE");
+
+        // PE-only subcommands fail cleanly instead of mangling the file.
+        let packed = out.join("packed.macho");
+        let err = dispatch(&strings(&[
+            "pack",
+            mal_str,
+            "--packer",
+            "upx",
+            "--out",
+            packed.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.contains("PE binaries only"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_magic_is_a_typed_refusal() {
+        let dir = tempdir();
+        let bogus = dir.join("not-a-binary");
+        std::fs::write(&bogus, b"#!/bin/sh\necho hello\n").unwrap();
+        let err = dispatch(&strings(&["inspect", bogus.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("unknown container magic"), "{err}");
+        assert!(err.contains("--format"), "the refusal must mention the override: {err}");
+        assert!(dispatch(&strings(&["inspect", bogus.to_str().unwrap(), "--format", "nope"]))
+            .unwrap_err()
+            .contains("unknown format"));
+        std::fs::remove_file(&bogus).ok();
+    }
+
+    #[test]
+    fn gen_without_fraction_stays_all_pe() {
+        let dir = tempdir();
+        let out = dir.join("pe-only");
+        dispatch(&strings(&["gen", "--out", out.to_str().unwrap(), "--malware", "1", "--benign", "1"]))
+            .unwrap();
+        assert!(out.join("mal_0.exe").exists());
+        assert!(out.join("ben_0.exe").exists());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,7 +1,7 @@
 //! The hard-label black-box attack loop (Fig. 1) and the shared attack
 //! abstractions every method in the evaluation implements.
 
-use crate::modify::{modify, ModificationConfig, ModifyError};
+use crate::modify::{modify, ModificationConfig};
 use crate::optimize::{EnsembleOptimizer, OptimizerConfig};
 use mpass_corpus::{BenignPool, Sample};
 use mpass_detectors::{Detector, Oracle, Verdict, WhiteBoxModel};
@@ -631,7 +631,7 @@ impl Attack for MPassAttack<'_> {
             };
             let mut ms = match modified {
                 Ok(ms) => ms,
-                Err(ModifyError::NoEntrySection | ModifyError::Pe(_)) => break,
+                Err(_) => break,
             };
             last_size = ms.bytes.len();
             match target.query(&ms.bytes) {

@@ -19,8 +19,8 @@
 
 use crate::recovery::{compute_keys, generate_recovery_stub, EncodedRegion};
 use crate::shuffle::{layout_sequential, layout_shuffled};
+use mpass_binary::{BinaryError, BinaryFormat, BinaryImage, SectionKind};
 use mpass_corpus::{BenignPool, Sample};
-use mpass_pe::{PeError, PeFile, SectionFlags, SectionKind};
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -28,27 +28,37 @@ use std::fmt;
 /// Errors from the modification engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ModifyError {
-    /// The underlying PE manipulation failed.
-    Pe(PeError),
+    /// The underlying container manipulation failed.
+    Binary(BinaryError),
     /// The sample has no section containing the entry point.
     NoEntrySection,
+    /// A virtual address does not fit the stub's 32-bit address space.
+    AddressOverflow(u64),
 }
 
 impl fmt::Display for ModifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ModifyError::Pe(e) => write!(f, "pe manipulation failed: {e}"),
+            ModifyError::Binary(e) => write!(f, "container manipulation failed: {e}"),
             ModifyError::NoEntrySection => write!(f, "entry point maps into no section"),
+            ModifyError::AddressOverflow(va) => {
+                write!(f, "virtual address {va:#x} exceeds the stub's 32-bit space")
+            }
         }
     }
 }
 
 impl std::error::Error for ModifyError {}
 
-impl From<PeError> for ModifyError {
-    fn from(e: PeError) -> Self {
-        ModifyError::Pe(e)
+impl From<BinaryError> for ModifyError {
+    fn from(e: BinaryError) -> Self {
+        ModifyError::Binary(e)
     }
+}
+
+/// Narrow a virtual address to the stub's `u32` address space.
+fn va32(va: u64) -> Result<u32, ModifyError> {
+    u32::try_from(va).map_err(|_| ModifyError::AddressOverflow(va))
 }
 
 /// Which perturbation carrier the engine produced.
@@ -169,10 +179,10 @@ impl ModifiedSample {
     ///
     /// # Errors
     ///
-    /// Propagates [`PeError`] if the bytes were corrupted — which would
+    /// Propagates [`BinaryError`] if the bytes were corrupted — which would
     /// indicate a bug, since optimizable positions never overlap structure.
-    pub fn reparse(&self) -> Result<PeFile, PeError> {
-        PeFile::parse(&self.bytes)
+    pub fn reparse(&self) -> Result<BinaryImage, BinaryError> {
+        BinaryImage::parse_auto(&self.bytes)
     }
 }
 
@@ -186,34 +196,42 @@ fn is_other_modifiable(kind: SectionKind) -> bool {
 
 /// Run the modification engine on `sample`.
 ///
+/// The engine is container-neutral: it edits the sample through the
+/// [`BinaryFormat`] trait, so PE and Mach-O malware flow through the same
+/// encode → stub → retarget pipeline. The PE path draws from `rng` in
+/// exactly the order the PE-only engine did, keeping seeded attacks
+/// byte-identical.
+///
 /// # Errors
 ///
 /// Returns [`ModifyError`] when the sample's entry point is unmappable or
-/// PE manipulation fails for reasons other than a full section table (that
-/// case triggers the overlay fallback instead).
+/// container manipulation fails for reasons other than a full section
+/// table (that case triggers the overlay fallback instead).
 pub fn modify<R: Rng + ?Sized>(
     sample: &Sample,
     pool: &BenignPool,
     cfg: &ModificationConfig,
     rng: &mut R,
 ) -> Result<ModifiedSample, ModifyError> {
-    let mut pe = sample.pe.clone();
-    let original_entry = pe.entry_point();
-    if pe.section_containing_rva(original_entry).is_none() {
+    let mut image = sample.image.clone();
+    let original_entry = va32(image.entry_point())?;
+    if image.section_index_containing_va(original_entry as u64).is_none() {
         return Err(ModifyError::NoEntrySection);
     }
 
     if cfg.edit_header {
-        pe.set_timestamp(rng.gen_range(0x3000_0000..0x6500_0000));
-        pe.set_image_version(rng.gen_range(0..20), rng.gen_range(0..100));
+        // Each backend randomizes its own loader-ignored fields; the PE
+        // draw order (timestamp, then major/minor image version) is part of
+        // its stability contract.
+        image.randomize_free_headers(&mut &mut *rng);
     }
 
     // The full pipeline adds two sections: a resource-kind section for the
     // decoding keys (resources are routinely high-entropy — icons,
     // compressed manifests — so the keys raise no entropy flags there) and
     // a code section for the stub plus perturbation space.
-    if !pe.can_add_sections(2) {
-        return Ok(overlay_fallback(pe, pool, cfg, rng));
+    if !image.can_add_sections(2) {
+        return Ok(overlay_fallback(image, pool, cfg, rng));
     }
 
     // ---- select and encode target sections ----
@@ -225,42 +243,45 @@ pub fn modify<R: Rng + ?Sized>(
                 || (cfg.encode_data && kind == SectionKind::Data)
         }
     };
-    let target_idx: Vec<usize> = pe
-        .sections()
+    let metas: Vec<_> =
+        (0..image.section_count()).filter_map(|i| image.section_meta(i)).collect();
+    let target_idx: Vec<usize> = metas
         .iter()
         .enumerate()
-        .filter(|(_, s)| select(s.kind()) && !s.data().is_empty())
+        .filter(|(i, m)| {
+            select(m.kind) && image.section_data(*i).is_some_and(|d| !d.is_empty())
+        })
         .map(|(i, _)| i)
         .collect();
 
     let mut regions: Vec<EncodedRegion> = Vec::with_capacity(target_idx.len());
     let mut keys_blob: Vec<u8> = Vec::new();
     let mut originals: Vec<Vec<u8>> = Vec::with_capacity(target_idx.len());
-    let new_rva = pe.next_free_rva();
+    let new_va = va32(image.next_free_va())?;
     for &i in &target_idx {
-        let s = &pe.sections()[i];
-        let len = s.data().len();
-        let original = s.data().to_vec();
+        let original = image.section_data(i).unwrap_or_default().to_vec();
+        let len = original.len();
         let cover = pool.random_chunk(len, rng);
         let keys = compute_keys(&original, &cover);
         regions.push(EncodedRegion {
-            rva: s.header().virtual_address,
+            rva: va32(metas[i].virtual_address)?,
             len: len as u32,
-            key_rva: new_rva + keys_blob.len() as u32,
+            key_rva: new_va + keys_blob.len() as u32,
         });
         keys_blob.extend_from_slice(&keys);
         originals.push(original);
-        let sec = &mut pe.sections_mut()[i];
-        sec.data_mut().copy_from_slice(&cover);
+        if let Some(data) = image.section_data_mut(i) {
+            data.copy_from_slice(&cover);
+        }
     }
 
     // ---- keys section (resource-kind) ----
-    let keys_name = random_section_name(rng);
-    let keys_rva = pe.add_section(&keys_name, keys_blob.clone(), SectionFlags::RSRC)?;
-    debug_assert_eq!(keys_rva, new_rva, "next_free_rva must predict add_section");
+    let keys_name = random_section_name(image.format(), rng);
+    let keys_va = image.add_section(&keys_name, keys_blob.clone(), SectionKind::Resource)?;
+    debug_assert_eq!(keys_va, new_va as u64, "next_free_va must predict add_section");
 
     // ---- stub section: [stub (shuffled)][free space] ----
-    let stub_base = pe.next_free_rva();
+    let stub_base = va32(image.next_free_va())?;
     let stub = generate_recovery_stub(&regions, original_entry);
     let (stub_bytes, filler_ranges) = if cfg.shuffle {
         // Separate stream for filler content so the closure does not alias
@@ -277,28 +298,27 @@ pub fn modify<R: Rng + ?Sized>(
     section_content.extend_from_slice(&free_space);
 
     let stub_name = loop {
-        let name = random_section_name(rng);
+        let name = random_section_name(image.format(), rng);
         if name != keys_name {
             break name;
         }
     };
-    let got_rva = pe.add_section(&stub_name, section_content, SectionFlags::CODE)?;
-    debug_assert_eq!(got_rva, stub_base, "next_free_rva must predict add_section");
-    pe.set_entry_point(stub_base)?;
-    pe.update_checksum();
+    let got_va = image.add_section(&stub_name, section_content, SectionKind::Code)?;
+    debug_assert_eq!(got_va, stub_base as u64, "next_free_va must predict add_section");
+    image.set_entry_point(stub_base as u64)?;
+    image.finalize();
 
     // ---- record optimizable positions as file offsets ----
-    let bytes = pe.to_bytes();
-    let keys_raw = pe
-        .section(&keys_name)
-        .expect("just added")
-        .header()
-        .pointer_to_raw_data as usize;
-    let stub_off = pe
-        .section(&stub_name)
-        .expect("just added")
-        .header()
-        .pointer_to_raw_data as usize;
+    let bytes = image.to_bytes();
+    let file_offset_of = |name: &str| -> usize {
+        (0..image.section_count())
+            .filter_map(|i| image.section_meta(i))
+            .find(|m| m.name == name)
+            .map(|m| m.file_offset)
+            .unwrap_or_default()
+    };
+    let keys_raw = file_offset_of(&keys_name);
+    let stub_off = file_offset_of(&stub_name);
     let mut free_offsets: Vec<usize> = Vec::new();
     for (a, b) in &filler_ranges {
         free_offsets.extend(stub_off + a..stub_off + b);
@@ -309,8 +329,7 @@ pub fn modify<R: Rng + ?Sized>(
     let mut coupled = Vec::new();
     let mut key_cursor = keys_raw;
     for (region_i, &i) in target_idx.iter().enumerate() {
-        let s = &pe.sections()[i];
-        let cover_base = s.header().pointer_to_raw_data as usize;
+        let cover_base = image.section_meta(i).map(|m| m.file_offset).unwrap_or_default();
         let original = &originals[region_i];
         for (j, &orig) in original.iter().enumerate() {
             coupled.push(CoupledByte {
@@ -327,16 +346,16 @@ pub fn modify<R: Rng + ?Sized>(
 
 /// The overlay-appending fallback for images without header space.
 fn overlay_fallback<R: Rng + ?Sized>(
-    mut pe: PeFile,
+    mut image: BinaryImage,
     pool: &BenignPool,
     cfg: &ModificationConfig,
     rng: &mut R,
 ) -> ModifiedSample {
     let chunk = pool.random_chunk(cfg.overlay_space, rng);
-    let overlay_start = pe.to_bytes().len();
-    pe.append_overlay(&chunk);
-    pe.update_checksum();
-    let bytes = pe.to_bytes();
+    let overlay_start = image.to_bytes().len();
+    image.append_overlay(&chunk);
+    image.finalize();
+    let bytes = image.to_bytes();
     let free_offsets: Vec<usize> = (overlay_start..overlay_start + chunk.len()).collect();
     ModifiedSample {
         bytes,
@@ -346,9 +365,15 @@ fn overlay_fallback<R: Rng + ?Sized>(
     }
 }
 
-fn random_section_name<R: Rng + ?Sized>(rng: &mut R) -> String {
+/// A random section name in the target container's naming convention
+/// (`.xxxx` for PE, `__xxxx` for Mach-O). The rng draw count is identical
+/// across formats.
+fn random_section_name<R: Rng + ?Sized>(format: mpass_binary::Format, rng: &mut R) -> String {
     let len = rng.gen_range(3..=6);
-    let mut name = String::from(".");
+    let mut name = String::from(match format {
+        mpass_binary::Format::Pe => ".",
+        mpass_binary::Format::MachO => "__",
+    });
     for _ in 0..len {
         name.push((b'a' + rng.gen_range(0..26u8)) as char);
     }
@@ -406,11 +431,13 @@ mod tests {
     fn cover_hides_suspicious_api_opcodes() {
         let (ds, pool) = world();
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let s = ds.malware().into_iter().find(|s| s.pe.can_add_section()).unwrap();
+        let s = ds.malware().into_iter().find(|s| s.pe().unwrap().can_add_section()).unwrap();
         let ms = modify(s, &pool, &ModificationConfig::default(), &mut rng).unwrap();
-        let pe = ms.reparse().unwrap();
+        let img = ms.reparse().unwrap();
+        let pe = img.as_pe().unwrap();
         let orig_code = s
-            .pe
+            .pe()
+            .unwrap()
             .sections()
             .iter()
             .find(|x| x.kind() == SectionKind::Code)
@@ -436,7 +463,7 @@ mod tests {
         let (ds, pool) = world();
         let sandbox = Sandbox::new();
         let mut rng = ChaCha8Rng::seed_from_u64(4);
-        let s = ds.malware().into_iter().find(|s| s.pe.can_add_section()).unwrap();
+        let s = ds.malware().into_iter().find(|s| s.pe().unwrap().can_add_section()).unwrap();
         let mut ms = modify(s, &pool, &ModificationConfig::default(), &mut rng).unwrap();
         let n = ms.position_count();
         for idx in (0..n).step_by(7) {
@@ -450,7 +477,7 @@ mod tests {
     fn positions_are_unique_and_in_bounds() {
         let (ds, pool) = world();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        let s = ds.malware().into_iter().find(|s| s.pe.can_add_section()).unwrap();
+        let s = ds.malware().into_iter().find(|s| s.pe().unwrap().can_add_section()).unwrap();
         let ms = modify(s, &pool, &ModificationConfig::default(), &mut rng).unwrap();
         let mut all: Vec<usize> = ms.free_offsets.clone();
         all.extend(ms.coupled.iter().map(|c| c.cover_offset));
@@ -481,11 +508,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(7);
         let cfg =
             ModificationConfig { other_sections_instead: true, ..ModificationConfig::default() };
-        let s = ds.malware().into_iter().find(|s| s.pe.can_add_section()).unwrap();
+        let s = ds.malware().into_iter().find(|s| s.pe().unwrap().can_add_section()).unwrap();
         let ms = modify(s, &pool, &cfg, &mut rng).unwrap();
-        let pe = ms.reparse().unwrap();
+        let img = ms.reparse().unwrap();
+        let pe = img.as_pe().unwrap();
         for kind in [SectionKind::Code, SectionKind::Data] {
-            let orig = s.pe.sections().iter().find(|x| x.kind() == kind).unwrap();
+            let orig = s.pe().unwrap().sections().iter().find(|x| x.kind() == kind).unwrap();
             let new = pe.section(&orig.name()).unwrap();
             assert_eq!(orig.data(), new.data(), "{kind} must be untouched");
         }

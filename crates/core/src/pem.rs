@@ -1,6 +1,7 @@
 //! The Problem-space Explainability Method (PEM, §III-B / Algorithm 1).
 //!
-//! PEM treats each PE *section* as one attribute of the malware and
+//! PEM treats each binary *section* (PE or Mach-O) as one attribute of
+//! the malware and
 //! computes its Shapley value (Eq. 1) for each known model's decision
 //! margin (`raw_score`, the pre-sigmoid logit — probabilities saturate and
 //! flatten the marginals):
@@ -16,16 +17,16 @@
 //! ranking aggregates across samples with hostile/unusual section names.
 //!
 //! The subset sweep is engine-parallel (one shard per model × sample) and
-//! allocation-light: each shard serializes its PE once, patches only the
+//! allocation-light: each shard serializes its image once, patches only the
 //! spans whose keep-bit flipped between masks, and — for white-box models
 //! — re-scores through an incremental [`WhiteBoxSession`] that recomputes
 //! only the conv windows overlapping the flipped spans.
 
+use mpass_binary::{BinaryFormat, BinaryImage, SectionKind};
 use mpass_corpus::Sample;
 use mpass_detectors::{DetectorExt, WhiteBoxSession};
 use mpass_engine::metrics as trace;
 use mpass_engine::{Engine, EngineConfig, Shard};
-use mpass_pe::{PeFile, SectionKind};
 use rand::seq::SliceRandom;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -119,14 +120,16 @@ fn tracked_sections(sizes: &[usize]) -> Vec<usize> {
     idx
 }
 
-/// Reusable ablation workspace over one sample: the PE is serialized
-/// *once*, each section's raw-data span in the image is cached, and
+/// Reusable ablation workspace over one sample: the image is serialized
+/// *once*, each section's raw-data span in the file is cached, and
 /// successive masks only flip the spans whose keep-bit changed — no
-/// per-mask `PeFile` clone or re-serialization. Zeroing a section's span
-/// in the serialized image is exactly equivalent to zeroing its data and
-/// re-serializing, because [`PeFile::to_bytes`] writes each section's
-/// bytes verbatim at `pointer_to_raw_data` and nothing else depends on
-/// section contents.
+/// per-mask image clone or re-serialization. Zeroing a section's span in
+/// the serialized file is exactly equivalent to zeroing its data and
+/// re-serializing: both backends write each section's bytes verbatim at
+/// its stored file offset ([`SectionMeta::file_offset`]) and nothing else
+/// depends on section contents.
+///
+/// [`SectionMeta::file_offset`]: mpass_binary::SectionMeta
 struct AblationPlan {
     /// The fully-populated serialized image (every section present).
     baseline: Vec<u8>,
@@ -141,16 +144,11 @@ struct AblationPlan {
 }
 
 impl AblationPlan {
-    fn new(pe: &PeFile) -> Self {
-        let baseline = pe.to_bytes();
-        let spans: Vec<Range<usize>> = pe
-            .sections()
-            .iter()
-            .map(|s| {
-                let start = s.header().pointer_to_raw_data as usize;
-                let n = s.data().len().min(s.header().size_of_raw_data as usize);
-                start..start + n
-            })
+    fn new(image: &BinaryImage) -> Self {
+        let baseline = image.to_bytes();
+        let spans: Vec<Range<usize>> = (0..image.section_count())
+            .filter_map(|i| image.section_meta(i))
+            .map(|m| m.file_offset..m.file_offset + m.file_size)
             .collect();
         let sizes: Vec<usize> = spans.iter().map(|r| r.len()).collect();
         let scratch = baseline.clone();
@@ -210,10 +208,10 @@ struct SampleScorer<'m> {
 }
 
 impl<'m> SampleScorer<'m> {
-    fn new(model: &'m dyn DetectorExt, pe: &PeFile) -> Self {
+    fn new(model: &'m dyn DetectorExt, image: &BinaryImage) -> Self {
         SampleScorer {
             model,
-            plan: AblationPlan::new(pe),
+            plan: AblationPlan::new(image),
             session: model.as_white_box().map(|m| m.session()),
             cache: HashMap::new(),
             dirty: Vec::new(),
@@ -396,9 +394,9 @@ pub fn run_pem(
     }
     let engine = Engine::new(EngineConfig { workers: 0, seed: cfg.seed });
     let run = engine.run(shards, |ctx, (mi, si): (usize, usize)| {
-        let pe = &samples[si].pe;
-        let mut scorer = SampleScorer::new(models[mi].1, pe);
-        let n_sections = pe.sections().len();
+        let image = &samples[si].image;
+        let mut scorer = SampleScorer::new(models[mi].1, image);
+        let n_sections = image.section_count();
         if scorer.plan.n() <= cfg.max_exact_sections {
             shapley_exact(&mut scorer, n_sections)
         } else {
@@ -425,8 +423,10 @@ pub fn run_pem(
             // Sum per kind within the sample (a sample may have several
             // sections of one kind).
             let mut per_kind: HashMap<SectionKind, f64> = HashMap::new();
-            for (s, p) in sample.pe.sections().iter().zip(phi) {
-                *per_kind.entry(s.kind()).or_insert(0.0) += p;
+            let image = &sample.image;
+            let kinds = (0..image.section_count()).filter_map(|i| image.section_meta(i));
+            for (m, p) in kinds.zip(phi) {
+                *per_kind.entry(m.kind).or_insert(0.0) += p;
             }
             for (kind, v) in per_kind {
                 *sums.entry(kind).or_insert(0.0) += v;
@@ -484,7 +484,7 @@ mod tests {
             "oracle"
         }
         fn score(&self, bytes: &[u8]) -> f32 {
-            let Ok(pe) = PeFile::parse(bytes) else { return 1.0 };
+            let Ok(pe) = mpass_pe::PeFile::parse(bytes) else { return 1.0 };
             let mut s = 0.0f32;
             for sec in pe.sections() {
                 match sec.kind() {
@@ -533,10 +533,10 @@ mod tests {
             seed: 4,
             no_slack_fraction: 0.0,
         });
-        let pe = &ds.samples[0].pe;
+        let image = &ds.samples[0].image;
         let oracle = CodeDataOracle;
-        let mut scorer = SampleScorer::new(&oracle, pe);
-        let phi = shapley_exact(&mut scorer, pe.sections().len());
+        let mut scorer = SampleScorer::new(&oracle, image);
+        let phi = shapley_exact(&mut scorer, image.section_count());
         let full = oracle.score(&scorer.plan.ablated(u64::MAX).to_vec()) as f64;
         let none = oracle.score(&scorer.plan.ablated(0).to_vec()) as f64;
         let sum: f64 = phi.iter().sum();
@@ -551,10 +551,10 @@ mod tests {
             seed: 5,
             no_slack_fraction: 0.0,
         });
-        let pe = &ds.samples[0].pe;
+        let image = &ds.samples[0].image;
         let oracle = CodeDataOracle;
-        let n = pe.sections().len();
-        let mut scorer = SampleScorer::new(&oracle, pe);
+        let n = image.section_count();
+        let mut scorer = SampleScorer::new(&oracle, image);
         let exact = shapley_exact(&mut scorer, n);
         let mut rng = ChaCha8Rng::seed_from_u64(1);
         let sampled = shapley_sampled(&mut scorer, n, 200, &mut rng);
@@ -571,9 +571,10 @@ mod tests {
             seed: 6,
             no_slack_fraction: 0.0,
         });
-        let pe = &ds.samples[0].pe;
-        let mut plan = AblationPlan::new(pe);
-        let re = PeFile::parse(plan.ablated(0b10)).unwrap();
+        let sample = &ds.samples[0];
+        let pe = sample.pe().unwrap();
+        let mut plan = AblationPlan::new(&sample.image);
+        let re = mpass_pe::PeFile::parse(plan.ablated(0b10)).unwrap();
         assert_eq!(re.sections().len(), pe.sections().len());
         // Section 1 kept, section 0 zeroed.
         assert!(re.sections()[0].data().iter().all(|&b| b == 0));
@@ -586,7 +587,7 @@ mod tests {
     /// the plan is reused across a mask sequence.
     #[test]
     fn plan_matches_naive_ablation_across_mask_sequences() {
-        let naive = |pe: &PeFile, keep_mask: u64| -> Vec<u8> {
+        let naive = |pe: &mpass_pe::PeFile, keep_mask: u64| -> Vec<u8> {
             let mut ablated = pe.clone();
             for (i, s) in ablated.sections_mut().iter_mut().enumerate() {
                 if keep_mask & (1u64 << i) == 0 {
@@ -602,9 +603,9 @@ mod tests {
             no_slack_fraction: 0.0,
         });
         for sample in &ds.samples {
-            let pe = &sample.pe;
+            let pe = sample.pe().unwrap();
             let n = pe.sections().len();
-            let mut plan = AblationPlan::new(pe);
+            let mut plan = AblationPlan::new(&sample.image);
             // Walk masks in a deliberately non-monotonic order so the
             // incremental patching both zeroes and restores spans.
             let full = if n >= 64 { u64::MAX } else { (1u64 << n) - 1 };
@@ -679,13 +680,13 @@ mod tests {
         );
 
         for sample in ds.malware().into_iter().take(2) {
-            let pe = &sample.pe;
-            let n = pe.sections().len();
-            let mut fast = SampleScorer::new(&malconv, pe);
+            let image = &sample.image;
+            let n = image.section_count();
+            let mut fast = SampleScorer::new(&malconv, image);
             assert!(fast.session.is_some());
             let phi_fast = shapley_exact(&mut fast, n);
             let masked = Masked(&malconv);
-            let mut full = SampleScorer::new(&masked, pe);
+            let mut full = SampleScorer::new(&masked, image);
             assert!(full.session.is_none());
             let phi_full = shapley_exact(&mut full, n);
             for (a, b) in phi_fast.iter().zip(&phi_full) {

@@ -1,6 +1,8 @@
-//! Generation of complete synthetic PE samples and datasets.
+//! Generation of complete synthetic PE and Mach-O samples and datasets.
 
 use crate::behavior::{synthesize_program, BehaviorSpec};
+use mpass_binary::{BinaryFormat, BinaryImage, Format, SectionKind};
+use mpass_macho::{EntryStyle, MachoBuilder, MachoFile};
 use mpass_pe::{ImportEntry, ImportTable, PeBuilder, PeFile, SectionFlags};
 use mpass_vm::Instr;
 use rand::Rng;
@@ -34,17 +36,36 @@ pub struct Sample {
     pub name: String,
     /// Ground-truth label.
     pub label: Label,
-    /// The PE image.
-    pub pe: PeFile,
-    /// Serialized on-disk bytes (cached; always equals `pe.to_bytes()`).
+    /// The parsed binary image (PE or Mach-O).
+    pub image: BinaryImage,
+    /// Serialized on-disk bytes (cached; always equals
+    /// `image.to_bytes()`).
     pub bytes: Vec<u8>,
 }
 
 impl Sample {
-    /// Wrap a PE with its label, caching the serialized bytes.
-    pub fn new(name: String, label: Label, pe: PeFile) -> Self {
-        let bytes = pe.to_bytes();
-        Sample { name, label, pe, bytes }
+    /// Wrap a parsed image with its label, caching the serialized bytes.
+    /// Accepts a `PeFile`, `MachoFile` or `BinaryImage` directly.
+    pub fn new(name: String, label: Label, image: impl Into<BinaryImage>) -> Self {
+        let image = image.into();
+        let bytes = image.to_bytes();
+        Sample { name, label, image, bytes }
+    }
+
+    /// The container format this sample ships in.
+    pub fn format(&self) -> Format {
+        self.image.format()
+    }
+
+    /// The wrapped PE, when this sample is one. PE-specific pipelines
+    /// (packers, import stamping) branch on this and skip other formats.
+    pub fn pe(&self) -> Option<&PeFile> {
+        self.image.as_pe()
+    }
+
+    /// The wrapped Mach-O, when this sample is one.
+    pub fn macho(&self) -> Option<&MachoFile> {
+        self.image.as_macho()
     }
 
     /// On-disk size in bytes.
@@ -98,6 +119,46 @@ impl Dataset {
             );
             let pe = generate_benign_pe(&mut rng);
             samples.push(Sample::new(format!("ben_{i}"), Label::Benign, pe));
+        }
+        Dataset { samples }
+    }
+
+    /// Generate a mixed-format corpus: each sample is Mach-O with
+    /// probability `macho_fraction`, PE otherwise. Deterministic in
+    /// `(config, macho_fraction)`; the PE-only corpus from
+    /// [`Dataset::generate`] is untouched by this addition (its RNG
+    /// streams are consumed identically), and `generate_mixed(c, 0.0)`
+    /// reproduces it byte for byte.
+    pub fn generate_mixed(config: &CorpusConfig, macho_fraction: f64) -> Dataset {
+        let mut samples = Vec::with_capacity(config.n_malware + config.n_benign);
+        for i in 0..config.n_malware {
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                config.seed ^ 0x4D41_4C00 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let no_slack = rng.gen_bool(config.no_slack_fraction);
+            // The format draw comes from a forked stream so the PE path
+            // consumes exactly the draws generate() does.
+            let macho = ChaCha8Rng::seed_from_u64(config.seed ^ 0x4D58_0000 ^ i as u64)
+                .gen_bool(macho_fraction);
+            let image = if macho {
+                BinaryImage::from(generate_malware_macho(&mut rng, no_slack))
+            } else {
+                BinaryImage::from(generate_malware_pe(&mut rng, no_slack))
+            };
+            samples.push(Sample::new(format!("mal_{i}"), Label::Malware, image));
+        }
+        for i in 0..config.n_benign {
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                config.seed ^ 0x4245_4E00 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            let macho = ChaCha8Rng::seed_from_u64(config.seed ^ 0x424D_0000 ^ i as u64)
+                .gen_bool(macho_fraction);
+            let image = if macho {
+                BinaryImage::from(generate_benign_macho(&mut rng))
+            } else {
+                BinaryImage::from(generate_benign_pe(&mut rng))
+            };
+            samples.push(Sample::new(format!("ben_{i}"), Label::Benign, image));
         }
         Dataset { samples }
     }
@@ -481,6 +542,163 @@ pub fn generate_benign_pe<R: Rng + ?Sized>(rng: &mut R) -> PeFile {
     pe
 }
 
+/// Dylibs virtually every macOS program links.
+const COMMON_DYLIBS: &[&str] =
+    &["/usr/lib/libSystem.B.dylib", "/usr/lib/libc++.1.dylib", "/usr/lib/libobjc.A.dylib"];
+
+/// Dual-use dylib analogue of [`DUAL_USE_IMPORTS`]: process inspection is
+/// common in malware *and* in profilers/monitors — a weak signal by design.
+const DUAL_USE_DYLIB: &str = "/usr/lib/libproc.dylib";
+
+/// Mach-O section names a small fraction of malware invents, the analogue
+/// of [`ODD_NAMES`].
+const MACHO_ODD_NAMES: &[&str] = &["__xpk1", "__enc0", "__vmp0", "__x9", "__krn0"];
+
+/// Mach-O images map their first section at this address (the builder's
+/// small base keeps flat loader mappings proportional to content size).
+const MACHO_TEXT_VA: u32 = 0x1000;
+
+/// Mach-O segments are page aligned; the section after `code_len` bytes of
+/// text lands here. Mirrors the PE two-pass layout computation.
+fn macho_data_va(code_len: usize) -> u32 {
+    MACHO_TEXT_VA + (code_len as u32).div_ceil(0x1000).max(1) * 0x1000
+}
+
+/// Link a realistic dylib set onto a builder; the Mach-O twin of
+/// [`stamp_imports`].
+fn stamp_dylibs<R: Rng + ?Sized>(b: &mut MachoBuilder, malicious: bool, rng: &mut R) {
+    let take = rng.gen_range(COMMON_DYLIBS.len().div_ceil(2)..=COMMON_DYLIBS.len());
+    for dylib in COMMON_DYLIBS.iter().take(take) {
+        b.add_dylib(dylib, rng.gen_range(0x5000_0000..0x6400_0000));
+    }
+    let p_dual = if malicious { 0.25 } else { 0.18 };
+    if rng.gen_bool(p_dual) {
+        b.add_dylib(DUAL_USE_DYLIB, rng.gen_range(0x5000_0000..0x6400_0000));
+    }
+}
+
+/// Generate one Mach-O malware image: same program synthesis, morphology
+/// mix and string planting as [`generate_malware_pe`], expressed in Mach-O
+/// sections (`__text`/`__data`/`__const`).
+pub fn generate_malware_macho<R: Rng + ?Sized>(rng: &mut R, no_slack: bool) -> MachoFile {
+    let data_len = rng.gen_range(1024..3072usize);
+    let spec = BehaviorSpec::malicious(
+        rng.gen_range(3..8),
+        rng.gen_range(1..5),
+        0, // provisional; patched below
+        data_len as u32,
+        rng,
+    );
+    let prog_seed: u64 = rng.gen();
+    let provisional = {
+        let mut prng = ChaCha8Rng::seed_from_u64(prog_seed);
+        synthesize_program(&spec, &mut prng)
+    };
+    let code_len = provisional.len() * mpass_vm::INSTR_SIZE;
+    let spec = BehaviorSpec { data_rva: macho_data_va(code_len), ..spec };
+    let program = {
+        let mut prng = ChaCha8Rng::seed_from_u64(prog_seed);
+        synthesize_program(&spec, &mut prng)
+    };
+    let code = encode_program(&program, rng);
+
+    let carrier = rng.gen_bool(0.85);
+    let mut data = if carrier {
+        encrypted_payload(data_len, rng)
+    } else {
+        structured_data(data_len, rng)
+    };
+    for (i, b) in data.iter_mut().enumerate().take(64) {
+        if i % 7 == 3 {
+            *b = 0x40 + (i as u8 % 26);
+        }
+    }
+    if carrier {
+        let strings = strings_block(&hostile_strings(rng), 256.min(data_len.saturating_sub(96)));
+        let at = 64;
+        data[at..at + strings.len()].copy_from_slice(&strings);
+    }
+    let rodata = string_table(NEUTRAL_STRINGS, rng.gen_range(256..1024), rng);
+
+    let mut b = MachoBuilder::new();
+    if no_slack {
+        b.set_header_slack(0);
+    }
+    let text_name = if rng.gen_bool(0.05) {
+        MACHO_ODD_NAMES[rng.gen_range(0..MACHO_ODD_NAMES.len())]
+    } else {
+        "__text"
+    };
+    b.add_section(text_name, &code, SectionKind::Code)
+        .add_section("__data", &data, SectionKind::Data)
+        .add_section("__const", &rodata, SectionKind::ReadOnlyData);
+    // Half of malware keeps a literal pool like benign builds; the rest
+    // ship stripped (the Mach-O twin of the PE `.reloc` convention). A
+    // class-correlated section list would be a load-command shortcut that
+    // byte-level models mine instead of the code/data signal — and one
+    // the attack's modification engine could never erase.
+    if rng.gen_bool(0.5) {
+        let cstrings = string_table(NEUTRAL_STRINGS, rng.gen_range(128..512), rng);
+        b.add_section("__cstring", &cstrings, SectionKind::ReadOnlyData);
+    }
+    stamp_dylibs(&mut b, true, rng);
+    if rng.gen_bool(0.2) {
+        b.set_entry_style(EntryStyle::UnixThread);
+    }
+    b.set_entry_section(text_name, 0);
+    let macho = b.build().expect("macho malware build");
+    debug_assert_eq!(
+        macho.sections().nth(1).map(|s| s.addr),
+        Some(u64::from(spec.data_rva)),
+        "two-pass mach-o layout mismatch"
+    );
+    macho
+}
+
+/// Generate one Mach-O benign image, mirroring [`generate_benign_pe`].
+pub fn generate_benign_macho<R: Rng + ?Sized>(rng: &mut R) -> MachoFile {
+    let data_len = rng.gen_range(1024..3072usize);
+    let spec = BehaviorSpec::benign(rng.gen_range(3..9), 0, data_len as u32, rng);
+    let prog_seed: u64 = rng.gen();
+    let provisional = {
+        let mut prng = ChaCha8Rng::seed_from_u64(prog_seed);
+        synthesize_program(&spec, &mut prng)
+    };
+    let code_len = provisional.len() * mpass_vm::INSTR_SIZE;
+    let spec = BehaviorSpec { data_rva: macho_data_va(code_len), ..spec };
+    let program = {
+        let mut prng = ChaCha8Rng::seed_from_u64(prog_seed);
+        synthesize_program(&spec, &mut prng)
+    };
+    let code = encode_program(&program, rng);
+
+    let mut data = if rng.gen_bool(0.33) {
+        encrypted_payload(data_len, rng)
+    } else {
+        structured_data(data_len, rng)
+    };
+    for (i, b) in data.iter_mut().enumerate().take(64) {
+        if i % 7 == 3 {
+            *b = 0x40 + (i as u8 % 26);
+        }
+    }
+    let strings = strings_block(&benign_config_strings(rng), 256.min(data_len.saturating_sub(96)));
+    if data_len > 96 + strings.len() {
+        data[64..64 + strings.len()].copy_from_slice(&strings);
+    }
+    let rodata = string_table(NEUTRAL_STRINGS, rng.gen_range(256..1024), rng);
+    let cstrings = string_table(NEUTRAL_STRINGS, rng.gen_range(128..512), rng);
+
+    let mut b = MachoBuilder::new();
+    b.add_section("__text", &code, SectionKind::Code)
+        .add_section("__data", &data, SectionKind::Data)
+        .add_section("__const", &rodata, SectionKind::ReadOnlyData)
+        .add_section("__cstring", &cstrings, SectionKind::ReadOnlyData);
+    stamp_dylibs(&mut b, false, rng);
+    b.set_entry_section("__text", 0);
+    b.build().expect("macho benign build")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,7 +741,7 @@ mod tests {
     #[test]
     fn malware_behaves_maliciously_and_halts() {
         for s in tiny().malware() {
-            let exec = Vm::load(&s.pe).run();
+            let exec = Vm::load(s.pe().unwrap()).run();
             assert!(exec.completed(), "{}: {:?}", s.name, exec.outcome);
             assert!(exec.suspicious_calls().len() >= 3, "{}", s.name);
         }
@@ -532,7 +750,7 @@ mod tests {
     #[test]
     fn benign_behaves_benignly_and_halts() {
         for s in tiny().benign() {
-            let exec = Vm::load(&s.pe).run();
+            let exec = Vm::load(s.pe().unwrap()).run();
             assert!(exec.completed(), "{}: {:?}", s.name, exec.outcome);
             // At most the single dual-use call some benign programs make.
             assert!(exec.suspicious_calls().len() <= 1, "{}", s.name);
@@ -547,7 +765,7 @@ mod tests {
         // contain low-entropy members (no entropy shortcut).
         let ds = tiny();
         let entropies = |samples: &[&Sample]| -> Vec<f64> {
-            samples.iter().map(|s| s.pe.section(".data").unwrap().entropy()).collect()
+            samples.iter().map(|s| s.pe().unwrap().section(".data").unwrap().entropy()).collect()
         };
         let mal = entropies(&ds.malware());
         let ben = entropies(&ds.benign());
@@ -567,7 +785,7 @@ mod tests {
             seed: 3,
             no_slack_fraction: 0.3,
         });
-        let blocked = ds.malware().iter().filter(|s| !s.pe.can_add_section()).count();
+        let blocked = ds.malware().iter().filter(|s| !s.pe().unwrap().can_add_section()).count();
         assert!(blocked > 0, "expected some no-slack samples");
         assert!(blocked < 40, "expected some samples with slack");
     }
@@ -589,5 +807,87 @@ mod tests {
     fn label_targets() {
         assert_eq!(Label::Malware.target(), 1.0);
         assert_eq!(Label::Benign.target(), 0.0);
+    }
+
+    fn mixed() -> Dataset {
+        Dataset::generate_mixed(
+            &CorpusConfig { n_malware: 12, n_benign: 12, seed: 7, no_slack_fraction: 0.25 },
+            0.5,
+        )
+    }
+
+    #[test]
+    fn mixed_zero_fraction_reproduces_pe_corpus() {
+        let cfg = CorpusConfig { n_malware: 6, n_benign: 6, seed: 7, no_slack_fraction: 0.25 };
+        let pe_only = Dataset::generate(&cfg);
+        let mixed = Dataset::generate_mixed(&cfg, 0.0);
+        for (a, b) in pe_only.samples.iter().zip(&mixed.samples) {
+            assert_eq!(a.bytes, b.bytes, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn mixed_corpus_contains_both_formats_deterministically() {
+        let a = mixed();
+        let b = mixed();
+        for (x, y) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(x.bytes, y.bytes, "{}", x.name);
+        }
+        let machos = a.samples.iter().filter(|s| s.format() == Format::MachO).count();
+        assert!(machos > 0, "no mach-o samples at 50% fraction");
+        assert!(machos < a.samples.len(), "no pe samples at 50% fraction");
+    }
+
+    #[test]
+    fn macho_samples_parse_and_round_trip() {
+        for s in mixed().samples {
+            let img = BinaryImage::parse_auto(&s.bytes).unwrap();
+            assert_eq!(img.to_bytes(), s.bytes, "{}", s.name);
+            assert_eq!(img.format(), s.format(), "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn macho_malware_behaves_maliciously_and_halts() {
+        let ds = mixed();
+        let mut checked = 0;
+        for s in ds.malware() {
+            if s.format() != Format::MachO {
+                continue;
+            }
+            let exec = Vm::load_binary(s.image.as_dyn(), mpass_vm::VmLimits::default()).run();
+            assert!(exec.completed(), "{}: {:?}", s.name, exec.outcome);
+            assert!(exec.suspicious_calls().len() >= 3, "{}", s.name);
+            checked += 1;
+        }
+        assert!(checked > 0, "no mach-o malware generated");
+    }
+
+    #[test]
+    fn macho_benign_behaves_benignly_and_halts() {
+        let ds = mixed();
+        for s in ds.benign() {
+            if s.format() != Format::MachO {
+                continue;
+            }
+            let exec = Vm::load_binary(s.image.as_dyn(), mpass_vm::VmLimits::default()).run();
+            assert!(exec.completed(), "{}: {:?}", s.name, exec.outcome);
+            assert!(exec.suspicious_calls().len() <= 1, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn some_macho_malware_lacks_header_slack() {
+        let ds = Dataset::generate_mixed(
+            &CorpusConfig { n_malware: 40, n_benign: 1, seed: 3, no_slack_fraction: 0.3 },
+            1.0,
+        );
+        let blocked = ds
+            .malware()
+            .iter()
+            .filter(|s| !s.macho().unwrap().can_add_sections(1))
+            .count();
+        assert!(blocked > 0, "expected some no-slack mach-o samples");
+        assert!(blocked < 40, "expected some mach-o samples with slack");
     }
 }

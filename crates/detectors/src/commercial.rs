@@ -19,7 +19,7 @@ use crate::signatures::SignatureStore;
 use crate::traits::Detector;
 use mpass_corpus::Sample;
 use mpass_ml::{Adam, Gbdt, GbdtParams, Mlp};
-use mpass_pe::PeFile;
+use mpass_binary::{BinaryFormat, BinaryImage};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -216,33 +216,37 @@ impl CommercialAv {
     /// Because packed *benign* software exists in the training corpus, the
     /// indicators contribute score rather than verdicts.
     pub fn heuristic_score(&self, bytes: &[u8]) -> f32 {
-        let Ok(pe) = PeFile::parse(bytes) else {
+        let Ok(image) = BinaryImage::parse_auto(bytes) else {
             return 1.5; // unparseable executables are flagged outright
         };
         let mut h = 0.0f32;
-        let n = pe.sections().len();
-        let entry_idx = pe.section_index_containing_rva(pe.entry_point());
+        let n = image.section_count();
+        let entry_idx = image.section_index_containing_va(image.entry_point());
         if let Some(idx) = entry_idx {
             if n > 1 && idx >= n - 2 {
                 h += 0.4; // entry point in a trailing section: stub
             }
-            let entry_name = pe.sections()[idx].name();
-            if !matches!(entry_name.as_str(), ".text" | "CODE" | ".code") {
+            let entry_name =
+                image.section_meta(idx).map(|m| m.name).unwrap_or_default();
+            if !matches!(entry_name.as_str(), ".text" | "CODE" | ".code" | "__text") {
                 h += 0.15;
             }
         } else {
             h += 0.6; // entry outside every section
         }
-        let high_entropy_secs = pe
-            .sections()
-            .iter()
-            .filter(|s| s.kind() != mpass_pe::SectionKind::Resource)
-            .filter(|s| s.data().len() >= 256 && s.entropy() > 7.5)
+        let high_entropy_secs = (0..n)
+            .filter(|&i| {
+                image
+                    .section_meta(i)
+                    .is_some_and(|m| m.kind != mpass_binary::SectionKind::Resource)
+            })
+            .filter_map(|i| image.section_data(i))
+            .filter(|d| d.len() >= 256 && mpass_pe::entropy(d) > 7.5)
             .count();
         if high_entropy_secs > 0 {
             h += 0.25;
         }
-        if pe.overlay().len() * 2 > bytes.len() {
+        if image.overlay().len() * 2 > bytes.len() {
             h += 0.2; // more than half the file is overlay
         }
         if KNOWN_PACKER_MARKERS.iter().any(|m| contains(bytes, m)) {
@@ -481,7 +485,7 @@ mod tests {
         let av = one_av(&ds);
         let s = ds.malware()[0];
         let base_h = av.heuristic_score(&s.bytes);
-        let mut pe = s.pe.clone();
+        let mut pe = s.pe().unwrap().clone();
         let rva = pe
             .add_section(".newsec", vec![0x90; 512], mpass_pe::SectionFlags::CODE)
             .unwrap();
@@ -507,7 +511,7 @@ mod tests {
         let subs: Vec<Vec<u8>> = ds.malware()[..10]
             .iter()
             .map(|s| {
-                let mut pe = s.pe.clone();
+                let mut pe = s.pe().unwrap().clone();
                 pe.append_overlay(pattern);
                 pe.to_bytes()
             })
@@ -516,7 +520,7 @@ mod tests {
         let added = av.weekly_update(&sub_refs);
         assert!(added > 0, "fixed pattern must be mined");
         // A *new* sample carrying the pattern is now signature-detected.
-        let mut pe = ds.malware()[11].pe.clone();
+        let mut pe = ds.malware()[11].pe().unwrap().clone();
         pe.append_overlay(pattern);
         assert_eq!(av.score(&pe.to_bytes()), 0.99);
     }
@@ -530,7 +534,7 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, s)| {
-                let mut pe = s.pe.clone();
+                let mut pe = s.pe().unwrap().clone();
                 let junk: Vec<u8> =
                     (0..200u64).map(|j| ((i as u64 * 97 + j * 13 + i as u64 * j) % 256) as u8).collect();
                 pe.append_overlay(&junk);
@@ -628,7 +632,7 @@ mod tests {
         let mut cached = CachedAv::new(one_av(&ds));
         let pattern = b"#FIXED-ATTACK-STUB-PATTERN#";
         let probe = {
-            let mut pe = ds.malware()[11].pe.clone();
+            let mut pe = ds.malware()[11].pe().unwrap().clone();
             pe.append_overlay(pattern);
             pe.to_bytes()
         };
@@ -636,7 +640,7 @@ mod tests {
         let subs: Vec<Vec<u8>> = ds.malware()[..10]
             .iter()
             .map(|s| {
-                let mut pe = s.pe.clone();
+                let mut pe = s.pe().unwrap().clone();
                 pe.append_overlay(pattern);
                 pe.to_bytes()
             })

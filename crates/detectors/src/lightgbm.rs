@@ -129,7 +129,7 @@ mod tests {
         let model = LightGbm::train(&all, GbdtParams::default(), &mut rng);
         let s = ds.malware()[0];
         let base = model.score(&s.bytes);
-        let mut pe = s.pe.clone();
+        let mut pe = s.pe().unwrap().clone();
         pe.append_overlay(&vec![0x41; 256]);
         let with = model.score(&pe.to_bytes());
         assert!(base > 0.5);

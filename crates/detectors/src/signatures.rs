@@ -35,9 +35,18 @@ fn gram_hash(window: &[u8]) -> u64 {
 /// false-positive-prone "signatures" no real engine would ship.
 /// Unparseable blobs are mined whole.
 fn content_start(bytes: &[u8]) -> usize {
-    mpass_pe::PeFile::parse(bytes)
-        .map(|pe| (pe.optional().size_of_headers as usize).min(bytes.len()))
-        .unwrap_or(0)
+    match mpass_binary::BinaryImage::parse_auto(bytes) {
+        Ok(mpass_binary::BinaryImage::Pe(pe)) => {
+            (pe.optional().size_of_headers as usize).min(bytes.len())
+        }
+        // A Mach-O's header region is the mach header plus its load
+        // commands.
+        Ok(mpass_binary::BinaryImage::MachO(m)) => {
+            (mpass_macho::cmds::MACH_HEADER_SIZE + m.sizeofcmds() as usize)
+                .min(bytes.len())
+        }
+        Err(_) => 0,
+    }
 }
 
 /// Distinct grams (raw windows) of one file's content region (stride 1).

@@ -160,44 +160,6 @@ pub trait WhiteBoxModel: Detector {
     fn benign_loss_grad_into(&self, bytes: &[u8], ws: &mut Workspace, grad: &mut Vec<f32>)
         -> f32;
 
-    /// Allocating convenience wrapper over
-    /// [`WhiteBoxModel::benign_loss_grad_into`]; returns
-    /// `(loss, gradient)`.
-    ///
-    /// Deprecated: it allocates a fresh [`Workspace`] and gradient
-    /// buffer per call, defeating the free-list reuse the `_into` form
-    /// exists for. Call [`WhiteBoxModel::benign_loss_grad_into`] with a
-    /// caller-owned workspace, or open a [`WhiteBoxModel::session`] for
-    /// repeated nearby evaluations:
-    ///
-    /// ```
-    /// # use mpass_detectors::{MalConv, ByteConvConfig, WhiteBoxModel};
-    /// # use rand::SeedableRng;
-    /// # let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
-    /// # let model = MalConv::new(ByteConvConfig::tiny(), &mut rng);
-    /// # let bytes = vec![0u8; 64];
-    /// #[allow(deprecated)]
-    /// let (loss, grad) = model.benign_loss_and_grad(&bytes);
-    ///
-    /// // The replacement: one workspace, reused across calls.
-    /// let mut ws = mpass_ml::Workspace::default();
-    /// let mut grad2 = Vec::new();
-    /// let loss2 = model.benign_loss_grad_into(&bytes, &mut ws, &mut grad2);
-    /// assert_eq!(loss.to_bits(), loss2.to_bits());
-    /// assert_eq!(grad, grad2);
-    /// ```
-    #[deprecated(
-        since = "0.5.0",
-        note = "allocates per call; use benign_loss_grad_into with a reused \
-                Workspace, or a WhiteBoxModel::session"
-    )]
-    fn benign_loss_and_grad(&self, bytes: &[u8]) -> (f32, Vec<f32>) {
-        let mut ws = Workspace::default();
-        let mut grad = Vec::new();
-        let loss = self.benign_loss_grad_into(bytes, &mut ws, &mut grad);
-        (loss, grad)
-    }
-
     /// Open a stateful inference session for repeated evaluation of
     /// *nearby* inputs (the optimizer mutates a handful of bytes per
     /// iteration). The default falls back to full recomputation per call;

@@ -1,0 +1,17 @@
+//! EXP-MACHO: the multi-format demo — MPass against detectors trained on
+//! an all-Mach-O corpus, through the same `BinaryFormat`-generic pipeline
+//! that produces the PE tables.
+
+use mpass_experiments::{macho_demo, report};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config =
+        if quick { macho_demo::MachoDemoConfig::quick() } else { macho_demo::MachoDemoConfig::full() };
+    let results = macho_demo::run(&config);
+    println!("{}", results.summary());
+    match report::save_json("exp_macho", &results) {
+        Ok(p) => println!("results written to {}", p.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

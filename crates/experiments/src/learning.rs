@@ -152,7 +152,7 @@ mod tests {
             .iter()
             .take(6)
             .map(|s| {
-                let mut pe = s.pe.clone();
+                let mut pe = s.pe().unwrap().clone();
                 pe.append_overlay(b"###FIXED-LEARNABLE-PATTERN-FOR-TEST###");
                 pe.to_bytes()
             })

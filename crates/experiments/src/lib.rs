@@ -14,6 +14,7 @@
 //! | Figure 4 (AV learning) | [`learning::run`] | `exp_learning` |
 //! | Table V (Other-sec) + VI (random data) | [`ablation::run`] | `exp_ablation` |
 //! | §VI adversarial training | [`advtrain::run`] | `exp_advtrain` |
+//! | Multi-format demo (Mach-O) | [`macho_demo::run`] | `exp_macho` |
 //!
 //! Every binary accepts `--quick` for a down-scaled run and writes JSON
 //! results under `results/`.
@@ -26,6 +27,7 @@ pub mod design;
 pub mod functionality;
 pub mod journal;
 pub mod learning;
+pub mod macho_demo;
 pub mod offline;
 pub mod packers;
 pub mod pem;

@@ -122,7 +122,7 @@ impl World {
             if i % 7 != 0 {
                 continue;
             }
-            if let Ok(bytes) = benign_packer.pack(&s.pe) {
+            if let Ok(bytes) = benign_packer.pack(s.pe().unwrap()) {
                 if let Ok(pe) = mpass_pe::PeFile::parse(&bytes) {
                     *s = mpass_corpus::Sample::new(s.name.clone(), s.label, pe);
                 }

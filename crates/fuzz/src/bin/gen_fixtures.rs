@@ -3,11 +3,14 @@
 //! argument).
 //!
 //! Each fixture is a deterministic, hand-constructed hostile input that
-//! once mapped to a distinct failure mode of the ingestion layer. The
+//! once mapped to a distinct failure mode of the ingestion layer — PE
+//! fixtures are plain `*.bin`, Mach-O fixtures are `macho_*.bin`. The
 //! workspace test suite replays the directory through the fuzz harness
 //! on every run, so these stay fixed forever.
 
-use mpass_fuzz::harness::check_bytes;
+use mpass_binary::SectionKind;
+use mpass_fuzz::harness::{check_bytes, check_macho_bytes};
+use mpass_macho::{MachoBuilder, MachoFile};
 use mpass_pe::{CoffHeader, PeBuilder, PeFile, SectionFlags, SECTION_HEADER_SIZE};
 use mpass_vm::{Instr, Reg};
 
@@ -110,6 +113,129 @@ fn fixtures() -> Vec<(&'static str, Vec<u8>)> {
         out.push(("bad_opcode.bin", b.build().expect("builds").to_bytes()));
     }
 
+    // A zero-size section whose raw pointer sits between the real data
+    // end and the file end, with one trailing overlay byte: the overlay
+    // anchor must track what serialization writes (found by the seeded
+    // fuzzer as a round-trip violation).
+    {
+        let pe = plain();
+        let mut bytes = pe.to_bytes();
+        let e = section_entry_at(&pe, 1);
+        let past_end = bytes.len() as u32 + 0x200;
+        put_u32(&mut bytes, e + 16, 0); // size_of_raw_data
+        put_u32(&mut bytes, e + 20, past_end); // pointer_to_raw_data
+        bytes.push(0xAA); // one overlay byte
+        out.push(("size0_pointer_with_overlay.bin", bytes));
+    }
+
+    out
+}
+
+fn macho_base(code: &[Instr]) -> MachoFile {
+    let encoded: Vec<u8> = code.iter().flat_map(|i| i.encode()).collect();
+    let mut b = MachoBuilder::new();
+    b.add_section("__text", &encoded, SectionKind::Code)
+        .add_section("__data", &[0x33; 128], SectionKind::Data)
+        .add_dylib("/usr/lib/libSystem.B.dylib", 2)
+        .set_entry_section("__text", 0);
+    b.build().expect("well-formed by construction")
+}
+
+fn macho_plain() -> MachoFile {
+    macho_base(&[Instr::Movi(Reg::R0, 1), Instr::Jmp(8), Instr::Halt, Instr::Halt])
+}
+
+fn put_u64(bytes: &mut [u8], at: usize, v: u64) {
+    bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Byte offset of the first `LC_SEGMENT_64` command (the mach header is
+/// 32 bytes and the builder emits segments first).
+const FIRST_SEGMENT_AT: usize = 32;
+
+/// `(name, bytes)` for every Mach-O fixture in the corpus.
+fn macho_fixtures() -> Vec<(&'static str, Vec<u8>)> {
+    let mut out = Vec::new();
+
+    // The file ends in the middle of the load commands.
+    {
+        let mut bytes = macho_plain().to_bytes();
+        bytes.truncate(FIRST_SEGMENT_AT + 40);
+        out.push(("macho_truncated_cmds.bin", bytes));
+    }
+
+    // sizeofcmds claims far more than the file holds.
+    {
+        let mut bytes = macho_plain().to_bytes();
+        put_u32(&mut bytes, 20, 0xFFFF_FFF0);
+        out.push(("macho_sizeofcmds_overflow.bin", bytes));
+    }
+
+    // A segment claiming billions of sections.
+    {
+        let mut bytes = macho_plain().to_bytes();
+        put_u32(&mut bytes, FIRST_SEGMENT_AT + 64, 0x7FFF_FFFF);
+        out.push(("macho_huge_nsects.bin", bytes));
+    }
+
+    // A section whose virtual extent wraps the 64-bit address space.
+    {
+        let mut bytes = macho_plain().to_bytes();
+        let sect = FIRST_SEGMENT_AT + 72; // first section_64 entry
+        put_u64(&mut bytes, sect + 32, 0xFFFF_FFFF_FFFF_F000); // addr
+        put_u64(&mut bytes, sect + 40, 0x2000); // size
+        out.push(("macho_va_wrap.bin", bytes));
+    }
+
+    // An LC_MAIN entry offset far past the file end.
+    {
+        let macho = macho_plain();
+        let mut bytes = macho.to_bytes();
+        let mut at = FIRST_SEGMENT_AT;
+        for cmd in &macho.commands {
+            if cmd.cmd() == mpass_macho::cmds::LC_MAIN {
+                put_u64(&mut bytes, at + 8, 0xFFFF_FF00);
+                break;
+            }
+            at += cmd.cmdsize() as usize;
+        }
+        out.push(("macho_entry_unmapped.bin", bytes));
+    }
+
+    // A dylib whose install name carries a non-UTF8 byte: the name must
+    // be carried verbatim, not lossily decoded (found by the seeded
+    // fuzzer as a round-trip violation).
+    {
+        let macho = macho_plain();
+        let mut bytes = macho.to_bytes();
+        let mut at = FIRST_SEGMENT_AT;
+        for cmd in &macho.commands {
+            if cmd.cmd() == mpass_macho::cmds::LC_LOAD_DYLIB {
+                bytes[at + 24 + 6] = 0xFF; // seventh name byte
+                break;
+            }
+            at += cmd.cmdsize() as usize;
+        }
+        out.push(("macho_non_utf8_dylib.bin", bytes));
+    }
+
+    // A fat/universal wrapper: detected as Mach-O, rejected as an
+    // unsupported variant rather than misparsed.
+    {
+        let mut bytes = 0xCAFE_BABEu32.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&[0x00, 0x00, 0x00, 0x02]); // nfat_arch
+        bytes.resize(64, 0x5A);
+        out.push(("macho_fat_wrapper.bin", bytes));
+    }
+
+    // Entry code that is not decodable at all.
+    {
+        let encoded = vec![0xEE; 16];
+        let mut b = MachoBuilder::new();
+        b.add_section("__text", &encoded, SectionKind::Code).set_entry_section("__text", 0);
+        out.push(("macho_bad_opcode.bin", b.build().expect("builds").to_bytes()));
+    }
+
     out
 }
 
@@ -117,8 +243,16 @@ fn main() {
     let dir = std::env::args().nth(1).unwrap_or_else(|| "tests/fixtures/malformed".to_owned());
     std::fs::create_dir_all(&dir).expect("create fixture directory");
     let mut bad = 0;
-    for (name, bytes) in fixtures() {
-        let verdict = match check_bytes(&bytes) {
+    let all = fixtures()
+        .into_iter()
+        .map(|(n, b)| (n, b, check_bytes as fn(&[u8]) -> Result<(), String>))
+        .chain(
+            macho_fixtures()
+                .into_iter()
+                .map(|(n, b)| (n, b, check_macho_bytes as fn(&[u8]) -> Result<(), String>)),
+        );
+    for (name, bytes, check) in all {
+        let verdict = match check(&bytes) {
             Ok(()) => "handled gracefully".to_owned(),
             Err(why) => {
                 bad += 1;

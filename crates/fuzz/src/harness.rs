@@ -1,6 +1,7 @@
-//! The fuzz oracle: one function that checks every ingestion contract
-//! against one byte string.
+//! The fuzz oracle: one function per container format that checks every
+//! ingestion contract against one byte string.
 
+use mpass_macho::MachoFile;
 use mpass_pe::PeFile;
 use mpass_vm::{disassemble, Vm, VmLimits};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -73,6 +74,64 @@ pub fn check_bytes(bytes: &[u8]) -> Result<(), String> {
     catch_unwind(AssertUnwindSafe(|| Vm::load_with(&pe, fuzz_limits()).run()))
         .map_err(|p| format!("Vm::run panicked: {}", panic_message(&*p)))?;
     Ok(())
+}
+
+/// Check every ingestion contract against `bytes` through the Mach-O
+/// backend — the exact mirror of [`check_bytes`]:
+///
+/// * `MachoFile::parse` (and `parse_strict`) never panic;
+/// * an accepted image round-trips through `to_bytes` to an equal image;
+/// * `disassemble` never panics on a section's bytes;
+/// * `Vm::run` on the loaded image terminates gracefully.
+pub fn check_macho_bytes(bytes: &[u8]) -> Result<(), String> {
+    catch_unwind(AssertUnwindSafe(|| {
+        let _ = MachoFile::parse_strict(bytes);
+    }))
+    .map_err(|p| format!("MachoFile::parse_strict panicked: {}", panic_message(&*p)))?;
+    let parsed = catch_unwind(AssertUnwindSafe(|| MachoFile::parse(bytes)))
+        .map_err(|p| format!("MachoFile::parse panicked: {}", panic_message(&*p)))?;
+    let Ok(m) = parsed else {
+        return Ok(());
+    };
+
+    let round = catch_unwind(AssertUnwindSafe(|| MachoFile::parse(&m.to_bytes())))
+        .map_err(|p| format!("round trip panicked: {}", panic_message(&*p)))?;
+    match round {
+        Ok(m2) if m2 == m => {}
+        Ok(_) => return Err("round trip parsed to a different image".to_owned()),
+        Err(e) => return Err(format!("round trip failed to re-parse: {e}")),
+    }
+
+    for i in 0..m.section_count() {
+        let Some((_, sec)) = m.section_at(i) else { continue };
+        let name = sec.name();
+        catch_unwind(AssertUnwindSafe(|| {
+            let _ = disassemble(&sec.data);
+        }))
+        .map_err(|p| {
+            format!("disassemble panicked on section {name:?}: {}", panic_message(&*p))
+        })?;
+    }
+
+    catch_unwind(AssertUnwindSafe(|| Vm::load_binary(&m, fuzz_limits()).run()))
+        .map_err(|p| format!("Vm::run panicked: {}", panic_message(&*p)))?;
+    Ok(())
+}
+
+/// Check the format-dispatch layer itself: `BinaryImage::parse_auto`
+/// must never panic, and whatever backend it picks must satisfy that
+/// backend's contracts.
+pub fn check_auto_bytes(bytes: &[u8]) -> Result<(), String> {
+    use mpass_binary::BinaryFormat as _;
+    let detected = catch_unwind(AssertUnwindSafe(|| {
+        mpass_binary::BinaryImage::parse_auto(bytes).map(|i| i.format())
+    }))
+    .map_err(|p| format!("BinaryImage::parse_auto panicked: {}", panic_message(&*p)))?;
+    match detected {
+        Ok(mpass_binary::Format::Pe) => check_bytes(bytes),
+        Ok(mpass_binary::Format::MachO) => check_macho_bytes(bytes),
+        Err(_) => Ok(()),
+    }
 }
 
 #[cfg(test)]

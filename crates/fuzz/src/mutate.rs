@@ -1,4 +1,4 @@
-//! Seeded structure-aware mutation of PE images.
+//! Seeded structure-aware mutation of PE and Mach-O images.
 //!
 //! Every choice is drawn from one ChaCha8 stream, so a mutation
 //! campaign is fully determined by its seed: the same `(seed, sequence
@@ -199,6 +199,204 @@ impl Mutator {
     }
 }
 
+/// 64-bit boundary values for Mach-O's wide fields: the 32-bit set plus
+/// values where `addr + size` wraps the 64-bit address space.
+const BOUNDARY64: [u64; 6] = [
+    0x8000_0000,
+    0xFFFF_FFFF,
+    0x1_0000_0000,
+    0x7FFF_FFFF_FFFF_FFFF,
+    0xFFFF_FFFF_FFFF_F000,
+    0xFFFF_FFFF_FFFF_FFFF,
+];
+
+fn write_u64(b: &mut [u8], at: usize, v: u64) {
+    if let Some(dst) = b.get_mut(at..at + 8) {
+        dst.copy_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Best-effort Mach-O geometry recovered from raw bytes (again without
+/// the parser: mutants of mutants must stay mutable).
+struct MachoGeometry {
+    /// Offset of each load command (bounded walk over `ncmds`).
+    commands: Vec<(usize, u32)>,
+}
+
+fn macho_geometry(b: &[u8]) -> Option<MachoGeometry> {
+    const HEADER: usize = 32;
+    if b.len() < HEADER {
+        return None;
+    }
+    let ncmds = read_u32(b, 16)? as usize;
+    let mut commands = Vec::new();
+    let mut at = HEADER;
+    for _ in 0..ncmds.min(64) {
+        let cmd = read_u32(b, at)?;
+        let cmdsize = read_u32(b, at + 4)? as usize;
+        commands.push((at, cmd));
+        if cmdsize < 8 || at.checked_add(cmdsize)? > b.len() {
+            break;
+        }
+        at += cmdsize;
+    }
+    if commands.is_empty() {
+        return None;
+    }
+    Some(MachoGeometry { commands })
+}
+
+/// The deterministic structure-aware Mach-O mutator: same operator
+/// families as [`Mutator`], aimed at the mach header, load commands,
+/// `segment_64` fields and `section_64` entries instead of the PE
+/// section table.
+pub struct MachoMutator {
+    rng: ChaCha8Rng,
+}
+
+impl MachoMutator {
+    /// A mutator whose whole decision stream derives from `seed`.
+    pub fn new(seed: u64) -> Self {
+        MachoMutator { rng: ChaCha8Rng::seed_from_u64(seed) }
+    }
+
+    /// Produce one mutant of `base`, applying 1–3 mutation operators.
+    pub fn mutate(&mut self, base: &[u8], donor: &[u8]) -> Vec<u8> {
+        let mut out = base.to_vec();
+        for _ in 0..self.rng.gen_range(1..4u32) {
+            match self.rng.gen_range(0..6u32) {
+                0 => self.flip_header_field(&mut out),
+                1 => self.command_surgery(&mut out),
+                2 => self.truncate(&mut out),
+                3 => self.splice(&mut out, donor),
+                4 => self.byte_noise(&mut out),
+                _ => self.grow(&mut out, donor),
+            }
+        }
+        out
+    }
+
+    fn boundary32(&mut self) -> u32 {
+        if self.rng.gen_range(0..4u32) == 0 {
+            self.rng.gen::<u32>()
+        } else {
+            BOUNDARY[self.rng.gen_range(0..BOUNDARY.len())]
+        }
+    }
+
+    fn boundary64(&mut self) -> u64 {
+        match self.rng.gen_range(0..4u32) {
+            0 => self.rng.gen::<u64>(),
+            1 => BOUNDARY[self.rng.gen_range(0..BOUNDARY.len())] as u64,
+            _ => BOUNDARY64[self.rng.gen_range(0..BOUNDARY64.len())],
+        }
+    }
+
+    /// Overwrite one mach-header field with a boundary value.
+    fn flip_header_field(&mut self, b: &mut [u8]) {
+        if b.len() < 32 {
+            return self.byte_noise(b);
+        }
+        // magic, cputype, filetype, ncmds, sizeofcmds, flags.
+        let at = [0usize, 4, 12, 16, 20, 24][self.rng.gen_range(0..6)];
+        let v = self.boundary32();
+        write_u32(b, at, v);
+    }
+
+    /// Rewrite one field of one load command: the command header itself,
+    /// a `segment_64` mapping field, an `LC_MAIN` entry offset, or a
+    /// `section_64` entry inside a segment.
+    fn command_surgery(&mut self, b: &mut [u8]) {
+        const LC_SEGMENT_64: u32 = 0x19;
+        const LC_MAIN: u32 = 0x8000_0028;
+        let Some(g) = macho_geometry(b) else {
+            return self.byte_noise(b);
+        };
+        let (at, cmd) = g.commands[self.rng.gen_range(0..g.commands.len())];
+        match cmd {
+            LC_SEGMENT_64 if self.rng.gen_range(0..4u32) != 0 => {
+                if self.rng.gen_range(0..3u32) == 0 {
+                    // nsects / flags words of the segment command.
+                    let at = at + [64usize, 68][self.rng.gen_range(0..2)];
+                    let v = self.boundary32();
+                    write_u32(b, at, v);
+                } else if self.rng.gen_range(0..2u32) == 0 {
+                    // vmaddr, vmsize, fileoff, filesize.
+                    let at = at + [24usize, 32, 40, 48][self.rng.gen_range(0..4)];
+                    let v = self.boundary64();
+                    write_u64(b, at, v);
+                } else {
+                    // A section_64 entry: addr, size (u64) or offset (u32).
+                    let nsects = read_u32(b, at + 64).unwrap_or(0).min(16) as usize;
+                    if nsects == 0 {
+                        return self.byte_noise(b);
+                    }
+                    let entry = at + 72 + self.rng.gen_range(0..nsects) * 80;
+                    if self.rng.gen_range(0..3u32) == 0 {
+                        let v = self.boundary32();
+                        write_u32(b, entry + 48, v); // offset
+                    } else {
+                        let at = entry + [32usize, 40][self.rng.gen_range(0..2)];
+                        let v = self.boundary64();
+                        write_u64(b, at, v);
+                    }
+                }
+            }
+            LC_MAIN => {
+                let v = self.boundary64();
+                write_u64(b, at + 8, v); // entryoff
+            }
+            _ => {
+                // cmd or cmdsize of an arbitrary command.
+                let at = at + [0usize, 4][self.rng.gen_range(0..2)];
+                let v = self.boundary32();
+                write_u32(b, at, v);
+            }
+        }
+    }
+
+    /// Cut the image off at a random point.
+    fn truncate(&mut self, b: &mut Vec<u8>) {
+        if b.is_empty() {
+            return;
+        }
+        let keep = self.rng.gen_range(0..b.len());
+        b.truncate(keep);
+    }
+
+    /// Overwrite a window of `b` with a window of `donor`.
+    fn splice(&mut self, b: &mut [u8], donor: &[u8]) {
+        if b.is_empty() || donor.is_empty() {
+            return;
+        }
+        let len = self.rng.gen_range(1..=donor.len().min(b.len()).min(512));
+        let from = self.rng.gen_range(0..=donor.len() - len);
+        let to = self.rng.gen_range(0..=b.len() - len);
+        b[to..to + len].copy_from_slice(&donor[from..from + len]);
+    }
+
+    /// Flip a handful of random bytes.
+    fn byte_noise(&mut self, b: &mut [u8]) {
+        if b.is_empty() {
+            return;
+        }
+        for _ in 0..self.rng.gen_range(1..16u32) {
+            let at = self.rng.gen_range(0..b.len());
+            b[at] ^= self.rng.gen::<u8>() | 1;
+        }
+    }
+
+    /// Append donor bytes as (or extending) trailing data.
+    fn grow(&mut self, b: &mut Vec<u8>, donor: &[u8]) {
+        if donor.is_empty() {
+            return;
+        }
+        let len = self.rng.gen_range(1..=donor.len().min(256));
+        let from = self.rng.gen_range(0..=donor.len() - len);
+        b.extend_from_slice(&donor[from..from + len]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +424,27 @@ mod tests {
     fn mutator_survives_degenerate_inputs() {
         let mut m = Mutator::new(3);
         for base in [&[][..], &[0x4D][..], &[0u8; 64][..]] {
+            for _ in 0..20 {
+                let _ = m.mutate(base, base);
+            }
+        }
+    }
+
+    #[test]
+    fn macho_mutator_is_deterministic() {
+        let base: Vec<u8> = (0..2048u32).map(|i| (i * 7) as u8).collect();
+        let mut a = MachoMutator::new(9);
+        let mut b = MachoMutator::new(9);
+        for _ in 0..50 {
+            assert_eq!(a.mutate(&base, &base), b.mutate(&base, &base));
+        }
+    }
+
+    #[test]
+    fn macho_mutator_survives_degenerate_inputs() {
+        let mut m = MachoMutator::new(3);
+        let magic_only = 0xFEED_FACFu32.to_le_bytes();
+        for base in [&[][..], &magic_only[..], &[0u8; 48][..]] {
             for _ in 0..20 {
                 let _ = m.mutate(base, base);
             }

@@ -1,5 +1,6 @@
-//! Seed images the mutator starts from: structurally valid PEs so the
-//! fuzz budget is spent just past the validation boundary.
+//! Seed images the mutators start from: structurally valid PEs and
+//! Mach-Os so the fuzz budget is spent just past the validation
+//! boundary.
 
 use mpass_corpus::{CorpusConfig, Dataset};
 use mpass_pe::{PeBuilder, SectionFlags};
@@ -41,6 +42,41 @@ pub fn seed_images(seed: u64) -> Vec<Vec<u8>> {
     seeds
 }
 
+/// A minimal hand-built Mach-O: a short code stream ending in `Halt`, a
+/// data section and one linked dylib.
+fn minimal_macho() -> Vec<u8> {
+    let code = encode(&[
+        Instr::Movi(mpass_vm::Reg::R0, 7),
+        Instr::Addi(mpass_vm::Reg::R0, 35),
+        Instr::Jmp(8),
+        Instr::Halt, // skipped by the jump
+        Instr::Halt,
+    ]);
+    let mut b = mpass_macho::MachoBuilder::new();
+    b.add_section("__text", &code, mpass_binary::SectionKind::Code)
+        .add_section("__data", &[0x11; 96], mpass_binary::SectionKind::Data)
+        .add_dylib("/usr/lib/libSystem.B.dylib", 2)
+        .set_entry_section("__text", 0);
+    b.build().expect("minimal mach-o builds").to_bytes()
+}
+
+/// The Mach-O seed pool: one minimal hand-built image plus the Mach-O
+/// half of a mixed synthetic corpus. Deterministic in `seed`.
+pub fn macho_seed_images(seed: u64) -> Vec<Vec<u8>> {
+    let mut seeds = vec![minimal_macho()];
+    let ds = Dataset::generate_mixed(
+        &CorpusConfig {
+            n_malware: 3,
+            n_benign: 3,
+            seed,
+            no_slack_fraction: 0.5,
+        },
+        1.0,
+    );
+    seeds.extend(ds.samples.into_iter().map(|s| s.bytes));
+    seeds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -49,6 +85,13 @@ mod tests {
     fn every_seed_satisfies_the_harness() {
         for (i, s) in seed_images(1).iter().enumerate() {
             assert_eq!(crate::harness::check_bytes(s), Ok(()), "seed {i}");
+        }
+    }
+
+    #[test]
+    fn every_macho_seed_satisfies_the_harness() {
+        for (i, s) in macho_seed_images(1).iter().enumerate() {
+            assert_eq!(crate::harness::check_macho_bytes(s), Ok(()), "macho seed {i}");
         }
     }
 }

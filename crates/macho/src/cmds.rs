@@ -1,0 +1,401 @@
+//! Load-command structures and their byte-level (de)serialization.
+
+use crate::MachoError;
+use serde::{Deserialize, Serialize};
+
+/// Size of `mach_header_64`.
+pub const MACH_HEADER_SIZE: usize = 32;
+/// Fixed part of an `LC_SEGMENT_64` command.
+pub const SEGMENT_CMD_SIZE: usize = 72;
+/// Size of one `section_64` entry.
+pub const SECTION_ENTRY_SIZE: usize = 80;
+/// Size of an `LC_MAIN` command.
+pub const MAIN_CMD_SIZE: usize = 24;
+/// Fixed part of an `LC_LOAD_DYLIB` command (through the version fields).
+pub const DYLIB_CMD_FIXED: usize = 24;
+
+/// `LC_SEGMENT_64`.
+pub const LC_SEGMENT_64: u32 = 0x19;
+/// `LC_UNIXTHREAD` (register-state entry point).
+pub const LC_UNIXTHREAD: u32 = 0x5;
+/// `LC_MAIN` (file-offset entry point; requires dyld in real systems).
+pub const LC_MAIN: u32 = 0x8000_0028;
+/// `LC_LOAD_DYLIB`.
+pub const LC_LOAD_DYLIB: u32 = 0xC;
+
+/// `MH_EXECUTE` filetype.
+pub const MH_EXECUTE: u32 = 0x2;
+/// x86-64 CPU type.
+pub const CPU_TYPE_X86_64: u32 = 0x0100_0007;
+/// Generic x86-64 CPU subtype.
+pub const CPU_SUBTYPE_X86_64_ALL: u32 = 0x3;
+
+/// `x86_THREAD_STATE64` flavor for `LC_UNIXTHREAD`.
+pub const X86_THREAD_STATE64: u32 = 4;
+/// Number of 32-bit words in an x86-64 thread state (21 registers).
+pub const X86_THREAD_STATE64_COUNT: u32 = 42;
+/// Index of `rip` among the 64-bit registers of the thread state.
+pub const RIP_REGISTER_INDEX: usize = 16;
+
+/// `S_ZEROFILL` section type (occupies address space, no file bytes).
+pub const S_ZEROFILL: u32 = 0x1;
+/// Section-type mask (low byte of the flags word).
+pub const SECTION_TYPE_MASK: u32 = 0xFF;
+/// `S_ATTR_PURE_INSTRUCTIONS`.
+pub const S_ATTR_PURE_INSTRUCTIONS: u32 = 0x8000_0000;
+/// `S_ATTR_SOME_INSTRUCTIONS`.
+pub const S_ATTR_SOME_INSTRUCTIONS: u32 = 0x0000_0400;
+
+/// `VM_PROT_READ`.
+pub const VM_PROT_READ: u32 = 0x1;
+/// `VM_PROT_WRITE`.
+pub const VM_PROT_WRITE: u32 = 0x2;
+/// `VM_PROT_EXECUTE`.
+pub const VM_PROT_EXECUTE: u32 = 0x4;
+
+// ---- byte helpers (panic-free) ----
+
+pub(crate) fn read_u32(buf: &[u8], at: usize, context: &'static str) -> Result<u32, MachoError> {
+    match buf.get(at..at + 4) {
+        Some(b) => Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]])),
+        None => Err(MachoError::Truncated {
+            context,
+            needed: at.saturating_add(4),
+            available: buf.len(),
+        }),
+    }
+}
+
+pub(crate) fn read_u64(buf: &[u8], at: usize, context: &'static str) -> Result<u64, MachoError> {
+    match buf.get(at..at + 8) {
+        Some(b) => {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(b);
+            Ok(u64::from_le_bytes(a))
+        }
+        None => Err(MachoError::Truncated {
+            context,
+            needed: at.saturating_add(8),
+            available: buf.len(),
+        }),
+    }
+}
+
+pub(crate) fn read_name16(
+    buf: &[u8],
+    at: usize,
+    context: &'static str,
+) -> Result<[u8; 16], MachoError> {
+    match buf.get(at..at + 16) {
+        Some(b) => {
+            let mut a = [0u8; 16];
+            a.copy_from_slice(b);
+            Ok(a)
+        }
+        None => Err(MachoError::Truncated {
+            context,
+            needed: at.saturating_add(16),
+            available: buf.len(),
+        }),
+    }
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Decode a 16-byte NUL-padded name for display. Invalid UTF-8 bytes are
+/// replaced, matching how analysis tools render hostile names.
+pub fn name16_str(name: &[u8; 16]) -> String {
+    let end = name.iter().position(|&b| b == 0).unwrap_or(16);
+    String::from_utf8_lossy(&name[..end]).into_owned()
+}
+
+/// Encode a string into a 16-byte NUL-padded name field.
+///
+/// # Errors
+///
+/// Returns [`MachoError::NameTooLong`] when `name` exceeds sixteen bytes.
+pub fn encode_name16(name: &str) -> Result<[u8; 16], MachoError> {
+    let bytes = name.as_bytes();
+    if bytes.len() > 16 {
+        return Err(MachoError::NameTooLong(name.to_owned()));
+    }
+    let mut out = [0u8; 16];
+    out[..bytes.len()].copy_from_slice(bytes);
+    Ok(out)
+}
+
+/// `mach_header_64` minus the fields derived at serialization time
+/// (`magic` is fixed, `ncmds`/`sizeofcmds` are computed from the command
+/// list so edits can never desynchronize them).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachHeader {
+    /// CPU type (`CPU_TYPE_X86_64` for built images).
+    pub cputype: u32,
+    /// CPU subtype.
+    pub cpusubtype: u32,
+    /// File type (`MH_EXECUTE` for built images).
+    pub filetype: u32,
+    /// Header flags (semantics-free for this substrate).
+    pub flags: u32,
+    /// Reserved word (semantics-free; randomizable).
+    pub reserved: u32,
+}
+
+/// One `section_64` entry together with its owned raw data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachoSection {
+    /// Raw 16-byte section name, NUL padded (`__text`, ...).
+    pub sectname: [u8; 16],
+    /// Raw 16-byte owning-segment name (`__TEXT`, ...).
+    pub segname: [u8; 16],
+    /// Virtual address the section maps at.
+    pub addr: u64,
+    /// Mapped size. Equals `data.len()` for file-backed sections; for
+    /// zerofill sections it is the address-space footprint and `data` is
+    /// empty.
+    pub size: u64,
+    /// File offset of the raw data (0 for zerofill sections).
+    pub offset: u32,
+    /// Alignment exponent.
+    pub align: u32,
+    /// Relocation table offset (carried verbatim).
+    pub reloff: u32,
+    /// Relocation count (carried verbatim).
+    pub nreloc: u32,
+    /// Section type and attribute flags.
+    pub flags: u32,
+    /// Reserved words (carried verbatim).
+    pub reserved: [u32; 3],
+    /// Owned raw bytes (empty for zerofill sections).
+    pub data: Vec<u8>,
+}
+
+impl MachoSection {
+    /// Display name with trailing NULs stripped.
+    pub fn name(&self) -> String {
+        name16_str(&self.sectname)
+    }
+
+    /// True when this section occupies address space without file bytes.
+    pub fn is_zerofill(&self) -> bool {
+        self.flags & SECTION_TYPE_MASK == S_ZEROFILL
+    }
+
+    /// True when the section carries instruction attributes.
+    pub fn has_instructions(&self) -> bool {
+        self.flags & (S_ATTR_PURE_INSTRUCTIONS | S_ATTR_SOME_INSTRUCTIONS) != 0
+    }
+
+    /// Whether `va` falls inside this section's mapped extent.
+    pub fn contains_va(&self, va: u64) -> bool {
+        va >= self.addr && va < self.addr.saturating_add(self.size.max(1))
+    }
+}
+
+/// An `LC_SEGMENT_64` load command and its sections.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment64 {
+    /// Raw 16-byte segment name.
+    pub segname: [u8; 16],
+    /// Virtual address of the segment.
+    pub vmaddr: u64,
+    /// Mapped size of the segment.
+    pub vmsize: u64,
+    /// File offset of the segment's bytes.
+    pub fileoff: u64,
+    /// File size of the segment's bytes.
+    pub filesize: u64,
+    /// Maximum protection.
+    pub maxprot: u32,
+    /// Initial protection.
+    pub initprot: u32,
+    /// Segment flags.
+    pub flags: u32,
+    /// The segment's sections.
+    pub sections: Vec<MachoSection>,
+}
+
+impl Segment64 {
+    /// Display name with trailing NULs stripped.
+    pub fn name(&self) -> String {
+        name16_str(&self.segname)
+    }
+
+    /// Serialized command size: fixed part plus one entry per section.
+    pub fn cmdsize(&self) -> u32 {
+        (SEGMENT_CMD_SIZE + self.sections.len() * SECTION_ENTRY_SIZE) as u32
+    }
+
+    /// Whether the segment is writable when mapped.
+    pub fn is_writable(&self) -> bool {
+        self.initprot & VM_PROT_WRITE != 0
+    }
+
+    /// Whether the segment is executable when mapped.
+    pub fn is_executable(&self) -> bool {
+        self.initprot & VM_PROT_EXECUTE != 0
+    }
+}
+
+/// One load command.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadCommand {
+    /// `LC_SEGMENT_64`: a mapped segment with its sections.
+    Segment(Segment64),
+    /// `LC_MAIN`: entry expressed as a file offset.
+    Main {
+        /// File offset of the first instruction.
+        entryoff: u64,
+        /// Initial stack size (0 keeps the platform default).
+        stacksize: u64,
+    },
+    /// `LC_UNIXTHREAD`: entry expressed as initial register state.
+    UnixThread {
+        /// Thread-state flavor (`X86_THREAD_STATE64` for built images).
+        flavor: u32,
+        /// Raw state words (`count * 4` bytes, carried verbatim except for
+        /// the instruction-pointer slot).
+        state: Vec<u8>,
+    },
+    /// `LC_LOAD_DYLIB`: a linked library (the Mach-O import surface).
+    LoadDylib {
+        /// Library install name bytes, carried verbatim (no NUL). Raw
+        /// bytes rather than `String`: a hostile name need not be UTF-8,
+        /// and lossy decoding would change its length and break the
+        /// round-trip contract.
+        name: Vec<u8>,
+        /// Declared command size (preserves the original name padding).
+        cmdsize: u32,
+        /// Link timestamp (semantics-free; randomizable).
+        timestamp: u32,
+        /// Current version, encoded as `xxxx.yy.zz`.
+        current_version: u32,
+        /// Compatibility version.
+        compat_version: u32,
+    },
+    /// Any other command, carried verbatim for round-trip fidelity.
+    Other {
+        /// The `cmd` identifier.
+        cmd: u32,
+        /// Payload bytes after the 8-byte command prefix.
+        payload: Vec<u8>,
+    },
+}
+
+impl LoadCommand {
+    /// The `cmd` identifier this command serializes with.
+    pub fn cmd(&self) -> u32 {
+        match self {
+            LoadCommand::Segment(_) => LC_SEGMENT_64,
+            LoadCommand::Main { .. } => LC_MAIN,
+            LoadCommand::UnixThread { .. } => LC_UNIXTHREAD,
+            LoadCommand::LoadDylib { .. } => LC_LOAD_DYLIB,
+            LoadCommand::Other { cmd, .. } => *cmd,
+        }
+    }
+
+    /// The `cmdsize` this command serializes with.
+    pub fn cmdsize(&self) -> u32 {
+        match self {
+            LoadCommand::Segment(seg) => seg.cmdsize(),
+            LoadCommand::Main { .. } => MAIN_CMD_SIZE as u32,
+            LoadCommand::UnixThread { state, .. } => (16 + state.len()) as u32,
+            LoadCommand::LoadDylib { cmdsize, .. } => *cmdsize,
+            LoadCommand::Other { payload, .. } => (8 + payload.len()) as u32,
+        }
+    }
+
+    /// Serialize the command.
+    pub(crate) fn write(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.cmd());
+        put_u32(out, self.cmdsize());
+        match self {
+            LoadCommand::Segment(seg) => {
+                out.extend_from_slice(&seg.segname);
+                put_u64(out, seg.vmaddr);
+                put_u64(out, seg.vmsize);
+                put_u64(out, seg.fileoff);
+                put_u64(out, seg.filesize);
+                put_u32(out, seg.maxprot);
+                put_u32(out, seg.initprot);
+                put_u32(out, seg.sections.len() as u32);
+                put_u32(out, seg.flags);
+                for s in &seg.sections {
+                    out.extend_from_slice(&s.sectname);
+                    out.extend_from_slice(&s.segname);
+                    put_u64(out, s.addr);
+                    put_u64(out, s.size);
+                    put_u32(out, s.offset);
+                    put_u32(out, s.align);
+                    put_u32(out, s.reloff);
+                    put_u32(out, s.nreloc);
+                    put_u32(out, s.flags);
+                    put_u32(out, s.reserved[0]);
+                    put_u32(out, s.reserved[1]);
+                    put_u32(out, s.reserved[2]);
+                }
+            }
+            LoadCommand::Main { entryoff, stacksize } => {
+                put_u64(out, *entryoff);
+                put_u64(out, *stacksize);
+            }
+            LoadCommand::UnixThread { flavor, state } => {
+                put_u32(out, *flavor);
+                put_u32(out, (state.len() / 4) as u32);
+                out.extend_from_slice(state);
+            }
+            LoadCommand::LoadDylib { name, cmdsize, timestamp, current_version, compat_version } => {
+                put_u32(out, DYLIB_CMD_FIXED as u32); // name offset
+                put_u32(out, *timestamp);
+                put_u32(out, *current_version);
+                put_u32(out, *compat_version);
+                let mut name_field = name.clone();
+                name_field.push(0);
+                let pad_to = (*cmdsize as usize).saturating_sub(DYLIB_CMD_FIXED);
+                name_field.resize(pad_to, 0);
+                out.extend_from_slice(&name_field);
+            }
+            LoadCommand::Other { payload, .. } => {
+                out.extend_from_slice(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name16_round_trip() {
+        let n = encode_name16("__text").unwrap();
+        assert_eq!(name16_str(&n), "__text");
+        assert!(encode_name16("exactly-16-chars").is_ok());
+        assert!(matches!(encode_name16("seventeen-chars-x"), Err(MachoError::NameTooLong(_))));
+    }
+
+    #[test]
+    fn cmdsize_accounting() {
+        let seg = Segment64 {
+            segname: encode_name16("__TEXT").unwrap(),
+            vmaddr: 0x1000,
+            vmsize: 0x1000,
+            fileoff: 0,
+            filesize: 0x1000,
+            maxprot: 7,
+            initprot: VM_PROT_READ | VM_PROT_EXECUTE,
+            flags: 0,
+            sections: vec![],
+        };
+        assert_eq!(seg.cmdsize(), 72);
+        assert_eq!(LoadCommand::Main { entryoff: 0, stacksize: 0 }.cmdsize(), 24);
+        let th = LoadCommand::UnixThread { flavor: X86_THREAD_STATE64, state: vec![0; 168] };
+        assert_eq!(th.cmdsize(), 184);
+    }
+}

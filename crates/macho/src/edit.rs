@@ -1,0 +1,290 @@
+//! Mutation surface: section addition, entry retargeting, virtual writes,
+//! overlay control and free-header randomization.
+
+use crate::cmds::{
+    encode_name16, LoadCommand, MachoSection, Segment64, MACH_HEADER_SIZE, RIP_REGISTER_INDEX,
+    SECTION_ENTRY_SIZE, SEGMENT_CMD_SIZE, S_ATTR_PURE_INSTRUCTIONS, S_ATTR_SOME_INSTRUCTIONS,
+    S_ZEROFILL, VM_PROT_EXECUTE, VM_PROT_READ, VM_PROT_WRITE,
+};
+use crate::{MachoError, MachoFile};
+use mpass_binfmt::SectionKind;
+use rand::RngCore;
+
+/// Page size new segments are aligned to.
+const PAGE: u64 = 0x1000;
+/// File alignment for newly placed section data.
+const FILE_ALIGN: usize = 16;
+/// Serialized cost of one added segment + section pair.
+const ADDED_CMD_SIZE: usize = SEGMENT_CMD_SIZE + SECTION_ENTRY_SIZE;
+
+fn align_up_u64(v: u64, align: u64) -> u64 {
+    v.div_ceil(align) * align
+}
+
+fn align_up(v: usize, align: usize) -> usize {
+    v.div_ceil(align) * align
+}
+
+impl MachoFile {
+    /// File offset of the first file-backed section's data — the hard wall
+    /// the load-command region cannot grow past.
+    fn first_data_offset(&self) -> Option<usize> {
+        self.sections()
+            .filter(|s| !s.is_zerofill() && s.offset != 0)
+            .map(|s| s.offset as usize)
+            .min()
+    }
+
+    /// Whether `n` more single-section segments fit in the load-command
+    /// region without displacing existing section data.
+    pub fn can_add_sections(&self, n: usize) -> bool {
+        let needed = MACH_HEADER_SIZE + self.sizeofcmds() as usize + n * ADDED_CMD_SIZE;
+        match self.first_data_offset() {
+            Some(first) => needed <= first,
+            None => true,
+        }
+    }
+
+    /// The virtual address the next added section would receive: one page
+    /// past the highest mapped extent, never below the first page.
+    pub fn next_free_va(&self) -> u64 {
+        let end = self
+            .segments()
+            .map(|seg| seg.vmaddr.saturating_add(seg.vmsize))
+            .chain(self.sections().map(|s| s.addr.saturating_add(s.size)))
+            .max()
+            .unwrap_or(PAGE);
+        align_up_u64(end.max(PAGE), PAGE)
+    }
+
+    /// Append a new single-section segment carrying `data`, classified as
+    /// `kind`; returns the virtual address the section maps at.
+    ///
+    /// # Errors
+    ///
+    /// [`MachoError::DuplicateSection`] when a section named `name` exists,
+    /// [`MachoError::NameTooLong`] past 16 bytes, and
+    /// [`MachoError::NoHeaderSpace`] when the grown load-command region
+    /// would collide with the first section's file data.
+    pub fn add_section(
+        &mut self,
+        name: &str,
+        data: Vec<u8>,
+        kind: SectionKind,
+    ) -> Result<u64, MachoError> {
+        if self.sections().any(|s| s.name() == name) {
+            return Err(MachoError::DuplicateSection(name.to_owned()));
+        }
+        let sectname = encode_name16(name)?;
+        if !self.can_add_sections(1) {
+            return Err(MachoError::NoHeaderSpace);
+        }
+
+        let (segname, initprot, maxprot, flags) = match kind {
+            SectionKind::Code => (
+                "__TEXT",
+                VM_PROT_READ | VM_PROT_EXECUTE,
+                VM_PROT_READ | VM_PROT_WRITE | VM_PROT_EXECUTE,
+                S_ATTR_PURE_INSTRUCTIONS | S_ATTR_SOME_INSTRUCTIONS,
+            ),
+            SectionKind::Bss => ("__DATA", VM_PROT_READ | VM_PROT_WRITE, VM_PROT_READ | VM_PROT_WRITE, S_ZEROFILL),
+            SectionKind::ReadOnlyData
+            | SectionKind::Resource
+            | SectionKind::Import
+            | SectionKind::Relocation => ("__DATA_CONST", VM_PROT_READ, VM_PROT_READ, 0),
+            _ => ("__DATA", VM_PROT_READ | VM_PROT_WRITE, VM_PROT_READ | VM_PROT_WRITE, 0),
+        };
+
+        let vmaddr = self.next_free_va();
+        let size = data.len() as u64;
+        let zerofill = flags & S_ZEROFILL != 0;
+        // The new command grows the header region, which can push data_end
+        // forward when the file has no section data yet; account for it
+        // before placing the new bytes.
+        let grown_cmds_end = MACH_HEADER_SIZE + self.sizeofcmds() as usize + ADDED_CMD_SIZE;
+        let fileoff = align_up(self.data_end().max(grown_cmds_end), FILE_ALIGN);
+
+        let section = MachoSection {
+            sectname,
+            segname: encode_name16(segname)?,
+            addr: vmaddr,
+            size,
+            offset: if zerofill {
+                0
+            } else {
+                u32::try_from(fileoff).map_err(|_| MachoError::Malformed(
+                    "section data placement exceeds the 4 GiB file-offset space".to_owned(),
+                ))?
+            },
+            align: 4,
+            reloff: 0,
+            nreloc: 0,
+            flags,
+            reserved: [0; 3],
+            data: if zerofill { Vec::new() } else { data },
+        };
+        self.commands.push(LoadCommand::Segment(Segment64 {
+            segname: encode_name16(segname)?,
+            vmaddr,
+            vmsize: align_up_u64(size.max(1), PAGE),
+            fileoff: if zerofill { 0 } else { fileoff as u64 },
+            filesize: if zerofill { 0 } else { size },
+            maxprot,
+            initprot,
+            flags: 0,
+            sections: vec![section],
+        }));
+        Ok(vmaddr)
+    }
+
+    /// Retarget the entry point to `va`.
+    ///
+    /// An existing `LC_MAIN` gets its `entryoff` rewritten through the
+    /// section that maps `va`; an `LC_UNIXTHREAD` gets its instruction
+    /// pointer overwritten in place. Images with neither gain an
+    /// `LC_UNIXTHREAD` (it needs no file-offset backing).
+    ///
+    /// # Errors
+    ///
+    /// [`MachoError::UnmappedAddress`] when `va` maps into no section, or
+    /// into a file-backed section for the `LC_MAIN` case.
+    pub fn set_entry_point(&mut self, va: u64) -> Result<(), MachoError> {
+        if self.section_index_containing_va(va).is_none() {
+            return Err(MachoError::UnmappedAddress(va));
+        }
+        let file_off = self.va_to_file_offset(va);
+        for cmd in &mut self.commands {
+            match cmd {
+                LoadCommand::Main { entryoff, .. } => {
+                    *entryoff = file_off.ok_or(MachoError::UnmappedAddress(va))? as u64;
+                    return Ok(());
+                }
+                LoadCommand::UnixThread { state, .. } => {
+                    let at = RIP_REGISTER_INDEX * 8;
+                    match state.get_mut(at..at + 8) {
+                        Some(slot) => {
+                            slot.copy_from_slice(&va.to_le_bytes());
+                            return Ok(());
+                        }
+                        None => {
+                            return Err(MachoError::InvalidHeader {
+                                field: "thread state",
+                                reason: "too short to hold an instruction pointer".to_owned(),
+                            })
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !self.can_add_sections(0) {
+            // The thread command needs 184 bytes of header room, strictly
+            // less than a segment; reuse the section bound as a proxy.
+            return Err(MachoError::NoHeaderSpace);
+        }
+        let mut state = vec![0u8; 21 * 8];
+        if let Some(slot) = state.get_mut(RIP_REGISTER_INDEX * 8..RIP_REGISTER_INDEX * 8 + 8) {
+            slot.copy_from_slice(&va.to_le_bytes());
+        }
+        self.commands
+            .push(LoadCommand::UnixThread { flavor: crate::cmds::X86_THREAD_STATE64, state });
+        Ok(())
+    }
+
+    /// Write `bytes` into mapped sections starting at `va`.
+    ///
+    /// # Errors
+    ///
+    /// [`MachoError::UnmappedAddress`] when any byte of the span falls
+    /// outside file-backed section data (zerofill pages are not writable
+    /// storage).
+    pub fn write_virtual(&mut self, va: u64, bytes: &[u8]) -> Result<(), MachoError> {
+        let mut written = 0usize;
+        while written < bytes.len() {
+            let at = va + written as u64;
+            let Some(idx) = self
+                .sections()
+                .position(|s| !s.is_zerofill() && s.contains_va(at) && ((at - s.addr) as usize) < s.data.len())
+            else {
+                return Err(MachoError::UnmappedAddress(at));
+            };
+            // Two lookups because sections() borrows immutably.
+            let Some(sect) = self.section_at_mut(idx) else {
+                return Err(MachoError::UnmappedAddress(at));
+            };
+            let off = (at - sect.addr) as usize;
+            let n = (sect.data.len() - off).min(bytes.len() - written);
+            sect.data[off..off + n].copy_from_slice(&bytes[written..written + n]);
+            written += n;
+        }
+        Ok(())
+    }
+
+    /// Map the image as the loader would: a flat buffer covering every
+    /// mapped extent, sections copied to their `vmaddr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MachoError::Malformed`] when the mapped footprint exceeds
+    /// `max_bytes` — hostile `vmaddr` values cannot force a giant
+    /// allocation.
+    pub fn map_image_bounded(&self, max_bytes: usize) -> Result<Vec<u8>, MachoError> {
+        let end = self
+            .sections()
+            .map(|s| s.addr.saturating_add(s.size))
+            .max()
+            .unwrap_or(0);
+        let size = usize::try_from(end).unwrap_or(usize::MAX);
+        if size > max_bytes {
+            return Err(MachoError::Malformed(format!(
+                "mapped image of {size:#x} bytes exceeds the mapping ceiling {max_bytes:#x}"
+            )));
+        }
+        let mut image = vec![0u8; size];
+        for s in self.sections() {
+            let start = usize::try_from(s.addr).unwrap_or(usize::MAX);
+            if start >= size {
+                continue;
+            }
+            let n = s.data.len().min(size - start);
+            image[start..start + n].copy_from_slice(&s.data[..n]);
+        }
+        Ok(image)
+    }
+
+    /// Randomize header fields no loader reads: the reserved header word
+    /// and each dylib's link timestamp and current-version stamp. Draw
+    /// order (reserved, then per-dylib timestamp/version in command order)
+    /// is a stability contract for seeded attacks.
+    pub fn randomize_free_headers(&mut self, rng: &mut dyn RngCore) {
+        self.header.reserved = rng.next_u32();
+        for cmd in &mut self.commands {
+            if let LoadCommand::LoadDylib { timestamp, current_version, .. } = cmd {
+                *timestamp = rng.next_u32();
+                *current_version = rng.next_u32();
+            }
+        }
+    }
+
+    /// The first dylib's link timestamp, the closest Mach-O analogue of the
+    /// PE `TimeDateStamp`. 0 when no dylibs are linked.
+    pub fn timestamp(&self) -> u32 {
+        self.commands
+            .iter()
+            .find_map(|c| match c {
+                LoadCommand::LoadDylib { timestamp, .. } => Some(*timestamp),
+                _ => None,
+            })
+            .unwrap_or(0)
+    }
+
+    /// Append bytes to the overlay.
+    pub fn append_overlay(&mut self, bytes: &[u8]) {
+        self.overlay.extend_from_slice(bytes);
+    }
+
+    /// Truncate the overlay to `len` bytes.
+    pub fn truncate_overlay(&mut self, len: usize) {
+        self.overlay.truncate(len);
+    }
+}

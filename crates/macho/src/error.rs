@@ -1,0 +1,164 @@
+//! Typed Mach-O errors, mirroring `PeError`'s panic-free discipline.
+
+use mpass_binfmt::BinaryError;
+use std::error::Error;
+use std::fmt;
+
+/// What went wrong while parsing or editing a Mach-O image.
+///
+/// Every failure mode of the backend is enumerated here; nothing in the
+/// crate panics on hostile input. The shape deliberately mirrors
+/// `PeError` so the two backends read the same, with two Mach-O-specific
+/// additions: fat/universal wrappers and non-64-bit variants are detected
+/// and reported as such rather than lumped into a bad-magic catch-all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MachoError {
+    /// The buffer is shorter than a structure requires.
+    Truncated {
+        /// What was being read when the buffer ran out.
+        context: &'static str,
+        /// Bytes the structure needs.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A magic number is wrong.
+    BadMagic {
+        /// Which magic failed.
+        context: &'static str,
+        /// The value found.
+        found: u32,
+    },
+    /// The file is a fat/universal wrapper around per-architecture images.
+    FatBinary {
+        /// Number of architecture slices the fat header declares.
+        arch_count: u32,
+    },
+    /// The file is a recognized Mach-O variant this backend does not
+    /// support (32-bit or byte-swapped images).
+    Unsupported {
+        /// Which variant was found.
+        detail: &'static str,
+    },
+    /// A header field holds a value the implementation cannot honor.
+    InvalidHeader {
+        /// Field name.
+        field: &'static str,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A section with this name already exists.
+    DuplicateSection(String),
+    /// No section with this name exists.
+    MissingSection(String),
+    /// A name exceeds the 16-byte Mach-O name field.
+    NameTooLong(String),
+    /// The load-command region has no room before the first section's data.
+    NoHeaderSpace,
+    /// A virtual address maps into no section.
+    UnmappedAddress(u64),
+    /// Catch-all structural violation.
+    Malformed(String),
+}
+
+impl fmt::Display for MachoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachoError::Truncated { context, needed, available } => write!(
+                f,
+                "truncated {context}: need {needed} bytes, have {available}"
+            ),
+            MachoError::BadMagic { context, found } => {
+                write!(f, "bad {context} magic: {found:#x}")
+            }
+            MachoError::FatBinary { arch_count } => {
+                write!(f, "fat/universal binary with {arch_count} architecture slices")
+            }
+            MachoError::Unsupported { detail } => write!(f, "unsupported mach-o variant: {detail}"),
+            MachoError::InvalidHeader { field, reason } => {
+                write!(f, "invalid {field}: {reason}")
+            }
+            MachoError::DuplicateSection(name) => write!(f, "section {name:?} already exists"),
+            MachoError::MissingSection(name) => write!(f, "no section named {name:?}"),
+            MachoError::NameTooLong(name) => {
+                write!(f, "name {name:?} exceeds the 16-byte mach-o field")
+            }
+            MachoError::NoHeaderSpace => {
+                write!(f, "no load-command room left before the first section's data")
+            }
+            MachoError::UnmappedAddress(va) => {
+                write!(f, "virtual address {va:#x} maps into no section")
+            }
+            MachoError::Malformed(reason) => write!(f, "malformed image: {reason}"),
+        }
+    }
+}
+
+impl Error for MachoError {}
+
+impl From<MachoError> for BinaryError {
+    fn from(e: MachoError) -> Self {
+        match e {
+            MachoError::Truncated { context, needed, available } => {
+                BinaryError::Truncated { context, needed, available }
+            }
+            MachoError::BadMagic { context, found } => BinaryError::BadMagic { context, found },
+            MachoError::FatBinary { arch_count } => BinaryError::UnsupportedVariant {
+                context: "mach-o container",
+                detail: format!("fat/universal wrapper ({arch_count} slices)"),
+            },
+            MachoError::Unsupported { detail } => BinaryError::UnsupportedVariant {
+                context: "mach-o container",
+                detail: detail.to_owned(),
+            },
+            MachoError::InvalidHeader { field, reason } => {
+                BinaryError::InvalidHeader { field, reason }
+            }
+            MachoError::DuplicateSection(n) => BinaryError::DuplicateSection(n),
+            MachoError::MissingSection(n) => BinaryError::MissingSection(n),
+            MachoError::NameTooLong(n) => BinaryError::NameTooLong(n),
+            MachoError::NoHeaderSpace => BinaryError::NoHeaderSpace,
+            MachoError::UnmappedAddress(va) => BinaryError::UnmappedAddress(va),
+            other => BinaryError::Malformed(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase() {
+        let cases = [
+            MachoError::Truncated { context: "mach header", needed: 32, available: 4 },
+            MachoError::BadMagic { context: "mach header", found: 0x1234 },
+            MachoError::FatBinary { arch_count: 2 },
+            MachoError::Unsupported { detail: "32-bit image" },
+            MachoError::InvalidHeader { field: "sizeofcmds", reason: "escapes file".into() },
+            MachoError::DuplicateSection("__text".into()),
+            MachoError::MissingSection("__data".into()),
+            MachoError::NameTooLong("seventeen-bytes-x".into()),
+            MachoError::NoHeaderSpace,
+            MachoError::UnmappedAddress(0x99),
+            MachoError::Malformed("why".into()),
+        ];
+        for c in cases {
+            let msg = c.to_string();
+            assert!(msg.chars().next().is_some_and(|c| c.is_lowercase()), "{msg}");
+        }
+    }
+
+    #[test]
+    fn fat_conversion_stays_typed() {
+        let b: BinaryError = MachoError::FatBinary { arch_count: 3 }.into();
+        assert!(matches!(b, BinaryError::UnsupportedVariant { .. }), "{b:?}");
+    }
+
+    #[test]
+    fn is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MachoError>();
+    }
+}

@@ -1,0 +1,444 @@
+//! Panic-free Mach-O parsing with loader-tolerant and strict modes.
+
+use crate::cmds::{
+    read_name16, read_u32, read_u64, LoadCommand, MachHeader, MachoSection, Segment64,
+    DYLIB_CMD_FIXED, LC_LOAD_DYLIB, LC_MAIN, LC_SEGMENT_64, LC_UNIXTHREAD, MACH_HEADER_SIZE,
+    MAIN_CMD_SIZE, SECTION_ENTRY_SIZE, SEGMENT_CMD_SIZE,
+};
+use crate::{MachoError, MachoFile};
+use mpass_binfmt::{ParseMode, FAT_MAGIC, MH_CIGAM_64, MH_MAGIC_32, MH_MAGIC_64};
+
+/// Byte-swapped fat magic (little-endian view of a big-endian header).
+const FAT_CIGAM: u32 = 0xBEBA_FECA;
+/// Byte-swapped 32-bit magic.
+const MH_CIGAM_32: u32 = 0xCEFA_EDFE;
+
+/// Upper bound on declared load commands; a 4-billion-command header is a
+/// decompression bomb, not a program.
+const MAX_NCMDS: u32 = 4096;
+
+impl MachoFile {
+    /// Parse a 64-bit little-endian Mach-O image in loader-tolerant mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`MachoError`] on any structural violation; never
+    /// panics on hostile input.
+    pub fn parse(bytes: &[u8]) -> Result<Self, MachoError> {
+        Self::parse_with(bytes, ParseMode::LoaderTolerant)
+    }
+
+    /// Parse with every cross-structure consistency check enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`MachoError`] on any structural violation.
+    pub fn parse_strict(bytes: &[u8]) -> Result<Self, MachoError> {
+        Self::parse_with(bytes, ParseMode::Strict)
+    }
+
+    /// Parse under an explicit [`ParseMode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`MachoError`] on any structural violation.
+    pub fn parse_with(bytes: &[u8], mode: ParseMode) -> Result<Self, MachoError> {
+        let magic = read_u32(bytes, 0, "mach header")?;
+        match magic {
+            MH_MAGIC_64 => {}
+            FAT_MAGIC | FAT_CIGAM => {
+                // Fat arch counts are big-endian on disk.
+                let raw = read_u32(bytes, 4, "fat header")?;
+                let arch_count = if magic == FAT_MAGIC { raw.swap_bytes() } else { raw };
+                return Err(MachoError::FatBinary { arch_count });
+            }
+            MH_MAGIC_32 | MH_CIGAM_32 => {
+                return Err(MachoError::Unsupported { detail: "32-bit mach-o image" })
+            }
+            MH_CIGAM_64 => {
+                return Err(MachoError::Unsupported { detail: "byte-swapped (big-endian) mach-o image" })
+            }
+            other => return Err(MachoError::BadMagic { context: "mach header", found: other }),
+        }
+
+        if bytes.len() < MACH_HEADER_SIZE {
+            return Err(MachoError::Truncated {
+                context: "mach header",
+                needed: MACH_HEADER_SIZE,
+                available: bytes.len(),
+            });
+        }
+        let header = MachHeader {
+            cputype: read_u32(bytes, 4, "mach header")?,
+            cpusubtype: read_u32(bytes, 8, "mach header")?,
+            filetype: read_u32(bytes, 12, "mach header")?,
+            flags: read_u32(bytes, 24, "mach header")?,
+            reserved: read_u32(bytes, 28, "mach header")?,
+        };
+        let ncmds = read_u32(bytes, 16, "mach header")?;
+        let sizeofcmds = read_u32(bytes, 20, "mach header")? as usize;
+
+        if ncmds > MAX_NCMDS {
+            return Err(MachoError::InvalidHeader {
+                field: "ncmds",
+                reason: format!("{ncmds} exceeds the {MAX_NCMDS}-command sanity bound"),
+            });
+        }
+        let cmds_end = MACH_HEADER_SIZE
+            .checked_add(sizeofcmds)
+            .ok_or(MachoError::InvalidHeader {
+                field: "sizeofcmds",
+                reason: "overflows the address space".to_owned(),
+            })?;
+        if cmds_end > bytes.len() {
+            return Err(MachoError::Truncated {
+                context: "load commands",
+                needed: cmds_end,
+                available: bytes.len(),
+            });
+        }
+
+        let mut commands = Vec::with_capacity(ncmds as usize);
+        let mut cursor = MACH_HEADER_SIZE;
+        for _ in 0..ncmds {
+            let (cmd, next) = parse_command(bytes, cursor, cmds_end)?;
+            commands.push(cmd);
+            cursor = next;
+        }
+        if cursor != cmds_end {
+            return Err(MachoError::InvalidHeader {
+                field: "sizeofcmds",
+                reason: format!(
+                    "declares {sizeofcmds} bytes but commands occupy {}",
+                    cursor - MACH_HEADER_SIZE
+                ),
+            });
+        }
+
+        // Attach section data and find where mapped file content ends so the
+        // tail can be preserved as overlay.
+        let mut data_end = cmds_end;
+        for cmd in &mut commands {
+            if let LoadCommand::Segment(seg) = cmd {
+                for sect in &mut seg.sections {
+                    if sect.is_zerofill() || sect.offset == 0 {
+                        continue;
+                    }
+                    let start = sect.offset as usize;
+                    let size = usize::try_from(sect.size).map_err(|_| MachoError::InvalidHeader {
+                        field: "section size",
+                        reason: format!("{:#x} does not fit in memory", sect.size),
+                    })?;
+                    let end = start.checked_add(size).ok_or(MachoError::InvalidHeader {
+                        field: "section offset",
+                        reason: "offset + size overflows".to_owned(),
+                    })?;
+                    let slice = bytes.get(start..end).ok_or(MachoError::Truncated {
+                        context: "section data",
+                        needed: end,
+                        available: bytes.len(),
+                    })?;
+                    sect.data = slice.to_vec();
+                    data_end = data_end.max(end);
+                }
+            }
+        }
+
+        let overlay = bytes.get(data_end..).unwrap_or(&[]).to_vec();
+        let file = MachoFile { header, commands, overlay };
+
+        if mode == ParseMode::Strict {
+            validate_strict(&file, bytes.len())?;
+        }
+        Ok(file)
+    }
+}
+
+/// Parse one load command starting at `at`; returns the command and the
+/// offset of the next one.
+fn parse_command(
+    bytes: &[u8],
+    at: usize,
+    cmds_end: usize,
+) -> Result<(LoadCommand, usize), MachoError> {
+    let cmd = read_u32(bytes, at, "load command")?;
+    let cmdsize = read_u32(bytes, at + 4, "load command")? as usize;
+    if cmdsize < 8 || !cmdsize.is_multiple_of(4) {
+        return Err(MachoError::InvalidHeader {
+            field: "cmdsize",
+            reason: format!("{cmdsize} is below the 8-byte minimum or unaligned"),
+        });
+    }
+    let end = at.checked_add(cmdsize).ok_or(MachoError::InvalidHeader {
+        field: "cmdsize",
+        reason: "overflows the address space".to_owned(),
+    })?;
+    if end > cmds_end {
+        return Err(MachoError::Truncated { context: "load command", needed: end, available: cmds_end });
+    }
+
+    let parsed = match cmd {
+        LC_SEGMENT_64 => parse_segment(bytes, at, cmdsize)?,
+        LC_MAIN => {
+            if cmdsize != MAIN_CMD_SIZE {
+                return Err(MachoError::InvalidHeader {
+                    field: "LC_MAIN cmdsize",
+                    reason: format!("{cmdsize} != {MAIN_CMD_SIZE}"),
+                });
+            }
+            LoadCommand::Main {
+                entryoff: read_u64(bytes, at + 8, "LC_MAIN")?,
+                stacksize: read_u64(bytes, at + 16, "LC_MAIN")?,
+            }
+        }
+        LC_UNIXTHREAD => {
+            let flavor = read_u32(bytes, at + 8, "LC_UNIXTHREAD")?;
+            let count = read_u32(bytes, at + 12, "LC_UNIXTHREAD")? as usize;
+            let state_len = count.checked_mul(4).ok_or(MachoError::InvalidHeader {
+                field: "thread state count",
+                reason: "overflows".to_owned(),
+            })?;
+            if 16 + state_len != cmdsize {
+                return Err(MachoError::InvalidHeader {
+                    field: "LC_UNIXTHREAD cmdsize",
+                    reason: format!("{cmdsize} does not match state count {count}"),
+                });
+            }
+            let state = bytes
+                .get(at + 16..at + 16 + state_len)
+                .ok_or(MachoError::Truncated {
+                    context: "thread state",
+                    needed: at + 16 + state_len,
+                    available: bytes.len(),
+                })?
+                .to_vec();
+            LoadCommand::UnixThread { flavor, state }
+        }
+        LC_LOAD_DYLIB => {
+            let name_offset = read_u32(bytes, at + 8, "LC_LOAD_DYLIB")? as usize;
+            if name_offset != DYLIB_CMD_FIXED {
+                return Err(MachoError::InvalidHeader {
+                    field: "dylib name offset",
+                    reason: format!("{name_offset} != {DYLIB_CMD_FIXED}"),
+                });
+            }
+            let timestamp = read_u32(bytes, at + 12, "LC_LOAD_DYLIB")?;
+            let current_version = read_u32(bytes, at + 16, "LC_LOAD_DYLIB")?;
+            let compat_version = read_u32(bytes, at + 20, "LC_LOAD_DYLIB")?;
+            let name_field = bytes.get(at + DYLIB_CMD_FIXED..end).ok_or(MachoError::Truncated {
+                context: "dylib name",
+                needed: end,
+                available: bytes.len(),
+            })?;
+            let name_end = name_field.iter().position(|&b| b == 0).unwrap_or(name_field.len());
+            let name = name_field[..name_end].to_vec();
+            LoadCommand::LoadDylib {
+                name,
+                cmdsize: cmdsize as u32,
+                timestamp,
+                current_version,
+                compat_version,
+            }
+        }
+        other => LoadCommand::Other {
+            cmd: other,
+            payload: bytes
+                .get(at + 8..end)
+                .ok_or(MachoError::Truncated { context: "load command", needed: end, available: bytes.len() })?
+                .to_vec(),
+        },
+    };
+    Ok((parsed, end))
+}
+
+fn parse_segment(bytes: &[u8], at: usize, cmdsize: usize) -> Result<LoadCommand, MachoError> {
+    let nsects = read_u32(bytes, at + 64, "segment command")? as usize;
+    let expected = SEGMENT_CMD_SIZE
+        .checked_add(nsects.checked_mul(SECTION_ENTRY_SIZE).ok_or(MachoError::InvalidHeader {
+            field: "nsects",
+            reason: "overflows".to_owned(),
+        })?)
+        .ok_or(MachoError::InvalidHeader { field: "nsects", reason: "overflows".to_owned() })?;
+    if cmdsize != expected {
+        return Err(MachoError::InvalidHeader {
+            field: "segment cmdsize",
+            reason: format!("{cmdsize} does not match {nsects} sections (expected {expected})"),
+        });
+    }
+    let mut sections = Vec::with_capacity(nsects);
+    for i in 0..nsects {
+        let s = at + SEGMENT_CMD_SIZE + i * SECTION_ENTRY_SIZE;
+        sections.push(MachoSection {
+            sectname: read_name16(bytes, s, "section entry")?,
+            segname: read_name16(bytes, s + 16, "section entry")?,
+            addr: read_u64(bytes, s + 32, "section entry")?,
+            size: read_u64(bytes, s + 40, "section entry")?,
+            offset: read_u32(bytes, s + 48, "section entry")?,
+            align: read_u32(bytes, s + 52, "section entry")?,
+            reloff: read_u32(bytes, s + 56, "section entry")?,
+            nreloc: read_u32(bytes, s + 60, "section entry")?,
+            flags: read_u32(bytes, s + 64, "section entry")?,
+            reserved: [
+                read_u32(bytes, s + 68, "section entry")?,
+                read_u32(bytes, s + 72, "section entry")?,
+                read_u32(bytes, s + 76, "section entry")?,
+            ],
+            data: Vec::new(),
+        });
+    }
+    Ok(LoadCommand::Segment(Segment64 {
+        segname: read_name16(bytes, at + 8, "segment command")?,
+        vmaddr: read_u64(bytes, at + 24, "segment command")?,
+        vmsize: read_u64(bytes, at + 32, "segment command")?,
+        fileoff: read_u64(bytes, at + 40, "segment command")?,
+        filesize: read_u64(bytes, at + 48, "segment command")?,
+        maxprot: read_u32(bytes, at + 56, "segment command")?,
+        initprot: read_u32(bytes, at + 60, "segment command")?,
+        flags: read_u32(bytes, at + 68, "segment command")?,
+        sections,
+    }))
+}
+
+/// Strict-mode cross-structure checks: loaders shrug these off, but a
+/// well-formed toolchain output never violates them.
+fn validate_strict(file: &MachoFile, file_len: usize) -> Result<(), MachoError> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut mapped: Vec<(u64, u64, String)> = Vec::new();
+    for seg in file.segments() {
+        for sect in &seg.sections {
+            let name = format!("{},{}", seg.name(), sect.name());
+            if !seen.insert(name.clone()) {
+                return Err(MachoError::DuplicateSection(name));
+            }
+            if !sect.is_zerofill() {
+                let end = u64::from(sect.offset).saturating_add(sect.size);
+                if end > file_len as u64 {
+                    return Err(MachoError::Truncated {
+                        context: "section data",
+                        needed: end as usize,
+                        available: file_len,
+                    });
+                }
+                // Containment in the owning segment's file extent.
+                let seg_end = seg.fileoff.saturating_add(seg.filesize);
+                if u64::from(sect.offset) < seg.fileoff || end > seg_end {
+                    return Err(MachoError::InvalidHeader {
+                        field: "section offset",
+                        reason: format!("section {name} escapes its segment's file extent"),
+                    });
+                }
+                let va_end = sect.addr.saturating_add(sect.size);
+                let seg_va_end = seg.vmaddr.saturating_add(seg.vmsize);
+                if sect.addr < seg.vmaddr || va_end > seg_va_end {
+                    return Err(MachoError::InvalidHeader {
+                        field: "section addr",
+                        reason: format!("section {name} escapes its segment's vm extent"),
+                    });
+                }
+            }
+            if sect.size > 0 {
+                mapped.push((sect.addr, sect.addr.saturating_add(sect.size), name));
+            }
+        }
+        if seg.vmsize < seg.filesize {
+            return Err(MachoError::InvalidHeader {
+                field: "vmsize",
+                reason: format!("segment {} maps fewer bytes than its file extent", seg.name()),
+            });
+        }
+    }
+    mapped.sort();
+    for pair in mapped.windows(2) {
+        if pair[1].0 < pair[0].1 {
+            return Err(MachoError::InvalidHeader {
+                field: "section addr",
+                reason: format!("sections {} and {} overlap in memory", pair[0].2, pair[1].2),
+            });
+        }
+    }
+    if let Some(entryoff) = file.commands.iter().find_map(|c| match c {
+        LoadCommand::Main { entryoff, .. } => Some(*entryoff),
+        _ => None,
+    }) {
+        if file.section_containing_fileoff(entryoff).is_none() {
+            return Err(MachoError::InvalidHeader {
+                field: "entryoff",
+                reason: format!("{entryoff:#x} maps into no section"),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachoBuilder;
+    use mpass_binfmt::SectionKind;
+
+    #[test]
+    fn fat_and_variant_magics_are_typed() {
+        // Big-endian fat header with 3 slices.
+        let mut fat = FAT_MAGIC.to_le_bytes().to_vec();
+        fat.extend_from_slice(&3u32.to_be_bytes());
+        fat.resize(32, 0);
+        assert_eq!(MachoFile::parse(&fat), Err(MachoError::FatBinary { arch_count: 3 }));
+
+        let mut thirty_two = MH_MAGIC_32.to_le_bytes().to_vec();
+        thirty_two.resize(28, 0);
+        assert!(matches!(MachoFile::parse(&thirty_two), Err(MachoError::Unsupported { .. })));
+
+        let mut swapped = MH_CIGAM_64.to_le_bytes().to_vec();
+        swapped.resize(32, 0);
+        assert!(matches!(MachoFile::parse(&swapped), Err(MachoError::Unsupported { .. })));
+
+        assert!(matches!(
+            MachoFile::parse(b"MZ\x90\x00"),
+            Err(MachoError::BadMagic { .. }) | Err(MachoError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let mut b = MachoBuilder::new();
+        b.add_section("__text", &[0x90; 64], SectionKind::Code).set_entry_section("__text", 0);
+        let bytes = b.build().unwrap().to_bytes();
+        for cut in 0..bytes.len() {
+            let _ = MachoFile::parse(&bytes[..cut]);
+            let _ = MachoFile::parse_strict(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn strict_rejects_overlapping_sections() {
+        let mut b = MachoBuilder::new();
+        b.add_section("__text", &[0x90; 64], SectionKind::Code)
+            .add_section("__data", &[1; 64], SectionKind::Data)
+            .set_entry_section("__text", 0);
+        let mut m = b.build().unwrap();
+        // Drag the second section's address on top of the first.
+        if let Some(s) = m.section_at_mut(1) {
+            s.addr = 0x1000;
+        }
+        if let Some(crate::LoadCommand::Segment(seg)) = m.commands.get_mut(1) {
+            seg.vmaddr = 0x1000;
+        }
+        let bytes = m.to_bytes();
+        assert!(MachoFile::parse(&bytes).is_ok(), "loader-tolerant accepts overlap");
+        assert!(matches!(
+            MachoFile::parse_strict(&bytes),
+            Err(MachoError::InvalidHeader { field: "section addr", .. })
+        ));
+    }
+
+    #[test]
+    fn overlay_survives_round_trip() {
+        let mut b = MachoBuilder::new();
+        b.add_section("__text", &[0x90; 64], SectionKind::Code).set_entry_section("__text", 0);
+        let mut m = b.build().unwrap();
+        m.append_overlay(b"trailing bytes the loader ignores");
+        let re = MachoFile::parse(&m.to_bytes()).unwrap();
+        assert_eq!(re, m);
+        assert_eq!(re.overlay, b"trailing bytes the loader ignores");
+    }
+}

@@ -1,0 +1,67 @@
+//! Round-trip-faithful serialization.
+//!
+//! Layout model: `[header][load commands][section data at stored offsets,
+//! zero-filled gaps][overlay]`. Because every section records its own file
+//! offset and the parser re-reads data from those offsets, an image
+//! serialized from a parsed struct reproduces the original bytes for any
+//! input that parses — including overlapping or out-of-order section data.
+
+use crate::cmds::{put_u32, MACH_HEADER_SIZE};
+use crate::MachoFile;
+use mpass_binfmt::MH_MAGIC_64;
+
+impl MachoFile {
+    /// Total size of the load-command region as it will serialize.
+    pub fn sizeofcmds(&self) -> u32 {
+        self.commands.iter().map(|c| c.cmdsize()).sum()
+    }
+
+    /// File offset where mapped content ends and the overlay begins.
+    pub fn data_end(&self) -> usize {
+        let mut end = MACH_HEADER_SIZE + self.sizeofcmds() as usize;
+        for seg in self.segments() {
+            for sect in &seg.sections {
+                if sect.is_zerofill() || sect.offset == 0 {
+                    continue;
+                }
+                end = end.max(sect.offset as usize + sect.data.len());
+            }
+        }
+        end
+    }
+
+    /// Serialize the image. `ncmds` and `sizeofcmds` are derived from the
+    /// command list, so edits can never desynchronize them.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let data_end = self.data_end();
+        let mut out = Vec::with_capacity(data_end + self.overlay.len());
+
+        put_u32(&mut out, MH_MAGIC_64);
+        put_u32(&mut out, self.header.cputype);
+        put_u32(&mut out, self.header.cpusubtype);
+        put_u32(&mut out, self.header.filetype);
+        put_u32(&mut out, self.commands.len() as u32);
+        put_u32(&mut out, self.sizeofcmds());
+        put_u32(&mut out, self.header.flags);
+        put_u32(&mut out, self.header.reserved);
+        for cmd in &self.commands {
+            cmd.write(&mut out);
+        }
+
+        out.resize(data_end, 0);
+        for seg in self.segments() {
+            for sect in &seg.sections {
+                if sect.is_zerofill() || sect.offset == 0 {
+                    continue;
+                }
+                let start = sect.offset as usize;
+                let end = start + sect.data.len();
+                if end <= out.len() {
+                    out[start..end].copy_from_slice(&sect.data);
+                }
+            }
+        }
+        out.extend_from_slice(&self.overlay);
+        out
+    }
+}

@@ -53,6 +53,7 @@
 // surface as typed errors, never as panics (tests assert freely).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+mod binfmt_impl;
 mod builder;
 mod edit;
 mod entropy;
@@ -72,7 +73,9 @@ pub use headers::{
     DOS_MAGIC, OPTIONAL_HEADER_SIZE, PE32_MAGIC, PE_SIGNATURE,
 };
 pub use parse::ParseMode;
-pub use section::{Section, SectionFlags, SectionHeader, SectionKind, SECTION_HEADER_SIZE};
+pub use section::{
+    classify_section, Section, SectionFlags, SectionHeader, SectionKind, SECTION_HEADER_SIZE,
+};
 
 use serde::{Deserialize, Serialize};
 

@@ -5,27 +5,11 @@ use crate::headers::{CoffHeader, DosHeader, OptionalHeader, PE_SIGNATURE};
 use crate::section::{Section, SectionHeader, SECTION_HEADER_SIZE};
 use crate::PeFile;
 
-/// How much structural validation parsing applies beyond what the loader
-/// itself needs.
-///
-/// The detectors and the attack must agree on what "still loads": the
-/// default [`ParseMode::LoaderTolerant`] accepts everything the Windows
-/// loader would map (hostile images routinely carry overlapping or
-/// zero-size sections), while [`ParseMode::Strict`] additionally rejects
-/// structural anomalies so that build/edit pipelines fail fast on corrupt
-/// intermediates instead of propagating them.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
-pub enum ParseMode {
-    /// Enforce only what mapping requires: magics, alignment sanity and
-    /// in-bounds raw extents for sections that carry data.
-    #[default]
-    LoaderTolerant,
-    /// Additionally reject: a section table that escapes the declared
-    /// header region, zero-size sections pointing past the file, raw or
-    /// virtual extents that overflow 32 bits, overlapping raw data, and a
-    /// `size_of_image` that does not cover every section.
-    Strict,
-}
+// How much structural validation parsing applies beyond what the loader
+// itself needs. The mode vocabulary is shared across container backends
+// (the Mach-O substrate honors the same two levels), so the enum lives in
+// the format-neutral layer; re-exported here for existing paths.
+pub use mpass_binfmt::ParseMode;
 
 impl PeFile {
     /// Parse a PE image from its on-disk bytes.
@@ -132,7 +116,13 @@ impl PeFile {
                     })?
                     .to_vec()
             };
-            raw_end = raw_end.max(start + len);
+            // Zero-size sections store no bytes and are skipped by
+            // `to_bytes`, so their (possibly hostile) raw pointer must not
+            // drag the overlay anchor: the anchor has to land exactly where
+            // serialization will end, or the overlay drifts on round trip.
+            if len > 0 {
+                raw_end = raw_end.max(start + len);
+            }
             sections.push(Section::new(header, data));
         }
         // The overlay starts where the declared data region ends; if the

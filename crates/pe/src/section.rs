@@ -53,78 +53,39 @@ impl fmt::LowerHex for SectionFlags {
     }
 }
 
-/// Semantic classification of a section, as used by PEM when treating each
-/// section as one explainable attribute of the malware.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-pub enum SectionKind {
-    /// Executable code (`.text` and friends).
-    Code,
-    /// Writable initialized data (`.data`).
-    Data,
-    /// Read-only data (`.rdata`).
-    ReadOnlyData,
-    /// Resources (`.rsrc`).
-    Resource,
-    /// Relocations (`.reloc`).
-    Relocation,
-    /// Import-related (`.idata`).
-    Import,
-    /// Uninitialized data (`.bss`).
-    Bss,
-    /// Thread-local storage (`.tls`).
-    Tls,
-    /// Anything else (packer stubs, attacker-created sections, ...).
-    Other,
-}
+// The semantic section-kind vocabulary now lives in the format-neutral
+// layer (PEM and the feature extractor reason over it for every container
+// format); re-exported here so existing `mpass_pe::SectionKind` paths keep
+// working.
+pub use mpass_binfmt::SectionKind;
+use mpass_binfmt::SectionTraits;
 
-impl SectionKind {
-    /// Classify by conventional name first, falling back to characteristics.
-    pub fn classify(name: &str, flags: SectionFlags) -> SectionKind {
-        match name {
-            ".text" | ".code" | "CODE" => SectionKind::Code,
-            ".data" | "DATA" => SectionKind::Data,
-            ".rdata" => SectionKind::ReadOnlyData,
-            ".rsrc" => SectionKind::Resource,
-            ".reloc" => SectionKind::Relocation,
-            ".idata" => SectionKind::Import,
-            ".bss" => SectionKind::Bss,
-            ".tls" => SectionKind::Tls,
-            _ => {
-                if flags.is_code() || flags.is_executable() {
-                    SectionKind::Code
-                } else if flags.0 & 0x0000_0080 != 0 {
-                    SectionKind::Bss
-                } else if flags.is_initialized_data() && flags.is_writable() {
-                    SectionKind::Data
-                } else if flags.is_initialized_data() {
-                    SectionKind::ReadOnlyData
-                } else {
-                    SectionKind::Other
-                }
-            }
+impl SectionFlags {
+    /// The format-neutral permission traits these characteristics encode,
+    /// used as the classification fallback for unconventional names.
+    pub fn traits(self) -> SectionTraits {
+        SectionTraits {
+            code: self.is_code() || self.is_executable(),
+            uninitialized: self.0 & 0x0000_0080 != 0,
+            initialized_data: self.is_initialized_data(),
+            writable: self.is_writable(),
         }
     }
-
-    /// True for the two kinds the paper identifies as most critical.
-    pub fn is_critical_in_paper(self) -> bool {
-        matches!(self, SectionKind::Code | SectionKind::Data)
-    }
 }
 
-impl fmt::Display for SectionKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            SectionKind::Code => "code",
-            SectionKind::Data => "data",
-            SectionKind::ReadOnlyData => "rdata",
-            SectionKind::Resource => "resource",
-            SectionKind::Relocation => "reloc",
-            SectionKind::Import => "import",
-            SectionKind::Bss => "bss",
-            SectionKind::Tls => "tls",
-            SectionKind::Other => "other",
-        };
-        f.write_str(s)
+/// Classify a PE section by conventional name first, falling back to its
+/// characteristics (previously `SectionKind::classify`).
+pub fn classify_section(name: &str, flags: SectionFlags) -> SectionKind {
+    match name {
+        ".text" | ".code" | "CODE" => SectionKind::Code,
+        ".data" | "DATA" => SectionKind::Data,
+        ".rdata" => SectionKind::ReadOnlyData,
+        ".rsrc" => SectionKind::Resource,
+        ".reloc" => SectionKind::Relocation,
+        ".idata" => SectionKind::Import,
+        ".bss" => SectionKind::Bss,
+        ".tls" => SectionKind::Tls,
+        _ => SectionKind::from_traits(flags.traits()),
     }
 }
 
@@ -251,7 +212,7 @@ impl Section {
 
     /// The semantic [`SectionKind`].
     pub fn kind(&self) -> SectionKind {
-        SectionKind::classify(&self.name(), self.header.characteristics)
+        classify_section(&self.name(), self.header.characteristics)
     }
 
     /// Whether `rva` falls inside this section's virtual extent.
@@ -285,17 +246,17 @@ mod tests {
 
     #[test]
     fn kind_by_name_beats_flags() {
-        assert_eq!(SectionKind::classify(".text", SectionFlags::DATA), SectionKind::Code);
-        assert_eq!(SectionKind::classify(".data", SectionFlags::CODE), SectionKind::Data);
+        assert_eq!(classify_section(".text", SectionFlags::DATA), SectionKind::Code);
+        assert_eq!(classify_section(".data", SectionFlags::CODE), SectionKind::Data);
     }
 
     #[test]
     fn kind_by_flags_for_unknown_names() {
-        assert_eq!(SectionKind::classify("UPX1", SectionFlags::CODE), SectionKind::Code);
-        assert_eq!(SectionKind::classify(".xyz", SectionFlags::DATA), SectionKind::Data);
-        assert_eq!(SectionKind::classify(".xyz", SectionFlags::RDATA), SectionKind::ReadOnlyData);
-        assert_eq!(SectionKind::classify(".xyz", SectionFlags::BSS), SectionKind::Bss);
-        assert_eq!(SectionKind::classify(".xyz", SectionFlags(0)), SectionKind::Other);
+        assert_eq!(classify_section("UPX1", SectionFlags::CODE), SectionKind::Code);
+        assert_eq!(classify_section(".xyz", SectionFlags::DATA), SectionKind::Data);
+        assert_eq!(classify_section(".xyz", SectionFlags::RDATA), SectionKind::ReadOnlyData);
+        assert_eq!(classify_section(".xyz", SectionFlags::BSS), SectionKind::Bss);
+        assert_eq!(classify_section(".xyz", SectionFlags(0)), SectionKind::Other);
     }
 
     #[test]

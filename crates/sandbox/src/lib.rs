@@ -3,9 +3,10 @@
 //! The paper verifies functionality preservation by running original
 //! malware and its adversarial examples in a Cuckoo sandbox and comparing
 //! their runtime behaviours (API call sequences, §IV-A). This crate is
-//! that check over the MVM substrate: [`Sandbox::run`] executes a PE image
-//! and returns its API trace; [`Sandbox::verify_functionality`] compares an
-//! original against a modified sample and explains any divergence.
+//! that check over the MVM substrate: [`Sandbox::run`] auto-detects the
+//! container format (PE or Mach-O), executes the image and returns its API
+//! trace; [`Sandbox::verify_functionality`] compares an original against a
+//! modified sample and explains any divergence.
 //!
 //! ```
 //! use mpass_sandbox::{FunctionalityVerdict, Sandbox};
@@ -23,6 +24,7 @@
 //! );
 //! ```
 
+use mpass_binary::{BinaryFormat, BinaryImage};
 use mpass_pe::PeFile;
 use mpass_vm::{Execution, Vm, VmLimits};
 use serde::{Deserialize, Serialize};
@@ -33,7 +35,8 @@ use std::fmt;
 pub enum FunctionalityVerdict {
     /// The modified sample runs to completion with an identical API trace.
     Preserved,
-    /// The modified sample no longer parses as a PE.
+    /// The modified sample no longer parses in any supported container
+    /// format.
     BrokenParse,
     /// The modified sample crashed, hung or was otherwise terminated
     /// abnormally.
@@ -103,10 +106,22 @@ impl Sandbox {
         Vm::load_with(pe, self.limits).run()
     }
 
-    /// Parse and execute raw bytes. `None` when the bytes are not a PE.
+    /// Execute any parsed [`BinaryFormat`] image — the format-neutral twin
+    /// of [`Sandbox::run_pe`].
+    pub fn run_image(&self, image: &dyn BinaryFormat) -> Execution {
+        Vm::load_binary(image, self.limits).run()
+    }
+
+    /// Parse and execute raw bytes, auto-detecting the container format.
+    /// `None` when the bytes parse in no supported format.
     pub fn run(&self, bytes: &[u8]) -> Option<Execution> {
-        let pe = PeFile::parse(bytes).ok()?;
-        Some(self.run_pe(&pe))
+        match BinaryImage::parse_auto(bytes) {
+            // The PE path stays on the inherent loader so its behaviour is
+            // bit-for-bit what the PE-only sandbox produced.
+            Ok(BinaryImage::Pe(pe)) => Some(self.run_pe(&pe)),
+            Ok(image) => Some(self.run_image(&image)),
+            Err(_) => None,
+        }
     }
 
     /// Compare a modified sample's behaviour against the original's.
@@ -171,7 +186,7 @@ mod tests {
         let ds = dataset();
         let sb = Sandbox::new();
         let s = &ds.samples[0];
-        let mut pe = s.pe.clone();
+        let mut pe = s.pe().unwrap().clone();
         pe.set_timestamp(0xDEAD_BEEF);
         pe.append_overlay(&[1, 2, 3, 4]);
         assert!(sb.verify_functionality(&s.bytes, &pe.to_bytes()).is_preserved());
@@ -182,7 +197,7 @@ mod tests {
         let ds = dataset();
         let sb = Sandbox::new();
         let s = &ds.samples[0];
-        let mut pe = s.pe.clone();
+        let mut pe = s.pe().unwrap().clone();
         // Trash the first instructions.
         let sec = pe.sections_mut().iter_mut().find(|s| s.header().characteristics.is_code()).unwrap();
         for b in sec.data_mut().iter_mut().take(64) {
@@ -200,7 +215,7 @@ mod tests {
         // samples load some API args from .data).
         let mut caught = 0;
         for s in ds.malware() {
-            let mut pe = s.pe.clone();
+            let mut pe = s.pe().unwrap().clone();
             let sec = pe.section_mut(".data").unwrap();
             for b in sec.data_mut().iter_mut().take(128) {
                 *b = b.wrapping_add(0x5A);
@@ -228,7 +243,7 @@ mod tests {
     fn hang_is_broken_execution() {
         let ds = dataset();
         let s = &ds.samples[0];
-        let mut pe = s.pe.clone();
+        let mut pe = s.pe().unwrap().clone();
         // Overwrite entry with a tight infinite loop: jmp -8.
         let entry = pe.entry_point();
         let jmp = mpass_vm::Instr::Jmp(-8).encode();

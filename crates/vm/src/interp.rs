@@ -203,6 +203,27 @@ impl Vm {
         }
     }
 
+    /// Map any [`BinaryFormat`] image under explicit resource `limits`:
+    /// the format-neutral twin of [`Vm::load_with`]. The flat address
+    /// space works the same for every container — sections at their
+    /// virtual addresses, zero fill elsewhere — so Mach-O images execute
+    /// through the identical interpreter path as PEs.
+    pub fn load_binary(image: &dyn mpass_binfmt::BinaryFormat, limits: VmLimits) -> Vm {
+        let (memory, oversized) = match image.map_image_bounded(limits.memory_limit) {
+            Ok(m) => (m, false),
+            Err(_) => (Vec::new(), true),
+        };
+        Vm {
+            memory,
+            regs: [0; 8],
+            pc: u32::try_from(image.entry_point()).unwrap_or(u32::MAX),
+            data_stack: Vec::new(),
+            call_stack: Vec::new(),
+            limits,
+            oversized,
+        }
+    }
+
     /// Construct from a raw flat memory image and entry address (used by
     /// unit tests and fuzzing). The caller already owns the allocation, so
     /// no memory ceiling applies.

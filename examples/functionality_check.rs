@@ -51,11 +51,13 @@ fn main() {
 
         // Show that the original code bytes are gone from the file yet
         // recovered at runtime.
-        let pe = modified.reparse().expect("structure intact");
-        let entry_section = pe
-            .section_containing_rva(pe.entry_point())
+        use mpass::binary::BinaryFormat;
+        let image = modified.reparse().expect("structure intact");
+        let entry_section = image
+            .section_index_containing_va(image.entry_point())
+            .and_then(|i| image.section_meta(i))
             .expect("entry mapped")
-            .name();
+            .name;
         println!("entry point now in section {entry_section:?} (the recovery stub)\n");
     }
     println!("all modified samples preserved their behaviour");

@@ -173,6 +173,14 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+/// Boxes serialize as their contents — the indirection is a memory
+/// layout detail, not part of the data model.
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
 impl<T: Serialize> Serialize for [T] {
     fn to_value(&self) -> Value {
         Value::Seq(self.iter().map(Serialize::to_value).collect())
@@ -343,6 +351,12 @@ impl Deserialize for String {
             Value::Str(s) => Ok(s.clone()),
             other => Err(Error::msg(format!("expected string, found {other:?}"))),
         }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
     }
 }
 

@@ -4,7 +4,10 @@
 //! This façade crate re-exports the whole workspace so that examples,
 //! integration tests and downstream users can depend on a single crate:
 //!
+//! * [`binary`] — the format-agnostic [`binary::BinaryFormat`] layer and
+//!   the [`binary::BinaryImage`] auto-detecting container,
 //! * [`pe`] — the Portable Executable substrate,
+//! * [`macho`] — the Mach-O substrate,
 //! * [`vm`] — the MVM execution substrate (sandboxed "CPU"),
 //! * [`ml`] — tensors, backprop layers and gradient-boosted trees,
 //! * [`corpus`] — the synthetic benign/malware sample generator,
@@ -24,11 +27,13 @@
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
 
 pub use mpass_baselines as baselines;
+pub use mpass_binary as binary;
 pub use mpass_core as core;
 pub use mpass_corpus as corpus;
 pub use mpass_detectors as detectors;
 pub use mpass_engine as engine;
 pub use mpass_experiments as experiments;
+pub use mpass_macho as macho;
 pub use mpass_ml as ml;
 pub use mpass_pe as pe;
 pub use mpass_sandbox as sandbox;

@@ -21,7 +21,7 @@ fn fixed_patterns_are_learned_shuffled_recovery_is_not() {
         .iter()
         .take(8)
         .map(|s| {
-            let mut pe = s.pe.clone();
+            let mut pe = s.pe().unwrap().clone();
             pe.append_overlay(&stub);
             pe.to_bytes()
         })
@@ -90,7 +90,7 @@ fn benign_false_positive_rate_survives_updates() {
         .iter()
         .take(6)
         .map(|s| {
-            let mut pe = s.pe.clone();
+            let mut pe = s.pe().unwrap().clone();
             pe.append_overlay(b"SUBMITTED-JUNK-PATTERN-SUBMITTED-JUNK");
             pe.to_bytes()
         })

@@ -1,13 +1,15 @@
-//! Regression replay of the checked-in malformed-PE corpus.
+//! Regression replay of the checked-in malformed-binary corpus.
 //!
 //! Every fixture under `tests/fixtures/malformed/` is a hostile input
 //! that maps to a distinct historical failure mode of the ingestion
 //! layer (regenerate with `cargo run -p mpass-fuzz --bin gen_fixtures`).
-//! Each must keep satisfying the full fuzz harness: parsing never
+//! PE fixtures are plain `*.bin`, Mach-O fixtures `macho_*.bin`; each
+//! must keep satisfying its format's full fuzz harness: parsing never
 //! panics, accepted images round-trip, and execution terminates
 //! gracefully under resource limits.
 
-use mpass_fuzz::harness::check_bytes;
+use mpass_fuzz::harness::{check_auto_bytes, check_bytes, check_macho_bytes};
+use mpass_macho::MachoFile;
 use mpass_pe::PeFile;
 use mpass_sandbox::Sandbox;
 
@@ -29,9 +31,28 @@ fn corpus() -> Vec<(String, Vec<u8>)> {
 #[test]
 fn every_fixture_satisfies_the_ingestion_contracts() {
     let corpus = corpus();
-    assert!(corpus.len() >= 8, "expected the checked-in corpus, found {}", corpus.len());
+    let n_macho = corpus.iter().filter(|(n, _)| n.starts_with("macho_")).count();
+    assert!(corpus.len() >= 16, "expected the checked-in corpus, found {}", corpus.len());
+    assert!(n_macho >= 8, "expected the Mach-O half of the corpus, found {n_macho}");
     for (name, bytes) in &corpus {
-        if let Err(why) = check_bytes(bytes) {
+        let result = if name.starts_with("macho_") {
+            check_macho_bytes(bytes)
+        } else {
+            check_bytes(bytes)
+        };
+        if let Err(why) = result {
+            panic!("{name}: {why}");
+        }
+    }
+}
+
+#[test]
+fn format_dispatch_satisfies_the_contracts_on_the_corpus() {
+    // The auto-detect layer must route every fixture to a backend that
+    // honors its contracts (or reject it gracefully), regardless of the
+    // fixture's nominal format.
+    for (name, bytes) in corpus() {
+        if let Err(why) = check_auto_bytes(&bytes) {
             panic!("{name}: {why}");
         }
     }
@@ -45,6 +66,8 @@ fn strict_parsing_never_panics_on_the_corpus() {
         // abort of this test) would fail.
         let _ = std::panic::catch_unwind(|| PeFile::parse_strict(&bytes))
             .unwrap_or_else(|_| panic!("{name}: parse_strict panicked"));
+        let _ = std::panic::catch_unwind(|| MachoFile::parse_strict(&bytes))
+            .unwrap_or_else(|_| panic!("{name}: Mach-O parse_strict panicked"));
     }
 }
 

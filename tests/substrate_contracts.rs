@@ -33,11 +33,11 @@ fn malware_and_benign_differ_behaviourally() {
     let ds = dataset();
     let sandbox = Sandbox::new();
     for s in ds.malware() {
-        let exec = sandbox.run_pe(&s.pe);
+        let exec = sandbox.run_pe(s.pe().unwrap());
         assert!(exec.suspicious_calls().len() >= 3, "{}", s.name);
     }
     for s in ds.benign() {
-        let exec = sandbox.run_pe(&s.pe);
+        let exec = sandbox.run_pe(s.pe().unwrap());
         assert!(exec.suspicious_calls().len() <= 1, "{}", s.name);
     }
 }
@@ -51,7 +51,7 @@ fn all_packers_preserve_functionality_on_all_samples() {
     for profile in profiles {
         let packer = Packer::new(profile);
         for s in &ds.samples {
-            match packer.pack(&s.pe) {
+            match packer.pack(s.pe().unwrap()) {
                 Ok(packed) => {
                     let v = sandbox.verify_functionality(&s.bytes, &packed);
                     assert!(v.is_preserved(), "{} on {}: {v}", profile.name, s.name);
@@ -59,7 +59,7 @@ fn all_packers_preserve_functionality_on_all_samples() {
                 Err(e) => {
                     // Only acceptable failure: a full section table.
                     assert!(
-                        !s.pe.can_add_section(),
+                        !s.pe().unwrap().can_add_section(),
                         "{} failed on {} with slack available: {e}",
                         profile.name,
                         s.name
@@ -75,7 +75,7 @@ fn packed_samples_hide_static_api_opcodes() {
     let ds = dataset();
     let packer = Packer::new(packer_profiles()[0]);
     for s in ds.malware() {
-        if let Ok(packed) = packer.pack(&s.pe) {
+        if let Ok(packed) = packer.pack(s.pe().unwrap()) {
             let before = mpass::detectors::features::suspicious_api_count(&s.bytes);
             let after = mpass::detectors::features::suspicious_api_count(&packed);
             assert!(before >= 3, "{}", s.name);
