@@ -1,5 +1,5 @@
-//! Emit batched-vs-sequential scoring throughput to
-//! `results/BENCH_serve.json`.
+//! Emit batched-vs-sequential scoring throughput and daemon load
+//! measurements to `results/BENCH_serve.json`.
 //!
 //! The batch-first detector API (`Detector::classify_batch`) promises
 //! throughput, not new numerics — scores are bit-identical to a
@@ -13,6 +13,16 @@
 //! lie in the padding region and the batched path replicates them
 //! instead of recomputing them.
 //!
+//! On top of the in-process numbers, two daemon scenarios drive the
+//! `mpass-serve` Unix-socket daemon end to end (real sockets, real
+//! client threads, the trained MalConv behind the batch scheduler):
+//!
+//! * `daemon-sustained` — concurrent clients inside capacity; reports
+//!   throughput and p50/p99 of delivered verdicts,
+//! * `daemon-overload` — more clients than a deliberately tiny queue
+//!   can hold; reports how much was shed (typed refusals, no waiting)
+//!   and that the p99 of *admitted* requests stays bounded.
+//!
 //! Usage:
 //!
 //! * `bench_serve` — measure and write `results/BENCH_serve.json`,
@@ -25,10 +35,12 @@ use mpass_detectors::{
     ByteConvConfig, Detector, LightGbm, MalConv, MalGcg, MalGcgConfig, NonNeg,
 };
 use mpass_ml::GbdtParams;
+use mpass_serve::{ReloadableModel, Response, ServeClient, Server, ServerConfig, TenantPolicy};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Batched-vs-sequential classify cost for one detector.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -45,12 +57,36 @@ struct ServeMeasurement {
     speedup: f64,
 }
 
+/// One end-to-end daemon load scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DaemonMeasurement {
+    /// Scenario tag (`daemon-sustained`, `daemon-overload`).
+    scenario: String,
+    /// Concurrent client connections.
+    clients: usize,
+    /// Requests sent across all clients.
+    requests: u64,
+    /// Requests past admission (all of them, under permissive tenants).
+    admitted: u64,
+    /// Admitted requests shed by the bounded queue or their deadline.
+    shed: u64,
+    /// Admitted requests that returned a verdict.
+    completed: u64,
+    /// Delivered verdicts per second over the daemon's lifetime.
+    throughput_rps: f64,
+    /// Latency percentiles of *completed* requests, milliseconds.
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
 /// The on-disk report consumed by the README throughput table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct ServeReport {
     /// Fixture description (seeds are fixed inside the binary).
     fixture: String,
     measurements: Vec<ServeMeasurement>,
+    /// End-to-end daemon scenarios (`mpass-serve` over Unix sockets).
+    daemon: Vec<DaemonMeasurement>,
 }
 
 const FIXTURE_DESC: &str = "corpus seed 0xBE7C4 (12+12), default detector configs, \
@@ -94,7 +130,7 @@ fn measure_detector(name: &str, det: &dyn Detector, items: &[&[u8]], reps: usize
     }
 }
 
-fn measure(reps: usize) -> Vec<ServeMeasurement> {
+fn measure(reps: usize) -> (Vec<ServeMeasurement>, MalConv, Vec<Vec<u8>>) {
     let (ds, _pool) = bench_fixture();
     let samples: Vec<_> = ds.samples.iter().collect();
     let pairs = training_pairs(&samples);
@@ -115,7 +151,115 @@ fn measure(reps: usize) -> Vec<ServeMeasurement> {
         ("MalGCG", &malgcg),
         ("LightGBM", &lightgbm),
     ];
-    roster.iter().map(|(name, det)| measure_detector(name, *det, &items, reps)).collect()
+    let rows =
+        roster.iter().map(|(name, det)| measure_detector(name, *det, &items, reps)).collect();
+    let payloads: Vec<Vec<u8>> = ds.samples.iter().map(|s| s.bytes.clone()).collect();
+    (rows, malconv, payloads)
+}
+
+/// Run one daemon scenario: boot `mpass-serve` over `model`, hammer it
+/// from `clients` connections sending `per_client` requests each, drain
+/// gracefully, and report the summary.
+fn measure_daemon(
+    scenario: &str,
+    model: &ReloadableModel,
+    payloads: &[Vec<u8>],
+    clients: usize,
+    per_client: u64,
+    config: ServerConfig,
+) -> DaemonMeasurement {
+    let socket = config.socket.clone();
+    let server = Server::new(model, config);
+    let summary = std::thread::scope(|scope| {
+        let server = &server;
+        let daemon = scope.spawn(move || server.run());
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let socket = socket.clone();
+                scope.spawn(move || {
+                    let mut client = ServeClient::connect_retry(&socket, Duration::from_secs(60))
+                        .expect("daemon boots");
+                    for r in 0..per_client {
+                        let payload =
+                            &payloads[(c as u64 * per_client + r) as usize % payloads.len()];
+                        match client.score(r, &format!("bench-{c}"), payload, None) {
+                            // Verdicts and typed refusals both count as
+                            // answered; anything else is a harness bug.
+                            Ok(Response::Score(_) | Response::Error(_)) => {}
+                            Ok(other) => panic!("unexpected response {other:?}"),
+                            Err(e) => panic!("daemon stopped answering: {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("client thread panicked");
+        }
+        let mut control =
+            ServeClient::connect_retry(&socket, Duration::from_secs(60)).expect("control connects");
+        control.shutdown(0).expect("shutdown acknowledged");
+        daemon.join().expect("daemon thread panicked").expect("daemon ran")
+    });
+    DaemonMeasurement {
+        scenario: scenario.to_owned(),
+        clients,
+        requests: clients as u64 * per_client,
+        admitted: summary.admitted,
+        shed: summary.shed,
+        completed: summary.completed,
+        throughput_rps: summary.throughput_rps,
+        p50_ms: summary.p50_ms,
+        p99_ms: summary.p99_ms,
+    }
+}
+
+fn measure_daemons(quick: bool, malconv: MalConv, payloads: Vec<Vec<u8>>) -> Vec<DaemonMeasurement> {
+    let model =
+        ReloadableModel::new(Arc::new(malconv), |_| Err("bench model is static".to_owned()));
+    // Admission limits out of the way: these scenarios probe the queue
+    // and the scheduler, not the tenant policy.
+    let tenant = TenantPolicy {
+        rate_per_sec: 1_000_000.0,
+        burst: 100_000,
+        budget: None,
+        breaker_threshold: 0,
+        ..TenantPolicy::default()
+    };
+    let pid = std::process::id();
+    let sustained = measure_daemon(
+        "daemon-sustained",
+        &model,
+        &payloads,
+        4,
+        if quick { 15 } else { 100 },
+        ServerConfig {
+            socket: std::env::temp_dir().join(format!("mpass-bench-sustained-{pid}.sock")),
+            max_batch: 8,
+            linger: Duration::from_millis(1),
+            queue_capacity: 1_024,
+            default_deadline: Duration::from_secs(30),
+            tenant: tenant.clone(),
+            ..ServerConfig::default()
+        },
+    );
+    let overload = measure_daemon(
+        "daemon-overload",
+        &model,
+        &payloads,
+        8,
+        if quick { 10 } else { 40 },
+        ServerConfig {
+            socket: std::env::temp_dir().join(format!("mpass-bench-overload-{pid}.sock")),
+            max_batch: 4,
+            linger: Duration::from_millis(1),
+            queue_capacity: 2,
+            default_deadline: Duration::from_millis(50),
+            tenant,
+            ..ServerConfig::default()
+        },
+    );
+    vec![sustained, overload]
 }
 
 fn main() {
@@ -130,15 +274,24 @@ fn main() {
         .to_owned();
     let reps = if quick { 3 } else { 15 };
 
-    let measurements = measure(reps);
+    let (measurements, malconv, payloads) = measure(reps);
     for m in &measurements {
         eprintln!(
             "{:<10} sequential {:>8.1} us/item  batched {:>8.1} us/item  speedup {:.2}x",
             m.name, m.sequential_us_per_item, m.batched_us_per_item, m.speedup
         );
     }
+    let daemon = measure_daemons(quick, malconv, payloads);
+    for d in &daemon {
+        eprintln!(
+            "{:<17} clients {:>2}  requests {:>4}  completed {:>4}  shed {:>4}  \
+             {:>7.1} req/s  p50 {:>6.2} ms  p99 {:>6.2} ms",
+            d.scenario, d.clients, d.requests, d.completed, d.shed, d.throughput_rps, d.p50_ms,
+            d.p99_ms
+        );
+    }
 
-    let report = ServeReport { fixture: FIXTURE_DESC.to_owned(), measurements };
+    let report = ServeReport { fixture: FIXTURE_DESC.to_owned(), measurements, daemon };
     if let Some(parent) = std::path::Path::new(&out).parent() {
         let _ = std::fs::create_dir_all(parent);
     }

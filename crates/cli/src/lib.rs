@@ -12,6 +12,7 @@
 //! mpass pack     FILE --packer upx|pespin|aspack --out FILE
 //! mpass attack   FILE --out FILE [--seed S]   # MPass one sample vs MalConv
 //! mpass score    FILE [FILE...]               # batched MalConv scoring
+//! mpass serve    --socket PATH                # persistent scoring daemon
 //! ```
 //!
 //! Every file-taking subcommand auto-detects the container format by magic
@@ -408,15 +409,9 @@ pub fn cmd_attack(
 /// concurrent submissions coalesce into batched `score_batch` calls —
 /// the CLI face of the batched serving path. Scores are bit-identical to
 /// sequential `score` calls; only the throughput differs.
-pub fn cmd_score(paths: &[&String], seed: u64, max_batch: usize) -> CliResult {
-    use mpass_engine::{BatchPolicy, BatchScheduler};
-    if paths.is_empty() {
-        return Err("score requires at least one FILE".to_owned());
-    }
-    let mut files = Vec::with_capacity(paths.len());
-    for path in paths {
-        files.push(read(path)?);
-    }
+/// Train the demonstration-scale MalConv every serving-path command
+/// uses (same corpus and hyperparameters as `mpass attack`'s world).
+fn train_demo_malconv(seed: u64) -> MalConv {
     let ds = Dataset::generate(&CorpusConfig {
         n_malware: 24,
         n_benign: 24,
@@ -428,11 +423,25 @@ pub fn cmd_score(paths: &[&String], seed: u64, max_batch: usize) -> CliResult {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut target = MalConv::new(ByteConvConfig::tiny(), &mut rng);
     target.train(&pairs, 5, 5e-3, &mut rng);
+    target
+}
+
+pub fn cmd_score(paths: &[&String], seed: u64, max_batch: usize, linger_ms: u64) -> CliResult {
+    use mpass_engine::{BatchPolicy, BatchScheduler};
+    if paths.is_empty() {
+        return Err("score requires at least one FILE".to_owned());
+    }
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        files.push(read(path)?);
+    }
+    let target = train_demo_malconv(seed);
 
     let sched = BatchScheduler::new(
         BatchPolicy {
             max_batch: max_batch.max(1),
-            max_delay: std::time::Duration::from_millis(5),
+            max_delay: std::time::Duration::from_millis(linger_ms),
+            ..BatchPolicy::default()
         },
         |items: &[&[u8]]| {
             let mut scores = Vec::with_capacity(items.len());
@@ -463,6 +472,85 @@ pub fn cmd_score(paths: &[&String], seed: u64, max_batch: usize) -> CliResult {
     Ok(out)
 }
 
+/// Options for `mpass serve`, one field per flag.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// `--socket PATH` (required).
+    pub socket: std::path::PathBuf,
+    /// `--seed S`: corpus/training seed for the demo model.
+    pub seed: u64,
+    /// `--batch N`: batch flush size.
+    pub max_batch: usize,
+    /// `--linger-ms MS`: partial-batch linger.
+    pub linger_ms: u64,
+    /// `--queue N`: scoring-queue bound (overload threshold).
+    pub queue: usize,
+    /// `--deadline-ms MS`: default per-request deadline.
+    pub deadline_ms: u64,
+    /// `--rate R`: per-tenant steady-state requests/second.
+    pub rate: f64,
+    /// `--burst B`: per-tenant token-bucket depth.
+    pub burst: u32,
+    /// `--tenant-budget N`: per-tenant delivered-verdict budget.
+    pub tenant_budget: Option<usize>,
+    /// `--metrics-out PATH`: flush a metrics file at drain.
+    pub metrics_out: Option<std::path::PathBuf>,
+}
+
+/// `mpass serve`: the persistent scoring daemon. Trains the same
+/// demonstration MalConv as `mpass score`, serves it hot-reloadably on
+/// a Unix socket, and blocks until a `shutdown` command or SIGTERM
+/// drains it. A `reload` command retrains with an epoch-derived seed —
+/// the weekly-learning update as a live model swap.
+pub fn cmd_serve(opts: &ServeOptions) -> CliResult {
+    use mpass_serve::{run_with_sigterm, ReloadableModel, Server, ServerConfig, TenantPolicy};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let seed = opts.seed;
+    let model = ReloadableModel::new(
+        Arc::new(train_demo_malconv(seed)),
+        move |epoch| {
+            // Weekly-learning producer: each epoch retrains on a corpus
+            // drawn from an epoch-derived seed.
+            let retrain_seed = seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            Ok(Arc::new(train_demo_malconv(retrain_seed)) as Arc<dyn Detector>)
+        },
+    );
+    let server = Server::new(
+        &model,
+        ServerConfig {
+            socket: opts.socket.clone(),
+            max_batch: opts.max_batch.max(1),
+            linger: Duration::from_millis(opts.linger_ms),
+            queue_capacity: opts.queue.max(1),
+            default_deadline: Duration::from_millis(opts.deadline_ms.max(1)),
+            tenant: TenantPolicy {
+                rate_per_sec: opts.rate,
+                burst: opts.burst,
+                budget: opts.tenant_budget,
+                ..TenantPolicy::default()
+            },
+            metrics_out: opts.metrics_out.clone(),
+            seed,
+        },
+    );
+    let summary = run_with_sigterm(&server)?;
+    Ok(format!(
+        "serve drained cleanly: admitted {} completed {} shed {} rejected {} \
+         client_gone {} reloads {}\nlatency p50 {:.2} ms p99 {:.2} ms, throughput {:.1} req/s\n",
+        summary.admitted,
+        summary.completed,
+        summary.shed,
+        summary.rejected,
+        summary.client_gone,
+        summary.reloads,
+        summary.p50_ms,
+        summary.p99_ms,
+        summary.throughput_rps,
+    ))
+}
+
 /// `mpass engine-report`: human summary of one or more engine metrics
 /// files written next to `results/*.json` by the experiment runners.
 pub fn cmd_engine_report(paths: &[&String]) -> CliResult {
@@ -489,7 +577,10 @@ USAGE:
   mpass verify ORIGINAL MODIFIED
   mpass pack FILE --packer upx|pespin|aspack --out FILE
   mpass attack FILE --out FILE [--seed S] [--faults SEED] [--format pe|macho]
-  mpass score FILE [FILE ...] [--seed S] [--batch N]
+  mpass score FILE [FILE ...] [--seed S] [--batch N] [--linger-ms MS]
+  mpass serve --socket PATH [--seed S] [--batch N] [--linger-ms MS] [--queue N]
+              [--deadline-ms MS] [--rate R] [--burst B] [--tenant-budget N]
+              [--metrics-out PATH]
   mpass engine-report METRICS.json [METRICS.json ...]
 
 Container formats are auto-detected by magic (MZ -> pe, Mach-O magic
@@ -547,7 +638,20 @@ pub fn dispatch(args: &[String]) -> CliResult {
             &positional,
             seed,
             flag(args, "--batch").and_then(|s| s.parse().ok()).unwrap_or(32),
+            flag(args, "--linger-ms").and_then(|s| s.parse().ok()).unwrap_or(5),
         ),
+        "serve" => cmd_serve(&ServeOptions {
+            socket: flag(args, "--socket").ok_or("serve requires --socket PATH")?.into(),
+            seed,
+            max_batch: flag(args, "--batch").and_then(|s| s.parse().ok()).unwrap_or(32),
+            linger_ms: flag(args, "--linger-ms").and_then(|s| s.parse().ok()).unwrap_or(2),
+            queue: flag(args, "--queue").and_then(|s| s.parse().ok()).unwrap_or(256),
+            deadline_ms: flag(args, "--deadline-ms").and_then(|s| s.parse().ok()).unwrap_or(1_000),
+            rate: flag(args, "--rate").and_then(|s| s.parse().ok()).unwrap_or(200.0),
+            burst: flag(args, "--burst").and_then(|s| s.parse().ok()).unwrap_or(50),
+            tenant_budget: flag(args, "--tenant-budget").and_then(|s| s.parse().ok()),
+            metrics_out: flag(args, "--metrics-out").map(Into::into),
+        }),
         "engine-report" => cmd_engine_report(&positional),
         "" | "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
@@ -782,5 +886,70 @@ mod tests {
     #[test]
     fn engine_report_requires_a_path() {
         assert!(dispatch(&strings(&["engine-report"])).is_err());
+    }
+
+    #[test]
+    fn serve_requires_a_socket() {
+        assert!(dispatch(&strings(&["serve"])).is_err());
+    }
+
+    #[test]
+    fn serve_boots_scores_reloads_and_drains() {
+        use mpass_serve::{Response, ServeClient};
+        let dir = tempdir();
+        let out = dir.join("serve-corpus");
+        dispatch(&strings(&[
+            "gen",
+            "--out",
+            out.to_str().unwrap(),
+            "--malware",
+            "1",
+            "--benign",
+            "1",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        let mal = std::fs::read(out.join("mal_0.exe")).unwrap();
+        let socket = dir.join("serve-test.sock");
+        let metrics = dir.join("serve.metrics.json");
+        let daemon = {
+            let args = strings(&[
+                "serve",
+                "--socket",
+                socket.to_str().unwrap(),
+                "--seed",
+                "9",
+                "--batch",
+                "4",
+                "--linger-ms",
+                "1",
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+            ]);
+            std::thread::spawn(move || dispatch(&args))
+        };
+        let mut client = ServeClient::connect_retry(&socket, std::time::Duration::from_secs(60))
+            .expect("daemon must come up");
+        assert!(matches!(client.ping(1).unwrap(), Response::Pong { epoch: 1, .. }));
+        match client.score(2, "cli-test", &mal, Some(30_000)).unwrap() {
+            Response::Score(resp) => assert_eq!(resp.epoch, 1),
+            other => panic!("expected a score, got {other:?}"),
+        }
+        // Hot reload retrains the demo model and bumps the epoch.
+        assert!(matches!(client.reload(3).unwrap(), Response::Reloaded { epoch: 2, .. }));
+        match client.score(4, "cli-test", &mal, Some(30_000)).unwrap() {
+            Response::Score(resp) => assert_eq!(resp.epoch, 2),
+            other => panic!("expected a score, got {other:?}"),
+        }
+        client.shutdown(5).unwrap();
+        let msg = daemon.join().unwrap().unwrap();
+        assert!(msg.contains("drained cleanly"), "{msg}");
+        assert!(msg.contains("admitted 2"), "{msg}");
+        assert!(metrics.exists(), "drain must flush the metrics file");
+        let report =
+            dispatch(&strings(&["engine-report", metrics.to_str().unwrap()])).unwrap();
+        assert!(report.contains("serve"), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -217,7 +217,11 @@ impl<'a> HardLabelTarget<'a> {
     /// differs (a batch advances the oracle's submission index item by
     /// item before any retry), so individual faults may land on different
     /// items than a sequential interleaving — transparency holds for
-    /// budget accounting, not for fault placement.
+    /// budget accounting, not for fault placement. Both halves of that
+    /// statement are pinned by `tests/batch_equivalence.rs`
+    /// (`fault_placement_diverges_while_budget_accounting_stays_exact`),
+    /// and the retry-before-deferred wave ordering by
+    /// `retries_resubmit_ahead_of_budget_deferred_first_attempts`.
     pub fn query_batch(
         &mut self,
         items: &[&[u8]],

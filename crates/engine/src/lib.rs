@@ -29,7 +29,7 @@ pub mod metrics;
 pub mod pool;
 pub mod sink;
 
-pub use batch::{BatchPolicy, BatchScheduler};
+pub use batch::{BatchPolicy, BatchScheduler, SubmitError};
 pub use budget::{QueryBudget, QueryBudgetExhausted};
 pub use fault::{CircuitBreaker, OracleFault, QueryError, RetryPolicy};
 pub use metrics::{Collector, SampleMetrics, ShardMetrics, TimingSummary};

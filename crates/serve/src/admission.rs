@@ -1,0 +1,308 @@
+//! Per-tenant admission control: token-bucket rate limiting, query
+//! budgets, and circuit breakers.
+//!
+//! Every scoring request names a tenant; each tenant gets independent
+//! state, so one misbehaving client degrades alone:
+//!
+//! * a **token bucket** ([`TenantPolicy::rate_per_sec`] /
+//!   [`TenantPolicy::burst`]) smooths request rate and answers
+//!   violations with a typed retry-after hint;
+//! * a **query budget** reusing the `HardLabelTarget` semantics: only
+//!   *delivered verdicts* consume budget — requests refused at
+//!   admission or shed before scoring cost the tenant nothing;
+//! * a **circuit breaker** (the engine's query-counted
+//!   [`CircuitBreaker`]) that opens after consecutive bad outcomes
+//!   (sheds, upstream faults), fails the tenant fast through a cooldown,
+//!   then half-opens with a probe.
+
+use mpass_engine::{CircuitBreaker, QueryBudget, RetryPolicy};
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Admission limits applied to every tenant (per-tenant state, shared
+/// policy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantPolicy {
+    /// Steady-state request rate per tenant, tokens per second.
+    pub rate_per_sec: f64,
+    /// Bucket depth: how many requests may burst above the rate.
+    pub burst: u32,
+    /// Delivered-verdict budget per tenant; `None` is unlimited.
+    pub budget: Option<usize>,
+    /// Consecutive failed outcomes that open the tenant's breaker;
+    /// `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// Requests refused while the breaker is open before a half-open
+    /// probe is allowed through.
+    pub breaker_cooldown: u32,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy {
+            rate_per_sec: 200.0,
+            burst: 50,
+            budget: None,
+            breaker_threshold: 8,
+            breaker_cooldown: 16,
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// The breaker thresholds as the engine's [`RetryPolicy`] (the
+    /// breaker's configuration carrier).
+    fn retry(&self) -> RetryPolicy {
+        RetryPolicy {
+            breaker_threshold: self.breaker_threshold,
+            breaker_cooldown: self.breaker_cooldown,
+            ..RetryPolicy::none()
+        }
+    }
+}
+
+/// Why admission refused a request. Maps 1:1 onto the protocol's typed
+/// refusals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// Token bucket empty; retry after the hint.
+    RateLimited { retry_after_ms: u64 },
+    /// The tenant's delivered-verdict budget is spent.
+    BudgetExhausted { limit: usize },
+    /// The tenant's breaker is open (cooldown in progress).
+    CircuitOpen,
+}
+
+/// A classic token bucket, refilled continuously by wall-clock time.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    capacity: f64,
+    rate_per_sec: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate_per_sec: f64, burst: u32, now: Instant) -> Self {
+        let capacity = f64::from(burst.max(1));
+        TokenBucket { tokens: capacity, capacity, rate_per_sec, last_refill: now }
+    }
+
+    /// Take one token, or report how long until one accrues.
+    fn try_take(&mut self, now: Instant) -> Result<(), u64> {
+        let elapsed = now.saturating_duration_since(self.last_refill).as_secs_f64();
+        self.last_refill = now;
+        self.tokens = (self.tokens + elapsed * self.rate_per_sec).min(self.capacity);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            return Ok(());
+        }
+        let deficit = 1.0 - self.tokens;
+        let wait_ms = if self.rate_per_sec > 0.0 {
+            (deficit / self.rate_per_sec * 1_000.0).ceil() as u64
+        } else {
+            u64::MAX
+        };
+        Err(wait_ms.max(1))
+    }
+}
+
+struct TenantState {
+    bucket: TokenBucket,
+    budget: QueryBudget,
+    breaker: CircuitBreaker,
+}
+
+/// Per-tenant admission state under one shared [`TenantPolicy`].
+pub struct AdmissionControl {
+    policy: TenantPolicy,
+    retry: RetryPolicy,
+    tenants: Mutex<HashMap<String, TenantState>>,
+}
+
+impl AdmissionControl {
+    pub fn new(policy: TenantPolicy) -> Self {
+        let retry = policy.retry();
+        AdmissionControl { policy, retry, tenants: Mutex::new(HashMap::new()) }
+    }
+
+    /// The shared policy.
+    pub fn policy(&self) -> &TenantPolicy {
+        &self.policy
+    }
+
+    fn with_tenant<Out>(&self, tenant: &str, f: impl FnOnce(&mut TenantState) -> Out) -> Out {
+        let mut tenants = self.tenants.lock().unwrap_or_else(|p| p.into_inner());
+        let state = tenants.entry(tenant.to_owned()).or_insert_with(|| TenantState {
+            bucket: TokenBucket::new(self.policy.rate_per_sec, self.policy.burst, Instant::now()),
+            budget: match self.policy.budget {
+                Some(limit) => QueryBudget::new(limit),
+                None => QueryBudget::unlimited(),
+            },
+            breaker: CircuitBreaker::default(),
+        });
+        f(state)
+    }
+
+    /// Gate one request. Order matters: the breaker is consulted first
+    /// (an open breaker's cooldown counts down on refused requests, per
+    /// the engine's query-counted semantics), then the budget, then the
+    /// bucket. A rate-limit refusal also counts as a failed outcome on
+    /// the breaker, so a tenant hammering past its rate eventually trips
+    /// its own breaker and fails fast without even costing bucket math.
+    pub fn admit(&self, tenant: &str) -> Result<(), AdmissionError> {
+        self.with_tenant(tenant, |state| {
+            if !state.breaker.allows() {
+                return Err(AdmissionError::CircuitOpen);
+            }
+            if state.budget.is_exhausted() {
+                return Err(AdmissionError::BudgetExhausted { limit: state.budget.limit() });
+            }
+            match state.bucket.try_take(Instant::now()) {
+                Ok(()) => Ok(()),
+                Err(retry_after_ms) => {
+                    state.breaker.record_failure(&self.retry);
+                    Err(AdmissionError::RateLimited { retry_after_ms })
+                }
+            }
+        })
+    }
+
+    /// Record a delivered verdict: consumes one budget query and counts
+    /// as a success on the breaker. (Only delivered verdicts are
+    /// metered — `HardLabelTarget` budget semantics.)
+    pub fn record_delivered(&self, tenant: &str) {
+        self.with_tenant(tenant, |state| {
+            // Exhaustion here means a concurrent delivery raced past the
+            // limit; the *next* admit refuses, which is bound enough.
+            let _ = state.budget.try_consume();
+            state.breaker.record_success();
+        });
+    }
+
+    /// Record an admitted request that failed to deliver (shed, deadline,
+    /// upstream fault): a failed outcome on the breaker, no budget cost.
+    pub fn record_failed(&self, tenant: &str) {
+        self.with_tenant(tenant, |state| {
+            state.breaker.record_failure(&self.retry);
+        });
+    }
+
+    /// Budget queries the tenant has left (`usize::MAX` when unlimited).
+    pub fn budget_remaining(&self, tenant: &str) -> usize {
+        self.with_tenant(tenant, |state| state.budget.remaining())
+    }
+
+    /// Whether the tenant's breaker is currently open.
+    pub fn breaker_open(&self, tenant: &str) -> bool {
+        self.with_tenant(tenant, |state| state.breaker.is_open())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn bucket_allows_burst_then_rate_limits() {
+        let now = Instant::now();
+        let mut bucket = TokenBucket::new(10.0, 5, now);
+        for _ in 0..5 {
+            assert!(bucket.try_take(now).is_ok());
+        }
+        let wait = bucket.try_take(now).unwrap_err();
+        // One token at 10/s accrues within 100 ms.
+        assert!((1..=100).contains(&wait), "{wait}");
+        // After enough simulated time, tokens are back (capped at burst).
+        assert!(bucket.try_take(now + Duration::from_secs(60)).is_ok());
+    }
+
+    #[test]
+    fn zero_rate_bucket_never_refills() {
+        let now = Instant::now();
+        let mut bucket = TokenBucket::new(0.0, 1, now);
+        assert!(bucket.try_take(now).is_ok());
+        assert!(bucket.try_take(now + Duration::from_secs(3600)).is_err());
+    }
+
+    #[test]
+    fn tenants_are_isolated() {
+        let ac = AdmissionControl::new(TenantPolicy {
+            rate_per_sec: 0.0,
+            burst: 2,
+            ..TenantPolicy::default()
+        });
+        assert!(ac.admit("a").is_ok());
+        assert!(ac.admit("a").is_ok());
+        assert!(matches!(ac.admit("a"), Err(AdmissionError::RateLimited { .. })));
+        // Tenant b has its own bucket.
+        assert!(ac.admit("b").is_ok());
+    }
+
+    #[test]
+    fn budget_meters_delivered_verdicts_only() {
+        let ac = AdmissionControl::new(TenantPolicy {
+            budget: Some(2),
+            rate_per_sec: 1_000_000.0,
+            burst: 1_000,
+            breaker_threshold: 0,
+            ..TenantPolicy::default()
+        });
+        // Admission alone never consumes budget.
+        for _ in 0..10 {
+            assert!(ac.admit("t").is_ok());
+        }
+        assert_eq!(ac.budget_remaining("t"), 2);
+        // Failures cost nothing either.
+        ac.record_failed("t");
+        assert_eq!(ac.budget_remaining("t"), 2);
+        // Delivered verdicts are the only meter.
+        ac.record_delivered("t");
+        ac.record_delivered("t");
+        assert_eq!(ac.budget_remaining("t"), 0);
+        assert_eq!(ac.admit("t"), Err(AdmissionError::BudgetExhausted { limit: 2 }));
+    }
+
+    #[test]
+    fn abusive_tenant_trips_its_own_breaker() {
+        let ac = AdmissionControl::new(TenantPolicy {
+            rate_per_sec: 0.0,
+            burst: 1,
+            breaker_threshold: 3,
+            breaker_cooldown: 5,
+            ..TenantPolicy::default()
+        });
+        assert!(ac.admit("hog").is_ok()); // the one burst token
+        // Three rate-limit refusals in a row trip the breaker...
+        for _ in 0..3 {
+            assert!(matches!(ac.admit("hog"), Err(AdmissionError::RateLimited { .. })));
+        }
+        assert!(ac.breaker_open("hog"));
+        // ...after which refusals are breaker-fast, not bucket math.
+        assert_eq!(ac.admit("hog"), Err(AdmissionError::CircuitOpen));
+        // A well-behaved tenant is untouched.
+        assert!(ac.admit("good").is_ok());
+    }
+
+    #[test]
+    fn breaker_recovers_after_cooldown_and_success() {
+        let ac = AdmissionControl::new(TenantPolicy {
+            rate_per_sec: 1_000_000.0,
+            burst: 1_000,
+            breaker_threshold: 2,
+            breaker_cooldown: 2,
+            ..TenantPolicy::default()
+        });
+        ac.record_failed("t");
+        ac.record_failed("t"); // trips
+        assert_eq!(ac.admit("t"), Err(AdmissionError::CircuitOpen));
+        assert_eq!(ac.admit("t"), Err(AdmissionError::CircuitOpen));
+        // Half-open probe admitted; success closes the breaker.
+        assert!(ac.admit("t").is_ok());
+        ac.record_delivered("t");
+        assert!(ac.admit("t").is_ok());
+        assert!(!ac.breaker_open("t"));
+    }
+}

@@ -1,0 +1,108 @@
+//! A minimal synchronous client for the daemon's protocol — used by the
+//! CLI, the benchmarks, and the resilience tests.
+
+use crate::protocol::{encode_hex, parse_response, Request, Response, ScoreRequest};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// One connection to a running daemon. Requests are answered in order
+/// on the same connection (the daemon serializes per connection;
+/// concurrency comes from multiple connections).
+pub struct ServeClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl ServeClient {
+    /// Connect to a daemon's socket.
+    pub fn connect(socket: &Path) -> Result<Self, String> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| format!("cannot connect {}: {e}", socket.display()))?;
+        let read_half =
+            stream.try_clone().map_err(|e| format!("cannot clone stream: {e}"))?;
+        Ok(ServeClient { reader: BufReader::new(read_half), writer: stream })
+    }
+
+    /// Connect, retrying until the daemon has bound its socket or
+    /// `timeout` elapses — the standard way to wait for a daemon boot.
+    pub fn connect_retry(socket: &Path, timeout: Duration) -> Result<Self, String> {
+        let give_up = Instant::now() + timeout;
+        loop {
+            match Self::connect(socket) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= give_up => {
+                    return Err(format!("daemon did not come up within {timeout:?}: {e}"))
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        }
+    }
+
+    /// Send one request line and block for its response line.
+    pub fn request(&mut self, request: &Request) -> Result<Response, String> {
+        let payload =
+            serde_json::to_string(request).map_err(|e| format!("cannot encode request: {e}"))?;
+        self.writer
+            .write_all(payload.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("cannot send request: {e}"))?;
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("daemon closed the connection".to_owned()),
+            Ok(_) => parse_response(&line),
+            Err(e) => Err(format!("cannot read response: {e}")),
+        }
+    }
+
+    /// Score raw bytes under a tenant.
+    pub fn score(
+        &mut self,
+        id: u64,
+        tenant: &str,
+        bytes: &[u8],
+        deadline_ms: Option<u64>,
+    ) -> Result<Response, String> {
+        self.request(&Request::Score(ScoreRequest {
+            id,
+            tenant: tenant.to_owned(),
+            bytes_hex: encode_hex(bytes),
+            deadline_ms,
+        }))
+    }
+
+    pub fn ping(&mut self, id: u64) -> Result<Response, String> {
+        self.request(&Request::Ping { id })
+    }
+
+    pub fn reload(&mut self, id: u64) -> Result<Response, String> {
+        self.request(&Request::Reload { id })
+    }
+
+    pub fn stats(&mut self, id: u64) -> Result<Response, String> {
+        self.request(&Request::Stats { id })
+    }
+
+    pub fn shutdown(&mut self, id: u64) -> Result<Response, String> {
+        self.request(&Request::Shutdown { id })
+    }
+
+    /// The raw write half — for driving deliberately malformed lines in
+    /// tests.
+    pub fn raw_writer(&mut self) -> &mut UnixStream {
+        &mut self.writer
+    }
+
+    /// Read one response line without having sent anything through
+    /// [`ServeClient::request`].
+    pub fn raw_read_response(&mut self) -> Result<Response, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("daemon closed the connection".to_owned()),
+            Ok(_) => parse_response(&line),
+            Err(e) => Err(format!("cannot read response: {e}")),
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! The daemon's wire protocol: line-delimited JSON over a Unix socket.
+//!
+//! Each line is one externally-tagged JSON value — a [`Request`] from
+//! client to daemon, a [`Response`] back. File bytes travel hex-encoded
+//! (line-JSON cannot carry raw bytes, and the synthetic corpus binaries
+//! are small); [`encode_hex`]/[`decode_hex`] are the only codec.
+//!
+//! Every refusal the daemon can issue is a *typed* [`ServeError`] —
+//! clients distinguish "come back later" ([`ServeError::Overloaded`],
+//! [`ServeError::RateLimited`]) from "stop asking"
+//! ([`ServeError::BudgetExhausted`], [`ServeError::ShuttingDown`])
+//! without parsing prose.
+
+use mpass_detectors::Verdict;
+use mpass_engine::OracleFault;
+use serde::{Deserialize, Serialize};
+
+/// One scoring request.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ScoreRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// Tenant name for admission control (rate limit, budget, breaker).
+    pub tenant: String,
+    /// Hex-encoded file bytes ([`encode_hex`]).
+    pub bytes_hex: String,
+    /// Per-request deadline in milliseconds from arrival; the daemon
+    /// sheds the request (before scoring) once it expires. `None` uses
+    /// the daemon's default deadline.
+    pub deadline_ms: Option<u64>,
+}
+
+// Hand-written so `deadline_ms` may be omitted entirely (the derive
+// requires every key to be present, `null` included).
+impl serde::Deserialize for ScoreRequest {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(ScoreRequest {
+            id: serde::Deserialize::from_value(serde::field(value, "id")?)?,
+            tenant: serde::Deserialize::from_value(serde::field(value, "tenant")?)?,
+            bytes_hex: serde::Deserialize::from_value(serde::field(value, "bytes_hex")?)?,
+            deadline_ms: match value.get("deadline_ms") {
+                Some(v) => serde::Deserialize::from_value(v)?,
+                None => None,
+            },
+        })
+    }
+}
+
+/// Everything a client can send, one JSON value per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Score a file under a tenant's admission policy.
+    Score(ScoreRequest),
+    /// Swap in a freshly produced model (weekly-learning retrain).
+    Reload { id: u64 },
+    /// Snapshot the daemon's counters and latency percentiles.
+    Stats { id: u64 },
+    /// Graceful shutdown: drain in-flight work, stop accepting.
+    Shutdown { id: u64 },
+    /// Liveness probe; answers with the current model epoch.
+    Ping { id: u64 },
+}
+
+/// A delivered verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoreResponse {
+    pub id: u64,
+    pub verdict: Verdict,
+    /// Malicious probability when the backing target exposes scores
+    /// (in-process models do; oracle channels are hard-label only).
+    pub score: Option<f32>,
+    /// Epoch of the model that produced this verdict.
+    pub epoch: u64,
+    /// Microseconds the request spent queued + scored inside the daemon.
+    pub queued_us: u64,
+}
+
+/// Why a request was refused. Every variant is load-bearing for a
+/// client's retry decision — see the module docs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServeError {
+    /// The batch queue is full; the request was never enqueued.
+    Overloaded { capacity: u64 },
+    /// The request's deadline passed before scoring; it was shed.
+    DeadlineExceeded,
+    /// The tenant's token bucket is empty.
+    RateLimited { retry_after_ms: u64 },
+    /// The tenant's query budget is spent (delivered verdicts only —
+    /// refused and shed requests cost nothing).
+    BudgetExhausted { limit: u64 },
+    /// The tenant's circuit breaker is open after repeated failures.
+    CircuitOpen,
+    /// The upstream oracle channel faulted.
+    Upstream { fault: OracleFault },
+    /// The daemon is draining; no new work is admitted.
+    ShuttingDown,
+    /// The request line did not parse or decode.
+    BadRequest { reason: String },
+}
+
+/// An error response carrying the offending request's id (0 when the
+/// request was too malformed to extract one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorResponse {
+    pub id: u64,
+    pub error: ServeError,
+}
+
+/// Counter snapshot answered to [`Request::Stats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsResponse {
+    pub id: u64,
+    /// Requests that passed admission and were submitted for scoring.
+    pub admitted: u64,
+    /// Admitted requests shed before scoring (queue full or deadline).
+    pub shed: u64,
+    /// Requests refused at admission (rate limit, budget, breaker).
+    pub rejected: u64,
+    /// Admitted requests that returned a verdict.
+    pub completed: u64,
+    /// Responses that could not be written because the client vanished.
+    pub client_gone: u64,
+    /// Completed model reloads.
+    pub reloads: u64,
+    /// Current model epoch.
+    pub epoch: u64,
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub throughput_rps: f64,
+    pub uptime_ms: u64,
+}
+
+/// Everything the daemon can answer, one JSON value per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    Score(ScoreResponse),
+    Error(ErrorResponse),
+    /// A reload completed; `epoch` is the newly live model's epoch.
+    Reloaded { id: u64, epoch: u64 },
+    Stats(StatsResponse),
+    /// Acknowledges [`Request::Shutdown`]; the daemon drains after this.
+    ShuttingDown { id: u64 },
+    Pong { id: u64, epoch: u64 },
+}
+
+/// Lowercase hex encoding of `bytes`.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[usize::from(b >> 4)] as char);
+        out.push(DIGITS[usize::from(b & 0xf)] as char);
+    }
+    out
+}
+
+/// Decode [`encode_hex`] output (case-insensitive). Errors on odd
+/// length or a non-hex digit.
+pub fn decode_hex(text: &str) -> Result<Vec<u8>, String> {
+    let raw = text.as_bytes();
+    if !raw.len().is_multiple_of(2) {
+        return Err(format!("hex payload has odd length {}", raw.len()));
+    }
+    fn nibble(c: u8) -> Result<u8, String> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            other => Err(format!("invalid hex digit {:?}", other as char)),
+        }
+    }
+    let mut out = Vec::with_capacity(raw.len() / 2);
+    for pair in raw.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+/// Parse one protocol line into a [`Request`].
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    serde_json::from_str(line.trim()).map_err(|e| format!("bad request line: {e}"))
+}
+
+/// Parse one protocol line into a [`Response`].
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    serde_json::from_str(line.trim()).map_err(|e| format!("bad response line: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        let hex = encode_hex(&bytes);
+        assert_eq!(decode_hex(&hex).unwrap(), bytes);
+        assert_eq!(decode_hex(&hex.to_uppercase()).unwrap(), bytes);
+        assert_eq!(encode_hex(&[]), "");
+        assert_eq!(decode_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn hex_rejects_garbage() {
+        assert!(decode_hex("abc").is_err()); // odd length
+        assert!(decode_hex("zz").is_err()); // not hex
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Score(ScoreRequest {
+                id: 7,
+                tenant: "acme".to_owned(),
+                bytes_hex: encode_hex(b"MZ\x90\x00"),
+                deadline_ms: Some(250),
+            }),
+            Request::Score(ScoreRequest {
+                id: 8,
+                tenant: "acme".to_owned(),
+                bytes_hex: String::new(),
+                deadline_ms: None,
+            }),
+            Request::Reload { id: 1 },
+            Request::Stats { id: 2 },
+            Request::Shutdown { id: 3 },
+            Request::Ping { id: 4 },
+        ];
+        for req in requests {
+            let line = serde_json::to_string(&req).unwrap();
+            assert_eq!(parse_request(&line).unwrap(), req, "{line}");
+        }
+    }
+
+    #[test]
+    fn score_request_tolerates_missing_deadline_key() {
+        let line = r#"{"Score":{"id":5,"tenant":"t","bytes_hex":"4d5a"}}"#;
+        let req = parse_request(line).unwrap();
+        assert_eq!(
+            req,
+            Request::Score(ScoreRequest {
+                id: 5,
+                tenant: "t".to_owned(),
+                bytes_hex: "4d5a".to_owned(),
+                deadline_ms: None,
+            })
+        );
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Score(ScoreResponse {
+                id: 7,
+                verdict: Verdict::Malicious,
+                score: Some(0.93),
+                epoch: 2,
+                queued_us: 1800,
+            }),
+            Response::Score(ScoreResponse {
+                id: 9,
+                verdict: Verdict::Benign,
+                score: None,
+                epoch: 1,
+                queued_us: 0,
+            }),
+            Response::Error(ErrorResponse {
+                id: 1,
+                error: ServeError::Overloaded { capacity: 64 },
+            }),
+            Response::Error(ErrorResponse { id: 2, error: ServeError::DeadlineExceeded }),
+            Response::Error(ErrorResponse {
+                id: 3,
+                error: ServeError::RateLimited { retry_after_ms: 40 },
+            }),
+            Response::Error(ErrorResponse {
+                id: 4,
+                error: ServeError::BudgetExhausted { limit: 100 },
+            }),
+            Response::Error(ErrorResponse { id: 5, error: ServeError::CircuitOpen }),
+            Response::Error(ErrorResponse {
+                id: 6,
+                error: ServeError::Upstream { fault: OracleFault::Transient },
+            }),
+            Response::Error(ErrorResponse { id: 7, error: ServeError::ShuttingDown }),
+            Response::Error(ErrorResponse {
+                id: 0,
+                error: ServeError::BadRequest { reason: "nope".to_owned() },
+            }),
+            Response::Reloaded { id: 11, epoch: 3 },
+            Response::Stats(StatsResponse {
+                id: 12,
+                admitted: 100,
+                shed: 3,
+                rejected: 9,
+                completed: 97,
+                client_gone: 1,
+                reloads: 2,
+                epoch: 3,
+                p50_ms: 1.5,
+                p99_ms: 9.25,
+                throughput_rps: 480.0,
+                uptime_ms: 2_000,
+            }),
+            Response::ShuttingDown { id: 13 },
+            Response::Pong { id: 14, epoch: 1 },
+        ];
+        for resp in responses {
+            let line = serde_json::to_string(&resp).unwrap();
+            assert_eq!(parse_response(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported_not_panicked() {
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request(r#"{"Unknown":{}}"#).is_err());
+        assert!(parse_response("").is_err());
+    }
+}

@@ -1,0 +1,189 @@
+//! Daemon counters and latency percentiles, flushed into the engine's
+//! metrics sink at shutdown.
+
+use mpass_engine::metrics::{Collector, ShardMetrics};
+use mpass_engine::{metrics as trace, EngineInfo, MetricsFile};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Live counters of one daemon run. All methods are `&self`; handler
+/// threads update concurrently.
+pub struct ServeStats {
+    start: Instant,
+    pub admitted: AtomicU64,
+    pub shed: AtomicU64,
+    pub rejected: AtomicU64,
+    pub completed: AtomicU64,
+    pub client_gone: AtomicU64,
+    pub reloads: AtomicU64,
+    /// Per-completed-request daemon-side latency, milliseconds.
+    latencies_ms: Mutex<Vec<f64>>,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats {
+            start: Instant::now(),
+            admitted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            client_gone: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            latencies_ms: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// `q`-th quantile of `sorted` (nearest-rank); 0 when empty.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+impl ServeStats {
+    /// Record one completed request's daemon-side latency.
+    pub fn record_latency_ms(&self, ms: f64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latencies_ms.lock().unwrap_or_else(|p| p.into_inner()).push(ms);
+    }
+
+    /// Milliseconds since the daemon started.
+    pub fn uptime_ms(&self) -> u64 {
+        self.start.elapsed().as_millis() as u64
+    }
+
+    /// (p50, p99) of completed-request latency in milliseconds.
+    pub fn latency_percentiles_ms(&self) -> (f64, f64) {
+        let mut sorted = self.latencies_ms.lock().unwrap_or_else(|p| p.into_inner()).clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        (quantile(&sorted, 0.50), quantile(&sorted, 0.99))
+    }
+
+    /// Completed requests per second over the daemon's uptime.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed.load(Ordering::Relaxed) as f64 / secs
+    }
+
+    /// Seal the counters into one [`ShardMetrics`] record in the
+    /// engine's schema: `serve/*` counters plus the latency series.
+    pub fn to_shard_metrics(&self, label: &str) -> ShardMetrics {
+        // Build through the facade so the record matches what an engine
+        // shard would have produced (sorted maps, same field shapes).
+        let previous = trace::take();
+        trace::install(Collector::default());
+        trace::counter("serve/admitted", self.admitted.load(Ordering::Relaxed));
+        trace::counter("serve/shed", self.shed.load(Ordering::Relaxed));
+        trace::counter("serve/rejected", self.rejected.load(Ordering::Relaxed));
+        trace::counter("serve/completed", self.completed.load(Ordering::Relaxed));
+        trace::counter("serve/client_gone", self.client_gone.load(Ordering::Relaxed));
+        trace::counter("serve/reloads", self.reloads.load(Ordering::Relaxed));
+        for ms in self.latencies_ms.lock().unwrap_or_else(|p| p.into_inner()).iter() {
+            trace::series("serve/latency_ms", *ms);
+        }
+        let (p50, p99) = self.latency_percentiles_ms();
+        trace::series("serve/p50_ms", p50);
+        trace::series("serve/p99_ms", p99);
+        trace::series("serve/throughput_rps", self.throughput_rps());
+        let shard = trace::take()
+            .map(|c| c.finish(label, self.start.elapsed().as_secs_f64() * 1e3))
+            .unwrap_or_default();
+        if let Some(prev) = previous {
+            trace::install(prev);
+        }
+        shard
+    }
+
+    /// Write the sealed record as a [`MetricsFile`] readable by
+    /// `mpass engine-report`.
+    pub fn save_metrics(&self, path: &Path, workers: usize, seed: u64) -> std::io::Result<()> {
+        let shard = self.to_shard_metrics("serve");
+        MetricsFile {
+            experiment: "serve".to_owned(),
+            engine: EngineInfo { workers, seed, shards: 1 },
+            wall_ms: self.start.elapsed().as_secs_f64() * 1e3,
+            shards: vec![shard],
+            failures: Vec::new(),
+        }
+        .save(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_distribution() {
+        let stats = ServeStats::default();
+        for i in 1..=100 {
+            stats.record_latency_ms(f64::from(i));
+        }
+        let (p50, p99) = stats.latency_percentiles_ms();
+        assert_eq!(p50, 50.0);
+        assert_eq!(p99, 99.0);
+        assert_eq!(stats.completed.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_stats_are_zero_not_nan() {
+        let stats = ServeStats::default();
+        let (p50, p99) = stats.latency_percentiles_ms();
+        assert_eq!((p50, p99), (0.0, 0.0));
+        assert!(stats.throughput_rps() >= 0.0);
+    }
+
+    #[test]
+    fn shard_record_carries_serve_counters() {
+        let stats = ServeStats::default();
+        stats.admitted.fetch_add(10, Ordering::Relaxed);
+        stats.shed.fetch_add(2, Ordering::Relaxed);
+        stats.client_gone.fetch_add(1, Ordering::Relaxed);
+        stats.record_latency_ms(1.25);
+        let shard = stats.to_shard_metrics("serve");
+        assert_eq!(shard.label, "serve");
+        assert_eq!(shard.counters["serve/admitted"], 10);
+        assert_eq!(shard.counters["serve/shed"], 2);
+        assert_eq!(shard.counters["serve/client_gone"], 1);
+        assert_eq!(shard.counters["serve/completed"], 1);
+        assert_eq!(shard.series["serve/latency_ms"], vec![1.25]);
+    }
+
+    #[test]
+    fn metrics_file_round_trips_through_sink() {
+        let dir = std::env::temp_dir().join(format!("mpass-serve-stats-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.metrics.json");
+        let stats = ServeStats::default();
+        stats.record_latency_ms(2.0);
+        stats.save_metrics(&path, 4, 7).unwrap();
+        let loaded = MetricsFile::load(&path).unwrap();
+        assert_eq!(loaded.experiment, "serve");
+        assert_eq!(loaded.engine.workers, 4);
+        assert_eq!(loaded.shards.len(), 1);
+        assert_eq!(loaded.shards[0].counters["serve/completed"], 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_snapshot_does_not_clobber_an_installed_collector() {
+        trace::install(Collector::default());
+        trace::counter("outer", 1);
+        let stats = ServeStats::default();
+        let _ = stats.to_shard_metrics("serve");
+        // The caller's collector is restored with its state intact.
+        trace::counter("outer", 1);
+        let shard = trace::take().unwrap().finish("outer", 0.0);
+        assert_eq!(shard.counters["outer"], 2);
+        assert!(!shard.counters.contains_key("serve/admitted"));
+    }
+}

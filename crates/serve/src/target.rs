@@ -1,0 +1,184 @@
+//! What the daemon scores against: a batch-scoring, epoch-tagged,
+//! possibly hot-reloadable target.
+//!
+//! [`ServeTarget`] is the one trait the server loop needs. Two
+//! implementations cover the stock cases:
+//!
+//! * [`ReloadableModel`] — a [`SwappableDetector`] slot plus a producer
+//!   closure (the weekly-learning retrain); `reload` produces the next
+//!   model and swaps it in atomically, in-flight batches keep scoring on
+//!   their snapshot.
+//! * [`OracleTarget`] — any [`Oracle`] channel (including the seeded
+//!   fault-injecting `UnreliableOracle`); hard-label only, not
+//!   reloadable.
+//!
+//! Tests compose their own (e.g. fault injection *around* a reloadable
+//! slot) by implementing the trait directly.
+
+use mpass_detectors::{Detector, Oracle, SwappableDetector, Verdict};
+use mpass_engine::OracleFault;
+use std::sync::Arc;
+
+/// One delivered verdict, with the probability when the target has one.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredVerdict {
+    pub verdict: Verdict,
+    /// `None` for hard-label channels (oracle transports).
+    pub score: Option<f32>,
+}
+
+/// The server's scoring backend.
+pub trait ServeTarget: Send + Sync {
+    /// Epoch of the currently live model (1 for static targets).
+    fn epoch(&self) -> u64;
+
+    /// Produce and atomically publish the next model, returning the new
+    /// epoch. Targets without a producer return `Err`.
+    fn reload(&self) -> Result<u64, String>;
+
+    /// Score one batch under **one** model snapshot, returning the
+    /// snapshot's epoch and one result per item in input order. The
+    /// single-snapshot contract is what makes hot reload safe: a batch
+    /// admitted at epoch N scores entirely at epoch N even if a swap
+    /// lands mid-batch.
+    fn score_batch(&self, items: &[&[u8]]) -> (u64, Vec<Result<ScoredVerdict, OracleFault>>);
+}
+
+/// A hot-reloadable in-process model: swappable slot + producer.
+pub struct ReloadableModel {
+    slot: SwappableDetector,
+    #[allow(clippy::type_complexity)]
+    producer: Box<dyn Fn(u64) -> Result<Arc<dyn Detector>, String> + Send + Sync>,
+}
+
+impl ReloadableModel {
+    /// A slot serving `initial`, with `producer` invoked per reload.
+    /// The producer receives the epoch the new model will serve as
+    /// (useful for deriving a retrain seed).
+    pub fn new<F>(initial: Arc<dyn Detector>, producer: F) -> Self
+    where
+        F: Fn(u64) -> Result<Arc<dyn Detector>, String> + Send + Sync + 'static,
+    {
+        ReloadableModel {
+            slot: SwappableDetector::new("serve-live", initial),
+            producer: Box::new(producer),
+        }
+    }
+
+    /// The underlying slot (e.g. for wrapping in a fault channel).
+    pub fn slot(&self) -> &SwappableDetector {
+        &self.slot
+    }
+}
+
+impl ServeTarget for ReloadableModel {
+    fn epoch(&self) -> u64 {
+        self.slot.epoch()
+    }
+
+    fn reload(&self) -> Result<u64, String> {
+        let next = (self.producer)(self.slot.epoch() + 1)?;
+        Ok(self.slot.swap(next))
+    }
+
+    fn score_batch(&self, items: &[&[u8]]) -> (u64, Vec<Result<ScoredVerdict, OracleFault>>) {
+        let (model, epoch) = self.slot.current();
+        let mut scores = Vec::with_capacity(items.len());
+        model.score_batch(items, &mut scores);
+        let threshold = model.threshold();
+        let results = scores
+            .into_iter()
+            .map(|s| {
+                let verdict =
+                    if s > threshold { Verdict::Malicious } else { Verdict::Benign };
+                Ok(ScoredVerdict { verdict, score: Some(s) })
+            })
+            .collect();
+        (epoch, results)
+    }
+}
+
+/// A static target over any oracle channel. Faults from the channel
+/// surface per item; `reload` is unsupported.
+pub struct OracleTarget<'a> {
+    oracle: &'a dyn Oracle,
+}
+
+impl<'a> OracleTarget<'a> {
+    pub fn new(oracle: &'a dyn Oracle) -> Self {
+        OracleTarget { oracle }
+    }
+}
+
+impl ServeTarget for OracleTarget<'_> {
+    fn epoch(&self) -> u64 {
+        1
+    }
+
+    fn reload(&self) -> Result<u64, String> {
+        Err(format!("target {:?} has no model producer", self.oracle.name()))
+    }
+
+    fn score_batch(&self, items: &[&[u8]]) -> (u64, Vec<Result<ScoredVerdict, OracleFault>>) {
+        let mut out = Vec::with_capacity(items.len());
+        self.oracle.submit_batch(items, &mut out);
+        let results = out
+            .into_iter()
+            .map(|r| r.map(|verdict| ScoredVerdict { verdict, score: None }))
+            .collect();
+        (1, results)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f32);
+    impl Detector for Fixed {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+        fn score(&self, _: &[u8]) -> f32 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn reloadable_model_swaps_through_its_producer() {
+        let model = ReloadableModel::new(Arc::new(Fixed(0.9)), |epoch| {
+            // Producer derives the new model from the target epoch.
+            Ok(Arc::new(Fixed(if epoch % 2 == 0 { 0.1 } else { 0.9 })) as Arc<dyn Detector>)
+        });
+        assert_eq!(model.epoch(), 1);
+        let (epoch, results) = model.score_batch(&[b"x".as_slice()]);
+        assert_eq!(epoch, 1);
+        assert_eq!(results[0].as_ref().unwrap().verdict, Verdict::Malicious);
+        assert_eq!(results[0].as_ref().unwrap().score, Some(0.9));
+
+        assert_eq!(model.reload().unwrap(), 2);
+        let (epoch, results) = model.score_batch(&[b"x".as_slice()]);
+        assert_eq!(epoch, 2);
+        assert_eq!(results[0].as_ref().unwrap().verdict, Verdict::Benign);
+    }
+
+    #[test]
+    fn reloadable_model_surfaces_producer_errors_without_swapping() {
+        let model =
+            ReloadableModel::new(Arc::new(Fixed(0.9)), |_| Err("retrain failed".to_owned()));
+        assert!(model.reload().is_err());
+        assert_eq!(model.epoch(), 1, "failed reload must not bump the epoch");
+    }
+
+    #[test]
+    fn oracle_target_is_hard_label_and_not_reloadable() {
+        let det = Fixed(0.9);
+        let target = OracleTarget::new(&det);
+        assert_eq!(target.epoch(), 1);
+        assert!(target.reload().is_err());
+        let (_, results) = target.score_batch(&[b"x".as_slice()]);
+        let sv = results[0].as_ref().unwrap();
+        assert_eq!(sv.verdict, Verdict::Malicious);
+        assert_eq!(sv.score, None, "oracle channels expose no probability");
+    }
+}
