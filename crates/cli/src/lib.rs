@@ -12,6 +12,7 @@
 //! mpass pack     FILE --packer upx|pespin|aspack --out FILE
 //! mpass attack   FILE --out FILE [--seed S]   # MPass one sample vs MalConv
 //! mpass score    FILE [FILE...]               # batched MalConv scoring
+//! mpass snapshot --out PATH                   # pack trained weights to a file
 //! mpass serve    --socket PATH                # persistent scoring daemon
 //! ```
 //!
@@ -27,7 +28,9 @@
 use mpass_binary::{BinaryFormat, BinaryImage, Format, ParseMode};
 use mpass_corpus::{BenignPool, CorpusConfig, Dataset};
 use mpass_detectors::train::training_pairs;
-use mpass_detectors::{ByteConvConfig, Detector, MalConv, MalGcg, MalGcgConfig};
+use mpass_detectors::{
+    ByteConvConfig, Detector, LightGbm, MalConv, MalGcg, MalGcgConfig, NonNeg,
+};
 use mpass_pe::{PeFile, SectionKind};
 use mpass_sandbox::Sandbox;
 use rand::SeedableRng;
@@ -426,6 +429,46 @@ fn train_demo_malconv(seed: u64) -> MalConv {
     target
 }
 
+/// `mpass snapshot`: train the named demonstration detector and pack its
+/// weights into a versioned, checksummed snapshot file. `mpass serve
+/// --snapshot PATH` (and any out-of-process retrain pipeline) hot-loads
+/// the file at O(read) cost with scores bit-identical to the model that
+/// wrote it.
+pub fn cmd_snapshot(out_path: &str, detector: &str, seed: u64) -> CliResult {
+    let ds = Dataset::generate(&CorpusConfig {
+        n_malware: 24,
+        n_benign: 24,
+        seed,
+        no_slack_fraction: 0.0,
+    });
+    let samples: Vec<_> = ds.samples.iter().collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let snap = match detector {
+        "malconv" => train_demo_malconv(seed).to_snapshot(),
+        "nonneg" => {
+            let mut m = NonNeg::new(ByteConvConfig::tiny(), &mut rng);
+            m.train(&training_pairs(&samples), 5, 5e-3, &mut rng);
+            m.to_snapshot()
+        }
+        "malgcg" => {
+            let mut m = MalGcg::new(MalGcgConfig::tiny(), &mut rng);
+            m.train(&training_pairs(&samples), 5, 5e-3, &mut rng);
+            m.to_snapshot()
+        }
+        "lightgbm" => {
+            LightGbm::train(&samples, mpass_ml::GbdtParams::default(), &mut rng).to_snapshot()
+        }
+        other => {
+            return Err(format!(
+                "unknown detector {other:?} (malconv|nonneg|malgcg|lightgbm)"
+            ))
+        }
+    };
+    let bytes = snap.to_bytes();
+    std::fs::write(out_path, &bytes).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    Ok(format!("wrote {detector} snapshot ({} bytes) to {out_path}\n", bytes.len()))
+}
+
 pub fn cmd_score(paths: &[&String], seed: u64, max_batch: usize, linger_ms: u64) -> CliResult {
     use mpass_engine::{BatchPolicy, BatchScheduler};
     if paths.is_empty() {
@@ -495,28 +538,35 @@ pub struct ServeOptions {
     pub tenant_budget: Option<usize>,
     /// `--metrics-out PATH`: flush a metrics file at drain.
     pub metrics_out: Option<std::path::PathBuf>,
+    /// `--snapshot PATH`: serve the model in a weight-snapshot file
+    /// instead of training in-process; `reload` re-reads the file.
+    pub snapshot: Option<std::path::PathBuf>,
 }
 
 /// `mpass serve`: the persistent scoring daemon. Trains the same
-/// demonstration MalConv as `mpass score`, serves it hot-reloadably on
-/// a Unix socket, and blocks until a `shutdown` command or SIGTERM
-/// drains it. A `reload` command retrains with an epoch-derived seed —
-/// the weekly-learning update as a live model swap.
+/// demonstration MalConv as `mpass score` (or, with `--snapshot PATH`,
+/// decodes a weight-snapshot file), serves it hot-reloadably on a Unix
+/// socket, and blocks until a `shutdown` command or SIGTERM drains it. A
+/// `reload` command retrains with an epoch-derived seed — or re-reads the
+/// snapshot file, so a retrain elsewhere lands as an O(read) model swap.
 pub fn cmd_serve(opts: &ServeOptions) -> CliResult {
     use mpass_serve::{run_with_sigterm, ReloadableModel, Server, ServerConfig, TenantPolicy};
     use std::sync::Arc;
     use std::time::Duration;
 
     let seed = opts.seed;
-    let model = ReloadableModel::new(
-        Arc::new(train_demo_malconv(seed)),
-        move |epoch| {
-            // Weekly-learning producer: each epoch retrains on a corpus
-            // drawn from an epoch-derived seed.
-            let retrain_seed = seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            Ok(Arc::new(train_demo_malconv(retrain_seed)) as Arc<dyn Detector>)
-        },
-    );
+    let model = match &opts.snapshot {
+        Some(path) => ReloadableModel::from_snapshot_file(path)?,
+        None => ReloadableModel::new(
+            Arc::new(train_demo_malconv(seed)),
+            move |epoch| {
+                // Weekly-learning producer: each epoch retrains on a corpus
+                // drawn from an epoch-derived seed.
+                let retrain_seed = seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                Ok(Arc::new(train_demo_malconv(retrain_seed)) as Arc<dyn Detector>)
+            },
+        ),
+    };
     let server = Server::new(
         &model,
         ServerConfig {
@@ -578,9 +628,10 @@ USAGE:
   mpass pack FILE --packer upx|pespin|aspack --out FILE
   mpass attack FILE --out FILE [--seed S] [--faults SEED] [--format pe|macho]
   mpass score FILE [FILE ...] [--seed S] [--batch N] [--linger-ms MS]
+  mpass snapshot --out PATH [--detector malconv|nonneg|malgcg|lightgbm] [--seed S]
   mpass serve --socket PATH [--seed S] [--batch N] [--linger-ms MS] [--queue N]
               [--deadline-ms MS] [--rate R] [--burst B] [--tenant-budget N]
-              [--metrics-out PATH]
+              [--metrics-out PATH] [--snapshot PATH]
   mpass engine-report METRICS.json [METRICS.json ...]
 
 Container formats are auto-detected by magic (MZ -> pe, Mach-O magic
@@ -640,6 +691,11 @@ pub fn dispatch(args: &[String]) -> CliResult {
             flag(args, "--batch").and_then(|s| s.parse().ok()).unwrap_or(32),
             flag(args, "--linger-ms").and_then(|s| s.parse().ok()).unwrap_or(5),
         ),
+        "snapshot" => cmd_snapshot(
+            flag(args, "--out").ok_or("snapshot requires --out PATH")?,
+            flag(args, "--detector").unwrap_or("malconv"),
+            seed,
+        ),
         "serve" => cmd_serve(&ServeOptions {
             socket: flag(args, "--socket").ok_or("serve requires --socket PATH")?.into(),
             seed,
@@ -651,6 +707,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
             burst: flag(args, "--burst").and_then(|s| s.parse().ok()).unwrap_or(50),
             tenant_budget: flag(args, "--tenant-budget").and_then(|s| s.parse().ok()),
             metrics_out: flag(args, "--metrics-out").map(Into::into),
+            snapshot: flag(args, "--snapshot").map(Into::into),
         }),
         "engine-report" => cmd_engine_report(&positional),
         "" | "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
@@ -891,6 +948,77 @@ mod tests {
     #[test]
     fn serve_requires_a_socket() {
         assert!(dispatch(&strings(&["serve"])).is_err());
+    }
+
+    #[test]
+    fn snapshot_writes_a_loadable_bit_identical_model() {
+        let dir = tempdir();
+        let path = dir.join("malconv.mpss");
+        let msg = dispatch(&strings(&[
+            "snapshot",
+            "--out",
+            path.to_str().unwrap(),
+            "--seed",
+            "11",
+        ]))
+        .unwrap();
+        assert!(msg.contains("malconv snapshot"), "{msg}");
+
+        // The file decodes into a detector scoring bit-identically to the
+        // demo model it captured.
+        let snap = mpass_ml::Snapshot::load_file(&path).expect("snapshot decodes");
+        let reloaded = mpass_detectors::detector_from_snapshot(&snap).expect("rebuilds");
+        let fresh = train_demo_malconv(11);
+        for bytes in [&b"MZ\x90\x00"[..], &[0u8; 0][..], &[0x41; 600][..]] {
+            assert_eq!(fresh.score(bytes).to_bits(), reloaded.score(bytes).to_bits());
+        }
+
+        assert!(dispatch(&strings(&["snapshot"])).is_err(), "--out is required");
+        assert!(
+            dispatch(&strings(&[
+                "snapshot",
+                "--out",
+                path.to_str().unwrap(),
+                "--detector",
+                "mystery",
+            ]))
+            .is_err(),
+            "unknown detectors are refused"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_boots_from_a_snapshot_file() {
+        use mpass_serve::{Response, ServeClient};
+        let dir = tempdir();
+        let snap_path = dir.join("serve-model.mpss");
+        dispatch(&strings(&["snapshot", "--out", snap_path.to_str().unwrap(), "--seed", "7"]))
+            .unwrap();
+        let socket = dir.join("serve-snap.sock");
+        let daemon = {
+            let args = strings(&[
+                "serve",
+                "--socket",
+                socket.to_str().unwrap(),
+                "--snapshot",
+                snap_path.to_str().unwrap(),
+            ]);
+            std::thread::spawn(move || dispatch(&args))
+        };
+        let mut client = ServeClient::connect_retry(&socket, std::time::Duration::from_secs(60))
+            .expect("daemon must come up");
+        assert!(matches!(client.ping(1).unwrap(), Response::Pong { epoch: 1, .. }));
+        match client.score(2, "cli-test", b"MZ\x90\x00", Some(30_000)).unwrap() {
+            Response::Score(resp) => assert_eq!(resp.epoch, 1),
+            other => panic!("expected a score, got {other:?}"),
+        }
+        // Reload re-reads the snapshot file instead of retraining.
+        assert!(matches!(client.reload(3).unwrap(), Response::Reloaded { epoch: 2, .. }));
+        client.shutdown(4).unwrap();
+        let msg = daemon.join().unwrap().unwrap();
+        assert!(msg.contains("drained cleanly"), "{msg}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! extractor). Unparseable files fall back to whole-file byte statistics.
 
 use mpass_binary::{BinaryFormat, BinaryImage, SectionKind};
-use mpass_pe::{entropy, window_entropy};
+use mpass_pe::{entropy, window_entropy_into};
 use mpass_vm::{api, INSTR_SIZE};
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +54,30 @@ pub const FEATURE_DIM: usize = HIST_BUCKETS     // byte histogram
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FeatureExtractor;
 
+/// Reusable scratch buffers for [`FeatureExtractor::extract_with`].
+/// Batched scoring extracts thousands of candidates; holding the
+/// window-entropy buffer, the section-concatenation buffer, and the API
+/// counter array across items makes that loop allocation-free.
+#[derive(Debug, Clone)]
+pub struct FeatureScratch {
+    we: Vec<f64>,
+    all: Vec<u8>,
+    api: [usize; 33],
+}
+
+impl Default for FeatureScratch {
+    fn default() -> Self {
+        FeatureScratch { we: Vec::new(), all: Vec::new(), api: [0; 33] }
+    }
+}
+
+impl FeatureScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        FeatureScratch::default()
+    }
+}
+
 impl FeatureExtractor {
     /// Create an extractor.
     pub fn new() -> Self {
@@ -72,10 +96,18 @@ impl FeatureExtractor {
         f
     }
 
-    /// Extract features into a reused buffer (cleared first). Batched
-    /// scoring re-extracts thousands of candidates; recycling one
-    /// `FEATURE_DIM` buffer keeps that loop allocation-free.
+    /// Extract features into a reused buffer (cleared first), with private
+    /// scratch allocated per call. Prefer [`FeatureExtractor::extract_with`]
+    /// in batched loops so the scratch survives across items.
     pub fn extract_into(&self, bytes: &[u8], f: &mut Vec<f32>) {
+        let mut scratch = FeatureScratch::new();
+        self.extract_with(bytes, &mut scratch, f);
+    }
+
+    /// Extract features into a reused buffer (cleared first), reusing
+    /// `scratch` across calls. The arithmetic is identical to
+    /// [`FeatureExtractor::extract_into`] — only the allocations move.
+    pub fn extract_with(&self, bytes: &[u8], scratch: &mut FeatureScratch, f: &mut Vec<f32>) {
         f.clear();
         // --- byte histogram (coarse, normalized) ---
         let hist = mpass_pe::byte_histogram(bytes);
@@ -89,9 +121,9 @@ impl FeatureExtractor {
         // --- global statistics ---
         f.push(entropy(bytes) as f32 / 8.0);
         f.push((bytes.len() as f32).ln() / 16.0);
-        let windows = window_entropy(bytes, 256);
-        let max_we = windows.iter().cloned().fold(0.0f64, f64::max);
-        let mean_we = windows.iter().sum::<f64>() / windows.len().max(1) as f64;
+        window_entropy_into(bytes, 256, &mut scratch.we);
+        let max_we = scratch.we.iter().cloned().fold(0.0f64, f64::max);
+        let mean_we = scratch.we.iter().sum::<f64>() / scratch.we.len().max(1) as f64;
         f.push(max_we as f32 / 8.0);
         f.push(mean_we as f32 / 8.0);
 
@@ -121,33 +153,31 @@ impl FeatureExtractor {
         match &image {
             Some(image) => {
                 for kind in KINDS {
-                    let secs: Vec<_> = metas
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, m)| m.kind == kind)
-                        .filter_map(|(i, _)| image.section_data(i))
-                        .collect();
-                    if secs.is_empty() {
-                        f.extend_from_slice(&[0.0, 0.0, 0.0]);
-                    } else {
-                        let size: usize = secs.iter().map(|d| d.len()).sum();
-                        let mut all = Vec::with_capacity(size);
-                        for d in &secs {
+                    let all = &mut scratch.all;
+                    all.clear();
+                    let mut present = false;
+                    for (i, _) in metas.iter().enumerate().filter(|(_, m)| m.kind == kind) {
+                        if let Some(d) = image.section_data(i) {
+                            present = true;
                             all.extend_from_slice(d);
                         }
+                    }
+                    if !present {
+                        f.extend_from_slice(&[0.0, 0.0, 0.0]);
+                    } else {
                         f.push(1.0);
-                        f.push(size as f32 / total);
-                        f.push(entropy(&all) as f32 / 8.0);
+                        f.push(all.len() as f32 / total);
+                        f.push(entropy(all) as f32 / 8.0);
                     }
                 }
             }
             None => f.extend_from_slice(&[0.0; 18]),
         }
         // --- static API invocation counts ---
-        let api_counts = count_api_opcodes(bytes);
+        count_api_opcodes_into(bytes, &mut scratch.api);
         let code_units = (bytes.len() / INSTR_SIZE).max(1) as f32;
-        for id in 1..=32u16 {
-            f.push(*api_counts.get(&id).unwrap_or(&0) as f32 * 64.0 / code_units);
+        for id in 1..=32usize {
+            f.push(scratch.api[id] as f32 * 64.0 / code_units);
         }
         // --- string indicators ---
         for s in SUSPICIOUS_STRINGS {
@@ -182,11 +212,14 @@ impl FeatureExtractor {
 }
 
 /// Count statically visible `CallApi` encodings anywhere in the file (any
-/// byte offset — detectors cannot assume instruction alignment).
-fn count_api_opcodes(bytes: &[u8]) -> std::collections::HashMap<u16, usize> {
-    let mut counts = std::collections::HashMap::new();
+/// byte offset — detectors cannot assume instruction alignment). `counts`
+/// is zeroed first and indexed by API id; id 0 is never counted. A fixed
+/// array replaces the old per-call hash map: ids are dense in `1..=32`, so
+/// direct indexing is both faster and allocation-free.
+fn count_api_opcodes_into(bytes: &[u8], counts: &mut [usize; 33]) {
+    counts.fill(0);
     if bytes.len() < INSTR_SIZE {
-        return counts;
+        return;
     }
     for i in 0..=bytes.len() - INSTR_SIZE {
         // CallApi encodes as [0x30, 0, 0, 0, id_lo, id_hi, 0, 0].
@@ -199,11 +232,10 @@ fn count_api_opcodes(bytes: &[u8]) -> std::collections::HashMap<u16, usize> {
         {
             let id = u16::from_le_bytes([bytes[i + 4], bytes[i + 5]]);
             if (1..=32).contains(&id) {
-                *counts.entry(id).or_insert(0) += 1;
+                counts[id as usize] += 1;
             }
         }
     }
-    counts
 }
 
 fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
@@ -213,9 +245,12 @@ fn contains_subslice(haystack: &[u8], needle: &[u8]) -> bool {
 /// Count of statically visible *suspicious* API invocations — a convenience
 /// used by tests and the ablation analysis.
 pub fn suspicious_api_count(bytes: &[u8]) -> usize {
-    count_api_opcodes(bytes)
+    let mut counts = [0usize; 33];
+    count_api_opcodes_into(bytes, &mut counts);
+    counts
         .iter()
-        .filter(|(id, _)| api::ApiId(**id).is_suspicious())
+        .enumerate()
+        .filter(|(id, _)| api::ApiId(*id as u16).is_suspicious())
         .map(|(_, c)| *c)
         .sum()
 }

@@ -38,6 +38,7 @@ mod malconv;
 mod malgcg;
 pub mod oracle;
 mod signatures;
+pub mod snapshot;
 pub mod swap;
 mod traits;
 pub mod train;
@@ -48,5 +49,6 @@ pub use malconv::{ByteConvConfig, MalConv, NonNeg};
 pub use malgcg::{MalGcg, MalGcgConfig};
 pub use oracle::{FaultProfile, Oracle, UnreliableOracle};
 pub use signatures::SignatureStore;
+pub use snapshot::detector_from_snapshot;
 pub use swap::SwappableDetector;
 pub use traits::{benign_loss, Detector, DetectorExt, Verdict, WhiteBoxModel, WhiteBoxSession};

@@ -6,10 +6,10 @@
 //! it cannot be backpropagated" (paper footnote 6), so MPass attacks it by
 //! pure transfer from the differentiable ensemble.
 
-use crate::features::FeatureExtractor;
+use crate::features::{FeatureExtractor, FeatureScratch};
 use crate::traits::Detector;
 use mpass_corpus::Sample;
-use mpass_ml::{Gbdt, GbdtParams};
+use mpass_ml::{FlatForest, Gbdt, GbdtParams, Snapshot, SnapshotBuilder, SnapshotError};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -40,6 +40,54 @@ impl LightGbm {
     pub fn tree_count(&self) -> usize {
         self.model.tree_count()
     }
+
+    /// Pack the trained forest into a versioned, checksummed [`Snapshot`]:
+    /// the flattened SoA node columns plus base and threshold scalars.
+    pub fn to_snapshot(&self) -> Snapshot {
+        let flat = self.model.flatten();
+        let (roots, feature, value, left, right) = flat.columns();
+        let mut b = SnapshotBuilder::new();
+        b.meta("detector", "LightGBM")
+            .meta("feature_dim", crate::features::FEATURE_DIM)
+            .tensor("gbdt.base", &[flat.base()])
+            .tensor_u32("gbdt.roots", &roots)
+            .tensor_u32("gbdt.feature", &feature)
+            .tensor("gbdt.value", &value)
+            .tensor_u32("gbdt.left", &left)
+            .tensor_u32("gbdt.right", &right)
+            .tensor("threshold", &[self.threshold]);
+        b.finish()
+    }
+
+    /// Rebuild the exact model a [`LightGbm::to_snapshot`] captured;
+    /// scores are bit-identical to the source model's. The forest topology
+    /// is re-validated, so hostile snapshots fail typed instead of looping
+    /// or panicking.
+    pub fn from_snapshot(snap: &Snapshot) -> Result<LightGbm, SnapshotError> {
+        let dim: usize = snap.meta_parsed("feature_dim")?;
+        if dim != crate::features::FEATURE_DIM {
+            return Err(SnapshotError::BadMeta {
+                key: "feature_dim".to_owned(),
+                value: dim.to_string(),
+            });
+        }
+        let forest = FlatForest::from_columns(
+            snap.tensor_scalar("gbdt.base")?,
+            snap.tensor_u32("gbdt.roots")?,
+            snap.tensor_u32("gbdt.feature")?,
+            snap.tensor("gbdt.value")?.to_vec(),
+            snap.tensor_u32("gbdt.left")?,
+            snap.tensor_u32("gbdt.right")?,
+        )
+        .map_err(|e| SnapshotError::BadMeta { key: "gbdt".to_owned(), value: e })?;
+        let model = Gbdt::from_flat(&forest)
+            .map_err(|e| SnapshotError::BadMeta { key: "gbdt".to_owned(), value: e })?;
+        Ok(LightGbm {
+            extractor: FeatureExtractor::new(),
+            model,
+            threshold: snap.tensor_scalar("threshold")?,
+        })
+    }
 }
 
 impl Detector for LightGbm {
@@ -61,21 +109,24 @@ impl Detector for LightGbm {
 
     fn score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
         // Feature extraction dominates tree walking; the batch path keeps
-        // the per-item arithmetic identical and just recycles one feature
-        // buffer across the batch.
+        // the per-item arithmetic identical and recycles the feature buffer
+        // plus all extraction scratch (window-entropy, section-concat, API
+        // counters) across the batch.
+        let mut scratch = FeatureScratch::new();
         let mut features = Vec::with_capacity(self.extractor.dim());
         out.reserve(items.len());
         for bytes in items {
-            self.extractor.extract_into(bytes, &mut features);
+            self.extractor.extract_with(bytes, &mut scratch, &mut features);
             out.push(self.model.score(&features));
         }
     }
 
     fn raw_score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        let mut scratch = FeatureScratch::new();
         let mut features = Vec::with_capacity(self.extractor.dim());
         out.reserve(items.len());
         for bytes in items {
-            self.extractor.extract_into(bytes, &mut features);
+            self.extractor.extract_with(bytes, &mut scratch, &mut features);
             out.push(self.model.logit(&features));
         }
     }

@@ -14,7 +14,8 @@
 use crate::traits::{Detector, WhiteBoxModel, WhiteBoxSession};
 use mpass_ml::{
     bce_with_logits, bce_with_logits_backward, global_max_pool, global_max_pool_backward,
-    relu, relu_backward, sigmoid, Adam, Cached, Conv1d, Embedding, Linear, TokenConv,
+    relu, relu_backward, sigmoid, Adam, Cached, Conv1d, Embedding, Linear, QuantizedConv1d,
+    QuantizedLinear, QuantizedVec, Snapshot, SnapshotBuilder, SnapshotError, TokenConv,
     Workspace,
 };
 use rand::seq::SliceRandom;
@@ -80,6 +81,9 @@ pub struct ByteConvNet {
     /// rebuilt lazily after every training run ([`Cached`] is excluded
     /// from comparison/serialization and clones empty).
     tables: Cached<GatedTables>,
+    /// Int8-quantized inference layers, likewise derived lazily from the
+    /// trained weights and invalidated by training.
+    quant: Cached<QuantizedByteConv>,
 }
 
 /// Token-indexed response tables of the gated conv pair — the inference
@@ -88,6 +92,16 @@ pub struct ByteConvNet {
 struct GatedTables {
     a: TokenConv,
     b: TokenConv,
+}
+
+/// Int8-quantized counterparts of the full inference stack (gated conv
+/// pair + dense head), used by the opt-in `score_quantized` path.
+#[derive(Debug, Clone)]
+struct QuantizedByteConv {
+    a: QuantizedConv1d,
+    b: QuantizedConv1d,
+    head1: QuantizedLinear,
+    head2: QuantizedLinear,
 }
 
 /// Cached activations of one forward pass.
@@ -117,6 +131,7 @@ impl ByteConvNet {
             nonneg,
             threshold: 0.5,
             tables: Cached::new(),
+            quant: Cached::new(),
         };
         // PAD embeds to a frozen zero vector (PyTorch's `padding_idx`):
         // otherwise, on files shorter than the window, the identical
@@ -143,6 +158,104 @@ impl ByteConvNet {
         &self.config
     }
 
+    /// Pack the trained weights into a versioned, checksummed
+    /// [`Snapshot`]: one shared payload a reload can rebuild this exact
+    /// model from in O(read).
+    pub fn to_snapshot(&self) -> Snapshot {
+        let c = &self.config;
+        let mut b = SnapshotBuilder::new();
+        b.meta("detector", &self.name)
+            .meta("window", c.window)
+            .meta("embed_dim", c.embed_dim)
+            .meta("filters", c.filters)
+            .meta("kernel", c.kernel)
+            .meta("stride", c.stride)
+            .meta("hidden", c.hidden)
+            .meta("nonneg", u8::from(self.nonneg))
+            .tensor("embedding", &self.embedding.table.w)
+            .tensor("conv_a.weight", &self.conv_a.weight.w)
+            .tensor("conv_a.bias", &self.conv_a.bias.w)
+            .tensor("conv_b.weight", &self.conv_b.weight.w)
+            .tensor("conv_b.bias", &self.conv_b.bias.w)
+            .tensor("head1.weight", &self.head1.weight.w)
+            .tensor("head1.bias", &self.head1.bias.w)
+            .tensor("head2.weight", &self.head2.weight.w)
+            .tensor("head2.bias", &self.head2.bias.w)
+            .tensor("threshold", &[self.threshold]);
+        b.finish()
+    }
+
+    /// Rebuild the exact model a [`ByteConvNet::to_snapshot`] captured:
+    /// scores are bit-identical to the source model's. Shape-validated and
+    /// panic-free on untrusted snapshots.
+    pub fn from_snapshot(snap: &Snapshot) -> Result<ByteConvNet, SnapshotError> {
+        let config = ByteConvConfig {
+            window: snap.meta_parsed("window")?,
+            embed_dim: snap.meta_parsed("embed_dim")?,
+            filters: snap.meta_parsed("filters")?,
+            kernel: snap.meta_parsed("kernel")?,
+            stride: snap.meta_parsed("stride")?,
+            hidden: snap.meta_parsed("hidden")?,
+        };
+        if config.kernel == 0 || config.stride == 0 {
+            return Err(SnapshotError::BadMeta {
+                key: "kernel".to_owned(),
+                value: format!("kernel {} stride {}", config.kernel, config.stride),
+            });
+        }
+        let nonneg = snap.meta_parsed::<u8>("nonneg")? != 0;
+        let name = snap
+            .meta("detector")
+            .ok_or_else(|| SnapshotError::MissingMeta("detector".to_owned()))?;
+        let embedding = Embedding::from_weights(
+            VOCAB,
+            config.embed_dim,
+            snap.tensor_sized("embedding", VOCAB * config.embed_dim)?.to_vec(),
+        );
+        let conv_len = config.filters * config.kernel * config.embed_dim;
+        let conv_a = Conv1d::from_weights(
+            config.embed_dim,
+            config.filters,
+            config.kernel,
+            config.stride,
+            snap.tensor_sized("conv_a.weight", conv_len)?.to_vec(),
+            snap.tensor_sized("conv_a.bias", config.filters)?.to_vec(),
+        );
+        let conv_b = Conv1d::from_weights(
+            config.embed_dim,
+            config.filters,
+            config.kernel,
+            config.stride,
+            snap.tensor_sized("conv_b.weight", conv_len)?.to_vec(),
+            snap.tensor_sized("conv_b.bias", config.filters)?.to_vec(),
+        );
+        let head1 = Linear::from_weights(
+            config.filters,
+            config.hidden,
+            snap.tensor_sized("head1.weight", config.hidden * config.filters)?.to_vec(),
+            snap.tensor_sized("head1.bias", config.hidden)?.to_vec(),
+        );
+        let head2 = Linear::from_weights(
+            config.hidden,
+            1,
+            snap.tensor_sized("head2.weight", config.hidden)?.to_vec(),
+            snap.tensor_sized("head2.bias", 1)?.to_vec(),
+        );
+        Ok(ByteConvNet {
+            name: name.to_owned(),
+            config,
+            embedding,
+            conv_a,
+            conv_b,
+            head1,
+            head2,
+            nonneg,
+            threshold: snap.tensor_scalar("threshold")?,
+            tables: Cached::new(),
+            quant: Cached::new(),
+        })
+    }
+
     fn tokenize(&self, bytes: &[u8]) -> Vec<usize> {
         let mut tokens = Vec::with_capacity(self.config.window);
         for i in 0..self.config.window {
@@ -164,6 +277,17 @@ impl ByteConvNet {
         self.tables.get_or_build(|| GatedTables {
             a: TokenConv::build(&self.conv_a, &self.embedding),
             b: TokenConv::build(&self.conv_b, &self.embedding),
+        })
+    }
+
+    /// The int8-quantized inference layers, built on first use after
+    /// training (per-output-channel symmetric weight quantization).
+    fn quantized(&self) -> &QuantizedByteConv {
+        self.quant.get_or_build(|| QuantizedByteConv {
+            a: QuantizedConv1d::from_f32(&self.conv_a),
+            b: QuantizedConv1d::from_f32(&self.conv_b),
+            head1: QuantizedLinear::from_f32(&self.head1),
+            head2: QuantizedLinear::from_f32(&self.head2),
         })
     }
 
@@ -324,8 +448,10 @@ impl ByteConvNet {
             }
             last = total / data.len().max(1) as f32;
         }
-        // Weights changed: derived token tables must be rebuilt on next use.
+        // Weights changed: derived token tables and quantized layers must
+        // be rebuilt on next use.
         self.tables.invalidate();
+        self.quant.invalidate();
         last
     }
 
@@ -353,6 +479,12 @@ impl ByteConvNet {
         let kernel = self.config.kernel;
         let stride = self.config.stride;
         let windows_total = self.conv_a.windows(window);
+        // Component-major weight copies let every window's conv run as
+        // lane-chunked axpy over contiguous output channels; the kernel is
+        // bit-identical to the scalar `forward_window_into`, and building
+        // the transpose once per batch amortizes it over all items.
+        let xa = self.conv_a.transposed();
+        let xb = self.conv_b.transposed();
         let mut ws = Workspace::default();
         // One all-PAD receptive field serves every fully-padded window in
         // every item.
@@ -364,8 +496,8 @@ impl ByteConvNet {
         let mut pad_b = ws.take_f32(filters);
         let mut pad_gated = ws.take_f32(filters);
         if windows_total > 0 {
-            self.conv_a.forward_window_into(&pad_patch, 0, &mut pad_a);
-            self.conv_b.forward_window_into(&pad_patch, 0, &mut pad_b);
+            xa.forward_window_into(&pad_patch, 0, &mut pad_a);
+            xb.forward_window_into(&pad_patch, 0, &mut pad_b);
             for ((g, &ai), &bi) in pad_gated.iter_mut().zip(&pad_a).zip(&pad_b) {
                 *g = ai * sigmoid(bi);
             }
@@ -400,8 +532,8 @@ impl ByteConvNet {
                 x[i * dim..(i + 1) * dim].copy_from_slice(self.embedding.vector(PAD));
             }
             for w in 0..data_windows {
-                self.conv_a.forward_window_into(&x, w, &mut a_row);
-                self.conv_b.forward_window_into(&x, w, &mut b_row);
+                xa.forward_window_into(&x, w, &mut a_row);
+                xb.forward_window_into(&x, w, &mut b_row);
                 let g = &mut gated[w * filters..(w + 1) * filters];
                 for ((gi, &ai), &bi) in g.iter_mut().zip(&a_row).zip(&b_row) {
                     *gi = ai * sigmoid(bi);
@@ -411,6 +543,93 @@ impl ByteConvNet {
                 gated[w * filters..(w + 1) * filters].copy_from_slice(&pad_gated);
             }
             out.push(self.head_logit(&gated));
+        }
+    }
+
+    /// Batched int8-quantized logits, appended to `out` in input order.
+    ///
+    /// Weights are quantized per output channel (symmetric), activations
+    /// dynamically per tensor with 0.0 always exactly representable — so
+    /// PAD regions (frozen zero embedding) land exactly on the zero-point
+    /// and the all-PAD gated row computed once per batch replicates
+    /// bit-exactly. Each item's arithmetic is independent of the rest of
+    /// the batch, so a single-item call is bit-identical to the batched
+    /// one; accuracy versus the f32 path is tolerance-gated (score
+    /// divergence ≤ 1e-2, classification agreement ≥ 99%), not bit-exact.
+    fn logit_quantized_batch_into(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        let q = self.quantized();
+        let dim = self.embedding.dim();
+        let window = self.config.window;
+        let filters = self.config.filters;
+        let kernel = self.config.kernel;
+        let stride = self.config.stride;
+        let windows_total = self.conv_a.windows(window);
+        let mut ws = Workspace::default();
+        let mut pad_a = ws.take_f32(filters);
+        let mut pad_b = ws.take_f32(filters);
+        let mut pad_gated = ws.take_f32(filters);
+        if windows_total > 0 {
+            // PAD embeds to zero, and zero quantizes onto the zero-point
+            // exactly, so one all-zero receptive field serves every
+            // fully-padded window of every item.
+            let pad_qx = QuantizedVec::from_f32(&vec![0.0f32; kernel * dim]);
+            q.a.forward_window_into(&pad_qx, 0, &mut pad_a);
+            q.b.forward_window_into(&pad_qx, 0, &mut pad_b);
+            for ((g, &ai), &bi) in pad_gated.iter_mut().zip(&pad_a).zip(&pad_b) {
+                *g = ai * sigmoid(bi);
+            }
+        }
+        let mut x = ws.take_f32(window * dim);
+        let mut qx = QuantizedVec::default();
+        let mut a_row = ws.take_f32(filters);
+        let mut b_row = ws.take_f32(filters);
+        let mut gated = ws.take_f32(windows_total * filters);
+        let mut qpooled = QuantizedVec::default();
+        let mut a1 = ws.take_f32(self.config.hidden);
+        let mut qh1 = QuantizedVec::default();
+        let mut logit = [0.0f32; 1];
+        out.reserve(items.len());
+        for bytes in items {
+            let data_len = bytes.len().min(window);
+            let data_windows = if data_len == 0 {
+                0
+            } else {
+                (((data_len - 1) / stride) + 1).min(windows_total)
+            };
+            let visible = if data_windows == 0 {
+                0
+            } else {
+                ((data_windows - 1) * stride + kernel).min(window)
+            };
+            let data_fill = data_len.min(visible);
+            for (i, &byte) in bytes.iter().enumerate().take(data_fill) {
+                x[i * dim..(i + 1) * dim]
+                    .copy_from_slice(self.embedding.vector(byte as usize));
+            }
+            for i in data_fill..visible {
+                x[i * dim..(i + 1) * dim].copy_from_slice(self.embedding.vector(PAD));
+            }
+            qx.quantize(&x[..visible * dim]);
+            for w in 0..data_windows {
+                q.a.forward_window_into(&qx, w, &mut a_row);
+                q.b.forward_window_into(&qx, w, &mut b_row);
+                let g = &mut gated[w * filters..(w + 1) * filters];
+                for ((gi, &ai), &bi) in g.iter_mut().zip(&a_row).zip(&b_row) {
+                    *gi = ai * sigmoid(bi);
+                }
+            }
+            for w in data_windows..windows_total {
+                gated[w * filters..(w + 1) * filters].copy_from_slice(&pad_gated);
+            }
+            let (pooled, _) = global_max_pool(&gated, filters);
+            qpooled.quantize(&pooled);
+            q.head1.forward_into(&qpooled, &mut a1);
+            for v in a1.iter_mut() {
+                *v = v.max(0.0);
+            }
+            qh1.quantize(&a1);
+            q.head2.forward_into(&qh1, &mut logit);
+            out.push(logit[0]);
         }
     }
 }
@@ -442,6 +661,24 @@ impl Detector for ByteConvNet {
 
     fn raw_score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
         self.logit_batch_into(items, out);
+    }
+
+    fn has_quantized_path(&self) -> bool {
+        true
+    }
+
+    fn score_quantized(&self, bytes: &[u8]) -> f32 {
+        let mut out = Vec::with_capacity(1);
+        self.logit_quantized_batch_into(&[bytes], &mut out);
+        sigmoid(out[0])
+    }
+
+    fn score_quantized_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        let start = out.len();
+        self.logit_quantized_batch_into(items, out);
+        for s in &mut out[start..] {
+            *s = sigmoid(*s);
+        }
     }
 }
 
@@ -600,6 +837,16 @@ impl MalConv {
     ) -> f32 {
         self.0.train(data, epochs, lr, rng)
     }
+
+    /// See [`ByteConvNet::to_snapshot`].
+    pub fn to_snapshot(&self) -> Snapshot {
+        self.0.to_snapshot()
+    }
+
+    /// See [`ByteConvNet::from_snapshot`].
+    pub fn from_snapshot(snap: &Snapshot) -> Result<MalConv, SnapshotError> {
+        Ok(MalConv(ByteConvNet::from_snapshot(snap)?))
+    }
 }
 
 impl Detector for MalConv {
@@ -620,6 +867,15 @@ impl Detector for MalConv {
     }
     fn raw_score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
         self.0.raw_score_batch(items, out)
+    }
+    fn has_quantized_path(&self) -> bool {
+        self.0.has_quantized_path()
+    }
+    fn score_quantized(&self, bytes: &[u8]) -> f32 {
+        self.0.score_quantized(bytes)
+    }
+    fn score_quantized_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        self.0.score_quantized_batch(items, out)
     }
 }
 
@@ -673,6 +929,16 @@ impl NonNeg {
         self.0.train(data, epochs, lr, rng)
     }
 
+    /// See [`ByteConvNet::to_snapshot`].
+    pub fn to_snapshot(&self) -> Snapshot {
+        self.0.to_snapshot()
+    }
+
+    /// See [`ByteConvNet::from_snapshot`].
+    pub fn from_snapshot(snap: &Snapshot) -> Result<NonNeg, SnapshotError> {
+        Ok(NonNeg(ByteConvNet::from_snapshot(snap)?))
+    }
+
     /// Whether all constrained weights (the dense head) are currently
     /// non-negative.
     pub fn weights_nonnegative(&self) -> bool {
@@ -699,6 +965,15 @@ impl Detector for NonNeg {
     }
     fn raw_score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
         self.0.raw_score_batch(items, out)
+    }
+    fn has_quantized_path(&self) -> bool {
+        self.0.has_quantized_path()
+    }
+    fn score_quantized(&self, bytes: &[u8]) -> f32 {
+        self.0.score_quantized(bytes)
+    }
+    fn score_quantized_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        self.0.score_quantized_batch(items, out)
     }
 }
 
@@ -888,6 +1163,81 @@ mod tests {
         for (i, bytes) in items.iter().enumerate() {
             assert_eq!(verdicts[i], m.classify(bytes), "verdict item {i}");
         }
+    }
+
+    /// The int8 path is tolerance-gated against f32: score divergence
+    /// stays within 1e-2, and any classification flip must be a genuinely
+    /// borderline score (f32 score within the divergence budget of the
+    /// threshold).
+    #[test]
+    fn quantized_score_tracks_f32_score() {
+        let m = trained_tiny();
+        assert!(m.has_quantized_path());
+        let ds = dataset();
+        let window = m.0.config().window;
+        let mut owned: Vec<Vec<u8>> = ds.samples.iter().map(|s| s.bytes.clone()).collect();
+        owned.push(Vec::new());
+        owned.push(vec![0x4d; 3]);
+        owned.push(vec![0xab; window + 257]);
+        for (i, bytes) in owned.iter().enumerate() {
+            let f = m.score(bytes);
+            let qv = m.score_quantized(bytes);
+            assert!(
+                (f - qv).abs() <= 1e-2,
+                "item {i}: f32 {f} vs quantized {qv} diverge past 1e-2"
+            );
+            if (qv > m.threshold()) != (f > m.threshold()) {
+                assert!(
+                    (f - m.threshold()).abs() <= 1e-2,
+                    "item {i}: non-borderline verdict flip (f32 {f}, quantized {qv})"
+                );
+            }
+        }
+    }
+
+    /// The quantized path is integer arithmetic per item: batched scoring
+    /// must be bit-identical to N sequential `score_quantized` calls.
+    #[test]
+    fn quantized_batch_is_bit_identical_to_sequential() {
+        let m = trained_tiny();
+        let ds = dataset();
+        let mut owned: Vec<Vec<u8>> = ds.samples.iter().map(|s| s.bytes.clone()).collect();
+        owned.push(Vec::new());
+        owned.push(vec![0xcc; 70]);
+        let items: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        let mut batched = Vec::new();
+        m.score_quantized_batch(&items, &mut batched);
+        assert_eq!(batched.len(), items.len());
+        for (i, bytes) in items.iter().enumerate() {
+            assert_eq!(
+                batched[i].to_bits(),
+                m.score_quantized(bytes).to_bits(),
+                "item {i} (len {})",
+                bytes.len()
+            );
+        }
+    }
+
+    /// Training must invalidate the cached quantized layers along with the
+    /// token tables, or stale int8 weights would keep scoring.
+    #[test]
+    fn training_invalidates_quantized_cache() {
+        let ds = dataset();
+        let pairs = training_pairs(&ds.samples.iter().collect::<Vec<_>>());
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut m = MalConv::new(ByteConvConfig::tiny(), &mut rng);
+        m.train(&pairs, 1, 5e-3, &mut rng);
+        let bytes = &ds.malware()[0].bytes;
+        let before = m.score_quantized(bytes);
+        assert!(m.0.quant.is_built());
+        m.train(&pairs, 2, 5e-3, &mut rng);
+        let after = m.score_quantized(bytes);
+        // Same fixed point would mean the cache survived the weight update.
+        assert!(
+            (before - after).abs() > 0.0 || m.score(bytes) == before,
+            "quantized score unchanged by further training"
+        );
+        assert!((m.score(bytes) - after).abs() <= 1e-2);
     }
 
     /// The tabled white-box forward must agree with the naive score path

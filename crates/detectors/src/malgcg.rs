@@ -10,7 +10,8 @@
 use crate::traits::{Detector, WhiteBoxModel, WhiteBoxSession};
 use mpass_ml::{
     bce_with_logits, bce_with_logits_backward, global_max_pool, global_max_pool_backward,
-    relu, relu_backward, sigmoid, Adam, Cached, Conv1d, Embedding, Linear, TokenConv,
+    relu, relu_backward, sigmoid, Adam, Cached, Conv1d, Embedding, Linear, QuantizedConv1d,
+    QuantizedVec, Snapshot, SnapshotBuilder, SnapshotError, TokenConv,
     Workspace,
 };
 use rand::seq::SliceRandom;
@@ -88,6 +89,8 @@ pub struct MalGcg {
     threshold: f32,
     /// Token-indexed layer-1 responses; rebuilt lazily after training.
     tables: Cached<GcgTables>,
+    /// Int8-quantized inference layers, rebuilt lazily after training.
+    quant: Cached<QuantizedGcg>,
 }
 
 /// Token-indexed response table of the first conv layer. The second layer
@@ -96,6 +99,17 @@ pub struct MalGcg {
 #[derive(Debug, Clone)]
 struct GcgTables {
     t1: TokenConv,
+}
+
+/// Int8-quantized layer 1, used by the opt-in `score_quantized` path.
+/// Quantization is deliberately **hybrid**: layer 1 slides over the full
+/// byte window and dominates the compute, so it runs int8; stacking a
+/// second quantized conv on top of requantized activations compounds
+/// the error past the 1e-2 score budget, so layer 2 and the heads stay
+/// f32.
+#[derive(Debug, Clone)]
+struct QuantizedGcg {
+    c1: QuantizedConv1d,
 }
 
 struct Activations {
@@ -124,12 +138,114 @@ impl MalGcg {
             head2: Linear::new(config.hidden, 1, rng),
             threshold: 0.5,
             tables: Cached::new(),
+            quant: Cached::new(),
         }
     }
 
     /// The model configuration.
     pub fn config(&self) -> &MalGcgConfig {
         &self.config
+    }
+
+    /// Pack the trained weights into a versioned, checksummed
+    /// [`Snapshot`]; see [`Snapshot`] for the reload contract.
+    pub fn to_snapshot(&self) -> Snapshot {
+        let c = &self.config;
+        let mut b = SnapshotBuilder::new();
+        b.meta("detector", "MalGCG")
+            .meta("window", c.window)
+            .meta("embed_dim", c.embed_dim)
+            .meta("ch1", c.ch1)
+            .meta("kernel1", c.kernel1)
+            .meta("stride1", c.stride1)
+            .meta("ch2", c.ch2)
+            .meta("kernel2", c.kernel2)
+            .meta("stride2", c.stride2)
+            .meta("hidden", c.hidden)
+            .tensor("embedding", &self.embedding.table.w)
+            .tensor("conv1.weight", &self.conv1.weight.w)
+            .tensor("conv1.bias", &self.conv1.bias.w)
+            .tensor("conv2.weight", &self.conv2.weight.w)
+            .tensor("conv2.bias", &self.conv2.bias.w)
+            .tensor("head1.weight", &self.head1.weight.w)
+            .tensor("head1.bias", &self.head1.bias.w)
+            .tensor("head2.weight", &self.head2.weight.w)
+            .tensor("head2.bias", &self.head2.bias.w)
+            .tensor("threshold", &[self.threshold]);
+        b.finish()
+    }
+
+    /// Rebuild the exact model a [`MalGcg::to_snapshot`] captured: scores
+    /// are bit-identical to the source model's. Shape-validated and
+    /// panic-free on untrusted snapshots.
+    pub fn from_snapshot(snap: &Snapshot) -> Result<MalGcg, SnapshotError> {
+        let config = MalGcgConfig {
+            window: snap.meta_parsed("window")?,
+            embed_dim: snap.meta_parsed("embed_dim")?,
+            ch1: snap.meta_parsed("ch1")?,
+            kernel1: snap.meta_parsed("kernel1")?,
+            stride1: snap.meta_parsed("stride1")?,
+            ch2: snap.meta_parsed("ch2")?,
+            kernel2: snap.meta_parsed("kernel2")?,
+            stride2: snap.meta_parsed("stride2")?,
+            hidden: snap.meta_parsed("hidden")?,
+        };
+        if config.kernel1 == 0 || config.stride1 == 0 || config.kernel2 == 0 || config.stride2 == 0
+        {
+            return Err(SnapshotError::BadMeta {
+                key: "kernel1".to_owned(),
+                value: format!(
+                    "kernel1 {} stride1 {} kernel2 {} stride2 {}",
+                    config.kernel1, config.stride1, config.kernel2, config.stride2
+                ),
+            });
+        }
+        let embedding = Embedding::from_weights(
+            VOCAB,
+            config.embed_dim,
+            snap.tensor_sized("embedding", VOCAB * config.embed_dim)?.to_vec(),
+        );
+        let conv1 = Conv1d::from_weights(
+            config.embed_dim,
+            config.ch1,
+            config.kernel1,
+            config.stride1,
+            snap.tensor_sized("conv1.weight", config.ch1 * config.kernel1 * config.embed_dim)?
+                .to_vec(),
+            snap.tensor_sized("conv1.bias", config.ch1)?.to_vec(),
+        );
+        let conv2 = Conv1d::from_weights(
+            config.ch1,
+            config.ch2,
+            config.kernel2,
+            config.stride2,
+            snap.tensor_sized("conv2.weight", config.ch2 * config.kernel2 * config.ch1)?
+                .to_vec(),
+            snap.tensor_sized("conv2.bias", config.ch2)?.to_vec(),
+        );
+        let head1 = Linear::from_weights(
+            config.ch2 * 2,
+            config.hidden,
+            snap.tensor_sized("head1.weight", config.hidden * config.ch2 * 2)?.to_vec(),
+            snap.tensor_sized("head1.bias", config.hidden)?.to_vec(),
+        );
+        let head2 = Linear::from_weights(
+            config.hidden,
+            1,
+            snap.tensor_sized("head2.weight", config.hidden)?.to_vec(),
+            snap.tensor_sized("head2.bias", 1)?.to_vec(),
+        );
+        Ok(MalGcg {
+            config,
+            embedding,
+            conv1,
+            conv2,
+            head1,
+            head2,
+            threshold: snap.tensor_scalar("threshold")?,
+            tables: Cached::new(),
+            quant: Cached::new(),
+        })
     }
 
     fn tokenize(&self, bytes: &[u8]) -> Vec<usize> {
@@ -152,6 +268,12 @@ impl MalGcg {
             .get_or_build(|| GcgTables { t1: TokenConv::build(&self.conv1, &self.embedding) })
     }
 
+    /// The int8-quantized inference layers, built on first use after
+    /// training (per-output-channel symmetric weight quantization).
+    fn quantized(&self) -> &QuantizedGcg {
+        self.quant.get_or_build(|| QuantizedGcg { c1: QuantizedConv1d::from_f32(&self.conv1) })
+    }
+
     /// Tabled stacked forward: layer 1 via the token table, layer 2 via the
     /// per-window conv kernel over layer-1 activations. Fills `c1`/`r1`
     /// (`[windows1 × ch1]`) and `c2`/`r2` (`[windows2 × ch2]`).
@@ -171,8 +293,11 @@ impl MalGcg {
         let windows2 = self.conv2.windows(r1.len() / self.config.ch1);
         c2.clear();
         c2.resize(windows2 * ch2, 0.0);
+        // One transpose amortized over all layer-2 windows; bit-identical
+        // to the scalar per-window kernel.
+        let x2 = self.conv2.transposed();
         for w in 0..windows2 {
-            self.conv2.forward_window_into(r1, w, &mut c2[w * ch2..(w + 1) * ch2]);
+            x2.forward_window_into(r1, w, &mut c2[w * ch2..(w + 1) * ch2]);
         }
         r2.clear();
         r2.extend(c2.iter().map(|&v| v.max(0.0)));
@@ -351,9 +476,10 @@ impl MalGcg {
             }
             last = total / data.len().max(1) as f32;
         }
-        // Weights changed: the derived token table must be rebuilt on next
-        // use.
+        // Weights changed: the derived token table and quantized layers
+        // must be rebuilt on next use.
         self.tables.invalidate();
+        self.quant.invalidate();
         last
     }
 
@@ -372,6 +498,11 @@ impl MalGcg {
         let (kernel2, stride2) = (self.config.kernel2, self.config.stride2);
         let w1_total = self.conv1.windows(window);
         let w2_total = self.conv2.windows(w1_total);
+        // Component-major weight copies, built once per batch: each
+        // window's conv becomes lane-chunked axpy over contiguous output
+        // channels, bit-identical to the scalar kernel.
+        let x1 = self.conv1.transposed();
+        let x2 = self.conv2.transposed();
         let mut ws = Workspace::default();
         // Constant rows for the fully-padded tail, layer by layer.
         let mut pad_patch = ws.take_f32(kernel1 * dim);
@@ -380,7 +511,7 @@ impl MalGcg {
         }
         let mut pad_r1 = ws.take_f32(ch1);
         if w1_total > 0 {
-            self.conv1.forward_window_into(&pad_patch, 0, &mut pad_r1);
+            x1.forward_window_into(&pad_patch, 0, &mut pad_r1);
             for v in &mut pad_r1 {
                 *v = v.max(0.0);
             }
@@ -391,7 +522,7 @@ impl MalGcg {
         }
         let mut pad_r2 = ws.take_f32(ch2);
         if w2_total > 0 {
-            self.conv2.forward_window_into(&pad_r1_patch, 0, &mut pad_r2);
+            x2.forward_window_into(&pad_r1_patch, 0, &mut pad_r2);
             for v in &mut pad_r2 {
                 *v = v.max(0.0);
             }
@@ -424,7 +555,7 @@ impl MalGcg {
                 x[i * dim..(i + 1) * dim].copy_from_slice(self.embedding.vector(PAD));
             }
             for w in 0..data_w1 {
-                self.conv1.forward_window_into(&x, w, &mut c1_row);
+                x1.forward_window_into(&x, w, &mut c1_row);
                 for (r, &v) in r1[w * ch1..(w + 1) * ch1].iter_mut().zip(&c1_row) {
                     *r = v.max(0.0);
                 }
@@ -446,7 +577,110 @@ impl MalGcg {
                 r1[w * ch1..(w + 1) * ch1].copy_from_slice(&pad_r1);
             }
             for w in 0..data_w2 {
-                self.conv2.forward_window_into(&r1, w, &mut c2_row);
+                x2.forward_window_into(&r1, w, &mut c2_row);
+                for (r, &v) in r2[w * ch2..(w + 1) * ch2].iter_mut().zip(&c2_row) {
+                    *r = v.max(0.0);
+                }
+            }
+            for w in data_w2..w2_total {
+                r2[w * ch2..(w + 1) * ch2].copy_from_slice(&pad_r2);
+            }
+            out.push(self.head_logit(&r2));
+        }
+    }
+
+    /// Batched int8-quantized logits, appended to `out` in input order.
+    /// Hybrid quantization: layer 1 (the full-window slide that dominates
+    /// the compute) runs through the int8 kernel; layer 2 and the heads
+    /// stay f32, because a second quantized conv over requantized
+    /// activations compounds the error past the 1e-2 score budget. Same
+    /// pad-replication scheme as the f32 batch path: the constant all-PAD
+    /// layer-1 row is computed once per batch through the quantized
+    /// kernel (PAD embeds to zero, which lands exactly on the activation
+    /// zero-point). Each item's arithmetic is independent of the batch,
+    /// so single-item calls are bit-identical to batched ones; accuracy
+    /// versus f32 is tolerance-gated (divergence ≤ 1e-2, agreement
+    /// ≥ 99%), not bit-exact.
+    fn logit_quantized_batch_into(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        let q = self.quantized();
+        let dim = self.config.embed_dim;
+        let (window, ch1, ch2) = (self.config.window, self.config.ch1, self.config.ch2);
+        let (kernel1, stride1) = (self.config.kernel1, self.config.stride1);
+        let (kernel2, stride2) = (self.config.kernel2, self.config.stride2);
+        let w1_total = self.conv1.windows(window);
+        let w2_total = self.conv2.windows(w1_total);
+        let x2 = self.conv2.transposed();
+        let mut ws = Workspace::default();
+        let mut pad_r1 = ws.take_f32(ch1);
+        if w1_total > 0 {
+            let pad_qx = QuantizedVec::from_f32(&vec![0.0f32; kernel1 * dim]);
+            q.c1.forward_window_into(&pad_qx, 0, &mut pad_r1);
+            for v in &mut pad_r1 {
+                *v = v.max(0.0);
+            }
+        }
+        let mut pad_r1_patch = ws.take_f32(kernel2 * ch1);
+        for k in 0..kernel2 {
+            pad_r1_patch[k * ch1..(k + 1) * ch1].copy_from_slice(&pad_r1);
+        }
+        let mut pad_r2 = ws.take_f32(ch2);
+        if w2_total > 0 {
+            x2.forward_window_into(&pad_r1_patch, 0, &mut pad_r2);
+            for v in &mut pad_r2 {
+                *v = v.max(0.0);
+            }
+        }
+        let mut x = ws.take_f32(window * dim);
+        let mut qx = QuantizedVec::default();
+        let mut c1_row = ws.take_f32(ch1);
+        let mut c2_row = ws.take_f32(ch2);
+        let mut r1 = ws.take_f32(w1_total * ch1);
+        let mut r2 = ws.take_f32(w2_total * ch2);
+        out.reserve(items.len());
+        for bytes in items {
+            let data_len = bytes.len().min(window);
+            let data_w1 = if data_len == 0 {
+                0
+            } else {
+                (((data_len - 1) / stride1) + 1).min(w1_total)
+            };
+            let visible = if data_w1 == 0 {
+                0
+            } else {
+                ((data_w1 - 1) * stride1 + kernel1).min(window)
+            };
+            let data_fill = data_len.min(visible);
+            for (i, &byte) in bytes.iter().enumerate().take(data_fill) {
+                x[i * dim..(i + 1) * dim]
+                    .copy_from_slice(self.embedding.vector(byte as usize));
+            }
+            for i in data_fill..visible {
+                x[i * dim..(i + 1) * dim].copy_from_slice(self.embedding.vector(PAD));
+            }
+            qx.quantize(&x[..visible * dim]);
+            for w in 0..data_w1 {
+                q.c1.forward_window_into(&qx, w, &mut c1_row);
+                for (r, &v) in r1[w * ch1..(w + 1) * ch1].iter_mut().zip(&c1_row) {
+                    *r = v.max(0.0);
+                }
+            }
+            let data_w2 = if data_w1 == 0 {
+                0
+            } else {
+                (((data_w1 - 1) / stride2) + 1).min(w2_total)
+            };
+            let visible1 = if data_w2 == 0 {
+                0
+            } else {
+                ((data_w2 - 1) * stride2 + kernel2).min(w1_total)
+            };
+            for w in data_w1..visible1 {
+                r1[w * ch1..(w + 1) * ch1].copy_from_slice(&pad_r1);
+            }
+            // Layer 2 consumes the (dequantized-by-construction) f32 r1
+            // rows through the f32 transposed kernel.
+            for w in 0..data_w2 {
+                x2.forward_window_into(&r1, w, &mut c2_row);
                 for (r, &v) in r2[w * ch2..(w + 1) * ch2].iter_mut().zip(&c2_row) {
                     *r = v.max(0.0);
                 }
@@ -486,6 +720,24 @@ impl Detector for MalGcg {
 
     fn raw_score_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
         self.logit_batch_into(items, out);
+    }
+
+    fn has_quantized_path(&self) -> bool {
+        true
+    }
+
+    fn score_quantized(&self, bytes: &[u8]) -> f32 {
+        let mut out = Vec::with_capacity(1);
+        self.logit_quantized_batch_into(&[bytes], &mut out);
+        sigmoid(out[0])
+    }
+
+    fn score_quantized_batch(&self, items: &[&[u8]], out: &mut Vec<f32>) {
+        let start = out.len();
+        self.logit_quantized_batch_into(items, out);
+        for s in &mut out[start..] {
+            *s = sigmoid(*s);
+        }
     }
 }
 
@@ -732,6 +984,55 @@ mod tests {
                 m.score(bytes)
             );
             assert_eq!(raw[i].to_bits(), m.raw_score(bytes).to_bits(), "raw item {i}");
+        }
+    }
+
+    /// The int8 path is tolerance-gated against f32 through both conv
+    /// layers: divergence ≤ 1e-2, and any verdict flip must be borderline.
+    #[test]
+    fn quantized_score_tracks_f32_score() {
+        let (m, ds) = trained_tiny();
+        assert!(m.has_quantized_path());
+        let window = m.config().window;
+        let mut owned: Vec<Vec<u8>> = ds.samples.iter().map(|s| s.bytes.clone()).collect();
+        owned.push(Vec::new());
+        owned.push(vec![0x4d; 5]);
+        owned.push(vec![0xab; window + 100]);
+        for (i, bytes) in owned.iter().enumerate() {
+            let f = m.score(bytes);
+            let qv = m.score_quantized(bytes);
+            assert!(
+                (f - qv).abs() <= 1e-2,
+                "item {i}: f32 {f} vs quantized {qv} diverge past 1e-2"
+            );
+            if (qv > m.threshold()) != (f > m.threshold()) {
+                assert!(
+                    (f - m.threshold()).abs() <= 1e-2,
+                    "item {i}: non-borderline verdict flip (f32 {f}, quantized {qv})"
+                );
+            }
+        }
+    }
+
+    /// Batched quantized scoring must be bit-identical to N sequential
+    /// `score_quantized` calls (integer arithmetic, per-item independent).
+    #[test]
+    fn quantized_batch_is_bit_identical_to_sequential() {
+        let (m, ds) = trained_tiny();
+        let mut owned: Vec<Vec<u8>> = ds.samples.iter().map(|s| s.bytes.clone()).collect();
+        owned.push(Vec::new());
+        owned.push(vec![0xcc; 33]);
+        let items: Vec<&[u8]> = owned.iter().map(|b| b.as_slice()).collect();
+        let mut batched = Vec::new();
+        m.score_quantized_batch(&items, &mut batched);
+        assert_eq!(batched.len(), items.len());
+        for (i, bytes) in items.iter().enumerate() {
+            assert_eq!(
+                batched[i].to_bits(),
+                m.score_quantized(bytes).to_bits(),
+                "item {i} (len {})",
+                bytes.len()
+            );
         }
     }
 

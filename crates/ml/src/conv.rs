@@ -3,6 +3,7 @@
 //! transfer attack differentiates through).
 
 use crate::param::ParamBuf;
+use crate::simd;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +38,34 @@ impl Conv1d {
         Conv1d {
             weight: ParamBuf::uniform(out_ch * kernel * in_ch, scale, rng),
             bias: ParamBuf::new(vec![0.0; out_ch]),
+            in_ch,
+            out_ch,
+            kernel,
+            stride,
+        }
+    }
+
+    /// Reconstruct a layer from serialized weights (e.g. a weight
+    /// snapshot). Optimizer moments start fresh, which is exact for
+    /// inference-only use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes or a zero kernel/stride.
+    pub fn from_weights(
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        stride: usize,
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert_eq!(weight.len(), out_ch * kernel * in_ch, "conv weight shape mismatch");
+        assert_eq!(bias.len(), out_ch, "conv bias shape mismatch");
+        Conv1d {
+            weight: ParamBuf::new(weight),
+            bias: ParamBuf::new(bias),
             in_ch,
             out_ch,
             kernel,
@@ -109,8 +138,29 @@ impl Conv1d {
         crate::table::dirty_window_span(self.kernel, self.stride, self.windows(positions), lo, hi)
     }
 
+    /// Component-major (transposed) copy of the kernel weights for the
+    /// vectorized window kernel — see [`ConvXposed`]. Building the copy
+    /// costs `kernel·in_ch·out_ch` writes, amortized over however many
+    /// windows (or batch items) the caller pushes through it.
+    pub fn transposed(&self) -> ConvXposed<'_> {
+        let k_in = self.kernel * self.in_ch;
+        let mut wt = vec![0.0f32; k_in * self.out_ch];
+        for oc in 0..self.out_ch {
+            let row = &self.weight.w[oc * k_in..(oc + 1) * k_in];
+            for (i, &v) in row.iter().enumerate() {
+                wt[i * self.out_ch + oc] = v;
+            }
+        }
+        ConvXposed { conv: self, wt }
+    }
+
     /// Forward pass. `x` is `[positions × in_ch]` flat; returns
     /// `[windows × out_ch]` flat.
+    ///
+    /// Runs through the transposed lane-chunked kernel ([`ConvXposed`]),
+    /// which is bit-identical to [`Conv1d::forward_window_into`] per
+    /// window — callers patching cached outputs with either kernel see
+    /// the same numbers.
     ///
     /// # Panics
     ///
@@ -120,9 +170,10 @@ impl Conv1d {
         let positions = x.len() / self.in_ch;
         let windows = self.windows(positions);
         let mut out = vec![0.0f32; windows * self.out_ch];
+        let xp = self.transposed();
         for w in 0..windows {
             let (lo, hi) = (w * self.out_ch, (w + 1) * self.out_ch);
-            self.forward_window_into(x, w, &mut out[lo..hi]);
+            xp.forward_window_into(x, w, &mut out[lo..hi]);
         }
         out
     }
@@ -153,10 +204,8 @@ impl Conv1d {
                 let kw = &self.weight.w[oc * k_in..(oc + 1) * k_in];
                 let kg = &mut self.weight.g[oc * k_in..(oc + 1) * k_in];
                 let gx = &mut grad_x[start..start + k_in];
-                for i in 0..k_in {
-                    kg[i] += g * patch[i];
-                    gx[i] += g * kw[i];
-                }
+                simd::axpy(g, patch, kg);
+                simd::axpy(g, kw, gx);
             }
         }
         grad_x
@@ -191,10 +240,55 @@ impl Conv1d {
                     continue;
                 }
                 let kw = &self.weight.w[oc * k_in..(oc + 1) * k_in];
-                for (x_i, &w_i) in gx.iter_mut().zip(kw) {
-                    *x_i += g * w_i;
-                }
+                simd::axpy(g, kw, gx);
             }
+        }
+    }
+}
+
+/// Component-major view of a [`Conv1d`]: the weights copied into
+/// `wt[i][oc]` order for flat patch index `i ∈ 0..kernel·in_ch`, so the
+/// window kernel streams one input component against a contiguous row of
+/// per-output-channel weights ([`simd::axpy`]).
+///
+/// Numerics: for each output channel the accumulation visits patch
+/// components in the same ascending order as the scalar
+/// [`Conv1d::forward_window_into`] loop — only the operand order of each
+/// multiplication differs, and IEEE-754 multiplication is commutative —
+/// so the result is **bit-identical** to the scalar kernel while the
+/// inner loop runs across output channels and autovectorizes.
+#[derive(Debug)]
+pub struct ConvXposed<'a> {
+    conv: &'a Conv1d,
+    /// Transposed weights, `[kernel·in_ch][out_ch]` flattened.
+    wt: Vec<f32>,
+}
+
+impl ConvXposed<'_> {
+    /// Compute output window `w` into `out_row` (`out_ch` wide) —
+    /// bit-identical to [`Conv1d::forward_window_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window or `out_row` shape is out of range.
+    pub fn forward_window_into(&self, x: &[f32], w: usize, out_row: &mut [f32]) {
+        let c = self.conv;
+        assert_eq!(x.len() % c.in_ch, 0, "input not a whole number of positions");
+        assert!(w < c.windows(x.len() / c.in_ch), "window {w} out of range");
+        assert_eq!(out_row.len(), c.out_ch, "output row width mismatch");
+        let k_in = c.kernel * c.in_ch;
+        let start = w * c.stride * c.in_ch;
+        let patch = &x[start..start + k_in];
+        out_row.copy_from_slice(&c.bias.w);
+        // Four patch components per pass (bit-identical fusion — see
+        // `simd::axpy4`), plain axpy for the ragged tail.
+        let quads = k_in / 4 * 4;
+        for i in (0..quads).step_by(4) {
+            let a = [patch[i], patch[i + 1], patch[i + 2], patch[i + 3]];
+            simd::axpy4(a, &self.wt[i * c.out_ch..(i + 4) * c.out_ch], out_row);
+        }
+        for (i, &xi) in patch.iter().enumerate().skip(quads) {
+            simd::axpy(xi, &self.wt[i * c.out_ch..(i + 1) * c.out_ch], out_row);
         }
     }
 }
@@ -297,6 +391,37 @@ mod tests {
     fn ragged_backward_panics() {
         let mut c = conv(3, 1, 1, 1);
         let _ = c.backward(&[0.0; 7], &[1.0; 2]);
+    }
+
+    /// The transposed lane-chunked kernel must be bit-identical to the
+    /// scalar reference across shapes that exercise lane tails (out_ch
+    /// not a multiple of 8) and strides.
+    #[test]
+    fn transposed_kernel_is_bit_identical_to_scalar() {
+        let mut rng = ChaCha8Rng::seed_from_u64(29);
+        for (in_ch, out_ch, kernel, stride, positions) in
+            [(1, 1, 1, 1, 4), (2, 3, 4, 2, 11), (4, 7, 3, 1, 9), (8, 16, 5, 3, 20), (3, 9, 2, 2, 8)]
+        {
+            let mut c = conv(in_ch, out_ch, kernel, stride);
+            for w in c.weight.w.iter_mut() {
+                *w = rng.gen_range(-1.0..1.0);
+            }
+            for b in c.bias.w.iter_mut() {
+                *b = rng.gen_range(-0.5..0.5);
+            }
+            let x: Vec<f32> =
+                (0..positions * in_ch).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let xp = c.transposed();
+            let mut scalar = vec![0.0f32; out_ch];
+            let mut lanes = vec![0.0f32; out_ch];
+            for w in 0..c.windows(positions) {
+                c.forward_window_into(&x, w, &mut scalar);
+                xp.forward_window_into(&x, w, &mut lanes);
+                for (s, l) in scalar.iter().zip(&lanes) {
+                    assert_eq!(s.to_bits(), l.to_bits(), "shape {in_ch}x{out_ch}k{kernel}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -26,6 +26,18 @@ impl Embedding {
         Embedding { table: ParamBuf::uniform(vocab * dim, 0.5, rng), vocab, dim }
     }
 
+    /// Reconstruct a table from serialized weights (e.g. a weight
+    /// snapshot). Optimizer moments start fresh, which is exact for
+    /// inference-only use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table.len() != vocab * dim`.
+    pub fn from_weights(vocab: usize, dim: usize, table: Vec<f32>) -> Self {
+        assert_eq!(table.len(), vocab * dim, "embedding table shape mismatch");
+        Embedding { table: ParamBuf::new(table), vocab, dim }
+    }
+
     /// Vocabulary size.
     pub fn vocab(&self) -> usize {
         self.vocab
@@ -41,6 +53,11 @@ impl Embedding {
     /// # Panics
     ///
     /// Panics if `token ≥ vocab`.
+    ///
+    /// `#[inline]` because the batch embed loops call this once per input
+    /// byte from other crates; without cross-crate inlining the call and
+    /// its bounds assert dominate the gather.
+    #[inline]
     pub fn vector(&self, token: usize) -> &[f32] {
         assert!(token < self.vocab, "token {token} out of vocabulary {}", self.vocab);
         &self.table.w[token * self.dim..(token + 1) * self.dim]

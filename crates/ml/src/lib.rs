@@ -23,6 +23,17 @@
 //! returns the gradient with respect to its input, so full input-gradient
 //! chains (loss → logits → conv → embedding) are available to the
 //! ensemble-transfer optimizer.
+//!
+//! The serving-oriented additions live in three modules: [`simd`]
+//! (lane-chunked kernels the conv/linear/table forwards are built on),
+//! [`quant`] (int8 inference layers behind bounded-error gates), and
+//! [`snapshot`] (versioned, checksummed weight buffers for O(read) hot
+//! reload).
+
+// Inference kernels run inside the serving daemon; a stray panic there is
+// an outage. Shape violations still use `assert!` (programmer error), but
+// recoverable conditions must flow through typed errors.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 mod activation;
 mod conv;
@@ -34,17 +45,22 @@ pub mod metrics;
 mod mlp;
 mod param;
 mod pool;
+pub mod quant;
+pub mod simd;
+pub mod snapshot;
 mod table;
 mod workspace;
 
 pub use activation::{relu, relu_backward, sigmoid, sigmoid_backward};
-pub use conv::Conv1d;
+pub use conv::{Conv1d, ConvXposed};
 pub use embedding::Embedding;
-pub use gbdt::{Gbdt, GbdtParams, Tree};
+pub use gbdt::{FlatForest, Gbdt, GbdtParams, Tree};
 pub use linear::Linear;
 pub use loss::{bce_with_logits, bce_with_logits_backward};
 pub use mlp::Mlp;
 pub use param::{Adam, ParamBuf};
 pub use pool::{global_max_pool, global_max_pool_backward};
+pub use quant::{QuantizedConv1d, QuantizedLinear, QuantizedVec};
+pub use snapshot::{Snapshot, SnapshotBuilder, SnapshotError};
 pub use table::{dirty_window_span, TokenConv};
 pub use workspace::{Cached, Workspace};

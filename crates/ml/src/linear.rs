@@ -1,6 +1,7 @@
 //! Fully-connected layer.
 
 use crate::param::ParamBuf;
+use crate::simd;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +28,19 @@ impl Linear {
         }
     }
 
+    /// Reconstruct a layer from serialized weights (e.g. a weight
+    /// snapshot). Optimizer moments start fresh, which is exact for
+    /// inference-only use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes.
+    pub fn from_weights(in_dim: usize, out_dim: usize, weight: Vec<f32>, bias: Vec<f32>) -> Self {
+        assert_eq!(weight.len(), out_dim * in_dim, "linear weight shape mismatch");
+        assert_eq!(bias.len(), out_dim, "linear bias shape mismatch");
+        Linear { weight: ParamBuf::new(weight), bias: ParamBuf::new(bias), in_dim, out_dim }
+    }
+
     /// Input dimensionality.
     pub fn in_dim(&self) -> usize {
         self.in_dim
@@ -37,20 +51,56 @@ impl Linear {
         self.out_dim
     }
 
+    /// Component-major (transposed) copy of the weights, `wt[i][o]`
+    /// flattened — the layout [`Linear::forward`] streams through
+    /// [`simd::axpy`]. Exposed so batch paths can hoist the transpose out
+    /// of per-item loops.
+    pub fn weight_xposed(&self) -> Vec<f32> {
+        let mut wt = vec![0.0f32; self.in_dim * self.out_dim];
+        for o in 0..self.out_dim {
+            let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
+            for (i, &v) in row.iter().enumerate() {
+                wt[i * self.out_dim + o] = v;
+            }
+        }
+        wt
+    }
+
+    /// `y = W x + b` through a prebuilt transposed weight copy
+    /// ([`Linear::weight_xposed`]). Per-output accumulation visits input
+    /// components in the same ascending order as a row-major loop, so the
+    /// result is bit-identical to it while the inner loop runs across
+    /// outputs and autovectorizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x`, `y`, or `wt` shapes mismatch the layer.
+    pub fn forward_xposed_into(&self, wt: &[f32], x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), self.in_dim, "linear input dimension mismatch");
+        assert_eq!(y.len(), self.out_dim, "linear output dimension mismatch");
+        assert_eq!(wt.len(), self.in_dim * self.out_dim, "transposed weight shape mismatch");
+        y.copy_from_slice(&self.bias.w);
+        // Four input components per pass (bit-identical fusion — see
+        // `simd::axpy4`), plain axpy for the ragged tail.
+        let quads = self.in_dim / 4 * 4;
+        for i in (0..quads).step_by(4) {
+            let a = [x[i], x[i + 1], x[i + 2], x[i + 3]];
+            simd::axpy4(a, &wt[i * self.out_dim..(i + 4) * self.out_dim], y);
+        }
+        for i in quads..self.in_dim {
+            simd::axpy(x[i], &wt[i * self.out_dim..(i + 1) * self.out_dim], y);
+        }
+    }
+
     /// `y = W x + b`.
     ///
     /// # Panics
     ///
     /// Panics when `x.len() != in_dim`.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
-        assert_eq!(x.len(), self.in_dim, "linear input dimension mismatch");
-        let mut y = self.bias.w.clone();
-        for (o, yo) in y.iter_mut().enumerate() {
-            let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
-            for (w, xi) in row.iter().zip(x) {
-                *yo += w * xi;
-            }
-        }
+        let wt = self.weight_xposed();
+        let mut y = vec![0.0f32; self.out_dim];
+        self.forward_xposed_into(&wt, x, &mut y);
         y
     }
 
@@ -62,10 +112,8 @@ impl Linear {
             self.bias.g[o] += g;
             let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
             let grow = &mut self.weight.g[o * self.in_dim..(o + 1) * self.in_dim];
-            for i in 0..self.in_dim {
-                grow[i] += g * x[i];
-                grad_x[i] += g * row[i];
-            }
+            simd::axpy(g, x, grow);
+            simd::axpy(g, row, &mut grad_x);
         }
         grad_x
     }
@@ -79,9 +127,7 @@ impl Linear {
         assert_eq!(grad_x.len(), self.in_dim, "input gradient dimension mismatch");
         for (o, &g) in grad_out.iter().enumerate() {
             let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
-            for (x_i, &w_i) in grad_x.iter_mut().zip(row) {
-                *x_i += g * w_i;
-            }
+            simd::axpy(g, row, grad_x);
         }
     }
 }
@@ -144,6 +190,28 @@ mod tests {
         let mut fast = vec![0.0f32; 5];
         l.backward_input(&grad_out, &mut fast);
         assert_eq!(full, fast);
+    }
+
+    /// The transposed kernel must be bit-identical to the row-major
+    /// reference across shapes that exercise lane tails.
+    #[test]
+    fn transposed_forward_is_bit_identical_to_row_major() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        for (in_dim, out_dim) in [(1usize, 1usize), (4, 3), (16, 16), (32, 7), (7, 33)] {
+            let l = Linear::new(in_dim, out_dim, &mut rng);
+            let x: Vec<f32> = (0..in_dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let got = l.forward(&x);
+            let mut reference = l.bias.w.clone();
+            for (o, yo) in reference.iter_mut().enumerate() {
+                let row = &l.weight.w[o * in_dim..(o + 1) * in_dim];
+                for (w, xi) in row.iter().zip(&x) {
+                    *yo += w * xi;
+                }
+            }
+            for (g, r) in got.iter().zip(&reference) {
+                assert_eq!(g.to_bits(), r.to_bits(), "{in_dim}x{out_dim}");
+            }
+        }
     }
 
     #[test]

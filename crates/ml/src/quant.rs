@@ -1,0 +1,339 @@
+//! Int8-quantized inference layers.
+//!
+//! The quantized scoring path trades the last decimals of the f32 score
+//! for integer arithmetic: weights are quantized per output channel to
+//! symmetric i8 (`zero_point = 0`, scale = `amax/127`), activations are
+//! quantized dynamically per tensor to affine i8 (scale + zero point over
+//! the observed range, with 0.0 always exactly representable — padding
+//! regions stay exact), and the dot products accumulate in i32 via
+//! [`simd::dot_i8`]. Dequantization applies one fused multiplier per
+//! output channel:
+//!
+//! ```text
+//! y[o] = bias[o] + (Σ_i qw[o][i]·qx[i] − zx·Σ_i qw[o][i]) · sw[o] · sx
+//! ```
+//!
+//! Unlike the f32 kernels this path is **not** bit-exact against the
+//! float forward — it is gated by bounded-error property tests instead
+//! (score divergence and classification agreement at the detector level,
+//! round-trip bounds here). It *is* deterministic, and batch-vs-sequential
+//! quantized scoring stays bit-identical because integer arithmetic has
+//! no association error.
+
+use crate::conv::Conv1d;
+use crate::linear::Linear;
+use crate::simd;
+
+/// An affine-quantized activation vector: `x[i] ≈ (q[i] − zero) · scale`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuantizedVec {
+    /// Quantized values.
+    pub q: Vec<i8>,
+    /// Dequantization scale (bit pattern compared in `Eq` via containers).
+    scale_bits: u32,
+    /// Zero point: the i8 code representing exactly 0.0.
+    pub zero: i32,
+}
+
+impl QuantizedVec {
+    /// The dequantization scale.
+    pub fn scale(&self) -> f32 {
+        f32::from_bits(self.scale_bits)
+    }
+
+    /// Quantize `x` into this buffer (reusing its allocation): per-tensor
+    /// dynamic affine quantization over `[min(0, min x), max(0, max x)]`.
+    /// Including 0.0 in the range pins an exact zero code, so all-padding
+    /// spans quantize without error.
+    pub fn quantize(&mut self, x: &[f32]) {
+        let mut lo = 0.0f32;
+        let mut hi = 0.0f32;
+        for &v in x {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let mut scale = (hi - lo) / 255.0;
+        if scale <= 0.0 {
+            // All-zero (or empty) input: any positive scale maps 0.0 → code 0.
+            scale = 1.0;
+        }
+        let zero = (-128.0 - lo / scale).round().clamp(-128.0, 127.0) as i32;
+        self.q.clear();
+        self.q.extend(x.iter().map(|&v| {
+            ((v / scale).round() as i32 + zero).clamp(-128, 127) as i8
+        }));
+        self.scale_bits = scale.to_bits();
+        self.zero = zero;
+    }
+
+    /// Quantize `x` into a fresh buffer.
+    pub fn from_f32(x: &[f32]) -> Self {
+        let mut qv = QuantizedVec::default();
+        qv.quantize(x);
+        qv
+    }
+
+    /// Dequantized value at `i`.
+    pub fn dequantize(&self, i: usize) -> f32 {
+        (i32::from(self.q[i]) - self.zero) as f32 * self.scale()
+    }
+}
+
+/// Per-output-channel symmetric i8 quantization of a weight matrix
+/// `[rows][cols]`: returns `(q, scale, row_sum)` where
+/// `w[r][c] ≈ q[r][c] · scale[r]` and `row_sum[r] = Σ_c q[r][c]` (the
+/// activation-zero-point correction term).
+fn quantize_rows(w: &[f32], rows: usize, cols: usize) -> (Vec<i8>, Vec<f32>, Vec<i32>) {
+    assert_eq!(w.len(), rows * cols, "weight shape mismatch");
+    let mut q = vec![0i8; rows * cols];
+    let mut scale = vec![1.0f32; rows];
+    let mut row_sum = vec![0i32; rows];
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        let amax = row.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        // Symmetric over [-127, 127]: keeps zero_point at 0 and avoids
+        // the asymmetric -128 code.
+        let s = if amax > 0.0 { amax / 127.0 } else { 1.0 };
+        scale[r] = s;
+        let mut sum = 0i32;
+        for (qc, &v) in q[r * cols..(r + 1) * cols].iter_mut().zip(row) {
+            let code = (v / s).round().clamp(-127.0, 127.0) as i32;
+            sum += code;
+            *qc = code as i8;
+        }
+        row_sum[r] = sum;
+    }
+    (q, scale, row_sum)
+}
+
+/// Int8 dense layer: per-output-channel symmetric weights (zero point 0),
+/// i32 accumulation, fused per-channel dequantization.
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    q: Vec<i8>,
+    scale: Vec<f32>,
+    row_sum: Vec<i32>,
+    bias: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl QuantizedLinear {
+    /// Quantize a trained [`Linear`].
+    pub fn from_f32(l: &Linear) -> Self {
+        let (in_dim, out_dim) = (l.in_dim(), l.out_dim());
+        let (q, scale, row_sum) = quantize_rows(&l.weight.w, out_dim, in_dim);
+        QuantizedLinear { q, scale, row_sum, bias: l.bias.w.clone(), in_dim, out_dim }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// `y ≈ W x + b` over a quantized input.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.q` or `y` shapes mismatch the layer.
+    pub fn forward_into(&self, x: &QuantizedVec, y: &mut [f32]) {
+        assert_eq!(x.q.len(), self.in_dim, "quantized linear input dimension mismatch");
+        assert_eq!(y.len(), self.out_dim, "quantized linear output dimension mismatch");
+        let sx = x.scale();
+        for (o, yo) in y.iter_mut().enumerate() {
+            let row = &self.q[o * self.in_dim..(o + 1) * self.in_dim];
+            let acc = simd::dot_i8(row, &x.q) - x.zero * self.row_sum[o];
+            *yo = self.bias[o] + acc as f32 * (self.scale[o] * sx);
+        }
+    }
+}
+
+/// Int8 1-D convolution: the quantized counterpart of [`Conv1d`], run over
+/// one quantized activation buffer laid out `[position][in_ch]` like the
+/// f32 layer.
+#[derive(Debug, Clone)]
+pub struct QuantizedConv1d {
+    q: Vec<i8>,
+    scale: Vec<f32>,
+    row_sum: Vec<i32>,
+    bias: Vec<f32>,
+    in_ch: usize,
+    out_ch: usize,
+    kernel: usize,
+    stride: usize,
+}
+
+impl QuantizedConv1d {
+    /// Quantize a trained [`Conv1d`].
+    pub fn from_f32(c: &Conv1d) -> Self {
+        let k_in = c.kernel() * c.in_ch();
+        let (q, scale, row_sum) = quantize_rows(&c.weight.w, c.out_ch(), k_in);
+        QuantizedConv1d {
+            q,
+            scale,
+            row_sum,
+            bias: c.bias.w.clone(),
+            in_ch: c.in_ch(),
+            out_ch: c.out_ch(),
+            kernel: c.kernel(),
+            stride: c.stride(),
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_ch(&self) -> usize {
+        self.out_ch
+    }
+
+    /// Number of output windows for an input of `positions` rows.
+    pub fn windows(&self, positions: usize) -> usize {
+        if positions < self.kernel {
+            0
+        } else {
+            (positions - self.kernel) / self.stride + 1
+        }
+    }
+
+    /// Compute output window `w` into `out_row` (`out_ch` wide) over the
+    /// quantized input buffer `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window or `out_row` shape is out of range.
+    pub fn forward_window_into(&self, x: &QuantizedVec, w: usize, out_row: &mut [f32]) {
+        assert_eq!(x.q.len() % self.in_ch, 0, "input not a whole number of positions");
+        assert!(w < self.windows(x.q.len() / self.in_ch), "window {w} out of range");
+        assert_eq!(out_row.len(), self.out_ch, "output row width mismatch");
+        let k_in = self.kernel * self.in_ch;
+        let start = w * self.stride * self.in_ch;
+        let patch = &x.q[start..start + k_in];
+        let sx = x.scale();
+        for (oc, o) in out_row.iter_mut().enumerate() {
+            let row = &self.q[oc * k_in..(oc + 1) * k_in];
+            let acc = simd::dot_i8(row, patch) - x.zero * self.row_sum[oc];
+            *o = self.bias[oc] + acc as f32 * (self.scale[oc] * sx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Dequantizing an affine-quantized value recovers it to within half
+    /// a quantization step, and 0.0 is always exact.
+    #[test]
+    fn activation_round_trip_is_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for n in [1usize, 8, 100, 1000] {
+            let x: Vec<f32> = (0..n).map(|_| rng.gen_range(-3.0..5.0)).collect();
+            let qv = QuantizedVec::from_f32(&x);
+            let bound = qv.scale() * 0.5 + 1e-6;
+            for (i, &v) in x.iter().enumerate() {
+                let err = (v - qv.dequantize(i)).abs();
+                assert!(err <= bound, "n={n} i={i}: err {err} > {bound}");
+            }
+        }
+        let zeros = vec![0.0f32; 16];
+        let qv = QuantizedVec::from_f32(&zeros);
+        for i in 0..16 {
+            assert_eq!(qv.dequantize(i), 0.0, "zero must be exactly representable");
+        }
+    }
+
+    /// Weight rows round-trip within half a step of their per-row scale.
+    #[test]
+    fn weight_round_trip_is_bounded() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let l = Linear::new(32, 5, &mut rng);
+        let ql = QuantizedLinear::from_f32(&l);
+        for o in 0..5 {
+            let s = ql.scale[o];
+            for i in 0..32 {
+                let w = l.weight.w[o * 32 + i];
+                let back = f32::from(ql.q[o * 32 + i]) * s;
+                assert!((w - back).abs() <= s * 0.5 + 1e-7, "({o},{i})");
+            }
+        }
+    }
+
+    /// Quantized forward tracks the f32 forward within an error budget
+    /// proportional to the quantization steps (the detector-level gates
+    /// bound the end-to-end score; this pins the layer in isolation).
+    #[test]
+    fn quantized_linear_tracks_f32_forward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for (in_dim, out_dim) in [(16usize, 8usize), (64, 16), (100, 3)] {
+            let l = Linear::new(in_dim, out_dim, &mut rng);
+            let ql = QuantizedLinear::from_f32(&l);
+            let x: Vec<f32> = (0..in_dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let qx = QuantizedVec::from_f32(&x);
+            let exact = l.forward(&x);
+            let mut approx = vec![0.0f32; out_dim];
+            ql.forward_into(&qx, &mut approx);
+            // Worst-case error per output: each product carries at most
+            // (|w| sx/2 + |x| sw/2 + sw sx/4); bound loosely via norms.
+            for (o, (e, a)) in exact.iter().zip(&approx).enumerate() {
+                let row = &l.weight.w[o * in_dim..(o + 1) * in_dim];
+                let budget: f32 = row
+                    .iter()
+                    .zip(&x)
+                    .map(|(&w, &xi)| {
+                        w.abs() * qx.scale() * 0.5
+                            + xi.abs() * ql.scale[o] * 0.5
+                            + ql.scale[o] * qx.scale() * 0.75
+                    })
+                    .sum::<f32>()
+                    + 1e-5;
+                assert!((e - a).abs() <= budget, "{in_dim}x{out_dim} out {o}: {e} vs {a}");
+            }
+        }
+    }
+
+    /// Conv and linear quantized kernels agree when expressing the same
+    /// operation (kernel-1 stride-1 conv == per-position linear).
+    #[test]
+    fn quantized_conv_matches_quantized_linear_on_kernel1() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let conv = Conv1d::new(6, 4, 1, 1, &mut rng);
+        let mut linear = Linear::new(6, 4, &mut rng);
+        linear.weight.w.copy_from_slice(&conv.weight.w);
+        linear.bias.w.copy_from_slice(&conv.bias.w);
+        let qc = QuantizedConv1d::from_f32(&conv);
+        let ql = QuantizedLinear::from_f32(&linear);
+        let x: Vec<f32> = (0..5 * 6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let qx = QuantizedVec::from_f32(&x);
+        let mut conv_row = vec![0.0f32; 4];
+        let mut lin_row = vec![0.0f32; 4];
+        for p in 0..5 {
+            qc.forward_window_into(&qx, p, &mut conv_row);
+            let pos = QuantizedVec {
+                q: qx.q[p * 6..(p + 1) * 6].to_vec(),
+                scale_bits: qx.scale().to_bits(),
+                zero: qx.zero,
+            };
+            ql.forward_into(&pos, &mut lin_row);
+            for (c, l) in conv_row.iter().zip(&lin_row) {
+                assert_eq!(c.to_bits(), l.to_bits(), "position {p}");
+            }
+        }
+    }
+
+    /// Quantization is deterministic: the same input always produces the
+    /// same codes (no association error in integer arithmetic).
+    #[test]
+    fn quantization_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let x: Vec<f32> = (0..333).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let a = QuantizedVec::from_f32(&x);
+        let b = QuantizedVec::from_f32(&x);
+        assert_eq!(a, b);
+    }
+}

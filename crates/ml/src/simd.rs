@@ -1,0 +1,306 @@
+//! Explicit lane-chunked f32/i8 kernels that autovectorize.
+//!
+//! The hot inference loops (conv windows, dense heads, token-table
+//! accumulation, quantized dot products) all reduce to three primitive
+//! shapes. Writing them once with `chunks_exact(LANES)` bodies over
+//! fixed-size lane groups gives LLVM a trip count it can turn into
+//! packed SSE/AVX arithmetic, with a scalar tail for ragged lengths —
+//! no `std::simd` (unstable) and no unsafe.
+//!
+//! Numerics contract: [`axpy`] and [`add_assign`] are element-wise, so
+//! they are **bit-identical** to the naive loops they replace — chunking
+//! never re-associates a sum that lands in one output element. [`dot`]
+//! *does* re-associate (eight interleaved partial sums); it is reserved
+//! for paths with tolerance-based gates, never for the bit-exact score
+//! paths. The integer kernels are exact by nature.
+
+/// Lane-group width the chunked loops are written for. Eight f32 lanes
+/// fill one AVX register (or two SSE registers, which LLVM still packs).
+pub const LANES: usize = 8;
+
+/// `y[i] += a * x[i]` — element-wise, bit-identical to the scalar loop.
+///
+/// This is the workhorse of the transposed conv/linear kernels: the
+/// caller streams one input component `a` against a contiguous row of
+/// per-output-channel weights `x`, accumulating into the output row `y`.
+///
+/// # Panics
+///
+/// Panics when `x` and `y` differ in length.
+#[inline]
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    let split = x.len() - x.len() % LANES;
+    let (x_main, x_tail) = x.split_at(split);
+    let (y_main, y_tail) = y.split_at_mut(split);
+    for (yc, xc) in y_main.chunks_exact_mut(LANES).zip(x_main.chunks_exact(LANES)) {
+        for i in 0..LANES {
+            yc[i] += a * xc[i];
+        }
+    }
+    for (yi, &xi) in y_tail.iter_mut().zip(x_tail) {
+        *yi += a * xi;
+    }
+}
+
+/// Four fused axpy passes over four consecutive rows of `x`:
+/// `y[i] += a[0]·x₀[i]; y[i] += a[1]·x₁[i]; y[i] += a[2]·x₂[i];
+/// y[i] += a[3]·x₃[i]` where `xⱼ = x[j·y.len()..(j+1)·y.len()]`.
+///
+/// Each output element receives the same four additions in the same
+/// order as four sequential [`axpy`] calls — **bit-identical** — but the
+/// output chunk is loaded and stored once instead of four times. In the
+/// transposed conv/linear kernels the output-row traffic dominates the
+/// weight traffic 2:1, so this fusion is where most of the window-kernel
+/// time goes.
+///
+/// # Panics
+///
+/// Panics when `x.len() != 4 * y.len()`.
+#[inline]
+pub fn axpy4(a: [f32; 4], x: &[f32], y: &mut [f32]) {
+    let n = y.len();
+    assert_eq!(x.len(), 4 * n, "axpy4 expects four rows of y.len()");
+    let (x0, rest) = x.split_at(n);
+    let (x1, rest) = rest.split_at(n);
+    let (x2, x3) = rest.split_at(n);
+    let split = n - n % LANES;
+    for c in 0..split / LANES {
+        let base = c * LANES;
+        let yc = &mut y[base..base + LANES];
+        let c0 = &x0[base..base + LANES];
+        let c1 = &x1[base..base + LANES];
+        let c2 = &x2[base..base + LANES];
+        let c3 = &x3[base..base + LANES];
+        for i in 0..LANES {
+            let mut v = yc[i];
+            v += a[0] * c0[i];
+            v += a[1] * c1[i];
+            v += a[2] * c2[i];
+            v += a[3] * c3[i];
+            yc[i] = v;
+        }
+    }
+    for i in split..n {
+        let mut v = y[i];
+        v += a[0] * x0[i];
+        v += a[1] * x1[i];
+        v += a[2] * x2[i];
+        v += a[3] * x3[i];
+        y[i] = v;
+    }
+}
+
+/// `y[i] += x[i]` — element-wise, bit-identical to the scalar loop.
+///
+/// # Panics
+///
+/// Panics when `x` and `y` differ in length.
+#[inline]
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(x.len(), y.len(), "add_assign length mismatch");
+    let split = x.len() - x.len() % LANES;
+    let (x_main, x_tail) = x.split_at(split);
+    let (y_main, y_tail) = y.split_at_mut(split);
+    for (yc, xc) in y_main.chunks_exact_mut(LANES).zip(x_main.chunks_exact(LANES)) {
+        for i in 0..LANES {
+            yc[i] += xc[i];
+        }
+    }
+    for (yi, &xi) in y_tail.iter_mut().zip(x_tail) {
+        *yi += xi;
+    }
+}
+
+/// `Σ x[i] · y[i]` with eight interleaved partial sums and a scalar tail.
+///
+/// **Re-associates** the summation relative to a left-to-right loop, so
+/// results differ from a naive dot in the last bits. Use only behind
+/// tolerance-gated paths (quantization calibration, benchmarks) — the
+/// bit-exact inference kernels use [`axpy`] instead.
+#[inline]
+pub fn dot(x: &[f32], y: &[f32]) -> f32 {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let mut acc = [0.0f32; LANES];
+    let split = x.len() - x.len() % LANES;
+    for (xc, yc) in x[..split].chunks_exact(LANES).zip(y[..split].chunks_exact(LANES)) {
+        for i in 0..LANES {
+            acc[i] += xc[i] * yc[i];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&xi, &yi) in x[split..].iter().zip(&y[split..]) {
+        tail += xi * yi;
+    }
+    // Fixed-order horizontal reduction keeps the function deterministic.
+    let mut total = tail;
+    for a in acc {
+        total += a;
+    }
+    total
+}
+
+/// `Σ x[i] · y[i]` over i8 operands with i32 lane accumulators — exact
+/// (integer arithmetic never rounds), safe from overflow for lengths up
+/// to `i32::MAX / (128·128)` ≈ 131 k elements, far past any kernel here.
+#[inline]
+pub fn dot_i8(x: &[i8], y: &[i8]) -> i32 {
+    assert_eq!(x.len(), y.len(), "dot_i8 length mismatch");
+    let mut acc = [0i32; LANES];
+    let split = x.len() - x.len() % LANES;
+    for (xc, yc) in x[..split].chunks_exact(LANES).zip(y[..split].chunks_exact(LANES)) {
+        for i in 0..LANES {
+            acc[i] += i32::from(xc[i]) * i32::from(yc[i]);
+        }
+    }
+    let mut total = 0i32;
+    for (&xi, &yi) in x[split..].iter().zip(&y[split..]) {
+        total += i32::from(xi) * i32::from(yi);
+    }
+    for a in acc {
+        total += a;
+    }
+    total
+}
+
+/// `acc[i] += row[i]` over an i8 row with i32 accumulators — the
+/// quantized token-table accumulation kernel. Exact.
+///
+/// # Panics
+///
+/// Panics when `row` and `acc` differ in length.
+#[inline]
+pub fn add_assign_i8(acc: &mut [i32], row: &[i8]) {
+    assert_eq!(row.len(), acc.len(), "add_assign_i8 length mismatch");
+    let split = row.len() - row.len() % LANES;
+    let (r_main, r_tail) = row.split_at(split);
+    let (a_main, a_tail) = acc.split_at_mut(split);
+    for (ac, rc) in a_main.chunks_exact_mut(LANES).zip(r_main.chunks_exact(LANES)) {
+        for i in 0..LANES {
+            ac[i] += i32::from(rc[i]);
+        }
+    }
+    for (ai, &ri) in a_tail.iter_mut().zip(r_tail) {
+        *ai += i32::from(ri);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn randvec(rng: &mut ChaCha8Rng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect()
+    }
+
+    /// axpy must be bit-identical to the scalar loop for every length
+    /// around the lane boundary.
+    #[test]
+    fn axpy_is_bit_identical_to_scalar() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for n in [0usize, 1, 7, 8, 9, 16, 17, 63, 64, 100] {
+            let x = randvec(&mut rng, n);
+            let base = randvec(&mut rng, n);
+            let a = rng.gen_range(-1.5..1.5f32);
+            let mut fast = base.clone();
+            axpy(a, &x, &mut fast);
+            let mut slow = base.clone();
+            for (yi, &xi) in slow.iter_mut().zip(&x) {
+                *yi += a * xi;
+            }
+            for (f, s) in fast.iter().zip(&slow) {
+                assert_eq!(f.to_bits(), s.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    /// axpy4 must be bit-identical to four sequential axpy calls across
+    /// lane-boundary lengths.
+    #[test]
+    fn axpy4_is_bit_identical_to_four_axpys() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for n in [1usize, 7, 8, 9, 16, 17, 63, 64, 100] {
+            let rows = randvec(&mut rng, 4 * n);
+            let base = randvec(&mut rng, n);
+            let a = [
+                rng.gen_range(-1.5..1.5f32),
+                rng.gen_range(-1.5..1.5f32),
+                rng.gen_range(-1.5..1.5f32),
+                rng.gen_range(-1.5..1.5f32),
+            ];
+            let mut fused = base.clone();
+            axpy4(a, &rows, &mut fused);
+            let mut seq = base.clone();
+            for (j, &aj) in a.iter().enumerate() {
+                axpy(aj, &rows[j * n..(j + 1) * n], &mut seq);
+            }
+            for (f, s) in fused.iter().zip(&seq) {
+                assert_eq!(f.to_bits(), s.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_assign_is_bit_identical_to_scalar() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for n in [0usize, 1, 8, 9, 31, 32, 65] {
+            let x = randvec(&mut rng, n);
+            let base = randvec(&mut rng, n);
+            let mut fast = base.clone();
+            add_assign(&mut fast, &x);
+            let mut slow = base.clone();
+            for (yi, &xi) in slow.iter_mut().zip(&x) {
+                *yi += xi;
+            }
+            for (f, s) in fast.iter().zip(&slow) {
+                assert_eq!(f.to_bits(), s.to_bits(), "n={n}");
+            }
+        }
+    }
+
+    /// dot re-associates, so it is gated against an f64 reference with a
+    /// tolerance instead of bit equality.
+    #[test]
+    fn dot_matches_f64_reference() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for n in [0usize, 1, 8, 100, 1000, 2048] {
+            let x = randvec(&mut rng, n);
+            let y = randvec(&mut rng, n);
+            let reference: f64 =
+                x.iter().zip(&y).map(|(&a, &b)| f64::from(a) * f64::from(b)).sum();
+            let got = f64::from(dot(&x, &y));
+            let bound = 1e-3 * (n.max(1) as f64).sqrt();
+            assert!((got - reference).abs() < bound, "n={n}: {got} vs {reference}");
+        }
+    }
+
+    #[test]
+    fn integer_kernels_are_exact() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for n in [0usize, 1, 7, 8, 9, 255, 2048] {
+            let x: Vec<i8> = (0..n).map(|_| rng.gen_range(i8::MIN..=i8::MAX)).collect();
+            let y: Vec<i8> = (0..n).map(|_| rng.gen_range(i8::MIN..=i8::MAX)).collect();
+            let reference: i32 =
+                x.iter().zip(&y).map(|(&a, &b)| i32::from(a) * i32::from(b)).sum();
+            assert_eq!(dot_i8(&x, &y), reference, "n={n}");
+
+            let mut acc = vec![0i32; n];
+            add_assign_i8(&mut acc, &x);
+            add_assign_i8(&mut acc, &y);
+            for ((a, &xi), &yi) in acc.iter().zip(&x).zip(&y) {
+                assert_eq!(*a, i32::from(xi) + i32::from(yi), "n={n}");
+            }
+        }
+    }
+
+    /// Worst-case extremes must not overflow the i32 accumulators.
+    #[test]
+    fn dot_i8_extremes_do_not_overflow() {
+        let n = 4096;
+        let x = vec![i8::MIN; n];
+        let y = vec![i8::MIN; n];
+        assert_eq!(dot_i8(&x, &y), 128 * 128 * n as i32);
+    }
+}

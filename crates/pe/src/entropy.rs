@@ -40,8 +40,18 @@ pub fn byte_histogram(bytes: &[u8]) -> [u64; 256] {
 /// Used by detector feature extractors to spot localized high-entropy
 /// regions (packed/encrypted payloads).
 pub fn window_entropy(bytes: &[u8], window: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    window_entropy_into(bytes, window, &mut out);
+    out
+}
+
+/// [`window_entropy`] into a reused buffer (cleared first): batched
+/// feature extraction calls this once per candidate, and recycling the
+/// buffer keeps that loop allocation-free.
+pub fn window_entropy_into(bytes: &[u8], window: usize, out: &mut Vec<f64>) {
     assert!(window > 0, "window must be positive");
-    bytes.chunks(window).map(entropy).collect()
+    out.clear();
+    out.extend(bytes.chunks(window).map(entropy));
 }
 
 #[cfg(test)]

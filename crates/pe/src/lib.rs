@@ -65,7 +65,7 @@ mod section;
 mod write;
 
 pub use builder::PeBuilder;
-pub use entropy::{byte_histogram, entropy, window_entropy};
+pub use entropy::{byte_histogram, entropy, window_entropy, window_entropy_into};
 pub use error::PeError;
 pub use imports::{ImportEntry, ImportTable, ImportedDll, IMPORT_DIRECTORY_INDEX};
 pub use headers::{

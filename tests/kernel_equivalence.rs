@@ -1,0 +1,152 @@
+//! Equivalence gates for the optimized inference kernels.
+//!
+//! The SIMD-shaped f32 paths promise bit-exactness (they reassociate
+//! nothing), the int8 paths promise bounded error, and the flattened
+//! GBDT and weight snapshots promise exact reconstruction. These tests
+//! pin all three contracts at the integration level, on the same
+//! trained world the experiment binaries use:
+//!
+//! * quantized scores diverge from f32 scores by at most `1e-2`, and
+//!   verdicts agree on at least 99% of a 160+-sample corpus,
+//! * `score_quantized_batch` is bit-identical to N sequential
+//!   `score_quantized` calls,
+//! * the flattened SoA forest scores exactly like the pointer-form
+//!   tree walk, and survives a flatten → rebuild round trip,
+//! * every roster detector reloaded from its weight snapshot scores
+//!   bit-identically to the model that wrote it.
+
+use mpass_corpus::{CorpusConfig, Dataset};
+use mpass_detectors::features::FeatureExtractor;
+use mpass_detectors::{detector_from_snapshot, Detector};
+use mpass_experiments::world::{World, WorldConfig};
+use mpass_ml::{Gbdt, GbdtParams, Snapshot};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::sync::OnceLock;
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| World::build(WorldConfig::quick()))
+}
+
+/// Corpus bytes plus degenerate inputs (empty, truncated garbage).
+fn probe_items(w: &World) -> Vec<&[u8]> {
+    let mut items: Vec<&[u8]> = w.dataset.samples.iter().map(|s| s.bytes.as_slice()).collect();
+    items.push(b"");
+    items.push(b"MZ\x90");
+    items
+}
+
+/// The world corpus plus an independently seeded one: enough samples
+/// that a single verdict flip still clears the 99% agreement floor.
+fn agreement_corpus(w: &World) -> (Dataset, Vec<Vec<u8>>) {
+    let extra = Dataset::generate(&CorpusConfig {
+        n_malware: 60,
+        n_benign: 60,
+        seed: 0xA9EE,
+        no_slack_fraction: 0.1,
+    });
+    let mut items: Vec<Vec<u8>> = w.dataset.samples.iter().map(|s| s.bytes.clone()).collect();
+    items.extend(extra.samples.iter().map(|s| s.bytes.clone()));
+    (extra, items)
+}
+
+fn quantized_roster(w: &World) -> Vec<(&'static str, &dyn Detector)> {
+    vec![("MalConv", &w.malconv), ("NonNeg", &w.nonneg), ("MalGCG", &w.malgcg)]
+}
+
+#[test]
+fn quantized_scores_stay_within_bounds_and_agree() {
+    let w = world();
+    let (_extra, items) = agreement_corpus(w);
+    assert!(items.len() >= 160, "agreement corpus too small: {}", items.len());
+    for (name, det) in quantized_roster(w) {
+        assert!(det.has_quantized_path(), "{name} lost its quantized path");
+        let threshold = det.threshold();
+        let mut agree = 0usize;
+        for bytes in &items {
+            let f = det.score(bytes);
+            let q = det.score_quantized(bytes);
+            assert!(
+                (f - q).abs() <= 1e-2,
+                "{name}: int8 score {q} drifted from f32 {f} beyond 1e-2"
+            );
+            if (f > threshold) == (q > threshold) {
+                agree += 1;
+            }
+        }
+        let rate = agree as f64 / items.len() as f64;
+        assert!(rate >= 0.99, "{name}: verdict agreement {rate:.4} below 99%");
+    }
+}
+
+#[test]
+fn quantized_batch_is_bit_identical_to_sequential() {
+    let w = world();
+    let items = probe_items(w);
+    for (name, det) in quantized_roster(w) {
+        let mut batch = Vec::new();
+        det.score_quantized_batch(&items, &mut batch);
+        assert_eq!(batch.len(), items.len(), "{name}: quantized batch length");
+        for (i, bytes) in items.iter().enumerate() {
+            assert_eq!(
+                batch[i].to_bits(),
+                det.score_quantized(bytes).to_bits(),
+                "{name}: quantized batch diverged from sequential at item {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn flattened_gbdt_equals_treewalk_exactly() {
+    let w = world();
+    // A forest over the real EMBER-style features of the real corpus.
+    let extractor = FeatureExtractor::new();
+    let features: Vec<Vec<f32>> =
+        w.dataset.samples.iter().map(|s| extractor.extract(&s.bytes)).collect();
+    let labels: Vec<f32> = w.dataset.samples.iter().map(|s| s.label.target()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let gbdt = Gbdt::train(&features, &labels, GbdtParams::default(), &mut rng);
+
+    let rebuilt = Gbdt::from_flat(&gbdt.flatten()).expect("flatten round-trips");
+    for f in &features {
+        let tree = gbdt.logit_treewalk(f);
+        assert_eq!(
+            gbdt.logit(f).to_bits(),
+            tree.to_bits(),
+            "flattened traversal diverged from the tree walk"
+        );
+        assert_eq!(
+            rebuilt.logit(f).to_bits(),
+            tree.to_bits(),
+            "flatten -> rebuild changed a prediction"
+        );
+    }
+}
+
+#[test]
+fn snapshot_reload_is_bit_identical_for_every_roster_detector() {
+    let w = world();
+    let items = probe_items(w);
+    let snapshots = [
+        ("MalConv", w.malconv.to_snapshot()),
+        ("NonNeg", w.nonneg.to_snapshot()),
+        ("MalGCG", w.malgcg.to_snapshot()),
+        ("LightGBM", w.lightgbm.to_snapshot()),
+    ];
+    let originals: [&dyn Detector; 4] = [&w.malconv, &w.nonneg, &w.malgcg, &w.lightgbm];
+    for ((name, snap), original) in snapshots.iter().zip(originals) {
+        // Through the full byte-level encode/decode, as a reload would.
+        let decoded = Snapshot::from_bytes(&snap.to_bytes()).expect("snapshot decodes");
+        let reloaded = detector_from_snapshot(&decoded).expect("registry rebuilds");
+        assert_eq!(original.threshold().to_bits(), reloaded.threshold().to_bits());
+        for (i, bytes) in items.iter().enumerate() {
+            assert_eq!(
+                original.score(bytes).to_bits(),
+                reloaded.score(bytes).to_bits(),
+                "{name}: reloaded score diverged at item {i}"
+            );
+        }
+    }
+}
