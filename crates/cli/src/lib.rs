@@ -14,6 +14,10 @@
 //! mpass score    FILE [FILE...]               # batched MalConv scoring
 //! mpass snapshot --out PATH                   # pack trained weights to a file
 //! mpass serve    --socket PATH                # persistent scoring daemon
+//! mpass campaign coordinate --dir DIR         # distributed campaign coordinator
+//! mpass campaign work --dir DIR               # join a campaign as a worker
+//! mpass campaign status --dir DIR             # per-shard progress + reassignments
+//! mpass campaign fault-matrix --out DIR       # seeded worker-kill sweep
 //! ```
 //!
 //! Every file-taking subcommand auto-detects the container format by magic
@@ -602,18 +606,189 @@ pub fn cmd_serve(opts: &ServeOptions) -> CliResult {
 }
 
 /// `mpass engine-report`: human summary of one or more engine metrics
-/// files written next to `results/*.json` by the experiment runners.
+/// files written next to `results/*.json` by the experiment runners. A
+/// directory argument is treated as a campaign directory (the kind
+/// `mpass campaign coordinate` produces): per-shard progress,
+/// reassignment counts and — once merged — the merged metrics summary.
 pub fn cmd_engine_report(paths: &[&String]) -> CliResult {
     if paths.is_empty() {
-        return Err("engine-report requires at least one METRICS.json path".to_owned());
+        return Err(
+            "engine-report requires at least one METRICS.json path or campaign directory"
+                .to_owned(),
+        );
     }
     let mut out = String::new();
     for path in paths {
-        let file = mpass_engine::MetricsFile::load(Path::new(path.as_str()))?;
-        out.push_str(&file.summary());
+        let p = Path::new(path.as_str());
+        if p.is_dir() {
+            let status = mpass_experiments::orchestrator::campaign_status(p)?;
+            out.push_str(&mpass_experiments::orchestrator::render_status(&status));
+            let merged = p.join("merged.metrics.json");
+            if merged.exists() {
+                out.push_str(&mpass_engine::MetricsFile::load(&merged)?.summary());
+            }
+        } else {
+            out.push_str(&mpass_engine::MetricsFile::load(p)?.summary());
+        }
     }
     Ok(out)
 }
+
+/// The worker command prefix campaign subcommands hand to the
+/// coordinator: this very binary, re-entered through `campaign work`.
+fn self_worker_cmd() -> Result<Vec<String>, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    Ok(vec![exe.to_string_lossy().into_owned(), "campaign".to_owned(), "work".to_owned()])
+}
+
+/// Parse `--kill SPAWN:AFTER[,SPAWN:AFTER...]` into a schedule.
+fn parse_kill_schedule(value: &str) -> Result<Vec<mpass_experiments::orchestrator::KillPoint>, String> {
+    value
+        .split(',')
+        .filter(|part| !part.is_empty())
+        .map(|part| {
+            let (spawn, after) = part
+                .split_once(':')
+                .ok_or_else(|| format!("--kill wants SPAWN:AFTER pairs, got {part:?}"))?;
+            Ok(mpass_experiments::orchestrator::KillPoint {
+                spawn_index: spawn
+                    .parse()
+                    .map_err(|_| format!("--kill: bad spawn index {spawn:?}"))?,
+                after_records: after
+                    .parse()
+                    .map_err(|_| format!("--kill: bad record count {after:?}"))?,
+            })
+        })
+        .collect()
+}
+
+/// `mpass campaign`: distributed campaign orchestration — coordinator,
+/// worker, live status, and the process-fault matrix harness.
+pub fn cmd_campaign(args: &[String]) -> CliResult {
+    use mpass_experiments::orchestrator::{
+        self, CampaignKind, CoordinatorOptions, FaultMatrixOptions, Manifest,
+    };
+    use mpass_experiments::WorldConfig;
+    use std::time::Duration;
+
+    let sub = args.first().map(|s| s.as_str()).unwrap_or("");
+    let rest = args.get(1..).unwrap_or_default();
+    let has = |name: &str| rest.iter().any(|a| a == name);
+    let ms = |name: &str, default: u64| -> u64 {
+        flag(rest, name).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    match sub {
+        "coordinate" => {
+            let dir = flag(rest, "--dir").ok_or("campaign coordinate requires --dir DIR")?;
+            let kind = match flag(rest, "--kind").unwrap_or("offline") {
+                "offline" => CampaignKind::Offline,
+                "commercial" => CampaignKind::Commercial,
+                other => return Err(format!("unknown --kind {other:?} (offline|commercial)")),
+            };
+            let mut config = if has("--full") { WorldConfig::full() } else { WorldConfig::quick() };
+            if let Some(n) = flag(rest, "--samples").and_then(|s| s.parse().ok()) {
+                config.attack_samples = n;
+            }
+            if let Some(seed) = flag(rest, "--seed").and_then(|s| s.parse().ok()) {
+                config.seed = seed;
+            }
+            let attacks: Vec<String> = match flag(rest, "--attacks") {
+                Some(list) => list.split(',').map(str::to_owned).collect(),
+                None => mpass_experiments::offline::ATTACK_NAMES
+                    .iter()
+                    .map(|a| (*a).to_owned())
+                    .collect(),
+            };
+            let targets = match flag(rest, "--targets") {
+                Some(list) => list.split(',').map(str::to_owned).collect(),
+                None => kind.default_targets(),
+            };
+            let faults = flag(rest, "--faults").and_then(|s| s.parse().ok());
+            let manifest =
+                Manifest::new(kind, config.clone(), config.seed, faults, &attacks, &targets);
+            let mut opts = CoordinatorOptions::new(dir, self_worker_cmd()?);
+            opts.processes = flag(rest, "--processes").and_then(|s| s.parse().ok()).unwrap_or(2);
+            opts.ttl = Duration::from_millis(ms("--ttl-ms", 10_000));
+            opts.poll = Duration::from_millis(ms("--poll-ms", 200));
+            opts.heartbeat = Duration::from_millis(ms("--heartbeat-ms", 1_000));
+            opts.hold = Duration::from_millis(ms("--hold-ms", 0));
+            if let Some(schedule) = flag(rest, "--kill") {
+                opts.kill_schedule = parse_kill_schedule(schedule)?;
+            }
+            if let Some(n) = flag(rest, "--max-respawns").and_then(|s| s.parse().ok()) {
+                opts.max_respawns = n;
+            }
+            if let Some(secs) = flag(rest, "--deadline-s").and_then(|s| s.parse().ok()) {
+                opts.deadline = Some(Duration::from_secs(secs));
+            }
+            opts.resume = has("--resume");
+            let summary = orchestrator::run_coordinator(&manifest, &opts)?;
+            Ok(format!(
+                "campaign merged: {} shard(s), {} reassigned, {} respawned, {} spawned\n\
+                 report  {}\nmetrics {}\n",
+                summary.shards,
+                summary.reassigned,
+                summary.respawned,
+                summary.spawned,
+                summary.report_path.display(),
+                summary.metrics_path.display(),
+            ))
+        }
+        "work" => {
+            let opts = orchestrator::worker_options_from_args(rest)?;
+            let summary = orchestrator::run_worker(&opts)?;
+            Ok(format!(
+                "worker {}: {} shard(s) run, {} failed\n",
+                summary.worker_id, summary.shards_run, summary.shards_failed
+            ))
+        }
+        "status" => {
+            let dir = flag(rest, "--dir").ok_or("campaign status requires --dir DIR")?;
+            let status = orchestrator::campaign_status(Path::new(dir))?;
+            Ok(orchestrator::render_status(&status))
+        }
+        "fault-matrix" => {
+            let out = flag(rest, "--out").ok_or("campaign fault-matrix requires --out DIR")?;
+            let opts = FaultMatrixOptions {
+                out: out.into(),
+                seed: flag(rest, "--seed").and_then(|s| s.parse().ok()).unwrap_or(0xFA17),
+                kills: flag(rest, "--kills").and_then(|s| s.parse().ok()).unwrap_or(3),
+                processes: flag(rest, "--processes").and_then(|s| s.parse().ok()).unwrap_or(2),
+                worker_cmd: self_worker_cmd()?,
+                samples: flag(rest, "--samples").and_then(|s| s.parse().ok()).unwrap_or(2),
+            };
+            orchestrator::run_fault_matrix(&opts)
+        }
+        "" | "help" => Ok(CAMPAIGN_USAGE.to_owned()),
+        other => Err(format!("unknown campaign subcommand {other:?}\n\n{CAMPAIGN_USAGE}")),
+    }
+}
+
+/// Usage text for `mpass campaign`.
+pub const CAMPAIGN_USAGE: &str = "\
+mpass campaign — distributed campaign orchestration
+
+USAGE:
+  mpass campaign coordinate --dir DIR [--kind offline|commercial] [--full]
+                 [--samples N] [--seed S] [--faults SEED] [--processes N]
+                 [--attacks A,B,..] [--targets T,U,..] [--ttl-ms MS]
+                 [--poll-ms MS] [--heartbeat-ms MS] [--hold-ms MS]
+                 [--kill SPAWN:AFTER,..] [--max-respawns N] [--deadline-s S]
+                 [--resume]
+  mpass campaign work --dir DIR [--worker-id ID] [--ttl-ms MS]
+                 [--heartbeat-ms MS] [--poll-ms MS] [--hold-ms MS]
+                 [--kill-after N]
+  mpass campaign status --dir DIR
+  mpass campaign fault-matrix --out DIR [--seed S] [--kills N]
+                 [--processes N] [--samples N]
+
+The coordinator shards the campaign grid across worker processes via
+lease files, reassigns shards of dead workers, and merges the per-shard
+journals into a report byte-identical to an uninterrupted run. `work` is
+what spawned workers run (also usable by hand on another terminal for
+the same --dir). `fault-matrix` sweeps seeded worker kills and checks
+merged-vs-baseline byte identity.
+";
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -632,7 +807,8 @@ USAGE:
   mpass serve --socket PATH [--seed S] [--batch N] [--linger-ms MS] [--queue N]
               [--deadline-ms MS] [--rate R] [--burst B] [--tenant-budget N]
               [--metrics-out PATH] [--snapshot PATH]
-  mpass engine-report METRICS.json [METRICS.json ...]
+  mpass engine-report METRICS.json|CAMPAIGN_DIR [...]
+  mpass campaign coordinate|work|status|fault-matrix ... (see mpass campaign help)
 
 Container formats are auto-detected by magic (MZ -> pe, Mach-O magic
 family -> macho); --format forces one backend.
@@ -710,6 +886,7 @@ pub fn dispatch(args: &[String]) -> CliResult {
             snapshot: flag(args, "--snapshot").map(Into::into),
         }),
         "engine-report" => cmd_engine_report(&positional),
+        "campaign" => cmd_campaign(args.get(1..).unwrap_or_default()),
         "" | "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }

@@ -103,7 +103,9 @@ pub fn attack_av_with(
                 let mut target = oracle.target(world.config.max_queries, &opts.retry, shard_seed);
                 let outcome = attack.attack(sample, &mut target);
                 if let Some(journal) = journal {
-                    journal.record_sample(label, &outcome);
+                    journal
+                        .record_sample(label, &outcome)
+                        .unwrap_or_else(|e| panic!("shard {label}: journal write failed: {e}"));
                 }
                 trace::end_sample();
                 outcome
@@ -121,7 +123,9 @@ pub fn attack_av_with(
         successful_aes,
     };
     if let Some(journal) = journal {
-        journal.record_shard(label, &cell);
+        journal
+            .record_shard(label, &cell)
+            .unwrap_or_else(|e| panic!("shard {label}: journal write failed: {e}"));
     }
     cell
 }

@@ -17,18 +17,34 @@
 //!   whose bytes failed ingestion validation; the diagnostic reason is
 //!   kept so hostile inputs leave an auditable trail instead of
 //!   crashing or silently vanishing from the campaign.
+//! * `{"kind":"metrics","shard":…,"worker":…,"metrics":…}` — the
+//!   [`ShardMetrics`] a worker process collected while finishing the
+//!   shard, so a distributed coordinator can merge per-process metrics
+//!   into one engine metrics file.
 //!
-//! Journal *writes* are deliberately non-fatal: a full disk should cost
-//! resumability, not the campaign — errors go to stderr and the run
-//! continues.
+//! Journal *writes* fail loudly: every `record_*` method returns the
+//! underlying I/O error (after bumping the
+//! `campaign/journal_write_failed` counter), and campaign call sites
+//! fail the shard rather than silently losing outcomes — a lost record
+//! would let a resumed run double-spend oracle budget.
+//!
+//! The file is opened in append mode, so each record lands as one
+//! `O_APPEND` write: even if a stale-lease takeover briefly leaves two
+//! processes appending to the same shard journal, lines interleave
+//! whole, never torn.
 
 use mpass_core::AttackOutcome;
+use mpass_engine::metrics::{self as trace, ShardMetrics};
 use serde::{Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+
+/// Called after every successfully appended record; the process-level
+/// fault injector uses this to die at a deterministic journal offset.
+type AppendHook = Box<dyn Fn() + Send + Sync>;
 
 /// An append-only JSONL journal plus the records recovered from a
 /// previous (possibly killed) run of the same campaign.
@@ -43,6 +59,10 @@ pub struct CampaignJournal {
     /// Quarantined samples from the previous run, by
     /// `(shard label, sample name)`, with the diagnostic reason.
     quarantined: HashMap<(String, String), String>,
+    /// Worker-attributed shard metrics from the previous run, by shard
+    /// label (`(worker id, metrics)`; the latest record wins).
+    metrics: HashMap<String, (String, ShardMetrics)>,
+    hook: Option<AppendHook>,
 }
 
 impl CampaignJournal {
@@ -65,6 +85,7 @@ impl CampaignJournal {
         let mut shards = HashMap::new();
         let mut samples = HashMap::new();
         let mut quarantined = HashMap::new();
+        let mut metrics = HashMap::new();
         let existing = match std::fs::read_to_string(&path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
@@ -89,6 +110,9 @@ impl CampaignJournal {
                 Record::Quarantine { shard, sample, reason } => {
                     quarantined.insert((shard, sample), reason);
                 }
+                Record::Metrics { shard, worker, metrics: m } => {
+                    metrics.insert(shard, (worker, m));
+                }
             }
             valid_len += line.len();
         }
@@ -103,6 +127,8 @@ impl CampaignJournal {
             shards,
             samples,
             quarantined,
+            metrics,
+            hook: None,
         })
     }
 
@@ -111,53 +137,106 @@ impl CampaignJournal {
         &self.path
     }
 
+    /// Install a hook called after every successfully appended record.
+    /// The fault injector uses this to kill the process at a
+    /// deterministic journal offset.
+    pub fn set_append_hook(&mut self, hook: impl Fn() + Send + Sync + 'static) {
+        self.hook = Some(Box::new(hook));
+    }
+
     /// Append a finished sample outcome.
-    pub fn record_sample(&self, shard: &str, outcome: &AttackOutcome) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure (after counting it under
+    /// `campaign/journal_write_failed`); the caller must fail the shard
+    /// rather than continue with a silently incomplete journal.
+    pub fn record_sample(&self, shard: &str, outcome: &AttackOutcome) -> std::io::Result<()> {
         self.append(Value::Map(vec![
             ("kind".to_owned(), Value::Str("sample".to_owned())),
             ("shard".to_owned(), Value::Str(shard.to_owned())),
             ("sample".to_owned(), Value::Str(outcome.sample.clone())),
             ("outcome".to_owned(), outcome.to_value()),
-        ]));
+        ]))
     }
 
     /// Append a quarantine diagnostic for a sample whose bytes failed
     /// ingestion validation.
-    pub fn record_quarantine(&self, shard: &str, sample: &str, reason: &str) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure — see [`Self::record_sample`].
+    pub fn record_quarantine(
+        &self,
+        shard: &str,
+        sample: &str,
+        reason: &str,
+    ) -> std::io::Result<()> {
         self.append(Value::Map(vec![
             ("kind".to_owned(), Value::Str("quarantine".to_owned())),
             ("shard".to_owned(), Value::Str(shard.to_owned())),
             ("sample".to_owned(), Value::Str(sample.to_owned())),
             ("reason".to_owned(), Value::Str(reason.to_owned())),
-        ]));
+        ]))
     }
 
     /// Append a finished shard cell.
-    pub fn record_shard(&self, shard: &str, cell: &impl Serialize) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure — see [`Self::record_sample`].
+    pub fn record_shard(&self, shard: &str, cell: &impl Serialize) -> std::io::Result<()> {
         self.append(Value::Map(vec![
             ("kind".to_owned(), Value::Str("shard".to_owned())),
             ("shard".to_owned(), Value::Str(shard.to_owned())),
             ("cell".to_owned(), cell.to_value()),
-        ]));
+        ]))
     }
 
-    fn append(&self, record: Value) {
-        let line = match serde_json::to_string(&record) {
-            Ok(json) => json,
-            Err(e) => {
-                eprintln!("journal: could not render record: {e}");
-                return;
+    /// Append the metrics a worker collected while finishing `shard`,
+    /// attributed to `worker` so a coordinator merge can report which
+    /// process did the work.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write failure — see [`Self::record_sample`].
+    pub fn record_metrics(
+        &self,
+        shard: &str,
+        worker: &str,
+        metrics: &ShardMetrics,
+    ) -> std::io::Result<()> {
+        self.append(Value::Map(vec![
+            ("kind".to_owned(), Value::Str("metrics".to_owned())),
+            ("shard".to_owned(), Value::Str(shard.to_owned())),
+            ("worker".to_owned(), Value::Str(worker.to_owned())),
+            ("metrics".to_owned(), metrics.to_value()),
+        ]))
+    }
+
+    fn append(&self, record: Value) -> std::io::Result<()> {
+        let result = (|| {
+            let line = serde_json::to_string(&record)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+            // One write_all per record, flushed immediately: the line is
+            // the atomicity unit recovery relies on.
+            writer
+                .write_all(line.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush())
+        })();
+        match result {
+            Ok(()) => {
+                if let Some(hook) = &self.hook {
+                    hook();
+                }
+                Ok(())
             }
-        };
-        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
-        // One write_all per record, flushed immediately: the line is the
-        // atomicity unit recovery relies on.
-        if let Err(e) =
-            writer.write_all(line.as_bytes()).and_then(|()| writer.write_all(b"\n")).and_then(
-                |()| writer.flush(),
-            )
-        {
-            eprintln!("journal: could not append to {}: {e}", self.path.display());
+            Err(e) => {
+                trace::counter("campaign/journal_write_failed", 1);
+                Err(e)
+            }
         }
     }
 
@@ -188,12 +267,97 @@ impl CampaignJournal {
     pub fn shard_cell<T: Deserialize>(&self, shard: &str) -> Option<T> {
         self.shards.get(shard).and_then(|v| T::from_value(v).ok())
     }
+
+    /// The recovered worker-attributed metrics for a shard, if a worker
+    /// finished it and journalled its collector.
+    pub fn shard_metrics(&self, shard: &str) -> Option<&(String, ShardMetrics)> {
+        self.metrics.get(shard)
+    }
+}
+
+/// What a read-only [`scan_journal`] pass saw. Unlike
+/// [`CampaignJournal::open`], scanning never truncates the file, so a
+/// coordinator can poll a journal that a live worker is appending to
+/// without racing its writes.
+#[derive(Debug, Clone, Default)]
+pub struct JournalScan {
+    /// Intact records seen (any kind).
+    pub records: usize,
+    /// Finished sample outcomes per shard label, with each sample's
+    /// journalled query spend (the delivered-verdict budget accounting a
+    /// resume replays instead of re-spending).
+    pub sample_queries: HashMap<String, Vec<(String, usize)>>,
+    /// Shard labels with a finished cell record.
+    pub finished: Vec<String>,
+    /// Which worker journalled each shard's metrics record (the worker
+    /// that finished the shard), by shard label.
+    pub finished_by: HashMap<String, String>,
+    /// Quarantine records seen.
+    pub quarantined: usize,
+    /// Whether the file ends in a torn (unterminated or unparsable)
+    /// tail — expected after a kill, repaired on the next `open`.
+    pub torn: bool,
+}
+
+impl JournalScan {
+    /// Finished samples recorded for `shard`.
+    pub fn samples_done(&self, shard: &str) -> usize {
+        self.sample_queries.get(shard).map_or(0, Vec::len)
+    }
+
+    /// Whether `shard`'s final cell is journalled.
+    pub fn is_finished(&self, shard: &str) -> bool {
+        self.finished.iter().any(|s| s == shard)
+    }
+}
+
+/// Read-only scan of a journal file: counts per-shard progress without
+/// opening the journal for append and without repairing torn tails. A
+/// missing file scans as empty.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than the file not existing.
+pub fn scan_journal(path: &Path) -> std::io::Result<JournalScan> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalScan::default()),
+        Err(e) => return Err(e),
+    };
+    let mut scan = JournalScan::default();
+    for line in text.split_inclusive('\n') {
+        if !line.ends_with('\n') {
+            scan.torn = true;
+            break;
+        }
+        let Some(record) = parse_record(line) else {
+            scan.torn = true;
+            break;
+        };
+        scan.records += 1;
+        match record {
+            Record::Sample { shard, sample, outcome } => {
+                scan.sample_queries.entry(shard).or_default().push((sample, outcome.queries));
+            }
+            Record::Shard { shard, .. } => {
+                if !scan.finished.contains(&shard) {
+                    scan.finished.push(shard);
+                }
+            }
+            Record::Quarantine { .. } => scan.quarantined += 1,
+            Record::Metrics { shard, worker, .. } => {
+                scan.finished_by.insert(shard, worker);
+            }
+        }
+    }
+    Ok(scan)
 }
 
 enum Record {
     Sample { shard: String, sample: String, outcome: AttackOutcome },
     Shard { shard: String, cell: Value },
     Quarantine { shard: String, sample: String, reason: String },
+    Metrics { shard: String, worker: String, metrics: ShardMetrics },
 }
 
 fn parse_record(line: &str) -> Option<Record> {
@@ -212,6 +376,11 @@ fn parse_record(line: &str) -> Option<Record> {
             shard,
             sample: String::from_value(value.get("sample")?).ok()?,
             reason: String::from_value(value.get("reason")?).ok()?,
+        }),
+        Value::Str(kind) if kind == "metrics" => Some(Record::Metrics {
+            shard,
+            worker: String::from_value(value.get("worker")?).ok()?,
+            metrics: ShardMetrics::from_value(value.get("metrics")?).ok()?,
         }),
         _ => None,
     }
@@ -244,9 +413,9 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let journal = CampaignJournal::open(&path).unwrap();
-            journal.record_sample("MPass vs MalConv", &outcome("mal_0001", true));
-            journal.record_sample("MPass vs MalConv", &outcome("mal_0002", false));
-            journal.record_shard("MPass vs NonNeg", &vec![1u64, 2, 3]);
+            journal.record_sample("MPass vs MalConv", &outcome("mal_0001", true)).unwrap();
+            journal.record_sample("MPass vs MalConv", &outcome("mal_0002", false)).unwrap();
+            journal.record_shard("MPass vs NonNeg", &vec![1u64, 2, 3]).unwrap();
         }
         let journal = CampaignJournal::open(&path).unwrap();
         assert_eq!(journal.recovered_samples(), 2);
@@ -266,11 +435,13 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let journal = CampaignJournal::open(&path).unwrap();
-            journal.record_quarantine("shard", "mal_0007", "header does not re-parse");
+            journal
+                .record_quarantine("shard", "mal_0007", "header does not re-parse")
+                .unwrap();
             // A record written *after* the quarantine must survive
             // recovery: an unknown kind would truncate everything behind
             // it, so the quarantine kind has to parse.
-            journal.record_sample("shard", &outcome("mal_0008", true));
+            journal.record_sample("shard", &outcome("mal_0008", true)).unwrap();
         }
         let journal = CampaignJournal::open(&path).unwrap();
         assert_eq!(journal.recovered_quarantined(), 1);
@@ -290,7 +461,7 @@ mod tests {
         let _ = std::fs::remove_file(&path);
         {
             let journal = CampaignJournal::open(&path).unwrap();
-            journal.record_sample("shard", &outcome("mal_0001", false));
+            journal.record_sample("shard", &outcome("mal_0001", false)).unwrap();
         }
         // Simulate a kill mid-write: a record missing its newline.
         {
@@ -298,9 +469,13 @@ mod tests {
             let mut file = OpenOptions::new().append(true).open(&path).unwrap();
             file.write_all(b"{\"kind\":\"sample\",\"shard\":\"shard\",\"sam").unwrap();
         }
+        // A read-only scan sees the torn tail but repairs nothing.
+        let scan = scan_journal(&path).unwrap();
+        assert!(scan.torn);
+        assert_eq!(scan.samples_done("shard"), 1);
         let journal = CampaignJournal::open(&path).unwrap();
         assert_eq!(journal.recovered_samples(), 1);
-        journal.record_sample("shard", &outcome("mal_0002", true));
+        journal.record_sample("shard", &outcome("mal_0002", true)).unwrap();
         drop(journal);
         // The torn bytes are gone; both intact records survive a reopen.
         let reopened = CampaignJournal::open(&path).unwrap();
@@ -321,6 +496,72 @@ mod tests {
         assert_eq!(journal.shard_cell::<u64>("a"), Some(1));
         // Everything after the corrupt line is untrusted.
         assert_eq!(journal.shard_cell::<u64>("b"), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn metrics_records_round_trip_and_attribute_the_worker() {
+        let path = temp_path("metrics");
+        let _ = std::fs::remove_file(&path);
+        let mut metrics = ShardMetrics { label: "MPass vs MalConv".into(), ..Default::default() };
+        metrics.counters.insert("queries".into(), 41);
+        {
+            let journal = CampaignJournal::open(&path).unwrap();
+            journal.record_metrics("MPass vs MalConv", "w3", &metrics).unwrap();
+            journal.record_sample("MPass vs MalConv", &outcome("mal_0001", true)).unwrap();
+        }
+        let journal = CampaignJournal::open(&path).unwrap();
+        let (worker, recovered) = journal.shard_metrics("MPass vs MalConv").unwrap();
+        assert_eq!(worker, "w3");
+        assert_eq!(recovered.counters["queries"], 41);
+        // The metrics kind parses, so records behind it survive recovery.
+        assert_eq!(journal.recovered_samples(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_hook_fires_once_per_record() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let path = temp_path("hook");
+        let _ = std::fs::remove_file(&path);
+        let mut journal = CampaignJournal::open(&path).unwrap();
+        let appended = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&appended);
+        journal.set_append_hook(move || {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        journal.record_sample("shard", &outcome("mal_0001", false)).unwrap();
+        journal.record_quarantine("shard", "mal_0002", "bad header").unwrap();
+        journal.record_shard("shard", &1u64).unwrap();
+        assert_eq!(appended.load(Ordering::SeqCst), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn scan_counts_progress_and_budget_without_mutating() {
+        let path = temp_path("scan");
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = CampaignJournal::open(&path).unwrap();
+            journal.record_sample("a", &outcome("mal_0001", true)).unwrap();
+            journal.record_sample("a", &outcome("mal_0002", false)).unwrap();
+            journal.record_shard("a", &1u64).unwrap();
+            journal.record_sample("b", &outcome("mal_0001", true)).unwrap();
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        let scan = scan_journal(&path).unwrap();
+        assert_eq!(scan.records, 4);
+        assert_eq!(scan.samples_done("a"), 2);
+        assert_eq!(scan.samples_done("b"), 1);
+        assert!(scan.is_finished("a"));
+        assert!(!scan.is_finished("b"));
+        assert!(!scan.torn);
+        assert_eq!(scan.sample_queries["a"][0], ("mal_0001".to_owned(), 7));
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before, "scan never writes");
+        // A missing file scans as empty, not as an error.
+        let missing = scan_journal(Path::new("/nonexistent/never/journal.jsonl")).unwrap();
+        assert_eq!(missing.records, 0);
         std::fs::remove_file(&path).unwrap();
     }
 }

@@ -29,6 +29,7 @@ pub mod journal;
 pub mod learning;
 pub mod macho_demo;
 pub mod offline;
+pub mod orchestrator;
 pub mod packers;
 pub mod pem;
 pub mod report;
@@ -37,4 +38,5 @@ pub mod world;
 
 pub use campaign::{CampaignOptions, ShardOracle};
 pub use journal::CampaignJournal;
+pub use orchestrator::{CampaignKind, Manifest};
 pub use world::{World, WorldConfig};

@@ -181,7 +181,9 @@ pub fn attack_target_with(
             trace::counter("campaign/quarantined", 1);
             if let Some(journal) = journal {
                 if journal.quarantine_reason(label, &sample.name).is_none() {
-                    journal.record_quarantine(label, &sample.name, &reason);
+                    journal
+                        .record_quarantine(label, &sample.name, &reason)
+                        .unwrap_or_else(|e| panic!("shard {label}: journal write failed: {e}"));
                 }
             }
             continue;
@@ -203,7 +205,9 @@ pub fn attack_target_with(
                 // step, so a resumed run can rebuild everything —
                 // including the AE bytes — from the record.
                 if let Some(journal) = journal {
-                    journal.record_sample(label, &outcome);
+                    journal
+                        .record_sample(label, &outcome)
+                        .unwrap_or_else(|e| panic!("shard {label}: journal write failed: {e}"));
                 }
                 verify(&sample.bytes, &mut outcome);
                 trace::end_sample();
@@ -220,7 +224,9 @@ pub fn attack_target_with(
         checked,
     };
     if let Some(journal) = journal {
-        journal.record_shard(label, &cell);
+        journal
+            .record_shard(label, &cell)
+            .unwrap_or_else(|e| panic!("shard {label}: journal write failed: {e}"));
     }
     cell
 }

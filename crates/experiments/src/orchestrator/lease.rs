@@ -1,0 +1,344 @@
+//! Lease-based shard ownership for multi-process campaigns.
+//!
+//! A shard is owned by whichever worker holds `leases/<slug>.lease`.
+//! Claiming is arbitrated by `O_CREAT|O_EXCL` (`create_new`): exactly
+//! one process wins the race to create the file. The winner then
+//! publishes its identity (worker id, pid, heartbeat counter) into the
+//! file via tmp+rename and keeps renewing it on a heartbeat thread.
+//!
+//! A lease is *stale* — and may be broken by anyone — when its holder's
+//! pid is demonstrably dead, or when the file has not been renewed
+//! within the TTL. Breaking is remove-then-reclaim; the reclaim goes
+//! through `create_new` again, so two takers racing over the same stale
+//! lease still resolve to one winner. The brief window where a broken
+//! worker's journal and the taker's journal both exist is harmless: the
+//! journal appends whole `O_APPEND` lines and shard work is
+//! deterministic, so duplicate records are byte-identical and collapse
+//! in the merge.
+
+use super::manifest::write_atomic;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a lease file says about its holder.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaseInfo {
+    /// Holder's worker id (e.g. `"w0"`).
+    pub worker: String,
+    /// Holder's OS pid, for liveness probing.
+    pub pid: u64,
+    /// Renewal counter; bumped on every heartbeat.
+    pub beat: u64,
+}
+
+/// Parse a lease file. `Ok(None)` when the file is missing *or* holds
+/// no parsable info yet (a claim exists but its content was not yet
+/// published — the TTL alone governs such a lease).
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than the file not existing.
+pub fn read_info(path: &Path) -> io::Result<Option<LeaseInfo>> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    Ok(serde_json::from_str(&text).ok())
+}
+
+/// Whether `pid` is running. On Linux this probes `/proc`; elsewhere it
+/// conservatively answers `true`, leaving staleness to the TTL.
+pub fn pid_alive(pid: u64) -> bool {
+    if pid == u64::from(std::process::id()) {
+        return true;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        Path::new(&format!("/proc/{pid}")).exists()
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        true
+    }
+}
+
+/// Whether the lease at `path` is stale: its holder's pid is dead, or
+/// the file has not been touched within `ttl`. A missing lease is not
+/// stale (there is nothing to break); a claimed-but-unpublished lease
+/// goes only by the TTL.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than the file disappearing.
+pub fn is_stale(path: &Path, ttl: Duration) -> io::Result<bool> {
+    let meta = match std::fs::metadata(path) {
+        Ok(meta) => meta,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(false),
+        Err(e) => return Err(e),
+    };
+    let age = meta.modified()?.elapsed().unwrap_or_default();
+    if age > ttl {
+        return Ok(true);
+    }
+    match read_info(path)? {
+        Some(info) => Ok(!pid_alive(info.pid)),
+        None => Ok(false),
+    }
+}
+
+/// A held lease. Dropping it does *not* release — release is explicit
+/// (so a panicking worker leaves the lease for TTL/pid expiry, exactly
+/// like a killed one).
+#[derive(Debug)]
+pub struct Lease {
+    path: PathBuf,
+    worker: String,
+    beat: u64,
+}
+
+impl Lease {
+    /// Try to claim the lease at `path` for `worker`. Returns `None`
+    /// when another live holder has it; breaks and takes over a stale
+    /// one (losing that race also returns `None`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn try_claim(path: &Path, worker: &str, ttl: Duration) -> io::Result<Option<Lease>> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        match std::fs::OpenOptions::new().write(true).create_new(true).open(path) {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                if !is_stale(path, ttl)? {
+                    return Ok(None);
+                }
+                match std::fs::remove_file(path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(e),
+                }
+                // create_new arbitrates the takeover race: of all the
+                // processes that just saw the stale lease, one recreates
+                // the file and the rest land here.
+                match std::fs::OpenOptions::new().write(true).create_new(true).open(path) {
+                    Ok(_) => {}
+                    Err(e) if e.kind() == io::ErrorKind::AlreadyExists => return Ok(None),
+                    Err(e) => return Err(e),
+                }
+            }
+            Err(e) => return Err(e),
+        }
+        let mut lease = Lease { path: path.to_owned(), worker: worker.to_owned(), beat: 0 };
+        lease.renew()?;
+        Ok(Some(lease))
+    }
+
+    /// Publish a fresh heartbeat (bumping the renewal counter and the
+    /// file mtime the TTL goes by).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn renew(&mut self) -> io::Result<()> {
+        self.beat += 1;
+        let info = LeaseInfo {
+            worker: self.worker.clone(),
+            pid: u64::from(std::process::id()),
+            beat: self.beat,
+        };
+        let json = serde_json::to_string(&info)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        write_atomic(&self.path, json.as_bytes())
+    }
+
+    /// Whether the on-disk lease still names this process as holder. A
+    /// stale-lease takeover (e.g. this process was stopped long enough
+    /// for the TTL to lapse) replaces the holder out from under us.
+    pub fn still_held(&self) -> bool {
+        matches!(
+            read_info(&self.path),
+            Ok(Some(info))
+                if info.worker == self.worker && info.pid == u64::from(std::process::id())
+        )
+    }
+
+    /// The lease file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Release the lease so another worker can claim the shard
+    /// immediately instead of waiting out the TTL.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (an already-missing file is fine —
+    /// a taker may have broken the lease first).
+    pub fn release(self) -> io::Result<()> {
+        match std::fs::remove_file(&self.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// A background thread renewing a [`Lease`] every `interval` until
+/// stopped, watching for takeover.
+pub struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    lost: Arc<AtomicBool>,
+    handle: JoinHandle<Lease>,
+}
+
+impl Heartbeat {
+    /// Start renewing `lease` every `interval`.
+    pub fn start(lease: Lease, interval: Duration) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let lost = Arc::new(AtomicBool::new(false));
+        let handle = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            let lost = Arc::clone(&lost);
+            let mut lease = lease;
+            move || {
+                while !stop.load(Ordering::SeqCst) {
+                    // Sleep in small steps so stop() returns promptly.
+                    let mut slept = Duration::ZERO;
+                    while slept < interval && !stop.load(Ordering::SeqCst) {
+                        let step = Duration::from_millis(10).min(interval - slept);
+                        std::thread::sleep(step);
+                        slept += step;
+                    }
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if !lease.still_held() || lease.renew().is_err() {
+                        lost.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+                lease
+            }
+        });
+        Heartbeat { stop, lost, handle }
+    }
+
+    /// Whether the lease was taken over (or renewal failed) while
+    /// heartbeating. A worker seeing this must treat its shard work as
+    /// potentially duplicated, not exclusively owned.
+    pub fn lost(&self) -> bool {
+        self.lost.load(Ordering::SeqCst)
+    }
+
+    /// Stop heartbeating and get the lease back, plus whether it was
+    /// lost along the way.
+    pub fn stop(self) -> (Lease, bool) {
+        self.stop.store(true, Ordering::SeqCst);
+        let lost = Arc::clone(&self.lost);
+        let lease = self.handle.join().expect("heartbeat thread never panics");
+        (lease, lost.load(Ordering::SeqCst))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_lease(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("mpass-lease-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{tag}-{}.lease", std::process::id()))
+    }
+
+    const TTL: Duration = Duration::from_secs(60);
+
+    #[test]
+    fn claim_is_exclusive_until_released() {
+        let path = temp_lease("exclusive");
+        let _ = std::fs::remove_file(&path);
+        let lease = Lease::try_claim(&path, "w0", TTL).unwrap().expect("first claim wins");
+        assert!(lease.still_held());
+        let info = read_info(&path).unwrap().expect("claim publishes holder info");
+        assert_eq!(info.worker, "w0");
+        assert_eq!(info.pid, u64::from(std::process::id()));
+        // Second claimant loses while the holder is alive and fresh.
+        assert!(Lease::try_claim(&path, "w1", TTL).unwrap().is_none());
+        lease.release().unwrap();
+        let lease = Lease::try_claim(&path, "w1", TTL).unwrap().expect("released lease reclaims");
+        lease.release().unwrap();
+    }
+
+    #[test]
+    fn dead_pid_lease_is_stale_and_breakable() {
+        let path = temp_lease("dead-pid");
+        let _ = std::fs::remove_file(&path);
+        // Forge a lease held by a pid that cannot exist.
+        let info = LeaseInfo { worker: "ghost".into(), pid: u64::MAX - 1, beat: 3 };
+        std::fs::write(&path, serde_json::to_string(&info).unwrap()).unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(is_stale(&path, TTL).unwrap());
+            let lease =
+                Lease::try_claim(&path, "w2", TTL).unwrap().expect("stale lease is broken");
+            assert_eq!(read_info(&path).unwrap().unwrap().worker, "w2");
+            lease.release().unwrap();
+        } else {
+            // Without pid probing only the TTL can break it.
+            assert!(!is_stale(&path, TTL).unwrap());
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn expired_ttl_lease_is_stale() {
+        let path = temp_lease("expired");
+        let _ = std::fs::remove_file(&path);
+        let info =
+            LeaseInfo { worker: "slow".into(), pid: u64::from(std::process::id()), beat: 1 };
+        std::fs::write(&path, serde_json::to_string(&info).unwrap()).unwrap();
+        // Live pid + fresh mtime: not stale.
+        assert!(!is_stale(&path, TTL).unwrap());
+        // Zero TTL: any mtime has lapsed.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(is_stale(&path, Duration::ZERO).unwrap());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_lease_is_not_stale() {
+        assert!(!is_stale(Path::new("/nonexistent/never.lease"), TTL).unwrap());
+    }
+
+    #[test]
+    fn heartbeat_renews_and_detects_takeover() {
+        let path = temp_lease("heartbeat");
+        let _ = std::fs::remove_file(&path);
+        let lease = Lease::try_claim(&path, "w0", TTL).unwrap().unwrap();
+        let beat0 = read_info(&path).unwrap().unwrap().beat;
+        let heartbeat = Heartbeat::start(lease, Duration::from_millis(20));
+        std::thread::sleep(Duration::from_millis(120));
+        assert!(!heartbeat.lost());
+        let (lease, lost) = heartbeat.stop();
+        assert!(!lost);
+        assert!(read_info(&path).unwrap().unwrap().beat > beat0, "heartbeat renews");
+
+        // Simulate a takeover: another worker overwrites the lease.
+        let usurper =
+            LeaseInfo { worker: "w9".into(), pid: u64::from(std::process::id()), beat: 1 };
+        std::fs::write(&path, serde_json::to_string(&usurper).unwrap()).unwrap();
+        assert!(!lease.still_held());
+        let heartbeat = Heartbeat::start(lease, Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(heartbeat.lost(), "takeover is noticed");
+        let (_lease, lost) = heartbeat.stop();
+        assert!(lost);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,198 @@
+//! Distributed campaign orchestration: one coordinator process, N
+//! worker processes, lease-based shard ownership, crash-safe journals,
+//! and a deterministic merge.
+//!
+//! Layout of a campaign directory:
+//!
+//! ```text
+//! <dir>/
+//!   manifest.json          # world config + seed + shard grid (hashed)
+//!   leases/<slug>.lease    # heartbeat files: who owns which shard
+//!   shards/<slug>.jsonl    # per-shard crash-safe journals
+//!   events.jsonl           # coordinator event log (reassignments, respawns)
+//!   merged.json            # final report, byte-identical to in-process
+//!   merged.metrics.json    # merged per-worker shard metrics
+//! ```
+//!
+//! The determinism story: shard seeds are keyed by shard *label* (not
+//! by worker, thread, or schedule), resume replays journalled verdicts
+//! instead of re-querying the oracle, and the merge serializes cells in
+//! manifest order through the exact code path the in-process runners
+//! use. Kill any worker at any point, restart anything, and the merged
+//! report comes out byte-for-byte the same.
+
+pub mod coordinator;
+pub mod lease;
+pub mod manifest;
+pub mod worker;
+
+pub use coordinator::{
+    campaign_status, merge_campaign, read_events, render_status, run_coordinator,
+    run_fault_matrix, CampaignStatus, CoordinatorOptions, CoordinatorSummary,
+    FaultMatrixOptions, KillPoint, ShardStatus,
+};
+pub use lease::{Heartbeat, Lease, LeaseInfo};
+pub use manifest::{CampaignKind, Manifest, ShardSpec};
+pub use worker::{
+    report_from_cells, run_baseline, run_shard_work, run_worker, AnyCell, WorkerOptions,
+    WorkerSummary,
+};
+
+use std::time::Duration;
+
+/// Parse the worker-process flags the coordinator passes when spawning
+/// (`--dir`, `--worker-id`, `--ttl-ms`, `--heartbeat-ms`, `--poll-ms`,
+/// `--hold-ms`, `--kill-after`). Shared by `mpass campaign work` and
+/// the exp binaries' hidden `--orchestrate-work` entry.
+///
+/// # Errors
+///
+/// A missing `--dir` or an unparsable numeric value.
+pub fn worker_options_from_args(args: &[String]) -> Result<WorkerOptions, String> {
+    let grab = |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1));
+    let number = |flag: &str| -> Result<Option<u64>, String> {
+        grab(flag)
+            .map(|v| v.parse().map_err(|_| format!("{flag}: not a number: {v}")))
+            .transpose()
+    };
+    let dir = grab("--dir").ok_or_else(|| "worker needs --dir <campaign-dir>".to_owned())?;
+    // "manual" keeps a hand-started worker out of the coordinator's
+    // `w<N>` id space.
+    let worker_id = grab("--worker-id").cloned().unwrap_or_else(|| "manual".to_owned());
+    let mut opts = WorkerOptions::new(dir, worker_id);
+    if let Some(ms) = number("--ttl-ms")? {
+        opts.ttl = Duration::from_millis(ms);
+    }
+    if let Some(ms) = number("--heartbeat-ms")? {
+        opts.heartbeat = Duration::from_millis(ms);
+    }
+    if let Some(ms) = number("--poll-ms")? {
+        opts.poll = Duration::from_millis(ms);
+    }
+    if let Some(ms) = number("--hold-ms")? {
+        opts.hold = Duration::from_millis(ms);
+    }
+    opts.kill_after = number("--kill-after")?;
+    Ok(opts)
+}
+
+/// The hidden worker entry for the exp binaries: when the process was
+/// started with `--orchestrate-work`, run the worker loop instead of
+/// the experiment and return the exit code to use. `None` means this is
+/// a normal invocation.
+pub fn maybe_run_worker_from_args() -> Option<i32> {
+    let args: Vec<String> = std::env::args().collect();
+    if !args.iter().any(|a| a == "--orchestrate-work") {
+        return None;
+    }
+    Some(match worker_options_from_args(&args).and_then(|opts| run_worker(&opts)) {
+        Ok(summary) => {
+            println!(
+                "worker {}: {} shard(s) run, {} failed",
+                summary.worker_id, summary.shards_run, summary.shards_failed
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    })
+}
+
+/// Run an experiment's full campaign grid across `processes` worker
+/// processes (the exp binaries' `--processes N` mode). The campaign
+/// directory lives at `results/<experiment>.campaign`; the merged
+/// report and metrics are copied to the same `results/<experiment>.*`
+/// paths a single-process run writes — with byte-identical report
+/// content.
+///
+/// # Errors
+///
+/// Coordination or filesystem errors.
+pub fn run_distributed(
+    kind: CampaignKind,
+    experiment: &str,
+    world: crate::WorldConfig,
+    faults: Option<u64>,
+    processes: usize,
+    resume: bool,
+) -> Result<(CoordinatorSummary, std::path::PathBuf), String> {
+    let attacks: Vec<String> =
+        crate::offline::ATTACK_NAMES.iter().map(|a| (*a).to_owned()).collect();
+    let seed = world.seed;
+    let manifest = Manifest::new(kind, world, seed, faults, &attacks, &kind.default_targets());
+    let dir = std::path::Path::new(crate::report::RESULTS_DIR).join(format!("{experiment}.campaign"));
+    if !resume {
+        // Same contract as the single-process journal: a fresh run must
+        // not resurrect records from an older campaign.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let worker_cmd = vec![exe.to_string_lossy().into_owned(), "--orchestrate-work".to_owned()];
+    let mut opts = CoordinatorOptions::new(dir, worker_cmd);
+    opts.processes = processes;
+    opts.resume = resume;
+    let summary = run_coordinator(&manifest, &opts)?;
+
+    let results_path =
+        std::path::Path::new(crate::report::RESULTS_DIR).join(format!("{experiment}.json"));
+    std::fs::copy(&summary.report_path, &results_path)
+        .map_err(|e| format!("copy merged report to {}: {e}", results_path.display()))?;
+    let metrics_path = mpass_engine::metrics_path(&results_path);
+    std::fs::copy(&summary.metrics_path, &metrics_path)
+        .map_err(|e| format!("copy merged metrics to {}: {e}", metrics_path.display()))?;
+    Ok((summary, results_path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn worker_args_parse_full_set() {
+        let opts = worker_options_from_args(&args(&[
+            "exp_offline",
+            "--orchestrate-work",
+            "--dir",
+            "/tmp/c",
+            "--worker-id",
+            "w3",
+            "--ttl-ms",
+            "2500",
+            "--heartbeat-ms",
+            "250",
+            "--poll-ms",
+            "50",
+            "--hold-ms",
+            "5",
+            "--kill-after",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(opts.dir, std::path::PathBuf::from("/tmp/c"));
+        assert_eq!(opts.worker_id, "w3");
+        assert_eq!(opts.ttl, Duration::from_millis(2500));
+        assert_eq!(opts.heartbeat, Duration::from_millis(250));
+        assert_eq!(opts.poll, Duration::from_millis(50));
+        assert_eq!(opts.hold, Duration::from_millis(5));
+        assert_eq!(opts.kill_after, Some(7));
+    }
+
+    #[test]
+    fn worker_args_require_dir_and_default_the_rest() {
+        let err = worker_options_from_args(&args(&["bin", "--orchestrate-work"])).unwrap_err();
+        assert!(err.contains("--dir"), "{err}");
+        let opts = worker_options_from_args(&args(&["bin", "--dir", "d"])).unwrap();
+        assert_eq!(opts.worker_id, "manual");
+        assert_eq!(opts.kill_after, None);
+        let err =
+            worker_options_from_args(&args(&["bin", "--dir", "d", "--ttl-ms", "soon"]))
+                .unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
+    }
+}

@@ -51,6 +51,9 @@ pub struct CliArgs {
     pub faults: Option<u64>,
     /// Resume from the experiment's journal instead of restarting it.
     pub resume: bool,
+    /// Distribute the campaign across this many worker *processes*
+    /// (`--processes N`; `--workers` stays engine threads).
+    pub processes: Option<usize>,
 }
 
 impl CliArgs {
@@ -71,6 +74,7 @@ impl CliArgs {
             workers: grab("--workers"),
             faults: grab("--faults").map(|n: usize| n as u64),
             resume,
+            processes: grab("--processes"),
         }
     }
 

@@ -70,7 +70,7 @@ fn killed_campaign_resumes_bit_identically() {
                     world.config.max_queries,
                 );
                 let outcome = attack.attack(sample, &mut target);
-                journal.record_sample(CRASH_SHARD, &outcome);
+                journal.record_sample(CRASH_SHARD, &outcome).expect("journal append");
                 panic!("simulated crash after one journalled sample");
             }
             let mut attack = make_attack(world, "MalConv", "GAMMA");
