@@ -133,7 +133,7 @@ fn measure(reps: usize) -> Measurements {
     let pem_models: Vec<(&str, &dyn DetectorExt)> =
         vec![("MalConv", &malconv), ("MalGCG", &malgcg)];
     let pem_pairs = (pem_samples.len() * pem_models.len()) as f64;
-    let pem_per_sample_us = time_us(reps.max(3).min(5), || {
+    let pem_per_sample_us = time_us(reps.clamp(3, 5), || {
         std::hint::black_box(run_pem(&pem_models, &pem_samples, &PemConfig::default()));
     }) / pem_pairs;
 

@@ -1,0 +1,335 @@
+//! Emit validation-throughput measurements (full-trace vs digest vs
+//! early-abort) to `results/BENCH_validate.json`.
+//!
+//! Functionality validation is the per-candidate cost floor of every
+//! campaign: each adversarial candidate must be shown to preserve the
+//! original's API trace before it counts. The pre-redesign path ran the
+//! *original* again for every candidate, materialized both trace vectors
+//! and compared them element-wise. The digest path
+//! (`Sandbox::baseline_digest` + `Sandbox::validate_batch`) baselines the
+//! original once per sample and replays each candidate under a
+//! `ComparingSink` that aborts at the first divergent API event.
+//!
+//! Three candidate waves isolate where the win comes from:
+//!
+//! * `preserved-wave` — semantics-free edits (timestamp, overlay): every
+//!   candidate runs to completion, so the speedup is pure baseline
+//!   amortization (one original execution instead of N),
+//! * `diverging-wave` — data-corrupted candidates whose traces diverge:
+//!   the comparing sink aborts early instead of running each candidate to
+//!   its halt, stacking early-abort on top of amortization,
+//! * `mixed-wave` — half and half, the realistic campaign mix.
+//!
+//! Both paths are timed in the same process over the same bytes, so the
+//! reported `speedup` is a machine-independent ratio. `--gate PATH`
+//! fails (exit 1) if any wave's speedup regressed more than 20% relative
+//! to a committed report — the same regression contract as
+//! `bench_serve`.
+//!
+//! Usage:
+//!
+//! * `bench_validate` — measure and write `results/BENCH_validate.json`,
+//! * `--quick` — fewer repetitions (CI smoke),
+//! * `--out PATH` — alternative output path,
+//! * `--gate PATH` — fail if a speedup regressed >20% vs the report at
+//!   PATH.
+
+use mpass_bench::bench_fixture;
+use mpass_sandbox::{FunctionalityVerdict, Sandbox};
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Full-trace vs digest validation cost for one candidate wave.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ValidateMeasurement {
+    /// Wave tag (`preserved-wave`, `diverging-wave`, `mixed-wave`).
+    name: String,
+    /// Candidates validated per pass.
+    candidates: usize,
+    /// Pre-redesign path: re-run original + run candidate + compare
+    /// trace vectors, microseconds per candidate.
+    full_trace_us_per_candidate: f64,
+    /// Digest path: baseline once, comparing-sink replay per candidate,
+    /// microseconds per candidate.
+    digest_us_per_candidate: f64,
+    /// `full_trace / digest` (higher means the digest path pays).
+    speedup: f64,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ValidateReport {
+    /// Human description of the fixture the numbers were taken on.
+    fixture: String,
+    measurements: Vec<ValidateMeasurement>,
+}
+
+const FIXTURE_DESC: &str = "two originals x 48-candidate waves: corpus- rows use bench sample \
+     mal_0 (seed 0xBE7C4, parse-dominated); hot- rows use a synthetic 4096-event API loop \
+     (execution-dominated, campaign-representative). Waves: preserved (timestamp/overlay \
+     edits), diverging (first API event differs), mixed (24/24)";
+
+/// Synthetic execution-dominated original: a loop that emits
+/// `HOT_EVENTS` API events before halting, so validation cost is the
+/// *run*, not the parse — the regime a real campaign sample sits in.
+/// `api` parameterizes the call so a candidate can diverge at event 1
+/// while keeping byte length and instruction count identical.
+const HOT_EVENTS: i32 = 4096;
+
+fn hot_sample(api: mpass_vm::ApiId) -> Vec<u8> {
+    use mpass_vm::{Asm, Instr, Reg};
+    let mut asm = Asm::new();
+    asm.push(Instr::Movi(Reg::R1, HOT_EVENTS));
+    asm.push(Instr::CallApi(api)); // loop body: r0 chains through api_result
+    asm.push(Instr::Addi(Reg::R1, -1));
+    asm.push(Instr::Jnz(Reg::R1, -24));
+    asm.push(Instr::Halt);
+    let code = asm.assemble().expect("hot sample assembles");
+    let mut pe = mpass_pe::PeBuilder::new();
+    pe.add_section(".text", code, mpass_pe::SectionFlags::CODE).expect("section fits");
+    pe.set_entry_section(".text", 0).expect("entry resolves");
+    pe.build().expect("hot sample builds").to_bytes()
+}
+
+/// The pre-redesign validation algorithm, kept verbatim as the timing
+/// reference: execute the original *and* the candidate, materialize both
+/// trace vectors, compare element-wise.
+fn verify_full_trace(sb: &Sandbox, original: &[u8], modified: &[u8]) -> FunctionalityVerdict {
+    let Ok(orig_exec) = sb.execute(original) else {
+        return FunctionalityVerdict::BrokenParse;
+    };
+    let Ok(mod_exec) = sb.execute(modified) else {
+        return FunctionalityVerdict::BrokenParse;
+    };
+    if !mod_exec.completed() {
+        return FunctionalityVerdict::BrokenExecution { outcome: mod_exec.outcome };
+    }
+    if orig_exec.trace == mod_exec.trace {
+        FunctionalityVerdict::Preserved
+    } else {
+        let first_divergence = orig_exec
+            .trace
+            .iter()
+            .zip(&mod_exec.trace)
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| orig_exec.trace.len().min(mod_exec.trace.len()));
+        FunctionalityVerdict::BrokenBehavior { first_divergence }
+    }
+}
+
+/// A candidate that preserves behaviour: semantics-free header/overlay
+/// edits keyed on `i` so every candidate is distinct bytes.
+fn preserved_candidate(original: &mpass_pe::PeFile, i: u32) -> Vec<u8> {
+    let mut pe = original.clone();
+    pe.set_timestamp(0x5EED_0000 ^ i);
+    pe.append_overlay(&i.to_le_bytes());
+    pe.to_bytes()
+}
+
+/// A candidate whose behaviour diverges: corrupt the data section the
+/// sample loads API arguments from, keyed on `i`.
+fn diverging_candidate(original: &mpass_pe::PeFile, i: u32) -> Vec<u8> {
+    let mut pe = original.clone();
+    if let Some(sec) = pe.section_mut(".data") {
+        for (j, b) in sec.data_mut().iter_mut().take(128).enumerate() {
+            *b = b.wrapping_add(0x5A).rotate_left((i + j as u32) % 8);
+        }
+    }
+    pe.to_bytes()
+}
+
+fn time_pair_us(reps: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    let mut a_us = f64::INFINITY;
+    let mut b_us = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        a();
+        a_us = a_us.min(t.elapsed().as_secs_f64() * 1e6);
+        let t = Instant::now();
+        b();
+        b_us = b_us.min(t.elapsed().as_secs_f64() * 1e6);
+    }
+    (a_us, b_us)
+}
+
+fn measure_wave(
+    sb: &Sandbox,
+    name: &str,
+    original: &[u8],
+    candidates: &[Vec<u8>],
+    reps: usize,
+) -> ValidateMeasurement {
+    let refs: Vec<&[u8]> = candidates.iter().map(Vec::as_slice).collect();
+    // Correctness first, outside the timed region: both paths must agree
+    // on which candidates preserve functionality.
+    let baseline = sb.baseline_digest(original).expect("bench original parses");
+    let digest_verdicts = sb.validate_batch(&baseline, &refs);
+    for (c, dv) in refs.iter().zip(&digest_verdicts) {
+        let fv = verify_full_trace(sb, original, c);
+        assert_eq!(
+            fv.is_preserved(),
+            dv.is_preserved(),
+            "{name}: digest path disagrees with full-trace path"
+        );
+    }
+
+    let (full_us, digest_us) = time_pair_us(
+        reps,
+        || {
+            for c in &refs {
+                black_box(verify_full_trace(sb, original, c));
+            }
+        },
+        || {
+            let baseline = sb.baseline_digest(original).expect("bench original parses");
+            black_box(sb.validate_batch(&baseline, &refs));
+        },
+    );
+    let n = refs.len() as f64;
+    ValidateMeasurement {
+        name: name.to_owned(),
+        candidates: refs.len(),
+        full_trace_us_per_candidate: full_us / n,
+        digest_us_per_candidate: digest_us / n,
+        speedup: full_us / digest_us,
+    }
+}
+
+fn measure(reps: usize) -> Vec<ValidateMeasurement> {
+    let (ds, _pool) = bench_fixture();
+    let sb = Sandbox::new();
+    const WAVE: u32 = 48;
+
+    let mut rows = Vec::new();
+
+    // Corpus rows: parse-dominated toy samples — the speedup here is
+    // baseline amortization alone.
+    let sample = &ds.samples[0];
+    let pe = sample.pe().expect("bench sample parses");
+    let preserved: Vec<Vec<u8>> = (0..WAVE).map(|i| preserved_candidate(pe, i)).collect();
+    let diverging: Vec<Vec<u8>> = (0..WAVE).map(|i| diverging_candidate(pe, i)).collect();
+    let mixed: Vec<Vec<u8>> = (0..WAVE)
+        .map(|i| {
+            if i % 2 == 0 {
+                preserved_candidate(pe, i)
+            } else {
+                diverging_candidate(pe, i)
+            }
+        })
+        .collect();
+    rows.push(measure_wave(&sb, "corpus-preserved-wave", &sample.bytes, &preserved, reps));
+    rows.push(measure_wave(&sb, "corpus-diverging-wave", &sample.bytes, &diverging, reps));
+    rows.push(measure_wave(&sb, "corpus-mixed-wave", &sample.bytes, &mixed, reps));
+
+    // Hot rows: execution-dominated synthetic — early abort pays on top
+    // of amortization, the regime the >=5x digest claim is made in.
+    let hot_original = hot_sample(mpass_vm::api::READ_FILE);
+    let hot_pe = mpass_pe::PeFile::parse(&hot_original).expect("hot sample parses");
+    let hot_preserved: Vec<Vec<u8>> =
+        (0..WAVE).map(|i| preserved_candidate(&hot_pe, i)).collect();
+    let hot_diverging: Vec<Vec<u8>> = (0..WAVE)
+        .map(|i| {
+            // Same shape, different API id: every event diverges, so the
+            // comparing sink aborts at event 1 of HOT_EVENTS.
+            let mut pe = mpass_pe::PeFile::parse(&hot_sample(mpass_vm::api::GET_SYSTEM_TIME))
+                .expect("hot variant parses");
+            pe.set_timestamp(i);
+            pe.to_bytes()
+        })
+        .collect();
+    let hot_mixed: Vec<Vec<u8>> = (0..WAVE)
+        .map(|i| {
+            if i % 2 == 0 {
+                hot_preserved[i as usize].clone()
+            } else {
+                hot_diverging[i as usize].clone()
+            }
+        })
+        .collect();
+    rows.push(measure_wave(&sb, "hot-preserved-wave", &hot_original, &hot_preserved, reps));
+    rows.push(measure_wave(&sb, "hot-diverging-wave", &hot_original, &hot_diverging, reps));
+    rows.push(measure_wave(&sb, "hot-mixed-wave", &hot_original, &hot_mixed, reps));
+
+    rows
+}
+
+/// Same clamp-then-compare contract as `bench_serve`: ratios only, both
+/// sides clamped so timer noise on very large speedups cannot fail CI,
+/// while a collapse toward 1× still does.
+const GATE_SPEEDUP_CAP: f64 = 8.0;
+
+fn check_gate(report: &ValidateReport, path: &str) -> Result<usize, Vec<String>> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| vec![format!("cannot read gate baseline {path}: {e}")])?;
+    let base: ValidateReport =
+        serde_json::from_str(&text).map_err(|e| vec![format!("bad gate baseline {path}: {e}")])?;
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for bm in &base.measurements {
+        if let Some(cur) = report.measurements.iter().find(|m| m.name == bm.name) {
+            checked += 1;
+            let (cur_s, base_s) =
+                (cur.speedup.min(GATE_SPEEDUP_CAP), bm.speedup.min(GATE_SPEEDUP_CAP));
+            if cur_s < base_s * 0.8 {
+                failures.push(format!(
+                    "{}: digest speedup {:.2}x fell >20% below baseline {:.2}x",
+                    bm.name, cur.speedup, bm.speedup
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(checked)
+    } else {
+        Err(failures)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("results/BENCH_validate.json")
+        .to_owned();
+    let gate = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let reps = if quick { 5 } else { 25 };
+
+    let measurements = measure(reps);
+    for m in &measurements {
+        eprintln!(
+            "{:<22} full-trace {:>8.1} us/cand  digest {:>8.1} us/cand  speedup {:.2}x",
+            m.name, m.full_trace_us_per_candidate, m.digest_us_per_candidate, m.speedup
+        );
+    }
+
+    let report = ValidateReport { fixture: FIXTURE_DESC.to_owned(), measurements };
+    if let Some(parent) = std::path::Path::new(&out).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out, json + "\n").unwrap_or_else(|e| {
+        eprintln!("could not write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+
+    if let Some(baseline) = gate {
+        match check_gate(&report, &baseline) {
+            Ok(checked) => println!("gate vs {baseline}: {checked} rows within 20% of baseline"),
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("GATE FAIL {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -293,7 +293,7 @@ pub fn cmd_run(path: &str, format: Option<Format>) -> CliResult {
         let marker = if ev.api.is_suspicious() { "!" } else { " " };
         let _ = writeln!(out, " {marker} {} (arg {:#x})", ev.api, ev.arg);
     }
-    let _ = writeln!(out, "suspicious calls: {}", exec.suspicious_calls().len());
+    let _ = writeln!(out, "suspicious calls: {}", exec.suspicious_calls().count());
     Ok(out)
 }
 
@@ -402,7 +402,13 @@ pub fn cmd_attack(
         );
     }
     if let Some(ae) = outcome.adversarial {
-        let verdict = Sandbox::new().verify_functionality(&sample.bytes, &ae);
+        // Digest-based validation: baseline the sample once, replay the AE
+        // against it with the early-aborting comparing sink.
+        let sandbox = Sandbox::new();
+        let verdict = match sandbox.baseline_digest(&sample.bytes) {
+            Ok(baseline) => sandbox.verify_candidate(&baseline, &ae),
+            Err(_) => mpass_sandbox::FunctionalityVerdict::BrokenParse,
+        };
         let _ = writeln!(out, "functionality: {verdict}");
         std::fs::write(out_path, &ae).map_err(|e| format!("write {out_path}: {e}"))?;
         let _ = writeln!(out, "adversarial example written to {out_path}");

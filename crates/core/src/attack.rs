@@ -9,7 +9,6 @@ use mpass_engine::metrics as trace;
 use mpass_engine::{
     CircuitBreaker, OracleFault, QueryBudget, QueryBudgetExhausted, QueryError, RetryPolicy,
 };
-use mpass_pe::PeFile;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -346,15 +345,9 @@ impl<'a> HardLabelTarget<'a> {
     }
 }
 
-/// The AE validation predicate: the candidate must parse and its parsed
-/// form must survive a serialize→parse round trip unchanged, so every
-/// submitted adversarial example is a well-formed, reproducible PE.
-fn candidate_is_valid(bytes: &[u8]) -> bool {
-    let Ok(pe) = PeFile::parse(bytes) else {
-        return false;
-    };
-    matches!(PeFile::parse(&pe.to_bytes()), Ok(pe2) if pe2 == pe)
-}
+// The AE validation predicate lives in [`crate::validate`] so the oracle
+// gate here and campaign quarantine share one definition.
+use crate::validate::candidate_is_valid;
 
 /// Result of attacking one sample.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -1055,8 +1048,11 @@ mod tests {
             let mut target = HardLabelTarget::new(&w.malconv, 100);
             let outcome = attack.attack(s, &mut target);
             if let Some(ae) = &outcome.adversarial {
-                let verdict = sandbox.verify_functionality(&s.bytes, ae);
-                assert!(verdict.is_preserved(), "{}: {verdict}", s.name);
+                // Validate through the batched digest path the campaign
+                // uses: baseline once per sample, candidates against it.
+                let baseline = sandbox.baseline_digest(&s.bytes).unwrap();
+                let verdicts = sandbox.validate_batch(&baseline, &[ae]);
+                assert!(verdicts[0].is_preserved(), "{}: {}", s.name, verdicts[0]);
             }
         }
     }

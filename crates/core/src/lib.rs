@@ -31,6 +31,7 @@ pub mod optimize;
 pub mod pem;
 pub mod recovery;
 pub mod shuffle;
+pub mod validate;
 
 pub use attack::{
     Attack, AttackOutcome, HardLabelTarget, MPassAttack, MPassConfig, MPassConfigBuilder,

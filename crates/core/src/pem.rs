@@ -537,8 +537,8 @@ mod tests {
         let oracle = CodeDataOracle;
         let mut scorer = SampleScorer::new(&oracle, image);
         let phi = shapley_exact(&mut scorer, image.section_count());
-        let full = oracle.score(&scorer.plan.ablated(u64::MAX).to_vec()) as f64;
-        let none = oracle.score(&scorer.plan.ablated(0).to_vec()) as f64;
+        let full = oracle.score(scorer.plan.ablated(u64::MAX)) as f64;
+        let none = oracle.score(scorer.plan.ablated(0)) as f64;
         let sum: f64 = phi.iter().sum();
         assert!((sum - (full - none)).abs() < 1e-6, "sum {sum} vs {}", full - none);
     }

@@ -177,7 +177,7 @@ mod tests {
         let exec = run(&spec, vec![0xAB; 64], 2);
         assert!(exec.completed(), "outcome {:?}", exec.outcome);
         assert_eq!(exec.trace.len(), spec.api_calls.len());
-        assert!(exec.suspicious_calls().len() >= 3);
+        assert!(exec.suspicious_calls().count() >= 3);
     }
 
     #[test]
@@ -187,7 +187,7 @@ mod tests {
             let spec = BehaviorSpec::benign(6, DATA_RVA, 64, &mut rng);
             let exec = run(&spec, vec![1; 64], seed ^ 0x55);
             assert!(exec.completed());
-            assert!(exec.suspicious_calls().len() <= 1, "seed {seed}");
+            assert!(exec.suspicious_calls().count() <= 1, "seed {seed}");
         }
     }
 

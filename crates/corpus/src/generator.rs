@@ -743,7 +743,7 @@ mod tests {
         for s in tiny().malware() {
             let exec = Vm::load(s.pe().unwrap()).run();
             assert!(exec.completed(), "{}: {:?}", s.name, exec.outcome);
-            assert!(exec.suspicious_calls().len() >= 3, "{}", s.name);
+            assert!(exec.suspicious_calls().count() >= 3, "{}", s.name);
         }
     }
 
@@ -753,7 +753,7 @@ mod tests {
             let exec = Vm::load(s.pe().unwrap()).run();
             assert!(exec.completed(), "{}: {:?}", s.name, exec.outcome);
             // At most the single dual-use call some benign programs make.
-            assert!(exec.suspicious_calls().len() <= 1, "{}", s.name);
+            assert!(exec.suspicious_calls().count() <= 1, "{}", s.name);
         }
     }
 
@@ -857,7 +857,7 @@ mod tests {
             }
             let exec = Vm::load_binary(s.image.as_dyn(), mpass_vm::VmLimits::default()).run();
             assert!(exec.completed(), "{}: {:?}", s.name, exec.outcome);
-            assert!(exec.suspicious_calls().len() >= 3, "{}", s.name);
+            assert!(exec.suspicious_calls().count() >= 3, "{}", s.name);
             checked += 1;
         }
         assert!(checked > 0, "no mach-o malware generated");
@@ -872,7 +872,7 @@ mod tests {
             }
             let exec = Vm::load_binary(s.image.as_dyn(), mpass_vm::VmLimits::default()).run();
             assert!(exec.completed(), "{}: {:?}", s.name, exec.outcome);
-            assert!(exec.suspicious_calls().len() <= 1, "{}", s.name);
+            assert!(exec.suspicious_calls().count() <= 1, "{}", s.name);
         }
     }
 

@@ -1282,10 +1282,10 @@ mod tests {
             if lo >= hi {
                 continue;
             }
-            for i in lo..hi {
-                bytes[i] = rng.gen();
+            for b in &mut bytes[lo..hi] {
+                *b = rng.gen();
             }
-            let incremental = sess.score_delta(&bytes, &[lo..hi]);
+            let incremental = sess.score_delta(&bytes, std::slice::from_ref(&(lo..hi)));
             let full = m.0.session().score_delta(&bytes, &[]);
             assert_eq!(
                 incremental.to_bits(),
@@ -1310,10 +1310,10 @@ mod tests {
         for trial in 0..10 {
             let lo = rng.gen_range(0..4096.min(bytes.len() - 1));
             let hi = (lo + rng.gen_range(1..100)).min(bytes.len());
-            for i in lo..hi {
-                bytes[i] = rng.gen();
+            for b in &mut bytes[lo..hi] {
+                *b = rng.gen();
             }
-            let li = sess.loss_grad_delta(&bytes, &[lo..hi], &mut g_inc);
+            let li = sess.loss_grad_delta(&bytes, std::slice::from_ref(&(lo..hi)), &mut g_inc);
             let lf = m.0.session().loss_grad_delta(&bytes, &[], &mut g_full);
             assert_eq!(li.to_bits(), lf.to_bits(), "trial {trial} loss mismatch");
             assert_eq!(g_inc, g_full, "trial {trial} gradient mismatch");

@@ -107,6 +107,14 @@ impl MetricsFile {
                 shard.samples.len(),
                 queries
             ));
+            // Campaign lifecycle and validation-volume counters are part
+            // of the per-shard story (quarantines, AEs digest-validated,
+            // digest mismatches); other counters stay aggregate-only.
+            for (name, value) in &shard.counters {
+                if name.starts_with("campaign/") || name.starts_with("validation/") {
+                    out.push_str(&format!("    {name}: {value}\n"));
+                }
+            }
             for (stage, t) in &shard.timings {
                 out.push_str(&format!(
                     "    {}: {} calls, {:.1} ms\n",

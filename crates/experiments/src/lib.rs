@@ -34,6 +34,7 @@ pub mod packers;
 pub mod pem;
 pub mod report;
 pub mod table;
+pub mod validation;
 pub mod world;
 
 pub use campaign::{CampaignOptions, ShardOracle};

@@ -118,18 +118,11 @@ pub fn attack_target(
 
 /// `None` when `bytes` ingest cleanly as a PE; otherwise the diagnostic
 /// reason the sample is quarantined with. Clean ingestion means the
-/// bytes parse *and* survive a serialize/re-parse round trip — the same
-/// predicate the oracle channel applies to outgoing candidates, applied
-/// here to incoming samples.
+/// bytes parse *and* survive a serialize/re-parse round trip — literally
+/// the same predicate the oracle channel applies to outgoing candidates
+/// ([`mpass_core::validate`]), applied here to incoming samples.
 fn ingest_reason(bytes: &[u8]) -> Option<String> {
-    match mpass_pe::PeFile::parse(bytes) {
-        Err(e) => Some(format!("does not parse: {e}")),
-        Ok(pe) => match mpass_pe::PeFile::parse(&pe.to_bytes()) {
-            Err(e) => Some(format!("round-trip does not re-parse: {e}")),
-            Ok(pe2) if pe2 != pe => Some("round-trip does not reproduce the image".to_owned()),
-            Ok(_) => None,
-        },
-    }
+    mpass_core::validate::candidate_reject_reason(bytes)
 }
 
 /// [`attack_target`] with the full campaign machinery: an optionally
@@ -167,8 +160,16 @@ pub fn attack_target_with(
         if let Some(ae) = outcome.adversarial.take() {
             checked += 1;
             let _span = trace::span("stage/verify");
-            if !sandbox.verify_functionality(original, &ae).is_preserved() {
+            // Digest-based validation: baseline the original once, replay
+            // the AE against it with an early-aborting comparing sink.
+            let verdict = match sandbox.baseline_digest(original) {
+                Ok(baseline) => sandbox.verify_candidate(&baseline, &ae),
+                Err(_) => mpass_sandbox::FunctionalityVerdict::BrokenParse,
+            };
+            trace::counter("campaign/ae_validated", 1);
+            if !verdict.is_preserved() {
                 broken += 1;
+                trace::counter("campaign/ae_digest_mismatch", 1);
             }
         }
     };

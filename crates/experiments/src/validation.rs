@@ -1,0 +1,105 @@
+//! Engine-pooled behavioural validation of candidate batches.
+//!
+//! [`Sandbox::validate_batch`] validates candidates sequentially against a
+//! shared [`Baseline`]; this module spreads the same work across the
+//! engine shard pool, one shard per candidate, so a campaign can amortize
+//! a single baseline execution over an arbitrarily wide candidate wave.
+//! Per-shard metrics (a `validation/candidates` counter) flow through the
+//! usual collector, so `mpass engine-report` shows validation volume next
+//! to the attack shards.
+
+use mpass_engine::{metrics as trace, Engine, Shard};
+use mpass_sandbox::{Baseline, FunctionalityVerdict, Sandbox, SandboxError};
+
+/// Validate `candidates` against `sample`'s behaviour across the engine
+/// worker pool. The sample is baselined exactly once; every candidate
+/// replays against the shared baseline under an early-aborting comparing
+/// sink. Verdicts come back in input order.
+pub fn validate_batch_pooled(
+    engine: &Engine,
+    sandbox: &Sandbox,
+    sample: &[u8],
+    candidates: &[&[u8]],
+) -> Result<Vec<FunctionalityVerdict>, SandboxError> {
+    let baseline = sandbox.baseline_digest(sample)?;
+    Ok(validate_against_pooled(engine, sandbox, &baseline, candidates))
+}
+
+/// [`validate_batch_pooled`] for a caller that already holds the
+/// [`Baseline`] (e.g. one baseline reused across several waves).
+pub fn validate_against_pooled(
+    engine: &Engine,
+    sandbox: &Sandbox,
+    baseline: &Baseline,
+    candidates: &[&[u8]],
+) -> Vec<FunctionalityVerdict> {
+    let shards: Vec<Shard<&[u8]>> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| Shard::new(format!("validate/{i}"), *c))
+        .collect();
+    let run = engine.run(shards, |_ctx, bytes: &[u8]| {
+        trace::counter("validation/candidates", 1);
+        sandbox.verify_candidate(baseline, bytes)
+    });
+    // The verify path is panic-free, but a pool-level failure must not
+    // silently shift verdict positions: reconstruct input order, filling
+    // any failed slot with the conservative non-preserved verdict.
+    let mut results = run.results.into_iter();
+    let failed: std::collections::HashSet<usize> =
+        run.failures.iter().map(|f| f.index).collect();
+    (0..candidates.len())
+        .map(|i| {
+            if failed.contains(&i) {
+                FunctionalityVerdict::BrokenExecution { outcome: mpass_vm::Outcome::Aborted }
+            } else {
+                results.next().unwrap_or(FunctionalityVerdict::BrokenParse)
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpass_corpus::{CorpusConfig, Dataset};
+
+    fn dataset() -> Dataset {
+        Dataset::generate(&CorpusConfig {
+            n_malware: 4,
+            n_benign: 1,
+            seed: 31,
+            no_slack_fraction: 0.0,
+        })
+    }
+
+    #[test]
+    fn pooled_matches_sequential_validation() {
+        let ds = dataset();
+        let sandbox = Sandbox::new();
+        let engine = Engine::new(mpass_engine::EngineConfig { workers: 2, seed: 9 });
+        let sample = &ds.samples[0];
+        let garbage = vec![0u8; 48];
+        let candidates: Vec<&[u8]> = ds
+            .samples
+            .iter()
+            .map(|s| s.bytes.as_slice())
+            .chain(std::iter::once(garbage.as_slice()))
+            .collect();
+        let baseline = sandbox.baseline_digest(&sample.bytes).unwrap();
+        let sequential = sandbox.validate_batch(&baseline, &candidates);
+        let pooled =
+            validate_batch_pooled(&engine, &sandbox, &sample.bytes, &candidates).unwrap();
+        assert_eq!(sequential, pooled);
+        assert!(pooled[0].is_preserved());
+        assert_eq!(*pooled.last().unwrap(), FunctionalityVerdict::BrokenParse);
+    }
+
+    #[test]
+    fn unparseable_sample_is_a_typed_error() {
+        let sandbox = Sandbox::new();
+        let engine = Engine::new(Default::default());
+        let err = validate_batch_pooled(&engine, &sandbox, &[0u8; 32], &[]).unwrap_err();
+        assert!(matches!(err, SandboxError::Unparseable(_)));
+    }
+}

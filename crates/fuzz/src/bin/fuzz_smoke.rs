@@ -62,6 +62,7 @@ fn parse_args() -> (u64, u64, Option<String>) {
 /// Run one `iterations`-long campaign: mutate seeds, check the format's
 /// contracts, minimize and optionally save violations. Returns the
 /// violation count.
+#[allow(clippy::too_many_arguments)]
 fn campaign(
     label: &str,
     seeds: &[Vec<u8>],

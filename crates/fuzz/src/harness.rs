@@ -3,7 +3,7 @@
 
 use mpass_macho::MachoFile;
 use mpass_pe::PeFile;
-use mpass_vm::{disassemble, Vm, VmLimits};
+use mpass_vm::{disassemble, DigestSink, Vm, VmLimits};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Resource ceilings fuzz executions run under: tight enough that ten
@@ -71,8 +71,14 @@ pub fn check_bytes(bytes: &[u8]) -> Result<(), String> {
         })?;
     }
 
-    catch_unwind(AssertUnwindSafe(|| Vm::load_with(&pe, fuzz_limits()).run()))
-        .map_err(|p| format!("Vm::run panicked: {}", panic_message(&*p)))?;
+    // The VM-terminates property holds under the streaming sink API too:
+    // a digest sink materializes no trace, so exhaustion/fault handling is
+    // exercised without the recording sink's capacity backstop.
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut sink = DigestSink::new();
+        Vm::load_with(&pe, fuzz_limits()).run_with_sink(&mut sink)
+    }))
+    .map_err(|p| format!("Vm::run panicked: {}", panic_message(&*p)))?;
     Ok(())
 }
 
@@ -113,8 +119,11 @@ pub fn check_macho_bytes(bytes: &[u8]) -> Result<(), String> {
         })?;
     }
 
-    catch_unwind(AssertUnwindSafe(|| Vm::load_binary(&m, fuzz_limits()).run()))
-        .map_err(|p| format!("Vm::run panicked: {}", panic_message(&*p)))?;
+    catch_unwind(AssertUnwindSafe(|| {
+        let mut sink = DigestSink::new();
+        Vm::load_binary(&m, fuzz_limits()).run_with_sink(&mut sink)
+    }))
+    .map_err(|p| format!("Vm::run panicked: {}", panic_message(&*p)))?;
     Ok(())
 }
 

@@ -3,6 +3,7 @@
 
 use crate::api::{ApiEvent, ApiId};
 use crate::isa::{Instr, Reg, INSTR_SIZE};
+use crate::sink::{RecordingSink, SinkControl, TraceDigest, TraceSink};
 use mpass_pe::PeFile;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -128,6 +129,9 @@ pub enum Outcome {
     /// A governed resource ceiling was reached (treated as a hang, but the
     /// variant records which bound tripped).
     ResourceExhausted(Resource),
+    /// A [`TraceSink`] requested termination ([`SinkControl::Abort`]) —
+    /// e.g. a comparing sink that observed its first divergent event.
+    Aborted,
 }
 
 /// The result of running a program: outcome, step count and the API trace.
@@ -148,9 +152,33 @@ impl Execution {
     }
 
     /// The subsequence of suspicious API calls — the "malicious behaviour"
-    /// the sandbox checks for.
-    pub fn suspicious_calls(&self) -> Vec<ApiEvent> {
-        self.trace.iter().copied().filter(|e| e.api.is_suspicious()).collect()
+    /// the sandbox checks for. Borrows the trace; call `.count()` for the
+    /// old `Vec` length or `.collect()` for the events themselves.
+    pub fn suspicious_calls(&self) -> impl Iterator<Item = ApiEvent> + '_ {
+        self.trace.iter().copied().filter(|e| e.api.is_suspicious())
+    }
+
+    /// The streaming digest of this execution's trace (what a
+    /// [`crate::DigestSink`]-driven run of the same program reports).
+    pub fn digest(&self) -> TraceDigest {
+        TraceDigest::of_trace(&self.trace)
+    }
+}
+
+/// Outcome and step count of a sink-driven run: what is left of
+/// [`Execution`] once the trace lives in the sink instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Terminal condition.
+    pub outcome: Outcome,
+    /// Number of instructions executed.
+    pub steps: u64,
+}
+
+impl RunSummary {
+    /// True when the program ran to a clean `halt`.
+    pub fn completed(&self) -> bool {
+        self.outcome == Outcome::Halted
     }
 }
 
@@ -311,16 +339,36 @@ impl Vm {
     }
 
     /// Like [`Vm::run`] but borrows, so memory and registers can be
-    /// inspected afterwards.
+    /// inspected afterwards. Drives a [`RecordingSink`] bounded by
+    /// [`VmLimits::trace_limit`] — the sink-era spelling of the original
+    /// trace-vector interpreter, bit-for-bit including the
+    /// [`Resource::Trace`] exhaustion behaviour.
     pub fn run_in_place(&mut self) -> Execution {
-        let mut trace = Vec::new();
+        let mut sink = RecordingSink::with_limit(self.limits.trace_limit);
+        let run = self.run_with_sink(&mut sink);
+        Execution { outcome: run.outcome, steps: run.steps, trace: sink.into_trace() }
+    }
+
+    /// Execute until halt, fault, step limit — or until `sink` ends the
+    /// run. Every API event is pushed at the sink as it happens instead of
+    /// into an owned vector; see [`TraceSink`] for the callback contract.
+    ///
+    /// The call is monomorphized over the sink type, so sinks with no-op
+    /// observers cost nothing beyond their `on_api_event` body.
+    pub fn run_with_sink<S: TraceSink>(&mut self, sink: &mut S) -> RunSummary {
         let mut steps: u64 = 0;
         if self.oversized {
-            return Execution {
-                outcome: Outcome::ResourceExhausted(Resource::Memory),
-                steps,
-                trace,
-            };
+            sink.on_exhausted(Resource::Memory);
+            return RunSummary { outcome: Outcome::ResourceExhausted(Resource::Memory), steps };
+        }
+        // Termination helpers: notify the sink, then surface the outcome.
+        fn faulted<S: TraceSink>(sink: &mut S, fault: VmFault, steps: u64) -> RunSummary {
+            sink.on_fault(fault);
+            RunSummary { outcome: Outcome::Faulted(fault), steps }
+        }
+        fn exhausted<S: TraceSink>(sink: &mut S, res: Resource, steps: u64) -> RunSummary {
+            sink.on_exhausted(res);
+            RunSummary { outcome: Outcome::ResourceExhausted(res), steps }
         }
         let mut jump_chain: u64 = 0;
         // First instruction address of the sequential stream currently
@@ -328,28 +376,19 @@ impl Vm {
         let mut stream_anchor: u32 = self.pc;
         loop {
             if steps >= self.limits.step_limit {
-                return Execution { outcome: Outcome::StepLimit, steps, trace };
+                return RunSummary { outcome: Outcome::StepLimit, steps };
             }
             let pc = self.pc;
             let end = pc as usize + INSTR_SIZE;
             if end > self.memory.len() {
-                return Execution {
-                    outcome: Outcome::Faulted(VmFault::PcOutOfBounds(pc)),
-                    steps,
-                    trace,
-                };
+                return faulted(sink, VmFault::PcOutOfBounds(pc), steps);
             }
             let instr = match Instr::decode(&self.memory[pc as usize..end]) {
                 Ok(i) => i,
-                Err(_) => {
-                    return Execution {
-                        outcome: Outcome::Faulted(VmFault::IllegalInstruction(pc)),
-                        steps,
-                        trace,
-                    }
-                }
+                Err(_) => return faulted(sink, VmFault::IllegalInstruction(pc), steps),
             };
             steps += 1;
+            sink.on_step(steps);
             let next = pc.wrapping_add(INSTR_SIZE as u32);
             self.pc = next;
             let r = |reg: Reg| self.regs[reg.index()];
@@ -372,30 +411,26 @@ impl Vm {
                     let addr = r(b).wrapping_add(imm as u32);
                     match self.read8(addr) {
                         Ok(v) => self.regs[a.index()] = v as u32,
-                        Err(f) => {
-                            return Execution { outcome: Outcome::Faulted(f), steps, trace }
-                        }
+                        Err(f) => return faulted(sink, f, steps),
                     }
                 }
                 Instr::St8(a, b, imm) => {
                     let addr = r(b).wrapping_add(imm as u32);
                     if let Err(f) = self.write8(addr, r(a) as u8) {
-                        return Execution { outcome: Outcome::Faulted(f), steps, trace };
+                        return faulted(sink, f, steps);
                     }
                 }
                 Instr::Ld32(a, b, imm) => {
                     let addr = r(b).wrapping_add(imm as u32);
                     match self.read32(addr) {
                         Ok(v) => self.regs[a.index()] = v,
-                        Err(f) => {
-                            return Execution { outcome: Outcome::Faulted(f), steps, trace }
-                        }
+                        Err(f) => return faulted(sink, f, steps),
                     }
                 }
                 Instr::St32(a, b, imm) => {
                     let addr = r(b).wrapping_add(imm as u32);
                     if let Err(f) = self.write32(addr, r(a)) {
-                        return Execution { outcome: Outcome::Faulted(f), steps, trace };
+                        return faulted(sink, f, steps);
                     }
                 }
                 Instr::Jmp(d) => {
@@ -421,49 +456,39 @@ impl Vm {
                     }
                 }
                 Instr::CallApi(id) => {
-                    if trace.len() >= self.limits.trace_limit {
-                        return Execution {
-                            outcome: Outcome::ResourceExhausted(Resource::Trace),
-                            steps,
-                            trace,
-                        };
+                    match sink.on_api_event(ApiEvent { api: id, arg: self.regs[0] }) {
+                        SinkControl::Continue => {
+                            // Deterministic pseudo-result so data flow
+                            // through API results is reproducible.
+                            self.regs[0] = api_result(id, self.regs[0]);
+                        }
+                        // The refusing sink did not record the event, so
+                        // the call must not take effect either.
+                        SinkControl::Exhausted => {
+                            return exhausted(sink, Resource::Trace, steps)
+                        }
+                        SinkControl::Abort => {
+                            return RunSummary { outcome: Outcome::Aborted, steps }
+                        }
                     }
-                    trace.push(ApiEvent { api: id, arg: self.regs[0] });
-                    // Deterministic pseudo-result so data flow through API
-                    // results is reproducible.
-                    self.regs[0] = api_result(id, self.regs[0]);
                 }
                 Instr::Halt => {
-                    return Execution { outcome: Outcome::Halted, steps, trace };
+                    return RunSummary { outcome: Outcome::Halted, steps };
                 }
                 Instr::Nop => {}
                 Instr::Push(a) => {
                     if self.data_stack.len() >= STACK_LIMIT {
-                        return Execution {
-                            outcome: Outcome::Faulted(VmFault::StackOverflow),
-                            steps,
-                            trace,
-                        };
+                        return faulted(sink, VmFault::StackOverflow, steps);
                     }
                     self.data_stack.push(r(a));
                 }
                 Instr::Pop(a) => match self.data_stack.pop() {
                     Some(v) => self.regs[a.index()] = v,
-                    None => {
-                        return Execution {
-                            outcome: Outcome::Faulted(VmFault::StackUnderflow),
-                            steps,
-                            trace,
-                        }
-                    }
+                    None => return faulted(sink, VmFault::StackUnderflow, steps),
                 },
                 Instr::Call(d) => {
                     if self.call_stack.len() >= STACK_LIMIT {
-                        return Execution {
-                            outcome: Outcome::Faulted(VmFault::StackOverflow),
-                            steps,
-                            trace,
-                        };
+                        return faulted(sink, VmFault::StackOverflow, steps);
                     }
                     self.call_stack.push(next);
                     self.pc = next.wrapping_add(d as u32);
@@ -474,13 +499,7 @@ impl Vm {
                         self.pc = addr;
                         taken = true;
                     }
-                    None => {
-                        return Execution {
-                            outcome: Outcome::Faulted(VmFault::StackUnderflow),
-                            steps,
-                            trace,
-                        }
-                    }
+                    None => return faulted(sink, VmFault::StackUnderflow, steps),
                 },
             }
             if taken {
@@ -489,11 +508,7 @@ impl Vm {
                     // Landing inside the span this stream already executed:
                     // the target must sit on the stream's slot grid.
                     if !target.wrapping_sub(stream_anchor).is_multiple_of(INSTR_SIZE as u32) {
-                        return Execution {
-                            outcome: Outcome::Faulted(VmFault::MisalignedPc(target)),
-                            steps,
-                            trace,
-                        };
+                        return faulted(sink, VmFault::MisalignedPc(target), steps);
                     }
                 } else {
                     // Leaving the stream: the target starts a new one.
@@ -501,11 +516,7 @@ impl Vm {
                 }
                 jump_chain += 1;
                 if jump_chain > self.limits.jump_chain_limit {
-                    return Execution {
-                        outcome: Outcome::ResourceExhausted(Resource::JumpChain),
-                        steps,
-                        trace,
-                    };
+                    return exhausted(sink, Resource::JumpChain, steps);
                 }
             } else {
                 jump_chain = 0;
@@ -611,7 +622,7 @@ mod tests {
         let (exec, _) = run_program(&asm);
         assert_eq!(exec.trace.len(), 2);
         assert_eq!(exec.trace[0], ApiEvent { api: api::HTTP_EXFILTRATE, arg: 77 });
-        assert_eq!(exec.suspicious_calls().len(), 1);
+        assert_eq!(exec.suspicious_calls().count(), 1);
     }
 
     #[test]
@@ -825,6 +836,6 @@ mod tests {
         let pe = b.build().unwrap();
         let exec = Vm::load(&pe).run();
         assert!(exec.completed());
-        assert_eq!(exec.suspicious_calls().len(), 1);
+        assert_eq!(exec.suspicious_calls().count(), 1);
     }
 }

@@ -19,7 +19,12 @@
 //!   would, executes from the entry point, and records the API-call
 //!   [`trace`](Execution::trace) that the sandbox compares,
 //! * [`ApiId`] — the API namespace with a benign/suspicious split that the
-//!   synthetic corpus uses to plant ground-truth malicious behaviour.
+//!   synthetic corpus uses to plant ground-truth malicious behaviour,
+//! * [`TraceSink`] and the stock sinks ([`RecordingSink`], [`DigestSink`],
+//!   [`ComparingSink`]) — the event-listener interface that
+//!   [`Vm::run_with_sink`] drives, so validation can stream a
+//!   [`TraceDigest`] or abort on first divergence instead of materializing
+//!   a trace vector.
 //!
 //! ## Example: assemble, run, observe behaviour
 //!
@@ -60,11 +65,16 @@ pub mod api;
 mod asm;
 mod interp;
 mod isa;
+pub mod sink;
 
 pub use api::{ApiEvent, ApiId};
 pub use asm::{Asm, AsmError};
 pub use interp::{
-    Execution, Outcome, Resource, Vm, VmFault, VmLimits, DEFAULT_JUMP_CHAIN_LIMIT,
+    Execution, Outcome, Resource, RunSummary, Vm, VmFault, VmLimits, DEFAULT_JUMP_CHAIN_LIMIT,
     DEFAULT_MEMORY_LIMIT, DEFAULT_STEP_LIMIT, DEFAULT_TRACE_LIMIT,
 };
 pub use isa::{disassemble, DecodeError, Instr, Reg, INSTR_SIZE};
+pub use sink::{
+    ComparingSink, DigestSink, RecordingSink, ReferenceTrace, SinkControl, TraceDigest, TraceSink,
+    TRACE_DIGEST_VERSION,
+};

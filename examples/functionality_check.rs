@@ -24,7 +24,7 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(1);
 
     for sample in dataset.malware() {
-        let original = sandbox.run(&sample.bytes).expect("sample parses");
+        let original = sandbox.execute(&sample.bytes).expect("sample parses");
         println!("== {} ==", sample.name);
         println!("original behaviour ({} API calls):", original.trace.len());
         for ev in original.trace.iter().take(6) {
@@ -43,7 +43,7 @@ fn main() {
             sample.size(),
             modified.bytes.len()
         );
-        let after = sandbox.run(&modified.bytes).expect("AE parses");
+        let after = sandbox.execute(&modified.bytes).expect("AE parses");
         println!("modified behaviour: {} API calls", after.trace.len());
         let verdict = sandbox.verify_functionality(&sample.bytes, &modified.bytes);
         println!("functionality verdict: {verdict}");

@@ -78,7 +78,7 @@ fn sandbox_runs_of_the_corpus_terminate() {
         // run() returns None for unparseable fixtures; parseable ones
         // must come back with *some* outcome rather than hanging or
         // panicking.
-        let _ = std::panic::catch_unwind(|| sandbox.run(&bytes))
+        let _ = std::panic::catch_unwind(|| sandbox.execute(&bytes))
             .unwrap_or_else(|_| panic!("{name}: sandbox run panicked"));
     }
 }

@@ -34,11 +34,11 @@ fn malware_and_benign_differ_behaviourally() {
     let sandbox = Sandbox::new();
     for s in ds.malware() {
         let exec = sandbox.run_pe(s.pe().unwrap());
-        assert!(exec.suspicious_calls().len() >= 3, "{}", s.name);
+        assert!(exec.suspicious_calls().count() >= 3, "{}", s.name);
     }
     for s in ds.benign() {
         let exec = sandbox.run_pe(s.pe().unwrap());
-        assert!(exec.suspicious_calls().len() <= 1, "{}", s.name);
+        assert!(exec.suspicious_calls().count() <= 1, "{}", s.name);
     }
 }
 
